@@ -1,0 +1,46 @@
+//! E1/E3 timing benches: wall-clock of the full D1LC pipeline vs the
+//! random-trial baseline (the round counts themselves come from the
+//! `experiments` binary).
+
+use bench::workloads::{blend_window, gnp_d1c, gnp_window};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use d1lc::{solve, solve_random_trial, SolveOptions};
+use std::time::Duration;
+
+fn bench_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("d1lc-solve");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for n in [256usize, 512] {
+        for make in [gnp_window as fn(usize, u64) -> _, blend_window] {
+            let inst = make(n, 7 + n as u64);
+            group.bench_with_input(
+                BenchmarkId::new(inst.name, n),
+                &inst,
+                |b, inst| {
+                    b.iter(|| {
+                        solve(&inst.graph, &inst.lists, SolveOptions::seeded(1)).expect("solve")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("d1lc-baseline");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [256usize, 512] {
+        let inst = gnp_d1c(n, 11 + n as u64);
+        group.bench_with_input(BenchmarkId::new("random-trial", n), &inst, |b, inst| {
+            b.iter(|| {
+                solve_random_trial(&inst.graph, &inst.lists, SolveOptions::seeded(2))
+                    .expect("baseline")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solve, bench_baseline);
+criterion_main!(benches);

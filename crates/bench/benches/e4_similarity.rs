@@ -1,0 +1,52 @@
+//! E4/E6 timing benches: the two-party `EstimateSimilarity` procedure and
+//! the whole-graph neighborhood-similarity protocol.
+
+use congest::SimConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use estimate::{estimate_similarity, run_neighborhood_similarity, SimilarityScheme};
+use graphs::gen;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_two_party(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimate-similarity");
+    group.measurement_time(Duration::from_secs(3));
+    for eps in [0.5, 0.25, 0.125] {
+        let scheme = SimilarityScheme::practical(eps);
+        let su: Vec<u64> = (0..600).collect();
+        let sv: Vec<u64> = (300..900).collect();
+        group.bench_with_input(
+            BenchmarkId::new("eps", format!("{eps}")),
+            &scheme,
+            |b, scheme| {
+                let mut rng = StdRng::seed_from_u64(7);
+                b.iter(|| estimate_similarity(scheme, &su, &sv, 42, &mut rng))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_whole_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighborhood-similarity");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for n in [128usize, 256] {
+        let g = gen::gnp(n, (16.0 / n as f64).min(0.5), 3);
+        group.bench_with_input(BenchmarkId::new("gnp", n), &g, |b, g| {
+            b.iter(|| {
+                run_neighborhood_similarity(
+                    g,
+                    SimilarityScheme::practical(0.25),
+                    SimConfig::seeded(5),
+                    9,
+                )
+                .expect("protocol run")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_two_party, bench_whole_graph);
+criterion_main!(benches);

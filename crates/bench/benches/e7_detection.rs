@@ -1,0 +1,46 @@
+//! E7/E8 timing benches: local triangle and four-cycle detection.
+
+use congest::SimConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use estimate::{find_four_cycle_rich_wedges, find_triangle_rich_edges, SimilarityScheme};
+use graphs::gen;
+use std::time::Duration;
+
+fn bench_triangles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("triangle-detection");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for n in [128usize, 256] {
+        let g = gen::triangle_rich(n, 24, 0.03, 7);
+        group.bench_with_input(BenchmarkId::new("planted", n), &g, |b, g| {
+            b.iter(|| {
+                find_triangle_rich_edges(
+                    g,
+                    0.5,
+                    SimilarityScheme::practical(0.25),
+                    SimConfig::seeded(3),
+                    11,
+                )
+                .expect("triangle run")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_four_cycles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("four-cycle-detection");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for n in [128usize, 256] {
+        let g = gen::four_cycle_rich(n, 24, 0.03, 9);
+        group.bench_with_input(BenchmarkId::new("planted", n), &g, |b, g| {
+            b.iter(|| {
+                find_four_cycle_rich_wedges(g, 0.5, SimConfig::seeded(4), 13)
+                    .expect("four-cycle run")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_triangles, bench_four_cycles);
+criterion_main!(benches);

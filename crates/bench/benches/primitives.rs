@@ -1,0 +1,74 @@
+//! Micro-benchmarks of the pseudorandom substrate: representative-hash
+//! set operators, pairwise hashing, Reed–Solomon encoding, samplers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prand::{
+    mix64, IdCode, MultisetSampler, PairwiseFamily, RepHashFamily, RepParams,
+};
+
+fn bench_rep_hash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rep-hash");
+    let params = RepParams::practical(1.0 / 12.0, 1.0 / 3.0, 2400, 256, 16);
+    let fam = RepHashFamily::new(7, params);
+    let h = fam.member(3);
+    let set: Vec<u64> = (0..400u64).map(|i| i * 131).collect();
+    group.bench_function("hash", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            h.hash(i)
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("isolated", set.len()), &set, |b, s| {
+        b.iter(|| h.isolated(s, s))
+    });
+    group.bench_with_input(BenchmarkId::new("window-bitmap", set.len()), &set, |b, s| {
+        b.iter(|| h.window_bitmap(s))
+    });
+    group.finish();
+}
+
+fn bench_pairwise_and_mix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash-primitives");
+    let fam = PairwiseFamily::new(3, 1 << 20, 16);
+    let h = fam.member(9);
+    group.bench_function("pairwise-hash", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            h.hash(i)
+        })
+    });
+    group.bench_function("mix64", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            mix64(i)
+        })
+    });
+    group.finish();
+}
+
+fn bench_ecc_and_sampler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ecc-sampler");
+    let code = IdCode::new();
+    group.bench_function("id-encode", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            code.encode(i)
+        })
+    });
+    let sampler = MultisetSampler::new(5, 10_000, 256, 16);
+    group.bench_function("multiset-256", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = (seed + 1) % sampler.num_seeds();
+            sampler.multiset(seed).sum::<u64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rep_hash, bench_pairwise_and_mix, bench_ecc_and_sampler);
+criterion_main!(benches);

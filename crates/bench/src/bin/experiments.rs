@@ -1,0 +1,30 @@
+//! Regenerate every experiment table (E1–E15 of DESIGN.md).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin experiments            # full scale
+//! cargo run --release -p bench --bin experiments -- --quick # CI scale
+//! cargo run --release -p bench --bin experiments -- E4 E9   # a subset
+//! ```
+
+use bench::{all_experiments, Scale};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--quick") { Scale::Quick } else { Scale::Full };
+    let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    println!("# Experiment tables — Overcoming Congestion in Distributed Coloring (PODC 2022)");
+    println!("# scale: {scale:?}\n");
+    for (id, run) in all_experiments() {
+        if !wanted.is_empty() && !wanted.iter().any(|w| w.as_str() == id) {
+            continue;
+        }
+        let start = Instant::now();
+        let table = run(scale);
+        println!("{}", table.render());
+        println!("({} rows in {:.1?})\n", table.len(), start.elapsed());
+    }
+}

@@ -1,0 +1,46 @@
+//! Experiment harness for the congest-coloring reproduction.
+//!
+//! The paper is a theory paper with no empirical evaluation section, so
+//! every quantitative claim (Theorem 1, Corollary 1, Lemmas 1–6,
+//! Theorems 2–3, the App. D constructions) is operationalized as an
+//! experiment E1–E15 (see DESIGN.md §4). Each experiment function builds
+//! its workload, runs the relevant system, and returns a printable
+//! [`Table`]; the `experiments` binary renders them all, and
+//! `EXPERIMENTS.md` records paper-claim vs measured shape.
+
+#![warn(missing_docs)]
+
+pub mod exp_ablation;
+pub mod exp_acd;
+pub mod exp_coloring;
+pub mod exp_estimate;
+pub mod exp_hash;
+pub mod table;
+pub mod workloads;
+
+pub use table::Table;
+pub use workloads::Scale;
+
+/// All experiments in order, as `(id, runner)` pairs.
+pub fn all_experiments() -> Vec<(&'static str, fn(Scale) -> Table)> {
+    vec![
+        ("E1", exp_coloring::e1_rounds_vs_n as fn(Scale) -> Table),
+        ("E2", exp_coloring::e2_high_degree),
+        ("E3", exp_coloring::e3_d1c),
+        ("E4", exp_estimate::e4_similarity),
+        ("E5", exp_estimate::e5_joint_sample),
+        ("E6", exp_estimate::e6_sparsity),
+        ("E7", exp_estimate::e7_triangles),
+        ("E8", exp_estimate::e8_four_cycles),
+        ("E9", exp_hash::e9_multitrial),
+        ("E10", exp_hash::e10_rep_goodness),
+        ("E11", exp_coloring::e11_congestion),
+        ("E12", exp_hash::e12_uniform),
+        ("E13", exp_acd::e13_acd),
+        ("E14", exp_acd::e14_slack),
+        ("E15", exp_acd::e15_leader),
+        ("E16a", exp_ablation::ablation_sigma),
+        ("E16b", exp_ablation::ablation_scaleup),
+        ("E16c", exp_ablation::ablation_dense_machinery),
+    ]
+}

@@ -1,0 +1,149 @@
+//! Workload construction shared by the experiments binary and the
+//! Criterion benches.
+
+use graphs::palette::{degree_plus_one_lists, random_lists, shared_window_lists, ListAssignment};
+use graphs::{gen, Graph};
+
+/// Global experiment scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Small sizes, fast — CI-friendly.
+    Quick,
+    /// The sizes reported in EXPERIMENTS.md.
+    Full,
+}
+
+impl Scale {
+    /// Node-count sweep for the round-complexity experiments.
+    pub fn n_sweep(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![256, 512, 1024],
+            Scale::Full => vec![256, 512, 1024, 2048, 4096, 8192],
+        }
+    }
+
+    /// Trials per configuration for statistical experiments.
+    pub fn trials(self) -> u64 {
+        match self {
+            Scale::Quick => 20,
+            Scale::Full => 100,
+        }
+    }
+}
+
+/// A named D1LC instance.
+pub struct Instance {
+    /// Instance label for tables.
+    pub name: &'static str,
+    /// The graph.
+    pub graph: Graph,
+    /// The list assignment.
+    pub lists: ListAssignment,
+}
+
+/// Sparse Erdős–Rényi instance with D1C lists, average degree ≈ 12.
+pub fn gnp_d1c(n: usize, seed: u64) -> Instance {
+    let p = (12.0 / n as f64).min(0.5);
+    let graph = gen::gnp(n, p, seed);
+    let lists = degree_plus_one_lists(&graph);
+    Instance { name: "gnp-d1c", graph, lists }
+}
+
+/// Erdős–Rényi instance with random 48-bit lists (true list coloring,
+/// almost no color contention — colors collide only through hashing).
+pub fn gnp_lists(n: usize, seed: u64) -> Instance {
+    let p = (12.0 / n as f64).min(0.5);
+    let graph = gen::gnp(n, p, seed);
+    let lists = random_lists(&graph, 48, 0, seed ^ 0x11);
+    Instance { name: "gnp-lists", graph, lists }
+}
+
+/// Erdős–Rényi instance with heavily overlapping lists from a narrow
+/// shared window — maximal color contention, the regime where trial-based
+/// coloring actually has to fight.
+pub fn gnp_window(n: usize, seed: u64) -> Instance {
+    let p = (24.0 / n as f64).min(0.5);
+    let graph = gen::gnp(n, p, seed);
+    let window = graph.max_degree() as u64 + graph.max_degree() as u64 / 4 + 1;
+    let lists = shared_window_lists(&graph, window, seed ^ 0x33);
+    Instance { name: "gnp-window", graph, lists }
+}
+
+/// Clique blend with shared-window lists: dense machinery plus contention.
+pub fn blend_window(n: usize, seed: u64) -> Instance {
+    let clique_size = 24.max(n / 40);
+    let cliques = (n / 3) / clique_size.max(1);
+    let sparse_nodes = n - cliques * clique_size;
+    let graph = gen::clique_blend(
+        gen::CliqueBlendParams {
+            cliques,
+            clique_size,
+            removal: 0.05,
+            sparse_nodes,
+            sparse_p: (8.0 / n as f64).min(0.3),
+        },
+        seed,
+    );
+    let window = graph.max_degree() as u64 + graph.max_degree() as u64 / 4 + 1;
+    let lists = shared_window_lists(&graph, window, seed ^ 0x44);
+    Instance { name: "blend-window", graph, lists }
+}
+
+/// Planted almost-clique blend with random lists: exercises the dense
+/// machinery.
+pub fn blend_lists(n: usize, seed: u64) -> Instance {
+    let clique_size = 24.max(n / 40);
+    let cliques = (n / 3) / clique_size.max(1);
+    let sparse_nodes = n - cliques * clique_size;
+    let graph = gen::clique_blend(
+        gen::CliqueBlendParams {
+            cliques,
+            clique_size,
+            removal: 0.05,
+            sparse_nodes,
+            sparse_p: (8.0 / n as f64).min(0.3),
+        },
+        seed,
+    );
+    let lists = random_lists(&graph, 48, 0, seed ^ 0x22);
+    Instance { name: "blend-lists", graph, lists }
+}
+
+/// Dense instance whose minimum degree clears the phase threshold — the
+/// Theorem 1 `O(log* n)` regime, laptop-scaled.
+pub fn high_degree(n: usize, dmin: usize, seed: u64) -> Instance {
+    let p = (1.5 * dmin as f64 / n as f64).min(0.9);
+    let graph = gen::gnp_min_degree(n, p, dmin, seed);
+    let lists = degree_plus_one_lists(&graph);
+    Instance { name: "high-degree", graph, lists }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instances_are_valid_d1lc() {
+        for inst in [
+            gnp_d1c(200, 1),
+            gnp_lists(200, 2),
+            blend_lists(300, 3),
+            gnp_window(200, 4),
+            blend_window(300, 5),
+        ] {
+            assert!(inst.lists.is_degree_plus_one(&inst.graph), "{}", inst.name);
+        }
+    }
+
+    #[test]
+    fn high_degree_has_min_degree() {
+        let inst = high_degree(300, 40, 4);
+        assert!(inst.graph.min_degree() >= 40);
+    }
+
+    #[test]
+    fn scales_differ() {
+        assert!(Scale::Full.n_sweep().len() > Scale::Quick.n_sweep().len());
+        assert!(Scale::Full.trials() > Scale::Quick.trials());
+    }
+}

@@ -1,0 +1,365 @@
+//! The round-synchronous simulation engine.
+
+use crate::error::SimError;
+use crate::message::Message;
+use crate::metrics::RunReport;
+use crate::program::{Ctx, Program};
+use graphs::{Graph, NodeId};
+use prand::mix::mix2;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Bandwidth policy for a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bandwidth {
+    /// Abort with [`SimError::BandwidthExceeded`] if any directed edge
+    /// carries more than this many bits in one round. Used in tests to
+    /// prove a protocol CONGEST-legal.
+    Strict(u64),
+    /// Record loads without enforcing; overflows show up in
+    /// [`RunReport::normalized_rounds`].
+    Track,
+}
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Global seed; node `v`'s RNG is seeded from `(seed, v)`.
+    pub seed: u64,
+    /// Bandwidth policy.
+    pub bandwidth: Bandwidth,
+    /// Hard cap on rounds (a run not finished by then reports
+    /// `completed = false`).
+    pub max_rounds: u64,
+    /// Worker threads for the node-step phase (1 = sequential). Results
+    /// are identical regardless of thread count.
+    pub threads: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { seed: 0, bandwidth: Bandwidth::Track, max_rounds: 100_000, threads: 1 }
+    }
+}
+
+impl SimConfig {
+    /// A config with the given seed and defaults otherwise.
+    pub fn seeded(seed: u64) -> Self {
+        SimConfig { seed, ..Default::default() }
+    }
+
+    /// The standard CONGEST cap for an `n`-node graph:
+    /// `multiplier · ⌈log₂(n+1)⌉` bits per edge per round.
+    pub fn congest_bits(n: usize, multiplier: u64) -> u64 {
+        let log_n = u64::from(64 - (n as u64).leading_zeros()).max(1);
+        multiplier * log_n
+    }
+}
+
+/// Run `programs` (one per node of `graph`) to completion.
+///
+/// Returns the final programs and the run report.
+///
+/// # Errors
+///
+/// [`SimError::NotANeighbor`] if a program messages a non-neighbor, or
+/// [`SimError::BandwidthExceeded`] in strict mode.
+///
+/// # Panics
+///
+/// Panics if `programs.len() != graph.n()`.
+pub fn run<P: Program>(
+    graph: &Graph,
+    mut programs: Vec<P>,
+    config: SimConfig,
+) -> Result<(Vec<P>, RunReport), SimError> {
+    assert_eq!(programs.len(), graph.n(), "need exactly one program per node");
+    let n = graph.n();
+    let mut rngs: Vec<StdRng> =
+        (0..n).map(|v| StdRng::seed_from_u64(mix2(config.seed, v as u64))).collect();
+    let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+    let mut outboxes: Vec<Vec<(NodeId, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+    let mut report = RunReport { completed: true, ..Default::default() };
+
+    let mut round = 0u64;
+    loop {
+        if programs.iter().all(|p| p.is_done()) {
+            break;
+        }
+        if round >= config.max_rounds {
+            report.completed = false;
+            break;
+        }
+
+        // Step phase: every node reads its inbox and fills its outbox.
+        step_all(graph, &mut programs, &mut rngs, &inboxes, &mut outboxes, round, config.threads);
+
+        // Routing phase: account bandwidth and deliver.
+        for inbox in &mut inboxes {
+            inbox.clear();
+        }
+        let mut round_max_edge_bits = 0u64;
+        for src in 0..n {
+            let out = &mut outboxes[src];
+            if out.is_empty() {
+                continue;
+            }
+            // Group by destination to compute per-directed-edge load.
+            out.sort_by_key(|&(dst, _)| dst);
+            let mut i = 0;
+            while i < out.len() {
+                let dst = out[i].0;
+                if graph.neighbors(src as NodeId).binary_search(&dst).is_err() {
+                    return Err(SimError::NotANeighbor { from: src as NodeId, to: dst, round });
+                }
+                let mut edge_bits = 0u64;
+                let mut j = i;
+                while j < out.len() && out[j].0 == dst {
+                    edge_bits += out[j].1.bit_cost();
+                    j += 1;
+                }
+                if let Bandwidth::Strict(limit) = config.bandwidth {
+                    if edge_bits > limit {
+                        return Err(SimError::BandwidthExceeded {
+                            from: src as NodeId,
+                            to: dst,
+                            bits: edge_bits,
+                            limit,
+                            round,
+                        });
+                    }
+                }
+                round_max_edge_bits = round_max_edge_bits.max(edge_bits);
+                report.total_bits += edge_bits;
+                report.messages += (j - i) as u64;
+                i = j;
+            }
+            for (dst, msg) in out.drain(..) {
+                inboxes[dst as usize].push((src as NodeId, msg));
+            }
+        }
+        report.max_edge_bits_per_round.push(round_max_edge_bits);
+        round += 1;
+    }
+    report.rounds = round;
+    Ok((programs, report))
+}
+
+/// Execute the step phase, optionally sharded over threads. Each node only
+/// touches its own program, RNG and outbox, so sharding cannot change
+/// results.
+fn step_all<P: Program>(
+    graph: &Graph,
+    programs: &mut [P],
+    rngs: &mut [StdRng],
+    inboxes: &[Vec<(NodeId, P::Msg)>],
+    outboxes: &mut [Vec<(NodeId, P::Msg)>],
+    round: u64,
+    threads: usize,
+) {
+    let n = programs.len();
+    if threads <= 1 || n < 256 {
+        for v in 0..n {
+            step_one(graph, &mut programs[v], &mut rngs[v], &inboxes[v], &mut outboxes[v], v, round);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        let mut prog_chunks = programs.chunks_mut(chunk);
+        let mut rng_chunks = rngs.chunks_mut(chunk);
+        let mut out_chunks = outboxes.chunks_mut(chunk);
+        let mut base = 0usize;
+        for _ in 0..threads {
+            let (Some(ps), Some(rs), Some(os)) =
+                (prog_chunks.next(), rng_chunks.next(), out_chunks.next())
+            else {
+                break;
+            };
+            let start = base;
+            base += ps.len();
+            let inboxes = &inboxes;
+            scope.spawn(move |_| {
+                for (i, ((p, r), o)) in ps.iter_mut().zip(rs.iter_mut()).zip(os.iter_mut()).enumerate()
+                {
+                    let v = start + i;
+                    step_one(graph, p, r, &inboxes[v], o, v, round);
+                }
+            });
+        }
+    })
+    .expect("engine worker thread panicked");
+}
+
+fn step_one<P: Program>(
+    graph: &Graph,
+    program: &mut P,
+    rng: &mut StdRng,
+    inbox: &[(NodeId, P::Msg)],
+    outbox: &mut Vec<(NodeId, P::Msg)>,
+    v: usize,
+    round: u64,
+) {
+    let mut ctx = Ctx {
+        node: v as NodeId,
+        round,
+        neighbors: graph.neighbors(v as NodeId),
+        inbox,
+        rng,
+        outbox,
+    };
+    program.on_round(&mut ctx);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::bits_for_range;
+    use graphs::gen;
+
+    /// Flood the minimum id seen so far; finishes when stable for 2 rounds.
+    #[derive(Clone)]
+    struct MinFlood {
+        min: NodeId,
+        stable: u32,
+        done: bool,
+    }
+
+    #[derive(Clone)]
+    struct IdMsg(NodeId);
+
+    impl Message for IdMsg {
+        fn bit_cost(&self) -> u64 {
+            bits_for_range(1 << 20)
+        }
+    }
+
+    impl Program for MinFlood {
+        type Msg = IdMsg;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, IdMsg>) {
+            if self.done {
+                return;
+            }
+            let before = self.min;
+            if ctx.round() == 0 {
+                self.min = ctx.id();
+            }
+            for &(_, IdMsg(m)) in ctx.inbox() {
+                self.min = self.min.min(m);
+            }
+            if ctx.round() > 0 && self.min == before {
+                self.stable += 1;
+            } else {
+                self.stable = 0;
+            }
+            // Diameter-bounded stability implies convergence on a path.
+            if self.stable >= 64 {
+                self.done = true;
+            } else {
+                ctx.broadcast(IdMsg(self.min));
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.done
+        }
+    }
+
+    fn min_flood_programs(n: usize) -> Vec<MinFlood> {
+        (0..n).map(|_| MinFlood { min: NodeId::MAX, stable: 0, done: false }).collect()
+    }
+
+    #[test]
+    fn min_flood_converges_on_cycle() {
+        let g = gen::cycle(32);
+        let (progs, report) =
+            run(&g, min_flood_programs(32), SimConfig::seeded(1)).expect("run failed");
+        assert!(report.completed);
+        assert!(progs.iter().all(|p| p.min == 0));
+        assert!(report.messages > 0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = gen::gnp(400, 0.02, 9);
+        let seq_cfg = SimConfig { threads: 1, ..SimConfig::seeded(5) };
+        let par_cfg = SimConfig { threads: 4, ..SimConfig::seeded(5) };
+        let (ps, rs) = run(&g, min_flood_programs(400), seq_cfg).unwrap();
+        let (pp, rp) = run(&g, min_flood_programs(400), par_cfg).unwrap();
+        assert_eq!(rs, rp);
+        assert!(ps.iter().zip(&pp).all(|(a, b)| a.min == b.min));
+    }
+
+    #[test]
+    fn strict_bandwidth_catches_overflow() {
+        let g = gen::path(2);
+        let cfg = SimConfig {
+            bandwidth: Bandwidth::Strict(10),
+            ..SimConfig::seeded(0)
+        };
+        let err = match run(&g, min_flood_programs(2), cfg) {
+            Err(e) => e,
+            Ok(_) => panic!("expected bandwidth error"),
+        };
+        assert!(matches!(err, SimError::BandwidthExceeded { limit: 10, .. }));
+    }
+
+    #[test]
+    fn round_cap_reports_incomplete() {
+        let g = gen::cycle(8);
+        let cfg = SimConfig { max_rounds: 3, ..SimConfig::seeded(0) };
+        let (_, report) = run(&g, min_flood_programs(8), cfg).unwrap();
+        assert!(!report.completed);
+        assert_eq!(report.rounds, 3);
+    }
+
+    /// A program that illegally messages node 0 from everywhere.
+    #[derive(Clone)]
+    struct BadSender {
+        done: bool,
+    }
+    impl Program for BadSender {
+        type Msg = IdMsg;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, IdMsg>) {
+            if ctx.id() == 3 {
+                ctx.send(0, IdMsg(0)); // 3 is not adjacent to 0 on a path
+            }
+            self.done = true;
+        }
+        fn is_done(&self) -> bool {
+            self.done
+        }
+    }
+
+    #[test]
+    fn non_neighbor_send_is_rejected() {
+        let g = gen::path(4);
+        let programs = (0..4).map(|_| BadSender { done: false }).collect();
+        let err = match run(&g, programs, SimConfig::seeded(0)) {
+            Err(e) => e,
+            Ok(_) => panic!("expected neighbor error"),
+        };
+        assert_eq!(err, SimError::NotANeighbor { from: 3, to: 0, round: 0 });
+    }
+
+    #[test]
+    fn congest_bits_scales_with_log_n() {
+        assert_eq!(SimConfig::congest_bits(1023, 1), 10);
+        assert_eq!(SimConfig::congest_bits(1024, 2), 22);
+    }
+
+    #[test]
+    fn empty_graph_trivially_completes() {
+        let g = gen::path(0);
+        let (_, report) = run::<MinFlood>(&g, Vec::new(), SimConfig::seeded(0)).unwrap();
+        assert!(report.completed);
+        assert_eq!(report.rounds, 0);
+    }
+
+    #[test]
+    fn same_seed_same_transcript() {
+        let g = gen::gnp(100, 0.05, 4);
+        let (_, r1) = run(&g, min_flood_programs(100), SimConfig::seeded(11)).unwrap();
+        let (_, r2) = run(&g, min_flood_programs(100), SimConfig::seeded(11)).unwrap();
+        assert_eq!(r1, r2);
+    }
+}

@@ -1,0 +1,61 @@
+//! Simulation errors.
+
+use graphs::NodeId;
+
+/// Errors surfaced by the simulation engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// A node attempted to message a non-neighbor — illegal in CONGEST.
+    NotANeighbor {
+        /// Sender.
+        from: NodeId,
+        /// Attempted recipient.
+        to: NodeId,
+        /// Round in which the attempt happened.
+        round: u64,
+    },
+    /// In strict mode, a directed edge carried more bits in one round than
+    /// the bandwidth cap allows.
+    BandwidthExceeded {
+        /// Sender side of the directed edge.
+        from: NodeId,
+        /// Receiver side of the directed edge.
+        to: NodeId,
+        /// Bits the edge carried this round.
+        bits: u64,
+        /// The configured cap.
+        limit: u64,
+        /// Round in which the overflow happened.
+        round: u64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::NotANeighbor { from, to, round } => {
+                write!(f, "round {round}: node {from} sent to non-neighbor {to}")
+            }
+            SimError::BandwidthExceeded { from, to, bits, limit, round } => write!(
+                f,
+                "round {round}: edge {from}->{to} carried {bits} bits, limit {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::BandwidthExceeded { from: 1, to: 2, bits: 99, limit: 32, round: 7 };
+        let s = e.to_string();
+        assert!(s.contains("99") && s.contains("32") && s.contains("round 7"));
+        let e2 = SimError::NotANeighbor { from: 3, to: 4, round: 1 };
+        assert!(e2.to_string().contains("non-neighbor"));
+    }
+}

@@ -1,0 +1,67 @@
+//! Round-synchronous CONGEST model simulator.
+//!
+//! The CONGEST model: `n` nodes on a graph compute in synchronous rounds;
+//! per round, each node may send one message of `O(log n)` bits across each
+//! incident edge. This crate provides:
+//!
+//! * [`Program`] / [`Ctx`] — the node-program abstraction;
+//! * [`run`] — the engine: deterministic per-node randomness, optional
+//!   multi-threaded stepping, per-directed-edge per-round bit accounting;
+//! * [`Bandwidth`] — strict enforcement (prove a protocol CONGEST-legal)
+//!   or tracking (expose the congestion cost of LOCAL-style protocols via
+//!   [`RunReport::normalized_rounds`]);
+//! * [`RunReport`] / [`PassLog`] — metrics, composable across the passes
+//!   of multi-phase pipelines;
+//! * [`BitTally`] — two-party transcript accounting for the edge-local
+//!   procedures of §3.
+//!
+//! # Example
+//!
+//! ```
+//! use congest::{run, Ctx, Program, SimConfig};
+//!
+//! /// Every node announces its id once; everyone finishes after hearing
+//! /// all neighbors.
+//! struct Hello { heard: usize, done: bool }
+//!
+//! #[derive(Clone)]
+//! struct Id(u32);
+//! impl congest::Message for Id {
+//!     fn bit_cost(&self) -> u64 { 16 }
+//! }
+//!
+//! impl Program for Hello {
+//!     type Msg = Id;
+//!     fn on_round(&mut self, ctx: &mut Ctx<'_, Id>) {
+//!         if ctx.round() == 0 {
+//!             ctx.broadcast(Id(ctx.id()));
+//!         } else {
+//!             self.heard = ctx.inbox().len();
+//!             self.done = true;
+//!         }
+//!     }
+//!     fn is_done(&self) -> bool { self.done }
+//! }
+//!
+//! let g = graphs::gen::cycle(8);
+//! let programs = (0..8).map(|_| Hello { heard: 0, done: false }).collect();
+//! let (programs, report) = run(&g, programs, SimConfig::seeded(7)).unwrap();
+//! assert!(report.completed);
+//! assert!(programs.iter().all(|p| p.heard == 2));
+//! ```
+
+#![warn(missing_docs)]
+
+mod engine;
+mod error;
+pub mod message;
+mod metrics;
+mod program;
+mod twoparty;
+
+pub use engine::{run, Bandwidth, SimConfig};
+pub use error::SimError;
+pub use message::Message;
+pub use metrics::{PassLog, RunReport};
+pub use program::{Ctx, Program};
+pub use twoparty::BitTally;

@@ -1,0 +1,57 @@
+//! Message cost accounting.
+//!
+//! In the CONGEST model a message crossing an edge in one round may carry
+//! `O(log n)` bits. Every protocol message type implements [`Message`] and
+//! reports its size honestly: a raw color costs the declared color-space
+//! width, a hash-family index costs `⌈log₂ F⌉`, a window bitmap costs σ,
+//! and so on. The engine sums these per directed edge per round.
+
+/// A CONGEST message: cloneable payload with a declared bit size.
+///
+/// `Send + Sync` lets the engine share delivered inboxes across worker
+/// threads; message types are plain data, so both come for free.
+pub trait Message: Clone + Send + Sync + 'static {
+    /// Number of bits this message occupies on the wire.
+    fn bit_cost(&self) -> u64;
+}
+
+/// The empty message (pure synchronization pulses).
+impl Message for () {
+    fn bit_cost(&self) -> u64 {
+        0
+    }
+}
+
+/// Helper: cost in bits of an integer known to lie in `[0, bound)`.
+///
+/// # Example
+///
+/// ```
+/// use congest::message::bits_for_range;
+/// assert_eq!(bits_for_range(1), 0);
+/// assert_eq!(bits_for_range(2), 1);
+/// assert_eq!(bits_for_range(1000), 10);
+/// ```
+pub fn bits_for_range(bound: u64) -> u64 {
+    u64::from(64 - bound.saturating_sub(1).leading_zeros())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_message_is_free() {
+        assert_eq!(().bit_cost(), 0);
+    }
+
+    #[test]
+    fn range_bits() {
+        assert_eq!(bits_for_range(0), 0);
+        assert_eq!(bits_for_range(1), 0);
+        assert_eq!(bits_for_range(3), 2);
+        assert_eq!(bits_for_range(4), 2);
+        assert_eq!(bits_for_range(5), 3);
+        assert_eq!(bits_for_range(u64::MAX), 64);
+    }
+}

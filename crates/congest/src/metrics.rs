@@ -1,0 +1,152 @@
+//! Run statistics: rounds, messages, bits, and bandwidth-normalized rounds.
+
+/// Statistics of one engine run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunReport {
+    /// Rounds executed (a round in which nobody sends still counts if a
+    /// node was not done).
+    pub rounds: u64,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Total bits carried over all edges and rounds.
+    pub total_bits: u64,
+    /// For each round, the maximum bits carried by any directed edge.
+    pub max_edge_bits_per_round: Vec<u64>,
+    /// Whether every node reported done before the round cap.
+    pub completed: bool,
+}
+
+impl RunReport {
+    /// Largest per-edge per-round load seen anywhere in the run.
+    pub fn max_edge_bits(&self) -> u64 {
+        self.max_edge_bits_per_round.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Bandwidth-normalized round count `Σ_r ⌈max_edge_bits(r)/bandwidth⌉`
+    /// (counting at least 1 per executed round): the number of rounds the
+    /// run would take if every round's traffic had to be serialized into
+    /// `bandwidth`-bit messages. This is the figure of merit that exposes
+    /// LOCAL-style protocols' congestion cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth` is zero.
+    pub fn normalized_rounds(&self, bandwidth: u64) -> u64 {
+        assert!(bandwidth > 0, "bandwidth must be positive");
+        self.max_edge_bits_per_round.iter().map(|&b| b.div_ceil(bandwidth).max(1)).sum()
+    }
+
+    /// Fold another report into this one (sequential composition of
+    /// protocol passes).
+    pub fn absorb(&mut self, other: &RunReport) {
+        self.rounds += other.rounds;
+        self.messages += other.messages;
+        self.total_bits += other.total_bits;
+        self.max_edge_bits_per_round.extend_from_slice(&other.max_edge_bits_per_round);
+        self.completed &= other.completed;
+    }
+}
+
+/// Accumulates reports across the named passes of a multi-pass pipeline
+/// (e.g. the D1LC pipeline runs ACD, slack generation, SlackColor, … as
+/// separate engine passes whose rounds add up).
+#[derive(Clone, Debug, Default)]
+pub struct PassLog {
+    passes: Vec<(String, RunReport)>,
+}
+
+impl PassLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a pass.
+    pub fn record(&mut self, name: impl Into<String>, report: RunReport) {
+        self.passes.push((name.into(), report));
+    }
+
+    /// All recorded passes in order.
+    pub fn passes(&self) -> &[(String, RunReport)] {
+        &self.passes
+    }
+
+    /// Total rounds across passes.
+    pub fn total_rounds(&self) -> u64 {
+        self.passes.iter().map(|(_, r)| r.rounds).sum()
+    }
+
+    /// Total messages across passes.
+    pub fn total_messages(&self) -> u64 {
+        self.passes.iter().map(|(_, r)| r.messages).sum()
+    }
+
+    /// Total bits across passes.
+    pub fn total_bits(&self) -> u64 {
+        self.passes.iter().map(|(_, r)| r.total_bits).sum()
+    }
+
+    /// Largest per-edge per-round load across passes.
+    pub fn max_edge_bits(&self) -> u64 {
+        self.passes.iter().map(|(_, r)| r.max_edge_bits()).max().unwrap_or(0)
+    }
+
+    /// Total bandwidth-normalized rounds across passes.
+    pub fn normalized_rounds(&self, bandwidth: u64) -> u64 {
+        self.passes.iter().map(|(_, r)| r.normalized_rounds(bandwidth)).sum()
+    }
+
+    /// Merge another log's passes after this one's.
+    pub fn extend(&mut self, other: PassLog) {
+        self.passes.extend(other.passes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(rounds: u64, loads: &[u64]) -> RunReport {
+        RunReport {
+            rounds,
+            messages: 10,
+            total_bits: loads.iter().sum(),
+            max_edge_bits_per_round: loads.to_vec(),
+            completed: true,
+        }
+    }
+
+    #[test]
+    fn normalized_rounds_ceil() {
+        let r = report(3, &[10, 65, 0]);
+        // With B = 32: ceil(10/32)=1, ceil(65/32)=3, max(0,1)=1 → 5.
+        assert_eq!(r.normalized_rounds(32), 5);
+    }
+
+    #[test]
+    fn absorb_concatenates() {
+        let mut a = report(2, &[5, 6]);
+        let b = report(3, &[7, 8, 9]);
+        a.absorb(&b);
+        assert_eq!(a.rounds, 5);
+        assert_eq!(a.max_edge_bits_per_round, vec![5, 6, 7, 8, 9]);
+        assert_eq!(a.max_edge_bits(), 9);
+    }
+
+    #[test]
+    fn pass_log_totals() {
+        let mut log = PassLog::new();
+        log.record("acd", report(4, &[10, 10, 10, 10]));
+        log.record("slack", report(1, &[100]));
+        assert_eq!(log.total_rounds(), 5);
+        assert_eq!(log.max_edge_bits(), 100);
+        assert_eq!(log.normalized_rounds(32), 4 + 4);
+        assert_eq!(log.passes().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn normalized_rejects_zero_bandwidth() {
+        let _ = report(1, &[1]).normalized_rounds(0);
+    }
+}

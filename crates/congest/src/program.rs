@@ -1,0 +1,122 @@
+//! Node programs and their per-round execution context.
+
+use crate::message::Message;
+use graphs::NodeId;
+use rand::rngs::StdRng;
+
+/// A node's distributed program: a state machine advanced once per round.
+///
+/// The engine calls [`Program::on_round`] every round, starting at round 0
+/// with an empty inbox. Messages sent during round `r` are delivered in the
+/// inbox of round `r + 1`. The run ends when every node reports
+/// [`Program::is_done`] (or the round cap is hit).
+pub trait Program: Send {
+    /// Message type exchanged by this protocol.
+    type Msg: Message;
+
+    /// Advance one round: read `ctx.inbox()`, mutate local state, send
+    /// messages via `ctx.send` / `ctx.broadcast`.
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Whether this node has terminated. Done nodes still receive rounds
+    /// (their `on_round` should be a no-op) until the whole run ends.
+    fn is_done(&self) -> bool;
+}
+
+/// Per-round execution context handed to [`Program::on_round`].
+pub struct Ctx<'a, M> {
+    pub(crate) node: NodeId,
+    pub(crate) round: u64,
+    pub(crate) neighbors: &'a [NodeId],
+    pub(crate) inbox: &'a [(NodeId, M)],
+    pub(crate) rng: &'a mut StdRng,
+    pub(crate) outbox: &'a mut Vec<(NodeId, M)>,
+}
+
+impl<'a, M: Message> Ctx<'a, M> {
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.node
+    }
+
+    /// The current round number (0-based).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Sorted neighbor list.
+    pub fn neighbors(&self) -> &'a [NodeId] {
+        self.neighbors
+    }
+
+    /// Degree of this node.
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Position of `u` in the sorted neighbor list, if adjacent.
+    pub fn neighbor_index(&self, u: NodeId) -> Option<usize> {
+        self.neighbors.binary_search(&u).ok()
+    }
+
+    /// Messages delivered this round, as `(sender, message)` pairs sorted
+    /// by sender id.
+    pub fn inbox(&self) -> &'a [(NodeId, M)] {
+        self.inbox
+    }
+
+    /// The node's private random generator (deterministic per
+    /// `(engine seed, node id)`).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Send `msg` to neighbor `to` (delivered next round).
+    ///
+    /// Sending to a non-neighbor is reported by the engine as
+    /// [`crate::SimError::NotANeighbor`].
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.outbox.push((to, msg));
+    }
+
+    /// Send a copy of `msg` to every neighbor.
+    pub fn broadcast(&mut self, msg: M) {
+        for i in 0..self.neighbors.len() {
+            let to = self.neighbors[i];
+            self.outbox.push((to, msg.clone()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ctx_accessors_and_send() {
+        let neighbors = [1 as NodeId, 3, 7];
+        let inbox: Vec<(NodeId, ())> = vec![(1, ()), (3, ())];
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut outbox = Vec::new();
+        let mut ctx = Ctx {
+            node: 5,
+            round: 2,
+            neighbors: &neighbors,
+            inbox: &inbox,
+            rng: &mut rng,
+            outbox: &mut outbox,
+        };
+        assert_eq!(ctx.id(), 5);
+        assert_eq!(ctx.round(), 2);
+        assert_eq!(ctx.degree(), 3);
+        assert_eq!(ctx.neighbor_index(3), Some(1));
+        assert_eq!(ctx.neighbor_index(2), None);
+        assert_eq!(ctx.inbox().len(), 2);
+        ctx.send(1, ());
+        ctx.broadcast(());
+        assert_eq!(outbox.len(), 4);
+        assert_eq!(outbox[1].0, 1);
+        assert_eq!(outbox[3].0, 7);
+    }
+}

@@ -1,0 +1,95 @@
+//! Two-party transcript accounting.
+//!
+//! `EstimateSimilarity` and `JointSample` (Algs. 1–2) are two-party
+//! procedures run on an edge. The estimation crate provides both a pure
+//! in-memory form (for statistical experiments over many set pairs, with
+//! no engine overhead) and a CONGEST-program form. The in-memory form
+//! accounts its communication through [`BitTally`], so Lemma 2's message
+//! cost claim stays measurable.
+
+/// Tallies bits and message flights exchanged between two parties.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BitTally {
+    bits_a_to_b: u64,
+    bits_b_to_a: u64,
+    flights: u64,
+}
+
+impl BitTally {
+    /// A fresh, empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a message of `bits` from party A to party B.
+    pub fn a_to_b(&mut self, bits: u64) {
+        self.bits_a_to_b += bits;
+        self.flights += 1;
+    }
+
+    /// Record a message of `bits` from party B to party A.
+    pub fn b_to_a(&mut self, bits: u64) {
+        self.bits_b_to_a += bits;
+        self.flights += 1;
+    }
+
+    /// Record a symmetric exchange (both directions, `bits` each).
+    pub fn exchange(&mut self, bits: u64) {
+        self.a_to_b(bits);
+        self.b_to_a(bits);
+    }
+
+    /// Total bits in both directions.
+    pub fn total_bits(&self) -> u64 {
+        self.bits_a_to_b + self.bits_b_to_a
+    }
+
+    /// The larger of the two directional totals — what a CONGEST edge
+    /// would have to carry.
+    pub fn max_direction_bits(&self) -> u64 {
+        self.bits_a_to_b.max(self.bits_b_to_a)
+    }
+
+    /// Number of message flights recorded.
+    pub fn flights(&self) -> u64 {
+        self.flights
+    }
+
+    /// CONGEST rounds needed to realize this transcript with the given
+    /// per-round bandwidth (each direction serialized independently; the
+    /// two directions ride in parallel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth == 0`.
+    pub fn rounds(&self, bandwidth: u64) -> u64 {
+        assert!(bandwidth > 0, "bandwidth must be positive");
+        self.max_direction_bits().div_ceil(bandwidth).max(u64::from(self.flights > 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_accumulates() {
+        let mut t = BitTally::new();
+        t.a_to_b(10);
+        t.b_to_a(25);
+        t.exchange(5);
+        assert_eq!(t.total_bits(), 45);
+        assert_eq!(t.max_direction_bits(), 30);
+        assert_eq!(t.flights(), 4);
+    }
+
+    #[test]
+    fn rounds_ceiling() {
+        let mut t = BitTally::new();
+        t.exchange(65);
+        assert_eq!(t.rounds(32), 3);
+        assert_eq!(t.rounds(65), 1);
+        let empty = BitTally::new();
+        assert_eq!(empty.rounds(32), 0);
+    }
+}

@@ -1,0 +1,527 @@
+//! Uniform almost-clique decomposition: §4.2's `ComputeACD` with the
+//! explicit `ε-Buddy` of Algorithm 6 (§5.2) run distributedly on every
+//! edge, replacing representative hash functions with pairwise hashing,
+//! averaging samplers and the identifier error-correcting code.
+//!
+//! Per-edge protocol (5 rounds, all edges in parallel):
+//!
+//! 0. active nodes broadcast their active degree;
+//! 1. on each balanced edge the lower-id endpoint picks a low-collision
+//!    pairwise hash over `λ = 6·max(d_u,d_v)/ε` plus the multiset seed and
+//!    sends `(λ is implicit, hash index, seed)` — Alg. 6 lines 2–3;
+//! 2. both endpoints exchange the σ-bit unique-preimage mark vectors
+//!    (lines 4–8);
+//! 3. endpoints that pass the common-marks test exchange the sampled bits
+//!    of their ECC-encoded common preimages (lines 10–15; the position
+//!    multiset is derived from the shared edge seed, costing no message);
+//! 4. verdicts are computed symmetrically (both sides see the same data),
+//!    classification runs locally, and the shared ACD tail (clique
+//!    formation + Def. 6 verification) finishes the decomposition.
+//!
+//! The line-9 threshold is the relative form (see `buddy_uniform` module
+//! docs; deviation recorded in DESIGN.md).
+
+use crate::acd::{classify, finish_acd};
+use crate::config::ParamProfile;
+use crate::driver::Driver;
+use crate::passes::StatePass;
+use crate::state::NodeState;
+use crate::wire::{tags, Wire};
+use congest::message::bits_for_range;
+use congest::{Ctx, Program, SimError};
+use graphs::NodeId;
+use prand::mix::{mix2, mix3};
+use prand::{IdCode, MultisetSampler, PairwiseFamily, PairwiseHash};
+
+/// Per-edge scratch for the distributed uniform buddy test.
+#[derive(Clone, Debug, Default)]
+struct EdgeScratch {
+    hash_index: u64,
+    set_seed: u64,
+    /// This side's unique-preimage picks per sampled position.
+    my_picks: Vec<Option<u64>>,
+    /// The other side's σ-bit mark vector.
+    their_marks: Vec<u64>,
+    /// My sampled ECC bits (sent in round 3).
+    my_bits: Vec<u64>,
+    /// Number of sampled positions in round 3 (σ′).
+    sigma2: u64,
+    verdict: bool,
+}
+
+/// The distributed uniform ε-Buddy pass (5 rounds). Produces a per-edge
+/// buddy mask identical on both endpoints.
+#[derive(Debug)]
+pub struct UniformBuddyPass {
+    st: NodeState,
+    profile: ParamProfile,
+    seed: u64,
+    degree_bits: u32,
+    neighbor_adeg: Vec<u32>,
+    edges: Vec<Option<EdgeScratch>>,
+    /// Output: per-neighbor buddy verdicts.
+    buddy: Vec<bool>,
+    done: bool,
+}
+
+impl UniformBuddyPass {
+    /// Wrap a node state; all nodes share `profile` and `seed`.
+    pub fn new(st: NodeState, profile: ParamProfile, seed: u64, n: usize) -> Self {
+        let degree = st.neighbor_active.len();
+        UniformBuddyPass {
+            st,
+            profile,
+            seed,
+            degree_bits: bits_for_range(n as u64) as u32,
+            neighbor_adeg: vec![0; degree],
+            edges: vec![None; degree],
+            buddy: vec![false; degree],
+            done: false,
+        }
+    }
+
+    fn active_degree(&self) -> usize {
+        self.st.neighbor_active.iter().filter(|&&a| a).count()
+    }
+
+    fn active_set(&self, ctx: &Ctx<'_, Wire>) -> Vec<u64> {
+        ctx.neighbors()
+            .iter()
+            .enumerate()
+            .filter(|&(pos, _)| self.st.neighbor_active[pos])
+            .map(|(_, &w)| u64::from(w))
+            .collect()
+    }
+
+    fn edge_seed(&self, a: NodeId, b: NodeId) -> u64 {
+        mix3(self.seed, u64::from(a.min(b)), u64::from(a.max(b)))
+    }
+
+    fn balanced(&self, my_deg: usize, their_deg: usize) -> bool {
+        let (du, dv) = (my_deg as f64, their_deg as f64);
+        du > 0.0
+            && dv > 0.0
+            && du <= dv / (1.0 - self.profile.eps_acd)
+            && dv <= du / (1.0 - self.profile.eps_acd)
+    }
+
+    fn lambda(&self, my_deg: usize, their_deg: usize) -> u64 {
+        ((6.0 * my_deg.max(their_deg) as f64 / self.profile.eps_acd).ceil() as u64).max(4)
+    }
+
+    fn family(&self, lambda: u64) -> PairwiseFamily {
+        PairwiseFamily::new(mix2(self.seed, lambda), lambda, self.profile.family_bits)
+    }
+
+    fn sampler(&self, lambda: u64) -> MultisetSampler {
+        let sigma = self.profile.sim_sigma_cap.min(lambda).clamp(16, 512);
+        MultisetSampler::new(mix2(self.seed, 0x5e77), lambda, sigma as u32, 20)
+    }
+
+    /// Unique-preimage picks of `set` over the sampled positions.
+    fn picks(h: &PairwiseHash, sampler: &MultisetSampler, set_seed: u64, set: &[u64]) -> Vec<Option<u64>> {
+        sampler
+            .multiset(set_seed)
+            .map(|s| {
+                let mut found = None;
+                for &w in set {
+                    if h.hash(w) == s {
+                        if found.is_some() {
+                            return None;
+                        }
+                        found = Some(w);
+                    }
+                }
+                found
+            })
+            .collect()
+    }
+
+    fn marks_bitmap(picks: &[Option<u64>]) -> (Vec<u64>, u64) {
+        let bits = picks.len() as u64;
+        let mut words = vec![0u64; picks.len().div_ceil(64)];
+        for (i, p) in picks.iter().enumerate() {
+            if p.is_some() {
+                words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        (words, bits)
+    }
+
+    /// Concatenated ECC encoding of the common-position preimages, then
+    /// sampled at σ′ positions drawn from the shared edge seed.
+    fn sampled_ecc_bits(
+        &self,
+        picks: &[Option<u64>],
+        common: &[usize],
+        edge_seed: u64,
+    ) -> (Vec<u64>, u64) {
+        let code = IdCode::new();
+        let ell = (common.len() * code.bits()).max(1);
+        let sigma2 = self.profile.sim_sigma_cap.min(ell as u64).max(1);
+        let sampler = MultisetSampler::new(mix2(edge_seed, 0xecc), ell as u64, sigma2 as u32, 20);
+        // Build the concatenated codeword lazily per sampled position.
+        let mut words = vec![0u64; (sigma2 as usize).div_ceil(64)];
+        for (j, pos) in sampler.multiset(0).enumerate() {
+            let block = (pos as usize) / code.bits();
+            let bit = (pos as usize) % code.bits();
+            let w = common.get(block).and_then(|&i| picks[i]);
+            if let Some(id) = w {
+                let cw = code.encode(id);
+                if IdCode::bit(&cw, bit) {
+                    words[j / 64] |= 1 << (j % 64);
+                }
+            }
+        }
+        (words, sigma2)
+    }
+}
+
+impl Program for UniformBuddyPass {
+    type Msg = Wire;
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Wire>) {
+        if self.done {
+            return;
+        }
+        if !self.st.active {
+            self.done = ctx.round() >= 4;
+            return;
+        }
+        match ctx.round() {
+            0 => {
+                ctx.broadcast(Wire::Uint {
+                    tag: tags::DEGREE,
+                    value: self.active_degree() as u64,
+                    bits: self.degree_bits,
+                });
+            }
+            1 => {
+                for &(from, ref msg) in ctx.inbox() {
+                    if let Wire::Uint { tag: tags::DEGREE, value, .. } = msg {
+                        let pos = ctx.neighbor_index(from).expect("degree from non-neighbor");
+                        self.neighbor_adeg[pos] = *value as u32;
+                    }
+                }
+                // Lower-id endpoint chooses per balanced active edge.
+                let me = ctx.id();
+                let my_deg = self.active_degree();
+                let own = self.active_set(ctx);
+                for pos in 0..ctx.neighbors().len() {
+                    let nb = ctx.neighbors()[pos];
+                    let their = self.neighbor_adeg[pos] as usize;
+                    if !self.st.neighbor_active[pos]
+                        || me >= nb
+                        || !self.balanced(my_deg, their)
+                    {
+                        continue;
+                    }
+                    let lambda = self.lambda(my_deg, their);
+                    let family = self.family(lambda);
+                    // Alg. 6 line 2: a hash with few collisions in the
+                    // chooser's own neighborhood.
+                    let cap = ((self.profile.eps_acd * my_deg as f64 / 3.0).ceil() as usize).max(1);
+                    let mut best = (usize::MAX, 0u64);
+                    for _ in 0..16 {
+                        let idx = family.sample_index(ctx.rng());
+                        let c = family.member(idx).collision_count(&own);
+                        if c < best.0 {
+                            best = (c, idx);
+                        }
+                        if best.0 <= cap {
+                            break;
+                        }
+                    }
+                    let sampler = self.sampler(lambda);
+                    let set_seed = sampler.sample_seed(ctx.rng());
+                    self.edges[pos] = Some(EdgeScratch {
+                        hash_index: best.1,
+                        set_seed,
+                        ..Default::default()
+                    });
+                    ctx.send(
+                        nb,
+                        Wire::UintList {
+                            tag: tags::AGG_UP,
+                            values: vec![best.1, set_seed],
+                            bits_each: self.profile.family_bits.max(20),
+                        },
+                    );
+                }
+            }
+            2 => {
+                for &(from, ref msg) in ctx.inbox() {
+                    if let Wire::UintList { tag: tags::AGG_UP, values, .. } = msg {
+                        if let [hash_index, set_seed] = values[..] {
+                            let pos =
+                                ctx.neighbor_index(from).expect("setup from non-neighbor");
+                            self.edges[pos] = Some(EdgeScratch {
+                                hash_index,
+                                set_seed,
+                                ..Default::default()
+                            });
+                        }
+                    }
+                }
+                // Compute and exchange mark vectors on every set-up edge.
+                let my_deg = self.active_degree();
+                let own = self.active_set(ctx);
+                for pos in 0..ctx.neighbors().len() {
+                    let their = self.neighbor_adeg[pos] as usize;
+                    let Some(scratch) = self.edges[pos].as_mut() else { continue };
+                    let lambda = {
+                        let (du, dv) = (my_deg, their);
+                        ((6.0 * du.max(dv) as f64 / self.profile.eps_acd).ceil() as u64).max(4)
+                    };
+                    let h = PairwiseFamily::new(
+                        mix2(self.seed, lambda),
+                        lambda,
+                        self.profile.family_bits,
+                    )
+                    .member(scratch.hash_index);
+                    let sigma = self.profile.sim_sigma_cap.min(lambda).clamp(16, 512);
+                    let sampler =
+                        MultisetSampler::new(mix2(self.seed, 0x5e77), lambda, sigma as u32, 20);
+                    let picks = Self::picks(&h, &sampler, scratch.set_seed, &own);
+                    let (words, bits) = Self::marks_bitmap(&picks);
+                    scratch.my_picks = picks;
+                    ctx.send(ctx.neighbors()[pos], Wire::Bitmap { tag: tags::TRIED, words, bits });
+                }
+            }
+            3 => {
+                for &(from, ref msg) in ctx.inbox() {
+                    if let Wire::Bitmap { tag: tags::TRIED, words, .. } = msg {
+                        let pos = ctx.neighbor_index(from).expect("marks from non-neighbor");
+                        if let Some(scratch) = self.edges[pos].as_mut() {
+                            scratch.their_marks = words.clone();
+                        }
+                    }
+                }
+                // Line 9 (relative form) + prepare ECC samples for edges
+                // that pass.
+                let me = ctx.id();
+                let eps = self.profile.eps_acd;
+                for pos in 0..ctx.neighbors().len() {
+                    let nb = ctx.neighbors()[pos];
+                    let Some(scratch) = self.edges[pos].clone() else { continue };
+                    if scratch.their_marks.is_empty() {
+                        self.edges[pos] = None;
+                        continue;
+                    }
+                    let my_marks: Vec<usize> = scratch
+                        .my_picks
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, p)| p.is_some())
+                        .map(|(i, _)| i)
+                        .collect();
+                    let their_count = scratch
+                        .their_marks
+                        .iter()
+                        .map(|w| w.count_ones() as usize)
+                        .sum::<usize>();
+                    let common: Vec<usize> = my_marks
+                        .iter()
+                        .copied()
+                        .filter(|&i| {
+                            scratch.their_marks.get(i / 64).is_some_and(|w| w & (1 << (i % 64)) != 0)
+                        })
+                        .collect();
+                    if common.is_empty()
+                        || (common.len() as f64)
+                            <= (1.0 - 3.0 * eps) * my_marks.len().min(their_count) as f64
+                    {
+                        self.edges[pos] = None;
+                        continue;
+                    }
+                    let edge_seed = self.edge_seed(me, nb);
+                    let (bits_words, sigma2) =
+                        self.sampled_ecc_bits(&scratch.my_picks, &common, edge_seed);
+                    let scratch = self.edges[pos].as_mut().expect("still set");
+                    scratch.my_bits = bits_words.clone();
+                    scratch.sigma2 = sigma2;
+                    ctx.send(
+                        nb,
+                        Wire::Bitmap { tag: tags::ASSIGN, words: bits_words, bits: sigma2 },
+                    );
+                }
+            }
+            _ => {
+                for &(from, ref msg) in ctx.inbox() {
+                    if let Wire::Bitmap { tag: tags::ASSIGN, words, .. } = msg {
+                        let pos = ctx.neighbor_index(from).expect("bits from non-neighbor");
+                        if let Some(scratch) = self.edges[pos].as_mut() {
+                            let differing: u32 = scratch
+                                .my_bits
+                                .iter()
+                                .zip(words)
+                                .map(|(a, b)| (a ^ b).count_ones())
+                                .sum();
+                            scratch.verdict = f64::from(differing)
+                                < self.profile.eps_acd * scratch.sigma2 as f64;
+                        }
+                    }
+                }
+                for pos in 0..self.buddy.len() {
+                    self.buddy[pos] =
+                        self.edges[pos].as_ref().is_some_and(|s| s.verdict && !s.my_bits.is_empty());
+                }
+                classify(&mut self.st, &self.buddy, &self.neighbor_adeg, self.profile.eps_acd);
+                self.done = true;
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+impl StatePass for UniformBuddyPass {
+    fn into_state(self) -> NodeState {
+        self.st
+    }
+}
+
+/// The fully uniform `ComputeACD`: Alg. 6 buddy tests on every edge, then
+/// the shared clique-formation/verification tail.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn compute_acd_uniform(
+    driver: &mut Driver<'_>,
+    states: Vec<NodeState>,
+    profile: &ParamProfile,
+    seed: u64,
+) -> Result<Vec<NodeState>, SimError> {
+    let n = driver.graph.n();
+    let programs: Vec<UniformBuddyPass> =
+        states.into_iter().map(|st| UniformBuddyPass::new(st, *profile, seed, n)).collect();
+    let config = congest::SimConfig { seed: mix2(seed, 0xacd3), ..driver.config };
+    let (programs, report) = congest::run(driver.graph, programs, config)?;
+    driver.log.record("acd-uniform-buddy", report);
+    let mut states = Vec::with_capacity(programs.len());
+    let mut masks = Vec::with_capacity(programs.len());
+    for p in programs {
+        masks.push(p.buddy.clone());
+        states.push(p.into_state());
+    }
+    finish_acd(driver, states, masks, profile, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::palette::Palette;
+    use crate::state::AcdClass;
+    use crate::wire::ColorCodec;
+    use congest::SimConfig;
+    use graphs::{gen, Graph};
+
+    fn fresh_active(g: &Graph) -> Vec<NodeState> {
+        let profile = ParamProfile::laptop();
+        (0..g.n())
+            .map(|v| {
+                let d = g.degree(v as NodeId);
+                let list: Vec<u64> = (0..=(d as u64)).collect();
+                let mut st = NodeState::new(
+                    v as NodeId,
+                    Palette::new(list),
+                    ColorCodec::new(&profile, 1, g.n(), 16, d),
+                    d,
+                );
+                st.active = true;
+                st.neighbor_active = vec![true; d];
+                st
+            })
+            .collect()
+    }
+
+    #[test]
+    fn uniform_acd_recovers_disjoint_cliques() {
+        let g = gen::disjoint_cliques(3, 14);
+        let profile = ParamProfile::laptop();
+        let mut driver = Driver::new(&g, SimConfig::seeded(3));
+        let states = compute_acd_uniform(&mut driver, fresh_active(&g), &profile, 7).unwrap();
+        for st in &states {
+            assert_eq!(st.class, AcdClass::Dense, "node {} not dense", st.id);
+            assert_eq!(st.clique, Some((st.id / 14) * 14), "node {}", st.id);
+            assert_eq!(st.clique_size, 14, "node {}", st.id);
+        }
+    }
+
+    #[test]
+    fn uniform_acd_keeps_gnp_non_dense() {
+        let g = gen::gnp(100, 0.12, 5);
+        let profile = ParamProfile::laptop();
+        let mut driver = Driver::new(&g, SimConfig::seeded(4));
+        let states = compute_acd_uniform(&mut driver, fresh_active(&g), &profile, 9).unwrap();
+        let dense = states.iter().filter(|s| s.class == AcdClass::Dense).count();
+        assert!(dense <= g.n() / 20, "{dense}/{} spuriously dense", g.n());
+    }
+
+    #[test]
+    fn uniform_acd_on_planted_blend() {
+        let (g, truth) = gen::planted_acd(3, 18, 0.04, 50, 0.05, 11);
+        let profile = ParamProfile::laptop();
+        let mut driver = Driver::new(&g, SimConfig::seeded(8));
+        let states = compute_acd_uniform(&mut driver, fresh_active(&g), &profile, 13).unwrap();
+        let mut dense_right = 0;
+        let mut planted = 0;
+        let mut bg_dense = 0;
+        for (v, t) in truth.iter().enumerate() {
+            if t.is_some() {
+                planted += 1;
+                if states[v].class == AcdClass::Dense {
+                    dense_right += 1;
+                }
+            } else if states[v].class == AcdClass::Dense {
+                bg_dense += 1;
+            }
+        }
+        assert!(
+            dense_right * 10 >= planted * 7,
+            "{dense_right}/{planted} planted members dense"
+        );
+        assert!(bg_dense <= 3, "{bg_dense} background nodes spuriously dense");
+    }
+
+    #[test]
+    fn verdicts_are_symmetric() {
+        // Both endpoints of every edge must reach the same buddy verdict
+        // (they act on identical data).
+        let g = gen::clique_blend(Default::default(), 5);
+        let profile = ParamProfile::laptop();
+        let programs: Vec<UniformBuddyPass> = fresh_active(&g)
+            .into_iter()
+            .map(|st| UniformBuddyPass::new(st, profile, 21, g.n()))
+            .collect();
+        let (programs, _) = congest::run(&g, programs, SimConfig::seeded(2)).unwrap();
+        let masks: Vec<Vec<bool>> = programs.iter().map(|p| p.buddy.clone()).collect();
+        for (u, v) in g.edges() {
+            let pu = g.neighbors(u).binary_search(&v).unwrap();
+            let pv = g.neighbors(v).binary_search(&u).unwrap();
+            assert_eq!(
+                masks[u as usize][pu], masks[v as usize][pv],
+                "asymmetric verdict on ({u},{v})"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_acd_is_congest_legal() {
+        let g = gen::disjoint_cliques(2, 16);
+        let profile = ParamProfile::laptop();
+        let cap = congest::SimConfig::congest_bits(g.n(), 96);
+        let mut driver = Driver::new(
+            &g,
+            congest::SimConfig {
+                bandwidth: congest::Bandwidth::Strict(cap),
+                ..SimConfig::seeded(6)
+            },
+        );
+        compute_acd_uniform(&mut driver, fresh_active(&g), &profile, 3)
+            .expect("uniform ACD exceeded the bandwidth cap");
+    }
+}

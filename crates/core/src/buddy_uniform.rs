@@ -1,0 +1,304 @@
+//! Uniform `ε-Buddy` — Algorithm 6 (§5.2).
+//!
+//! Decides whether an edge `uv` is an ε-friend edge (Definition 2) using
+//! only explicit pseudorandom objects:
+//!
+//! 1. degree balance check (line 1);
+//! 2. `v` picks an almost-pairwise-independent hash over
+//!    `λ = 6·max(d_u,d_v)/ε` with few collisions inside its own
+//!    neighborhood and sends the index (line 2);
+//! 3. both parties sample a shared representative multiset `S ⊆ [λ]` of
+//!    size `σ = min(b, λ)` and exchange σ-bit vectors marking which
+//!    sampled hashes have a *unique* preimage in their neighborhood
+//!    (lines 3–8);
+//! 4. few common marks ⇒ not friends (line 9) — evaluated *relative to
+//!    each side's own mark count* rather than against the absolute
+//!    `(1−3ε)σ` of the paper's sketch, whose constant presumes Θ(1) mark
+//!    density while `λ = 6·max(d_u,d_v)/ε` makes the density `ε/6`
+//!    (deviation recorded in DESIGN.md);
+//! 5. otherwise the common preimages are encoded with the identifier
+//!    error-correcting code ([`prand::IdCode`]) and a sampled-position
+//!    Hamming test distinguishes "genuinely shared neighbors" from "the
+//!    hash collided a lot" (lines 10–16).
+
+use congest::BitTally;
+use prand::mix::{mix2, mix3};
+use prand::{IdCode, MultisetSampler, PairwiseFamily};
+use rand::Rng;
+
+/// Tunable knobs of the uniform buddy test.
+#[derive(Clone, Copy, Debug)]
+pub struct UniformBuddyParams {
+    /// Friendship accuracy ε of Definition 2.
+    pub eps: f64,
+    /// Bandwidth parameter `b` (window/multiset sizes are `min(b, ·)`).
+    pub b: u64,
+    /// Family index width in bits.
+    pub family_bits: u32,
+    /// How many indices the chooser inspects for a low-collision hash.
+    pub hash_tries: u32,
+    /// Override the hash range λ (tests use small ranges to force the
+    /// collision regime that exercises the error-correcting-code branch).
+    pub lambda_override: Option<u64>,
+}
+
+impl Default for UniformBuddyParams {
+    fn default() -> Self {
+        UniformBuddyParams {
+            eps: 0.25,
+            b: 256,
+            family_bits: 16,
+            hash_tries: 24,
+            lambda_override: None,
+        }
+    }
+}
+
+/// Outcome of a uniform ε-Buddy execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BuddyOutcome {
+    /// The verdict: does the edge look like an ε-friend edge?
+    pub friends: bool,
+    /// Which line of Alg. 6 decided (1, 9 or 16) — for tests and the E12
+    /// experiment.
+    pub decided_at: u8,
+    /// Communication transcript.
+    pub tally: BitTally,
+}
+
+/// Run uniform `ε-Buddy` for an edge whose endpoints hold the sorted
+/// neighbor-id sets `nu` and `nv`.
+///
+/// `seed` selects the shared families (public advice); `rng` supplies the
+/// joint randomness (multiset seeds) and `v`'s hash choice.
+pub fn uniform_buddy<R: Rng + ?Sized>(
+    params: &UniformBuddyParams,
+    nu: &[u64],
+    nv: &[u64],
+    seed: u64,
+    rng: &mut R,
+) -> BuddyOutcome {
+    let mut tally = BitTally::new();
+    let (du, dv) = (nu.len() as f64, nv.len() as f64);
+    // Line 1: degree balance.
+    if du == 0.0 || dv == 0.0 || du > dv / (1.0 - params.eps) || dv > du / (1.0 - params.eps) {
+        return BuddyOutcome { friends: false, decided_at: 1, tally };
+    }
+    let lambda = params
+        .lambda_override
+        .unwrap_or(((6.0 * du.max(dv) / params.eps).ceil() as u64).max(4));
+    // Line 2: v chooses a low-collision hash and sends (λ, i).
+    let family = PairwiseFamily::new(mix2(seed, lambda), lambda, params.family_bits);
+    let cap = ((params.eps * dv / 3.0).ceil() as usize).max(1);
+    let mut chosen = family.member(0);
+    let mut chosen_collisions = usize::MAX;
+    for _ in 0..params.hash_tries {
+        let idx = family.sample_index(rng);
+        let h = family.member(idx);
+        let c = h.collision_count(nv);
+        if c < chosen_collisions {
+            chosen = h;
+            chosen_collisions = c;
+        }
+        if chosen_collisions <= cap {
+            break;
+        }
+    }
+    let h = chosen;
+    tally.b_to_a(u64::from(family.index_bits()) + 32);
+
+    // Line 3: joint representative multiset S of size σ.
+    let sigma = params.b.min(lambda);
+    let sampler = MultisetSampler::new(mix2(seed, 0x5e77), lambda, sigma as u32, 20);
+    let set_seed = sampler.sample_seed(rng);
+    tally.a_to_b(u64::from(sampler.seed_bits()));
+    let samples: Vec<u64> = sampler.multiset(set_seed).collect();
+
+    // Lines 4–7: unique-preimage marks.
+    let unique_preimage = |nbrs: &[u64], target: u64| -> Option<u64> {
+        let mut found = None;
+        for &w in nbrs {
+            if h.hash(w) == target {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(w);
+            }
+        }
+        found
+    };
+    let pu: Vec<Option<u64>> = samples.iter().map(|&s| unique_preimage(nu, s)).collect();
+    let pv: Vec<Option<u64>> = samples.iter().map(|&s| unique_preimage(nv, s)).collect();
+    // Line 8: exchange the σ-bit vectors.
+    tally.exchange(sigma);
+
+    // Line 9: few common marks ⇒ not friends. Relative form: the common
+    // marks must cover most of each side's own marks (see module docs).
+    let mu = pu.iter().filter(|p| p.is_some()).count();
+    let mv = pv.iter().filter(|p| p.is_some()).count();
+    let common: Vec<usize> = (0..samples.len())
+        .filter(|&i| pu[i].is_some() && pv[i].is_some())
+        .collect();
+    if common.is_empty()
+        || (common.len() as f64) <= (1.0 - 3.0 * params.eps) * mu.min(mv) as f64
+    {
+        return BuddyOutcome { friends: false, decided_at: 9, tally };
+    }
+
+    // Lines 10–14: encode the common preimages.
+    let code = IdCode::new();
+    let encode_all = |picks: &[Option<u64>]| -> Vec<u64> {
+        let mut bits: Vec<u64> = Vec::new();
+        let mut len = 0usize;
+        for &i in &common {
+            let w = picks[i].expect("common index has a preimage");
+            let cw = code.encode(w);
+            for b in 0..code.bits() {
+                if IdCode::bit(&cw, b) {
+                    let pos = len + b;
+                    if bits.len() <= pos / 64 {
+                        bits.resize(pos / 64 + 1, 0);
+                    }
+                    bits[pos / 64] |= 1 << (pos % 64);
+                }
+            }
+            len += code.bits();
+        }
+        let words = len.div_ceil(64).max(1);
+        bits.resize(words, 0);
+        bits
+    };
+    let xu = encode_all(&pu);
+    let xv = encode_all(&pv);
+    let ell = common.len() * code.bits();
+
+    // Lines 15–16: sampled-position Hamming estimate.
+    let sigma2 = params.b.min(ell as u64).max(1);
+    let pos_sampler = MultisetSampler::new(mix3(seed, 0x4a11, 1), ell as u64, sigma2 as u32, 20);
+    let pos_seed = pos_sampler.sample_seed(rng);
+    tally.a_to_b(u64::from(pos_sampler.seed_bits()));
+    tally.exchange(sigma2);
+    let differing = pos_sampler
+        .multiset(pos_seed)
+        .filter(|&i| {
+            let w = (i / 64) as usize;
+            let b = i % 64;
+            (xu.get(w).copied().unwrap_or(0) ^ xv.get(w).copied().unwrap_or(0)) & (1 << b) != 0
+        })
+        .count();
+    let friends = (differing as f64) < params.eps * sigma2 as f64;
+    BuddyOutcome { friends, decided_at: 16, tally }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run(nu: &[u64], nv: &[u64], trial: u64) -> BuddyOutcome {
+        let mut rng = StdRng::seed_from_u64(trial);
+        uniform_buddy(&UniformBuddyParams::default(), nu, nv, 42, &mut rng)
+    }
+
+    #[test]
+    fn identical_neighborhoods_are_friends() {
+        let n: Vec<u64> = (0..60).map(|i| i * 13 + 5).collect();
+        let hits = (0..20).filter(|&t| run(&n, &n, t).friends).count();
+        assert!(hits >= 18, "only {hits}/20 accepted identical neighborhoods");
+    }
+
+    #[test]
+    fn near_identical_neighborhoods_are_friends() {
+        let nu: Vec<u64> = (0..60).collect();
+        let mut nv = nu.clone();
+        nv[0] = 1000;
+        nv[1] = 1001;
+        nv.sort_unstable();
+        let hits = (0..20).filter(|&t| run(&nu, &nv, t).friends).count();
+        assert!(hits >= 15, "only {hits}/20 accepted near-identical neighborhoods");
+    }
+
+    #[test]
+    fn unbalanced_degrees_rejected_at_line_1() {
+        let nu: Vec<u64> = (0..10).collect();
+        let nv: Vec<u64> = (0..100).collect();
+        let out = run(&nu, &nv, 3);
+        assert!(!out.friends);
+        assert_eq!(out.decided_at, 1);
+        assert_eq!(out.tally.total_bits(), 0);
+    }
+
+    #[test]
+    fn disjoint_neighborhoods_rejected() {
+        let nu: Vec<u64> = (0..50).collect();
+        let nv: Vec<u64> = (1000..1050).collect();
+        let rejections = (0..20).filter(|&t| !run(&nu, &nv, t).friends).count();
+        assert!(rejections >= 18, "only {rejections}/20 rejected disjoint sets");
+    }
+
+    #[test]
+    fn low_overlap_rejected() {
+        // ε-Buddy distinguishes ε-friend (overlap ≥ 1−ε) from *far from
+        // friend* (overlap < 1−3ε = 0.25 here); 5% overlap is firmly in
+        // the reject region. Half overlap would be in the gray zone where
+        // either answer is allowed.
+        let nu: Vec<u64> = (0..60).collect();
+        let nv: Vec<u64> = (57..117).collect();
+        let rejections = (0..20).filter(|&t| !run(&nu, &nv, t).friends).count();
+        assert!(rejections >= 16, "only {rejections}/20 rejected 5% overlap");
+    }
+
+    #[test]
+    fn collision_heavy_hash_is_caught_by_the_code() {
+        // λ forced to ~|N|: most sampled values have preimages on both
+        // sides even for disjoint sets, so line 9 passes spuriously and
+        // only the ECC Hamming test (line 16) can reject.
+        let params =
+            UniformBuddyParams { lambda_override: Some(48), ..Default::default() };
+        let nu: Vec<u64> = (0..40).collect();
+        let nv: Vec<u64> = (10_000..10_040).collect();
+        let mut rejected = 0;
+        let mut via_code = 0;
+        for t in 0..20 {
+            let mut rng = StdRng::seed_from_u64(t);
+            let out = uniform_buddy(&params, &nu, &nv, 7, &mut rng);
+            if !out.friends {
+                rejected += 1;
+                if out.decided_at == 16 {
+                    via_code += 1;
+                }
+            }
+        }
+        assert!(rejected >= 18, "only {rejected}/20 rejected under collisions");
+        assert!(via_code >= 5, "ECC branch never fired ({via_code}/20)");
+    }
+
+    #[test]
+    fn identical_sets_survive_tiny_lambda() {
+        // Same collision regime, but genuinely identical neighborhoods:
+        // the ECC test sees zero Hamming distance and accepts.
+        let params =
+            UniformBuddyParams { lambda_override: Some(48), ..Default::default() };
+        let n: Vec<u64> = (0..40).collect();
+        let hits = (0..20)
+            .filter(|&t| {
+                let mut rng = StdRng::seed_from_u64(t);
+                uniform_buddy(&params, &n, &n, 7, &mut rng).friends
+            })
+            .count();
+        assert!(hits >= 18, "only {hits}/20 accepted");
+    }
+
+    #[test]
+    fn transcript_is_bounded_by_b() {
+        let n: Vec<u64> = (0..80).collect();
+        let out = run(&n, &n, 5);
+        // ≤ a few multiset exchanges of ≤ b bits each plus headers.
+        assert!(
+            out.tally.total_bits() <= 4 * 256 + 200,
+            "transcript too large: {} bits",
+            out.tally.total_bits()
+        );
+    }
+}

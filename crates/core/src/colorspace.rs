@@ -1,0 +1,147 @@
+//! Color-space reduction — Lemma 17 (Appendix D.3, post-shattering).
+//!
+//! The deterministic algorithms used after shattering have round
+//! complexities depending on the color-space size, so each shattered
+//! cluster first maps its colors into a `poly(log n)`-sized space by a
+//! function injective on every member's palette. The paper obtains the
+//! function by derandomizing a random choice with the method of
+//! conditional expectations; operationally this is a deterministic scan of
+//! a universal family for the first member with no palette collisions —
+//! which is exactly what we implement (the scan *is* the derandomization:
+//! each member either passes the exact test or the next is tried, and a
+//! random member passes with probability ≥ 1/2, so the scan is short).
+//!
+//! The cluster leader performs the scan and broadcasts the winning index
+//! (`O(log log n)`-bit description in the paper; a family index here);
+//! [`reduce_color_space`] is that computation, plus the injectivity
+//! certificate.
+
+use graphs::Color;
+use prand::{ColorHash, ColorHashFamily};
+
+/// Outcome of a color-space reduction for one cluster.
+#[derive(Clone, Debug)]
+pub struct ColorSpaceReduction {
+    /// Index of the chosen family member (what the leader broadcasts).
+    pub index: u64,
+    /// The reduced space size `M`.
+    pub m: u64,
+    /// How many members were scanned before one passed (the
+    /// derandomization cost; expected ≤ 2).
+    pub scanned: u32,
+}
+
+/// Find the first member of a universal family with range
+/// `M = max(palette sizes)²·reserve` that is injective on every palette.
+///
+/// Returns `None` if no member of the family works (statistically
+/// impossible for sane parameters; callers treat it as "skip reduction").
+///
+/// # Example
+///
+/// ```
+/// use d1lc::colorspace::{reduce_color_space, reduced_color};
+///
+/// let palettes: Vec<Vec<u64>> = (0..8)
+///     .map(|i| (0..20u64).map(|c| c * 1_000_003 + i).collect())
+///     .collect();
+/// let red = reduce_color_space(&palettes, 64, 7).expect("reduction exists");
+/// // Injective on each palette: distinct colors get distinct images.
+/// let h = reduced_color(&red, 7);
+/// let images: std::collections::HashSet<u64> =
+///     palettes[0].iter().map(|&c| h.hash(c)).collect();
+/// assert_eq!(images.len(), palettes[0].len());
+/// ```
+pub fn reduce_color_space(
+    palettes: &[Vec<Color>],
+    reserve: u64,
+    seed: u64,
+) -> Option<ColorSpaceReduction> {
+    let largest = palettes.iter().map(Vec::len).max().unwrap_or(0) as u64;
+    if largest == 0 {
+        return Some(ColorSpaceReduction { index: 0, m: 1, scanned: 0 });
+    }
+    // Birthday bound: M = L²·reserve makes a random member injective on a
+    // size-L palette w.p. ≥ 1 − 1/(2·reserve); a union bound over the
+    // cluster's palettes leaves success probability ≥ 1/2 for
+    // reserve ≥ #palettes.
+    let m = largest
+        .saturating_mul(largest)
+        .saturating_mul(reserve.max(1))
+        .clamp(2, 1 << 60);
+    let family = ColorHashFamily::new(seed, m, 16);
+    let total = 1u64 << 16;
+    for index in 0..total {
+        let h = family.member(index);
+        if palettes.iter().all(|p| h.injective_on(p)) {
+            return Some(ColorSpaceReduction {
+                index,
+                m,
+                scanned: (index + 1) as u32,
+            });
+        }
+    }
+    None
+}
+
+/// The hash the reduction denotes (receivers reconstruct it from the
+/// broadcast index).
+pub fn reduced_color(reduction: &ColorSpaceReduction, seed: u64) -> ColorHash {
+    ColorHashFamily::new(seed, reduction.m, 16).member(reduction.index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn palettes(k: usize, len: usize, stride: u64) -> Vec<Vec<Color>> {
+        (0..k as u64).map(|i| (0..len as u64).map(|c| c * stride + i * 31).collect()).collect()
+    }
+
+    #[test]
+    fn reduction_is_injective_on_every_palette() {
+        let ps = palettes(10, 30, 999_983);
+        let red = reduce_color_space(&ps, 64, 3).expect("reduction");
+        let h = reduced_color(&red, 3);
+        for p in &ps {
+            let images: HashSet<u64> = p.iter().map(|&c| h.hash(c)).collect();
+            assert_eq!(images.len(), p.len());
+        }
+    }
+
+    #[test]
+    fn scan_is_short() {
+        // A random member passes w.p. ≥ 1/2, so the scan should terminate
+        // within a handful of members.
+        let ps = palettes(16, 25, 104_729);
+        let red = reduce_color_space(&ps, 64, 9).expect("reduction");
+        assert!(red.scanned <= 8, "scanned {} members", red.scanned);
+    }
+
+    #[test]
+    fn reduced_space_is_quadratic_not_linear_in_colors() {
+        // Colors are 60-bit; the reduced space is ~L²·reserve ≪ 2^60.
+        let ps: Vec<Vec<Color>> =
+            (0..4).map(|i| (0..20u64).map(|c| (c << 50) + i).collect()).collect();
+        let red = reduce_color_space(&ps, 16, 1).expect("reduction");
+        assert!(red.m <= 20 * 20 * 16);
+    }
+
+    #[test]
+    fn empty_cluster_is_trivial() {
+        let red = reduce_color_space(&[], 8, 1).expect("trivial");
+        assert_eq!(red.m, 1);
+        let red2 = reduce_color_space(&[vec![]], 8, 1).expect("trivial");
+        assert_eq!(red2.scanned, 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ps = palettes(6, 12, 7919);
+        let a = reduce_color_space(&ps, 32, 5).expect("a");
+        let b = reduce_color_space(&ps, 32, 5).expect("b");
+        assert_eq!(a.index, b.index);
+        assert_eq!(a.m, b.m);
+    }
+}

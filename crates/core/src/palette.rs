@@ -1,0 +1,148 @@
+//! A node's color palette `Ψ_v`: its list minus the colors adopted by
+//! neighbors.
+
+use graphs::Color;
+use prand::ColorHash;
+
+/// A palette: the remaining candidate colors of one node, kept sorted.
+///
+/// Removal by *hash* implements Appendix D.3: neighbors announce adopted
+/// colors as `h_v(ψ)` images under this node's universal hash, and the
+/// node removes every palette color with a matching image (exactly the
+/// true color w.h.p.).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Palette {
+    colors: Vec<Color>,
+    original: Vec<Color>,
+}
+
+impl Palette {
+    /// A palette initialized to `list` (sorted, deduplicated).
+    pub fn new(mut list: Vec<Color>) -> Self {
+        list.sort_unstable();
+        list.dedup();
+        Palette { colors: list.clone(), original: list }
+    }
+
+    /// Remaining colors, sorted.
+    pub fn colors(&self) -> &[Color] {
+        &self.colors
+    }
+
+    /// The original list (used for chromatic-slack counting, which is
+    /// defined against `Ψ_v` at phase start).
+    pub fn original(&self) -> &[Color] {
+        &self.original
+    }
+
+    /// Number of remaining colors.
+    pub fn len(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// Whether no colors remain.
+    pub fn is_empty(&self) -> bool {
+        self.colors.is_empty()
+    }
+
+    /// Whether `c` is still available.
+    pub fn contains(&self, c: Color) -> bool {
+        self.colors.binary_search(&c).is_ok()
+    }
+
+    /// Remove an exact color (a neighbor adopted it). Returns whether it
+    /// was present.
+    pub fn remove(&mut self, c: Color) -> bool {
+        match self.colors.binary_search(&c) {
+            Ok(i) => {
+                self.colors.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Remove every color whose image under `h` equals `image` (App. D.3
+    /// hashed announcement). Returns how many colors were removed (w.h.p.
+    /// 0 or 1).
+    pub fn remove_by_hash(&mut self, h: &ColorHash, image: u64) -> usize {
+        let before = self.colors.len();
+        self.colors.retain(|&c| h.hash(c) != image);
+        before - self.colors.len()
+    }
+
+    /// First color whose image under `h` equals `image`, if any (used by
+    /// inliers decoding a leader's color assignment).
+    pub fn first_matching_hash(&self, h: &ColorHash, image: u64) -> Option<Color> {
+        self.colors.iter().copied().find(|&c| h.hash(c) == image)
+    }
+
+    /// Whether the *original* list contains a color with the given image
+    /// (chromatic-slack test: did the neighbor adopt outside my list?).
+    pub fn original_has_hash(&self, h: &ColorHash, image: u64) -> bool {
+        self.original.iter().any(|&c| h.hash(c) == image)
+    }
+}
+
+impl FromIterator<Color> for Palette {
+    fn from_iter<T: IntoIterator<Item = Color>>(iter: T) -> Self {
+        Palette::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prand::ColorHashFamily;
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let p = Palette::new(vec![5, 1, 3, 1]);
+        assert_eq!(p.colors(), &[1, 3, 5]);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn exact_removal() {
+        let mut p = Palette::new(vec![1, 2, 3]);
+        assert!(p.remove(2));
+        assert!(!p.remove(2));
+        assert_eq!(p.colors(), &[1, 3]);
+        assert!(p.contains(1) && !p.contains(2));
+    }
+
+    #[test]
+    fn original_is_preserved() {
+        let mut p = Palette::new(vec![1, 2, 3]);
+        p.remove(1);
+        assert_eq!(p.original(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn hash_removal_removes_the_announced_color() {
+        let fam = ColorHashFamily::for_graph(1000, 6, 3);
+        let h = fam.member(5);
+        let mut p = Palette::new((0..50).collect());
+        let removed = p.remove_by_hash(&h, h.hash(17));
+        assert!(removed >= 1);
+        assert!(!p.contains(17));
+        // W.h.p. exactly one color was removed.
+        assert_eq!(p.len(), 49, "collision removed extra colors");
+    }
+
+    #[test]
+    fn hash_lookup_finds_assigned_color() {
+        let fam = ColorHashFamily::for_graph(1000, 6, 9);
+        let h = fam.member(2);
+        let p = Palette::new(vec![100, 200, 300]);
+        assert_eq!(p.first_matching_hash(&h, h.hash(200)), Some(200));
+        assert!(p.original_has_hash(&h, h.hash(300)));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let p: Palette = [3u64, 1, 2].into_iter().collect();
+        assert_eq!(p.colors(), &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,370 @@
+//! The full D1LC pipeline — Algorithm 7 and Theorem 1.
+//!
+//! `solve` runs, for each degree range `(T(x), x]` of the ladder
+//! `Δ, T(Δ), T(T(Δ)), …` (paper: `T(x) = log⁷ x`):
+//!
+//! 1. `ComputeACD` on the range's uncolored nodes;
+//! 2. the sparse/uneven path (Alg. 8);
+//! 3. the dense path (Alg. 9);
+//!
+//! then a low-degree fallback of repeated `TryRandomColor` rounds (the
+//! shattering-regime randomized part), the deterministic cleanup, and a
+//! final *repair* sweep — a central pass that colors any node the
+//! distributed phases left uncolored (w.h.p. none beyond shattered
+//! leftovers handled by cleanup; the count is reported honestly in
+//! [`Stats::repairs`]).
+//!
+//! The output is **always** a proper list coloring: every distributed
+//! adoption is conflict-free by construction (see `passes::digest_adoption`
+//! and the mutual-exclusion arguments in `multitrial`), and repair covers
+//! the rest.
+
+use crate::config::ParamProfile;
+use crate::dense::color_dense;
+use crate::driver::Driver;
+use crate::palette::Palette;
+use crate::passes::CodecSetupPass;
+use crate::shattering::cleanup;
+use crate::sparse::color_sparse;
+use crate::state::NodeState;
+use crate::wire::ColorCodec;
+use congest::{PassLog, SimConfig, SimError};
+use graphs::palette::ListAssignment;
+use graphs::{Color, Graph, NodeId};
+use prand::mix::mix2;
+use std::collections::BTreeMap;
+use std::collections::HashSet;
+
+/// Options for [`solve`].
+#[derive(Clone, Copy, Debug)]
+pub struct SolveOptions {
+    /// Constant profile (laptop by default).
+    pub profile: ParamProfile,
+    /// Master seed (drives all node randomness and shared hash families).
+    pub seed: u64,
+    /// Engine configuration (bandwidth policy, thread count, round cap).
+    pub sim: SimConfig,
+    /// Use the §5 *uniform* ACD (explicit pairwise hashing + samplers +
+    /// ECC, `acd_uniform`) instead of the representative-hash ACD. The
+    /// rest of the pipeline is shared.
+    pub uniform_acd: bool,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            profile: ParamProfile::laptop(),
+            seed: 0xc010_41f0,
+            sim: SimConfig::default(),
+            uniform_acd: false,
+        }
+    }
+}
+
+impl SolveOptions {
+    /// Default options with the given seed.
+    pub fn seeded(seed: u64) -> Self {
+        SolveOptions { seed, ..Default::default() }
+    }
+}
+
+/// Outcome statistics of one solve.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// How many nodes each pass colored, by pass name.
+    pub colored_by: BTreeMap<&'static str, usize>,
+    /// Nodes the distributed pipeline failed to color (fixed centrally).
+    pub repairs: usize,
+    /// Degree-range phases that actually ran.
+    pub phases: usize,
+}
+
+/// Result of [`solve`]: a proper coloring plus metrics.
+#[derive(Clone, Debug)]
+pub struct SolveResult {
+    /// One color per node, proper with respect to the lists.
+    pub coloring: Vec<Color>,
+    /// Per-pass round/bit metrics.
+    pub log: PassLog,
+    /// Outcome statistics.
+    pub stats: Stats,
+}
+
+impl SolveResult {
+    /// Total CONGEST rounds across all passes.
+    pub fn rounds(&self) -> u64 {
+        self.log.total_rounds()
+    }
+
+    /// Bandwidth-normalized rounds at the given per-edge bandwidth.
+    pub fn normalized_rounds(&self, bandwidth: u64) -> u64 {
+        self.log.normalized_rounds(bandwidth)
+    }
+}
+
+/// Build fresh node states from a list assignment (building block for
+/// custom drivers and benches).
+pub fn initial_states(
+    g: &Graph,
+    lists: &ListAssignment,
+    profile: &ParamProfile,
+    seed: u64,
+) -> Vec<NodeState> {
+    (0..g.n())
+        .map(|v| {
+            let d = g.degree(v as NodeId);
+            let codec =
+                ColorCodec::new(profile, mix2(seed, 0xc0dec), g.n(), lists.color_bits(), d);
+            NodeState::new(
+                v as NodeId,
+                Palette::new(lists.list(v as NodeId).to_vec()),
+                codec,
+                d,
+            )
+        })
+        .collect()
+}
+
+/// Finish a solve: repair stragglers centrally, assemble the coloring and
+/// stats, and verify validity.
+pub(crate) fn finish(
+    g: &Graph,
+    lists: &ListAssignment,
+    states: Vec<NodeState>,
+    log: PassLog,
+    phases: usize,
+) -> SolveResult {
+    let mut coloring: Vec<Option<Color>> = states.iter().map(|s| s.color).collect();
+    let mut stats = Stats { phases, ..Default::default() };
+    for st in &states {
+        if let Some(name) = st.colored_by {
+            *stats.colored_by.entry(name).or_insert(0) += 1;
+        }
+    }
+    // Central repair: pick any list color unused by neighbors. Possible
+    // because |list(v)| ≥ d_v + 1.
+    for v in 0..g.n() {
+        if coloring[v].is_none() {
+            let taken: HashSet<Color> = g
+                .neighbors(v as NodeId)
+                .iter()
+                .filter_map(|&u| coloring[u as usize])
+                .collect();
+            let c = lists
+                .list(v as NodeId)
+                .iter()
+                .copied()
+                .find(|c| !taken.contains(c))
+                .expect("a (deg+1)-list always has a free color");
+            coloring[v] = Some(c);
+            stats.repairs += 1;
+        }
+    }
+    let coloring: Vec<Color> = coloring.into_iter().map(|c| c.expect("filled above")).collect();
+    debug_assert_eq!(graphs::palette::check_coloring(g, lists, &coloring), Ok(()));
+    SolveResult { coloring, log, stats }
+}
+
+/// Solve the (degree+1)-list-coloring problem on `g` with `lists`.
+///
+/// # Errors
+///
+/// Propagates engine errors (only possible under a strict bandwidth
+/// policy).
+///
+/// # Panics
+///
+/// Panics if `lists` is not a valid (degree+1)-list assignment for `g`.
+///
+/// # Example
+///
+/// ```
+/// use d1lc::{solve, SolveOptions};
+///
+/// let g = graphs::gen::gnp(120, 0.1, 7);
+/// let lists = graphs::palette::degree_plus_one_lists(&g);
+/// let result = solve(&g, &lists, SolveOptions::seeded(1)).unwrap();
+/// assert_eq!(graphs::palette::check_coloring(&g, &lists, &result.coloring), Ok(()));
+/// ```
+pub fn solve(
+    g: &Graph,
+    lists: &ListAssignment,
+    opts: SolveOptions,
+) -> Result<SolveResult, SimError> {
+    assert!(lists.is_degree_plus_one(g), "lists must give every node ≥ deg+1 colors");
+    let profile = opts.profile;
+    let sim = SimConfig { seed: opts.seed, ..opts.sim };
+    let mut driver = Driver::new(g, sim);
+    let mut states = initial_states(g, lists, &profile, opts.seed);
+
+    // One-time codec setup (App. D.3 hash indices).
+    states = driver.run_pass("codec-setup", states, CodecSetupPass::new)?;
+
+    // Degree-range phases (Alg. 7).
+    let delta = g.max_degree();
+    let ladder = profile.degree_ladder(delta);
+    let floor = profile.degree_threshold_floor;
+    let mut phases = 0usize;
+    for (i, &hi) in ladder.iter().enumerate() {
+        let lo = ladder.get(i + 1).copied().unwrap_or(floor);
+        if lo >= hi {
+            continue;
+        }
+        let in_range = |st: &NodeState| {
+            let d = g.degree(st.id);
+            d > lo && d <= hi && st.uncolored()
+        };
+        if !states.iter().any(in_range) {
+            continue;
+        }
+        phases += 1;
+        for st in &mut states {
+            st.reset_phase();
+        }
+        states = driver.activate(states, in_range)?;
+        let phase_seed = mix2(opts.seed, phases as u64);
+        states = if opts.uniform_acd {
+            crate::acd_uniform::compute_acd_uniform(&mut driver, states, &profile, phase_seed)?
+        } else {
+            crate::acd::compute_acd(&mut driver, states, &profile, phase_seed)?
+        };
+        states = color_sparse(&mut driver, states, &profile, phase_seed)?;
+        states = color_dense(&mut driver, states, &profile, phase_seed, hi)?;
+    }
+
+    // Low-degree fallback: repeated random color trials.
+    states = driver.activate(states, |st| st.uncolored())?;
+    for t in 0..profile.fallback_trials {
+        if Driver::uncolored_count(&states) == 0 {
+            break;
+        }
+        states = driver.try_color(states, "fallback")?;
+        // Re-activating is unnecessary: TryColor reads activity flags that
+        // only shrink, and adopted nodes self-deactivate.
+        let _ = t;
+    }
+
+    // Deterministic cleanup of the shattered leftovers.
+    if Driver::uncolored_count(&states) > 0 {
+        states = cleanup(&mut driver, states)?;
+    }
+
+    Ok(finish(g, lists, states, driver.log, phases))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::gen;
+    use graphs::palette::{
+        check_coloring, degree_plus_one_lists, delta_plus_one_lists, random_lists,
+        shared_window_lists,
+    };
+
+    fn assert_solves(g: &Graph, lists: &ListAssignment, seed: u64) -> SolveResult {
+        let result = solve(g, lists, SolveOptions::seeded(seed)).unwrap();
+        assert_eq!(check_coloring(g, lists, &result.coloring), Ok(()));
+        result
+    }
+
+    #[test]
+    fn colors_gnp_with_d1c_lists() {
+        let g = gen::gnp(200, 0.06, 3);
+        let lists = degree_plus_one_lists(&g);
+        let r = assert_solves(&g, &lists, 7);
+        assert!(r.rounds() > 0);
+    }
+
+    #[test]
+    fn colors_clique_blend_with_random_lists() {
+        let (g, _) = gen::planted_acd(3, 28, 0.04, 80, 0.05, 5);
+        let lists = random_lists(&g, 48, 0, 9);
+        let r = assert_solves(&g, &lists, 11);
+        // The dense machinery must be exercised.
+        assert!(r.stats.phases >= 1, "no phase ran");
+    }
+
+    #[test]
+    fn colors_structured_graphs() {
+        for (g, seed) in [
+            (gen::cycle(40), 1u64),
+            (gen::star(30), 2),
+            (gen::complete(40), 3),
+            (gen::grid(8, 9), 4),
+            (gen::complete_bipartite(15, 20), 5),
+        ] {
+            let lists = degree_plus_one_lists(&g);
+            assert_solves(&g, &lists, seed);
+        }
+    }
+
+    #[test]
+    fn colors_with_delta_plus_one_lists() {
+        let g = gen::gnp(100, 0.15, 8);
+        let lists = delta_plus_one_lists(&g);
+        assert_solves(&g, &lists, 13);
+    }
+
+    #[test]
+    fn colors_with_shared_window_lists() {
+        let g = gen::gnp(80, 0.2, 2);
+        let lists = shared_window_lists(&g, g.max_degree() as u64 + 8, 4);
+        assert_solves(&g, &lists, 17);
+    }
+
+    #[test]
+    fn colors_large_color_space() {
+        let g = gen::gnp(60, 0.15, 6);
+        let lists = random_lists(&g, 60, 2, 3);
+        let r = assert_solves(&g, &lists, 19);
+        // With 60-bit colors the codec must be in hashed mode throughout.
+        let _ = r;
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        for n in [0usize, 1, 2, 3] {
+            let g = gen::path(n);
+            let lists = degree_plus_one_lists(&g);
+            assert_solves(&g, &lists, n as u64);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = gen::gnp(80, 0.1, 4);
+        let lists = degree_plus_one_lists(&g);
+        let a = solve(&g, &lists, SolveOptions::seeded(21)).unwrap();
+        let b = solve(&g, &lists, SolveOptions::seeded(21)).unwrap();
+        assert_eq!(a.coloring, b.coloring);
+        assert_eq!(a.rounds(), b.rounds());
+    }
+
+    #[test]
+    fn repairs_are_rare() {
+        let g = gen::gnp(150, 0.08, 9);
+        let lists = degree_plus_one_lists(&g);
+        let r = assert_solves(&g, &lists, 23);
+        assert_eq!(r.stats.repairs, 0, "distributed pipeline needed central repair");
+    }
+
+    #[test]
+    fn uniform_acd_pipeline_solves_end_to_end() {
+        let (g, _) = gen::planted_acd(3, 24, 0.05, 60, 0.05, 6);
+        let lists = random_lists(&g, 48, 0, 4);
+        let opts = SolveOptions { uniform_acd: true, ..SolveOptions::seeded(7) };
+        let r = solve(&g, &lists, opts).expect("uniform solve");
+        assert_eq!(check_coloring(&g, &lists, &r.coloring), Ok(()));
+        assert!(r.stats.phases >= 1);
+    }
+
+    #[test]
+    fn high_degree_graphs_use_phases() {
+        // Δ must exceed the ladder floor for a phase to run.
+        let g = gen::gnp(160, 0.4, 5);
+        let lists = degree_plus_one_lists(&g);
+        let r = assert_solves(&g, &lists, 29);
+        assert!(r.stats.phases >= 1);
+        assert!(r.stats.colored_by.len() > 1, "expected multiple passes to color");
+    }
+}

@@ -1,0 +1,129 @@
+//! Parameter plumbing for the §3.2 two-party procedures.
+//!
+//! Algorithm 1 (and 2) fixes, for an edge with sets `S_u, S_v`:
+//!
+//! * scale-up factor `k = ⌈96 ε⁻³ ln(12/ν) / max(|S_u|,|S_v|)⌉`,
+//! * hash range `λ = 8·max(|S_u|,|S_v|)·k/ε`,
+//! * Lemma 1 parameters `β = ε/4`, `α = ε²/8`.
+//!
+//! [`SimilarityScheme::paper`] uses these verbatim; the σ that falls out of
+//! Lemma 1 is `Θ(ε⁻⁴ log(1/ν))` bits, which is the paper's message-size
+//! claim (Lemma 2). [`SimilarityScheme::practical`] keeps the same λ and
+//! scale-up formulas but caps σ and `k` at laptop-friendly values (the
+//! estimate degrades gracefully — E4 measures by how much).
+
+use prand::RepParams;
+
+/// Parameters shared by the two parties of `EstimateSimilarity` /
+/// `JointSample`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimilarityScheme {
+    /// Target accuracy ε: the estimate is within `ε·max(|S_u|,|S_v|)`.
+    pub eps: f64,
+    /// Failure probability ν.
+    pub nu: f64,
+    /// Cap on the observation window σ (`u64::MAX` = the paper's value).
+    pub sigma_cap: u64,
+    /// Cap on the scale-up factor `k` (`u64::MAX` = the paper's value).
+    pub scale_cap: u64,
+    /// Family index width in bits (`2^family_bits` members).
+    pub family_bits: u32,
+}
+
+impl SimilarityScheme {
+    /// Verbatim paper parameters for accuracy `eps` and failure
+    /// probability `nu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `eps ∈ (0, 1)` and `nu ∈ (0, 1)`.
+    pub fn paper(eps: f64, nu: f64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1), got {eps}");
+        assert!(nu > 0.0 && nu < 1.0, "nu must be in (0,1), got {nu}");
+        SimilarityScheme { eps, nu, sigma_cap: u64::MAX, scale_cap: u64::MAX, family_bits: 20 }
+    }
+
+    /// Laptop-scale parameters: σ capped at 2048 bits, scale-up at 32,
+    /// 16-bit family indices, ν = 10⁻³.
+    ///
+    /// Note Lemma 2's message size is itself `Θ(ε⁻⁴ log(1/ν))` bits — the
+    /// σ-bit signatures *are* the dominating cost in the paper too; the cap
+    /// only curbs the constant (the verbatim σ for ε = 1/4 is ≈ 10⁶ bits).
+    pub fn practical(eps: f64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1), got {eps}");
+        SimilarityScheme { eps, nu: 1e-3, sigma_cap: 2048, scale_cap: 32, family_bits: 16 }
+    }
+
+    /// The scale-up factor `k` of Alg. 1 step 2 for the given max set size.
+    pub fn scale_factor(&self, max_len: usize) -> u64 {
+        if max_len == 0 {
+            return 1;
+        }
+        let k = (96.0 * self.eps.powi(-3) * (12.0 / self.nu).ln() / max_len as f64).ceil();
+        (k as u64).clamp(1, self.scale_cap)
+    }
+
+    /// The representative-family parameters for the given (already
+    /// scaled-up) max set size: `λ = 8·max/ε`, `β = ε/4`, `α = ε²/8`, σ
+    /// from Lemma 1 capped at `sigma_cap`.
+    pub fn rep_params(&self, scaled_max_len: usize) -> RepParams {
+        let lambda = ((8.0 * scaled_max_len.max(1) as f64 / self.eps).ceil() as u64).max(2);
+        let alpha = self.eps * self.eps / 8.0;
+        let beta = self.eps / 4.0;
+        // Lemma 1's window for these parameters.
+        let sigma_lemma =
+            (3.0 / (alpha * beta * beta) * (8.0 / self.nu).ln()).ceil() as u64;
+        let sigma = sigma_lemma.min(self.sigma_cap).min(lambda);
+        RepParams::practical(alpha, beta, lambda, sigma, self.family_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scheme_uses_lemma_window() {
+        let s = SimilarityScheme::paper(0.5, 0.01);
+        let p = s.rep_params(100);
+        assert_eq!(p.lambda, (8.0 * 100.0 / 0.5) as u64);
+        // σ = 3/(αβ²)·ln(8/ν) with α = 1/32, β = 1/8 → 3·32·64·ln(800).
+        let expected = (3.0 * 32.0 * 64.0 * (800.0f64).ln()).ceil() as u64;
+        assert_eq!(p.sigma, expected.min(p.lambda));
+    }
+
+    #[test]
+    fn practical_scheme_caps_sigma() {
+        let s = SimilarityScheme::practical(0.1);
+        let p = s.rep_params(1000);
+        assert!(p.sigma <= 2048);
+        assert!(p.sigma <= p.lambda);
+    }
+
+    #[test]
+    fn scale_factor_large_sets_is_one() {
+        let s = SimilarityScheme::practical(0.5);
+        assert_eq!(s.scale_factor(1_000_000), 1);
+    }
+
+    #[test]
+    fn scale_factor_small_sets_grows() {
+        let s = SimilarityScheme::paper(0.5, 0.01);
+        let k = s.scale_factor(10);
+        // 96·8·ln(1200)/10 ≈ 544.
+        assert!(k > 100, "k = {k}");
+        let capped = SimilarityScheme::practical(0.5).scale_factor(10);
+        assert!(capped <= 32);
+    }
+
+    #[test]
+    fn empty_set_scale_is_one() {
+        assert_eq!(SimilarityScheme::practical(0.25).scale_factor(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps")]
+    fn rejects_bad_eps() {
+        let _ = SimilarityScheme::paper(1.5, 0.1);
+    }
+}

@@ -1,0 +1,155 @@
+//! `EstimateSparsity(ε)` — Algorithm 3, Lemmas 4–5.
+//!
+//! Every node estimates its sparsity (Definition 1) from the per-edge
+//! neighborhood-similarity estimates: the global variant
+//! `ζ̂ = (Δ−1)/2 − (1/2Δ)·Σ_u ŝ_u` and the local variant with `d_v` in
+//! place of `Δ`.
+//!
+//! The local variant implements the Lemma 5 tweak: neighbors of degree
+//! `≥ 2·d_v` are excluded from the estimated sum and counted as fully
+//! overlapping (`ŝ_u = d_v`), because `EstimateSimilarity`'s error scale
+//! `ε·max(d_u, d_v)` is useless when `d_u ≫ d_v`; under Lemma 5's
+//! hypothesis (few such neighbors) the induced error stays `O(ε·d_v)`.
+
+use crate::neighborhood::run_neighborhood_similarity;
+use crate::scheme::SimilarityScheme;
+use congest::{RunReport, SimConfig, SimError};
+use graphs::{Graph, NodeId};
+
+/// Per-node sparsity estimates.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SparsityEstimates {
+    /// Estimated global sparsity `ζ̂_v^{[Δ]}` per node.
+    pub global: Vec<f64>,
+    /// Estimated local sparsity `ζ̂_v^{[d]}` per node (Lemma 5 tweak).
+    pub local: Vec<f64>,
+}
+
+/// Run `EstimateSparsity(ε)` on the whole graph.
+///
+/// `Δ` is read from the graph (the standard CONGEST assumption that global
+/// parameters `n, Δ` are known to all nodes).
+///
+/// # Errors
+///
+/// Propagates engine errors.
+///
+/// # Example
+///
+/// ```
+/// use estimate::{estimate_sparsity, SimilarityScheme};
+/// use congest::SimConfig;
+///
+/// let g = graphs::gen::complete(16);
+/// let (est, _) =
+///     estimate_sparsity(&g, SimilarityScheme::practical(0.25), SimConfig::seeded(1), 7)
+///         .unwrap();
+/// // A clique is maximally dense: estimated sparsity near zero.
+/// assert!(est.local[0] < 0.25 * 15.0);
+/// ```
+pub fn estimate_sparsity(
+    g: &Graph,
+    scheme: SimilarityScheme,
+    config: SimConfig,
+    seed: u64,
+) -> Result<(SparsityEstimates, RunReport), SimError> {
+    let (per_edge, report) = run_neighborhood_similarity(g, scheme, config, seed)?;
+    let delta = g.max_degree() as f64;
+    let mut global = vec![0.0; g.n()];
+    let mut local = vec![0.0; g.n()];
+    for v in 0..g.n() {
+        let dv = g.degree(v as NodeId) as f64;
+        let nbrs = g.neighbors(v as NodeId);
+        if delta > 0.0 {
+            let sum: f64 = per_edge[v].iter().sum();
+            global[v] = ((delta - 1.0) / 2.0 - sum / (2.0 * delta)).max(0.0);
+        }
+        if dv > 0.0 {
+            // Lemma 5 tweak: high-degree neighbors count as fully
+            // overlapping.
+            let mut sum = 0.0;
+            for (i, &u) in nbrs.iter().enumerate() {
+                if g.degree(u) as f64 >= 2.0 * dv {
+                    sum += dv;
+                } else {
+                    sum += per_edge[v][i].min(dv);
+                }
+            }
+            local[v] = ((dv - 1.0) / 2.0 - sum / (2.0 * dv)).max(0.0);
+        }
+    }
+    Ok((SparsityEstimates { global, local }, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::{analysis, gen};
+
+    #[test]
+    fn clique_members_look_dense() {
+        let g = gen::complete(20);
+        let (est, report) =
+            estimate_sparsity(&g, SimilarityScheme::practical(0.25), SimConfig::seeded(2), 3)
+                .unwrap();
+        assert!(report.completed);
+        for v in 0..20 {
+            assert!(est.local[v] <= 0.25 * 19.0, "node {v}: ζ̂ = {}", est.local[v]);
+            assert!(est.global[v] <= 0.25 * 19.0);
+        }
+    }
+
+    #[test]
+    fn star_center_looks_sparse() {
+        let g = gen::star(24);
+        let (est, _) =
+            estimate_sparsity(&g, SimilarityScheme::practical(0.25), SimConfig::seeded(4), 9)
+                .unwrap();
+        let truth = analysis::local_sparsity(&g, 0); // (24·23/2)/24 = 11.5
+        assert!(
+            (est.local[0] - truth).abs() <= 0.3 * 24.0,
+            "ζ̂ = {}, ζ = {truth}",
+            est.local[0]
+        );
+    }
+
+    #[test]
+    fn global_estimates_track_truth_on_gnp() {
+        let g = gen::gnp(100, 0.25, 6);
+        let (est, _) =
+            estimate_sparsity(&g, SimilarityScheme::practical(0.25), SimConfig::seeded(8), 21)
+                .unwrap();
+        let delta = g.max_degree() as f64;
+        let mut within = 0;
+        for v in 0..g.n() {
+            let truth = analysis::global_sparsity(&g, v as NodeId);
+            if (est.global[v] - truth).abs() <= 0.35 * delta {
+                within += 1;
+            }
+        }
+        assert!(within >= 85, "{within}/100 nodes within bound");
+    }
+
+    #[test]
+    fn local_estimates_with_uneven_degrees() {
+        // Hub-and-spokes: spokes have high-degree neighbors; the Lemma 5
+        // tweak keeps their local estimate finite and bounded by the max.
+        let g = gen::hub_and_spokes(4, 30, 5);
+        let (est, _) =
+            estimate_sparsity(&g, SimilarityScheme::practical(0.25), SimConfig::seeded(3), 13)
+                .unwrap();
+        for v in 0..g.n() {
+            let dv = g.degree(v as NodeId) as f64;
+            assert!(est.local[v] <= dv / 2.0 + 1e-9, "node {v}: {}", est.local[v]);
+        }
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = gen::path(0);
+        let (est, _) =
+            estimate_sparsity(&g, SimilarityScheme::practical(0.5), SimConfig::seeded(1), 1)
+                .unwrap();
+        assert!(est.global.is_empty());
+    }
+}

@@ -1,0 +1,216 @@
+//! Ground-truth graph statistics the experiments compare against.
+//!
+//! Implements Definition 1 of the paper (global and local sparsity), the
+//! triangle and four-cycle counts used by Theorems 2 and 3, and helper
+//! queries on neighborhoods.
+
+use crate::{Graph, NodeId};
+
+/// Number of edges inside the neighborhood `N(v)`, i.e. `m(N(v))` in the
+/// paper's notation.
+///
+/// Runs in `O(Σ_{u ∈ N(v)} d_u · log Δ)` time.
+pub fn edges_in_neighborhood(g: &Graph, v: NodeId) -> usize {
+    let nv = g.neighbors(v);
+    let mut m = 0usize;
+    for &u in nv {
+        // Count neighbors of u that are also neighbors of v with id > u so
+        // each edge is counted once.
+        for &w in g.neighbors(u) {
+            if w > u && nv.binary_search(&w).is_ok() {
+                m += 1;
+            }
+        }
+    }
+    m
+}
+
+/// Global sparsity `ζ_v^{[Δ]}` of Definition 1:
+/// `(1/Δ)·(binom(Δ,2) − m(N(v)))`.
+pub fn global_sparsity(g: &Graph, v: NodeId) -> f64 {
+    let delta = g.max_degree() as f64;
+    if delta == 0.0 {
+        return 0.0;
+    }
+    let m_nv = edges_in_neighborhood(g, v) as f64;
+    (delta * (delta - 1.0) / 2.0 - m_nv) / delta
+}
+
+/// Local sparsity `ζ_v^{[d]}` of Definition 1:
+/// `(1/d_v)·(binom(d_v,2) − m(N(v)))`.
+pub fn local_sparsity(g: &Graph, v: NodeId) -> f64 {
+    let d = g.degree(v) as f64;
+    if d == 0.0 {
+        return 0.0;
+    }
+    let m_nv = edges_in_neighborhood(g, v) as f64;
+    (d * (d - 1.0) / 2.0 - m_nv) / d
+}
+
+/// Unevenness `η_v = Σ_{u∈N(v)} max(0, d_u − d_v)/(d_u + 1)` (Definition 5).
+pub fn unevenness(g: &Graph, v: NodeId) -> f64 {
+    let dv = g.degree(v) as f64;
+    g.neighbors(v)
+        .iter()
+        .map(|&u| {
+            let du = g.degree(u) as f64;
+            (du - dv).max(0.0) / (du + 1.0)
+        })
+        .sum()
+}
+
+/// Number of triangles through the edge `{u, v}`; zero if the edge is absent.
+///
+/// A triangle through an edge is exactly a common neighbor of its endpoints
+/// (§3.4 of the paper reduces local triangle finding to estimating
+/// `|N(u) ∩ N(v)|`).
+pub fn triangles_through_edge(g: &Graph, u: NodeId, v: NodeId) -> usize {
+    if !g.has_edge(u, v) {
+        return 0;
+    }
+    g.common_neighbors(u, v)
+}
+
+/// Total triangle count of the graph.
+pub fn triangle_count(g: &Graph) -> usize {
+    let mut t = 0usize;
+    for (u, v) in g.edges() {
+        t += g.common_neighbors(u, v);
+    }
+    // Each triangle has 3 edges, and is counted once per edge.
+    t / 3
+}
+
+/// Number of four-cycles through the wedge `(u, v, u')` centered at `v`
+/// (Theorem 3 counts, for a pair of edges `vu`, `vu'` incident on `v`, the
+/// 4-cycles `v-u-w-u'-v`): this is `|N(u) ∩ N(u')| − 1` when `u, u'` have
+/// `v` as common neighbor (excluding `v` itself closes no 4-cycle), clamped
+/// at zero.
+pub fn four_cycles_through_wedge(g: &Graph, v: NodeId, u: NodeId, u2: NodeId) -> usize {
+    debug_assert!(g.has_edge(v, u) && g.has_edge(v, u2));
+    let mut c = g.common_neighbors(u, u2);
+    // `v` itself is a common neighbor of u and u2 but does not close a
+    // 4-cycle with the wedge at v.
+    c = c.saturating_sub(1);
+    c
+}
+
+/// Per-node degree histogram: `hist[d]` = number of nodes of degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in 0..g.n() {
+        hist[g.degree(v as NodeId)] += 1;
+    }
+    hist
+}
+
+/// Average degree `2m/n` (0 for the empty graph).
+pub fn average_degree(g: &Graph) -> f64 {
+    if g.n() == 0 {
+        0.0
+    } else {
+        2.0 * g.m() as f64 / g.n() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn complete(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n as NodeId {
+            for v in (u + 1)..n as NodeId {
+                b.add_edge(u, v);
+            }
+        }
+        b.build()
+    }
+
+    fn star(leaves: usize) -> Graph {
+        let mut b = GraphBuilder::new(leaves + 1);
+        for v in 1..=leaves as NodeId {
+            b.add_edge(0, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn clique_has_zero_local_sparsity() {
+        let g = complete(8);
+        for v in 0..8 {
+            assert_eq!(local_sparsity(&g, v), 0.0);
+            assert_eq!(global_sparsity(&g, v), 0.0);
+        }
+    }
+
+    #[test]
+    fn star_center_is_maximally_sparse() {
+        let g = star(10);
+        // Center: d = 10, no edges among leaves => ζ = (45 - 0)/10 = 4.5.
+        assert_eq!(local_sparsity(&g, 0), 4.5);
+        // A leaf: d = 1, binom(1,2)=0 => ζ = 0.
+        assert_eq!(local_sparsity(&g, 1), 0.0);
+    }
+
+    #[test]
+    fn global_sparsity_uses_max_degree() {
+        let g = star(10);
+        // Δ = 10 for every node; leaf v has m(N(v)) = 0.
+        let expected = (10.0 * 9.0 / 2.0) / 10.0;
+        assert_eq!(global_sparsity(&g, 1), expected);
+    }
+
+    #[test]
+    fn edges_in_neighborhood_of_clique_member() {
+        let g = complete(5);
+        // N(v) is a K4: 6 edges.
+        assert_eq!(edges_in_neighborhood(&g, 0), 6);
+    }
+
+    #[test]
+    fn triangle_counting() {
+        let g = complete(4);
+        assert_eq!(triangle_count(&g), 4);
+        assert_eq!(triangles_through_edge(&g, 0, 1), 2);
+        assert_eq!(triangles_through_edge(&g, 0, 0), 0);
+    }
+
+    #[test]
+    fn no_triangles_in_star() {
+        let g = star(6);
+        assert_eq!(triangle_count(&g), 0);
+    }
+
+    #[test]
+    fn four_cycles_in_k23() {
+        // K_{2,3}: parts {0,1}, {2,3,4}. Wedge (2, 0, 3) centered at 0:
+        // common neighbors of 2 and 3 are {0,1}; minus center = 1 four-cycle.
+        let mut b = GraphBuilder::new(5);
+        for u in [0u32, 1] {
+            for v in [2u32, 3, 4] {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build();
+        assert_eq!(four_cycles_through_wedge(&g, 0, 2, 3), 1);
+    }
+
+    #[test]
+    fn unevenness_of_star_leaf() {
+        let g = star(9);
+        // Leaf degree 1, center degree 9: η = (9-1)/10 = 0.8.
+        assert!((unevenness(&g, 1) - 0.8).abs() < 1e-12);
+        assert_eq!(unevenness(&g, 0), 0.0);
+    }
+
+    #[test]
+    fn histogram_and_average() {
+        let g = star(4);
+        let h = degree_histogram(&g);
+        assert_eq!(h[1], 4);
+        assert_eq!(h[4], 1);
+        assert!((average_degree(&g) - 8.0 / 5.0).abs() < 1e-12);
+    }
+}

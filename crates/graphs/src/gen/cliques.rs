@@ -1,0 +1,200 @@
+//! Planted dense structure: disjoint cliques, almost-clique blends, and
+//! full planted almost-clique-decomposition instances.
+//!
+//! These are the workloads on which the paper's dense-node machinery
+//! (almost-clique decomposition, leaders, put-aside sets, SynchColorTrial)
+//! actually fires.
+
+use crate::{Graph, GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `k` disjoint cliques of `size` nodes each.
+pub fn disjoint_cliques(k: usize, size: usize) -> Graph {
+    let mut b = GraphBuilder::new(k * size);
+    for c in 0..k {
+        let base = (c * size) as NodeId;
+        for i in 0..size as NodeId {
+            for j in (i + 1)..size as NodeId {
+                b.add_edge(base + i, base + j);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Parameters for [`clique_blend`].
+#[derive(Clone, Copy, Debug)]
+pub struct CliqueBlendParams {
+    /// Number of planted almost-cliques.
+    pub cliques: usize,
+    /// Nodes per planted clique.
+    pub clique_size: usize,
+    /// Fraction of each clique's internal edges removed (0 = exact cliques).
+    pub removal: f64,
+    /// Number of additional sparse background nodes.
+    pub sparse_nodes: usize,
+    /// Edge probability among sparse nodes and between sparse nodes and
+    /// cliques.
+    pub sparse_p: f64,
+}
+
+impl Default for CliqueBlendParams {
+    fn default() -> Self {
+        CliqueBlendParams {
+            cliques: 4,
+            clique_size: 24,
+            removal: 0.05,
+            sparse_nodes: 64,
+            sparse_p: 0.05,
+        }
+    }
+}
+
+/// A blend of perturbed cliques and a sparse background, the canonical
+/// input exercising both sides of an almost-clique decomposition.
+///
+/// Nodes `0..cliques*clique_size` are clique members (clique `i` owns the
+/// contiguous block starting at `i*clique_size`); the remaining
+/// `sparse_nodes` are background.
+pub fn clique_blend(p: CliqueBlendParams, seed: u64) -> Graph {
+    let clique_total = p.cliques * p.clique_size;
+    let n = clique_total + p.sparse_nodes;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // Perturbed cliques: keep each internal edge with prob 1 - removal.
+    for c in 0..p.cliques {
+        let base = (c * p.clique_size) as NodeId;
+        for i in 0..p.clique_size as NodeId {
+            for j in (i + 1)..p.clique_size as NodeId {
+                if rng.gen::<f64>() >= p.removal {
+                    b.add_edge(base + i, base + j);
+                }
+            }
+        }
+    }
+    // Sparse background among non-clique nodes and across.
+    for u in clique_total..n {
+        for v in 0..u {
+            if rng.gen::<f64>() < p.sparse_p {
+                b.add_edge(u as NodeId, v as NodeId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// A planted almost-clique-decomposition instance with known ground truth:
+/// returns the graph together with the planted class of each node
+/// (`Some(c)` = member of planted clique `c`, `None` = sparse background).
+///
+/// Clique members keep `1 - removal` of their internal edges and receive a
+/// few random external edges, so they are dense but not exact-clique; the
+/// background is `G(n_s, sparse_p)`.
+pub fn planted_acd(
+    cliques: usize,
+    clique_size: usize,
+    removal: f64,
+    sparse_nodes: usize,
+    sparse_p: f64,
+    seed: u64,
+) -> (Graph, Vec<Option<u32>>) {
+    let g = clique_blend(
+        CliqueBlendParams { cliques, clique_size, removal, sparse_nodes, sparse_p },
+        seed,
+    );
+    let mut truth = vec![None; g.n()];
+    for c in 0..cliques {
+        for i in 0..clique_size {
+            truth[c * clique_size + i] = Some(c as u32);
+        }
+    }
+    (g, truth)
+}
+
+/// Uneven instance: a small core of high-degree hubs plus many low-degree
+/// satellites attached to hubs, producing nodes whose neighbors have much
+/// larger degrees (the `V^{uneven}` class of Definition 6).
+pub fn hub_and_spokes(hubs: usize, spokes_per_hub: usize, seed: u64) -> Graph {
+    let n = hubs + hubs * spokes_per_hub;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // Hubs form a clique.
+    for u in 0..hubs as NodeId {
+        for v in (u + 1)..hubs as NodeId {
+            b.add_edge(u, v);
+        }
+    }
+    // Each spoke attaches to its hub and one random other hub.
+    for s in 0..(hubs * spokes_per_hub) {
+        let spoke = (hubs + s) as NodeId;
+        let home = (s % hubs) as NodeId;
+        b.add_edge(spoke, home);
+        if hubs > 1 {
+            let other = rng.gen_range(0..hubs) as NodeId;
+            b.add_edge(spoke, other);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+
+    #[test]
+    fn disjoint_cliques_structure() {
+        let g = disjoint_cliques(3, 5);
+        assert_eq!(g.n(), 15);
+        assert_eq!(g.m(), 3 * 10);
+        let (_, k) = g.components();
+        assert_eq!(k, 3);
+    }
+
+    #[test]
+    fn blend_is_deterministic() {
+        let p = CliqueBlendParams::default();
+        assert_eq!(clique_blend(p, 5), clique_blend(p, 5));
+    }
+
+    #[test]
+    fn blend_clique_members_are_dense() {
+        let p = CliqueBlendParams {
+            cliques: 2,
+            clique_size: 30,
+            removal: 0.02,
+            sparse_nodes: 60,
+            sparse_p: 0.15,
+        };
+        let g = clique_blend(p, 11);
+        // A clique member's *normalized* local sparsity ζ_v/d_v should be
+        // far below a background node's (sparsity scales with degree, so
+        // absolute values are not comparable across degrees).
+        let member = 0;
+        let background = (2 * 30 + 1) as NodeId;
+        let norm = |v: NodeId| analysis::local_sparsity(&g, v) / g.degree(v).max(1) as f64;
+        assert!(
+            norm(member) < 0.7 * norm(background),
+            "member ζ/d = {}, background ζ/d = {}",
+            norm(member),
+            norm(background)
+        );
+    }
+
+    #[test]
+    fn planted_truth_covers_all_nodes() {
+        let (g, truth) = planted_acd(3, 10, 0.05, 20, 0.05, 9);
+        assert_eq!(truth.len(), g.n());
+        assert_eq!(truth.iter().filter(|t| t.is_some()).count(), 30);
+    }
+
+    #[test]
+    fn hub_and_spokes_shape() {
+        let g = hub_and_spokes(4, 10, 2);
+        assert_eq!(g.n(), 44);
+        // Spokes have degree ≤ 2, hubs much larger.
+        assert!(g.degree(0) >= 3 + 10);
+        assert!(g.degree(4) <= 2);
+    }
+}

@@ -1,0 +1,165 @@
+//! Erdős–Rényi random graphs.
+
+use crate::{Graph, GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Erdős–Rényi `G(n, p)`: every pair is an edge independently with
+/// probability `p`.
+///
+/// Uses geometric skipping, so generation takes `O(n + m)` expected time
+/// rather than `O(n²)` when `p` is small.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must lie in [0, 1], got {p}");
+    let mut b = GraphBuilder::new(n);
+    if n >= 2 && p > 0.0 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        if p >= 1.0 {
+            for u in 0..n as NodeId {
+                for v in (u + 1)..n as NodeId {
+                    b.add_edge(u, v);
+                }
+            }
+            return b.build();
+        }
+        // Iterate over the pairs (u, v), u < v, in lexicographic order,
+        // skipping a Geometric(p)-distributed number of non-edges each step.
+        let log_q = (1.0 - p).ln();
+        let total_pairs = n as u64 * (n as u64 - 1) / 2;
+        let mut idx: u64 = 0;
+        loop {
+            let r: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let skip = (r.ln() / log_q).floor() as u64;
+            idx = match idx.checked_add(skip) {
+                Some(i) => i,
+                None => break,
+            };
+            if idx >= total_pairs {
+                break;
+            }
+            let (u, v) = pair_of_index(n as u64, idx);
+            b.add_edge(u as NodeId, v as NodeId);
+            idx += 1;
+        }
+    }
+    b.build()
+}
+
+/// `G(n, p)` conditioned on minimum degree ≥ `dmin`: after sampling, every
+/// deficient node is topped up with edges to uniformly random distinct
+/// partners. Used for the high-min-degree experiments (Theorem 1's
+/// `O(log* n)` regime).
+pub fn gnp_min_degree(n: usize, p: f64, dmin: usize, seed: u64) -> Graph {
+    assert!(dmin < n, "dmin must be < n");
+    let base = gnp(n, p, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut b = GraphBuilder::new(n);
+    for (u, v) in base.edges() {
+        b.add_edge(u, v);
+    }
+    let mut extra: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for v in 0..n {
+        let need = dmin.saturating_sub(base.degree(v as NodeId) + extra[v].len());
+        let mut added = 0;
+        let mut attempts = 0;
+        while added < need && attempts < 50 * (need + 1) {
+            attempts += 1;
+            let w = rng.gen_range(0..n) as NodeId;
+            if w as usize == v
+                || base.has_edge(v as NodeId, w)
+                || extra[v].contains(&w)
+                || extra[w as usize].contains(&(v as NodeId))
+            {
+                continue;
+            }
+            extra[v].push(w);
+            extra[w as usize].push(v as NodeId);
+            b.add_edge(v as NodeId, w);
+            added += 1;
+        }
+    }
+    b.build()
+}
+
+/// Map a lexicographic pair index to the pair `(u, v)`, `u < v`, over `n`
+/// nodes. Index 0 is `(0,1)`, index `n-2` is `(0,n-1)`, index `n-1` is
+/// `(1,2)` and so on.
+fn pair_of_index(n: u64, idx: u64) -> (u64, u64) {
+    // Row u starts at offset S(u) = u*n - u*(u+1)/2 - u... derive by scan.
+    // Binary search on u: number of pairs with first coordinate < u is
+    // f(u) = u*(2n - u - 1)/2.
+    let f = |u: u64| u * (2 * n - u - 1) / 2;
+    let (mut lo, mut hi) = (0u64, n - 1);
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        if f(mid) <= idx {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    let u = lo;
+    let v = u + 1 + (idx - f(u));
+    (u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_indexing_roundtrip() {
+        let n = 7u64;
+        let mut idx = 0u64;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                assert_eq!(pair_of_index(n, idx), (u, v));
+                idx += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn p_zero_and_one() {
+        assert_eq!(gnp(10, 0.0, 1).m(), 0);
+        assert_eq!(gnp(10, 1.0, 1).m(), 45);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = gnp(64, 0.2, 7);
+        let b = gnp(64, 0.2, 7);
+        assert_eq!(a, b);
+        let c = gnp(64, 0.2, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn edge_count_concentrates() {
+        let n = 200;
+        let p = 0.1;
+        let g = gnp(n, p, 42);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.m() as f64;
+        assert!(
+            (got - expected).abs() < 0.25 * expected,
+            "m = {got}, expected ≈ {expected}"
+        );
+    }
+
+    #[test]
+    fn min_degree_is_enforced() {
+        let g = gnp_min_degree(100, 0.02, 8, 3);
+        assert!(g.min_degree() >= 8, "min degree {}", g.min_degree());
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        assert_eq!(gnp(0, 0.5, 1).n(), 0);
+        assert_eq!(gnp(1, 0.5, 1).m(), 0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Workload generators.
+//!
+//! Each generator is deterministic given its `seed`, so experiments are
+//! reproducible. The families cover the regimes the paper's algorithms
+//! distinguish: sparse neighborhoods (Erdős–Rényi), dense almost-cliques
+//! (planted blends), skewed degrees (Chung–Lu), and planted triangle- or
+//! four-cycle-rich structure for the detection experiments.
+
+mod cliques;
+mod gnp;
+mod powerlaw;
+mod regular;
+mod structured;
+mod subgraph_rich;
+
+pub use cliques::{clique_blend, disjoint_cliques, hub_and_spokes, planted_acd, CliqueBlendParams};
+pub use gnp::{gnp, gnp_min_degree};
+pub use powerlaw::chung_lu;
+pub use regular::random_regular;
+pub use structured::{complete, complete_bipartite, cycle, grid, path, star};
+pub use subgraph_rich::{four_cycle_rich, triangle_rich};

@@ -1,0 +1,60 @@
+//! Near-regular random graphs via the configuration model.
+
+use crate::{Graph, GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A random (near-)`d`-regular simple graph by the configuration model:
+/// `d` stubs per node are paired uniformly; self-loops and duplicate
+/// pairings are dropped (so a few nodes may end with degree `d − O(1)`).
+///
+/// Regular graphs are the degree-uniform extreme for the coloring
+/// experiments: no node is "uneven" and sparsity is homogeneous.
+///
+/// # Panics
+///
+/// Panics if `d >= n` or `n·d` is odd.
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
+    assert!(d < n, "degree must be below n");
+    assert!((n * d) % 2 == 0, "n·d must be even");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stubs: Vec<NodeId> = (0..n as NodeId).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+    stubs.shuffle(&mut rng);
+    let mut b = GraphBuilder::new(n);
+    for pair in stubs.chunks_exact(2) {
+        b.add_edge(pair[0], pair[1]);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrees_concentrate_near_d() {
+        let g = random_regular(200, 8, 3);
+        assert_eq!(g.n(), 200);
+        let avg = 2.0 * g.m() as f64 / 200.0;
+        assert!(avg > 7.0, "avg degree {avg}");
+        assert!(g.max_degree() <= 8);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(random_regular(60, 4, 9), random_regular(60, 4, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn rejects_odd_stub_count() {
+        let _ = random_regular(5, 3, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "below n")]
+    fn rejects_degree_at_least_n() {
+        let _ = random_regular(4, 4, 1);
+    }
+}

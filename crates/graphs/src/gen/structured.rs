@@ -1,0 +1,125 @@
+//! Deterministic structured graphs: cliques, cycles, paths, stars, grids,
+//! complete bipartite graphs.
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// The cycle `C_n` (empty for `n < 3`).
+pub fn cycle(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    if n >= 3 {
+        for v in 0..n as NodeId {
+            b.add_edge(v, ((v as usize + 1) % n) as NodeId);
+        }
+    }
+    b.build()
+}
+
+/// The path `P_n` on `n` nodes.
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n as NodeId {
+        b.add_edge(v - 1, v);
+    }
+    b.build()
+}
+
+/// The star with `leaves` leaves; node 0 is the center.
+pub fn star(leaves: usize) -> Graph {
+    let mut b = GraphBuilder::new(leaves + 1);
+    for v in 1..=leaves as NodeId {
+        b.add_edge(0, v);
+    }
+    b.build()
+}
+
+/// The complete bipartite graph `K_{a,b}`; part A is `0..a`, part B is
+/// `a..a+b`.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut builder = GraphBuilder::new(a + b);
+    for u in 0..a as NodeId {
+        for v in a as NodeId..(a + b) as NodeId {
+            builder.add_edge(u, v);
+        }
+    }
+    builder.build()
+}
+
+/// The `rows × cols` grid graph.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut b = GraphBuilder::new(rows * cols);
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_graph_counts() {
+        let g = complete(6);
+        assert_eq!(g.m(), 15);
+        assert_eq!(g.min_degree(), 5);
+    }
+
+    #[test]
+    fn cycle_counts() {
+        let g = cycle(5);
+        assert_eq!(g.m(), 5);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(cycle(2).m(), 0);
+    }
+
+    #[test]
+    fn path_counts() {
+        let g = path(5);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn star_counts() {
+        let g = star(7);
+        assert_eq!(g.degree(0), 7);
+        assert_eq!(g.m(), 7);
+    }
+
+    #[test]
+    fn bipartite_counts() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.m(), 12);
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.degree(3), 3);
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn grid_counts() {
+        let g = grid(3, 4);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 * 3 + 2 * 4);
+        assert_eq!(g.max_degree(), 4);
+    }
+}

@@ -1,0 +1,85 @@
+//! Planted triangle- and four-cycle-rich instances for the detection
+//! experiments (Theorems 2 and 3).
+
+use crate::{Graph, GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A graph where one designated edge `{0, 1}` participates in exactly
+/// `triangles` triangles, embedded in triangle-poor `G(n, p)` noise.
+///
+/// Nodes `2..2+triangles` are common neighbors of 0 and 1. Noise edges are
+/// added only between nodes `≥ 2 + triangles` to keep the planted count
+/// exact.
+pub fn triangle_rich(n: usize, triangles: usize, noise_p: f64, seed: u64) -> Graph {
+    assert!(n >= triangles + 2, "need at least triangles + 2 nodes");
+    let mut b = GraphBuilder::new(n);
+    b.add_edge(0, 1);
+    for t in 0..triangles as NodeId {
+        b.add_edge(0, 2 + t);
+        b.add_edge(1, 2 + t);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let first_noise = 2 + triangles;
+    for u in first_noise..n {
+        for v in (u + 1)..n {
+            if rng.gen::<f64>() < noise_p {
+                b.add_edge(u as NodeId, v as NodeId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// A graph where the wedge `(2, 0, 3)` centered at node 0 closes exactly
+/// `cycles` four-cycles: a planted `K_{2, cycles+1}` between `{2, 3}` and
+/// `{0}` ∪ fresh nodes, plus background noise among the remaining nodes.
+///
+/// Concretely nodes 2 and 3 are both adjacent to node 0 and to `cycles`
+/// shared partners, so the pair of edges `(0,2), (0,3)` lies on `cycles`
+/// four-cycles `0–2–w–3–0`.
+pub fn four_cycle_rich(n: usize, cycles: usize, noise_p: f64, seed: u64) -> Graph {
+    assert!(n >= cycles + 4, "need at least cycles + 4 nodes");
+    let mut b = GraphBuilder::new(n);
+    b.add_edge(0, 2);
+    b.add_edge(0, 3);
+    for c in 0..cycles as NodeId {
+        let w = 4 + c;
+        b.add_edge(2, w);
+        b.add_edge(3, w);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let first_noise = 4 + cycles;
+    for u in first_noise..n {
+        for v in (u + 1)..n {
+            if rng.gen::<f64>() < noise_p {
+                b.add_edge(u as NodeId, v as NodeId);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+
+    #[test]
+    fn planted_triangle_count_is_exact() {
+        let g = triangle_rich(60, 12, 0.05, 21);
+        assert_eq!(analysis::triangles_through_edge(&g, 0, 1), 12);
+    }
+
+    #[test]
+    fn planted_four_cycle_count_is_exact() {
+        let g = four_cycle_rich(60, 9, 0.05, 22);
+        assert_eq!(analysis::four_cycles_through_wedge(&g, 0, 2, 3), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn triangle_rich_rejects_small_n() {
+        let _ = triangle_rich(5, 10, 0.0, 1);
+    }
+}

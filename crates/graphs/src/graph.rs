@@ -1,0 +1,357 @@
+//! Compact undirected simple graphs in compressed-sparse-row form.
+
+use crate::NodeId;
+
+/// An immutable, undirected, simple graph stored in CSR form.
+///
+/// Nodes are identified by indices `0..n`. Neighbor lists are sorted, which
+/// makes membership queries (`has_edge`) logarithmic and neighborhood
+/// intersections linear.
+///
+/// # Example
+///
+/// ```
+/// use graphs::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 2);
+/// let g = b.build();
+/// assert_eq!(g.degree(1), 2);
+/// assert!(g.has_edge(0, 1));
+/// assert!(!g.has_edge(0, 2));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    /// CSR offsets, length `n + 1`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted adjacency lists, length `2m`.
+    adj: Vec<NodeId>,
+}
+
+impl Graph {
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.adj.len() / 2
+    }
+
+    /// Degree of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Maximum degree Δ of the graph (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.n()).map(|v| self.degree(v as NodeId)).max().unwrap_or(0)
+    }
+
+    /// Minimum degree δ of the graph (0 for the empty graph).
+    pub fn min_degree(&self) -> usize {
+        (0..self.n()).map(|v| self.degree(v as NodeId)).min().unwrap_or(0)
+    }
+
+    /// Sorted slice of neighbors of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.adj[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Whether the undirected edge `{u, v}` is present.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        // Search the shorter adjacency list.
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterator over all undirected edges, each reported once as `(u, v)`
+    /// with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.n() as NodeId).flat_map(move |u| {
+            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+        })
+    }
+
+    /// Size of the intersection `|N(u) ∩ N(v)|` of two neighborhoods.
+    ///
+    /// This is also the number of triangles through the edge `{u, v}` when
+    /// `u` and `v` are adjacent.
+    pub fn common_neighbors(&self, u: NodeId, v: NodeId) -> usize {
+        let (mut i, mut j) = (0, 0);
+        let (nu, nv) = (self.neighbors(u), self.neighbors(v));
+        let mut count = 0;
+        while i < nu.len() && j < nv.len() {
+            match nu[i].cmp(&nv[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Connected components, as a vector mapping each node to a component
+    /// index in `0..k`, plus the number `k` of components.
+    pub fn components(&self) -> (Vec<u32>, usize) {
+        let n = self.n();
+        let mut comp = vec![u32::MAX; n];
+        let mut k = 0u32;
+        let mut stack = Vec::new();
+        for s in 0..n {
+            if comp[s] != u32::MAX {
+                continue;
+            }
+            comp[s] = k;
+            stack.push(s as NodeId);
+            while let Some(v) = stack.pop() {
+                for &w in self.neighbors(v) {
+                    if comp[w as usize] == u32::MAX {
+                        comp[w as usize] = k;
+                        stack.push(w);
+                    }
+                }
+            }
+            k += 1;
+        }
+        (comp, k as usize)
+    }
+
+    /// The subgraph induced by `keep` (nodes where `keep[v]` is true),
+    /// together with the mapping from new ids to original ids.
+    pub fn induced_subgraph(&self, keep: &[bool]) -> (Graph, Vec<NodeId>) {
+        assert_eq!(keep.len(), self.n(), "keep mask must cover every node");
+        let mut old_of_new = Vec::new();
+        let mut new_of_old = vec![u32::MAX; self.n()];
+        for v in 0..self.n() {
+            if keep[v] {
+                new_of_old[v] = old_of_new.len() as u32;
+                old_of_new.push(v as NodeId);
+            }
+        }
+        let mut b = GraphBuilder::new(old_of_new.len());
+        for (u, v) in self.edges() {
+            if keep[u as usize] && keep[v as usize] {
+                b.add_edge(new_of_old[u as usize], new_of_old[v as usize]);
+            }
+        }
+        (b.build(), old_of_new)
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Duplicate edges and self-loops are ignored, so generators can add edges
+/// freely.
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph on `n` nodes and no edges yet.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Number of nodes the built graph will have.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Record the undirected edge `{u, v}`. Self-loops are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        assert!((u as usize) < self.n && (v as usize) < self.n, "edge endpoint out of range");
+        if u == v {
+            return;
+        }
+        let e = if u < v { (u, v) } else { (v, u) };
+        self.edges.push(e);
+    }
+
+    /// Finish construction, deduplicating edges.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let mut deg = vec![0usize; self.n];
+        for &(u, v) in &self.edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &deg {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut adj = vec![0 as NodeId; acc];
+        for &(u, v) in &self.edges {
+            adj[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            adj[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        // Each list was filled in increasing order of the *other* endpoint
+        // only for the first endpoint; sort every list to guarantee order.
+        for v in 0..self.n {
+            adj[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Graph { offsets, adj }
+    }
+}
+
+impl FromIterator<(NodeId, NodeId)> for GraphBuilder {
+    /// Collect edges into a builder sized to the largest endpoint seen.
+    fn from_iter<T: IntoIterator<Item = (NodeId, NodeId)>>(iter: T) -> Self {
+        let edges: Vec<(NodeId, NodeId)> = iter.into_iter().collect();
+        let n = edges.iter().map(|&(u, v)| u.max(v) as usize + 1).max().unwrap_or(0);
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 0);
+        b.build()
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.min_degree(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes() {
+        let g = GraphBuilder::new(5).build();
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 0);
+        for v in 0..5 {
+            assert_eq!(g.degree(v), 0);
+            assert!(g.neighbors(v).is_empty());
+        }
+    }
+
+    #[test]
+    fn triangle_basics() {
+        let g = triangle();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        for v in 0..3 {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert_eq!(g.common_neighbors(0, 1), 1);
+    }
+
+    #[test]
+    fn duplicate_edges_and_self_loops_ignored() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        b.add_edge(0, 1);
+        b.add_edge(2, 2);
+        let g = b.build();
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let mut b = GraphBuilder::new(6);
+        for v in [5, 2, 4, 1, 3] {
+            b.add_edge(0, v);
+        }
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn edges_iterator_reports_each_edge_once() {
+        let g = triangle();
+        let e: Vec<_> = g.edges().collect();
+        assert_eq!(e, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn components_of_two_triangles() {
+        let mut b = GraphBuilder::new(6);
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            b.add_edge(u, v);
+        }
+        let g = b.build();
+        let (comp, k) = g.components();
+        assert_eq!(k, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[3], comp[5]);
+        assert_ne!(comp[0], comp[3]);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = triangle();
+        let (sub, map) = g.induced_subgraph(&[true, true, false]);
+        assert_eq!(sub.n(), 2);
+        assert_eq!(sub.m(), 1);
+        assert_eq!(map, vec![0, 1]);
+    }
+
+    #[test]
+    fn from_iterator_sizes_graph() {
+        let b: GraphBuilder = [(0u32, 3u32), (1, 2)].into_iter().collect();
+        let g = b.build();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn common_neighbors_disjoint() {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 2);
+        b.add_edge(0, 3);
+        b.add_edge(1, 4);
+        b.add_edge(1, 5);
+        let g = b.build();
+        assert_eq!(g.common_neighbors(0, 1), 0);
+    }
+}

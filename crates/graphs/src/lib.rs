@@ -1,0 +1,45 @@
+//! Graph substrate for the congest-coloring reproduction.
+//!
+//! This crate provides everything graph-shaped that the paper's algorithms
+//! and experiments need, with no distributed-computing concerns:
+//!
+//! * [`Graph`]: a compact, immutable, undirected simple graph in CSR form,
+//!   built through [`GraphBuilder`];
+//! * [`gen`]: workload generators — Erdős–Rényi [`gen::gnp`], planted
+//!   almost-clique blends [`gen::cliques`], Chung–Lu power-law graphs
+//!   [`gen::chung_lu`], structured graphs (cycles, stars, grids, complete
+//!   bipartite), and triangle-/four-cycle-rich instances for the
+//!   subgraph-detection experiments;
+//! * [`analysis`]: ground truths the experiments compare against — local and
+//!   global sparsity (Definition 1 of the paper), per-edge triangle counts,
+//!   per-wedge four-cycle counts, neighborhood intersections;
+//! * [`palette`]: list-assignment generators for the (degree+1)-list-coloring
+//!   problem and validity checking of colorings.
+//!
+//! # Example
+//!
+//! ```
+//! use graphs::gen;
+//! use graphs::analysis;
+//!
+//! let g = gen::gnp(100, 0.1, 42);
+//! assert_eq!(g.n(), 100);
+//! let zeta = analysis::local_sparsity(&g, 0);
+//! assert!(zeta >= 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod gen;
+mod graph;
+pub mod palette;
+
+pub use graph::{Graph, GraphBuilder};
+
+/// Node identifier: an index into `0..n`.
+pub type NodeId = u32;
+
+/// A color value. Colors live in a declared color space `[0, 2^color_bits)`;
+/// the distributed layer charges `color_bits` for sending one raw color.
+pub type Color = u64;

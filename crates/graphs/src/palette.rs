@@ -1,0 +1,315 @@
+//! List assignments for the (degree+1)-list-coloring problem and coloring
+//! validation.
+//!
+//! In D1LC every node `v` receives a list of `d_v + 1` colors from an
+//! arbitrary color space and must pick a list color distinct from all
+//! neighbors' picks. The generators here produce the list regimes the
+//! experiments need: plain `[d_v+1]` lists (the D1C problem of Corollary 1),
+//! `[Δ+1]` lists, random lists from a large space (true list coloring), and
+//! adversarially overlapping lists.
+
+use crate::{Color, Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// A list assignment: one sorted color list per node, plus the declared
+/// bit-width of the color space (how many bits sending one raw color costs
+/// in CONGEST).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ListAssignment {
+    lists: Vec<Vec<Color>>,
+    color_bits: u32,
+}
+
+impl ListAssignment {
+    /// Build from raw lists. Lists are sorted and deduplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any color needs more than `color_bits` bits.
+    pub fn new(mut lists: Vec<Vec<Color>>, color_bits: u32) -> Self {
+        assert!(color_bits <= 64, "color_bits must be ≤ 64");
+        for list in &mut lists {
+            list.sort_unstable();
+            list.dedup();
+            if let Some(&max) = list.last() {
+                let need = 64 - max.leading_zeros();
+                assert!(need <= color_bits, "color {max} exceeds {color_bits} bits");
+            }
+        }
+        ListAssignment { lists, color_bits }
+    }
+
+    /// The list of node `v`.
+    pub fn list(&self, v: NodeId) -> &[Color] {
+        &self.lists[v as usize]
+    }
+
+    /// Number of nodes covered.
+    pub fn n(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Declared bit-width of the color space.
+    pub fn color_bits(&self) -> u32 {
+        self.color_bits
+    }
+
+    /// Whether this is a valid *(degree+1)*-list assignment for `g`:
+    /// every node has at least `d_v + 1` colors.
+    pub fn is_degree_plus_one(&self, g: &Graph) -> bool {
+        self.lists.len() == g.n()
+            && (0..g.n()).all(|v| self.lists[v].len() > g.degree(v as NodeId))
+    }
+
+    /// Consume into the raw lists.
+    pub fn into_lists(self) -> Vec<Vec<Color>> {
+        self.lists
+    }
+}
+
+/// D1C lists: node `v` gets `{0, 1, …, d_v}` (Corollary 1's instance).
+pub fn degree_plus_one_lists(g: &Graph) -> ListAssignment {
+    let lists = (0..g.n())
+        .map(|v| (0..=g.degree(v as NodeId) as Color).collect())
+        .collect();
+    let delta = g.max_degree() as u64 + 1;
+    ListAssignment::new(lists, bits_for(delta))
+}
+
+/// (Δ+1)-coloring lists: every node gets `{0, …, Δ}`.
+pub fn delta_plus_one_lists(g: &Graph) -> ListAssignment {
+    let delta = g.max_degree();
+    let lists = (0..g.n()).map(|_| (0..=delta as Color).collect()).collect();
+    ListAssignment::new(lists, bits_for(delta as u64 + 1))
+}
+
+/// Random D1LC lists: node `v` gets `d_v + 1 + extra` distinct uniform
+/// colors from the space `[0, 2^color_bits)`.
+///
+/// This is the regime where the paper's hashing machinery is essential:
+/// colors are much larger than degrees, and naive color exchange costs
+/// `color_bits` per color.
+///
+/// # Panics
+///
+/// Panics if the color space is too small to give every node a list.
+pub fn random_lists(g: &Graph, color_bits: u32, extra: usize, seed: u64) -> ListAssignment {
+    assert!(color_bits <= 63, "random_lists supports color spaces up to 2^63");
+    let space = 1u64 << color_bits;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut lists = Vec::with_capacity(g.n());
+    for v in 0..g.n() {
+        let want = g.degree(v as NodeId) + 1 + extra;
+        assert!(
+            (want as u64) <= space,
+            "color space 2^{color_bits} too small for list of size {want}"
+        );
+        let mut set = HashSet::with_capacity(want);
+        while set.len() < want {
+            set.insert(rng.gen_range(0..space));
+        }
+        let mut list: Vec<Color> = set.into_iter().collect();
+        list.sort_unstable();
+        lists.push(list);
+    }
+    ListAssignment::new(lists, color_bits)
+}
+
+/// Adversarial overlapping lists: all nodes draw from a narrow shared window
+/// of size `window` (at least the maximum needed list size), so lists
+/// overlap heavily and color competition is maximal.
+pub fn shared_window_lists(g: &Graph, window: u64, seed: u64) -> ListAssignment {
+    let need = g.max_degree() as u64 + 1;
+    assert!(window >= need, "window {window} smaller than Δ+1 = {need}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut lists = Vec::with_capacity(g.n());
+    for v in 0..g.n() {
+        let want = g.degree(v as NodeId) + 1;
+        let mut set = HashSet::with_capacity(want);
+        while set.len() < want {
+            set.insert(rng.gen_range(0..window));
+        }
+        let mut list: Vec<Color> = set.into_iter().collect();
+        list.sort_unstable();
+        lists.push(list);
+    }
+    ListAssignment::new(lists, bits_for(window))
+}
+
+/// A complete coloring: one color per node.
+pub type Coloring = Vec<Color>;
+
+/// Error describing why a coloring is invalid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ColoringError {
+    /// The coloring has the wrong number of entries.
+    WrongLength {
+        /// Entries provided.
+        got: usize,
+        /// Entries expected (`g.n()`).
+        expected: usize,
+    },
+    /// A node used a color outside its list.
+    NotInList {
+        /// The offending node.
+        node: NodeId,
+        /// The color it used.
+        color: Color,
+    },
+    /// Two adjacent nodes share a color.
+    Conflict {
+        /// First endpoint.
+        u: NodeId,
+        /// Second endpoint.
+        v: NodeId,
+        /// The shared color.
+        color: Color,
+    },
+}
+
+impl std::fmt::Display for ColoringError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ColoringError::WrongLength { got, expected } => {
+                write!(f, "coloring has {got} entries, expected {expected}")
+            }
+            ColoringError::NotInList { node, color } => {
+                write!(f, "node {node} used color {color} outside its list")
+            }
+            ColoringError::Conflict { u, v, color } => {
+                write!(f, "adjacent nodes {u} and {v} share color {color}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ColoringError {}
+
+/// Verify that `coloring` is a proper list-coloring of `g` under `lists`.
+///
+/// # Errors
+///
+/// Returns the first violation found: wrong length, a color outside its
+/// node's list, or a monochromatic edge.
+pub fn check_coloring(
+    g: &Graph,
+    lists: &ListAssignment,
+    coloring: &[Color],
+) -> Result<(), ColoringError> {
+    if coloring.len() != g.n() {
+        return Err(ColoringError::WrongLength { got: coloring.len(), expected: g.n() });
+    }
+    for v in 0..g.n() {
+        let c = coloring[v];
+        if lists.list(v as NodeId).binary_search(&c).is_err() {
+            return Err(ColoringError::NotInList { node: v as NodeId, color: c });
+        }
+    }
+    for (u, v) in g.edges() {
+        if coloring[u as usize] == coloring[v as usize] {
+            return Err(ColoringError::Conflict { u, v, color: coloring[u as usize] });
+        }
+    }
+    Ok(())
+}
+
+/// Bits needed to represent values in `[0, space)`.
+fn bits_for(space: u64) -> u32 {
+    64 - space.saturating_sub(1).leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn d1c_lists_have_right_sizes() {
+        let g = gen::star(5);
+        let lists = degree_plus_one_lists(&g);
+        assert!(lists.is_degree_plus_one(&g));
+        assert_eq!(lists.list(0).len(), 6);
+        assert_eq!(lists.list(1).len(), 2);
+    }
+
+    #[test]
+    fn delta_lists_uniform() {
+        let g = gen::star(5);
+        let lists = delta_plus_one_lists(&g);
+        assert_eq!(lists.list(3), &[0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn random_lists_are_d1lc() {
+        let g = gen::gnp(50, 0.2, 3);
+        let lists = random_lists(&g, 40, 0, 7);
+        assert!(lists.is_degree_plus_one(&g));
+        assert_eq!(lists.color_bits(), 40);
+    }
+
+    #[test]
+    fn shared_window_lists_are_d1lc() {
+        let g = gen::gnp(40, 0.3, 5);
+        let window = g.max_degree() as u64 + 4;
+        let lists = shared_window_lists(&g, window, 2);
+        assert!(lists.is_degree_plus_one(&g));
+        for v in 0..g.n() as NodeId {
+            assert!(lists.list(v).iter().all(|&c| c < window));
+        }
+    }
+
+    #[test]
+    fn check_coloring_accepts_valid() {
+        let g = gen::cycle(4);
+        let lists = degree_plus_one_lists(&g);
+        let coloring = vec![0, 1, 0, 1];
+        assert_eq!(check_coloring(&g, &lists, &coloring), Ok(()));
+    }
+
+    #[test]
+    fn check_coloring_rejects_conflict() {
+        let g = gen::path(2);
+        let lists = degree_plus_one_lists(&g);
+        let err = check_coloring(&g, &lists, &[1, 1]).unwrap_err();
+        assert!(matches!(err, ColoringError::Conflict { color: 1, .. }));
+    }
+
+    #[test]
+    fn check_coloring_rejects_off_list() {
+        let g = gen::path(2);
+        let lists = degree_plus_one_lists(&g);
+        let err = check_coloring(&g, &lists, &[9, 0]).unwrap_err();
+        assert!(matches!(err, ColoringError::NotInList { node: 0, color: 9 }));
+    }
+
+    #[test]
+    fn check_coloring_rejects_wrong_length() {
+        let g = gen::path(3);
+        let lists = degree_plus_one_lists(&g);
+        let err = check_coloring(&g, &lists, &[0]).unwrap_err();
+        assert!(matches!(err, ColoringError::WrongLength { got: 1, expected: 3 }));
+    }
+
+    #[test]
+    fn bits_for_boundaries() {
+        assert_eq!(bits_for(1), 0);
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(256), 8);
+        assert_eq!(bits_for(257), 9);
+    }
+
+    #[test]
+    fn lists_deduplicate() {
+        let la = ListAssignment::new(vec![vec![3, 1, 3, 2]], 8);
+        assert_eq!(la.list(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn rejects_colors_too_wide() {
+        let _ = ListAssignment::new(vec![vec![256]], 8);
+    }
+}

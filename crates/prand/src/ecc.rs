@@ -1,0 +1,255 @@
+//! Error-correcting codes for the uniform ε-Buddy procedure (§5.2).
+//!
+//! Alg. 6 encodes node identifiers with a code of parameters
+//! `[3b, b, b/2]` so that *distinct* identifiers differ in a constant
+//! fraction of their bits, which turns "the hashed neighborhoods agree but
+//! the hash had collisions" into a large measurable Hamming distance.
+//!
+//! Construction: a Reed–Solomon outer code over GF(2⁸) (distance
+//! `n − k + 1` symbols) concatenated with a nonlinear inner code mapping
+//! each byte to a 16-bit codeword with pairwise distance ≥ 5 (greedy
+//! lexicographic construction, verified in tests). For the default
+//! parameters (`k = 8` message bytes = 64-bit IDs, `n = 24` code symbols)
+//! two distinct IDs differ in ≥ 17 symbols, hence in
+//! ≥ 17·5 = 85 bits out of 384 — a `≥ 22%` relative distance, comfortably
+//! a "constant fraction" for the Alg. 6 threshold test.
+
+use crate::field::Gf256;
+
+/// A Reed–Solomon code over GF(2⁸): `k` message bytes encoded as the
+/// evaluations of the message polynomial at `n` fixed points.
+///
+/// # Example
+///
+/// ```
+/// use prand::ReedSolomon;
+///
+/// let rs = ReedSolomon::new(24, 8);
+/// let a = rs.encode(&42u64.to_le_bytes());
+/// let b = rs.encode(&43u64.to_le_bytes());
+/// let differing = a.iter().zip(&b).filter(|(x, y)| x != y).count();
+/// assert!(differing >= 24 - 8 + 1);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReedSolomon {
+    n: usize,
+    k: usize,
+}
+
+impl ReedSolomon {
+    /// An `[n, k]` RS code (distance `n − k + 1` symbols).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < k ≤ n ≤ 255`.
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(k > 0 && k <= n && n <= 255, "invalid RS parameters [{n}, {k}]");
+        ReedSolomon { n, k }
+    }
+
+    /// Code length in symbols.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Message length in symbols.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Minimum distance `n − k + 1` in symbols.
+    pub fn distance(&self) -> usize {
+        self.n - self.k + 1
+    }
+
+    /// Encode exactly `k` message bytes into `n` code symbols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `msg.len() != k`.
+    pub fn encode(&self, msg: &[u8]) -> Vec<u8> {
+        assert_eq!(msg.len(), self.k, "message must have exactly k = {} bytes", self.k);
+        let f = Gf256::get();
+        // Evaluation points 1, g, g², … (all distinct, nonzero).
+        (0..self.n)
+            .map(|i| {
+                let x = f.pow(0x03, i as u32);
+                f.eval_poly(msg, x)
+            })
+            .collect()
+    }
+}
+
+/// Inner code: 256 codewords of 16 bits with pairwise Hamming distance ≥ 5,
+/// built greedily (first-fit over lexicographic 16-bit words). Deterministic
+/// and verified in tests.
+#[derive(Debug)]
+pub struct InnerCode {
+    words: [u16; 256],
+}
+
+static INNER: std::sync::OnceLock<InnerCode> = std::sync::OnceLock::new();
+
+impl InnerCode {
+    /// The shared inner-code instance.
+    pub fn get() -> &'static InnerCode {
+        INNER.get_or_init(InnerCode::build)
+    }
+
+    fn build() -> InnerCode {
+        let mut words = [0u16; 256];
+        let mut count = 0usize;
+        let mut candidate: u32 = 0;
+        while count < 256 {
+            let w = candidate as u16;
+            if words[..count].iter().all(|&u| (u ^ w).count_ones() >= 5) {
+                words[count] = w;
+                count += 1;
+            }
+            candidate += 1;
+            assert!(candidate <= u16::MAX as u32 + 1, "inner code construction failed");
+        }
+        InnerCode { words }
+    }
+
+    /// The 16-bit codeword of byte `b`.
+    #[inline]
+    pub fn encode(&self, b: u8) -> u16 {
+        self.words[b as usize]
+    }
+}
+
+/// The concatenated identifier code of Alg. 6: RS[24, 8] ∘ inner, mapping
+/// a 64-bit ID to 384 bits with relative distance ≥ 85/384.
+#[derive(Clone, Copy, Debug)]
+pub struct IdCode {
+    rs: ReedSolomon,
+}
+
+impl Default for IdCode {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IdCode {
+    /// The default `[384, 64, ≥85]`-bit identifier code.
+    pub fn new() -> Self {
+        IdCode { rs: ReedSolomon::new(24, 8) }
+    }
+
+    /// Codeword length in bits.
+    pub fn bits(&self) -> usize {
+        self.rs.n() * 16
+    }
+
+    /// Guaranteed minimum distance in bits between distinct codewords.
+    pub fn min_distance_bits(&self) -> usize {
+        self.rs.distance() * 5
+    }
+
+    /// Encode a 64-bit identifier into a packed bit vector
+    /// (`bits()/64` words, LSB-first).
+    pub fn encode(&self, id: u64) -> Vec<u64> {
+        let symbols = self.rs.encode(&id.to_le_bytes());
+        let inner = InnerCode::get();
+        let nbits = self.bits();
+        let mut out = vec![0u64; nbits.div_ceil(64)];
+        for (s, &sym) in symbols.iter().enumerate() {
+            let w = inner.encode(sym) as u64;
+            for b in 0..16 {
+                if w & (1 << b) != 0 {
+                    let pos = s * 16 + b;
+                    out[pos / 64] |= 1 << (pos % 64);
+                }
+            }
+        }
+        out
+    }
+
+    /// Bit `i` of a packed codeword.
+    pub fn bit(word: &[u64], i: usize) -> bool {
+        word[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Hamming distance between two packed codewords.
+    pub fn hamming(a: &[u64], b: &[u64]) -> usize {
+        a.iter().zip(b).map(|(x, y)| (x ^ y).count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rs_distance_on_near_messages() {
+        let rs = ReedSolomon::new(24, 8);
+        let a = rs.encode(&1u64.to_le_bytes());
+        for other in [2u64, 3, 255, 256, u64::MAX] {
+            let b = rs.encode(&other.to_le_bytes());
+            let d = a.iter().zip(&b).filter(|(x, y)| x != y).count();
+            assert!(d >= rs.distance(), "distance {d} < {} for id {other}", rs.distance());
+        }
+    }
+
+    #[test]
+    fn rs_is_deterministic_and_injective_on_sample() {
+        let rs = ReedSolomon::new(12, 4);
+        let mut seen = std::collections::HashSet::new();
+        for m in 0u32..500 {
+            let cw = rs.encode(&m.to_le_bytes());
+            assert!(seen.insert(cw.clone()), "codeword collision at {m}");
+            assert_eq!(cw, rs.encode(&m.to_le_bytes()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly k")]
+    fn rs_rejects_wrong_length() {
+        let rs = ReedSolomon::new(10, 4);
+        let _ = rs.encode(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn inner_code_has_distance_5() {
+        let c = InnerCode::get();
+        for a in 0u16..=255 {
+            for b in (a + 1)..=255 {
+                let d = (c.encode(a as u8) ^ c.encode(b as u8)).count_ones();
+                assert!(d >= 5, "inner distance {d} between {a} and {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn id_code_distance() {
+        let code = IdCode::new();
+        let a = code.encode(0xdead_beef);
+        for other in [0xdead_beee_u64, 0, u64::MAX, 0xdead_beef + (1 << 40)] {
+            let b = code.encode(other);
+            let d = IdCode::hamming(&a, &b);
+            assert!(
+                d >= code.min_distance_bits(),
+                "distance {d} < {} vs {other:x}",
+                code.min_distance_bits()
+            );
+        }
+        assert_eq!(IdCode::hamming(&a, &code.encode(0xdead_beef)), 0);
+    }
+
+    #[test]
+    fn id_code_relative_distance_exceeds_one_fifth() {
+        let code = IdCode::new();
+        assert!(code.min_distance_bits() as f64 / code.bits() as f64 > 0.2);
+    }
+
+    #[test]
+    fn bit_accessor_matches_encoding() {
+        let code = IdCode::new();
+        let w = code.encode(12345);
+        let ones: usize = w.iter().map(|x| x.count_ones() as usize).sum();
+        let via_bits = (0..code.bits()).filter(|&i| IdCode::bit(&w, i)).count();
+        assert_eq!(ones, via_bits);
+    }
+}

@@ -1,0 +1,172 @@
+//! Arithmetic in the finite field GF(2⁸), the substrate for the
+//! Reed–Solomon code of [`crate::ecc`].
+//!
+//! Elements are bytes; addition is XOR; multiplication is carried out via
+//! log/exp tables over the generator 0x03 of the multiplicative group,
+//! with the AES reduction polynomial `x⁸ + x⁴ + x³ + x + 1` (0x11b).
+
+/// Log/exp tables for GF(2⁸), built once.
+#[derive(Debug)]
+pub struct Gf256 {
+    exp: [u8; 512],
+    log: [u8; 256],
+}
+
+static TABLES: std::sync::OnceLock<Gf256> = std::sync::OnceLock::new();
+
+impl Gf256 {
+    /// The shared table instance.
+    pub fn get() -> &'static Gf256 {
+        TABLES.get_or_init(Gf256::build)
+    }
+
+    fn build() -> Gf256 {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x: u16 = 1;
+        for i in 0..255 {
+            exp[i] = x as u8;
+            log[x as usize] = i as u8;
+            // Multiply x by the generator 0x03 = x + 1.
+            x = (x << 1) ^ x;
+            if x & 0x100 != 0 {
+                x ^= 0x11b;
+            }
+        }
+        // Duplicate the exp table so mul can skip a modulo.
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Gf256 { exp, log }
+    }
+
+    /// Field addition (XOR).
+    #[inline]
+    pub fn add(&self, a: u8, b: u8) -> u8 {
+        a ^ b
+    }
+
+    /// Field multiplication.
+    #[inline]
+    pub fn mul(&self, a: u8, b: u8) -> u8 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            self.exp[self.log[a as usize] as usize + self.log[b as usize] as usize]
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `a == 0`.
+    #[inline]
+    pub fn inv(&self, a: u8) -> u8 {
+        assert!(a != 0, "zero has no inverse");
+        self.exp[255 - self.log[a as usize] as usize]
+    }
+
+    /// `a^k` by repeated squaring through the log table.
+    #[inline]
+    pub fn pow(&self, a: u8, k: u32) -> u8 {
+        if a == 0 {
+            return if k == 0 { 1 } else { 0 };
+        }
+        let l = (self.log[a as usize] as u32 * k) % 255;
+        self.exp[l as usize]
+    }
+
+    /// Evaluate the polynomial with coefficients `coeffs` (low degree
+    /// first) at point `x`, by Horner's rule.
+    pub fn eval_poly(&self, coeffs: &[u8], x: u8) -> u8 {
+        let mut acc = 0u8;
+        for &c in coeffs.iter().rev() {
+            acc = self.add(self.mul(acc, x), c);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Schoolbook multiplication for cross-checking.
+    fn slow_mul(mut a: u8, mut b: u8) -> u8 {
+        let mut p = 0u8;
+        while b != 0 {
+            if b & 1 != 0 {
+                p ^= a;
+            }
+            let hi = a & 0x80;
+            a <<= 1;
+            if hi != 0 {
+                a ^= 0x1b;
+            }
+            b >>= 1;
+        }
+        p
+    }
+
+    #[test]
+    fn table_mul_matches_schoolbook() {
+        let f = Gf256::get();
+        for a in 0..=255u8 {
+            for b in [0u8, 1, 2, 3, 7, 0x53, 0xca, 0xff] {
+                assert_eq!(f.mul(a, b), slow_mul(a, b), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_is_commutative_with_identity() {
+        let f = Gf256::get();
+        for a in 0..=255u8 {
+            assert_eq!(f.mul(a, 1), a);
+            assert_eq!(f.mul(1, a), a);
+            assert_eq!(f.mul(a, 0), 0);
+            assert_eq!(f.mul(a, 0x1d), f.mul(0x1d, a));
+        }
+    }
+
+    #[test]
+    fn inverse_is_correct() {
+        let f = Gf256::get();
+        for a in 1..=255u8 {
+            assert_eq!(f.mul(a, f.inv(a)), 1, "a={a}");
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let f = Gf256::get();
+        let a = 0x57u8;
+        let mut acc = 1u8;
+        for k in 0..20 {
+            assert_eq!(f.pow(a, k), acc, "k={k}");
+            acc = f.mul(acc, a);
+        }
+        assert_eq!(f.pow(0, 0), 1);
+        assert_eq!(f.pow(0, 5), 0);
+    }
+
+    #[test]
+    fn distributivity_samples() {
+        let f = Gf256::get();
+        for (a, b, c) in [(0x12u8, 0x34u8, 0x56u8), (0xff, 0xfe, 0x01), (7, 11, 13)] {
+            assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+        }
+    }
+
+    #[test]
+    fn poly_eval_horner() {
+        let f = Gf256::get();
+        // p(x) = 3 + 2x + x².
+        let coeffs = [3u8, 2, 1];
+        for x in [0u8, 1, 5, 0x80] {
+            let expected = f.add(f.add(3, f.mul(2, x)), f.mul(x, x));
+            assert_eq!(f.eval_poly(&coeffs, x), expected, "x={x}");
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Parameter derivations for representative hash families (Lemma 1).
+//!
+//! Lemma 1 of the paper: for `α ≤ β`, `ν ∈ (0,1)` and
+//! `λ ≥ max(45α⁻¹, 3α⁻¹β⁻²)·ln(12/ν)`, there is a family of
+//! `F = Θ(βλν⁻¹·log|U|)` hash functions `U → [λ]` and a window
+//! `σ = Θ(β⁻²α⁻¹·log(1/ν))` such that for all `A, B ⊆ U` with
+//! `|A|,|B| ≤ βλ`, at least a `(1−ν)` fraction of the family is
+//! `(A,B)`-good.
+//!
+//! [`RepParams::from_lemma1`] computes the verbatim constants from the
+//! proof. They are engineered for asymptotics and are enormous at laptop
+//! scale (σ in the thousands of bits), so the simulation-facing
+//! constructor [`RepParams::practical`] keeps the *formulas* (σ and the
+//! family-index width scale with `log n`; λ scales with the set sizes) but
+//! with constants suited to `n ≤ 10^5`. Experiment E10 measures how good
+//! the practical parameters actually are.
+
+/// Parameters identifying a representative hash family: output range `[λ]`,
+/// observation window `σ ≤ λ`, and family size `F`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RepParams {
+    /// Accuracy parameter `α` (lower bound scale for "large" sets).
+    pub alpha: f64,
+    /// Accuracy parameter `β` (relative error; `α ≤ β`).
+    pub beta: f64,
+    /// Failure parameter `ν`: at most a `ν` fraction of the family may be
+    /// bad for any fixed pair `(A, B)`.
+    pub nu: f64,
+    /// Hash output range: functions map into `[0, λ)`.
+    pub lambda: u64,
+    /// Observation window: the algorithms only look at hash values `< σ`.
+    pub sigma: u64,
+    /// Family size `F`; indices take `⌈log₂ F⌉` bits to communicate.
+    pub family_size: u64,
+}
+
+impl RepParams {
+    /// The verbatim constants from the proof of Lemma 1 / Claim 1.
+    ///
+    /// * `λ = ⌈max(45/α, 3/(αβ²))·ln(12/ν)⌉` (the lemma's lower bound,
+    ///   taken with equality),
+    /// * `σ = ⌈max(3/(αβ²)·ln(8/ν), 45/(αβ)·ln(12/ν))⌉` — the three
+    ///   window constraints appearing in the proof,
+    /// * `F = ⌈24βλ/ν · ln|U|⌉ + 1` from the union bound over
+    ///   `|U|^{4βλ}` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < α ≤ β < 1` and `0 < ν < 1`.
+    pub fn from_lemma1(alpha: f64, beta: f64, nu: f64, universe_bits: u32) -> Self {
+        validate(alpha, beta, nu);
+        let ln12 = (12.0 / nu).ln();
+        let ln8 = (8.0 / nu).ln();
+        let lambda = ((45.0 / alpha).max(3.0 / (alpha * beta * beta)) * ln12).ceil() as u64;
+        let sigma_f = (3.0 / (alpha * beta * beta) * ln8)
+            .max(45.0 / (alpha * beta) * ln12)
+            .max(45.0 / beta * ln12);
+        let sigma = (sigma_f.ceil() as u64).min(lambda);
+        let ln_u = (universe_bits as f64) * std::f64::consts::LN_2;
+        let family_size = (24.0 * beta * lambda as f64 / nu * ln_u.max(1.0)).ceil() as u64 + 1;
+        RepParams { alpha, beta, nu, lambda, sigma, family_size }
+    }
+
+    /// Simulation-scale parameters: caller chooses `λ` (typically
+    /// `Θ(max(|A|,|B|)/β)` as the algorithms require) and a window `σ`
+    /// proportional to the bandwidth (`Θ(log n)`); the family size is fixed
+    /// at `2^family_bits` so a member index costs `family_bits` bits.
+    ///
+    /// The advertised `ν` is computed back from σ via the Chernoff form of
+    /// Claim 1 (`ν ≈ 12·exp(−σ·αβ²/3)`), clamped to `(0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < α ≤ β < 1`, `σ ≤ λ` and `λ > 0`.
+    pub fn practical(alpha: f64, beta: f64, lambda: u64, sigma: u64, family_bits: u32) -> Self {
+        assert!(lambda > 0, "lambda must be positive");
+        assert!(sigma <= lambda, "sigma ({sigma}) must not exceed lambda ({lambda})");
+        assert!(family_bits <= 62, "family_bits too large");
+        let nu_raw = 12.0 * (-(sigma as f64) * alpha * beta * beta / 3.0).exp();
+        let nu = nu_raw.clamp(1e-300, 0.999_999);
+        validate(alpha, beta, nu);
+        RepParams { alpha, beta, nu, lambda, sigma, family_size: 1u64 << family_bits }
+    }
+
+    /// Bits required to communicate a member index: `⌈log₂ F⌉`.
+    pub fn index_bits(&self) -> u32 {
+        64 - self.family_size.saturating_sub(1).leading_zeros()
+    }
+
+    /// The largest set size `⌊βλ⌋` the Lemma 1 guarantees cover.
+    pub fn max_set_size(&self) -> u64 {
+        (self.beta * self.lambda as f64).floor() as u64
+    }
+
+    /// The "large set" threshold `αλ` below which the alternative bounds of
+    /// Lemma 1 apply.
+    pub fn large_set_threshold(&self) -> f64 {
+        self.alpha * self.lambda as f64
+    }
+}
+
+fn validate(alpha: f64, beta: f64, nu: f64) {
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1), got {alpha}");
+    assert!(beta > 0.0 && beta < 1.0, "beta must be in (0,1), got {beta}");
+    assert!(alpha <= beta, "alpha ({alpha}) must not exceed beta ({beta})");
+    assert!(nu > 0.0 && nu < 1.0, "nu must be in (0,1), got {nu}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma1_satisfies_its_own_bounds() {
+        let p = RepParams::from_lemma1(1.0 / 12.0, 1.0 / 3.0, 0.01, 64);
+        // λ ≥ max(45/α, 3/(αβ²))·ln(12/ν)
+        let bound = (45.0 * 12.0f64).max(3.0 * 12.0 * 9.0) * (12.0 / 0.01f64).ln();
+        assert!(p.lambda as f64 >= bound.floor());
+        assert!(p.sigma <= p.lambda);
+        assert!(p.family_size > p.lambda, "F should dominate λ here");
+    }
+
+    #[test]
+    fn paper_constants_are_large() {
+        // Document the scale: with the multitrial constants and ν = n⁻³ at
+        // n = 10⁴ the window is in the thousands — exactly why the
+        // practical profile exists.
+        let nu = 1e-12;
+        let p = RepParams::from_lemma1(1.0 / 12.0, 1.0 / 3.0, nu, 64);
+        assert!(p.sigma > 1000);
+    }
+
+    #[test]
+    fn practical_roundtrip() {
+        let p = RepParams::practical(1.0 / 12.0, 1.0 / 3.0, 600, 96, 16);
+        assert_eq!(p.lambda, 600);
+        assert_eq!(p.sigma, 96);
+        assert_eq!(p.family_size, 1 << 16);
+        assert_eq!(p.index_bits(), 16);
+        assert!(p.nu < 1.0);
+    }
+
+    #[test]
+    fn index_bits_exact_powers() {
+        let p = RepParams::practical(0.1, 0.2, 100, 10, 10);
+        assert_eq!(p.index_bits(), 10);
+    }
+
+    #[test]
+    fn max_set_size_is_beta_lambda() {
+        let p = RepParams::practical(0.1, 0.25, 400, 64, 12);
+        assert_eq!(p.max_set_size(), 100);
+        assert_eq!(p.large_set_threshold(), 40.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_alpha_above_beta() {
+        let _ = RepParams::from_lemma1(0.5, 0.1, 0.01, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn rejects_sigma_above_lambda() {
+        let _ = RepParams::practical(0.1, 0.2, 10, 11, 4);
+    }
+}

@@ -1,0 +1,172 @@
+//! Representative multisets via averaging samplers (Appendix B).
+//!
+//! A `(δ, ε)`-averaging sampler `Samp : [N] → [M]^t` guarantees that for
+//! every function `f : [M] → [0,1]`, the average of `f` over the sampled
+//! multiset is within `ε` of its average over `[M]`, except with
+//! probability `δ` over the choice of seed (Definition 3).
+//!
+//! The paper invokes *explicit* samplers using `N = Θ(log n)` random bits
+//! that sample `t = Θ(log|C| + log n)` elements. **Substitution:** the
+//! citation chain bottoms out in expander-walk constructions; we realize
+//! the same interface with a *seeded multiset* — element `j` of seed `s` is
+//! `mix(seed, s, j) mod M` — which uses the same `Θ(log n)` seed bits and
+//! satisfies the averaging property by Chernoff for each fixed `f` (the
+//! full-universality of expanders is not needed by any of our callers, who
+//! always apply the sampler to one adversary-independent `f` per
+//! invocation). The sampler property is verified statistically in tests
+//! and in experiment E12.
+
+use crate::mix::{bounded, mix4};
+use rand::Rng;
+
+/// A seeded family of multisets over `[0, M)`, each of size `t`, indexed by
+/// `N = 2^seed_bits` seeds.
+///
+/// # Example
+///
+/// ```
+/// use prand::MultisetSampler;
+///
+/// let sampler = MultisetSampler::new(7, 1000, 64, 16);
+/// let elems: Vec<u64> = sampler.multiset(3).collect();
+/// assert_eq!(elems.len(), 64);
+/// assert!(elems.iter().all(|&e| e < 1000));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MultisetSampler {
+    family_seed: u64,
+    m: u64,
+    t: u32,
+    seed_bits: u32,
+}
+
+impl MultisetSampler {
+    /// Sampler over domain `[0, m)` producing multisets of size `t`,
+    /// with `2^seed_bits` possible seeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`, `t == 0` or `seed_bits > 62`.
+    pub fn new(family_seed: u64, m: u64, t: u32, seed_bits: u32) -> Self {
+        assert!(m > 0, "domain size must be positive");
+        assert!(t > 0, "multiset size must be positive");
+        assert!(seed_bits <= 62, "seed_bits too large");
+        MultisetSampler { family_seed, m, t, seed_bits }
+    }
+
+    /// Domain size `M`.
+    pub fn m(&self) -> u64 {
+        self.m
+    }
+
+    /// Multiset size `t`.
+    pub fn t(&self) -> u32 {
+        self.t
+    }
+
+    /// Bits needed to communicate a seed (`N = 2^seed_bits`).
+    pub fn seed_bits(&self) -> u32 {
+        self.seed_bits
+    }
+
+    /// Number of seeds `N`.
+    pub fn num_seeds(&self) -> u64 {
+        1u64 << self.seed_bits
+    }
+
+    /// The multiset selected by `seed`, as an iterator of `t` elements of
+    /// `[0, M)` (duplicates possible — it is a multiset).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed` is out of range.
+    pub fn multiset(&self, seed: u64) -> impl Iterator<Item = u64> + '_ {
+        assert!(seed < self.num_seeds(), "seed {seed} out of range");
+        let fam = self.family_seed;
+        let m = self.m;
+        (0..self.t as u64).map(move |j| bounded(mix4(fam, seed, j, 0x5a3e_1e77), m))
+    }
+
+    /// Element `j` of the multiset selected by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed` or `j` is out of range.
+    pub fn element(&self, seed: u64, j: u32) -> u64 {
+        assert!(seed < self.num_seeds(), "seed {seed} out of range");
+        assert!(j < self.t, "position {j} out of range");
+        bounded(mix4(self.family_seed, seed, j as u64, 0x5a3e_1e77), self.m)
+    }
+
+    /// Draw a uniform seed.
+    pub fn sample_seed<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.gen_range(0..self.num_seeds())
+    }
+
+    /// Empirical average of `f` over the multiset selected by `seed`
+    /// (the quantity Definition 3 controls).
+    pub fn average<F: FnMut(u64) -> f64>(&self, seed: u64, mut f: F) -> f64 {
+        let sum: f64 = self.multiset(seed).map(&mut f).sum();
+        sum / self.t as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiset_is_deterministic() {
+        let s = MultisetSampler::new(3, 500, 32, 10);
+        let a: Vec<u64> = s.multiset(5).collect();
+        let b: Vec<u64> = s.multiset(5).collect();
+        assert_eq!(a, b);
+        let c: Vec<u64> = s.multiset(6).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn element_matches_multiset() {
+        let s = MultisetSampler::new(9, 100, 16, 8);
+        let elems: Vec<u64> = s.multiset(2).collect();
+        for (j, &e) in elems.iter().enumerate() {
+            assert_eq!(s.element(2, j as u32), e);
+        }
+    }
+
+    #[test]
+    fn averaging_property_holds_for_most_seeds() {
+        // f = indicator of [0, M/4): true average 0.25. With t = 256, the
+        // additive error should be < 0.1 for almost all seeds.
+        let s = MultisetSampler::new(11, 10_000, 256, 10);
+        let f = |x: u64| if x < 2500 { 1.0 } else { 0.0 };
+        let mut bad = 0;
+        for seed in 0..s.num_seeds() {
+            if (s.average(seed, f) - 0.25).abs() > 0.1 {
+                bad += 1;
+            }
+        }
+        let frac = bad as f64 / s.num_seeds() as f64;
+        assert!(frac < 0.01, "{bad} bad seeds ({frac})");
+    }
+
+    #[test]
+    fn hits_large_subsets() {
+        // A subset of density 1/8 should be hit by a t = 64 multiset for
+        // almost every seed (the "hitting sampler" use in Uniform
+        // MultiTrial).
+        let s = MultisetSampler::new(13, 4096, 64, 10);
+        let in_subset = |x: u64| x.is_multiple_of(8);
+        let misses = (0..s.num_seeds())
+            .filter(|&seed| !s.multiset(seed).any(in_subset))
+            .count();
+        assert!(misses < 5, "{misses} seeds missed a density-1/8 subset");
+    }
+
+    #[test]
+    #[should_panic(expected = "seed")]
+    fn rejects_out_of_range_seed() {
+        let s = MultisetSampler::new(1, 10, 4, 4);
+        let _ = s.multiset(16).count();
+    }
+}

@@ -1,0 +1,57 @@
+//! The §5 uniform toolkit, end to end.
+//!
+//! The paper's default algorithms are *non-uniform*: they assume shared
+//! representative hash families that are only known to exist. Section 5
+//! replaces them with explicit objects — pairwise-independent hashing,
+//! averaging samplers, error-correcting codes — at polynomial local
+//! computation. This example colors the same instance twice, once per
+//! ACD variant, and compares outcomes.
+//!
+//! ```text
+//! cargo run --release --example uniform_pipeline
+//! ```
+
+use congest_coloring::d1lc::{solve, SolveOptions};
+use congest_coloring::graphs::gen;
+use congest_coloring::graphs::palette::{check_coloring, random_lists};
+
+fn main() {
+    let (graph, _) = gen::planted_acd(3, 26, 0.05, 100, 0.05, 17);
+    let lists = random_lists(&graph, 48, 0, 5);
+    println!(
+        "instance: n = {}, m = {}, Δ = {}, 48-bit color lists\n",
+        graph.n(),
+        graph.m(),
+        graph.max_degree()
+    );
+
+    let mut rows = Vec::new();
+    for (label, uniform) in [("representative-hash ACD", false), ("uniform ACD (§5)", true)] {
+        let opts = SolveOptions { uniform_acd: uniform, ..SolveOptions::seeded(3) };
+        let r = solve(&graph, &lists, opts).expect("solve");
+        check_coloring(&graph, &lists, &r.coloring).expect("proper coloring");
+        let dense_colored: usize = r
+            .stats
+            .colored_by
+            .iter()
+            .filter(|(k, _)| {
+                ["synch-trial", "put-aside", "slack-outliers", "slack-dense"].contains(k)
+            })
+            .map(|(_, v)| v)
+            .sum();
+        rows.push((label, r.rounds(), r.log.max_edge_bits(), dense_colored, r.stats.repairs));
+    }
+
+    println!(
+        "{:<26} {:>7} {:>14} {:>18} {:>8}",
+        "ACD variant", "rounds", "max bits/edge", "colored by dense", "repairs"
+    );
+    for (label, rounds, bits, dense, repairs) in rows {
+        println!("{label:<26} {rounds:>7} {bits:>14} {dense:>18} {repairs:>8}");
+    }
+    println!(
+        "\nboth variants produce proper colorings; the uniform one needs no\n\
+         non-constructive advice — only pairwise hashing, samplers and codes\n\
+         (Alg. 5–6), at polynomial local computation."
+    );
+}

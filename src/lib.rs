@@ -1,0 +1,36 @@
+//! # congest-coloring
+//!
+//! A production-quality Rust reproduction of **"Overcoming Congestion in
+//! Distributed Coloring"** (Halldórsson, Nolin, Tonoyan — PODC 2022,
+//! arXiv:2205.14478).
+//!
+//! The paper introduces *representative hash functions* — small families of
+//! hash functions that behave statistically like fully random ones — and
+//! uses them to implement sampling and estimation primitives within the
+//! `O(log n)`-bandwidth CONGEST model, culminating in an ultrafast
+//! (degree+1)-list-coloring algorithm.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`congest`] — round-synchronous CONGEST simulator with per-edge
+//!   bandwidth accounting;
+//! * [`graphs`] — graph storage, workload generators, ground-truth analysis;
+//! * [`prand`] — pseudorandomness toolkit: representative hash families
+//!   (Lemma 1), pairwise-independent and universal hashing, averaging
+//!   samplers, Reed–Solomon codes;
+//! * [`estimate`] — §3 applications: `EstimateSimilarity`, `JointSample`,
+//!   `EstimateSparsity`, local triangle/four-cycle finding;
+//! * [`d1lc`] — §4–5 and the appendices: `MultiTrial`, almost-clique
+//!   decomposition, `SlackColor`, the full D1LC pipeline (Theorem 1), the
+//!   uniform implementations, and baselines.
+//!
+//! See `examples/quickstart.rs` for a guided tour and `DESIGN.md` for the
+//! system inventory.
+
+#![warn(missing_docs)]
+
+pub use congest;
+pub use d1lc;
+pub use estimate;
+pub use graphs;
+pub use prand;

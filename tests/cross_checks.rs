@@ -1,0 +1,160 @@
+//! Cross-system checks: different solvers on the same instance, estimators
+//! against exact ground truth, and the uniform implementations against the
+//! non-uniform ones.
+
+use congest_coloring::congest::SimConfig;
+use congest_coloring::d1lc::{
+    greedy_oracle, solve, solve_naive_multitrial, solve_random_trial, SolveOptions,
+};
+use congest_coloring::estimate::{
+    estimate_similarity, exact_intersection, run_neighborhood_similarity, SimilarityScheme,
+};
+use congest_coloring::graphs::palette::{check_coloring, degree_plus_one_lists, random_lists};
+use congest_coloring::graphs::{analysis, gen, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn three_solvers_one_instance() {
+    let g = gen::clique_blend(Default::default(), 6);
+    let lists = random_lists(&g, 40, 0, 2);
+    let a = solve(&g, &lists, SolveOptions::seeded(1)).expect("pipeline");
+    let b = solve_random_trial(&g, &lists, SolveOptions::seeded(1)).expect("baseline");
+    let c = solve_naive_multitrial(&g, &lists, 6, SolveOptions::seeded(1)).expect("naive");
+    let d = greedy_oracle(&g, &lists);
+    for (name, coloring) in
+        [("pipeline", &a.coloring), ("baseline", &b.coloring), ("naive", &c.coloring), ("greedy", &d)]
+    {
+        assert_eq!(check_coloring(&g, &lists, coloring), Ok(()), "{name}");
+    }
+}
+
+#[test]
+fn similarity_estimates_track_exact_intersections() {
+    // Statistical: mean absolute error across overlaps stays within the
+    // ε·max bound on average.
+    let scheme = SimilarityScheme::practical(0.25);
+    let size = 500u64;
+    for overlap_frac in [0.0f64, 0.3, 0.7, 1.0] {
+        let shift = ((1.0 - overlap_frac) * size as f64) as u64;
+        let su: Vec<u64> = (0..size).collect();
+        let sv: Vec<u64> = (shift..shift + size).collect();
+        let truth = exact_intersection(&su, &sv) as f64;
+        let mut total_err = 0.0;
+        let trials = 30u64;
+        for t in 0..trials {
+            let mut rng = StdRng::seed_from_u64(t);
+            let out = estimate_similarity(&scheme, &su, &sv, 9, &mut rng);
+            total_err += (out.estimate - truth).abs();
+        }
+        let mean_err = total_err / trials as f64;
+        assert!(
+            mean_err <= 0.25 * size as f64,
+            "overlap {overlap_frac}: mean error {mean_err}"
+        );
+    }
+}
+
+#[test]
+fn protocol_estimates_match_standalone_estimates_statistically() {
+    // The CONGEST per-edge protocol and the standalone two-party function
+    // implement the same Alg. 1; on a clique their estimates must both
+    // concentrate around the true overlap.
+    let g = gen::complete(20);
+    let scheme = SimilarityScheme::practical(0.25);
+    let (est, _) =
+        run_neighborhood_similarity(&g, scheme, SimConfig::seeded(3), 5).expect("protocol");
+    let truth = 18.0; // |N(u) ∩ N(v)| in K20
+    let mut protocol_mean = 0.0;
+    let mut count = 0.0;
+    for v in 0..g.n() {
+        for &e in &est[v] {
+            protocol_mean += e;
+            count += 1.0;
+        }
+    }
+    protocol_mean /= count;
+    assert!(
+        (protocol_mean - truth).abs() <= 0.25 * 19.0,
+        "protocol mean {protocol_mean} vs truth {truth}"
+    );
+}
+
+#[test]
+fn sparsity_estimator_ranks_nodes_like_ground_truth() {
+    // The estimator need not be exact, but it must order "clique member"
+    // vs "random node" correctly on average — that ordering is what the
+    // ACD consumes.
+    let g = gen::clique_blend(
+        gen::CliqueBlendParams {
+            cliques: 2,
+            clique_size: 25,
+            removal: 0.03,
+            sparse_nodes: 50,
+            sparse_p: 0.15,
+        },
+        8,
+    );
+    let (est, _) = congest_coloring::estimate::estimate_sparsity(
+        &g,
+        SimilarityScheme::practical(0.25),
+        SimConfig::seeded(4),
+        11,
+    )
+    .expect("sparsity");
+    let member_mean: f64 = (0..50).map(|v| est.local[v] / g.degree(v as NodeId) as f64).sum::<f64>() / 50.0;
+    let bg_mean: f64 = (50..100)
+        .map(|v| est.local[v] / g.degree(v as NodeId).max(1) as f64)
+        .sum::<f64>()
+        / 50.0;
+    assert!(
+        member_mean < bg_mean,
+        "clique members ζ̂/d = {member_mean:.3} should be below background {bg_mean:.3}"
+    );
+}
+
+#[test]
+fn pipeline_beats_baseline_on_palette_frugality() {
+    // Not a paper claim, just a sanity cross-check that both produce
+    // sensible colorings: the number of *distinct* colors used is at most
+    // Δ+1-ish for D1C lists for both solvers.
+    let g = gen::gnp(150, 0.1, 5);
+    let lists = degree_plus_one_lists(&g);
+    for (name, coloring) in [
+        ("pipeline", solve(&g, &lists, SolveOptions::seeded(3)).expect("solve").coloring),
+        (
+            "baseline",
+            solve_random_trial(&g, &lists, SolveOptions::seeded(3)).expect("baseline").coloring,
+        ),
+    ] {
+        let distinct: std::collections::HashSet<u64> = coloring.iter().copied().collect();
+        assert!(
+            distinct.len() <= g.max_degree() + 1,
+            "{name} used {} distinct colors with Δ = {}",
+            distinct.len(),
+            g.max_degree()
+        );
+    }
+}
+
+#[test]
+fn triangle_detector_agrees_with_exact_counts() {
+    let g = gen::triangle_rich(200, 25, 0.02, 7);
+    let (rep, _) = congest_coloring::estimate::find_triangle_rich_edges(
+        &g,
+        0.5,
+        SimilarityScheme::practical(0.25),
+        SimConfig::seeded(2),
+        13,
+    )
+    .expect("detector");
+    // Every flagged edge must have a nontrivial exact count (≥ εΔ/4 — the
+    // detector's gray zone is a factor 2 below the threshold).
+    for &(u, v) in &rep.flagged {
+        let exact = analysis::triangles_through_edge(&g, u, v) as f64;
+        assert!(
+            exact >= rep.threshold / 4.0,
+            "edge ({u},{v}) flagged with only {exact} triangles"
+        );
+    }
+}

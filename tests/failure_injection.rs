@@ -1,0 +1,135 @@
+//! Failure injection and adversarial edge cases: degenerate graphs,
+//! minimal lists, hostile list structure, bandwidth faults.
+
+use congest_coloring::congest::{Bandwidth, SimConfig};
+use congest_coloring::d1lc::{solve, SolveOptions};
+use congest_coloring::graphs::palette::{
+    check_coloring, degree_plus_one_lists, ListAssignment,
+};
+use congest_coloring::graphs::{gen, Color, GraphBuilder};
+
+#[test]
+fn degenerate_graphs() {
+    for g in [
+        gen::path(0),               // empty
+        gen::path(1),               // singleton
+        gen::path(2),               // one edge
+        GraphBuilder::new(7).build(), // isolated nodes
+    ] {
+        let lists = degree_plus_one_lists(&g);
+        let r = solve(&g, &lists, SolveOptions::seeded(1)).expect("solve");
+        assert_eq!(check_coloring(&g, &lists, &r.coloring), Ok(()));
+    }
+}
+
+#[test]
+fn disconnected_components_color_independently() {
+    let mut b = GraphBuilder::new(30);
+    // Three disjoint structures: a clique, a cycle, a path.
+    for i in 0..10u32 {
+        for j in (i + 1)..10 {
+            b.add_edge(i, j);
+        }
+    }
+    for i in 10..19u32 {
+        b.add_edge(i, i + 1);
+    }
+    b.add_edge(19, 10);
+    for i in 20..29u32 {
+        b.add_edge(i, i + 1);
+    }
+    let g = b.build();
+    let lists = degree_plus_one_lists(&g);
+    let r = solve(&g, &lists, SolveOptions::seeded(4)).expect("solve");
+    assert_eq!(check_coloring(&g, &lists, &r.coloring), Ok(()));
+}
+
+#[test]
+fn exactly_minimal_lists_on_a_clique() {
+    // K_n with exactly n colors shared by everyone: the unique-ish hardest
+    // D1C instance (every color must be used exactly once).
+    let g = gen::complete(20);
+    let lists = degree_plus_one_lists(&g);
+    let r = solve(&g, &lists, SolveOptions::seeded(6)).expect("solve");
+    assert_eq!(check_coloring(&g, &lists, &r.coloring), Ok(()));
+    let distinct: std::collections::HashSet<Color> = r.coloring.iter().copied().collect();
+    assert_eq!(distinct.len(), 20, "a K20 needs all 20 colors");
+}
+
+#[test]
+fn adversarial_interval_lists() {
+    // Node v gets the interval [v, v + d_v]: heavy asymmetric overlap.
+    let g = gen::gnp(100, 0.1, 3);
+    let lists: Vec<Vec<Color>> = (0..g.n())
+        .map(|v| {
+            let d = g.degree(v as u32) as u64;
+            (v as u64..=v as u64 + d).collect()
+        })
+        .collect();
+    let lists = ListAssignment::new(lists, 32);
+    assert!(lists.is_degree_plus_one(&g));
+    let r = solve(&g, &lists, SolveOptions::seeded(8)).expect("solve");
+    assert_eq!(check_coloring(&g, &lists, &r.coloring), Ok(()));
+}
+
+#[test]
+fn colors_at_the_top_of_the_space() {
+    // Colors near 2^63: no overflow in hashing or scale-up paths.
+    let g = gen::cycle(24);
+    let base = (1u64 << 62) - 100;
+    let lists: Vec<Vec<Color>> = (0..g.n())
+        .map(|v| (0..3).map(|i| base + (v as u64 * 7 + i * 13) % 90).collect())
+        .collect();
+    let lists = ListAssignment::new(lists, 63);
+    assert!(lists.is_degree_plus_one(&g));
+    let r = solve(&g, &lists, SolveOptions::seeded(9)).expect("solve");
+    assert_eq!(check_coloring(&g, &lists, &r.coloring), Ok(()));
+}
+
+#[test]
+fn tight_bandwidth_fails_loud_not_wrong() {
+    // With an absurdly small strict cap the engine must return an error —
+    // never a silently truncated (and thus possibly improper) run.
+    let g = gen::gnp(64, 0.2, 2);
+    let lists = degree_plus_one_lists(&g);
+    let opts = SolveOptions {
+        sim: SimConfig { bandwidth: Bandwidth::Strict(4), ..SimConfig::default() },
+        ..SolveOptions::seeded(1)
+    };
+    assert!(solve(&g, &lists, opts).is_err());
+}
+
+#[test]
+fn oversized_lists_only_help() {
+    let g = gen::gnp(80, 0.15, 5);
+    let generous: Vec<Vec<Color>> = (0..g.n())
+        .map(|v| (0..(3 * g.degree(v as u32) as u64 + 5)).map(|i| i * 3).collect())
+        .collect();
+    let lists = ListAssignment::new(generous, 16);
+    let r = solve(&g, &lists, SolveOptions::seeded(2)).expect("solve");
+    assert_eq!(check_coloring(&g, &lists, &r.coloring), Ok(()));
+    assert_eq!(r.stats.repairs, 0, "generous lists should never need repair");
+}
+
+#[test]
+#[should_panic(expected = "deg+1")]
+fn undersized_lists_are_rejected_up_front() {
+    let g = gen::complete(5);
+    let lists = ListAssignment::new(vec![vec![1, 2]; 5], 8);
+    let _ = solve(&g, &lists, SolveOptions::seeded(1));
+}
+
+#[test]
+fn max_rounds_cap_degrades_gracefully() {
+    // An extremely small round cap leaves passes incomplete; the repair
+    // sweep must still deliver a proper coloring.
+    let g = gen::gnp(60, 0.2, 7);
+    let lists = degree_plus_one_lists(&g);
+    let opts = SolveOptions {
+        sim: SimConfig { max_rounds: 1, ..SimConfig::default() },
+        ..SolveOptions::seeded(3)
+    };
+    let r = solve(&g, &lists, opts).expect("solve");
+    assert_eq!(check_coloring(&g, &lists, &r.coloring), Ok(()));
+    assert!(r.stats.repairs > 0, "with 1-round passes the repair sweep must fire");
+}

@@ -1,0 +1,134 @@
+//! End-to-end validity matrix: the D1LC pipeline must output a proper
+//! list-coloring on every generator × list-regime × seed combination.
+
+use congest_coloring::d1lc::{solve, SolveOptions};
+use congest_coloring::graphs::palette::{
+    check_coloring, degree_plus_one_lists, delta_plus_one_lists, random_lists,
+    shared_window_lists, ListAssignment,
+};
+use congest_coloring::graphs::{gen, Graph};
+
+fn instances() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("gnp-sparse", gen::gnp(180, 0.05, 1)),
+        ("gnp-mid", gen::gnp(150, 0.15, 2)),
+        ("gnp-dense", gen::gnp(90, 0.5, 3)),
+        ("cycle", gen::cycle(120)),
+        ("path", gen::path(80)),
+        ("star", gen::star(60)),
+        ("complete", gen::complete(48)),
+        ("grid", gen::grid(10, 12)),
+        ("bipartite", gen::complete_bipartite(20, 25)),
+        ("cliques", gen::disjoint_cliques(4, 18)),
+        ("blend", gen::clique_blend(Default::default(), 4)),
+        ("chung-lu", gen::chung_lu(150, 2.3, 8.0, 5)),
+        ("hub-spokes", gen::hub_and_spokes(4, 25, 6)),
+        ("min-degree", gen::gnp_min_degree(140, 0.1, 20, 7)),
+        ("regular", gen::random_regular(120, 8, 9)),
+    ]
+}
+
+fn list_regimes(g: &Graph, seed: u64) -> Vec<(&'static str, ListAssignment)> {
+    let mut regimes = vec![
+        ("d1c", degree_plus_one_lists(g)),
+        ("delta1", delta_plus_one_lists(g)),
+        ("random48", random_lists(g, 48, 0, seed)),
+        ("random60-extra", random_lists(g, 60, 3, seed ^ 1)),
+    ];
+    if g.n() > 0 {
+        let window = g.max_degree() as u64 + 6;
+        regimes.push(("window", shared_window_lists(g, window, seed ^ 2)));
+    }
+    regimes
+}
+
+#[test]
+fn every_instance_and_regime_colors_properly() {
+    for (gname, g) in instances() {
+        for (lname, lists) in list_regimes(&g, 11) {
+            let result = solve(&g, &lists, SolveOptions::seeded(5))
+                .unwrap_or_else(|e| panic!("{gname}/{lname}: {e}"));
+            assert_eq!(
+                check_coloring(&g, &lists, &result.coloring),
+                Ok(()),
+                "{gname}/{lname}"
+            );
+        }
+    }
+}
+
+#[test]
+fn multiple_seeds_never_break_validity() {
+    let g = gen::clique_blend(Default::default(), 9);
+    let lists = random_lists(&g, 48, 0, 3);
+    for seed in 0..8 {
+        let result = solve(&g, &lists, SolveOptions::seeded(seed)).expect("solve");
+        assert_eq!(
+            check_coloring(&g, &lists, &result.coloring),
+            Ok(()),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn same_seed_is_fully_deterministic() {
+    let g = gen::gnp(130, 0.12, 8);
+    let lists = random_lists(&g, 48, 0, 6);
+    let a = solve(&g, &lists, SolveOptions::seeded(17)).expect("solve");
+    let b = solve(&g, &lists, SolveOptions::seeded(17)).expect("solve");
+    assert_eq!(a.coloring, b.coloring);
+    assert_eq!(a.rounds(), b.rounds());
+    assert_eq!(a.log.total_bits(), b.log.total_bits());
+    assert_eq!(a.stats.repairs, b.stats.repairs);
+}
+
+#[test]
+fn distributed_pipeline_rarely_needs_repair() {
+    // Across a spread of instances, the distributed passes (not the
+    // central repair) must do the coloring.
+    let mut total_nodes = 0usize;
+    let mut total_repairs = 0usize;
+    for (_, g) in instances() {
+        let lists = degree_plus_one_lists(&g);
+        let r = solve(&g, &lists, SolveOptions::seeded(2)).expect("solve");
+        total_nodes += g.n();
+        total_repairs += r.stats.repairs;
+    }
+    assert!(
+        total_repairs * 100 <= total_nodes,
+        "{total_repairs} repairs over {total_nodes} nodes"
+    );
+}
+
+#[test]
+fn paper_profile_formulas_compose() {
+    // The paper profile is not meant to color laptop graphs well, but the
+    // pipeline must still terminate with a valid coloring (cleanup + the
+    // shattering path absorb everything the asymptotic constants break).
+    let g = gen::gnp(100, 0.1, 3);
+    let lists = degree_plus_one_lists(&g);
+    let opts = SolveOptions {
+        profile: congest_coloring::d1lc::ParamProfile::paper(),
+        ..SolveOptions::seeded(3)
+    };
+    let result = solve(&g, &lists, opts).expect("solve");
+    assert_eq!(check_coloring(&g, &lists, &result.coloring), Ok(()));
+}
+
+#[test]
+fn multithreaded_engine_matches_sequential() {
+    let g = gen::gnp(400, 0.05, 4);
+    let lists = degree_plus_one_lists(&g);
+    let seq = SolveOptions::seeded(9);
+    let par = SolveOptions {
+        sim: congest_coloring::congest::SimConfig {
+            threads: 4,
+            ..congest_coloring::congest::SimConfig::default()
+        },
+        ..SolveOptions::seeded(9)
+    };
+    let a = solve(&g, &lists, seq).expect("sequential");
+    let b = solve(&g, &lists, par).expect("parallel");
+    assert_eq!(a.coloring, b.coloring, "thread count must not change results");
+}

@@ -1,0 +1,141 @@
+//! Property-based invariants across the whole stack.
+
+use congest_coloring::d1lc::{greedy_oracle, solve, SolveOptions};
+use congest_coloring::graphs::palette::{check_coloring, random_lists, ListAssignment};
+use congest_coloring::graphs::{gen, GraphBuilder};
+use congest_coloring::prand::{
+    IdCode, PairwiseFamily, RepHashFamily, RepParams, ReedSolomon,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Any random graph + random (deg+1)-lists + any seed yields a proper
+    /// coloring — the repo's master invariant.
+    #[test]
+    fn solve_is_always_proper(
+        n in 2usize..60,
+        p in 0.0f64..0.6,
+        gseed in 0u64..1000,
+        lseed in 0u64..1000,
+        seed in 0u64..1000,
+    ) {
+        let g = gen::gnp(n, p, gseed);
+        let lists = random_lists(&g, 32, 0, lseed);
+        let result = solve(&g, &lists, SolveOptions::seeded(seed)).expect("solve");
+        prop_assert_eq!(check_coloring(&g, &lists, &result.coloring), Ok(()));
+    }
+
+    /// The greedy oracle is proper on arbitrary edge sets.
+    #[test]
+    fn greedy_oracle_is_proper(edges in proptest::collection::vec((0u32..40, 0u32..40), 0..120)) {
+        let mut b = GraphBuilder::new(40);
+        for (u, v) in edges {
+            b.add_edge(u, v);
+        }
+        let g = b.build();
+        let lists = congest_coloring::graphs::palette::degree_plus_one_lists(&g);
+        let coloring = greedy_oracle(&g, &lists);
+        prop_assert_eq!(check_coloring(&g, &lists, &coloring), Ok(()));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Proposition 1 on random sets: the window partitions into colliding
+    /// and isolated parts; the collision image is at most half its
+    /// preimage; isolated images are injective when A ⊆ B.
+    #[test]
+    fn proposition_1_laws(
+        raw in proptest::collection::hash_set(0u64..100_000, 1..200),
+        member in 0u64..1024,
+        extra in proptest::collection::hash_set(0u64..100_000, 0..100),
+    ) {
+        let params = RepParams::practical(1.0 / 12.0, 1.0 / 3.0, 900, 128, 10);
+        let h = RepHashFamily::new(0xabcd, params).member(member);
+        let mut a: Vec<u64> = raw.iter().copied().collect();
+        a.sort_unstable();
+        let mut b: Vec<u64> = raw.union(&extra).copied().collect();
+        b.sort_unstable();
+
+        // Partition law.
+        let low: HashSet<u64> = h.low(&a).into_iter().collect();
+        let coll: HashSet<u64> = h.colliding(&a, &a).into_iter().collect();
+        let iso: HashSet<u64> = h.isolated(&a, &a).into_iter().collect();
+        prop_assert!(coll.is_disjoint(&iso));
+        let union: HashSet<u64> = coll.union(&iso).copied().collect();
+        prop_assert_eq!(&union, &low);
+
+        // Eq. (1): |h(A ∧ A)| ≤ |A ∧ A| / 2.
+        let img: HashSet<u64> = coll.iter().map(|&x| h.hash(x)).collect();
+        prop_assert!(2 * img.len() <= coll.len());
+
+        // Eq. (2): A ⊆ B ⇒ |h(A ¬ B)| = |A ¬ B|.
+        let iso_b = h.isolated(&a, &b);
+        let img_b: HashSet<u64> = iso_b.iter().map(|&x| h.hash(x)).collect();
+        prop_assert_eq!(img_b.len(), iso_b.len());
+
+        // Eq. (3): monotonicity — A ∧ A ⊆ A ∧ B, A ¬ B ⊆ A ¬ A.
+        let coll_b: HashSet<u64> = h.colliding(&a, &b).into_iter().collect();
+        prop_assert!(coll.is_subset(&coll_b));
+        let iso_b_set: HashSet<u64> = iso_b.into_iter().collect();
+        prop_assert!(iso_b_set.is_subset(&iso));
+    }
+
+    /// Reed–Solomon distance on random message pairs.
+    #[test]
+    fn rs_distance_always_holds(m1 in any::<u64>(), m2 in any::<u64>()) {
+        prop_assume!(m1 != m2);
+        let rs = ReedSolomon::new(24, 8);
+        let (a, b) = (rs.encode(&m1.to_le_bytes()), rs.encode(&m2.to_le_bytes()));
+        let d = a.iter().zip(&b).filter(|(x, y)| x != y).count();
+        prop_assert!(d >= rs.distance());
+    }
+
+    /// Concatenated identifier code distance on random id pairs.
+    #[test]
+    fn id_code_distance_always_holds(id1 in any::<u64>(), id2 in any::<u64>()) {
+        prop_assume!(id1 != id2);
+        let code = IdCode::new();
+        let d = IdCode::hamming(&code.encode(id1), &code.encode(id2));
+        prop_assert!(d >= code.min_distance_bits());
+    }
+
+    /// Pairwise hashes stay in range and members are deterministic.
+    #[test]
+    fn pairwise_hash_in_range(
+        lambda in 1u64..1_000_000,
+        index_bits in 1u32..16,
+        x in any::<u64>(),
+    ) {
+        let f = PairwiseFamily::new(99, lambda, index_bits);
+        let h = f.member(f.family_size() - 1);
+        prop_assert!(h.hash(x) < lambda);
+        prop_assert_eq!(h.hash(x), f.member(f.family_size() - 1).hash(x));
+    }
+
+    /// List assignments survive roundtrips and validity checks reject
+    /// corrupted colorings.
+    #[test]
+    fn corrupted_colorings_are_rejected(
+        n in 2usize..40,
+        p in 0.1f64..0.6,
+        seed in 0u64..500,
+        victim in 0usize..40,
+    ) {
+        let g = gen::gnp(n, p, seed);
+        prop_assume!(g.m() > 0);
+        let lists: ListAssignment =
+            congest_coloring::graphs::palette::degree_plus_one_lists(&g);
+        let mut coloring = greedy_oracle(&g, &lists);
+        // Corrupt one endpoint of some edge to its neighbor's color.
+        let (u, v) = g.edges().next().expect("m > 0");
+        let victim = if victim % 2 == 0 { u } else { v };
+        let other = if victim == u { v } else { u };
+        coloring[victim as usize] = coloring[other as usize];
+        prop_assert!(check_coloring(&g, &lists, &coloring).is_err());
+    }
+}
