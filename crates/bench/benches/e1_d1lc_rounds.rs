@@ -9,19 +9,15 @@ use std::time::Duration;
 
 fn bench_solve(c: &mut Criterion) {
     let mut group = c.benchmark_group("d1lc-solve");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for n in [256usize, 512] {
         for make in [gnp_window as fn(usize, u64) -> _, blend_window] {
             let inst = make(n, 7 + n as u64);
-            group.bench_with_input(
-                BenchmarkId::new(inst.name, n),
-                &inst,
-                |b, inst| {
-                    b.iter(|| {
-                        solve(&inst.graph, &inst.lists, SolveOptions::seeded(1)).expect("solve")
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(inst.name, n), &inst, |b, inst| {
+                b.iter(|| solve(&inst.graph, &inst.lists, SolveOptions::seeded(1)).expect("solve"))
+            });
         }
     }
     group.finish();
@@ -29,7 +25,9 @@ fn bench_solve(c: &mut Criterion) {
 
 fn bench_baseline(c: &mut Criterion) {
     let mut group = c.benchmark_group("d1lc-baseline");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n in [256usize, 512] {
         let inst = gnp_d1c(n, 11 + n as u64);
         group.bench_with_input(BenchmarkId::new("random-trial", n), &inst, |b, inst| {

@@ -30,7 +30,9 @@ fn bench_two_party(c: &mut Criterion) {
 
 fn bench_whole_graph(c: &mut Criterion) {
     let mut group = c.benchmark_group("neighborhood-similarity");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for n in [128usize, 256] {
         let g = gen::gnp(n, (16.0 / n as f64).min(0.5), 3);
         group.bench_with_input(BenchmarkId::new("gnp", n), &g, |b, g| {

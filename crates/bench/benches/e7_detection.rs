@@ -8,7 +8,9 @@ use std::time::Duration;
 
 fn bench_triangles(c: &mut Criterion) {
     let mut group = c.benchmark_group("triangle-detection");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for n in [128usize, 256] {
         let g = gen::triangle_rich(n, 24, 0.03, 7);
         group.bench_with_input(BenchmarkId::new("planted", n), &g, |b, g| {
@@ -29,7 +31,9 @@ fn bench_triangles(c: &mut Criterion) {
 
 fn bench_four_cycles(c: &mut Criterion) {
     let mut group = c.benchmark_group("four-cycle-detection");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for n in [128usize, 256] {
         let g = gen::four_cycle_rich(n, 24, 0.03, 9);
         group.bench_with_input(BenchmarkId::new("planted", n), &g, |b, g| {

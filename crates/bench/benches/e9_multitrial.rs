@@ -14,7 +14,9 @@ use std::time::Duration;
 
 fn bench_multitrial_variants(c: &mut Criterion) {
     let mut group = c.benchmark_group("multitrial-pass");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     let n = 256usize;
     let inst = gnp_d1c(n, 5);
     let profile = ParamProfile::laptop();
@@ -54,7 +56,9 @@ fn bench_multitrial_variants(c: &mut Criterion) {
         b.iter(|| {
             let mut driver = Driver::new(&inst.graph, SimConfig::seeded(1));
             driver
-                .run_pass("mt", make_states(), |st| NaiveMultiTrialPass::new(st, x, 16))
+                .run_pass("mt", make_states(), |st| {
+                    NaiveMultiTrialPass::new(st, x, 16)
+                })
                 .expect("pass")
         })
     });

@@ -2,9 +2,7 @@
 //! set operators, pairwise hashing, Reed–Solomon encoding, samplers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use prand::{
-    mix64, IdCode, MultisetSampler, PairwiseFamily, RepHashFamily, RepParams,
-};
+use prand::{mix64, IdCode, MultisetSampler, PairwiseFamily, RepHashFamily, RepParams};
 
 fn bench_rep_hash(c: &mut Criterion) {
     let mut group = c.benchmark_group("rep-hash");
@@ -22,9 +20,11 @@ fn bench_rep_hash(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("isolated", set.len()), &set, |b, s| {
         b.iter(|| h.isolated(s, s))
     });
-    group.bench_with_input(BenchmarkId::new("window-bitmap", set.len()), &set, |b, s| {
-        b.iter(|| h.window_bitmap(s))
-    });
+    group.bench_with_input(
+        BenchmarkId::new("window-bitmap", set.len()),
+        &set,
+        |b, s| b.iter(|| h.window_bitmap(s)),
+    );
     group.finish();
 }
 
@@ -70,5 +70,10 @@ fn bench_ecc_and_sampler(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rep_hash, bench_pairwise_and_mix, bench_ecc_and_sampler);
+criterion_group!(
+    benches,
+    bench_rep_hash,
+    bench_pairwise_and_mix,
+    bench_ecc_and_sampler
+);
 criterion_main!(benches);

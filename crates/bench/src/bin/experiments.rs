@@ -1,4 +1,5 @@
-//! Regenerate every experiment table (E1–E15 of DESIGN.md).
+//! Regenerate every experiment table (E1–E15 plus the E16a/b/c ablations;
+//! see DESIGN.md §4).
 //!
 //! Usage:
 //!
@@ -13,8 +14,24 @@ use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if args.iter().any(|a| a == "--quick") { Scale::Quick } else { Scale::Full };
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
     let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let known: Vec<&str> = all_experiments().iter().map(|&(id, _)| id).collect();
+    let unknown: Vec<&&String> = wanted
+        .iter()
+        .filter(|w| !known.contains(&w.as_str()))
+        .collect();
+    if !unknown.is_empty() {
+        eprintln!(
+            "error: unknown experiment id(s) {unknown:?}; known ids: {}",
+            known.join(", ")
+        );
+        std::process::exit(2);
+    }
 
     println!("# Experiment tables — Overcoming Congestion in Distributed Coloring (PODC 2022)");
     println!("# scale: {scale:?}\n");

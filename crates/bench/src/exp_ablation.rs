@@ -37,8 +37,7 @@ pub fn ablation_sigma(scale: Scale) -> Table {
             let states: Vec<NodeState> = (0..g.n())
                 .map(|v| {
                     let d = g.degree(v as NodeId);
-                    let list: Vec<u64> =
-                        (0..(d as u64 + 56)).map(|i| i * 101 + trial).collect();
+                    let list: Vec<u64> = (0..(d as u64 + 56)).map(|i| i * 101 + trial).collect();
                     let mut st = NodeState::new(
                         v as NodeId,
                         Palette::new(list),
@@ -52,7 +51,9 @@ pub fn ablation_sigma(scale: Scale) -> Table {
                 .collect();
             let mut driver = Driver::new(&g, SimConfig::seeded(300 + trial));
             let states = driver
-                .run_pass("mt", states, |st| MultiTrialPass::new(st, 4, profile, 42, 9, "mt"))
+                .run_pass("mt", states, |st| {
+                    MultiTrialPass::new(st, 4, profile, 42, 9, "mt")
+                })
                 .expect("pass");
             colored += states.iter().filter(|s| s.color.is_some()).count();
             total += states.len();
@@ -122,7 +123,10 @@ pub fn ablation_dense_machinery(scale: Scale) -> Table {
             // Classify nobody as dense: raise the buddy threshold past 1.
             profile.eps_acd = 1e-9;
         }
-        let opts = SolveOptions { profile, ..SolveOptions::seeded(5) };
+        let opts = SolveOptions {
+            profile,
+            ..SolveOptions::seeded(5)
+        };
         let r = solve(&inst.graph, &inst.lists, opts).expect("solve");
         let dense_passes: usize = r
             .stats
@@ -138,8 +142,13 @@ pub fn ablation_dense_machinery(scale: Scale) -> Table {
             .colored_by
             .iter()
             .filter(|(k, _)| {
-                ["generate-slack", "slack-start", "slack-sparse", "generate-slack-dense"]
-                    .contains(k)
+                [
+                    "generate-slack",
+                    "slack-start",
+                    "slack-sparse",
+                    "generate-slack-dense",
+                ]
+                .contains(k)
             })
             .map(|(_, v)| v)
             .sum();
@@ -151,7 +160,12 @@ pub fn ablation_dense_machinery(scale: Scale) -> Table {
             .map(|(_, v)| v)
             .sum();
         t.row([
-            if dense_on { "full pipeline" } else { "dense machinery off" }.to_string(),
+            if dense_on {
+                "full pipeline"
+            } else {
+                "dense machinery off"
+            }
+            .to_string(),
             r.rounds().to_string(),
             dense_passes.to_string(),
             sparse_passes.to_string(),

@@ -107,7 +107,13 @@ pub fn e14_slack(scale: Scale) -> Table {
         "E14 — GenerateSlack vs sparsity (Prop. 2 regime)",
         "Sparser neighborhoods gain more permanent slack from one GenerateSlack round",
     );
-    t.columns(["graph", "zeta-bucket", "nodes", "mean-slack-gain", "mean-kappa"]);
+    t.columns([
+        "graph",
+        "zeta-bucket",
+        "nodes",
+        "mean-slack-gain",
+        "mean-kappa",
+    ]);
     let trials = (scale.trials() / 10).max(2);
     // High participation makes the effect visible at laptop scale; the
     // paper's p_g = 1/10 constant is calibrated for Ω(log² Δ) degrees.
@@ -123,7 +129,7 @@ pub fn e14_slack(scale: Scale) -> Table {
             states = driver
                 .run_pass("gs", states, |st| TryColorPass::generate_slack(st, pg))
                 .unwrap();
-            for v in 0..g.n() {
+            for (v, st) in states.iter().enumerate() {
                 let vid = v as NodeId;
                 let dv = g.degree(vid) as f64;
                 if dv == 0.0 {
@@ -137,12 +143,15 @@ pub fn e14_slack(scale: Scale) -> Table {
                 } else {
                     2
                 };
-                by_bucket[bucket].0 += f64::from(states[v].slack_gain);
-                by_bucket[bucket].1 += f64::from(states[v].chroma_slack);
+                by_bucket[bucket].0 += f64::from(st.slack_gain);
+                by_bucket[bucket].1 += f64::from(st.chroma_slack);
                 by_bucket[bucket].2 += 1;
             }
         }
-        for (i, label) in ["dense ζ/d<.15", "mid", "sparse ζ/d≥.35"].iter().enumerate() {
+        for (i, label) in ["dense ζ/d<.15", "mid", "sparse ζ/d≥.35"]
+            .iter()
+            .enumerate()
+        {
             let (gain, kappa, count) = by_bucket[i];
             if count == 0 {
                 continue;
@@ -165,10 +174,14 @@ pub fn e15_leader(scale: Scale) -> Table {
         "E15 — Leader selection quality (App. D.1, Lemma 12)",
         "The elected leader's aggregate e_v+a_v+κ_v is the clique minimum (arg-min aggregation)",
     );
-    t.columns(["instance", "cliques-with-leader", "leader-is-argmin", "low-slack-cliques"]);
+    t.columns([
+        "instance",
+        "cliques-with-leader",
+        "leader-is-argmin",
+        "low-slack-cliques",
+    ]);
     let trials = (scale.trials() / 10).max(2);
-    for (name, cliques, size, removal) in
-        [("tight", 3usize, 16usize, 0.02), ("loose", 3, 16, 0.12)]
+    for (name, cliques, size, removal) in [("tight", 3usize, 16usize, 0.02), ("loose", 3, 16, 0.12)]
     {
         let mut with_leader = 0usize;
         let mut argmin_ok = 0usize;
@@ -180,8 +193,7 @@ pub fn e15_leader(scale: Scale) -> Table {
             let mut driver = Driver::new(&g, SimConfig::seeded(trial * 3));
             let states =
                 compute_acd(&mut driver, fresh_active(&g, 0), &profile, 7 + trial).unwrap();
-            let states =
-                select_leaders(&mut driver, states, &profile, g.max_degree()).unwrap();
+            let states = select_leaders(&mut driver, states, &profile, g.max_degree()).unwrap();
             // Group members by clique id.
             let mut hubs: std::collections::BTreeMap<NodeId, Vec<usize>> = Default::default();
             for (v, st) in states.iter().enumerate() {
@@ -200,8 +212,11 @@ pub fn e15_leader(scale: Scale) -> Table {
                 }
                 with_leader += 1;
                 let leader = leader.expect("checked") as usize;
-                let min_score =
-                    members.iter().map(|&v| leader_score(&states[v])).min().expect("nonempty");
+                let min_score = members
+                    .iter()
+                    .map(|&v| leader_score(&states[v]))
+                    .min()
+                    .expect("nonempty");
                 if leader_score(&states[leader]) == min_score {
                     argmin_ok += 1;
                 }

@@ -26,13 +26,19 @@ pub fn e1_rounds_vs_n(scale: Scale) -> Table {
         "E1 — D1LC round complexity vs n (Theorem 1)",
         "D1LC solvable w.h.p. in O(log^5 log n) CONGEST rounds",
     );
-    t.columns(["workload", "n", "rounds(us)", "rounds(baseline)", "log2 n", "(log2 log2 n)^5"]);
+    t.columns([
+        "workload",
+        "n",
+        "rounds(us)",
+        "rounds(baseline)",
+        "log2 n",
+        "(log2 log2 n)^5",
+    ]);
     for &n in &scale.n_sweep() {
         for make in [gnp_window, blend_window] {
             let inst = make(n, 7 + n as u64);
             let ours = solve(&inst.graph, &inst.lists, opts(1)).expect("solve");
-            let base =
-                solve_random_trial(&inst.graph, &inst.lists, opts(1)).expect("baseline");
+            let base = solve_random_trial(&inst.graph, &inst.lists, opts(1)).expect("baseline");
             let ll = log2(n).log2();
             t.row([
                 inst.name.to_string(),
@@ -54,7 +60,13 @@ pub fn e2_high_degree(scale: Scale) -> Table {
         "E2 — High-min-degree regime (Theorem 1, δ ≥ threshold)",
         "With min degree above the phase threshold the algorithm runs in O(log* n) rounds",
     );
-    t.columns(["n", "min-degree", "phases", "rounds", "uncolored-before-cleanup"]);
+    t.columns([
+        "n",
+        "min-degree",
+        "phases",
+        "rounds",
+        "uncolored-before-cleanup",
+    ]);
     for &n in &scale.n_sweep() {
         if n > 4096 {
             continue; // dense instances get quadratic in memory
@@ -62,8 +74,7 @@ pub fn e2_high_degree(scale: Scale) -> Table {
         let dmin = 60.min(n / 4);
         let inst = high_degree(n, dmin, 5 + n as u64);
         let r = solve(&inst.graph, &inst.lists, opts(3)).expect("solve");
-        let cleanup = r.stats.colored_by.get("cleanup").copied().unwrap_or(0)
-            + r.stats.repairs;
+        let cleanup = r.stats.colored_by.get("cleanup").copied().unwrap_or(0) + r.stats.repairs;
         t.row([
             n.to_string(),
             inst.graph.min_degree().to_string(),

@@ -18,7 +18,13 @@ pub fn e4_similarity(scale: Scale) -> Table {
         "Estimate within ε·max(|Su|,|Sv|) w.p. 1−ν, O(1) messages of O(ε⁻⁴log(1/ν)+…) bits",
     );
     t.columns([
-        "eps", "overlap", "|S|", "mean-err/εmax", "p95-err/εmax", "within-ε", "bits",
+        "eps",
+        "overlap",
+        "|S|",
+        "mean-err/εmax",
+        "p95-err/εmax",
+        "within-ε",
+        "bits",
     ]);
     let size = 600usize;
     for eps in [0.5, 0.25, 0.125] {
@@ -62,7 +68,13 @@ pub fn e5_joint_sample(scale: Scale) -> Table {
         "E5 — JointSample agreement (Lemma 3)",
         "When |Su∩Sv| ≥ ε·max sizes, both parties output the same element w.p. 1−5ε/4−ν",
     );
-    t.columns(["eps", "overlap", "agree-rate", "lemma-bound", "in-intersection"]);
+    t.columns([
+        "eps",
+        "overlap",
+        "agree-rate",
+        "lemma-bound",
+        "in-intersection",
+    ]);
     let size = 500usize;
     for eps in [0.25, 0.125] {
         let scheme = SimilarityScheme::practical(eps);
@@ -102,7 +114,14 @@ pub fn e6_sparsity(scale: Scale) -> Table {
         "E6 — EstimateSparsity accuracy (Lemmas 4–5)",
         "Global estimate within ε·Δ; local (with the high-degree-neighbor tweak) within ε·d_v",
     );
-    t.columns(["graph", "eps", "metric", "mean-err/bound", "p95-err/bound", "rounds"]);
+    t.columns([
+        "graph",
+        "eps",
+        "metric",
+        "mean-err/bound",
+        "p95-err/bound",
+        "rounds",
+    ]);
     let trials = (scale.trials() / 10).max(2);
     for (gname, g) in [
         ("gnp(160,.15)", gen::gnp(160, 0.15, 4)),
@@ -116,20 +135,22 @@ pub fn e6_sparsity(scale: Scale) -> Table {
         let mut lerrs = Vec::new();
         let mut rounds = 0u64;
         for trial in 0..trials {
-            let (est, rep) =
-                estimate_sparsity(&g, scheme, SimConfig::seeded(trial), 31 + trial)
-                    .expect("sparsity run");
+            let (est, rep) = estimate_sparsity(&g, scheme, SimConfig::seeded(trial), 31 + trial)
+                .expect("sparsity run");
             rounds = rep.rounds;
             for v in 0..g.n() {
                 let vid = v as graphs::NodeId;
                 let dv = g.degree(vid) as f64;
-                gerrs.push((est.global[v] - analysis::global_sparsity(&g, vid)).abs() / (eps * delta));
+                gerrs.push(
+                    (est.global[v] - analysis::global_sparsity(&g, vid)).abs() / (eps * delta),
+                );
                 if dv > 0.0 {
                     // The Lemma 5 guarantee only covers nodes without many
                     // much-higher-degree neighbors; report all nodes but
                     // normalize by the local bound.
-                    lerrs
-                        .push((est.local[v] - analysis::local_sparsity(&g, vid)).abs() / (eps * dv));
+                    lerrs.push(
+                        (est.local[v] - analysis::local_sparsity(&g, vid)).abs() / (eps * dv),
+                    );
                 }
             }
         }
@@ -159,7 +180,13 @@ pub fn e7_triangles(scale: Scale) -> Table {
         "E7 — Local triangle finding (Theorem 2)",
         "Each edge on ≥ εΔ triangles is detected w.h.p. in O(ε⁻⁴) rounds",
     );
-    t.columns(["planted-tris", "eps", "detect-rate", "false-flags/edges", "rounds"]);
+    t.columns([
+        "planted-tris",
+        "eps",
+        "detect-rate",
+        "false-flags/edges",
+        "rounds",
+    ]);
     let trials = (scale.trials() / 5).max(2);
     for planted in [10usize, 20, 40] {
         let eps = 0.5;
@@ -183,7 +210,11 @@ pub fn e7_triangles(scale: Scale) -> Table {
             }
             edges += g.m();
             // Edges other than the planted one lie on ~0 triangles.
-            false_flags += rep.flagged.iter().filter(|&&(u, v)| (u, v) != (0, 1)).count();
+            false_flags += rep
+                .flagged
+                .iter()
+                .filter(|&&(u, v)| (u, v) != (0, 1))
+                .count();
         }
         t.row([
             planted.to_string(),
@@ -202,7 +233,13 @@ pub fn e8_four_cycles(scale: Scale) -> Table {
         "E8 — Local four-cycle finding (Theorem 3)",
         "Each wedge on ≥ εΔ four-cycles is detected w.h.p. in O(ε⁻⁴) rounds",
     );
-    t.columns(["planted-C4s", "eps", "detect-rate", "false-flags/wedges", "rounds"]);
+    t.columns([
+        "planted-C4s",
+        "eps",
+        "detect-rate",
+        "false-flags/wedges",
+        "rounds",
+    ]);
     let trials = (scale.trials() / 5).max(2);
     for planted in [10usize, 25, 40] {
         let eps = 0.5;
@@ -220,8 +257,11 @@ pub fn e8_four_cycles(scale: Scale) -> Table {
                 detected += 1;
             }
             wedges += rep.wedges.iter().map(Vec::len).sum::<usize>();
-            false_flags +=
-                rep.flagged.iter().filter(|&&(c, a, b)| (c, a, b) != (0, 2, 3)).count();
+            false_flags += rep
+                .flagged
+                .iter()
+                .filter(|&&(c, a, b)| (c, a, b) != (0, 2, 3))
+                .count();
         }
         t.row([
             planted.to_string(),

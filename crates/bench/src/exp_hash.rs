@@ -19,7 +19,9 @@ fn states_with_extra(g: &Graph, extra: usize, seed: u64) -> Vec<NodeState> {
     (0..g.n())
         .map(|v| {
             let d = g.degree(v as NodeId);
-            let list: Vec<u64> = (0..(d + 1 + extra) as u64).map(|i| i * 101 + seed).collect();
+            let list: Vec<u64> = (0..(d + 1 + extra) as u64)
+                .map(|i| i * 101 + seed)
+                .collect();
             let mut st = NodeState::new(
                 v as NodeId,
                 Palette::new(list),
@@ -51,7 +53,9 @@ fn multitrial_success(x: u32, trials: u64, uniform: bool) -> f64 {
                 .expect("pass")
         } else {
             driver
-                .run_pass("mt", states, |st| MultiTrialPass::new(st, x, profile, 42, 9, "mt"))
+                .run_pass("mt", states, |st| {
+                    MultiTrialPass::new(st, x, profile, 42, 9, "mt")
+                })
                 .expect("pass")
         };
         colored += states.iter().filter(|s| s.color.is_some()).count();

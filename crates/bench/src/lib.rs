@@ -21,10 +21,14 @@ pub mod workloads;
 pub use table::Table;
 pub use workloads::Scale;
 
+/// An experiment runner: builds its workload at the given [`Scale`] and
+/// returns a printable [`Table`].
+pub type Experiment = fn(Scale) -> Table;
+
 /// All experiments in order, as `(id, runner)` pairs.
-pub fn all_experiments() -> Vec<(&'static str, fn(Scale) -> Table)> {
+pub fn all_experiments() -> Vec<(&'static str, Experiment)> {
     vec![
-        ("E1", exp_coloring::e1_rounds_vs_n as fn(Scale) -> Table),
+        ("E1", exp_coloring::e1_rounds_vs_n as Experiment),
         ("E2", exp_coloring::e2_high_degree),
         ("E3", exp_coloring::e3_d1c),
         ("E4", exp_estimate::e4_similarity),

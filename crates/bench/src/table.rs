@@ -12,7 +12,11 @@ pub struct Table {
 impl Table {
     /// A new table for experiment `title` reproducing `claim`.
     pub fn new(title: impl Into<String>, claim: impl Into<String>) -> Self {
-        Table { title: title.into(), claim: claim.into(), ..Default::default() }
+        Table {
+            title: title.into(),
+            claim: claim.into(),
+            ..Default::default()
+        }
     }
 
     /// Set the column headers.

@@ -46,7 +46,11 @@ pub fn gnp_d1c(n: usize, seed: u64) -> Instance {
     let p = (12.0 / n as f64).min(0.5);
     let graph = gen::gnp(n, p, seed);
     let lists = degree_plus_one_lists(&graph);
-    Instance { name: "gnp-d1c", graph, lists }
+    Instance {
+        name: "gnp-d1c",
+        graph,
+        lists,
+    }
 }
 
 /// Erdős–Rényi instance with random 48-bit lists (true list coloring,
@@ -55,7 +59,11 @@ pub fn gnp_lists(n: usize, seed: u64) -> Instance {
     let p = (12.0 / n as f64).min(0.5);
     let graph = gen::gnp(n, p, seed);
     let lists = random_lists(&graph, 48, 0, seed ^ 0x11);
-    Instance { name: "gnp-lists", graph, lists }
+    Instance {
+        name: "gnp-lists",
+        graph,
+        lists,
+    }
 }
 
 /// Erdős–Rényi instance with heavily overlapping lists from a narrow
@@ -66,7 +74,11 @@ pub fn gnp_window(n: usize, seed: u64) -> Instance {
     let graph = gen::gnp(n, p, seed);
     let window = graph.max_degree() as u64 + graph.max_degree() as u64 / 4 + 1;
     let lists = shared_window_lists(&graph, window, seed ^ 0x33);
-    Instance { name: "gnp-window", graph, lists }
+    Instance {
+        name: "gnp-window",
+        graph,
+        lists,
+    }
 }
 
 /// Clique blend with shared-window lists: dense machinery plus contention.
@@ -86,7 +98,11 @@ pub fn blend_window(n: usize, seed: u64) -> Instance {
     );
     let window = graph.max_degree() as u64 + graph.max_degree() as u64 / 4 + 1;
     let lists = shared_window_lists(&graph, window, seed ^ 0x44);
-    Instance { name: "blend-window", graph, lists }
+    Instance {
+        name: "blend-window",
+        graph,
+        lists,
+    }
 }
 
 /// Planted almost-clique blend with random lists: exercises the dense
@@ -106,7 +122,11 @@ pub fn blend_lists(n: usize, seed: u64) -> Instance {
         seed,
     );
     let lists = random_lists(&graph, 48, 0, seed ^ 0x22);
-    Instance { name: "blend-lists", graph, lists }
+    Instance {
+        name: "blend-lists",
+        graph,
+        lists,
+    }
 }
 
 /// Dense instance whose minimum degree clears the phase threshold — the
@@ -115,7 +135,11 @@ pub fn high_degree(n: usize, dmin: usize, seed: u64) -> Instance {
     let p = (1.5 * dmin as f64 / n as f64).min(0.9);
     let graph = gen::gnp_min_degree(n, p, dmin, seed);
     let lists = degree_plus_one_lists(&graph);
-    Instance { name: "high-degree", graph, lists }
+    Instance {
+        name: "high-degree",
+        graph,
+        lists,
+    }
 }
 
 #[cfg(test)]

@@ -38,14 +38,22 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { seed: 0, bandwidth: Bandwidth::Track, max_rounds: 100_000, threads: 1 }
+        SimConfig {
+            seed: 0,
+            bandwidth: Bandwidth::Track,
+            max_rounds: 100_000,
+            threads: 1,
+        }
     }
 }
 
 impl SimConfig {
     /// A config with the given seed and defaults otherwise.
     pub fn seeded(seed: u64) -> Self {
-        SimConfig { seed, ..Default::default() }
+        SimConfig {
+            seed,
+            ..Default::default()
+        }
     }
 
     /// The standard CONGEST cap for an `n`-node graph:
@@ -73,13 +81,21 @@ pub fn run<P: Program>(
     mut programs: Vec<P>,
     config: SimConfig,
 ) -> Result<(Vec<P>, RunReport), SimError> {
-    assert_eq!(programs.len(), graph.n(), "need exactly one program per node");
+    assert_eq!(
+        programs.len(),
+        graph.n(),
+        "need exactly one program per node"
+    );
     let n = graph.n();
-    let mut rngs: Vec<StdRng> =
-        (0..n).map(|v| StdRng::seed_from_u64(mix2(config.seed, v as u64))).collect();
+    let mut rngs: Vec<StdRng> = (0..n)
+        .map(|v| StdRng::seed_from_u64(mix2(config.seed, v as u64)))
+        .collect();
     let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
     let mut outboxes: Vec<Vec<(NodeId, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
-    let mut report = RunReport { completed: true, ..Default::default() };
+    let mut report = RunReport {
+        completed: true,
+        ..Default::default()
+    };
 
     let mut round = 0u64;
     loop {
@@ -92,15 +108,22 @@ pub fn run<P: Program>(
         }
 
         // Step phase: every node reads its inbox and fills its outbox.
-        step_all(graph, &mut programs, &mut rngs, &inboxes, &mut outboxes, round, config.threads);
+        step_all(
+            graph,
+            &mut programs,
+            &mut rngs,
+            &inboxes,
+            &mut outboxes,
+            round,
+            config.threads,
+        );
 
         // Routing phase: account bandwidth and deliver.
         for inbox in &mut inboxes {
             inbox.clear();
         }
         let mut round_max_edge_bits = 0u64;
-        for src in 0..n {
-            let out = &mut outboxes[src];
+        for (src, out) in outboxes.iter_mut().enumerate() {
             if out.is_empty() {
                 continue;
             }
@@ -110,7 +133,11 @@ pub fn run<P: Program>(
             while i < out.len() {
                 let dst = out[i].0;
                 if graph.neighbors(src as NodeId).binary_search(&dst).is_err() {
-                    return Err(SimError::NotANeighbor { from: src as NodeId, to: dst, round });
+                    return Err(SimError::NotANeighbor {
+                        from: src as NodeId,
+                        to: dst,
+                        round,
+                    });
                 }
                 let mut edge_bits = 0u64;
                 let mut j = i;
@@ -160,12 +187,20 @@ fn step_all<P: Program>(
     let n = programs.len();
     if threads <= 1 || n < 256 {
         for v in 0..n {
-            step_one(graph, &mut programs[v], &mut rngs[v], &inboxes[v], &mut outboxes[v], v, round);
+            step_one(
+                graph,
+                &mut programs[v],
+                &mut rngs[v],
+                &inboxes[v],
+                &mut outboxes[v],
+                v,
+                round,
+            );
         }
         return;
     }
     let chunk = n.div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut prog_chunks = programs.chunks_mut(chunk);
         let mut rng_chunks = rngs.chunks_mut(chunk);
         let mut out_chunks = outboxes.chunks_mut(chunk);
@@ -179,16 +214,19 @@ fn step_all<P: Program>(
             let start = base;
             base += ps.len();
             let inboxes = &inboxes;
-            scope.spawn(move |_| {
-                for (i, ((p, r), o)) in ps.iter_mut().zip(rs.iter_mut()).zip(os.iter_mut()).enumerate()
+            scope.spawn(move || {
+                for (i, ((p, r), o)) in ps
+                    .iter_mut()
+                    .zip(rs.iter_mut())
+                    .zip(os.iter_mut())
+                    .enumerate()
                 {
                     let v = start + i;
                     step_one(graph, p, r, &inboxes[v], o, v, round);
                 }
             });
         }
-    })
-    .expect("engine worker thread panicked");
+    });
 }
 
 fn step_one<P: Program>(
@@ -265,7 +303,13 @@ mod tests {
     }
 
     fn min_flood_programs(n: usize) -> Vec<MinFlood> {
-        (0..n).map(|_| MinFlood { min: NodeId::MAX, stable: 0, done: false }).collect()
+        (0..n)
+            .map(|_| MinFlood {
+                min: NodeId::MAX,
+                stable: 0,
+                done: false,
+            })
+            .collect()
     }
 
     #[test]
@@ -281,8 +325,14 @@ mod tests {
     #[test]
     fn parallel_matches_sequential() {
         let g = gen::gnp(400, 0.02, 9);
-        let seq_cfg = SimConfig { threads: 1, ..SimConfig::seeded(5) };
-        let par_cfg = SimConfig { threads: 4, ..SimConfig::seeded(5) };
+        let seq_cfg = SimConfig {
+            threads: 1,
+            ..SimConfig::seeded(5)
+        };
+        let par_cfg = SimConfig {
+            threads: 4,
+            ..SimConfig::seeded(5)
+        };
         let (ps, rs) = run(&g, min_flood_programs(400), seq_cfg).unwrap();
         let (pp, rp) = run(&g, min_flood_programs(400), par_cfg).unwrap();
         assert_eq!(rs, rp);
@@ -306,7 +356,10 @@ mod tests {
     #[test]
     fn round_cap_reports_incomplete() {
         let g = gen::cycle(8);
-        let cfg = SimConfig { max_rounds: 3, ..SimConfig::seeded(0) };
+        let cfg = SimConfig {
+            max_rounds: 3,
+            ..SimConfig::seeded(0)
+        };
         let (_, report) = run(&g, min_flood_programs(8), cfg).unwrap();
         assert!(!report.completed);
         assert_eq!(report.rounds, 3);
@@ -338,7 +391,14 @@ mod tests {
             Err(e) => e,
             Ok(_) => panic!("expected neighbor error"),
         };
-        assert_eq!(err, SimError::NotANeighbor { from: 3, to: 0, round: 0 });
+        assert_eq!(
+            err,
+            SimError::NotANeighbor {
+                from: 3,
+                to: 0,
+                round: 0
+            }
+        );
     }
 
     #[test]

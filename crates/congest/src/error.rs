@@ -36,7 +36,13 @@ impl std::fmt::Display for SimError {
             SimError::NotANeighbor { from, to, round } => {
                 write!(f, "round {round}: node {from} sent to non-neighbor {to}")
             }
-            SimError::BandwidthExceeded { from, to, bits, limit, round } => write!(
+            SimError::BandwidthExceeded {
+                from,
+                to,
+                bits,
+                limit,
+                round,
+            } => write!(
                 f,
                 "round {round}: edge {from}->{to} carried {bits} bits, limit {limit}"
             ),
@@ -52,10 +58,20 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = SimError::BandwidthExceeded { from: 1, to: 2, bits: 99, limit: 32, round: 7 };
+        let e = SimError::BandwidthExceeded {
+            from: 1,
+            to: 2,
+            bits: 99,
+            limit: 32,
+            round: 7,
+        };
         let s = e.to_string();
         assert!(s.contains("99") && s.contains("32") && s.contains("round 7"));
-        let e2 = SimError::NotANeighbor { from: 3, to: 4, round: 1 };
+        let e2 = SimError::NotANeighbor {
+            from: 3,
+            to: 4,
+            round: 1,
+        };
         assert!(e2.to_string().contains("non-neighbor"));
     }
 }

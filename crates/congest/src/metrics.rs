@@ -19,7 +19,11 @@ pub struct RunReport {
 impl RunReport {
     /// Largest per-edge per-round load seen anywhere in the run.
     pub fn max_edge_bits(&self) -> u64 {
-        self.max_edge_bits_per_round.iter().copied().max().unwrap_or(0)
+        self.max_edge_bits_per_round
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 
     /// Bandwidth-normalized round count `Σ_r ⌈max_edge_bits(r)/bandwidth⌉`
@@ -33,7 +37,10 @@ impl RunReport {
     /// Panics if `bandwidth` is zero.
     pub fn normalized_rounds(&self, bandwidth: u64) -> u64 {
         assert!(bandwidth > 0, "bandwidth must be positive");
-        self.max_edge_bits_per_round.iter().map(|&b| b.div_ceil(bandwidth).max(1)).sum()
+        self.max_edge_bits_per_round
+            .iter()
+            .map(|&b| b.div_ceil(bandwidth).max(1))
+            .sum()
     }
 
     /// Fold another report into this one (sequential composition of
@@ -42,7 +49,8 @@ impl RunReport {
         self.rounds += other.rounds;
         self.messages += other.messages;
         self.total_bits += other.total_bits;
-        self.max_edge_bits_per_round.extend_from_slice(&other.max_edge_bits_per_round);
+        self.max_edge_bits_per_round
+            .extend_from_slice(&other.max_edge_bits_per_round);
         self.completed &= other.completed;
     }
 }
@@ -88,12 +96,19 @@ impl PassLog {
 
     /// Largest per-edge per-round load across passes.
     pub fn max_edge_bits(&self) -> u64 {
-        self.passes.iter().map(|(_, r)| r.max_edge_bits()).max().unwrap_or(0)
+        self.passes
+            .iter()
+            .map(|(_, r)| r.max_edge_bits())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total bandwidth-normalized rounds across passes.
     pub fn normalized_rounds(&self, bandwidth: u64) -> u64 {
-        self.passes.iter().map(|(_, r)| r.normalized_rounds(bandwidth)).sum()
+        self.passes
+            .iter()
+            .map(|(_, r)| r.normalized_rounds(bandwidth))
+            .sum()
     }
 
     /// Merge another log's passes after this one's.

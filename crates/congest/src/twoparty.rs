@@ -64,7 +64,9 @@ impl BitTally {
     /// Panics if `bandwidth == 0`.
     pub fn rounds(&self, bandwidth: u64) -> u64 {
         assert!(bandwidth > 0, "bandwidth must be positive");
-        self.max_direction_bits().div_ceil(bandwidth).max(u64::from(self.flights > 0))
+        self.max_direction_bits()
+            .div_ceil(bandwidth)
+            .max(u64::from(self.flights > 0))
     }
 }
 

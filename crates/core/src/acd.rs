@@ -101,7 +101,12 @@ impl Program for BuddyEstimatePass {
             }
             1 => {
                 for &(from, ref msg) in ctx.inbox() {
-                    if let Wire::Uint { tag: tags::DEGREE, value, .. } = msg {
+                    if let Wire::Uint {
+                        tag: tags::DEGREE,
+                        value,
+                        ..
+                    } = msg
+                    {
                         let pos = ctx.neighbor_index(from).expect("degree from non-neighbor");
                         self.neighbor_adeg[pos] = *value as u32;
                     }
@@ -128,7 +133,12 @@ impl Program for BuddyEstimatePass {
             }
             2 => {
                 for &(from, ref msg) in ctx.inbox() {
-                    if let Wire::Uint { tag: tags::AGG_UP, value, .. } = msg {
+                    if let Wire::Uint {
+                        tag: tags::AGG_UP,
+                        value,
+                        ..
+                    } = msg
+                    {
                         let pos = ctx.neighbor_index(from).expect("index from non-neighbor");
                         self.edge_index[pos] = *value;
                     }
@@ -144,7 +154,14 @@ impl Program for BuddyEstimatePass {
                     let setup = self.edge_setup(me, nb, my_deg, self.neighbor_adeg[pos] as usize);
                     let h = setup.family.member(self.edge_index[pos]);
                     let words = window_signature(&setup, &h, &own);
-                    ctx.send(nb, Wire::Bitmap { tag: tags::TRIED, words, bits: setup.sigma() });
+                    ctx.send(
+                        nb,
+                        Wire::Bitmap {
+                            tag: tags::TRIED,
+                            words,
+                            bits: setup.sigma(),
+                        },
+                    );
                 }
             }
             _ => {
@@ -190,7 +207,13 @@ struct CliqueFormPass {
 impl CliqueFormPass {
     fn new(st: NodeState, buddy: Vec<bool>, n: usize) -> Self {
         let cid = st.id;
-        CliqueFormPass { st, buddy, cid, id_bits: bits_for_range(n as u64) as u32, done: false }
+        CliqueFormPass {
+            st,
+            buddy,
+            cid,
+            id_bits: bits_for_range(n as u64) as u32,
+            done: false,
+        }
     }
 
     fn dense(&self) -> bool {
@@ -199,7 +222,12 @@ impl CliqueFormPass {
 
     fn fold_min(&mut self, ctx: &Ctx<'_, Wire>) {
         for &(from, ref msg) in ctx.inbox() {
-            if let Wire::Uint { tag: tags::CLIQUE, value, .. } = msg {
+            if let Wire::Uint {
+                tag: tags::CLIQUE,
+                value,
+                ..
+            } = msg
+            {
                 let pos = ctx.neighbor_index(from).expect("cid from non-neighbor");
                 if self.buddy[pos] {
                     self.cid = self.cid.min(*value as NodeId);
@@ -243,7 +271,12 @@ impl Program for CliqueFormPass {
                     *c = None;
                 }
                 for &(from, ref msg) in ctx.inbox() {
-                    if let Wire::Uint { tag: tags::CLIQUE, value, .. } = msg {
+                    if let Wire::Uint {
+                        tag: tags::CLIQUE,
+                        value,
+                        ..
+                    } = msg
+                    {
                         let pos = ctx.neighbor_index(from).expect("cid from non-neighbor");
                         self.st.neighbor_clique[pos] = Some(*value as NodeId);
                     }
@@ -297,7 +330,11 @@ pub(crate) struct CliqueRefreshPass {
 
 impl CliqueRefreshPass {
     pub(crate) fn new(st: NodeState, n: usize) -> Self {
-        CliqueRefreshPass { st, id_bits: bits_for_range(n as u64) as u32 + 1, done: false }
+        CliqueRefreshPass {
+            st,
+            id_bits: bits_for_range(n as u64) as u32 + 1,
+            done: false,
+        }
     }
 }
 
@@ -320,7 +357,12 @@ impl Program for CliqueRefreshPass {
                     *c = None;
                 }
                 for &(from, ref msg) in ctx.inbox() {
-                    if let Wire::Uint { tag: tags::CLIQUE, value, .. } = msg {
+                    if let Wire::Uint {
+                        tag: tags::CLIQUE,
+                        value,
+                        ..
+                    } = msg
+                    {
                         let pos = ctx.neighbor_index(from).expect("cid from non-neighbor");
                         self.st.neighbor_clique[pos] = Some(*value as NodeId);
                     }
@@ -371,7 +413,10 @@ pub fn compute_acd(
         .into_iter()
         .map(|st| BuddyEstimatePass::new(st, scheme, seed, n))
         .collect();
-    let config = congest::SimConfig { seed: prand::mix::mix2(seed, 0xacd), ..driver.config };
+    let config = congest::SimConfig {
+        seed: prand::mix::mix2(seed, 0xacd),
+        ..driver.config
+    };
     let (programs, report) = congest::run(driver.graph, programs, config)?;
     driver.log.record("acd-estimate", report);
 
@@ -379,7 +424,12 @@ pub fn compute_acd(
     let mut states = Vec::with_capacity(programs.len());
     let mut buddy_masks = Vec::with_capacity(programs.len());
     for p in programs {
-        let BuddyEstimatePass { mut st, neighbor_adeg, estimates, .. } = p;
+        let BuddyEstimatePass {
+            mut st,
+            neighbor_adeg,
+            estimates,
+            ..
+        } = p;
         let degree = st.neighbor_active.len();
         let mut buddy = vec![false; degree];
         if st.active {
@@ -413,9 +463,9 @@ pub(crate) fn classify(st: &mut NodeState, buddy: &[bool], neighbor_adeg: &[u32]
     let dv = st.neighbor_active.iter().filter(|&&a| a).count() as f64;
     let buddy_count = buddy.iter().filter(|&&b| b).count() as f64;
     let mut eta = 0.0;
-    for pos in 0..buddy.len() {
+    for (pos, &adeg) in neighbor_adeg.iter().enumerate().take(buddy.len()) {
         if st.neighbor_active[pos] {
-            let du = f64::from(neighbor_adeg[pos]);
+            let du = f64::from(adeg);
             eta += (du - dv).max(0.0) / (du + 1.0);
         }
     }
@@ -454,7 +504,10 @@ pub(crate) fn finish_acd(
         .into_iter()
         .map(|st| CliqueAggregatePass::new(st, AggOp::Sum, 1, bits))
         .collect();
-    let config = congest::SimConfig { seed: prand::mix::mix2(seed, 0xacd2), ..driver.config };
+    let config = congest::SimConfig {
+        seed: prand::mix::mix2(seed, 0xacd2),
+        ..driver.config
+    };
     let (programs, report) = congest::run(driver.graph, programs, config)?;
     driver.log.record("acd-size", report);
     let mut states: Vec<NodeState> = programs
@@ -466,11 +519,7 @@ pub(crate) fn finish_acd(
                 match result {
                     Some(size) => {
                         st.clique_size = size as u32;
-                        let dv = st
-                            .neighbor_active
-                            .iter()
-                            .filter(|&&a| a)
-                            .count() as f64;
+                        let dv = st.neighbor_active.iter().filter(|&&a| a).count() as f64;
                         let c = size as f64;
                         let ok = dv <= (1.0 + 2.0 * eps) * c
                             && (1.0 + 2.0 * eps) * f64::from(st.nc + 1) >= c;
@@ -548,7 +597,10 @@ mod tests {
         let mut driver = Driver::new(&g, SimConfig::seeded(5));
         let states = compute_acd(&mut driver, fresh_active(&g), &profile, 11).unwrap();
         let dense = states.iter().filter(|s| s.class == AcdClass::Dense).count();
-        let sparse = states.iter().filter(|s| s.class == AcdClass::Sparse).count();
+        let sparse = states
+            .iter()
+            .filter(|s| s.class == AcdClass::Sparse)
+            .count();
         assert!(dense <= g.n() / 20, "{dense}/{} spuriously dense", g.n());
         assert!(sparse >= g.n() / 2, "only {sparse}/{} sparse", g.n());
     }
@@ -579,7 +631,10 @@ mod tests {
             dense_right * 10 >= dense_total * 8,
             "{dense_right}/{dense_total} planted members classified dense"
         );
-        assert!(cliques_agree * 10 >= dense_right * 9, "{cliques_agree}/{dense_right} hubs agree");
+        assert!(
+            cliques_agree * 10 >= dense_right * 9,
+            "{cliques_agree}/{dense_right} hubs agree"
+        );
     }
 
     #[test]
@@ -592,7 +647,11 @@ mod tests {
         for st in states.iter().skip(4) {
             assert_ne!(st.class, AcdClass::Dense, "spoke {} dense", st.id);
         }
-        let uneven = states.iter().skip(4).filter(|s| s.class == AcdClass::Uneven).count();
+        let uneven = states
+            .iter()
+            .skip(4)
+            .filter(|s| s.class == AcdClass::Uneven)
+            .count();
         assert!(uneven > 100, "only {uneven} spokes uneven");
     }
 

@@ -119,7 +119,12 @@ impl UniformBuddyPass {
     }
 
     /// Unique-preimage picks of `set` over the sampled positions.
-    fn picks(h: &PairwiseHash, sampler: &MultisetSampler, set_seed: u64, set: &[u64]) -> Vec<Option<u64>> {
+    fn picks(
+        h: &PairwiseHash,
+        sampler: &MultisetSampler,
+        set_seed: u64,
+        set: &[u64],
+    ) -> Vec<Option<u64>> {
         sampler
             .multiset(set_seed)
             .map(|s| {
@@ -198,7 +203,12 @@ impl Program for UniformBuddyPass {
             }
             1 => {
                 for &(from, ref msg) in ctx.inbox() {
-                    if let Wire::Uint { tag: tags::DEGREE, value, .. } = msg {
+                    if let Wire::Uint {
+                        tag: tags::DEGREE,
+                        value,
+                        ..
+                    } = msg
+                    {
                         let pos = ctx.neighbor_index(from).expect("degree from non-neighbor");
                         self.neighbor_adeg[pos] = *value as u32;
                     }
@@ -210,10 +220,7 @@ impl Program for UniformBuddyPass {
                 for pos in 0..ctx.neighbors().len() {
                     let nb = ctx.neighbors()[pos];
                     let their = self.neighbor_adeg[pos] as usize;
-                    if !self.st.neighbor_active[pos]
-                        || me >= nb
-                        || !self.balanced(my_deg, their)
-                    {
+                    if !self.st.neighbor_active[pos] || me >= nb || !self.balanced(my_deg, their) {
                         continue;
                     }
                     let lambda = self.lambda(my_deg, their);
@@ -251,10 +258,14 @@ impl Program for UniformBuddyPass {
             }
             2 => {
                 for &(from, ref msg) in ctx.inbox() {
-                    if let Wire::UintList { tag: tags::AGG_UP, values, .. } = msg {
+                    if let Wire::UintList {
+                        tag: tags::AGG_UP,
+                        values,
+                        ..
+                    } = msg
+                    {
                         if let [hash_index, set_seed] = values[..] {
-                            let pos =
-                                ctx.neighbor_index(from).expect("setup from non-neighbor");
+                            let pos = ctx.neighbor_index(from).expect("setup from non-neighbor");
                             self.edges[pos] = Some(EdgeScratch {
                                 hash_index,
                                 set_seed,
@@ -268,7 +279,9 @@ impl Program for UniformBuddyPass {
                 let own = self.active_set(ctx);
                 for pos in 0..ctx.neighbors().len() {
                     let their = self.neighbor_adeg[pos] as usize;
-                    let Some(scratch) = self.edges[pos].as_mut() else { continue };
+                    let Some(scratch) = self.edges[pos].as_mut() else {
+                        continue;
+                    };
                     let lambda = {
                         let (du, dv) = (my_deg, their);
                         ((6.0 * du.max(dv) as f64 / self.profile.eps_acd).ceil() as u64).max(4)
@@ -285,12 +298,24 @@ impl Program for UniformBuddyPass {
                     let picks = Self::picks(&h, &sampler, scratch.set_seed, &own);
                     let (words, bits) = Self::marks_bitmap(&picks);
                     scratch.my_picks = picks;
-                    ctx.send(ctx.neighbors()[pos], Wire::Bitmap { tag: tags::TRIED, words, bits });
+                    ctx.send(
+                        ctx.neighbors()[pos],
+                        Wire::Bitmap {
+                            tag: tags::TRIED,
+                            words,
+                            bits,
+                        },
+                    );
                 }
             }
             3 => {
                 for &(from, ref msg) in ctx.inbox() {
-                    if let Wire::Bitmap { tag: tags::TRIED, words, .. } = msg {
+                    if let Wire::Bitmap {
+                        tag: tags::TRIED,
+                        words,
+                        ..
+                    } = msg
+                    {
                         let pos = ctx.neighbor_index(from).expect("marks from non-neighbor");
                         if let Some(scratch) = self.edges[pos].as_mut() {
                             scratch.their_marks = words.clone();
@@ -303,7 +328,9 @@ impl Program for UniformBuddyPass {
                 let eps = self.profile.eps_acd;
                 for pos in 0..ctx.neighbors().len() {
                     let nb = ctx.neighbors()[pos];
-                    let Some(scratch) = self.edges[pos].clone() else { continue };
+                    let Some(scratch) = self.edges[pos].clone() else {
+                        continue;
+                    };
                     if scratch.their_marks.is_empty() {
                         self.edges[pos] = None;
                         continue;
@@ -324,7 +351,10 @@ impl Program for UniformBuddyPass {
                         .iter()
                         .copied()
                         .filter(|&i| {
-                            scratch.their_marks.get(i / 64).is_some_and(|w| w & (1 << (i % 64)) != 0)
+                            scratch
+                                .their_marks
+                                .get(i / 64)
+                                .is_some_and(|w| w & (1 << (i % 64)) != 0)
                         })
                         .collect();
                     if common.is_empty()
@@ -342,13 +372,22 @@ impl Program for UniformBuddyPass {
                     scratch.sigma2 = sigma2;
                     ctx.send(
                         nb,
-                        Wire::Bitmap { tag: tags::ASSIGN, words: bits_words, bits: sigma2 },
+                        Wire::Bitmap {
+                            tag: tags::ASSIGN,
+                            words: bits_words,
+                            bits: sigma2,
+                        },
                     );
                 }
             }
             _ => {
                 for &(from, ref msg) in ctx.inbox() {
-                    if let Wire::Bitmap { tag: tags::ASSIGN, words, .. } = msg {
+                    if let Wire::Bitmap {
+                        tag: tags::ASSIGN,
+                        words,
+                        ..
+                    } = msg
+                    {
                         let pos = ctx.neighbor_index(from).expect("bits from non-neighbor");
                         if let Some(scratch) = self.edges[pos].as_mut() {
                             let differing: u32 = scratch
@@ -357,16 +396,22 @@ impl Program for UniformBuddyPass {
                                 .zip(words)
                                 .map(|(a, b)| (a ^ b).count_ones())
                                 .sum();
-                            scratch.verdict = f64::from(differing)
-                                < self.profile.eps_acd * scratch.sigma2 as f64;
+                            scratch.verdict =
+                                f64::from(differing) < self.profile.eps_acd * scratch.sigma2 as f64;
                         }
                     }
                 }
                 for pos in 0..self.buddy.len() {
-                    self.buddy[pos] =
-                        self.edges[pos].as_ref().is_some_and(|s| s.verdict && !s.my_bits.is_empty());
+                    self.buddy[pos] = self.edges[pos]
+                        .as_ref()
+                        .is_some_and(|s| s.verdict && !s.my_bits.is_empty());
                 }
-                classify(&mut self.st, &self.buddy, &self.neighbor_adeg, self.profile.eps_acd);
+                classify(
+                    &mut self.st,
+                    &self.buddy,
+                    &self.neighbor_adeg,
+                    self.profile.eps_acd,
+                );
                 self.done = true;
             }
         }
@@ -396,9 +441,14 @@ pub fn compute_acd_uniform(
     seed: u64,
 ) -> Result<Vec<NodeState>, SimError> {
     let n = driver.graph.n();
-    let programs: Vec<UniformBuddyPass> =
-        states.into_iter().map(|st| UniformBuddyPass::new(st, *profile, seed, n)).collect();
-    let config = congest::SimConfig { seed: mix2(seed, 0xacd3), ..driver.config };
+    let programs: Vec<UniformBuddyPass> = states
+        .into_iter()
+        .map(|st| UniformBuddyPass::new(st, *profile, seed, n))
+        .collect();
+    let config = congest::SimConfig {
+        seed: mix2(seed, 0xacd3),
+        ..driver.config
+    };
     let (programs, report) = congest::run(driver.graph, programs, config)?;
     driver.log.record("acd-uniform-buddy", report);
     let mut states = Vec::with_capacity(programs.len());
@@ -484,7 +534,10 @@ mod tests {
             dense_right * 10 >= planted * 7,
             "{dense_right}/{planted} planted members dense"
         );
-        assert!(bg_dense <= 3, "{bg_dense} background nodes spuriously dense");
+        assert!(
+            bg_dense <= 3,
+            "{bg_dense} background nodes spuriously dense"
+        );
     }
 
     #[test]

@@ -38,8 +38,14 @@ pub fn solve_random_trial(
     lists: &ListAssignment,
     opts: SolveOptions,
 ) -> Result<SolveResult, SimError> {
-    assert!(lists.is_degree_plus_one(g), "lists must give every node ≥ deg+1 colors");
-    let sim = SimConfig { seed: opts.seed, ..opts.sim };
+    assert!(
+        lists.is_degree_plus_one(g),
+        "lists must give every node ≥ deg+1 colors"
+    );
+    let sim = SimConfig {
+        seed: opts.seed,
+        ..opts.sim
+    };
     let mut driver = Driver::new(g, sim);
     let mut states = initial_states(g, lists, &opts.profile, opts.seed);
     states = driver.run_pass("codec-setup", states, CodecSetupPass::new)?;
@@ -71,7 +77,13 @@ impl NaiveMultiTrialPass {
     /// Try `x` raw colors this round; each costs the declared
     /// `color_bits` on the wire.
     pub fn new(st: NodeState, x: u32, color_bits: u32) -> Self {
-        NaiveMultiTrialPass { st, x, color_bits, tried: Vec::new(), done: false }
+        NaiveMultiTrialPass {
+            st,
+            x,
+            color_bits,
+            tried: Vec::new(),
+            done: false,
+        }
     }
 }
 
@@ -100,7 +112,12 @@ impl Program for NaiveMultiTrialPass {
                 if !self.tried.is_empty() {
                     let mut rivals: HashSet<Color> = HashSet::new();
                     for (_, msg) in ctx.inbox() {
-                        if let Wire::UintList { tag: tags::TRIED, values, .. } = msg {
+                        if let Wire::UintList {
+                            tag: tags::TRIED,
+                            values,
+                            ..
+                        } = msg
+                        {
                             rivals.extend(values.iter().copied());
                         }
                     }
@@ -114,8 +131,15 @@ impl Program for NaiveMultiTrialPass {
             }
             _ => {
                 for &(from, ref msg) in ctx.inbox() {
-                    if let Wire::Color { tag: tags::ADOPTED, payload, .. } = msg {
-                        let pos = ctx.neighbor_index(from).expect("adoption from non-neighbor");
+                    if let Wire::Color {
+                        tag: tags::ADOPTED,
+                        payload,
+                        ..
+                    } = msg
+                    {
+                        let pos = ctx
+                            .neighbor_index(from)
+                            .expect("adoption from non-neighbor");
                         digest_adoption(&mut self.st, pos, *payload, false);
                     }
                 }
@@ -154,8 +178,14 @@ pub fn solve_naive_multitrial(
     x: u32,
     opts: SolveOptions,
 ) -> Result<SolveResult, SimError> {
-    assert!(lists.is_degree_plus_one(g), "lists must give every node ≥ deg+1 colors");
-    let sim = SimConfig { seed: opts.seed, ..opts.sim };
+    assert!(
+        lists.is_degree_plus_one(g),
+        "lists must give every node ≥ deg+1 colors"
+    );
+    let sim = SimConfig {
+        seed: opts.seed,
+        ..opts.sim
+    };
     let mut driver = Driver::new(g, sim);
     let mut states = initial_states(g, lists, &opts.profile, opts.seed);
     states = driver.run_pass("codec-setup", states, CodecSetupPass::new)?;
@@ -182,7 +212,10 @@ pub fn solve_naive_multitrial(
 ///
 /// Panics if `lists` is not a (degree+1)-list assignment.
 pub fn greedy_oracle(g: &Graph, lists: &ListAssignment) -> Vec<Color> {
-    assert!(lists.is_degree_plus_one(g), "lists must give every node ≥ deg+1 colors");
+    assert!(
+        lists.is_degree_plus_one(g),
+        "lists must give every node ≥ deg+1 colors"
+    );
     let mut coloring: Vec<Option<Color>> = vec![None; g.n()];
     for v in 0..g.n() {
         let taken: HashSet<Color> = g
@@ -198,7 +231,10 @@ pub fn greedy_oracle(g: &Graph, lists: &ListAssignment) -> Vec<Color> {
             .expect("greedy on (deg+1)-lists cannot fail");
         coloring[v] = Some(c);
     }
-    coloring.into_iter().map(|c| c.expect("assigned above")).collect()
+    coloring
+        .into_iter()
+        .map(|c| c.expect("assigned above"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -243,7 +279,10 @@ mod tests {
             ..SolveOptions::seeded(7)
         };
         let result = solve_naive_multitrial(&g, &lists, 16, opts);
-        assert!(result.is_err(), "16 raw 48-bit colors should blow a 96-bit cap");
+        assert!(
+            result.is_err(),
+            "16 raw 48-bit colors should blow a 96-bit cap"
+        );
     }
 
     #[test]

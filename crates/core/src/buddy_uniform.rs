@@ -82,7 +82,11 @@ pub fn uniform_buddy<R: Rng + ?Sized>(
     let (du, dv) = (nu.len() as f64, nv.len() as f64);
     // Line 1: degree balance.
     if du == 0.0 || dv == 0.0 || du > dv / (1.0 - params.eps) || dv > du / (1.0 - params.eps) {
-        return BuddyOutcome { friends: false, decided_at: 1, tally };
+        return BuddyOutcome {
+            friends: false,
+            decided_at: 1,
+            tally,
+        };
     }
     let lambda = params
         .lambda_override
@@ -139,10 +143,12 @@ pub fn uniform_buddy<R: Rng + ?Sized>(
     let common: Vec<usize> = (0..samples.len())
         .filter(|&i| pu[i].is_some() && pv[i].is_some())
         .collect();
-    if common.is_empty()
-        || (common.len() as f64) <= (1.0 - 3.0 * params.eps) * mu.min(mv) as f64
-    {
-        return BuddyOutcome { friends: false, decided_at: 9, tally };
+    if common.is_empty() || (common.len() as f64) <= (1.0 - 3.0 * params.eps) * mu.min(mv) as f64 {
+        return BuddyOutcome {
+            friends: false,
+            decided_at: 9,
+            tally,
+        };
     }
 
     // Lines 10–14: encode the common preimages.
@@ -187,7 +193,11 @@ pub fn uniform_buddy<R: Rng + ?Sized>(
         })
         .count();
     let friends = (differing as f64) < params.eps * sigma2 as f64;
-    BuddyOutcome { friends, decided_at: 16, tally }
+    BuddyOutcome {
+        friends,
+        decided_at: 16,
+        tally,
+    }
 }
 
 #[cfg(test)]
@@ -205,7 +215,10 @@ mod tests {
     fn identical_neighborhoods_are_friends() {
         let n: Vec<u64> = (0..60).map(|i| i * 13 + 5).collect();
         let hits = (0..20).filter(|&t| run(&n, &n, t).friends).count();
-        assert!(hits >= 18, "only {hits}/20 accepted identical neighborhoods");
+        assert!(
+            hits >= 18,
+            "only {hits}/20 accepted identical neighborhoods"
+        );
     }
 
     #[test]
@@ -216,7 +229,10 @@ mod tests {
         nv[1] = 1001;
         nv.sort_unstable();
         let hits = (0..20).filter(|&t| run(&nu, &nv, t).friends).count();
-        assert!(hits >= 15, "only {hits}/20 accepted near-identical neighborhoods");
+        assert!(
+            hits >= 15,
+            "only {hits}/20 accepted near-identical neighborhoods"
+        );
     }
 
     #[test]
@@ -234,7 +250,10 @@ mod tests {
         let nu: Vec<u64> = (0..50).collect();
         let nv: Vec<u64> = (1000..1050).collect();
         let rejections = (0..20).filter(|&t| !run(&nu, &nv, t).friends).count();
-        assert!(rejections >= 18, "only {rejections}/20 rejected disjoint sets");
+        assert!(
+            rejections >= 18,
+            "only {rejections}/20 rejected disjoint sets"
+        );
     }
 
     #[test]
@@ -254,8 +273,10 @@ mod tests {
         // λ forced to ~|N|: most sampled values have preimages on both
         // sides even for disjoint sets, so line 9 passes spuriously and
         // only the ECC Hamming test (line 16) can reject.
-        let params =
-            UniformBuddyParams { lambda_override: Some(48), ..Default::default() };
+        let params = UniformBuddyParams {
+            lambda_override: Some(48),
+            ..Default::default()
+        };
         let nu: Vec<u64> = (0..40).collect();
         let nv: Vec<u64> = (10_000..10_040).collect();
         let mut rejected = 0;
@@ -270,7 +291,10 @@ mod tests {
                 }
             }
         }
-        assert!(rejected >= 18, "only {rejected}/20 rejected under collisions");
+        assert!(
+            rejected >= 18,
+            "only {rejected}/20 rejected under collisions"
+        );
         assert!(via_code >= 5, "ECC branch never fired ({via_code}/20)");
     }
 
@@ -278,8 +302,10 @@ mod tests {
     fn identical_sets_survive_tiny_lambda() {
         // Same collision regime, but genuinely identical neighborhoods:
         // the ECC test sees zero Hamming distance and accepts.
-        let params =
-            UniformBuddyParams { lambda_override: Some(48), ..Default::default() };
+        let params = UniformBuddyParams {
+            lambda_override: Some(48),
+            ..Default::default()
+        };
         let n: Vec<u64> = (0..40).collect();
         let hits = (0..20)
             .filter(|&t| {

@@ -118,7 +118,10 @@ impl Program for CliqueAggregatePass {
                 self.hub_adjacent =
                     self.am_hub() || ctx.neighbors().binary_search(&self.hub()).is_ok();
                 self.partial = self.op.identity();
-                ctx.broadcast(Wire::Flag { tag: tags::HUB_ADJ, on: self.hub_adjacent });
+                ctx.broadcast(Wire::Flag {
+                    tag: tags::HUB_ADJ,
+                    on: self.hub_adjacent,
+                });
             }
             1 => {
                 if self.hub_adjacent {
@@ -127,7 +130,11 @@ impl Program for CliqueAggregatePass {
                     // Pick a random same-clique hub-adjacent relay.
                     let mut relays: Vec<NodeId> = Vec::new();
                     for &(from, ref msg) in ctx.inbox() {
-                        if let Wire::Flag { tag: tags::HUB_ADJ, on: true } = msg {
+                        if let Wire::Flag {
+                            tag: tags::HUB_ADJ,
+                            on: true,
+                        } = msg
+                        {
                             let pos = ctx.neighbor_index(from).expect("flag from non-neighbor");
                             if self.st.neighbor_clique[pos] == self.st.clique {
                                 relays.push(from);
@@ -138,7 +145,11 @@ impl Program for CliqueAggregatePass {
                         let relay = relays[ctx.rng().gen_range(0..relays.len())];
                         ctx.send(
                             relay,
-                            Wire::Uint { tag: tags::AGG_UP, value: self.input, bits: self.bits },
+                            Wire::Uint {
+                                tag: tags::AGG_UP,
+                                value: self.input,
+                                bits: self.bits,
+                            },
                         );
                     }
                 }
@@ -146,7 +157,12 @@ impl Program for CliqueAggregatePass {
             2 => {
                 if self.hub_adjacent {
                     for (_, msg) in ctx.inbox() {
-                        if let Wire::Uint { tag: tags::AGG_UP, value, .. } = msg {
+                        if let Wire::Uint {
+                            tag: tags::AGG_UP,
+                            value,
+                            ..
+                        } = msg
+                        {
                             self.partial = self.op.combine(self.partial, *value);
                         }
                     }
@@ -166,7 +182,12 @@ impl Program for CliqueAggregatePass {
                 if self.am_hub() {
                     let mut agg = self.partial;
                     for (_, msg) in ctx.inbox() {
-                        if let Wire::Uint { tag: tags::AGG_UP, value, .. } = msg {
+                        if let Wire::Uint {
+                            tag: tags::AGG_UP,
+                            value,
+                            ..
+                        } = msg
+                        {
                             agg = self.op.combine(agg, *value);
                         }
                     }
@@ -181,7 +202,12 @@ impl Program for CliqueAggregatePass {
             4 => {
                 if self.result.is_none() {
                     for &(from, ref msg) in ctx.inbox() {
-                        if let Wire::Uint { tag: tags::AGG_DOWN, value, .. } = msg {
+                        if let Wire::Uint {
+                            tag: tags::AGG_DOWN,
+                            value,
+                            ..
+                        } = msg
+                        {
                             let pos = ctx.neighbor_index(from).expect("agg from non-neighbor");
                             if self.st.neighbor_clique[pos] == self.st.clique {
                                 self.result = Some(*value);
@@ -197,7 +223,11 @@ impl Program for CliqueAggregatePass {
                             let to = ctx.neighbors()[pos];
                             ctx.send(
                                 to,
-                                Wire::Uint { tag: tags::AGG_DOWN, value: r, bits: self.bits },
+                                Wire::Uint {
+                                    tag: tags::AGG_DOWN,
+                                    value: r,
+                                    bits: self.bits,
+                                },
                             );
                         }
                     }
@@ -206,7 +236,12 @@ impl Program for CliqueAggregatePass {
             _ => {
                 if self.result.is_none() {
                     for &(from, ref msg) in ctx.inbox() {
-                        if let Wire::Uint { tag: tags::AGG_DOWN, value, .. } = msg {
+                        if let Wire::Uint {
+                            tag: tags::AGG_DOWN,
+                            value,
+                            ..
+                        } = msg
+                        {
                             let pos = ctx.neighbor_index(from).expect("agg from non-neighbor");
                             if self.st.neighbor_clique[pos] == self.st.clique {
                                 self.result = Some(*value);
@@ -340,8 +375,8 @@ mod tests {
         let inputs = vec![1u64; 6];
         let results = run_agg(&g, states, AggOp::Sum, &inputs);
         assert_eq!(results[5], None);
-        for v in 0..5 {
-            assert_eq!(results[v], Some(5), "node {v}");
+        for (v, r) in results.iter().enumerate().take(5) {
+            assert_eq!(*r, Some(5), "node {v}");
         }
     }
 
@@ -367,11 +402,13 @@ mod tests {
             .collect();
         let inputs: Vec<u64> = (0..10).collect();
         let results = run_agg(&g, states, AggOp::Sum, &inputs);
-        for v in 0..5 {
-            assert_eq!(results[v], Some(1 + 2 + 3 + 4), "node {v}");
-        }
-        for v in 5..10 {
-            assert_eq!(results[v], Some(5 + 6 + 7 + 8 + 9), "node {v}");
+        for (v, r) in results.iter().enumerate() {
+            let expected = if v < 5 {
+                1 + 2 + 3 + 4
+            } else {
+                5 + 6 + 7 + 8 + 9
+            };
+            assert_eq!(*r, Some(expected), "node {v}");
         }
     }
 }

@@ -59,7 +59,11 @@ pub fn reduce_color_space(
 ) -> Option<ColorSpaceReduction> {
     let largest = palettes.iter().map(Vec::len).max().unwrap_or(0) as u64;
     if largest == 0 {
-        return Some(ColorSpaceReduction { index: 0, m: 1, scanned: 0 });
+        return Some(ColorSpaceReduction {
+            index: 0,
+            m: 1,
+            scanned: 0,
+        });
     }
     // Birthday bound: M = L²·reserve makes a random member injective on a
     // size-L palette w.p. ≥ 1 − 1/(2·reserve); a union bound over the
@@ -96,7 +100,9 @@ mod tests {
     use std::collections::HashSet;
 
     fn palettes(k: usize, len: usize, stride: u64) -> Vec<Vec<Color>> {
-        (0..k as u64).map(|i| (0..len as u64).map(|c| c * stride + i * 31).collect()).collect()
+        (0..k as u64)
+            .map(|i| (0..len as u64).map(|c| c * stride + i * 31).collect())
+            .collect()
     }
 
     #[test]
@@ -122,8 +128,9 @@ mod tests {
     #[test]
     fn reduced_space_is_quadratic_not_linear_in_colors() {
         // Colors are 60-bit; the reduced space is ~L²·reserve ≪ 2^60.
-        let ps: Vec<Vec<Color>> =
-            (0..4).map(|i| (0..20u64).map(|c| (c << 50) + i).collect()).collect();
+        let ps: Vec<Vec<Color>> = (0..4)
+            .map(|i| (0..20u64).map(|c| (c << 50) + i).collect())
+            .collect();
         let red = reduce_color_space(&ps, 16, 1).expect("reduction");
         assert!(red.m <= 20 * 20 * 16);
     }

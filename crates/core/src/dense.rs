@@ -164,7 +164,11 @@ mod tests {
         let states = color_dense(&mut driver, states, &profile, 5, g.max_degree()).unwrap();
         for st in &states {
             if st.class != AcdClass::Dense {
-                assert!(st.uncolored(), "non-dense node {} colored by dense path", st.id);
+                assert!(
+                    st.uncolored(),
+                    "non-dense node {} colored by dense path",
+                    st.id
+                );
             }
         }
     }

@@ -23,7 +23,13 @@ pub struct Driver<'g> {
 impl<'g> Driver<'g> {
     /// A driver with the given base engine config.
     pub fn new(graph: &'g Graph, config: SimConfig) -> Self {
-        Driver { graph, config, log: PassLog::new(), seed: config.seed, pass_counter: 0 }
+        Driver {
+            graph,
+            config,
+            log: PassLog::new(),
+            seed: config.seed,
+            pass_counter: 0,
+        }
     }
 
     /// Run one pass: build a program per node (in id order), execute to

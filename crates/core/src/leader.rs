@@ -51,7 +51,14 @@ struct LeaderInfoPass {
 
 impl LeaderInfoPass {
     fn new(st: NodeState, profile: ParamProfile, ell: u64) -> Self {
-        LeaderInfoPass { st, profile, ell, common: 0, low_slack: None, done: false }
+        LeaderInfoPass {
+            st,
+            profile,
+            ell,
+            common: 0,
+            low_slack: None,
+            done: false,
+        }
     }
 
     fn member(&self) -> bool {
@@ -91,12 +98,19 @@ impl Program for LeaderInfoPass {
                 // |N(v) ∩ N_C(x)| excluding x, so Σ = 2·m(N_C(x)).
                 self.st.leader_adjacent =
                     !self.am_leader() && ctx.neighbors().binary_search(&leader).is_ok();
-                ctx.broadcast(Wire::Flag { tag: tags::HUB_ADJ, on: self.st.leader_adjacent });
+                ctx.broadcast(Wire::Flag {
+                    tag: tags::HUB_ADJ,
+                    on: self.st.leader_adjacent,
+                });
             }
             1 => {
                 let mut common = 0u32;
                 for &(from, ref msg) in ctx.inbox() {
-                    if let Wire::Flag { tag: tags::HUB_ADJ, on: true } = msg {
+                    if let Wire::Flag {
+                        tag: tags::HUB_ADJ,
+                        on: true,
+                    } = msg
+                    {
                         let pos = ctx.neighbor_index(from).expect("flag from non-neighbor");
                         if self.st.neighbor_clique[pos] == self.st.clique {
                             common += 1;
@@ -107,7 +121,11 @@ impl Program for LeaderInfoPass {
                 if self.st.leader_adjacent {
                     ctx.send(
                         leader,
-                        Wire::Uint { tag: tags::AGG_UP, value: u64::from(common), bits: 32 },
+                        Wire::Uint {
+                            tag: tags::AGG_UP,
+                            value: u64::from(common),
+                            bits: 32,
+                        },
                     );
                 }
             }
@@ -117,7 +135,11 @@ impl Program for LeaderInfoPass {
                         .inbox()
                         .iter()
                         .filter_map(|(_, msg)| match msg {
-                            Wire::Uint { tag: tags::AGG_UP, value, .. } => Some(*value),
+                            Wire::Uint {
+                                tag: tags::AGG_UP,
+                                value,
+                                ..
+                            } => Some(*value),
                             _ => None,
                         })
                         .sum();
@@ -131,13 +153,20 @@ impl Program for LeaderInfoPass {
                     let sigma_c = f64::from(self.st.ext) + zeta + f64::from(self.st.chroma_slack);
                     let low = sigma_c <= self.ell as f64;
                     self.low_slack = Some(low);
-                    ctx.broadcast(Wire::Flag { tag: tags::AGG_DOWN, on: low });
+                    ctx.broadcast(Wire::Flag {
+                        tag: tags::AGG_DOWN,
+                        on: low,
+                    });
                 }
             }
             3 => {
                 if self.low_slack.is_none() {
                     for &(from, ref msg) in ctx.inbox() {
-                        if let Wire::Flag { tag: tags::AGG_DOWN, on } = msg {
+                        if let Wire::Flag {
+                            tag: tags::AGG_DOWN,
+                            on,
+                        } = msg
+                        {
                             if from == leader {
                                 self.low_slack = Some(*on);
                             }
@@ -150,7 +179,13 @@ impl Program for LeaderInfoPass {
                     if let Some(low) = self.low_slack {
                         for pos in self.clique_positions() {
                             let to = ctx.neighbors()[pos];
-                            ctx.send(to, Wire::Flag { tag: tags::AGG_DOWN, on: low });
+                            ctx.send(
+                                to,
+                                Wire::Flag {
+                                    tag: tags::AGG_DOWN,
+                                    on: low,
+                                },
+                            );
                         }
                     }
                 }
@@ -158,7 +193,11 @@ impl Program for LeaderInfoPass {
             _ => {
                 if self.low_slack.is_none() {
                     for &(from, ref msg) in ctx.inbox() {
-                        if let Wire::Flag { tag: tags::AGG_DOWN, on } = msg {
+                        if let Wire::Flag {
+                            tag: tags::AGG_DOWN,
+                            on,
+                        } = msg
+                        {
                             let pos = ctx.neighbor_index(from).expect("flag from non-neighbor");
                             if self.st.neighbor_clique[pos] == self.st.clique {
                                 self.low_slack = Some(*on);
@@ -233,7 +272,9 @@ pub fn select_leaders(
 
     // Slackability estimation + low/high classification + inliers.
     let ell = profile.ell(delta);
-    driver.run_pass("leader-info", states, |st| LeaderInfoPass::new(st, *profile, ell))
+    driver.run_pass("leader-info", states, |st| {
+        LeaderInfoPass::new(st, *profile, ell)
+    })
 }
 
 /// Leaders of each clique, for inspection: `(hub id, leader id)` pairs.

@@ -45,16 +45,16 @@ pub mod driver;
 pub mod leader;
 pub mod multitrial;
 pub mod multitrial_uniform;
+pub mod palette;
+pub mod passes;
+pub mod pipeline;
 pub mod putaside;
 pub mod shattering;
 pub mod slackcolor;
 pub mod sparse;
-pub mod synchtrial;
-pub mod passes;
-pub mod pipeline;
-pub mod trycolor;
-pub mod palette;
 pub mod state;
+pub mod synchtrial;
+pub mod trycolor;
 pub mod wire;
 
 pub use baseline::{greedy_oracle, solve_naive_multitrial, solve_random_trial};

@@ -33,7 +33,12 @@ use rand::seq::SliceRandom;
 /// Shared hash-family lookup: the family for range `λ` under the global
 /// MultiTrial seed. Every node derives identical families, so announcing
 /// `(λ, index)` identifies a function.
-pub fn family_for_lambda(profile: &ParamProfile, seed: u64, n: usize, lambda: u64) -> RepHashFamily {
+pub fn family_for_lambda(
+    profile: &ParamProfile,
+    seed: u64,
+    n: usize,
+    lambda: u64,
+) -> RepHashFamily {
     let sigma = profile.mt_sigma(n).min(lambda);
     let params = RepParams::practical(
         profile.mt_alpha,
@@ -115,7 +120,11 @@ impl Program for MultiTrialPass {
                     let family = family_for_lambda(&self.profile, self.seed, self.n, lambda);
                     let index = family.sample_index(ctx.rng());
                     self.my_hash = Some(family.member(index));
-                    ctx.broadcast(Wire::MtHash { lambda, index, bits: self.header_bits() });
+                    ctx.broadcast(Wire::MtHash {
+                        lambda,
+                        index,
+                        bits: self.header_bits(),
+                    });
                 }
             }
             1 => {
@@ -137,13 +146,19 @@ impl Program for MultiTrialPass {
                 }
                 // Per participating neighbor: the bitmap over [σ_{λ_u}].
                 for pos in 0..ctx.neighbors().len() {
-                    let Some((lambda_u, index_u)) = self.neighbor_hash[pos] else { continue };
+                    let Some((lambda_u, index_u)) = self.neighbor_hash[pos] else {
+                        continue;
+                    };
                     let fam = family_for_lambda(&self.profile, self.seed, self.n, lambda_u);
                     let hu = fam.member(index_u);
                     let words = hu.window_bitmap(&self.tried);
                     ctx.send(
                         ctx.neighbors()[pos],
-                        Wire::Bitmap { tag: tags::TRIED, words, bits: hu.sigma() },
+                        Wire::Bitmap {
+                            tag: tags::TRIED,
+                            words,
+                            bits: hu.sigma(),
+                        },
                     );
                 }
             }
@@ -168,8 +183,15 @@ impl Program for MultiTrialPass {
             }
             _ => {
                 for &(from, ref msg) in ctx.inbox() {
-                    if let Wire::Color { tag: tags::ADOPTED, payload, .. } = msg {
-                        let pos = ctx.neighbor_index(from).expect("adoption from non-neighbor");
+                    if let Wire::Color {
+                        tag: tags::ADOPTED,
+                        payload,
+                        ..
+                    } = msg
+                    {
+                        let pos = ctx
+                            .neighbor_index(from)
+                            .expect("adoption from non-neighbor");
                         digest_adoption(&mut self.st, pos, *payload, false);
                     }
                 }
@@ -224,7 +246,10 @@ mod tests {
             .map(|st| MultiTrialPass::new(st, x, profile, 99, g.n(), "mt"))
             .collect();
         let (programs, report) = congest::run(g, programs, SimConfig::seeded(seed)).unwrap();
-        (programs.into_iter().map(StatePass::into_state).collect(), report)
+        (
+            programs.into_iter().map(StatePass::into_state).collect(),
+            report,
+        )
     }
 
     fn assert_proper(g: &Graph, states: &[NodeState]) {
@@ -260,7 +285,11 @@ mod tests {
         let (states, _) = run_multitrial(&g, states_with_extra(&g, 200), 8, 5);
         assert_proper(&g, &states);
         let colored = states.iter().filter(|s| s.color.is_some()).count();
-        assert!(colored * 10 >= g.n() * 8, "only {colored}/{} colored", g.n());
+        assert!(
+            colored * 10 >= g.n() * 8,
+            "only {colored}/{} colored",
+            g.n()
+        );
     }
 
     #[test]

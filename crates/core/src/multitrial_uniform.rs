@@ -162,10 +162,14 @@ impl Program for UniformMultiTrialPass {
             }
             1 => {
                 for &(from, ref msg) in ctx.inbox() {
-                    if let Wire::UintList { tag: tags::ACTIVE, values, .. } = msg {
+                    if let Wire::UintList {
+                        tag: tags::ACTIVE,
+                        values,
+                        ..
+                    } = msg
+                    {
                         if let [lambda, idx, set_seed] = values[..] {
-                            let pos =
-                                ctx.neighbor_index(from).expect("setup from non-neighbor");
+                            let pos = ctx.neighbor_index(from).expect("setup from non-neighbor");
                             self.neighbor_setup[pos] = Some((lambda, idx, set_seed));
                         }
                     }
@@ -198,8 +202,7 @@ impl Program for UniformMultiTrialPass {
                     };
                     let hu = pwi_family(&self.profile, self.seed, lambda_u).member(idx_u);
                     let sigma_u = self.sigma(lambda_u);
-                    let sampler_u =
-                        sampler_for(&self.profile, self.seed, lambda_u, sigma_u);
+                    let sampler_u = sampler_for(&self.profile, self.seed, lambda_u, sigma_u);
                     let hits: std::collections::HashSet<u64> =
                         self.tried.iter().map(|&c| hu.hash(c)).collect();
                     let mut words = vec![0u64; (sigma_u as usize).div_ceil(64)];
@@ -210,7 +213,11 @@ impl Program for UniformMultiTrialPass {
                     }
                     ctx.send(
                         ctx.neighbors()[pos],
-                        Wire::Bitmap { tag: tags::TRIED, words, bits: sigma_u },
+                        Wire::Bitmap {
+                            tag: tags::TRIED,
+                            words,
+                            bits: sigma_u,
+                        },
                     );
                 }
             }
@@ -218,17 +225,13 @@ impl Program for UniformMultiTrialPass {
                 if let Some(h) = self.my_hash {
                     if !self.tried.is_empty() {
                         let sigma = self.sigma(self.my_lambda);
-                        let sampler =
-                            sampler_for(&self.profile, self.seed, self.my_lambda, sigma);
+                        let sampler = sampler_for(&self.profile, self.seed, self.my_lambda, sigma);
                         let positions: Vec<u64> = sampler.multiset(self.my_set_seed).collect();
                         let mut blocked_positions = vec![false; positions.len()];
                         for (_, msg) in ctx.inbox() {
                             if let Wire::Bitmap { words, .. } = msg {
                                 for (i, b) in blocked_positions.iter_mut().enumerate() {
-                                    if words
-                                        .get(i / 64)
-                                        .is_some_and(|w| w & (1 << (i % 64)) != 0)
-                                    {
+                                    if words.get(i / 64).is_some_and(|w| w & (1 << (i % 64)) != 0) {
                                         *b = true;
                                     }
                                 }
@@ -251,8 +254,15 @@ impl Program for UniformMultiTrialPass {
             }
             _ => {
                 for &(from, ref msg) in ctx.inbox() {
-                    if let Wire::Color { tag: tags::ADOPTED, payload, .. } = msg {
-                        let pos = ctx.neighbor_index(from).expect("adoption from non-neighbor");
+                    if let Wire::Color {
+                        tag: tags::ADOPTED,
+                        payload,
+                        ..
+                    } = msg
+                    {
+                        let pos = ctx
+                            .neighbor_index(from)
+                            .expect("adoption from non-neighbor");
                         digest_adoption(&mut self.st, pos, *payload, false);
                     }
                 }
@@ -334,8 +344,7 @@ mod tests {
             let profile = ParamProfile::laptop();
             let mut driver = Driver::new(&g, SimConfig::seeded(seed));
             let states =
-                uniform_multitrial(&mut driver, states_with_extra(&g, 6), 3, &profile, 9)
-                    .unwrap();
+                uniform_multitrial(&mut driver, states_with_extra(&g, 6), 3, &profile, 9).unwrap();
             assert_proper(&g, &states);
         }
     }
@@ -346,11 +355,14 @@ mod tests {
         let profile = ParamProfile::laptop();
         let mut driver = Driver::new(&g, SimConfig::seeded(4));
         let states =
-            uniform_multitrial(&mut driver, states_with_extra(&g, 200), 8, &profile, 5)
-                .unwrap();
+            uniform_multitrial(&mut driver, states_with_extra(&g, 200), 8, &profile, 5).unwrap();
         assert_proper(&g, &states);
         let colored = states.iter().filter(|s| s.color.is_some()).count();
-        assert!(colored * 10 >= g.n() * 7, "only {colored}/{} colored", g.n());
+        assert!(
+            colored * 10 >= g.n() * 7,
+            "only {colored}/{} colored",
+            g.n()
+        );
     }
 
     #[test]
@@ -358,8 +370,7 @@ mod tests {
         let g = gen::cycle(12);
         let profile = ParamProfile::laptop();
         let mut driver = Driver::new(&g, SimConfig::seeded(2));
-        let _ = uniform_multitrial(&mut driver, states_with_extra(&g, 10), 4, &profile, 3)
-            .unwrap();
+        let _ = uniform_multitrial(&mut driver, states_with_extra(&g, 10), 4, &profile, 3).unwrap();
         assert_eq!(driver.log.total_rounds(), 4);
     }
 

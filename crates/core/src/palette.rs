@@ -21,7 +21,10 @@ impl Palette {
     pub fn new(mut list: Vec<Color>) -> Self {
         list.sort_unstable();
         list.dedup();
-        Palette { colors: list.clone(), original: list }
+        Palette {
+            colors: list.clone(),
+            original: list,
+        }
     }
 
     /// Remaining colors, sorted.

@@ -41,7 +41,14 @@ pub fn announce_adoption(st: &NodeState, ctx: &mut Ctx<'_, Wire>, color: graphs:
     for pos in 0..ctx.neighbors().len() {
         let to = ctx.neighbors()[pos];
         let payload = st.codec.encode_for(pos, color);
-        ctx.send(to, Wire::Color { tag: tags::ADOPTED, payload, bits });
+        ctx.send(
+            to,
+            Wire::Color {
+                tag: tags::ADOPTED,
+                payload,
+                bits,
+            },
+        );
     }
 }
 
@@ -68,7 +75,11 @@ impl Program for CodecSetupPass {
             0 => {
                 let index = self.st.codec.choose_index(ctx.rng());
                 let bits = self.st.codec.index_bits();
-                ctx.broadcast(Wire::Uint { tag: tags::ACTIVE, value: index, bits });
+                ctx.broadcast(Wire::Uint {
+                    tag: tags::ACTIVE,
+                    value: index,
+                    bits,
+                });
             }
             _ => {
                 for &(from, ref msg) in ctx.inbox() {
@@ -107,7 +118,11 @@ impl ActivatePass {
     /// `should_activate` is the driver's decision (degree range etc.); a
     /// colored node never activates.
     pub fn new(st: NodeState, should_activate: bool) -> Self {
-        ActivatePass { st, should_activate, done: false }
+        ActivatePass {
+            st,
+            should_activate,
+            done: false,
+        }
     }
 }
 
@@ -118,9 +133,12 @@ impl Program for ActivatePass {
         match ctx.round() {
             0 => {
                 self.st.active = self.should_activate && self.st.uncolored();
-                let value =
-                    u64::from(self.st.active) | (u64::from(self.st.uncolored()) << 1);
-                ctx.broadcast(Wire::Uint { tag: tags::ACTIVE, value, bits: 2 });
+                let value = u64::from(self.st.active) | (u64::from(self.st.uncolored()) << 1);
+                ctx.broadcast(Wire::Uint {
+                    tag: tags::ACTIVE,
+                    value,
+                    bits: 2,
+                });
             }
             _ => {
                 for &(from, ref msg) in ctx.inbox() {
@@ -182,7 +200,10 @@ mod tests {
         let c0 = &states[0].codec;
         let c1 = &states[1].codec;
         let pos_of_1_at_0 = g.neighbors(0).binary_search(&1).unwrap();
-        assert_eq!(c0.neighbor_hash(pos_of_1_at_0).hash(42), c1.my_hash().hash(42));
+        assert_eq!(
+            c0.neighbor_hash(pos_of_1_at_0).hash(42),
+            c1.my_hash().hash(42)
+        );
     }
 
     #[test]

@@ -64,7 +64,10 @@ impl Default for SolveOptions {
 impl SolveOptions {
     /// Default options with the given seed.
     pub fn seeded(seed: u64) -> Self {
-        SolveOptions { seed, ..Default::default() }
+        SolveOptions {
+            seed,
+            ..Default::default()
+        }
     }
 }
 
@@ -113,8 +116,7 @@ pub fn initial_states(
     (0..g.n())
         .map(|v| {
             let d = g.degree(v as NodeId);
-            let codec =
-                ColorCodec::new(profile, mix2(seed, 0xc0dec), g.n(), lists.color_bits(), d);
+            let codec = ColorCodec::new(profile, mix2(seed, 0xc0dec), g.n(), lists.color_bits(), d);
             NodeState::new(
                 v as NodeId,
                 Palette::new(lists.list(v as NodeId).to_vec()),
@@ -135,7 +137,10 @@ pub(crate) fn finish(
     phases: usize,
 ) -> SolveResult {
     let mut coloring: Vec<Option<Color>> = states.iter().map(|s| s.color).collect();
-    let mut stats = Stats { phases, ..Default::default() };
+    let mut stats = Stats {
+        phases,
+        ..Default::default()
+    };
     for st in &states {
         if let Some(name) = st.colored_by {
             *stats.colored_by.entry(name).or_insert(0) += 1;
@@ -160,9 +165,16 @@ pub(crate) fn finish(
             stats.repairs += 1;
         }
     }
-    let coloring: Vec<Color> = coloring.into_iter().map(|c| c.expect("filled above")).collect();
+    let coloring: Vec<Color> = coloring
+        .into_iter()
+        .map(|c| c.expect("filled above"))
+        .collect();
     debug_assert_eq!(graphs::palette::check_coloring(g, lists, &coloring), Ok(()));
-    SolveResult { coloring, log, stats }
+    SolveResult {
+        coloring,
+        log,
+        stats,
+    }
 }
 
 /// Solve the (degree+1)-list-coloring problem on `g` with `lists`.
@@ -191,9 +203,15 @@ pub fn solve(
     lists: &ListAssignment,
     opts: SolveOptions,
 ) -> Result<SolveResult, SimError> {
-    assert!(lists.is_degree_plus_one(g), "lists must give every node ≥ deg+1 colors");
+    assert!(
+        lists.is_degree_plus_one(g),
+        "lists must give every node ≥ deg+1 colors"
+    );
     let profile = opts.profile;
-    let sim = SimConfig { seed: opts.seed, ..opts.sim };
+    let sim = SimConfig {
+        seed: opts.seed,
+        ..opts.sim
+    };
     let mut driver = Driver::new(g, sim);
     let mut states = initial_states(g, lists, &profile, opts.seed);
 
@@ -345,14 +363,20 @@ mod tests {
         let g = gen::gnp(150, 0.08, 9);
         let lists = degree_plus_one_lists(&g);
         let r = assert_solves(&g, &lists, 23);
-        assert_eq!(r.stats.repairs, 0, "distributed pipeline needed central repair");
+        assert_eq!(
+            r.stats.repairs, 0,
+            "distributed pipeline needed central repair"
+        );
     }
 
     #[test]
     fn uniform_acd_pipeline_solves_end_to_end() {
         let (g, _) = gen::planted_acd(3, 24, 0.05, 60, 0.05, 6);
         let lists = random_lists(&g, 48, 0, 4);
-        let opts = SolveOptions { uniform_acd: true, ..SolveOptions::seeded(7) };
+        let opts = SolveOptions {
+            uniform_acd: true,
+            ..SolveOptions::seeded(7)
+        };
         let r = solve(&g, &lists, opts).expect("uniform solve");
         assert_eq!(check_coloring(&g, &lists, &r.coloring), Ok(()));
         assert!(r.stats.phases >= 1);
@@ -365,6 +389,9 @@ mod tests {
         let lists = degree_plus_one_lists(&g);
         let r = assert_solves(&g, &lists, 29);
         assert!(r.stats.phases >= 1);
-        assert!(r.stats.colored_by.len() > 1, "expected multiple passes to color");
+        assert!(
+            r.stats.colored_by.len() > 1,
+            "expected multiple passes to color"
+        );
     }
 }

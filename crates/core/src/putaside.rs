@@ -113,7 +113,13 @@ impl Program for PutAsideSelectPass {
                     if !clash {
                         self.survivor = true;
                         let leader = self.st.leader.expect("inlier has a leader");
-                        ctx.send(leader, Wire::Flag { tag: tags::REQUEST, on: true });
+                        ctx.send(
+                            leader,
+                            Wire::Flag {
+                                tag: tags::REQUEST,
+                                on: true,
+                            },
+                        );
                     }
                 }
             }
@@ -123,7 +129,13 @@ impl Program for PutAsideSelectPass {
                         .inbox()
                         .iter()
                         .filter(|&(_, m)| {
-                            matches!(m, Wire::Flag { tag: tags::REQUEST, .. })
+                            matches!(
+                                m,
+                                Wire::Flag {
+                                    tag: tags::REQUEST,
+                                    ..
+                                }
+                            )
                         })
                         .count() as u64;
                     let cap = self.ell.max(1);
@@ -133,7 +145,11 @@ impl Program for PutAsideSelectPass {
                     } else {
                         (u64::from(u16::MAX) * cap) / survivors
                     };
-                    ctx.broadcast(Wire::Uint { tag: tags::AGG_DOWN, value: theta, bits: 16 });
+                    ctx.broadcast(Wire::Uint {
+                        tag: tags::AGG_DOWN,
+                        value: theta,
+                        bits: 16,
+                    });
                 }
             }
             3 => {
@@ -143,9 +159,11 @@ impl Program for PutAsideSelectPass {
                         .inbox()
                         .iter()
                         .find_map(|&(from, ref msg)| match msg {
-                            Wire::Uint { tag: tags::AGG_DOWN, value, .. } if from == leader => {
-                                Some(*value)
-                            }
+                            Wire::Uint {
+                                tag: tags::AGG_DOWN,
+                                value,
+                                ..
+                            } if from == leader => Some(*value),
                             _ => None,
                         })
                         .unwrap_or(0);
@@ -163,7 +181,12 @@ impl Program for PutAsideSelectPass {
             _ => {
                 self.st.pc_neighbors.clear();
                 for &(from, ref msg) in ctx.inbox() {
-                    if let Wire::Uint { tag: tags::SAMPLED, value, .. } = msg {
+                    if let Wire::Uint {
+                        tag: tags::SAMPLED,
+                        value,
+                        ..
+                    } = msg
+                    {
                         let pos = ctx.neighbor_index(from).expect("pc from non-neighbor");
                         if self.st.neighbor_clique[pos].map(u64::from) == Some(*value)
                             && self.st.clique.map(u64::from) == Some(*value)
@@ -237,9 +260,10 @@ impl PutAsideColorPass {
 
     /// Distinct color tokens under the leader's hash for upload.
     fn tokens(&self, ctx: &Ctx<'_, Wire>) -> Vec<u64> {
-        let want = (self.st.pc_neighbors.len() + 4)
-            .min(CHUNK_ROUNDS as usize * self.chunk_len());
-        let Some(pos) = self.leader_pos(ctx) else { return Vec::new() };
+        let want = (self.st.pc_neighbors.len() + 4).min(CHUNK_ROUNDS as usize * self.chunk_len());
+        let Some(pos) = self.leader_pos(ctx) else {
+            return Vec::new();
+        };
         let mut seen = HashSet::new();
         let mut out = Vec::new();
         for &c in self.st.palette.colors() {
@@ -282,16 +306,24 @@ impl Program for PutAsideColorPass {
                     );
                 }
             }
-            r if r >= 1 && r <= CHUNK_ROUNDS => {
+            r if (1..=CHUNK_ROUNDS).contains(&r) => {
                 // Leader side: record incoming ids (round 1) and chunks.
                 if self.am_leader() {
                     for &(from, ref msg) in ctx.inbox() {
                         let entry = self.uploads.entry(from).or_default();
                         match msg {
-                            Wire::UintList { tag: tags::PAL_UP, values, .. } => {
+                            Wire::UintList {
+                                tag: tags::PAL_UP,
+                                values,
+                                ..
+                            } => {
                                 entry.0.extend_from_slice(values);
                             }
-                            Wire::UintList { tag: tags::REQUEST, values, .. } => {
+                            Wire::UintList {
+                                tag: tags::REQUEST,
+                                values,
+                                ..
+                            } => {
                                 entry.1 = values.iter().map(|&x| x as NodeId).collect();
                             }
                             _ => {}
@@ -321,8 +353,17 @@ impl Program for PutAsideColorPass {
                 if self.am_leader() {
                     // Absorb the final chunk round's messages.
                     for &(from, ref msg) in ctx.inbox() {
-                        if let Wire::UintList { tag: tags::PAL_UP, values, .. } = msg {
-                            self.uploads.entry(from).or_default().0.extend_from_slice(values);
+                        if let Wire::UintList {
+                            tag: tags::PAL_UP,
+                            values,
+                            ..
+                        } = msg
+                        {
+                            self.uploads
+                                .entry(from)
+                                .or_default()
+                                .0
+                                .extend_from_slice(values);
                         }
                     }
                     // Greedy assignment in id order: pick a token no
@@ -339,7 +380,11 @@ impl Program for PutAsideColorPass {
                             chosen.insert(v, t);
                             ctx.send(
                                 v,
-                                Wire::Uint { tag: tags::PAL_DOWN, value: t, bits: bits_each },
+                                Wire::Uint {
+                                    tag: tags::PAL_DOWN,
+                                    value: t,
+                                    bits: bits_each,
+                                },
                             );
                         }
                     }
@@ -349,9 +394,11 @@ impl Program for PutAsideColorPass {
                 if self.participating() {
                     let leader = self.st.leader.expect("participating() checked");
                     let token = ctx.inbox().iter().find_map(|&(from, ref msg)| match msg {
-                        Wire::Uint { tag: tags::PAL_DOWN, value, .. } if from == leader => {
-                            Some(*value)
-                        }
+                        Wire::Uint {
+                            tag: tags::PAL_DOWN,
+                            value,
+                            ..
+                        } if from == leader => Some(*value),
                         _ => None,
                     });
                     if let Some(t) = token {
@@ -374,8 +421,15 @@ impl Program for PutAsideColorPass {
             }
             _ => {
                 for &(from, ref msg) in ctx.inbox() {
-                    if let Wire::Color { tag: tags::ADOPTED, payload, .. } = msg {
-                        let pos = ctx.neighbor_index(from).expect("adoption from non-neighbor");
+                    if let Wire::Color {
+                        tag: tags::ADOPTED,
+                        payload,
+                        ..
+                    } = msg
+                    {
+                        let pos = ctx
+                            .neighbor_index(from)
+                            .expect("adoption from non-neighbor");
                         digest_adoption(&mut self.st, pos, *payload, false);
                     }
                 }
@@ -424,7 +478,9 @@ pub fn color_put_aside(
     states: Vec<NodeState>,
 ) -> Result<Vec<NodeState>, SimError> {
     let n = driver.graph.n();
-    driver.run_pass("put-aside-color", states, |st| PutAsideColorPass::new(st, n))
+    driver.run_pass("put-aside-color", states, |st| {
+        PutAsideColorPass::new(st, n)
+    })
 }
 
 #[cfg(test)]
@@ -473,7 +529,10 @@ mod tests {
         let ell = profile.ell(29);
         let pc = states.iter().filter(|s| s.put_aside).count();
         assert!(pc >= 1, "no put-aside nodes selected");
-        assert!(pc as u64 <= 3 * ell, "put-aside too large: {pc} vs ℓ = {ell}");
+        assert!(
+            pc as u64 <= 3 * ell,
+            "put-aside too large: {pc} vs ℓ = {ell}"
+        );
         // Members' pc_neighbors views agree with the actual set.
         for st in &states {
             for &u in &st.pc_neighbors {
@@ -498,11 +557,17 @@ mod tests {
                 st.color = Some(c);
             }
         }
-        let pc_before: Vec<NodeId> =
-            states.iter().filter(|s| s.put_aside && s.uncolored()).map(|s| s.id).collect();
+        let pc_before: Vec<NodeId> = states
+            .iter()
+            .filter(|s| s.put_aside && s.uncolored())
+            .map(|s| s.id)
+            .collect();
         let states = color_put_aside(&mut driver, states).unwrap();
         for &v in &pc_before {
-            assert!(states[v as usize].color.is_some(), "PC node {v} left uncolored");
+            assert!(
+                states[v as usize].color.is_some(),
+                "PC node {v} left uncolored"
+            );
         }
         // Distinct colors among adjacent PC members.
         for &v in &pc_before {
@@ -564,7 +629,10 @@ mod tests {
             let mut driver = Driver::new(&g, SimConfig::seeded(seed));
             let states = select_put_aside(&mut driver, states, &profile, 6).unwrap();
             if states[5].put_aside {
-                assert!(!states[6].put_aside, "seed {seed}: adjacent cross-clique PC");
+                assert!(
+                    !states[6].put_aside,
+                    "seed {seed}: adjacent cross-clique PC"
+                );
             }
         }
     }

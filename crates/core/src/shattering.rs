@@ -43,8 +43,15 @@ impl Program for CleanupPass {
             // Digest adoptions from the previous cycle, then re-announce
             // uncolored status.
             for &(from, ref msg) in ctx.inbox() {
-                if let Wire::Color { tag: tags::ADOPTED, payload, .. } = msg {
-                    let pos = ctx.neighbor_index(from).expect("adoption from non-neighbor");
+                if let Wire::Color {
+                    tag: tags::ADOPTED,
+                    payload,
+                    ..
+                } = msg
+                {
+                    let pos = ctx
+                        .neighbor_index(from)
+                        .expect("adoption from non-neighbor");
                     digest_adoption(&mut self.st, pos, *payload, false);
                 }
             }
@@ -53,7 +60,10 @@ impl Program for CleanupPass {
                     // Collision pathology: leave to the repair sweep.
                     self.done = true;
                 } else {
-                    ctx.broadcast(Wire::Flag { tag: tags::UNCOLORED, on: true });
+                    ctx.broadcast(Wire::Flag {
+                        tag: tags::UNCOLORED,
+                        on: true,
+                    });
                 }
             } else {
                 self.done = true;
@@ -62,7 +72,15 @@ impl Program for CleanupPass {
             let min_uncolored: Option<NodeId> = ctx
                 .inbox()
                 .iter()
-                .filter(|&(_, m)| matches!(m, Wire::Flag { tag: tags::UNCOLORED, .. }))
+                .filter(|&(_, m)| {
+                    matches!(
+                        m,
+                        Wire::Flag {
+                            tag: tags::UNCOLORED,
+                            ..
+                        }
+                    )
+                })
                 .map(|&(from, _)| from)
                 .min();
             if min_uncolored.is_none_or(|m| self.st.id < m) {

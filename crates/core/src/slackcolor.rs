@@ -76,15 +76,14 @@ pub fn slack_color(
     let rho_k = rho.powf(kappa);
 
     let multitrial = |driver: &mut Driver<'_>,
-                          states: Vec<NodeState>,
-                          x: u64|
+                      states: Vec<NodeState>,
+                      x: u64|
      -> Result<Vec<NodeState>, SimError> {
         let x = x.min(1 << 20) as u32;
         driver.run_pass(pass_name, states, |st| {
             // Lemma 6 cap: x ≤ |Ψ_v|/(2|N(v)|), enforced per node.
             let cap =
-                (st.palette.len() as u64 / (2 * st.active_uncolored_degree().max(1) as u64))
-                    .max(1);
+                (st.palette.len() as u64 / (2 * st.active_uncolored_degree().max(1) as u64)).max(1);
             MultiTrialPass::new(st, x.min(cap as u32), *profile, seed, n, pass_name)
         })
     };

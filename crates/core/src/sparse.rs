@@ -31,7 +31,12 @@ struct GotSlackPass {
 
 impl GotSlackPass {
     fn new(st: NodeState, eps: f64) -> Self {
-        GotSlackPass { st, eps, got: false, done: false }
+        GotSlackPass {
+            st,
+            eps,
+            got: false,
+            done: false,
+        }
     }
 }
 
@@ -44,7 +49,10 @@ impl Program for GotSlackPass {
                 if self.st.active && self.st.uncolored() {
                     let d = self.st.active_uncolored_degree() as f64;
                     self.got = f64::from(self.st.slack_gain) >= self.eps * d;
-                    ctx.broadcast(Wire::Flag { tag: tags::ACTIVE, on: self.got });
+                    ctx.broadcast(Wire::Flag {
+                        tag: tags::ACTIVE,
+                        on: self.got,
+                    });
                 }
             }
             _ => {
@@ -95,8 +103,10 @@ pub fn color_sparse(
     seed: u64,
 ) -> Result<Vec<NodeState>, SimError> {
     // Participants: sparse/uneven classified nodes of this phase.
-    let phase_member: Vec<bool> =
-        states.iter().map(|st| sparse_or_uneven(st) && st.uncolored()).collect();
+    let phase_member: Vec<bool> = states
+        .iter()
+        .map(|st| sparse_or_uneven(st) && st.uncolored())
+        .collect();
     states = driver.activate(states, |st| phase_member[st.id as usize])?;
     if Driver::active_count(&states) == 0 {
         return Ok(states);
@@ -138,9 +148,7 @@ pub fn color_sparse(
     // the paper profile; the laptop profile lets them participate).
     let drop_bad = profile.bad_to_cleanup;
     states = driver.activate(states, |st| {
-        phase_member[st.id as usize]
-            && st.uncolored()
-            && (!drop_bad || !bad[st.id as usize])
+        phase_member[st.id as usize] && st.uncolored() && (!drop_bad || !bad[st.id as usize])
     })?;
     if Driver::active_count(&states) > 0 {
         let smin = min_active_slack(&states);
@@ -208,8 +216,11 @@ mod tests {
         let profile = ParamProfile::laptop();
         let mut driver = Driver::new(&g, SimConfig::seeded(2));
         let states = compute_acd(&mut driver, fresh_active(&g, 0), &profile, 3).unwrap();
-        let dense_before: Vec<NodeId> =
-            states.iter().filter(|s| s.class == AcdClass::Dense).map(|s| s.id).collect();
+        let dense_before: Vec<NodeId> = states
+            .iter()
+            .filter(|s| s.class == AcdClass::Dense)
+            .map(|s| s.id)
+            .collect();
         assert!(!dense_before.is_empty());
         let states = color_sparse(&mut driver, states, &profile, 7).unwrap();
         for &v in &dense_before {

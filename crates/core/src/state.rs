@@ -139,7 +139,11 @@ impl NodeState {
     /// palette (both would be pipeline bugs).
     pub fn adopt(&mut self, color: Color, pass: &'static str) {
         assert!(self.color.is_none(), "node {} double-colored", self.id);
-        assert!(self.palette.contains(color), "node {} adopted off-palette color", self.id);
+        assert!(
+            self.palette.contains(color),
+            "node {} adopted off-palette color",
+            self.id
+        );
         self.color = Some(color);
         self.colored_by = Some(pass);
         self.active = false;

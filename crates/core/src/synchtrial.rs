@@ -26,7 +26,11 @@ pub struct SynchColorTrialPass {
 impl SynchColorTrialPass {
     /// Wrap a node state.
     pub fn new(st: NodeState) -> Self {
-        SynchColorTrialPass { st, candidate: None, done: false }
+        SynchColorTrialPass {
+            st,
+            candidate: None,
+            done: false,
+        }
     }
 
     fn am_leader(&self) -> bool {
@@ -54,7 +58,13 @@ impl Program for SynchColorTrialPass {
             0 => {
                 if self.requester() {
                     let leader = self.st.leader.expect("requester() checked");
-                    ctx.send(leader, Wire::Flag { tag: tags::REQUEST, on: true });
+                    ctx.send(
+                        leader,
+                        Wire::Flag {
+                            tag: tags::REQUEST,
+                            on: true,
+                        },
+                    );
                 }
             }
             1 => {
@@ -63,7 +73,13 @@ impl Program for SynchColorTrialPass {
                         .inbox()
                         .iter()
                         .filter(|&(_, m)| {
-                            matches!(m, Wire::Flag { tag: tags::REQUEST, .. })
+                            matches!(
+                                m,
+                                Wire::Flag {
+                                    tag: tags::REQUEST,
+                                    ..
+                                }
+                            )
                         })
                         .map(|&(from, _)| from)
                         .collect();
@@ -73,7 +89,14 @@ impl Program for SynchColorTrialPass {
                     let bits = self.st.codec.color_bits();
                     for (u, psi) in requesters.into_iter().zip(colors) {
                         let payload = self.st.codec.encode_own(psi);
-                        ctx.send(u, Wire::Color { tag: tags::ASSIGN, payload, bits });
+                        ctx.send(
+                            u,
+                            Wire::Color {
+                                tag: tags::ASSIGN,
+                                payload,
+                                bits,
+                            },
+                        );
                     }
                 }
             }
@@ -81,23 +104,35 @@ impl Program for SynchColorTrialPass {
                 if self.requester() {
                     let leader = self.st.leader.expect("requester() checked");
                     let assigned = ctx.inbox().iter().find_map(|&(from, ref msg)| match msg {
-                        Wire::Color { tag: tags::ASSIGN, payload, .. } if from == leader => {
-                            Some(*payload)
-                        }
+                        Wire::Color {
+                            tag: tags::ASSIGN,
+                            payload,
+                            ..
+                        } if from == leader => Some(*payload),
                         _ => None,
                     });
                     if let Some(wire) = assigned {
-                        let pos =
-                            ctx.neighbor_index(leader).expect("inliers are leader-adjacent");
+                        let pos = ctx
+                            .neighbor_index(leader)
+                            .expect("inliers are leader-adjacent");
                         if let Some(c) =
-                            self.st.codec.decode_via_neighbor(&self.st.palette, pos, wire)
+                            self.st
+                                .codec
+                                .decode_via_neighbor(&self.st.palette, pos, wire)
                         {
                             self.candidate = Some(c);
                             let bits = self.st.codec.color_bits();
                             for p in 0..ctx.neighbors().len() {
                                 let to = ctx.neighbors()[p];
                                 let payload = self.st.codec.encode_for(p, c);
-                                ctx.send(to, Wire::Color { tag: tags::TRIED, payload, bits });
+                                ctx.send(
+                                    to,
+                                    Wire::Color {
+                                        tag: tags::TRIED,
+                                        payload,
+                                        bits,
+                                    },
+                                );
                             }
                         }
                     }
@@ -119,8 +154,15 @@ impl Program for SynchColorTrialPass {
             }
             _ => {
                 for &(from, ref msg) in ctx.inbox() {
-                    if let Wire::Color { tag: tags::ADOPTED, payload, .. } = msg {
-                        let pos = ctx.neighbor_index(from).expect("adoption from non-neighbor");
+                    if let Wire::Color {
+                        tag: tags::ADOPTED,
+                        payload,
+                        ..
+                    } = msg
+                    {
+                        let pos = ctx
+                            .neighbor_index(from)
+                            .expect("adoption from non-neighbor");
                         digest_adoption(&mut self.st, pos, *payload, false);
                     }
                 }

@@ -80,7 +80,14 @@ impl Program for TryColorPass {
                     for pos in 0..ctx.neighbors().len() {
                         let to = ctx.neighbors()[pos];
                         let payload = self.st.codec.encode_for(pos, c);
-                        ctx.send(to, Wire::Color { tag: tags::TRIED, payload, bits });
+                        ctx.send(
+                            to,
+                            Wire::Color {
+                                tag: tags::TRIED,
+                                payload,
+                                bits,
+                            },
+                        );
                     }
                 }
             }
@@ -100,8 +107,15 @@ impl Program for TryColorPass {
             }
             _ => {
                 for &(from, ref msg) in ctx.inbox() {
-                    if let Wire::Color { tag: tags::ADOPTED, payload, .. } = msg {
-                        let pos = ctx.neighbor_index(from).expect("adoption from non-neighbor");
+                    if let Wire::Color {
+                        tag: tags::ADOPTED,
+                        payload,
+                        ..
+                    } = msg
+                    {
+                        let pos = ctx
+                            .neighbor_index(from)
+                            .expect("adoption from non-neighbor");
                         digest_adoption(&mut self.st, pos, *payload, self.count_chroma);
                     }
                 }
@@ -206,8 +220,10 @@ mod tests {
             })
             .collect();
         // Codec setup first so neighbor hashes are known.
-        let programs: Vec<_> =
-            states.into_iter().map(crate::passes::CodecSetupPass::new).collect();
+        let programs: Vec<_> = states
+            .into_iter()
+            .map(crate::passes::CodecSetupPass::new)
+            .collect();
         let (programs, _) = congest::run(&g, programs, SimConfig::seeded(1)).unwrap();
         states = programs.into_iter().map(StatePass::into_state).collect();
         assert!(states[0].codec.hashed());
@@ -227,8 +243,11 @@ mod tests {
         let mut states: Vec<NodeState> = (0..g.n())
             .map(|v| {
                 let d = g.degree(v as NodeId);
-                let list: Vec<u64> =
-                    if v == 0 { (100..109).collect() } else { vec![0, 1] };
+                let list: Vec<u64> = if v == 0 {
+                    (100..109).collect()
+                } else {
+                    vec![0, 1]
+                };
                 let codec = ColorCodec::new(&profile, 7, g.n(), 16, d);
                 let mut st = NodeState::new(v as NodeId, Palette::new(list), codec, d);
                 st.active = true;
@@ -246,9 +265,9 @@ mod tests {
             states = programs.into_iter().map(StatePass::into_state).collect();
         }
         assert!(states[0].color.is_some(), "center should color itself");
-        for leaf in 1..9 {
+        for (leaf, st) in states.iter().enumerate().take(9).skip(1) {
             assert!(
-                states[leaf].chroma_slack >= 1,
+                st.chroma_slack >= 1,
                 "leaf {leaf} should have chromatic slack"
             );
         }

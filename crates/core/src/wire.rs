@@ -126,9 +126,9 @@ impl Message for Wire {
                 u64::from(*bits)
             }
             Wire::Bitmap { bits, .. } => *bits,
-            Wire::UintList { values, bits_each, .. } => {
-                values.len() as u64 * u64::from(*bits_each)
-            }
+            Wire::UintList {
+                values, bits_each, ..
+            } => values.len() as u64 * u64::from(*bits_each),
         }
     }
 }
@@ -148,7 +148,13 @@ pub struct ColorCodec {
 impl ColorCodec {
     /// A codec for one node of an `n`-node graph with colors of
     /// `color_bits` bits. All nodes must share `seed`.
-    pub fn new(profile: &ParamProfile, seed: u64, n: usize, color_bits: u32, degree: usize) -> Self {
+    pub fn new(
+        profile: &ParamProfile,
+        seed: u64,
+        n: usize,
+        color_bits: u32,
+        degree: usize,
+    ) -> Self {
         let family = ColorHashFamily::for_graph(n.max(2), profile.color_hash_d, seed);
         let hashed = color_bits > profile.hash_colors_above_bits
             && u64::from(color_bits) > u64::from(family.value_bits());
@@ -310,10 +316,12 @@ mod tests {
         let c = codec(63);
         let img = c.my_hash().hash(777);
         assert!(c.matches_mine(777, ColorWire::Hashed(img)));
-        assert!(!c.matches_mine(778, ColorWire::Hashed(img)) || {
-            // collision — astronomically unlikely with M = n^6
-            false
-        });
+        assert!(
+            !c.matches_mine(778, ColorWire::Hashed(img)) || {
+                // collision — astronomically unlikely with M = n^6
+                false
+            }
+        );
     }
 
     #[test]
@@ -338,13 +346,31 @@ mod tests {
     #[test]
     fn wire_bit_costs() {
         assert_eq!(Wire::Flag { tag: 1, on: true }.bit_cost(), 1);
-        assert_eq!(Wire::Uint { tag: 1, value: 9, bits: 12 }.bit_cost(), 12);
         assert_eq!(
-            Wire::Bitmap { tag: 1, words: vec![0, 0], bits: 100 }.bit_cost(),
+            Wire::Uint {
+                tag: 1,
+                value: 9,
+                bits: 12
+            }
+            .bit_cost(),
+            12
+        );
+        assert_eq!(
+            Wire::Bitmap {
+                tag: 1,
+                words: vec![0, 0],
+                bits: 100
+            }
+            .bit_cost(),
             100
         );
         assert_eq!(
-            Wire::UintList { tag: 1, values: vec![1, 2, 3], bits_each: 20 }.bit_cost(),
+            Wire::UintList {
+                tag: 1,
+                values: vec![1, 2, 3],
+                bits_each: 20
+            }
+            .bit_cost(),
             60
         );
     }

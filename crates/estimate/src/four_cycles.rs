@@ -96,7 +96,10 @@ impl FourCycleFinder {
     /// Estimate for a specific wedge `(u, v, u')` centered at this node.
     pub fn wedge_estimate(&self, u: NodeId, u2: NodeId) -> Option<f64> {
         let (a, b) = (u.min(u2), u.max(u2));
-        self.pairs.iter().find(|&&(x, y, _)| x == a && y == b).map(|&(_, _, e)| e)
+        self.pairs
+            .iter()
+            .find(|&&(x, y, _)| x == a && y == b)
+            .map(|&(_, _, e)| e)
     }
 
     /// The family of center `c` — every node can reconstruct it.
@@ -121,7 +124,10 @@ impl Program for FourCycleFinder {
                 self.signatures = vec![None; ctx.degree()];
                 let family = self.family_of(self.node);
                 self.my_index = family.sample_index(ctx.rng());
-                ctx.broadcast(FcMsg::Index { index: self.my_index, bits: family.index_bits() });
+                ctx.broadcast(FcMsg::Index {
+                    index: self.my_index,
+                    bits: family.index_bits(),
+                });
             }
             1 => {
                 // Answer every center with the signature of the own
@@ -138,7 +144,10 @@ impl Program for FourCycleFinder {
                         let t = h.isolated(&own, &own);
                         (
                             center,
-                            FcMsg::Signature { bitmap: h.window_bitmap(&t), sigma: h.sigma() },
+                            FcMsg::Signature {
+                                bitmap: h.window_bitmap(&t),
+                                sigma: h.sigma(),
+                            },
                         )
                     })
                     .collect();
@@ -149,18 +158,27 @@ impl Program for FourCycleFinder {
             _ => {
                 for &(from, ref msg) in ctx.inbox() {
                     if let FcMsg::Signature { bitmap, .. } = msg {
-                        let i = ctx.neighbor_index(from).expect("signature from non-neighbor");
+                        let i = ctx
+                            .neighbor_index(from)
+                            .expect("signature from non-neighbor");
                         self.signatures[i] = Some(bitmap.clone());
                     }
                 }
                 let scale = self.params.lambda as f64 / self.params.sigma as f64;
                 let nbrs = ctx.neighbors();
                 for i in 0..nbrs.len() {
-                    let Some(si) = &self.signatures[i] else { continue };
+                    let Some(si) = &self.signatures[i] else {
+                        continue;
+                    };
                     for j in (i + 1)..nbrs.len() {
-                        let Some(sj) = &self.signatures[j] else { continue };
-                        let joint: usize =
-                            si.iter().zip(sj).map(|(a, b)| (a & b).count_ones() as usize).sum();
+                        let Some(sj) = &self.signatures[j] else {
+                            continue;
+                        };
+                        let joint: usize = si
+                            .iter()
+                            .zip(sj)
+                            .map(|(a, b)| (a & b).count_ones() as usize)
+                            .sum();
                         // |N(u) ∩ N(u')| estimate, minus the center itself.
                         let est = (joint as f64 * scale - 1.0).max(0.0);
                         self.pairs.push((nbrs[i], nbrs[j], est));
@@ -200,8 +218,9 @@ pub fn find_four_cycle_rich_wedges(
     seed: u64,
 ) -> Result<(FourCycleReport, RunReport), SimError> {
     let delta = g.max_degree();
-    let programs =
-        (0..g.n()).map(|v| FourCycleFinder::new(seed, v as NodeId, eps, delta)).collect();
+    let programs = (0..g.n())
+        .map(|v| FourCycleFinder::new(seed, v as NodeId, eps, delta))
+        .collect();
     let (programs, report) = congest::run(g, programs, config)?;
     let threshold = eps * delta as f64;
     let mut wedges = Vec::with_capacity(g.n());
@@ -214,7 +233,14 @@ pub fn find_four_cycle_rich_wedges(
         }
         wedges.push(p.pairs);
     }
-    Ok((FourCycleReport { wedges, flagged, threshold }, report))
+    Ok((
+        FourCycleReport {
+            wedges,
+            flagged,
+            threshold,
+        },
+        report,
+    ))
 }
 
 #[cfg(test)]
@@ -226,8 +252,7 @@ mod tests {
     fn planted_wedge_is_flagged() {
         // Wedge (2, 0, 3) closes 25 four-cycles; Δ ≈ 26.
         let g = gen::four_cycle_rich(120, 25, 0.03, 5);
-        let (rep, run) =
-            find_four_cycle_rich_wedges(&g, 0.5, SimConfig::seeded(2), 9).unwrap();
+        let (rep, run) = find_four_cycle_rich_wedges(&g, 0.5, SimConfig::seeded(2), 9).unwrap();
         assert!(run.completed);
         assert_eq!(run.rounds, 3);
         assert!(
@@ -255,8 +280,9 @@ mod tests {
     fn wedge_estimate_lookup() {
         let g = gen::four_cycle_rich(60, 10, 0.0, 1);
         let delta = g.max_degree();
-        let programs =
-            (0..g.n()).map(|v| FourCycleFinder::new(4, v as NodeId, 0.5, delta)).collect();
+        let programs = (0..g.n())
+            .map(|v| FourCycleFinder::new(4, v as NodeId, 0.5, delta))
+            .collect();
         let (programs, _) = congest::run(&g, programs, SimConfig::seeded(1)).unwrap();
         let center = &programs[0];
         let est = center.wedge_estimate(2, 3).expect("wedge exists");

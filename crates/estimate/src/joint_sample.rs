@@ -55,7 +55,11 @@ pub fn joint_sample<R: Rng + ?Sized>(
 ) -> JointSampleOutcome {
     let mut tally = BitTally::new();
     if su.is_empty() || sv.is_empty() {
-        return JointSampleOutcome { u_out: None, v_out: None, tally };
+        return JointSampleOutcome {
+            u_out: None,
+            v_out: None,
+            tally,
+        };
     }
     let setup = EdgeSetup::new(scheme, su.len(), sv.len(), seed);
     let h = setup.pick_hash(rng, &mut tally);
@@ -67,7 +71,11 @@ pub fn joint_sample<R: Rng + ?Sized>(
         .filter(|&i| bitmap_get(&bu, i) && bitmap_get(&bv, i))
         .collect();
     if common.is_empty() {
-        return JointSampleOutcome { u_out: None, v_out: None, tally };
+        return JointSampleOutcome {
+            u_out: None,
+            v_out: None,
+            tally,
+        };
     }
     // Step 7: jointly pick j_e ∈ [J] — lower-id side draws and sends it.
     let je = rng.gen_range(0..common.len());
@@ -76,7 +84,11 @@ pub fn joint_sample<R: Rng + ?Sized>(
     // Step 8: each side outputs its unique T-element hashing to `target`.
     let u_out = preimage(&setup, &h, su, target);
     let v_out = preimage(&setup, &h, sv, target);
-    JointSampleOutcome { u_out, v_out, tally }
+    JointSampleOutcome {
+        u_out,
+        v_out,
+        tally,
+    }
 }
 
 /// The unique element of `T = S' ¬_h S'` with `h(x) = target`, descaled
@@ -93,7 +105,9 @@ fn preimage(setup: &EdgeSetup, h: &prand::RepHash, s: &[u64], target: u64) -> Op
     let mut sorted = scaled.clone();
     sorted.sort_unstable();
     let t = h.isolated(&scaled, &sorted);
-    t.into_iter().find(|&x| h.hash(x) == target).map(|x| x / setup.k)
+    t.into_iter()
+        .find(|&x| h.hash(x) == target)
+        .map(|x| x / setup.k)
 }
 
 /// Outcome of a multi-element `JointSample` execution.
@@ -110,7 +124,11 @@ pub struct JointSampleManyOutcome {
 impl JointSampleManyOutcome {
     /// Positions where both parties output the same element.
     pub fn agreements(&self) -> usize {
-        self.u_out.iter().zip(&self.v_out).filter(|(a, b)| a == b).count()
+        self.u_out
+            .iter()
+            .zip(&self.v_out)
+            .filter(|(a, b)| a == b)
+            .count()
     }
 }
 
@@ -129,7 +147,11 @@ pub fn joint_sample_many<R: Rng + ?Sized>(
 ) -> JointSampleManyOutcome {
     let mut tally = BitTally::new();
     if su.is_empty() || sv.is_empty() || count == 0 {
-        return JointSampleManyOutcome { u_out: Vec::new(), v_out: Vec::new(), tally };
+        return JointSampleManyOutcome {
+            u_out: Vec::new(),
+            v_out: Vec::new(),
+            tally,
+        };
     }
     let setup = EdgeSetup::new(scheme, su.len(), sv.len(), seed);
     let h = setup.pick_hash(rng, &mut tally);
@@ -140,7 +162,11 @@ pub fn joint_sample_many<R: Rng + ?Sized>(
         .filter(|&i| bitmap_get(&bu, i) && bitmap_get(&bv, i))
         .collect();
     if common.is_empty() {
-        return JointSampleManyOutcome { u_out: Vec::new(), v_out: Vec::new(), tally };
+        return JointSampleManyOutcome {
+            u_out: Vec::new(),
+            v_out: Vec::new(),
+            tally,
+        };
     }
     let mut u_out = Vec::with_capacity(count);
     let mut v_out = Vec::with_capacity(count);
@@ -148,14 +174,19 @@ pub fn joint_sample_many<R: Rng + ?Sized>(
         let je = rng.gen_range(0..common.len());
         tally.a_to_b(bits_for_range(common.len() as u64));
         let target = common[je];
-        if let (Some(a), Some(b)) =
-            (preimage(&setup, &h, su, target), preimage(&setup, &h, sv, target))
-        {
+        if let (Some(a), Some(b)) = (
+            preimage(&setup, &h, su, target),
+            preimage(&setup, &h, sv, target),
+        ) {
             u_out.push(a);
             v_out.push(b);
         }
     }
-    JointSampleManyOutcome { u_out, v_out, tally }
+    JointSampleManyOutcome {
+        u_out,
+        v_out,
+        tally,
+    }
 }
 
 #[cfg(test)]
@@ -187,7 +218,10 @@ mod tests {
             }
         }
         // Lemma 3: agreement w.p. ≥ 1 − 5ε/4 − ν ≈ 0.69 for ε = .25.
-        assert!(agreements * 10 >= trials * 6, "{agreements}/{trials} agreements");
+        assert!(
+            agreements * 10 >= trials * 6,
+            "{agreements}/{trials} agreements"
+        );
     }
 
     #[test]
@@ -243,7 +277,10 @@ mod tests {
         );
         for (a, b) in out.u_out.iter().zip(&out.v_out) {
             if a == b {
-                assert!((100..600).contains(a), "agreed sample {a} outside intersection");
+                assert!(
+                    (100..600).contains(a),
+                    "agreed sample {a} outside intersection"
+                );
             }
         }
     }
@@ -252,8 +289,7 @@ mod tests {
     fn many_with_zero_count_is_empty() {
         let s: Vec<u64> = (0..50).collect();
         let mut rng = StdRng::seed_from_u64(1);
-        let out =
-            joint_sample_many(&SimilarityScheme::practical(0.5), &s, &s, 0, 2, &mut rng);
+        let out = joint_sample_many(&SimilarityScheme::practical(0.5), &s, &s, 0, 2, &mut rng);
         assert!(out.u_out.is_empty());
         assert_eq!(out.agreements(), 0);
     }

@@ -39,7 +39,9 @@ mod sparsity;
 mod triangles;
 
 pub use four_cycles::{find_four_cycle_rich_wedges, FcMsg, FourCycleFinder, FourCycleReport};
-pub use joint_sample::{joint_sample, joint_sample_many, JointSampleManyOutcome, JointSampleOutcome};
+pub use joint_sample::{
+    joint_sample, joint_sample_many, JointSampleManyOutcome, JointSampleOutcome,
+};
 pub use neighborhood::{run_neighborhood_similarity, NeighborhoodSimilarity, NsMsg};
 pub use scheme::SimilarityScheme;
 pub use similarity::{

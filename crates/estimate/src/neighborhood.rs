@@ -136,7 +136,10 @@ impl Program for NeighborhoodSimilarity {
                         self.edge_index[i] = index;
                         ctx.send(
                             nb,
-                            NsMsg::Index { index, bits: setup.family.index_bits() },
+                            NsMsg::Index {
+                                index,
+                                bits: setup.family.index_bits(),
+                            },
                         );
                     }
                 }
@@ -154,11 +157,16 @@ impl Program for NeighborhoodSimilarity {
                 let own: Vec<u64> = ctx.neighbors().iter().map(|&w| u64::from(w)).collect();
                 for i in 0..ctx.neighbors().len() {
                     let nb = ctx.neighbors()[i];
-                    let setup =
-                        self.edge_setup(me, nb, my_deg, self.neighbor_degrees[i] as usize);
+                    let setup = self.edge_setup(me, nb, my_deg, self.neighbor_degrees[i] as usize);
                     let h = setup.family.member(self.edge_index[i]);
                     let bitmap = window_signature(&setup, &h, &own);
-                    ctx.send(nb, NsMsg::Signature { bitmap, sigma: setup.sigma() });
+                    ctx.send(
+                        nb,
+                        NsMsg::Signature {
+                            bitmap,
+                            sigma: setup.sigma(),
+                        },
+                    );
                 }
             }
             _ => {
@@ -168,7 +176,9 @@ impl Program for NeighborhoodSimilarity {
                 self.estimates = vec![0.0; ctx.degree()];
                 for &(from, ref msg) in ctx.inbox() {
                     if let NsMsg::Signature { bitmap, .. } = msg {
-                        let i = ctx.neighbor_index(from).expect("signature from non-neighbor");
+                        let i = ctx
+                            .neighbor_index(from)
+                            .expect("signature from non-neighbor");
                         let setup =
                             self.edge_setup(me, from, my_deg, self.neighbor_degrees[i] as usize);
                         let h = setup.family.member(self.edge_index[i]);
@@ -199,8 +209,9 @@ pub fn run_neighborhood_similarity(
     config: congest::SimConfig,
     seed: u64,
 ) -> Result<(Vec<Vec<f64>>, congest::RunReport), congest::SimError> {
-    let programs =
-        (0..g.n()).map(|_| NeighborhoodSimilarity::new(scheme, seed, g.n())).collect();
+    let programs = (0..g.n())
+        .map(|_| NeighborhoodSimilarity::new(scheme, seed, g.n()))
+        .collect();
     let (programs, report) = congest::run(g, programs, config)?;
     Ok((programs.into_iter().map(|p| p.estimates).collect(), report))
 }
@@ -222,8 +233,8 @@ mod tests {
         // |N(u) ∩ N(v)| = 22 on every edge of K24.
         let mut close = 0;
         let mut total = 0;
-        for v in 0..24usize {
-            for &e in &est[v] {
+        for row in est.iter().take(24) {
+            for &e in row {
                 total += 1;
                 if (e - 22.0).abs() <= 0.25 * 23.0 {
                     close += 1;
@@ -237,8 +248,7 @@ mod tests {
     fn star_edges_have_zero_overlap() {
         let g = gen::star(20);
         let scheme = SimilarityScheme::practical(0.25);
-        let (est, _) =
-            run_neighborhood_similarity(&g, scheme, SimConfig::seeded(1), 7).unwrap();
+        let (est, _) = run_neighborhood_similarity(&g, scheme, SimConfig::seeded(1), 7).unwrap();
         // Center–leaf edges share no neighbors.
         let mut ok = 0;
         let mut total = 0;
@@ -270,8 +280,7 @@ mod tests {
     fn estimates_align_with_ground_truth_on_random_graph() {
         let g = gen::gnp(120, 0.3, 11);
         let scheme = SimilarityScheme::practical(0.25);
-        let (est, _) =
-            run_neighborhood_similarity(&g, scheme, SimConfig::seeded(5), 23).unwrap();
+        let (est, _) = run_neighborhood_similarity(&g, scheme, SimConfig::seeded(5), 23).unwrap();
         let mut within = 0;
         let mut total = 0;
         for v in 0..g.n() as NodeId {

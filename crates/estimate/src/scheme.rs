@@ -40,7 +40,13 @@ impl SimilarityScheme {
     pub fn paper(eps: f64, nu: f64) -> Self {
         assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1), got {eps}");
         assert!(nu > 0.0 && nu < 1.0, "nu must be in (0,1), got {nu}");
-        SimilarityScheme { eps, nu, sigma_cap: u64::MAX, scale_cap: u64::MAX, family_bits: 20 }
+        SimilarityScheme {
+            eps,
+            nu,
+            sigma_cap: u64::MAX,
+            scale_cap: u64::MAX,
+            family_bits: 20,
+        }
     }
 
     /// Laptop-scale parameters: σ capped at 2048 bits, scale-up at 32,
@@ -51,7 +57,13 @@ impl SimilarityScheme {
     /// only curbs the constant (the verbatim σ for ε = 1/4 is ≈ 10⁶ bits).
     pub fn practical(eps: f64) -> Self {
         assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1), got {eps}");
-        SimilarityScheme { eps, nu: 1e-3, sigma_cap: 2048, scale_cap: 32, family_bits: 16 }
+        SimilarityScheme {
+            eps,
+            nu: 1e-3,
+            sigma_cap: 2048,
+            scale_cap: 32,
+            family_bits: 16,
+        }
     }
 
     /// The scale-up factor `k` of Alg. 1 step 2 for the given max set size.
@@ -71,8 +83,7 @@ impl SimilarityScheme {
         let alpha = self.eps * self.eps / 8.0;
         let beta = self.eps / 4.0;
         // Lemma 1's window for these parameters.
-        let sigma_lemma =
-            (3.0 / (alpha * beta * beta) * (8.0 / self.nu).ln()).ceil() as u64;
+        let sigma_lemma = (3.0 / (alpha * beta * beta) * (8.0 / self.nu).ln()).ceil() as u64;
         let sigma = sigma_lemma.min(self.sigma_cap).min(lambda);
         RepParams::practical(alpha, beta, lambda, sigma, self.family_bits)
     }

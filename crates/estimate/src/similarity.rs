@@ -59,7 +59,10 @@ pub fn estimate_similarity<R: Rng + ?Sized>(
     let mut tally = BitTally::new();
     // Step 1: empty sets have empty intersections.
     if su.is_empty() || sv.is_empty() {
-        return SimilarityEstimate { estimate: 0.0, tally };
+        return SimilarityEstimate {
+            estimate: 0.0,
+            tally,
+        };
     }
     let setup = EdgeSetup::new(scheme, su.len(), sv.len(), seed);
     let h = setup.pick_hash(rng, &mut tally);
@@ -68,7 +71,10 @@ pub fn estimate_similarity<R: Rng + ?Sized>(
     // Step 6: exchange the σ-bit signatures.
     tally.exchange(setup.sigma());
     let j = intersection_size(&bu, &bv);
-    SimilarityEstimate { estimate: setup.descale(j), tally }
+    SimilarityEstimate {
+        estimate: setup.descale(j),
+        tally,
+    }
 }
 
 /// Shared per-edge setup: scale factor, family, σ — everything both
@@ -85,16 +91,14 @@ pub struct EdgeSetup {
 
 impl EdgeSetup {
     /// Derive the setup both endpoints compute without communication.
-    pub fn new(
-        scheme: &SimilarityScheme,
-        su_len: usize,
-        sv_len: usize,
-        seed: u64,
-    ) -> Self {
+    pub fn new(scheme: &SimilarityScheme, su_len: usize, sv_len: usize, seed: u64) -> Self {
         let max_len = su_len.max(sv_len);
         let k = scheme.scale_factor(max_len);
         let params = scheme.rep_params(max_len * k as usize);
-        EdgeSetup { family: RepHashFamily::new(seed, params), k }
+        EdgeSetup {
+            family: RepHashFamily::new(seed, params),
+            k,
+        }
     }
 
     /// Step 5: joint hash choice; the index ride costs `⌈log₂ F⌉` bits in
@@ -138,7 +142,10 @@ pub fn window_signature(setup: &EdgeSetup, h: &RepHash, s: &[u64]) -> Vec<u64> {
 
 /// `|h(T_u) ∩ h(T_v)|` from the two bitmaps.
 pub fn intersection_size(bu: &[u64], bv: &[u64]) -> usize {
-    bu.iter().zip(bv).map(|(a, b)| (a & b).count_ones() as usize).sum()
+    bu.iter()
+        .zip(bv)
+        .map(|(a, b)| (a & b).count_ones() as usize)
+        .sum()
 }
 
 /// Ground truth `|S_u ∩ S_v|` for sorted slices (test/benchmark helper).
@@ -164,13 +171,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn run_once(
-        su: &[u64],
-        sv: &[u64],
-        eps: f64,
-        seed: u64,
-        trial: u64,
-    ) -> SimilarityEstimate {
+    fn run_once(su: &[u64], sv: &[u64], eps: f64, seed: u64, trial: u64) -> SimilarityEstimate {
         let mut rng = StdRng::seed_from_u64(trial);
         estimate_similarity(&SimilarityScheme::practical(eps), su, sv, seed, &mut rng)
     }

@@ -89,12 +89,20 @@ mod tests {
     #[test]
     fn clique_members_look_dense() {
         let g = gen::complete(20);
-        let (est, report) =
-            estimate_sparsity(&g, SimilarityScheme::practical(0.25), SimConfig::seeded(2), 3)
-                .unwrap();
+        let (est, report) = estimate_sparsity(
+            &g,
+            SimilarityScheme::practical(0.25),
+            SimConfig::seeded(2),
+            3,
+        )
+        .unwrap();
         assert!(report.completed);
         for v in 0..20 {
-            assert!(est.local[v] <= 0.25 * 19.0, "node {v}: ζ̂ = {}", est.local[v]);
+            assert!(
+                est.local[v] <= 0.25 * 19.0,
+                "node {v}: ζ̂ = {}",
+                est.local[v]
+            );
             assert!(est.global[v] <= 0.25 * 19.0);
         }
     }
@@ -102,9 +110,13 @@ mod tests {
     #[test]
     fn star_center_looks_sparse() {
         let g = gen::star(24);
-        let (est, _) =
-            estimate_sparsity(&g, SimilarityScheme::practical(0.25), SimConfig::seeded(4), 9)
-                .unwrap();
+        let (est, _) = estimate_sparsity(
+            &g,
+            SimilarityScheme::practical(0.25),
+            SimConfig::seeded(4),
+            9,
+        )
+        .unwrap();
         let truth = analysis::local_sparsity(&g, 0); // (24·23/2)/24 = 11.5
         assert!(
             (est.local[0] - truth).abs() <= 0.3 * 24.0,
@@ -116,9 +128,13 @@ mod tests {
     #[test]
     fn global_estimates_track_truth_on_gnp() {
         let g = gen::gnp(100, 0.25, 6);
-        let (est, _) =
-            estimate_sparsity(&g, SimilarityScheme::practical(0.25), SimConfig::seeded(8), 21)
-                .unwrap();
+        let (est, _) = estimate_sparsity(
+            &g,
+            SimilarityScheme::practical(0.25),
+            SimConfig::seeded(8),
+            21,
+        )
+        .unwrap();
         let delta = g.max_degree() as f64;
         let mut within = 0;
         for v in 0..g.n() {
@@ -135,21 +151,33 @@ mod tests {
         // Hub-and-spokes: spokes have high-degree neighbors; the Lemma 5
         // tweak keeps their local estimate finite and bounded by the max.
         let g = gen::hub_and_spokes(4, 30, 5);
-        let (est, _) =
-            estimate_sparsity(&g, SimilarityScheme::practical(0.25), SimConfig::seeded(3), 13)
-                .unwrap();
+        let (est, _) = estimate_sparsity(
+            &g,
+            SimilarityScheme::practical(0.25),
+            SimConfig::seeded(3),
+            13,
+        )
+        .unwrap();
         for v in 0..g.n() {
             let dv = g.degree(v as NodeId) as f64;
-            assert!(est.local[v] <= dv / 2.0 + 1e-9, "node {v}: {}", est.local[v]);
+            assert!(
+                est.local[v] <= dv / 2.0 + 1e-9,
+                "node {v}: {}",
+                est.local[v]
+            );
         }
     }
 
     #[test]
     fn empty_graph_is_fine() {
         let g = gen::path(0);
-        let (est, _) =
-            estimate_sparsity(&g, SimilarityScheme::practical(0.5), SimConfig::seeded(1), 1)
-                .unwrap();
+        let (est, _) = estimate_sparsity(
+            &g,
+            SimilarityScheme::practical(0.5),
+            SimConfig::seeded(1),
+            1,
+        )
+        .unwrap();
         assert!(est.global.is_empty());
     }
 }

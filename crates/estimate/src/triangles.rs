@@ -48,7 +48,14 @@ pub fn find_triangle_rich_edges(
             }
         }
     }
-    Ok((TriangleReport { estimates, flagged, threshold }, report))
+    Ok((
+        TriangleReport {
+            estimates,
+            flagged,
+            threshold,
+        },
+        report,
+    ))
 }
 
 #[cfg(test)]
@@ -99,7 +106,13 @@ mod tests {
         )
         .unwrap();
         // Every K20 edge lies on 18 = Δ·18/19 triangles.
-        assert_eq!(rep.flagged.len(), g.m(), "flagged {} of {}", rep.flagged.len(), g.m());
+        assert_eq!(
+            rep.flagged.len(),
+            g.m(),
+            "flagged {} of {}",
+            rep.flagged.len(),
+            g.m()
+        );
     }
 
     #[test]

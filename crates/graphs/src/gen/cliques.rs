@@ -100,7 +100,13 @@ pub fn planted_acd(
     seed: u64,
 ) -> (Graph, Vec<Option<u32>>) {
     let g = clique_blend(
-        CliqueBlendParams { cliques, clique_size, removal, sparse_nodes, sparse_p },
+        CliqueBlendParams {
+            cliques,
+            clique_size,
+            removal,
+            sparse_nodes,
+            sparse_p,
+        },
         seed,
     );
     let mut truth = vec![None; g.n()];

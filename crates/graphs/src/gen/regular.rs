@@ -17,9 +17,11 @@ use rand::SeedableRng;
 /// Panics if `d >= n` or `n·d` is odd.
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
     assert!(d < n, "degree must be below n");
-    assert!((n * d) % 2 == 0, "n·d must be even");
+    assert!((n * d).is_multiple_of(2), "n·d must be even");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut stubs: Vec<NodeId> = (0..n as NodeId).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+    let mut stubs: Vec<NodeId> = (0..n as NodeId)
+        .flat_map(|v| std::iter::repeat_n(v, d))
+        .collect();
     stubs.shuffle(&mut rng);
     let mut b = GraphBuilder::new(n);
     for pair in stubs.chunks_exact(2) {

@@ -55,12 +55,18 @@ impl Graph {
 
     /// Maximum degree Δ of the graph (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.n()).map(|v| self.degree(v as NodeId)).max().unwrap_or(0)
+        (0..self.n())
+            .map(|v| self.degree(v as NodeId))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Minimum degree δ of the graph (0 for the empty graph).
     pub fn min_degree(&self) -> usize {
-        (0..self.n()).map(|v| self.degree(v as NodeId)).min().unwrap_or(0)
+        (0..self.n())
+            .map(|v| self.degree(v as NodeId))
+            .min()
+            .unwrap_or(0)
     }
 
     /// Sorted slice of neighbors of `v`.
@@ -77,7 +83,11 @@ impl Graph {
     /// Whether the undirected edge `{u, v}` is present.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         // Search the shorter adjacency list.
-        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.neighbors(a).binary_search(&b).is_ok()
     }
 
@@ -85,7 +95,11 @@ impl Graph {
     /// with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         (0..self.n() as NodeId).flat_map(move |u| {
-            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
         })
     }
 
@@ -172,7 +186,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// A builder for a graph on `n` nodes and no edges yet.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Number of nodes the built graph will have.
@@ -186,7 +203,10 @@ impl GraphBuilder {
     ///
     /// Panics if `u` or `v` is out of range.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
-        assert!((u as usize) < self.n && (v as usize) < self.n, "edge endpoint out of range");
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge endpoint out of range"
+        );
         if u == v {
             return;
         }
@@ -231,7 +251,11 @@ impl FromIterator<(NodeId, NodeId)> for GraphBuilder {
     /// Collect edges into a builder sized to the largest endpoint seen.
     fn from_iter<T: IntoIterator<Item = (NodeId, NodeId)>>(iter: T) -> Self {
         let edges: Vec<(NodeId, NodeId)> = iter.into_iter().collect();
-        let n = edges.iter().map(|&(u, v)| u.max(v) as usize + 1).max().unwrap_or(0);
+        let n = edges
+            .iter()
+            .map(|&(u, v)| u.max(v) as usize + 1)
+            .max()
+            .unwrap_or(0);
         let mut b = GraphBuilder::new(n);
         for (u, v) in edges {
             b.add_edge(u, v);

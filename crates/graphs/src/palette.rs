@@ -59,8 +59,7 @@ impl ListAssignment {
     /// Whether this is a valid *(degree+1)*-list assignment for `g`:
     /// every node has at least `d_v + 1` colors.
     pub fn is_degree_plus_one(&self, g: &Graph) -> bool {
-        self.lists.len() == g.n()
-            && (0..g.n()).all(|v| self.lists[v].len() > g.degree(v as NodeId))
+        self.lists.len() == g.n() && (0..g.n()).all(|v| self.lists[v].len() > g.degree(v as NodeId))
     }
 
     /// Consume into the raw lists.
@@ -96,7 +95,10 @@ pub fn delta_plus_one_lists(g: &Graph) -> ListAssignment {
 ///
 /// Panics if the color space is too small to give every node a list.
 pub fn random_lists(g: &Graph, color_bits: u32, extra: usize, seed: u64) -> ListAssignment {
-    assert!(color_bits <= 63, "random_lists supports color spaces up to 2^63");
+    assert!(
+        color_bits <= 63,
+        "random_lists supports color spaces up to 2^63"
+    );
     let space = 1u64 << color_bits;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut lists = Vec::with_capacity(g.n());
@@ -199,17 +201,26 @@ pub fn check_coloring(
     coloring: &[Color],
 ) -> Result<(), ColoringError> {
     if coloring.len() != g.n() {
-        return Err(ColoringError::WrongLength { got: coloring.len(), expected: g.n() });
+        return Err(ColoringError::WrongLength {
+            got: coloring.len(),
+            expected: g.n(),
+        });
     }
-    for v in 0..g.n() {
-        let c = coloring[v];
+    for (v, &c) in coloring.iter().enumerate() {
         if lists.list(v as NodeId).binary_search(&c).is_err() {
-            return Err(ColoringError::NotInList { node: v as NodeId, color: c });
+            return Err(ColoringError::NotInList {
+                node: v as NodeId,
+                color: c,
+            });
         }
     }
     for (u, v) in g.edges() {
         if coloring[u as usize] == coloring[v as usize] {
-            return Err(ColoringError::Conflict { u, v, color: coloring[u as usize] });
+            return Err(ColoringError::Conflict {
+                u,
+                v,
+                color: coloring[u as usize],
+            });
         }
     }
     Ok(())
@@ -281,7 +292,10 @@ mod tests {
         let g = gen::path(2);
         let lists = degree_plus_one_lists(&g);
         let err = check_coloring(&g, &lists, &[9, 0]).unwrap_err();
-        assert!(matches!(err, ColoringError::NotInList { node: 0, color: 9 }));
+        assert!(matches!(
+            err,
+            ColoringError::NotInList { node: 0, color: 9 }
+        ));
     }
 
     #[test]
@@ -289,7 +303,13 @@ mod tests {
         let g = gen::path(3);
         let lists = degree_plus_one_lists(&g);
         let err = check_coloring(&g, &lists, &[0]).unwrap_err();
-        assert!(matches!(err, ColoringError::WrongLength { got: 1, expected: 3 }));
+        assert!(matches!(
+            err,
+            ColoringError::WrongLength {
+                got: 1,
+                expected: 3
+            }
+        ));
     }
 
     #[test]

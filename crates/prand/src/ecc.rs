@@ -43,7 +43,10 @@ impl ReedSolomon {
     ///
     /// Panics unless `0 < k ≤ n ≤ 255`.
     pub fn new(n: usize, k: usize) -> Self {
-        assert!(k > 0 && k <= n && n <= 255, "invalid RS parameters [{n}, {k}]");
+        assert!(
+            k > 0 && k <= n && n <= 255,
+            "invalid RS parameters [{n}, {k}]"
+        );
         ReedSolomon { n, k }
     }
 
@@ -68,7 +71,12 @@ impl ReedSolomon {
     ///
     /// Panics if `msg.len() != k`.
     pub fn encode(&self, msg: &[u8]) -> Vec<u8> {
-        assert_eq!(msg.len(), self.k, "message must have exactly k = {} bytes", self.k);
+        assert_eq!(
+            msg.len(),
+            self.k,
+            "message must have exactly k = {} bytes",
+            self.k
+        );
         let f = Gf256::get();
         // Evaluation points 1, g, g², … (all distinct, nonzero).
         (0..self.n)
@@ -107,7 +115,10 @@ impl InnerCode {
                 count += 1;
             }
             candidate += 1;
-            assert!(candidate <= u16::MAX as u32 + 1, "inner code construction failed");
+            assert!(
+                candidate <= u16::MAX as u32 + 1,
+                "inner code construction failed"
+            );
         }
         InnerCode { words }
     }
@@ -135,7 +146,9 @@ impl Default for IdCode {
 impl IdCode {
     /// The default `[384, 64, ≥85]`-bit identifier code.
     pub fn new() -> Self {
-        IdCode { rs: ReedSolomon::new(24, 8) }
+        IdCode {
+            rs: ReedSolomon::new(24, 8),
+        }
     }
 
     /// Codeword length in bits.
@@ -174,7 +187,10 @@ impl IdCode {
 
     /// Hamming distance between two packed codewords.
     pub fn hamming(a: &[u64], b: &[u64]) -> usize {
-        a.iter().zip(b).map(|(x, y)| (x ^ y).count_ones() as usize).sum()
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x ^ y).count_ones() as usize)
+            .sum()
     }
 }
 
@@ -189,7 +205,11 @@ mod tests {
         for other in [2u64, 3, 255, 256, u64::MAX] {
             let b = rs.encode(&other.to_le_bytes());
             let d = a.iter().zip(&b).filter(|(x, y)| x != y).count();
-            assert!(d >= rs.distance(), "distance {d} < {} for id {other}", rs.distance());
+            assert!(
+                d >= rs.distance(),
+                "distance {d} < {} for id {other}",
+                rs.distance()
+            );
         }
     }
 

@@ -24,8 +24,8 @@ impl Gf256 {
         let mut exp = [0u8; 512];
         let mut log = [0u8; 256];
         let mut x: u16 = 1;
-        for i in 0..255 {
-            exp[i] = x as u8;
+        for (i, e) in exp.iter_mut().enumerate().take(255) {
+            *e = x as u8;
             log[x as usize] = i as u8;
             // Multiply x by the generator 0x03 = x + 1.
             x = (x << 1) ^ x;

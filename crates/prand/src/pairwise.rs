@@ -47,7 +47,11 @@ impl PairwiseFamily {
         assert!(lambda > 0, "lambda must be positive");
         assert!(lambda < P61, "lambda must be below the field modulus");
         assert!(family_bits <= 62, "family_bits too large");
-        PairwiseFamily { seed, lambda, family_bits }
+        PairwiseFamily {
+            seed,
+            lambda,
+            family_bits,
+        }
     }
 
     /// Output range λ.
@@ -71,10 +75,17 @@ impl PairwiseFamily {
     ///
     /// Panics if `index` is out of range.
     pub fn member(&self, index: u64) -> PairwiseHash {
-        assert!(index < self.family_size(), "index {index} out of family range");
+        assert!(
+            index < self.family_size(),
+            "index {index} out of family range"
+        );
         let a = mix3(self.seed, index, 0x1234_5678) % (P61 - 1) + 1;
         let b = mix3(self.seed, index, 0x8765_4321) % P61;
-        PairwiseHash { a, b, lambda: self.lambda }
+        PairwiseHash {
+            a,
+            b,
+            lambda: self.lambda,
+        }
     }
 
     /// Draw a uniform member index.
@@ -183,11 +194,15 @@ mod tests {
         let f = PairwiseFamily::new(33, lambda, 14);
         let trials = f.family_size();
         let (x1, x2) = (123u64, 987_654u64);
-        let collisions =
-            (0..trials).filter(|&i| f.member(i).hash(x1) == f.member(i).hash(x2)).count();
+        let collisions = (0..trials)
+            .filter(|&i| f.member(i).hash(x1) == f.member(i).hash(x2))
+            .count();
         let rate = collisions as f64 / trials as f64;
         let ideal = 1.0 / lambda as f64;
-        assert!(rate < 2.0 * ideal + 0.002, "collision rate {rate}, ideal {ideal}");
+        assert!(
+            rate < 2.0 * ideal + 0.002,
+            "collision rate {rate}, ideal {ideal}"
+        );
     }
 
     #[test]

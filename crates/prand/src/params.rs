@@ -58,7 +58,14 @@ impl RepParams {
         let sigma = (sigma_f.ceil() as u64).min(lambda);
         let ln_u = (universe_bits as f64) * std::f64::consts::LN_2;
         let family_size = (24.0 * beta * lambda as f64 / nu * ln_u.max(1.0)).ceil() as u64 + 1;
-        RepParams { alpha, beta, nu, lambda, sigma, family_size }
+        RepParams {
+            alpha,
+            beta,
+            nu,
+            lambda,
+            sigma,
+            family_size,
+        }
     }
 
     /// Simulation-scale parameters: caller chooses `λ` (typically
@@ -74,12 +81,22 @@ impl RepParams {
     /// Panics unless `0 < α ≤ β < 1`, `σ ≤ λ` and `λ > 0`.
     pub fn practical(alpha: f64, beta: f64, lambda: u64, sigma: u64, family_bits: u32) -> Self {
         assert!(lambda > 0, "lambda must be positive");
-        assert!(sigma <= lambda, "sigma ({sigma}) must not exceed lambda ({lambda})");
+        assert!(
+            sigma <= lambda,
+            "sigma ({sigma}) must not exceed lambda ({lambda})"
+        );
         assert!(family_bits <= 62, "family_bits too large");
         let nu_raw = 12.0 * (-(sigma as f64) * alpha * beta * beta / 3.0).exp();
         let nu = nu_raw.clamp(1e-300, 0.999_999);
         validate(alpha, beta, nu);
-        RepParams { alpha, beta, nu, lambda, sigma, family_size: 1u64 << family_bits }
+        RepParams {
+            alpha,
+            beta,
+            nu,
+            lambda,
+            sigma,
+            family_size: 1u64 << family_bits,
+        }
     }
 
     /// Bits required to communicate a member index: `⌈log₂ F⌉`.
@@ -100,9 +117,18 @@ impl RepParams {
 }
 
 fn validate(alpha: f64, beta: f64, nu: f64) {
-    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1), got {alpha}");
-    assert!(beta > 0.0 && beta < 1.0, "beta must be in (0,1), got {beta}");
-    assert!(alpha <= beta, "alpha ({alpha}) must not exceed beta ({beta})");
+    assert!(
+        alpha > 0.0 && alpha < 1.0,
+        "alpha must be in (0,1), got {alpha}"
+    );
+    assert!(
+        beta > 0.0 && beta < 1.0,
+        "beta must be in (0,1), got {beta}"
+    );
+    assert!(
+        alpha <= beta,
+        "alpha ({alpha}) must not exceed beta ({beta})"
+    );
     assert!(nu > 0.0 && nu < 1.0, "nu must be in (0,1), got {nu}");
 }
 

@@ -67,7 +67,10 @@ impl RepHashFamily {
     ///
     /// Panics if `index >= F`.
     pub fn member(&self, index: u64) -> RepHash {
-        assert!(index < self.params.family_size, "index {index} out of family range");
+        assert!(
+            index < self.params.family_size,
+            "index {index} out of family range"
+        );
         RepHash {
             seed: self.seed,
             lambda: self.params.lambda,
@@ -135,8 +138,11 @@ impl RepHash {
     /// and deduplicated. This is what a node actually transmits (as a
     /// σ-bit bitmap).
     pub fn low_image(&self, a: &[u64]) -> Vec<u64> {
-        let mut img: Vec<u64> =
-            a.iter().map(|&x| self.hash(x)).filter(|&h| h < self.sigma).collect();
+        let mut img: Vec<u64> = a
+            .iter()
+            .map(|&x| self.hash(x))
+            .filter(|&h| h < self.sigma)
+            .collect();
         img.sort_unstable();
         img.dedup();
         img
@@ -366,8 +372,11 @@ mod tests {
             }
         }
         // Bits not covered by any hash must be clear.
-        let hit: HashSet<u64> =
-            xs.iter().map(|&x| h.hash(x)).filter(|&v| v < h.sigma()).collect();
+        let hit: HashSet<u64> = xs
+            .iter()
+            .map(|&x| h.hash(x))
+            .filter(|&v| v < h.sigma())
+            .collect();
         for i in 0..h.sigma() {
             assert_eq!(bitmap_get(&bits, i), hit.contains(&i), "bit {i}");
         }

@@ -51,7 +51,12 @@ impl MultisetSampler {
         assert!(m > 0, "domain size must be positive");
         assert!(t > 0, "multiset size must be positive");
         assert!(seed_bits <= 62, "seed_bits too large");
-        MultisetSampler { family_seed, m, t, seed_bits }
+        MultisetSampler {
+            family_seed,
+            m,
+            t,
+            seed_bits,
+        }
     }
 
     /// Domain size `M`.

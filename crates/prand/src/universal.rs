@@ -41,7 +41,10 @@ impl ColorHashFamily {
     ///
     /// Panics if `m == 0` or `family_bits > 62`.
     pub fn new(seed: u64, m: u64, family_bits: u32) -> Self {
-        ColorHashFamily { inner: PairwiseFamily::new(seed ^ 0x000c_0109, m, family_bits), m }
+        ColorHashFamily {
+            inner: PairwiseFamily::new(seed ^ 0x000c_0109, m, family_bits),
+            m,
+        }
     }
 
     /// The App. D.3 instantiation: `M = (n+1)^d` (capped at `2^60`, below
@@ -73,7 +76,9 @@ impl ColorHashFamily {
     ///
     /// Panics if `index` is out of range.
     pub fn member(&self, index: u64) -> ColorHash {
-        ColorHash { inner: self.inner.member(index) }
+        ColorHash {
+            inner: self.inner.member(index),
+        }
     }
 
     /// Draw a uniform member index.
@@ -136,8 +141,9 @@ mod tests {
         // absent for most members.
         let f = ColorHashFamily::for_graph(1000, 3, 3);
         let colors: Vec<u64> = (0..100).map(|i| i * 0x9e37_79b9 + 5).collect();
-        let injective =
-            (0..200u64).filter(|&i| f.member(i).injective_on(&colors)).count();
+        let injective = (0..200u64)
+            .filter(|&i| f.member(i).injective_on(&colors))
+            .count();
         assert!(injective >= 195, "only {injective}/200 members injective");
     }
 

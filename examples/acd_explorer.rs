@@ -42,7 +42,10 @@ fn main() {
         };
         *class_counts.entry(label).or_insert(0) += 1;
     }
-    println!("classification ({} rounds so far):", driver.log.total_rounds());
+    println!(
+        "classification ({} rounds so far):",
+        driver.log.total_rounds()
+    );
     for (label, count) in &class_counts {
         println!("  {label:<12} {count}");
     }
@@ -58,7 +61,10 @@ fn main() {
         }
     }
     println!("\nalmost-cliques found:");
-    println!("  {:<6} {:>5} {:>8} {:>10}", "hub", "size", "leader", "low-slack");
+    println!(
+        "  {:<6} {:>5} {:>8} {:>10}",
+        "hub", "size", "leader", "low-slack"
+    );
     for (hub, (size, leader, low)) in &cliques {
         println!(
             "  {:<6} {:>5} {:>8} {:>10}",

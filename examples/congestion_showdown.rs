@@ -45,17 +45,28 @@ fn main() {
     };
     let mut driver = Driver::new(&graph, SimConfig::seeded(1));
     driver
-        .run_pass("mt", make_states(), |st| MultiTrialPass::new(st, x, profile, 42, n, "mt"))
+        .run_pass("mt", make_states(), |st| {
+            MultiTrialPass::new(st, x, profile, 42, n, "mt")
+        })
         .expect("rep-hash pass");
     let ours_bits = driver.log.max_edge_bits();
     let mut driver = Driver::new(&graph, SimConfig::seeded(1));
     driver
-        .run_pass("naive", make_states(), |st| NaiveMultiTrialPass::new(st, x, color_bits))
+        .run_pass("naive", make_states(), |st| {
+            NaiveMultiTrialPass::new(st, x, color_bits)
+        })
         .expect("naive pass");
     let naive_bits = driver.log.max_edge_bits();
     println!("\n-- one MultiTrial({x}) operation --");
-    println!("{:<40} {:>8} bits/edge", "representative hash + window bitmap", ours_bits);
-    println!("{:<40} {:>8} bits/edge", format!("naive ({x} raw {color_bits}-bit colors)"), naive_bits);
+    println!(
+        "{:<40} {:>8} bits/edge",
+        "representative hash + window bitmap", ours_bits
+    );
+    println!(
+        "{:<40} {:>8} bits/edge",
+        format!("naive ({x} raw {color_bits}-bit colors)"),
+        naive_bits
+    );
     println!(
         "{:<40} {:>8.1}x",
         "bandwidth advantage",
@@ -69,7 +80,12 @@ fn main() {
     check_coloring(&graph, &lists, &naive.coloring).expect("proper");
     println!("\n-- end-to-end (laptop scale) --");
     println!("{:<40} {:>14} {:>14}", "", "pipeline (us)", "naive trials");
-    println!("{:<40} {:>14} {:>14}", "synchronous rounds", ours.rounds(), naive.rounds());
+    println!(
+        "{:<40} {:>14} {:>14}",
+        "synchronous rounds",
+        ours.rounds(),
+        naive.rounds()
+    );
     println!(
         "{:<40} {:>14} {:>14}",
         "max bits/edge/round",
@@ -82,9 +98,7 @@ fn main() {
         ours.normalized_rounds(bandwidth),
         naive.normalized_rounds(bandwidth)
     );
-    println!(
-        "\nnote: at n = {n} the pipeline's fixed pass structure dominates its round"
-    );
+    println!("\nnote: at n = {n} the pipeline's fixed pass structure dominates its round");
     println!("count — the asymptotic O(log^5 log n) vs O(log n) crossover lies beyond");
     println!("laptop scale. The per-edge bit costs above are the scale-free claim.");
 }

@@ -31,7 +31,10 @@ fn main() {
     let result = solve(&graph, &lists, SolveOptions::seeded(1)).expect("solve");
     check_coloring(&graph, &lists, &result.coloring).expect("proper coloring");
     println!("\ncolored every node in {} CONGEST rounds", result.rounds());
-    println!("max bits on any edge in any round: {}", result.log.max_edge_bits());
+    println!(
+        "max bits on any edge in any round: {}",
+        result.log.max_edge_bits()
+    );
     println!("phases run: {}", result.stats.phases);
     println!("central repairs needed: {}", result.stats.repairs);
     println!("\nwho colored whom:");
@@ -48,9 +51,23 @@ fn main() {
     let low = h.low(&a); // A|_h^{≤σ}
     let coll = h.colliding(&a, &a); // A ∧_h^{≤σ} A
     let iso = h.isolated(&a, &a); // A ¬_h^{≤σ} A
-    println!("\nFigure 1 demo (|A| = {}, λ = {}, σ = {}):", a.len(), params.lambda, params.sigma);
-    println!("  |A|_h^≤σ|   = {:>3}  (elements hashing into the window)", low.len());
-    println!("  |A ∧_h A|   = {:>3}  (window elements in collision)", coll.len());
-    println!("  |A ¬_h A|   = {:>3}  (window elements with unique hashes)", iso.len());
+    println!(
+        "\nFigure 1 demo (|A| = {}, λ = {}, σ = {}):",
+        a.len(),
+        params.lambda,
+        params.sigma
+    );
+    println!(
+        "  |A|_h^≤σ|   = {:>3}  (elements hashing into the window)",
+        low.len()
+    );
+    println!(
+        "  |A ∧_h A|   = {:>3}  (window elements in collision)",
+        coll.len()
+    );
+    println!(
+        "  |A ¬_h A|   = {:>3}  (window elements with unique hashes)",
+        iso.len()
+    );
     assert_eq!(low.len(), coll.len() + iso.len(), "the window partitions");
 }

@@ -37,7 +37,11 @@ fn main() {
     println!(
         "\ndetector finished in {} rounds, max {} bits on any edge",
         run.rounds,
-        run.max_edge_bits_per_round.iter().max().copied().unwrap_or(0)
+        run.max_edge_bits_per_round
+            .iter()
+            .max()
+            .copied()
+            .unwrap_or(0)
     );
     println!("threshold εΔ = {:.1}; flagged edges:", report.threshold);
     for &(u, v) in &report.flagged {

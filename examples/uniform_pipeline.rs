@@ -26,8 +26,14 @@ fn main() {
     );
 
     let mut rows = Vec::new();
-    for (label, uniform) in [("representative-hash ACD", false), ("uniform ACD (§5)", true)] {
-        let opts = SolveOptions { uniform_acd: uniform, ..SolveOptions::seeded(3) };
+    for (label, uniform) in [
+        ("representative-hash ACD", false),
+        ("uniform ACD (§5)", true),
+    ] {
+        let opts = SolveOptions {
+            uniform_acd: uniform,
+            ..SolveOptions::seeded(3)
+        };
         let r = solve(&graph, &lists, opts).expect("solve");
         check_coloring(&graph, &lists, &r.coloring).expect("proper coloring");
         let dense_colored: usize = r
@@ -39,7 +45,13 @@ fn main() {
             })
             .map(|(_, v)| v)
             .sum();
-        rows.push((label, r.rounds(), r.log.max_edge_bits(), dense_colored, r.stats.repairs));
+        rows.push((
+            label,
+            r.rounds(),
+            r.log.max_edge_bits(),
+            dense_colored,
+            r.stats.repairs,
+        ));
     }
 
     println!(

@@ -1,0 +1,46 @@
+# Dev recipes mirroring .github/workflows/ci.yml — keep the two in
+# lockstep so "works locally" and "passes CI" mean the same thing.
+# Usage: `just` lists recipes; `just verify` is the tier-1 gate.
+
+# List available recipes.
+default:
+    @just --list
+
+# Tier-1 verify (ROADMAP.md): release build + quiet workspace tests.
+verify:
+    cargo build --release
+    cargo test -q --workspace
+
+# Lints exactly as CI enforces them.
+lint:
+    cargo clippy --workspace --all-targets -- -D warnings
+    cargo fmt --check
+
+# Auto-fix formatting (lint's writable sibling).
+fmt:
+    cargo fmt
+
+# Smoke-compile every criterion bench without running it.
+bench-smoke:
+    cargo bench --workspace --no-run
+
+# Run the real benches (slow; criterion-shim timing output).
+bench:
+    cargo bench --workspace
+
+# Run every example end-to-end with its built-in tiny inputs.
+examples:
+    cargo run -q --release --example quickstart
+    cargo run -q --release --example acd_explorer
+    cargo run -q --release --example congestion_showdown
+    cargo run -q --release --example sparsity_census
+    cargo run -q --release --example triangle_monitor
+    cargo run -q --release --example uniform_pipeline
+    cargo run -q --release -p bench --bin experiments -- --quick E1
+
+# Full generator × seed matrix (the nightly CI job).
+test-slow:
+    cargo test -q --workspace --features slow-tests
+
+# Everything CI checks, in CI order.
+ci: verify lint bench-smoke examples

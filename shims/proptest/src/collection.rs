@@ -1,0 +1,72 @@
+//! Collection strategies: [`vec`] and [`hash_set`].
+
+use crate::strategy::Strategy;
+use core::hash::Hash;
+use core::ops::Range;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Strategy for `Vec<S::Value>` with length drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generate vectors whose elements come from `element` and whose length is
+/// uniform in `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+        let len = sample_len(&self.size, rng);
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// Strategy for `HashSet<S::Value>` with target size drawn from `size`.
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generate hash sets of elements from `element` with size uniform in
+/// `size`. As in real proptest, duplicate draws are retried a bounded
+/// number of times, so the set may come out smaller than the target when
+/// the element domain is nearly exhausted.
+pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    HashSetStrategy { element, size }
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    type Value = HashSet<S::Value>;
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+        let target = sample_len(&self.size, rng);
+        let mut out = HashSet::with_capacity(target);
+        let mut attempts = 0usize;
+        while out.len() < target && attempts < target.saturating_mul(16) + 16 {
+            out.insert(self.element.new_value(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+fn sample_len(size: &Range<usize>, rng: &mut StdRng) -> usize {
+    if size.is_empty() {
+        size.start
+    } else {
+        rng.gen_range(size.clone())
+    }
+}

@@ -1,0 +1,264 @@
+//! Workspace-local stand-in for the [`proptest`] property-testing crate.
+//!
+//! Implements the slice of the proptest 1.x API used by this workspace's
+//! test suite:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`);
+//! * [`ProptestConfig`] with a `cases` knob;
+//! * [`Strategy`] implemented for integer/float ranges, tuples of
+//!   strategies, [`any::<T>()`](any), and the [`collection`] combinators
+//!   (`vec`, `hash_set`);
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`].
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with the case index and the
+//!   assertion message; inputs are regenerable from the deterministic seed.
+//! * **Deterministic seeding.** Case `i` of test `f` derives its RNG from
+//!   `hash(file, name, i)`, so failures reproduce exactly across runs —
+//!   there is no persistence file because none is needed.
+//! * **`prop_assume!` skips** the case rather than resampling; generators
+//!   in this suite satisfy their assumptions overwhelmingly often.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub use strategy::{any, Any, Arbitrary, Strategy};
+
+/// Everything a `use proptest::prelude::*;` site expects.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Arbitrary, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        TestCaseError,
+    };
+}
+
+/// Runtime configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted for source compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs — the case is skipped.
+    Reject(String),
+    /// A `prop_assert!`-family assertion failed.
+    Fail(String),
+}
+
+/// Deterministic per-case RNG: every case is reproducible from the test's
+/// source location and case index.
+pub fn case_rng(test_path: &str, case: u32) -> StdRng {
+    // FNV-1a over the identifying string, folded with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case as u64 + 1)))
+}
+
+/// Drive one property: run `cases` deterministic cases of `run`,
+/// panicking on the first failure. Called from `proptest!` expansions.
+pub fn run_property(
+    test_path: &str,
+    config: &ProptestConfig,
+    mut run: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+) {
+    let mut rejected = 0u32;
+    for case in 0..config.cases {
+        let mut rng = case_rng(test_path, case);
+        match run(&mut rng) {
+            Ok(()) => {}
+            Err(TestCaseError::Reject(_)) => rejected += 1,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property {test_path} failed at case {case}/{}: {msg} \
+                     (deterministic; rerun reproduces it)",
+                    config.cases
+                );
+            }
+        }
+    }
+    if rejected == config.cases && config.cases > 0 {
+        panic!("property {test_path}: every case was rejected by prop_assume!");
+    }
+}
+
+/// Assert a boolean condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Skip the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_owned(),
+            ));
+        }
+    };
+}
+
+/// Define property tests. Mirrors `proptest::proptest!`: an optional
+/// `#![proptest_config(..)]` inner attribute followed by `#[test]`
+/// functions whose arguments are drawn from strategies via `pat in strat`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`] — expands each property fn.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($config:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:pat_param in $strategy:expr ),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_property(
+                    concat!(file!(), "::", stringify!($name)),
+                    &config,
+                    |__prop_rng| {
+                        $( let $arg = $crate::Strategy::new_value(&($strategy), __prop_rng); )+
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, f in 0.5f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.5..0.75).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_collections_compose(
+            pairs in crate::collection::vec((0u32..10, 0u32..10), 0..20),
+            set in crate::collection::hash_set(0u64..1000, 1..50),
+        ) {
+            prop_assert!(pairs.len() < 20);
+            prop_assert!(pairs.iter().all(|&(a, b)| a < 10 && b < 10));
+            prop_assert!(!set.is_empty() && set.len() < 50);
+        }
+
+        #[test]
+        fn assume_skips(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+            prop_assert_ne!(x % 2, 1);
+        }
+
+        #[test]
+        fn any_draws_are_independent(a in any::<u64>(), b in any::<u64>()) {
+            // Two draws from one case share an RNG stream but not a value;
+            // a collision under 64 bits would indicate a stuck generator.
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use rand::RngCore;
+        let a = crate::case_rng("t", 3).next_u64();
+        let b = crate::case_rng("t", 3).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, crate::case_rng("t", 4).next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_index() {
+        proptest! {
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x = {x} is small");
+            }
+        }
+        always_fails();
+    }
+}

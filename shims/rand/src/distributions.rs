@@ -1,0 +1,22 @@
+//! Minimal `rand::distributions` namespace: the [`Standard`] marker and a
+//! [`Distribution`] trait, kept for source compatibility with call sites
+//! that spell out `Standard.sample(&mut rng)`.
+
+use crate::{RngCore, SampleStandard};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard distribution: uniform over the type for integers,
+/// uniform in `[0, 1)` for floats.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+impl<T: SampleStandard> Distribution<T> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_standard(rng)
+    }
+}

@@ -26,6 +26,23 @@
 //!
 //! See `examples/quickstart.rs` for a guided tour and `DESIGN.md` for the
 //! system inventory.
+//!
+//! # Quickstart
+//!
+//! Generate a workload, run the Theorem 1 pipeline, and verify the result:
+//!
+//! ```
+//! use congest_coloring::{d1lc, graphs};
+//!
+//! let graph = graphs::gen::gnp(120, 0.1, 1);
+//! let lists = graphs::palette::random_lists(&graph, 48, 0, 2);
+//! let result = d1lc::solve(&graph, &lists, d1lc::SolveOptions::seeded(3)).unwrap();
+//! assert_eq!(
+//!     graphs::palette::check_coloring(&graph, &lists, &result.coloring),
+//!     Ok(())
+//! );
+//! assert!(result.rounds() > 0);
+//! ```
 
 #![warn(missing_docs)]
 

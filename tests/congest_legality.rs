@@ -10,8 +10,8 @@ use congest_coloring::estimate::{
     find_four_cycle_rich_wedges, find_triangle_rich_edges, run_neighborhood_similarity,
     SimilarityScheme,
 };
-use congest_coloring::graphs::palette::{check_coloring, random_lists};
 use congest_coloring::graphs::gen;
+use congest_coloring::graphs::palette::{check_coloring, random_lists};
 
 /// The practical-profile cap: our largest messages are the σ-capped
 /// signatures/bitmaps (≤ 512 bits) plus small headers. As a multiple of
@@ -97,7 +97,10 @@ fn naive_multitrial_blows_the_cap() {
     };
     // 32 raw 60-bit colors = 1920 bits > 64·log₂(256) = 512.
     let result = solve_naive_multitrial(&g, &lists, 32, opts);
-    assert!(result.is_err(), "the LOCAL-style baseline should violate CONGEST");
+    assert!(
+        result.is_err(),
+        "the LOCAL-style baseline should violate CONGEST"
+    );
 }
 
 #[test]

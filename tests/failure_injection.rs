@@ -3,17 +3,15 @@
 
 use congest_coloring::congest::{Bandwidth, SimConfig};
 use congest_coloring::d1lc::{solve, SolveOptions};
-use congest_coloring::graphs::palette::{
-    check_coloring, degree_plus_one_lists, ListAssignment,
-};
+use congest_coloring::graphs::palette::{check_coloring, degree_plus_one_lists, ListAssignment};
 use congest_coloring::graphs::{gen, Color, GraphBuilder};
 
 #[test]
 fn degenerate_graphs() {
     for g in [
-        gen::path(0),               // empty
-        gen::path(1),               // singleton
-        gen::path(2),               // one edge
+        gen::path(0),                 // empty
+        gen::path(1),                 // singleton
+        gen::path(2),                 // one edge
         GraphBuilder::new(7).build(), // isolated nodes
     ] {
         let lists = degree_plus_one_lists(&g);
@@ -78,7 +76,11 @@ fn colors_at_the_top_of_the_space() {
     let g = gen::cycle(24);
     let base = (1u64 << 62) - 100;
     let lists: Vec<Vec<Color>> = (0..g.n())
-        .map(|v| (0..3).map(|i| base + (v as u64 * 7 + i * 13) % 90).collect())
+        .map(|v| {
+            (0..3)
+                .map(|i| base + (v as u64 * 7 + i * 13) % 90)
+                .collect()
+        })
         .collect();
     let lists = ListAssignment::new(lists, 63);
     assert!(lists.is_degree_plus_one(&g));
@@ -93,7 +95,10 @@ fn tight_bandwidth_fails_loud_not_wrong() {
     let g = gen::gnp(64, 0.2, 2);
     let lists = degree_plus_one_lists(&g);
     let opts = SolveOptions {
-        sim: SimConfig { bandwidth: Bandwidth::Strict(4), ..SimConfig::default() },
+        sim: SimConfig {
+            bandwidth: Bandwidth::Strict(4),
+            ..SimConfig::default()
+        },
         ..SolveOptions::seeded(1)
     };
     assert!(solve(&g, &lists, opts).is_err());
@@ -103,12 +108,19 @@ fn tight_bandwidth_fails_loud_not_wrong() {
 fn oversized_lists_only_help() {
     let g = gen::gnp(80, 0.15, 5);
     let generous: Vec<Vec<Color>> = (0..g.n())
-        .map(|v| (0..(3 * g.degree(v as u32) as u64 + 5)).map(|i| i * 3).collect())
+        .map(|v| {
+            (0..(3 * g.degree(v as u32) as u64 + 5))
+                .map(|i| i * 3)
+                .collect()
+        })
         .collect();
     let lists = ListAssignment::new(generous, 16);
     let r = solve(&g, &lists, SolveOptions::seeded(2)).expect("solve");
     assert_eq!(check_coloring(&g, &lists, &r.coloring), Ok(()));
-    assert_eq!(r.stats.repairs, 0, "generous lists should never need repair");
+    assert_eq!(
+        r.stats.repairs, 0,
+        "generous lists should never need repair"
+    );
 }
 
 #[test]
@@ -126,10 +138,16 @@ fn max_rounds_cap_degrades_gracefully() {
     let g = gen::gnp(60, 0.2, 7);
     let lists = degree_plus_one_lists(&g);
     let opts = SolveOptions {
-        sim: SimConfig { max_rounds: 1, ..SimConfig::default() },
+        sim: SimConfig {
+            max_rounds: 1,
+            ..SimConfig::default()
+        },
         ..SolveOptions::seeded(3)
     };
     let r = solve(&g, &lists, opts).expect("solve");
     assert_eq!(check_coloring(&g, &lists, &r.coloring), Ok(()));
-    assert!(r.stats.repairs > 0, "with 1-round passes the repair sweep must fire");
+    assert!(
+        r.stats.repairs > 0,
+        "with 1-round passes the repair sweep must fire"
+    );
 }

@@ -3,8 +3,8 @@
 
 use congest_coloring::d1lc::{solve, SolveOptions};
 use congest_coloring::graphs::palette::{
-    check_coloring, degree_plus_one_lists, delta_plus_one_lists, random_lists,
-    shared_window_lists, ListAssignment,
+    check_coloring, degree_plus_one_lists, delta_plus_one_lists, random_lists, shared_window_lists,
+    ListAssignment,
 };
 use congest_coloring::graphs::{gen, Graph};
 
@@ -53,6 +53,32 @@ fn every_instance_and_regime_colors_properly() {
                 Ok(()),
                 "{gname}/{lname}"
             );
+        }
+    }
+}
+
+/// The full generator × list-regime × seed matrix. Too slow for every CI
+/// run, so it is gated: `cargo test --features slow-tests` (or
+/// `cargo test -- --ignored`) runs it; plain `cargo test -q` skips it.
+#[test]
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "large generator × seed matrix; run with --features slow-tests or -- --ignored"
+)]
+fn full_matrix_across_seeds_colors_properly() {
+    for (gname, g) in instances() {
+        for list_seed in [11u64, 29, 47] {
+            for (lname, lists) in list_regimes(&g, list_seed) {
+                for solve_seed in 0..4 {
+                    let result = solve(&g, &lists, SolveOptions::seeded(solve_seed))
+                        .unwrap_or_else(|e| panic!("{gname}/{lname}/seed{solve_seed}: {e}"));
+                    assert_eq!(
+                        check_coloring(&g, &lists, &result.coloring),
+                        Ok(()),
+                        "{gname}/{lname}/seed{solve_seed}"
+                    );
+                }
+            }
         }
     }
 }
@@ -130,5 +156,8 @@ fn multithreaded_engine_matches_sequential() {
     };
     let a = solve(&g, &lists, seq).expect("sequential");
     let b = solve(&g, &lists, par).expect("parallel");
-    assert_eq!(a.coloring, b.coloring, "thread count must not change results");
+    assert_eq!(
+        a.coloring, b.coloring,
+        "thread count must not change results"
+    );
 }

@@ -3,9 +3,7 @@
 use congest_coloring::d1lc::{greedy_oracle, solve, SolveOptions};
 use congest_coloring::graphs::palette::{check_coloring, random_lists, ListAssignment};
 use congest_coloring::graphs::{gen, GraphBuilder};
-use congest_coloring::prand::{
-    IdCode, PairwiseFamily, RepHashFamily, RepParams, ReedSolomon,
-};
+use congest_coloring::prand::{IdCode, PairwiseFamily, ReedSolomon, RepHashFamily, RepParams};
 use proptest::prelude::*;
 use std::collections::HashSet;
 
