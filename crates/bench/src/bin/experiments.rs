@@ -1,25 +1,43 @@
-//! Regenerate every experiment table (E1–E15 plus the E16a/b/c ablations;
-//! see DESIGN.md §4).
+//! Regenerate every experiment table (E0 plus E1–E15 plus the E16a/b/c
+//! ablations; see DESIGN.md §4).
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p bench --bin experiments            # full scale
-//! cargo run --release -p bench --bin experiments -- --quick # CI scale
-//! cargo run --release -p bench --bin experiments -- E4 E9   # a subset
+//! cargo run --release -p bench --bin experiments               # full scale
+//! cargo run --release -p bench --bin experiments -- --quick    # CI scale
+//! cargo run --release -p bench --bin experiments -- E4 E9      # a subset
+//! cargo run --release -p bench --bin experiments -- --json out.json E0
+//!                                # also mirror results to machine-readable JSON
 //! ```
 
+use bench::json::{render, ExperimentResult};
 use bench::{all_experiments, Scale};
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if args.iter().any(|a| a == "--quick") {
-        Scale::Quick
-    } else {
-        Scale::Full
-    };
-    let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let mut scale = Scale::Full;
+    let mut json_path: Option<String> = None;
+    let mut wanted: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--json" => match it.next() {
+                Some(path) if !path.starts_with("--") => json_path = Some(path.clone()),
+                _ => {
+                    eprintln!("error: --json requires a file path");
+                    std::process::exit(2);
+                }
+            },
+            a if a.starts_with("--") => {
+                eprintln!("error: unknown flag {a}");
+                std::process::exit(2);
+            }
+            _ => wanted.push(arg),
+        }
+    }
     let known: Vec<&str> = all_experiments().iter().map(|&(id, _)| id).collect();
     let unknown: Vec<&&String> = wanted
         .iter()
@@ -35,13 +53,28 @@ fn main() {
 
     println!("# Experiment tables — Overcoming Congestion in Distributed Coloring (PODC 2022)");
     println!("# scale: {scale:?}\n");
+    let mut results: Vec<ExperimentResult> = Vec::new();
     for (id, run) in all_experiments() {
         if !wanted.is_empty() && !wanted.iter().any(|w| w.as_str() == id) {
             continue;
         }
         let start = Instant::now();
         let table = run(scale);
+        let wall = start.elapsed();
         println!("{}", table.render());
-        println!("({} rows in {:.1?})\n", table.len(), start.elapsed());
+        println!("({} rows in {:.1?})\n", table.len(), wall);
+        results.push(ExperimentResult {
+            id: id.to_string(),
+            table,
+            wall_seconds: wall.as_secs_f64(),
+        });
+    }
+    if let Some(path) = json_path {
+        let doc = render(scale, &results);
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("error: could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("# wrote {} experiment(s) to {path}", results.len());
     }
 }

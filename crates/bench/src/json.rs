@@ -1,0 +1,168 @@
+//! Machine-readable experiment output.
+//!
+//! The experiments binary can mirror everything it prints into a JSON file
+//! (`--json PATH`) so the perf trajectory is diffable across PRs —
+//! `BENCH_2.json` at the repo root is the first committed snapshot (the
+//! engine-plane microbench E0 at full scale). The writer is hand-rolled:
+//! the build environment has no registry access, and the schema is four
+//! levels deep.
+
+use crate::table::Table;
+use crate::workloads::Scale;
+use std::fmt::Write as _;
+
+/// Schema tag embedded in every emitted file.
+pub const SCHEMA: &str = "congest-coloring/bench-v1";
+
+/// One experiment's result: id, rendered table, and wall-clock seconds.
+pub struct ExperimentResult {
+    /// Experiment id (`E0`, `E1`, …).
+    pub id: String,
+    /// The result table.
+    pub table: Table,
+    /// Wall-clock seconds the experiment took end to end.
+    pub wall_seconds: f64,
+}
+
+/// Escape a string for a JSON string literal (quotes not included).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn string_array(items: &[String]) -> String {
+    let cells: Vec<String> = items.iter().map(|s| format!("\"{}\"", escape(s))).collect();
+    format!("[{}]", cells.join(","))
+}
+
+/// Render experiment results as a JSON document.
+///
+/// All table cells stay strings (they are already formatted for humans);
+/// wall-clock numbers are JSON numbers.
+///
+/// # Example
+///
+/// ```
+/// use bench::json::{render, ExperimentResult, SCHEMA};
+/// use bench::{Scale, Table};
+///
+/// let mut t = Table::new("E0 — demo", "claim \"x\"");
+/// t.columns(["n", "rounds"]);
+/// t.row(["256", "42"]);
+/// let doc = render(
+///     Scale::Quick,
+///     &[ExperimentResult { id: "E0".into(), table: t, wall_seconds: 0.25 }],
+/// );
+/// assert!(doc.starts_with('{') && doc.trim_end().ends_with('}'));
+/// assert!(doc.contains(SCHEMA));
+/// assert!(doc.contains("claim \\\"x\\\""));
+/// assert!(doc.contains("\"wall_seconds\":0.25"));
+/// ```
+pub fn render(scale: Scale, results: &[ExperimentResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{}\",", escape(SCHEMA));
+    let _ = writeln!(out, "  \"scale\": \"{scale:?}\",");
+    out.push_str("  \"experiments\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str("    {");
+        let _ = write!(
+            out,
+            "\"id\":\"{}\",\"title\":\"{}\",\"claim\":\"{}\",\"wall_seconds\":{},",
+            escape(&r.id),
+            escape(r.table.title()),
+            escape(r.table.claim()),
+            format_seconds(r.wall_seconds),
+        );
+        let _ = write!(out, "\"columns\":{},", string_array(r.table.column_names()));
+        out.push_str("\"rows\":[");
+        for (j, row) in r.table.rows().iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&string_array(row));
+        }
+        out.push_str("]}");
+        if i + 1 < results.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Format seconds with enough precision for microbenchmarks, trimming
+/// trailing zeros so snapshots stay diff-friendly.
+fn format_seconds(s: f64) -> String {
+    let mut text = format!("{s:.6}");
+    while text.ends_with('0') {
+        text.pop();
+    }
+    if text.ends_with('.') {
+        text.push('0');
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn seconds_trim_trailing_zeros() {
+        assert_eq!(format_seconds(0.25), "0.25");
+        assert_eq!(format_seconds(1.0), "1.0");
+        assert_eq!(format_seconds(0.000001), "0.000001");
+    }
+
+    #[test]
+    fn renders_multiple_experiments_as_valid_shape() {
+        let mut a = Table::new("E0", "plane");
+        a.columns(["x"]);
+        a.row(["1"]);
+        let mut b = Table::new("E1", "rounds");
+        b.columns(["y"]);
+        let doc = render(
+            Scale::Full,
+            &[
+                ExperimentResult {
+                    id: "E0".into(),
+                    table: a,
+                    wall_seconds: 1.5,
+                },
+                ExperimentResult {
+                    id: "E1".into(),
+                    table: b,
+                    wall_seconds: 0.1,
+                },
+            ],
+        );
+        assert_eq!(doc.matches("\"id\":").count(), 2);
+        assert!(doc.contains("\"scale\": \"Full\""));
+        assert!(doc.contains("\"rows\":[[\"1\"]]"));
+        assert!(doc.contains("\"rows\":[]"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+}

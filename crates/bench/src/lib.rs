@@ -3,10 +3,12 @@
 //! The paper is a theory paper with no empirical evaluation section, so
 //! every quantitative claim (Theorem 1, Corollary 1, Lemmas 1–6,
 //! Theorems 2–3, the App. D constructions) is operationalized as an
-//! experiment E1–E15 (see DESIGN.md §4). Each experiment function builds
-//! its workload, runs the relevant system, and returns a printable
-//! [`Table`]; the `experiments` binary renders them all, and
-//! `EXPERIMENTS.md` records paper-claim vs measured shape.
+//! experiment E1–E15 (see DESIGN.md §4), and the simulator itself is
+//! benchmarked as experiment E0 (the message-plane microbench). Each
+//! experiment function builds its workload, runs the relevant system, and
+//! returns a printable [`Table`]; the `experiments` binary renders them
+//! all (and mirrors them to JSON via `--json`), and `EXPERIMENTS.md`
+//! records paper-claim vs measured shape.
 
 #![warn(missing_docs)]
 
@@ -15,6 +17,8 @@ pub mod exp_acd;
 pub mod exp_coloring;
 pub mod exp_estimate;
 pub mod exp_hash;
+pub mod exp_plane;
+pub mod json;
 pub mod table;
 pub mod workloads;
 
@@ -28,7 +32,8 @@ pub type Experiment = fn(Scale) -> Table;
 /// All experiments in order, as `(id, runner)` pairs.
 pub fn all_experiments() -> Vec<(&'static str, Experiment)> {
     vec![
-        ("E1", exp_coloring::e1_rounds_vs_n as Experiment),
+        ("E0", exp_plane::e0_engine_plane as Experiment),
+        ("E1", exp_coloring::e1_rounds_vs_n),
         ("E2", exp_coloring::e2_high_degree),
         ("E3", exp_coloring::e3_d1c),
         ("E4", exp_estimate::e4_similarity),

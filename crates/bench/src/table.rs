@@ -31,6 +31,26 @@ impl Table {
         self
     }
 
+    /// The experiment title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The paper claim this table exercises.
+    pub fn claim(&self) -> &str {
+        &self.claim
+    }
+
+    /// The column headers.
+    pub fn column_names(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The data rows (stringified cells).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Number of data rows.
     pub fn len(&self) -> usize {
         self.rows.len()

@@ -1,13 +1,34 @@
 //! The round-synchronous simulation engine.
+//!
+//! The engine runs on a two-lane **CSR edge-indexed mailbox plane** (see
+//! [`crate::plane`]): broadcasts take a node-indexed fast lane, targeted
+//! sends write receiver-side per-edge slots through the reverse-CSR
+//! permutation, and per-edge bandwidth accounting is folded into the slot
+//! writes. Delivery sweeps each receiver's contiguous in-slots and
+//! gathers its in-neighbors' broadcast slots, skipping any lane the round
+//! did not use. With `threads > 1` both the step phase and the routing
+//! phase shard across a pool of `std::thread::scope` workers spawned
+//! **once per run** and synchronized per phase with a barrier (per-round
+//! spawning would cost more than the phases themselves); results are
+//! identical for every thread count. The pre-PR sort-and-scatter plane
+//! is preserved as [`crate::reference::run_reference`] for differential
+//! tests and benchmarks.
 
 use crate::error::SimError;
-use crate::message::Message;
+use crate::message::{bits_for_range, Message};
 use crate::metrics::RunReport;
+use crate::plane::{prefetch_for_write, MailboxPlane, NeighborIndex, Sink, SlotSink};
 use crate::program::{Ctx, Program};
 use graphs::{Graph, NodeId};
 use prand::mix::mix2;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// Below this node count the engine always runs single-threaded: barrier
+/// overhead would dominate.
+const PAR_MIN_NODES: usize = 256;
 
 /// Bandwidth policy for a run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -31,8 +52,8 @@ pub struct SimConfig {
     /// Hard cap on rounds (a run not finished by then reports
     /// `completed = false`).
     pub max_rounds: u64,
-    /// Worker threads for the node-step phase (1 = sequential). Results
-    /// are identical regardless of thread count.
+    /// Worker threads for the step and routing phases (1 = sequential).
+    /// Results are identical regardless of thread count.
     pub threads: usize,
 }
 
@@ -57,11 +78,45 @@ impl SimConfig {
     }
 
     /// The standard CONGEST cap for an `n`-node graph:
-    /// `multiplier · ⌈log₂(n+1)⌉` bits per edge per round.
+    /// `multiplier · ⌈log₂(n+1)⌉` bits per edge per round (at least
+    /// `multiplier`, so the degenerate `n ∈ {0, 1}` graphs keep a channel).
+    ///
+    /// The id width is exactly [`bits_for_range`]`(n + 1)` — the bits
+    /// needed for an integer in `[0, n]`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use congest::SimConfig;
+    /// use congest::message::bits_for_range;
+    ///
+    /// assert_eq!(SimConfig::congest_bits(1023, 1), 10);
+    /// assert_eq!(SimConfig::congest_bits(1024, 2), 22);
+    /// assert_eq!(SimConfig::congest_bits(0, 3), 3);
+    /// assert_eq!(SimConfig::congest_bits(5000, 1), bits_for_range(5001));
+    /// ```
     pub fn congest_bits(n: usize, multiplier: u64) -> u64 {
-        let log_n = u64::from(64 - (n as u64).leading_zeros()).max(1);
-        multiplier * log_n
+        multiplier * bits_for_range(n as u64 + 1).max(1)
     }
+}
+
+/// Which plane lanes a round actually used (merged over all step
+/// workers); the router skips dead lanes entirely.
+#[derive(Clone, Copy, Default)]
+struct Lanes {
+    targeted: bool,
+    bcast: bool,
+}
+
+/// One step shard's result.
+#[derive(Default)]
+struct StepOut {
+    /// Net change in the number of done nodes.
+    delta: i64,
+    /// First send-side error in node order.
+    err: Option<SimError>,
+    /// Lanes this shard's nodes wrote.
+    lanes: Lanes,
 }
 
 /// Run `programs` (one per node of `graph`) to completion.
@@ -71,7 +126,10 @@ impl SimConfig {
 /// # Errors
 ///
 /// [`SimError::NotANeighbor`] if a program messages a non-neighbor, or
-/// [`SimError::BandwidthExceeded`] in strict mode.
+/// [`SimError::BandwidthExceeded`] in strict mode. When several nodes
+/// offend in the same round, the error reported is the first one in
+/// node-id order (senders for `NotANeighbor`, receivers for
+/// `BandwidthExceeded`) — independent of the thread count.
 ///
 /// # Panics
 ///
@@ -87,184 +145,508 @@ pub fn run<P: Program>(
         "need exactly one program per node"
     );
     let n = graph.n();
+    let workers = if config.threads <= 1 || n < PAR_MIN_NODES {
+        1
+    } else {
+        config.threads
+    };
     let mut rngs: Vec<StdRng> = (0..n)
         .map(|v| StdRng::seed_from_u64(mix2(config.seed, v as u64)))
         .collect();
+    let plane: MailboxPlane<P::Msg> = MailboxPlane::new(graph);
     let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
-    let mut outboxes: Vec<Vec<(NodeId, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+    let mut done: Vec<bool> = programs.iter().map(P::is_done).collect();
+    let done_count = done.iter().filter(|&&d| d).count();
+
+    let report = if workers == 1 {
+        run_sequential(
+            graph,
+            &mut programs,
+            &mut rngs,
+            &mut done,
+            &plane,
+            &mut inboxes,
+            config,
+            done_count,
+        )?
+    } else {
+        run_pooled(
+            graph,
+            &mut programs,
+            &mut rngs,
+            &mut done,
+            &plane,
+            &mut inboxes,
+            config,
+            workers,
+            done_count,
+        )?
+    };
+    Ok((programs, report))
+}
+
+/// The single-threaded engine loop: no barriers, one lookup scratch.
+#[allow(clippy::too_many_arguments)]
+fn run_sequential<P: Program>(
+    graph: &Graph,
+    programs: &mut [P],
+    rngs: &mut [StdRng],
+    done: &mut [bool],
+    plane: &MailboxPlane<P::Msg>,
+    inboxes: &mut [Vec<(NodeId, P::Msg)>],
+    config: SimConfig,
+    mut done_count: usize,
+) -> Result<RunReport, SimError> {
+    let n = programs.len();
+    let mut lookup = NeighborIndex::new(n);
     let mut report = RunReport {
         completed: true,
         ..Default::default()
     };
-
     let mut round = 0u64;
+    let mut prefetch = false;
     loop {
-        if programs.iter().all(|p| p.is_done()) {
+        if done_count == n {
             break;
         }
         if round >= config.max_rounds {
             report.completed = false;
             break;
         }
-
-        // Step phase: every node reads its inbox and fills its outbox.
-        step_all(
-            graph,
-            &mut programs,
-            &mut rngs,
-            &inboxes,
-            &mut outboxes,
-            round,
-            config.threads,
-        );
-
-        // Routing phase: account bandwidth and deliver.
-        for inbox in &mut inboxes {
-            inbox.clear();
+        let shard = StepShard {
+            lo: 0,
+            programs,
+            rngs,
+            done,
+            inboxes,
+        };
+        let out = step_range(graph, plane, &mut lookup, round, prefetch, shard);
+        if let Some(e) = out.err {
+            return Err(e);
         }
-        let mut round_max_edge_bits = 0u64;
-        for (src, out) in outboxes.iter_mut().enumerate() {
-            if out.is_empty() {
-                continue;
-            }
-            // Group by destination to compute per-directed-edge load.
-            out.sort_by_key(|&(dst, _)| dst);
-            let mut i = 0;
-            while i < out.len() {
-                let dst = out[i].0;
-                if graph.neighbors(src as NodeId).binary_search(&dst).is_err() {
-                    return Err(SimError::NotANeighbor {
-                        from: src as NodeId,
-                        to: dst,
-                        round,
-                    });
-                }
-                let mut edge_bits = 0u64;
-                let mut j = i;
-                while j < out.len() && out[j].0 == dst {
-                    edge_bits += out[j].1.bit_cost();
-                    j += 1;
-                }
-                if let Bandwidth::Strict(limit) = config.bandwidth {
-                    if edge_bits > limit {
-                        return Err(SimError::BandwidthExceeded {
-                            from: src as NodeId,
-                            to: dst,
-                            bits: edge_bits,
-                            limit,
-                            round,
-                        });
-                    }
-                }
-                round_max_edge_bits = round_max_edge_bits.max(edge_bits);
-                report.total_bits += edge_bits;
-                report.messages += (j - i) as u64;
-                i = j;
-            }
-            for (dst, msg) in out.drain(..) {
-                inboxes[dst as usize].push((src as NodeId, msg));
-            }
+        done_count = (done_count as i64 + out.delta) as usize;
+        prefetch = out.lanes.targeted;
+        let stats = route_range(graph, plane, inboxes, 0, round, config.bandwidth, out.lanes);
+        if let Some(e) = stats.err {
+            return Err(e);
         }
-        report.max_edge_bits_per_round.push(round_max_edge_bits);
+        report.total_bits += stats.bits;
+        report.messages += stats.messages;
+        report.edge_load.record(stats.max);
         round += 1;
     }
     report.rounds = round;
-    Ok((programs, report))
+    Ok(report)
 }
 
-/// Execute the step phase, optionally sharded over threads. Each node only
-/// touches its own program, RNG and outbox, so sharding cannot change
-/// results.
-fn step_all<P: Program>(
+/// Per-round worker commands, written by the coordinator between barriers.
+struct PoolControl {
+    /// Current round number.
+    round: AtomicU64,
+    /// Whether step workers should prefetch targeted out-slots (the
+    /// previous round used the targeted lane).
+    prefetch: AtomicBool,
+    /// Lanes the just-finished step phase wrote (drives routing).
+    targeted: AtomicBool,
+    bcast: AtomicBool,
+    /// Set by the coordinator to terminate the worker loops.
+    exit: AtomicBool,
+}
+
+/// The pooled engine loop: `workers` scoped threads are spawned once and
+/// synchronized with a barrier before and after each phase (4 waits per
+/// round). Worker `w` owns nodes `[w·chunk, (w+1)·chunk)`: it steps them,
+/// then routes into their inboxes, so programs, RNGs, done flags and
+/// inboxes are moved into the worker as plain `&mut` chunks; only the
+/// slot plane is shared (see [`crate::plane`] for its access protocol).
+///
+/// Determinism: per-node work is independent of sharding, counters merge
+/// with commutative ops, and first-error selection scans workers in
+/// ascending chunk order, so any thread count yields the sequential
+/// engine's exact results.
+#[allow(clippy::too_many_arguments)]
+fn run_pooled<P: Program>(
     graph: &Graph,
     programs: &mut [P],
     rngs: &mut [StdRng],
-    inboxes: &[Vec<(NodeId, P::Msg)>],
-    outboxes: &mut [Vec<(NodeId, P::Msg)>],
-    round: u64,
-    threads: usize,
-) {
+    done: &mut [bool],
+    plane: &MailboxPlane<P::Msg>,
+    inboxes: &mut [Vec<(NodeId, P::Msg)>],
+    config: SimConfig,
+    workers: usize,
+    mut done_count: usize,
+) -> Result<RunReport, SimError> {
     let n = programs.len();
-    if threads <= 1 || n < 256 {
-        for v in 0..n {
-            step_one(
-                graph,
-                &mut programs[v],
-                &mut rngs[v],
-                &inboxes[v],
-                &mut outboxes[v],
-                v,
-                round,
-            );
-        }
-        return;
-    }
-    let chunk = n.div_ceil(threads);
+    let chunk = n.div_ceil(workers);
+    let shards = n.div_ceil(chunk);
+    let barrier = Barrier::new(shards + 1);
+    let control = PoolControl {
+        round: AtomicU64::new(0),
+        prefetch: AtomicBool::new(false),
+        targeted: AtomicBool::new(false),
+        bcast: AtomicBool::new(false),
+        exit: AtomicBool::new(false),
+    };
+    let step_out: Vec<Mutex<StepOut>> = (0..shards).map(|_| Mutex::default()).collect();
+    let route_out: Vec<Mutex<RouteStats>> = (0..shards).map(|_| Mutex::default()).collect();
+
     std::thread::scope(|scope| {
-        let mut prog_chunks = programs.chunks_mut(chunk);
-        let mut rng_chunks = rngs.chunks_mut(chunk);
-        let mut out_chunks = outboxes.chunks_mut(chunk);
-        let mut base = 0usize;
-        for _ in 0..threads {
-            let (Some(ps), Some(rs), Some(os)) =
-                (prog_chunks.next(), rng_chunks.next(), out_chunks.next())
-            else {
-                break;
-            };
-            let start = base;
-            base += ps.len();
-            let inboxes = &inboxes;
+        let shard_iter = programs
+            .chunks_mut(chunk)
+            .zip(rngs.chunks_mut(chunk))
+            .zip(done.chunks_mut(chunk))
+            .zip(inboxes.chunks_mut(chunk));
+        let mut lo = 0usize;
+        for (w, (((ps, rs), ds), inb)) in shard_iter.enumerate() {
+            let lo_w = lo;
+            lo += ps.len();
+            let (barrier, control) = (&barrier, &control);
+            let (step_out, route_out) = (&step_out, &route_out);
+            let bandwidth = config.bandwidth;
             scope.spawn(move || {
-                for (i, ((p, r), o)) in ps
-                    .iter_mut()
-                    .zip(rs.iter_mut())
-                    .zip(os.iter_mut())
-                    .enumerate()
-                {
-                    let v = start + i;
-                    step_one(graph, p, r, &inboxes[v], o, v, round);
+                let mut lookup = NeighborIndex::new(n);
+                let mut shard = StepShard {
+                    lo: lo_w,
+                    programs: ps,
+                    rngs: rs,
+                    done: ds,
+                    inboxes: inb,
+                };
+                loop {
+                    barrier.wait(); // coordinator released the step phase
+                    if control.exit.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let round = control.round.load(Ordering::Acquire);
+                    let prefetch = control.prefetch.load(Ordering::Acquire);
+                    let out =
+                        step_range(graph, plane, &mut lookup, round, prefetch, shard.reborrow());
+                    *step_out[w].lock().expect("step slot poisoned") = out;
+                    barrier.wait(); // step results visible to coordinator
+                    barrier.wait(); // coordinator released the routing phase
+                    if control.exit.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let lanes = Lanes {
+                        targeted: control.targeted.load(Ordering::Acquire),
+                        bcast: control.bcast.load(Ordering::Acquire),
+                    };
+                    let stats =
+                        route_range(graph, plane, shard.inboxes, lo_w, round, bandwidth, lanes);
+                    *route_out[w].lock().expect("route slot poisoned") = stats;
+                    barrier.wait(); // route results visible to coordinator
                 }
             });
         }
-    });
+
+        // Coordinator.
+        let mut report = RunReport {
+            completed: true,
+            ..Default::default()
+        };
+        let mut round = 0u64;
+        let shutdown = |result: Result<RunReport, SimError>| {
+            control.exit.store(true, Ordering::Release);
+            barrier.wait();
+            result
+        };
+        loop {
+            if done_count == n {
+                report.rounds = round;
+                return shutdown(Ok(report));
+            }
+            if round >= config.max_rounds {
+                report.completed = false;
+                report.rounds = round;
+                return shutdown(Ok(report));
+            }
+            control.round.store(round, Ordering::Release);
+            barrier.wait(); // release step
+            barrier.wait(); // step done
+            let mut delta = 0i64;
+            let mut err = None;
+            let mut lanes = Lanes::default();
+            for slot in &step_out {
+                let out = std::mem::take(&mut *slot.lock().expect("step slot poisoned"));
+                delta += out.delta;
+                if err.is_none() {
+                    err = out.err;
+                }
+                lanes.targeted |= out.lanes.targeted;
+                lanes.bcast |= out.lanes.bcast;
+            }
+            if let Some(e) = err {
+                return shutdown(Err(e));
+            }
+            done_count = (done_count as i64 + delta) as usize;
+            control.targeted.store(lanes.targeted, Ordering::Release);
+            control.bcast.store(lanes.bcast, Ordering::Release);
+            control.prefetch.store(lanes.targeted, Ordering::Release);
+            barrier.wait(); // release route
+            barrier.wait(); // route done
+            let mut stats = RouteStats::default();
+            for slot in &route_out {
+                let s = std::mem::take(&mut *slot.lock().expect("route slot poisoned"));
+                stats.max = stats.max.max(s.max);
+                stats.bits += s.bits;
+                stats.messages += s.messages;
+                if stats.err.is_none() {
+                    stats.err = s.err;
+                }
+            }
+            if let Some(e) = stats.err {
+                return shutdown(Err(e));
+            }
+            report.total_bits += stats.bits;
+            report.messages += stats.messages;
+            report.edge_load.record(stats.max);
+            round += 1;
+        }
+    })
 }
 
-fn step_one<P: Program>(
+/// One worker's node range: the programs/RNGs/done flags it steps and the
+/// inboxes it reads (step) and fills (route).
+struct StepShard<'a, P: Program> {
+    lo: usize,
+    programs: &'a mut [P],
+    rngs: &'a mut [StdRng],
+    done: &'a mut [bool],
+    inboxes: &'a mut [Vec<(NodeId, P::Msg)>],
+}
+
+impl<P: Program> StepShard<'_, P> {
+    /// A shorter-lived view of the same shard (the pooled worker reuses
+    /// its shard every round).
+    fn reborrow(&mut self) -> StepShard<'_, P> {
+        StepShard {
+            lo: self.lo,
+            programs: &mut *self.programs,
+            rngs: &mut *self.rngs,
+            done: &mut *self.done,
+            inboxes: &mut *self.inboxes,
+        }
+    }
+}
+
+/// Step nodes `shard.lo ..`: run `on_round` with a slot sink over each
+/// node's out-edges, and fold the done-flag scan into the same loop (no
+/// separate O(n) `all(is_done)` pass per round).
+fn step_range<P: Program>(
     graph: &Graph,
-    program: &mut P,
-    rng: &mut StdRng,
-    inbox: &[(NodeId, P::Msg)],
-    outbox: &mut Vec<(NodeId, P::Msg)>,
-    v: usize,
+    plane: &MailboxPlane<P::Msg>,
+    lookup: &mut NeighborIndex,
     round: u64,
-) {
-    let mut ctx = Ctx {
-        node: v as NodeId,
-        round,
-        neighbors: graph.neighbors(v as NodeId),
-        inbox,
-        rng,
-        outbox,
+    prefetch: bool,
+    shard: StepShard<'_, P>,
+) -> StepOut {
+    let offsets = graph.offsets();
+    let mut out = StepOut::default();
+    let len = shard.programs.len();
+    // When the previous round used the targeted lane, overlap its
+    // scatter misses with program compute: a node's write targets are
+    // statically its rev_out entries, issued PREFETCH_AHEAD nodes early.
+    const PREFETCH_AHEAD: usize = 2;
+    let lo = shard.lo;
+    let prefetch_node = |i: usize| {
+        let v = lo + i;
+        for &e in &plane.rev[offsets[v]..offsets[v + 1]] {
+            prefetch_for_write(plane.slots[e as usize].get());
+        }
     };
-    program.on_round(&mut ctx);
+    if prefetch {
+        for i in 0..PREFETCH_AHEAD.min(len) {
+            prefetch_node(i);
+        }
+    }
+    for i in 0..len {
+        let v = lo + i;
+        if prefetch && i + PREFETCH_AHEAD < len && !shard.done[i + PREFETCH_AHEAD] {
+            prefetch_node(i + PREFETCH_AHEAD);
+        }
+        let mut ctx = Ctx {
+            node: v as NodeId,
+            round,
+            neighbors: graph.neighbors(v as NodeId),
+            inbox: &shard.inboxes[i],
+            rng: &mut shard.rngs[i],
+            sink: Sink::Slots(SlotSink {
+                slots: &plane.slots,
+                spill: &plane.spill,
+                bcast: &plane.bcast[v],
+                bcast_spill: &plane.bcast_spill[v],
+                rev_out: &plane.rev[offsets[v]..offsets[v + 1]],
+                epoch: round,
+                seq: 0,
+                targeted: 0,
+                broadcasts: 0,
+                lookup: &mut *lookup,
+                filled: false,
+                err: &mut out.err,
+            }),
+        };
+        shard.programs[i].on_round(&mut ctx);
+        if let Sink::Slots(s) = &ctx.sink {
+            out.lanes.targeted |= s.targeted > 0;
+            out.lanes.bcast |= s.broadcasts > 0;
+        }
+        // Fold the done scan into the (cache-hot) step loop instead of
+        // re-scanning all programs at the top of every round.
+        let now = shard.programs[i].is_done();
+        out.delta += i64::from(now) - i64::from(shard.done[i]);
+        shard.done[i] = now;
+    }
+    out
+}
+
+/// Aggregated routing-phase counters for one round (or one worker shard).
+#[derive(Default)]
+struct RouteStats {
+    max: u64,
+    bits: u64,
+    messages: u64,
+    err: Option<SimError>,
+}
+
+/// Deliver to receivers `lo .. lo + inboxes.len()`: sweep each receiver's
+/// contiguous targeted in-slots, gather its in-neighbors' broadcast
+/// slots, check the per-edge bit counters, and fill the inbox in CSR
+/// order (per sender, exact send order — merged by sequence tag when one
+/// neighbor used both lanes). Lanes the round didn't use are skipped.
+fn route_range<M: Message>(
+    graph: &Graph,
+    plane: &MailboxPlane<M>,
+    inboxes: &mut [Vec<(NodeId, M)>],
+    lo: usize,
+    round: u64,
+    bandwidth: Bandwidth,
+    lanes: Lanes,
+) -> RouteStats {
+    let offsets = graph.offsets();
+    let mut stats = RouteStats::default();
+    if !lanes.targeted && !lanes.bcast {
+        for inbox in inboxes.iter_mut() {
+            inbox.clear();
+        }
+        return stats;
+    }
+    for (i, inbox) in inboxes.iter_mut().enumerate() {
+        let v = lo + i;
+        inbox.clear();
+        let base = offsets[v];
+        for (j, &u) in graph.neighbors(v as NodeId).iter().enumerate() {
+            // Targeted lane: contiguous in-slot sweep.
+            // SAFETY: slots are receiver-side keyed and routing workers
+            // own disjoint receiver ranges, so slot `base + j` is reached
+            // by exactly one worker; the phase barrier orders this access
+            // after every step-phase write.
+            let eslot = lanes
+                .targeted
+                .then(|| unsafe { &mut *plane.slots[base + j].get() })
+                .filter(|s| s.stamp == round);
+            // Broadcast lane: cache-resident gather by sender id.
+            // SAFETY: broadcast slots are only *read* during routing (and
+            // written solely by their owner in the step phase).
+            let bslot = lanes
+                .bcast
+                .then(|| unsafe { &*plane.bcast[u as usize].get() })
+                .filter(|b| b.stamp == round);
+            if eslot.is_none() && bslot.is_none() {
+                continue;
+            }
+            let edge_bits = eslot.as_ref().map_or(0u64, |s| u64::from(s.bits))
+                + bslot.map_or(0u64, |b| u64::from(b.bits));
+            if let Bandwidth::Strict(limit) = bandwidth {
+                if edge_bits > limit {
+                    stats.err = Some(SimError::BandwidthExceeded {
+                        from: u,
+                        to: v as NodeId,
+                        bits: edge_bits,
+                        limit,
+                        round,
+                    });
+                    return stats;
+                }
+            }
+            stats.max = stats.max.max(edge_bits);
+            stats.bits += edge_bits;
+            match (eslot, bslot) {
+                (Some(s), None) => {
+                    let msg = s.first.take().expect("live slot has a first message");
+                    stats.messages += 1 + u64::from(s.spilled);
+                    inbox.push((u, msg));
+                    if s.spilled > 0 {
+                        s.spilled = 0;
+                        // SAFETY: same receiver-range exclusivity.
+                        let sp = unsafe { &mut *plane.spill[base + j].get() };
+                        inbox.extend(sp.drain(..).map(|(m, _)| (u, m)));
+                    }
+                }
+                (None, Some(b)) => {
+                    let msg = b.first.clone().expect("live slot has a first message");
+                    stats.messages += 1 + u64::from(b.spilled);
+                    inbox.push((u, msg));
+                    if b.spilled > 0 {
+                        // SAFETY: read-only, like the hot broadcast slot.
+                        let sp = unsafe { &*plane.bcast_spill[u as usize].get() };
+                        inbox.extend(sp.iter().map(|(m, _)| (u, m.clone())));
+                    }
+                }
+                (Some(s), Some(b)) => {
+                    // Rare: one neighbor used both lanes this round.
+                    // Interleave back into exact send order by sequence.
+                    stats.messages += 2 + u64::from(s.spilled) + u64::from(b.spilled);
+                    let first_t = s.first.take().expect("live slot has a first message");
+                    s.spilled = 0;
+                    // SAFETY: as in the single-lane branches above.
+                    let sp_t = unsafe { &mut *plane.spill[base + j].get() };
+                    let sp_b = unsafe { &*plane.bcast_spill[u as usize].get() };
+                    let mut te = std::iter::once((s.seq, first_t))
+                        .chain(sp_t.drain(..).map(|(m, q)| (q, m)))
+                        .peekable();
+                    let first_b = b.first.clone().expect("live slot has a first message");
+                    let mut be = std::iter::once((b.seq, first_b))
+                        .chain(sp_b.iter().map(|(m, q)| (*q, m.clone())))
+                        .peekable();
+                    loop {
+                        let take_targeted = match (te.peek(), be.peek()) {
+                            (Some((tq, _)), Some((bq, _))) => tq < bq,
+                            (Some(_), None) => true,
+                            (None, Some(_)) => false,
+                            (None, None) => break,
+                        };
+                        let (_, m) = if take_targeted {
+                            te.next().expect("peeked")
+                        } else {
+                            be.next().expect("peeked")
+                        };
+                        inbox.push((u, m));
+                    }
+                }
+                (None, None) => unreachable!("filtered above"),
+            }
+        }
+    }
+    stats
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::message::bits_for_range;
+    use crate::reference::run_reference;
     use graphs::gen;
 
     /// Flood the minimum id seen so far; finishes when stable for 2 rounds.
     #[derive(Clone)]
-    struct MinFlood {
-        min: NodeId,
+    pub(crate) struct MinFlood {
+        pub(crate) min: NodeId,
         stable: u32,
         done: bool,
     }
 
     #[derive(Clone)]
-    struct IdMsg(NodeId);
+    pub(crate) struct IdMsg(pub(crate) NodeId);
 
     impl Message for IdMsg {
         fn bit_cost(&self) -> u64 {
@@ -302,7 +684,7 @@ mod tests {
         }
     }
 
-    fn min_flood_programs(n: usize) -> Vec<MinFlood> {
+    pub(crate) fn min_flood_programs(n: usize) -> Vec<MinFlood> {
         (0..n)
             .map(|_| MinFlood {
                 min: NodeId::MAX,
@@ -325,18 +707,42 @@ mod tests {
     #[test]
     fn parallel_matches_sequential() {
         let g = gen::gnp(400, 0.02, 9);
-        let seq_cfg = SimConfig {
-            threads: 1,
-            ..SimConfig::seeded(5)
-        };
-        let par_cfg = SimConfig {
-            threads: 4,
-            ..SimConfig::seeded(5)
-        };
-        let (ps, rs) = run(&g, min_flood_programs(400), seq_cfg).unwrap();
-        let (pp, rp) = run(&g, min_flood_programs(400), par_cfg).unwrap();
-        assert_eq!(rs, rp);
-        assert!(ps.iter().zip(&pp).all(|(a, b)| a.min == b.min));
+        let (ps, rs) = run(
+            &g,
+            min_flood_programs(400),
+            SimConfig {
+                threads: 1,
+                ..SimConfig::seeded(5)
+            },
+        )
+        .unwrap();
+        for threads in [2, 4, 8] {
+            let cfg = SimConfig {
+                threads,
+                ..SimConfig::seeded(5)
+            };
+            let (pp, rp) = run(&g, min_flood_programs(400), cfg).unwrap();
+            assert_eq!(rs, rp, "report diverged at threads={threads}");
+            assert!(ps.iter().zip(&pp).all(|(a, b)| a.min == b.min));
+        }
+    }
+
+    #[test]
+    fn mailbox_plane_matches_reference_engine() {
+        let g = gen::gnp(400, 0.02, 13);
+        let (pr, rr) = run_reference(&g, min_flood_programs(400), SimConfig::seeded(6)).unwrap();
+        for threads in [1, 8] {
+            let cfg = SimConfig {
+                threads,
+                ..SimConfig::seeded(6)
+            };
+            let (pn, rn) = run(&g, min_flood_programs(400), cfg).unwrap();
+            assert_eq!(
+                rr, rn,
+                "reports diverged from reference at threads={threads}"
+            );
+            assert!(pr.iter().zip(&pn).all(|(a, b)| a.min == b.min));
+        }
     }
 
     #[test]
@@ -353,6 +759,126 @@ mod tests {
         assert!(matches!(err, SimError::BandwidthExceeded { limit: 10, .. }));
     }
 
+    /// Sends `count` 4-bit messages to its sole neighbor each round —
+    /// individually legal, cumulatively over a 10-bit strict cap.
+    #[derive(Clone)]
+    struct Dripper {
+        count: usize,
+        done: bool,
+    }
+
+    #[derive(Clone)]
+    struct Drip;
+    impl Message for Drip {
+        fn bit_cost(&self) -> u64 {
+            4
+        }
+    }
+
+    impl Program for Dripper {
+        type Msg = Drip;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, Drip>) {
+            if ctx.id() == 0 {
+                for _ in 0..self.count {
+                    ctx.send(1, Drip);
+                }
+            }
+            self.done = true;
+        }
+        fn is_done(&self) -> bool {
+            self.done
+        }
+    }
+
+    #[test]
+    fn strict_bandwidth_accumulates_across_slot_writes() {
+        let g = gen::path(2);
+        let programs = vec![
+            Dripper {
+                count: 3,
+                done: false
+            };
+            2
+        ];
+        let cfg = SimConfig {
+            bandwidth: Bandwidth::Strict(10),
+            ..SimConfig::seeded(0)
+        };
+        // Each Drip is 4 bits ≤ 10, but the slot counter reaches 12.
+        let err = match run(&g, programs, cfg) {
+            Err(e) => e,
+            Ok(_) => panic!("expected cumulative bandwidth error"),
+        };
+        assert_eq!(
+            err,
+            SimError::BandwidthExceeded {
+                from: 0,
+                to: 1,
+                bits: 12,
+                limit: 10,
+                round: 0
+            }
+        );
+        // Two messages (8 bits) fit.
+        let programs = vec![
+            Dripper {
+                count: 2,
+                done: false
+            };
+            2
+        ];
+        let cfg = SimConfig {
+            bandwidth: Bandwidth::Strict(10),
+            ..SimConfig::seeded(0)
+        };
+        let (_, report) = run(&g, programs, cfg).unwrap();
+        assert_eq!(report.max_edge_bits(), 8);
+        assert_eq!(report.messages, 2);
+    }
+
+    /// Broadcast + targeted in one round must also sum per edge.
+    #[derive(Clone)]
+    struct MixedDripper {
+        done: bool,
+    }
+
+    impl Program for MixedDripper {
+        type Msg = Drip;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, Drip>) {
+            if ctx.id() == 0 {
+                ctx.broadcast(Drip); // 4 bits on every out-edge
+                ctx.send(1, Drip); // +4 targeted on (0,1)
+            }
+            self.done = true;
+        }
+        fn is_done(&self) -> bool {
+            self.done
+        }
+    }
+
+    #[test]
+    fn strict_bandwidth_sums_broadcast_and_targeted_lanes() {
+        let g = gen::path(2);
+        let cfg = SimConfig {
+            bandwidth: Bandwidth::Strict(7),
+            ..SimConfig::seeded(0)
+        };
+        let err = match run(&g, vec![MixedDripper { done: false }; 2], cfg) {
+            Err(e) => e,
+            Ok(_) => panic!("expected bandwidth error"),
+        };
+        assert_eq!(
+            err,
+            SimError::BandwidthExceeded {
+                from: 0,
+                to: 1,
+                bits: 8,
+                limit: 7,
+                round: 0
+            }
+        );
+    }
+
     #[test]
     fn round_cap_reports_incomplete() {
         let g = gen::cycle(8);
@@ -365,16 +891,17 @@ mod tests {
         assert_eq!(report.rounds, 3);
     }
 
-    /// A program that illegally messages node 0 from everywhere.
+    /// A program that illegally messages a fixed target from node 3.
     #[derive(Clone)]
     struct BadSender {
+        to: NodeId,
         done: bool,
     }
     impl Program for BadSender {
         type Msg = IdMsg;
         fn on_round(&mut self, ctx: &mut Ctx<'_, IdMsg>) {
             if ctx.id() == 3 {
-                ctx.send(0, IdMsg(0)); // 3 is not adjacent to 0 on a path
+                ctx.send(self.to, IdMsg(0));
             }
             self.done = true;
         }
@@ -385,8 +912,9 @@ mod tests {
 
     #[test]
     fn non_neighbor_send_is_rejected() {
+        // 3 is not adjacent to 0 on a path.
         let g = gen::path(4);
-        let programs = (0..4).map(|_| BadSender { done: false }).collect();
+        let programs = (0..4).map(|_| BadSender { to: 0, done: false }).collect();
         let err = match run(&g, programs, SimConfig::seeded(0)) {
             Err(e) => e,
             Ok(_) => panic!("expected neighbor error"),
@@ -402,9 +930,83 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_send_is_rejected() {
+        let g = gen::path(4);
+        let programs = (0..4)
+            .map(|_| BadSender {
+                to: 999,
+                done: false,
+            })
+            .collect();
+        let err = match run(&g, programs, SimConfig::seeded(0)) {
+            Err(e) => e,
+            Ok(_) => panic!("expected neighbor error"),
+        };
+        assert_eq!(
+            err,
+            SimError::NotANeighbor {
+                from: 3,
+                to: 999,
+                round: 0
+            }
+        );
+    }
+
+    #[test]
+    fn errors_are_deterministic_across_thread_counts() {
+        // Big enough to shard; every node ≥ 300 misbehaves, and the
+        // engine must still report the smallest offender.
+        #[derive(Clone)]
+        struct ManyBad {
+            done: bool,
+        }
+        impl Program for ManyBad {
+            type Msg = IdMsg;
+            fn on_round(&mut self, ctx: &mut Ctx<'_, IdMsg>) {
+                let me = ctx.id();
+                if me >= 300 {
+                    ctx.send(me, IdMsg(0)); // self-send: never a neighbor
+                }
+                self.done = true;
+            }
+            fn is_done(&self) -> bool {
+                self.done
+            }
+        }
+        let g = gen::cycle(500);
+        for threads in [1, 2, 8] {
+            let programs = (0..500).map(|_| ManyBad { done: false }).collect();
+            let cfg = SimConfig {
+                threads,
+                ..SimConfig::seeded(0)
+            };
+            let err = match run(&g, programs, cfg) {
+                Err(e) => e,
+                Ok(_) => panic!("expected neighbor error"),
+            };
+            assert_eq!(
+                err,
+                SimError::NotANeighbor {
+                    from: 300,
+                    to: 300,
+                    round: 0
+                },
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
     fn congest_bits_scales_with_log_n() {
         assert_eq!(SimConfig::congest_bits(1023, 1), 10);
         assert_eq!(SimConfig::congest_bits(1024, 2), 22);
+        // Unified with message::bits_for_range (the id-width helper).
+        for n in [0usize, 1, 2, 63, 64, 1 << 16] {
+            assert_eq!(
+                SimConfig::congest_bits(n, 1),
+                bits_for_range(n as u64 + 1).max(1)
+            );
+        }
     }
 
     #[test]
@@ -421,5 +1023,145 @@ mod tests {
         let (_, r1) = run(&g, min_flood_programs(100), SimConfig::seeded(11)).unwrap();
         let (_, r2) = run(&g, min_flood_programs(100), SimConfig::seeded(11)).unwrap();
         assert_eq!(r1, r2);
+    }
+
+    /// Round 0: interleaves both lanes — targeted, broadcast, targeted —
+    /// with sequence-revealing payloads. Round 1: records the inbox.
+    #[derive(Clone)]
+    struct LaneMixer {
+        seen: Vec<(NodeId, u64)>,
+        done: bool,
+    }
+
+    #[derive(Clone)]
+    struct Tagged(u64);
+    impl Message for Tagged {
+        fn bit_cost(&self) -> u64 {
+            20
+        }
+    }
+
+    impl Program for LaneMixer {
+        type Msg = Tagged;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, Tagged>) {
+            if ctx.round() == 0 {
+                let me = u64::from(ctx.id());
+                let neighbors: Vec<NodeId> = ctx.neighbors().to_vec();
+                if let Some(&w) = neighbors.first() {
+                    ctx.send(w, Tagged(me * 1000));
+                }
+                ctx.broadcast(Tagged(me * 1000 + 1));
+                if let Some(&w) = neighbors.first() {
+                    ctx.send(w, Tagged(me * 1000 + 2));
+                }
+            } else {
+                self.seen = ctx.inbox().iter().map(|&(u, Tagged(t))| (u, t)).collect();
+                self.done = true;
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.done
+        }
+    }
+
+    /// The two lanes merge back into exact send order, matching the
+    /// reference plane across thread counts.
+    #[test]
+    fn mixed_lane_sends_interleave_in_send_order() {
+        let n = 300usize;
+        let g = gen::gnp(n, 0.03, 31);
+        let mk = || {
+            (0..n)
+                .map(|_| LaneMixer {
+                    seen: Vec::new(),
+                    done: false,
+                })
+                .collect::<Vec<_>>()
+        };
+        let (base, rb) = run_reference(&g, mk(), SimConfig::seeded(2)).unwrap();
+        for threads in [1, 2, 8] {
+            let cfg = SimConfig {
+                threads,
+                ..SimConfig::seeded(2)
+            };
+            let (progs, rn) = run(&g, mk(), cfg).unwrap();
+            assert_eq!(rb, rn, "threads={threads}");
+            for (v, p) in progs.iter().enumerate() {
+                assert_eq!(p.seen, base[v].seen, "threads={threads}, node {v}");
+            }
+        }
+    }
+
+    /// Round 0: sends a sequence-numbered message to every neighbor in
+    /// **descending** id order, plus a second message to the smallest
+    /// neighbor. Round 1: records the inbox verbatim.
+    #[derive(Clone)]
+    struct ShuffledSender {
+        seen: Vec<(NodeId, u64)>,
+        done: bool,
+    }
+
+    impl Program for ShuffledSender {
+        type Msg = Tagged;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, Tagged>) {
+            if ctx.round() == 0 {
+                let me = u64::from(ctx.id());
+                let neighbors: Vec<NodeId> = ctx.neighbors().to_vec();
+                for (seq, &w) in neighbors.iter().rev().enumerate() {
+                    ctx.send(w, Tagged(me * 1000 + seq as u64));
+                }
+                if let Some(&w) = neighbors.first() {
+                    ctx.send(w, Tagged(me * 1000 + 999));
+                }
+            } else {
+                self.seen = ctx.inbox().iter().map(|&(u, Tagged(t))| (u, t)).collect();
+                self.done = true;
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.done
+        }
+    }
+
+    /// Satellite regression: inbox arrival order is CSR order (sorted by
+    /// sender; per sender, send-call order) no matter how sends were
+    /// shuffled, and identical across thread counts and to the reference
+    /// plane.
+    #[test]
+    fn shuffled_sends_arrive_in_deterministic_csr_order() {
+        let n = 300usize; // above PAR_MIN_NODES so threads>1 really shard
+        let g = gen::gnp(n, 0.03, 21);
+        let mk = || {
+            (0..n)
+                .map(|_| ShuffledSender {
+                    seen: Vec::new(),
+                    done: false,
+                })
+                .collect::<Vec<_>>()
+        };
+        let (base, _) = run_reference(&g, mk(), SimConfig::seeded(2)).unwrap();
+        for threads in [1, 2, 8] {
+            let cfg = SimConfig {
+                threads,
+                ..SimConfig::seeded(2)
+            };
+            let (progs, _) = run(&g, mk(), cfg).unwrap();
+            for (v, p) in progs.iter().enumerate() {
+                // Sorted by sender id.
+                assert!(
+                    p.seen.windows(2).all(|w| w[0].0 <= w[1].0),
+                    "node {v} inbox not sorted by sender at threads={threads}"
+                );
+                // Per sender, send order: the descending-order sends'
+                // tag comes before the duplicate 999-tagged message.
+                for w in p.seen.windows(2) {
+                    if w[0].0 == w[1].0 {
+                        assert!(w[0].1 % 1000 != 999, "999 tag must arrive last");
+                    }
+                }
+                // Byte-identical to the reference plane.
+                assert_eq!(p.seen, base[v].seen, "threads={threads}, node {v}");
+            }
+        }
     }
 }

@@ -5,8 +5,12 @@
 //! incident edge. This crate provides:
 //!
 //! * [`Program`] / [`Ctx`] — the node-program abstraction;
-//! * [`run`] — the engine: deterministic per-node randomness, optional
-//!   multi-threaded stepping, per-directed-edge per-round bit accounting;
+//! * [`run`] — the engine: a CSR edge-indexed mailbox plane with O(1)
+//!   sends, permutation delivery, deterministic per-node randomness,
+//!   optional multi-threaded step *and* routing phases, and
+//!   per-directed-edge per-round bit accounting folded into slot writes;
+//! * [`reference::run_reference`] — the pre-mailbox sort-and-scatter
+//!   plane, kept as a differential-testing and benchmarking baseline;
 //! * [`Bandwidth`] — strict enforcement (prove a protocol CONGEST-legal)
 //!   or tracking (expose the congestion cost of LOCAL-style protocols via
 //!   [`RunReport::normalized_rounds`]);
@@ -56,12 +60,14 @@ mod engine;
 mod error;
 pub mod message;
 mod metrics;
+mod plane;
 mod program;
+pub mod reference;
 mod twoparty;
 
 pub use engine::{run, Bandwidth, SimConfig};
 pub use error::SimError;
 pub use message::Message;
-pub use metrics::{PassLog, RunReport};
+pub use metrics::{LoadProfile, PassLog, RunReport};
 pub use program::{Ctx, Program};
 pub use twoparty::BitTally;

@@ -1,5 +1,180 @@
 //! Run statistics: rounds, messages, bits, and bandwidth-normalized rounds.
 
+use std::collections::BTreeMap;
+
+/// Distinct-bucket cap of a [`LoadProfile`]; beyond it the histogram
+/// coarsens by doubling its granularity.
+const MAX_BUCKETS: usize = 512;
+
+/// Streaming summary of the per-round maximum edge loads.
+///
+/// The engine records one value per round — the largest number of bits any
+/// directed edge carried that round. Long runs used to accumulate an
+/// unbounded `Vec<u64>`; this type folds the stream into a value → count
+/// histogram instead. The histogram keeps exact values until it would
+/// exceed [`MAX_BUCKETS`] distinct entries, then coarsens by doubling its
+/// bucket granularity, rounding values **up** to a bucket boundary so every
+/// derived figure stays a conservative (over-)estimate. The maximum is
+/// tracked exactly regardless of coarsening, and any run with at most
+/// `MAX_BUCKETS` distinct round loads — in practice, every protocol in
+/// this repo — is summarized exactly.
+///
+/// # Example
+///
+/// ```
+/// use congest::LoadProfile;
+///
+/// let p = LoadProfile::from_loads(&[10, 65, 0]);
+/// assert_eq!(p.rounds(), 3);
+/// assert_eq!(p.max(), 65);
+/// // ceil(10/32)=1, ceil(65/32)=3, max(0,1)=1 → 5.
+/// assert_eq!(p.normalized_rounds(32), 5);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoadProfile {
+    /// Number of rounds recorded.
+    rounds: u64,
+    /// Exact maximum load seen (independent of bucketing).
+    max: u64,
+    /// Bucket width, a power of two; `1` means the histogram is exact.
+    granularity: u64,
+    /// Quantized load → number of rounds that saw it.
+    buckets: BTreeMap<u64, u64>,
+}
+
+impl Default for LoadProfile {
+    fn default() -> Self {
+        LoadProfile {
+            rounds: 0,
+            max: 0,
+            granularity: 1,
+            buckets: BTreeMap::new(),
+        }
+    }
+}
+
+impl LoadProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A profile of the given per-round loads (mainly for tests and docs).
+    pub fn from_loads(loads: &[u64]) -> Self {
+        let mut p = Self::new();
+        for &l in loads {
+            p.record(l);
+        }
+        p
+    }
+
+    /// Round `load` up to the enclosing bucket boundary.
+    fn quantize(load: u64, granularity: u64) -> u64 {
+        if granularity == 1 {
+            load
+        } else {
+            load.div_ceil(granularity) * granularity
+        }
+    }
+
+    /// Record one round's maximum edge load.
+    pub fn record(&mut self, load: u64) {
+        self.rounds += 1;
+        self.max = self.max.max(load);
+        let key = Self::quantize(load, self.granularity);
+        *self.buckets.entry(key).or_insert(0) += 1;
+        self.shrink_to_cap();
+    }
+
+    /// Coarsen until the distinct-bucket cap holds again.
+    fn shrink_to_cap(&mut self) {
+        while self.buckets.len() > MAX_BUCKETS {
+            self.granularity *= 2;
+            let old = std::mem::take(&mut self.buckets);
+            for (key, count) in old {
+                *self
+                    .buckets
+                    .entry(Self::quantize(key, self.granularity))
+                    .or_insert(0) += count;
+            }
+        }
+    }
+
+    /// Number of rounds recorded.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Whether any round has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rounds == 0
+    }
+
+    /// Exact maximum load over all recorded rounds (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Current bucket width (1 while the histogram is exact).
+    pub fn granularity(&self) -> u64 {
+        self.granularity
+    }
+
+    /// The `q`-quantile of the recorded loads (0 for an empty profile).
+    ///
+    /// Exact while `granularity() == 1`; after coarsening, an upper bound
+    /// within one bucket width. `q` is clamped to `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.rounds == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.rounds as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (&key, &count) in &self.buckets {
+            seen += count;
+            if seen >= rank {
+                return key.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Bandwidth-normalized round count `Σ_r ⌈load_r / bandwidth⌉`
+    /// (counting at least 1 per recorded round): the number of rounds the
+    /// run would take if every round's traffic had to be serialized into
+    /// `bandwidth`-bit messages. Exact while `granularity() == 1`,
+    /// otherwise a conservative upper bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth` is zero.
+    pub fn normalized_rounds(&self, bandwidth: u64) -> u64 {
+        assert!(bandwidth > 0, "bandwidth must be positive");
+        self.buckets
+            .iter()
+            .map(|(&key, &count)| count * key.div_ceil(bandwidth).max(1))
+            .sum()
+    }
+
+    /// Fold another profile into this one (sequential composition).
+    pub fn merge(&mut self, other: &LoadProfile) {
+        self.rounds += other.rounds;
+        self.max = self.max.max(other.max);
+        self.granularity = self.granularity.max(other.granularity);
+        let old = std::mem::take(&mut self.buckets);
+        for (key, count) in old
+            .into_iter()
+            .chain(other.buckets.iter().map(|(&key, &count)| (key, count)))
+        {
+            *self
+                .buckets
+                .entry(Self::quantize(key, self.granularity))
+                .or_insert(0) += count;
+        }
+        self.shrink_to_cap();
+    }
+}
+
 /// Statistics of one engine run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RunReport {
@@ -10,8 +185,8 @@ pub struct RunReport {
     pub messages: u64,
     /// Total bits carried over all edges and rounds.
     pub total_bits: u64,
-    /// For each round, the maximum bits carried by any directed edge.
-    pub max_edge_bits_per_round: Vec<u64>,
+    /// Streaming summary of the per-round maximum directed-edge loads.
+    pub edge_load: LoadProfile,
     /// Whether every node reported done before the round cap.
     pub completed: bool,
 }
@@ -19,11 +194,7 @@ pub struct RunReport {
 impl RunReport {
     /// Largest per-edge per-round load seen anywhere in the run.
     pub fn max_edge_bits(&self) -> u64 {
-        self.max_edge_bits_per_round
-            .iter()
-            .copied()
-            .max()
-            .unwrap_or(0)
+        self.edge_load.max()
     }
 
     /// Bandwidth-normalized round count `Σ_r ⌈max_edge_bits(r)/bandwidth⌉`
@@ -36,11 +207,7 @@ impl RunReport {
     ///
     /// Panics if `bandwidth` is zero.
     pub fn normalized_rounds(&self, bandwidth: u64) -> u64 {
-        assert!(bandwidth > 0, "bandwidth must be positive");
-        self.max_edge_bits_per_round
-            .iter()
-            .map(|&b| b.div_ceil(bandwidth).max(1))
-            .sum()
+        self.edge_load.normalized_rounds(bandwidth)
     }
 
     /// Fold another report into this one (sequential composition of
@@ -49,8 +216,7 @@ impl RunReport {
         self.rounds += other.rounds;
         self.messages += other.messages;
         self.total_bits += other.total_bits;
-        self.max_edge_bits_per_round
-            .extend_from_slice(&other.max_edge_bits_per_round);
+        self.edge_load.merge(&other.edge_load);
         self.completed &= other.completed;
     }
 }
@@ -126,7 +292,7 @@ mod tests {
             rounds,
             messages: 10,
             total_bits: loads.iter().sum(),
-            max_edge_bits_per_round: loads.to_vec(),
+            edge_load: LoadProfile::from_loads(loads),
             completed: true,
         }
     }
@@ -144,7 +310,8 @@ mod tests {
         let b = report(3, &[7, 8, 9]);
         a.absorb(&b);
         assert_eq!(a.rounds, 5);
-        assert_eq!(a.max_edge_bits_per_round, vec![5, 6, 7, 8, 9]);
+        assert_eq!(a.edge_load, LoadProfile::from_loads(&[5, 6, 7, 8, 9]));
+        assert_eq!(a.edge_load.rounds(), 5);
         assert_eq!(a.max_edge_bits(), 9);
     }
 
@@ -163,5 +330,43 @@ mod tests {
     #[should_panic(expected = "bandwidth")]
     fn normalized_rejects_zero_bandwidth() {
         let _ = report(1, &[1]).normalized_rounds(0);
+    }
+
+    #[test]
+    fn percentiles_exact_while_uncoarsened() {
+        let p = LoadProfile::from_loads(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(p.granularity(), 1);
+        assert_eq!(p.percentile(0.0), 1);
+        assert_eq!(p.percentile(0.5), 5);
+        assert_eq!(p.percentile(1.0), 10);
+        assert_eq!(LoadProfile::new().percentile(0.5), 0);
+    }
+
+    #[test]
+    fn coarsening_caps_buckets_and_stays_conservative() {
+        let loads: Vec<u64> = (0..4096).collect();
+        let p = LoadProfile::from_loads(&loads);
+        assert!(p.granularity() > 1, "4096 distinct values must coarsen");
+        assert_eq!(p.rounds(), 4096);
+        assert_eq!(p.max(), 4095, "max is exact despite coarsening");
+        // Normalized rounds over-approximate but never under-approximate.
+        let exact: u64 = loads.iter().map(|&l| l.div_ceil(32).max(1)).sum();
+        let approx = p.normalized_rounds(32);
+        assert!(approx >= exact);
+        // Within one bucket width per round.
+        assert!(approx <= exact + p.granularity().div_ceil(32) * p.rounds());
+        // Percentiles are clamped to the true max.
+        assert!(p.percentile(1.0) <= p.max());
+    }
+
+    #[test]
+    fn merge_aligns_granularities() {
+        let mut fine = LoadProfile::from_loads(&[1, 2, 3]);
+        let coarse = LoadProfile::from_loads(&(0..2000).collect::<Vec<u64>>());
+        let g = coarse.granularity();
+        fine.merge(&coarse);
+        assert_eq!(fine.rounds(), 2003);
+        assert!(fine.granularity() >= g);
+        assert_eq!(fine.max(), 1999);
     }
 }

@@ -1,0 +1,500 @@
+//! The CSR edge-indexed mailbox plane.
+//!
+//! The plane has **two lanes**, chosen per send call:
+//!
+//! * **Broadcast lane** — `Ctx::broadcast` sends one value across every
+//!   out-edge, so it needs no per-edge storage at all: the payload goes
+//!   into the sender's own slot of an `n`-sized array (one contiguous
+//!   write, no destination resolution). Delivery gathers each receiver's
+//!   in-neighbors' broadcast slots — an array small enough to stay
+//!   cache-resident. This is the hot lane: HNT22-style coloring
+//!   protocols are broadcast-dominated (trials, slack announcements,
+//!   hash-family indices all go to every neighbor).
+//! * **Targeted lane** — `Ctx::send(to, ..)` writes the slot of the
+//!   directed edge `(u, to)`, keyed by the *receiver-side* CSR edge id
+//!   `offsets[to] + pos(u in N(to))`, reached through the reverse-CSR
+//!   permutation `rev[offsets[u] + k]`. Keying by receiver makes
+//!   delivery a contiguous sweep of `offsets[v]..offsets[v+1]` and puts
+//!   the unavoidable cache scatter on the *store* side, where the engine
+//!   hides it with software prefetch. Destination resolution is O(1) via
+//!   a lazily filled per-worker [`NeighborIndex`] (with a small-degree
+//!   fast path), not a per-message `binary_search`.
+//!
+//! Slots inline the round's **first** message next to the epoch stamp and
+//! the per-edge bit counter — in the CONGEST model an edge almost always
+//! carries at most one message per round — and spill further same-round
+//! messages to cold side arrays. Every message is tagged with the
+//! sender's per-round send sequence, so a receiver that gets both lanes
+//! from one neighbor in one round merges them back into exact send-call
+//! order. Slots reset lazily by epoch stamp (the round of their last
+//! write): no per-round clearing pass, no steady-state allocation.
+//!
+//! Bandwidth accounting is folded into the writes: a targeted write
+//! accumulates its bits in the edge slot, a broadcast write accumulates
+//! its per-copy bits in the sender's broadcast slot, and delivery sums
+//! the two for the per-directed-edge round load.
+//!
+//! Lane storage is `UnsafeCell`-based because the phases access slots at
+//! value-dependent disjoint indices the borrow checker cannot see:
+//!
+//! * **step phase** — worker `w` owns senders `[lo_w, hi_w)`: it writes
+//!   their broadcast slots (disjoint, contiguous) and their out-edges'
+//!   targeted slots (disjoint because every directed edge has exactly
+//!   one sender).
+//! * **routing phase** — worker `w` mutates only the contiguous targeted
+//!   slots of its own receivers (disjoint ranges) and performs **reads**
+//!   of broadcast slots (no mutation; broadcast payloads are cloned per
+//!   receiving edge, exactly the copies the legacy plane made at send
+//!   time).
+//!
+//! The phases are separated by a barrier (or by program order in the
+//! sequential engine), so no slot is ever written by one thread while
+//! another touches it.
+
+use crate::error::SimError;
+use crate::message::Message;
+use graphs::{Graph, NodeId};
+use std::cell::UnsafeCell;
+
+/// One mailbox slot — the hot, fixed-size part shared by both lanes.
+///
+/// The targeted lane keys one per directed edge (drained at delivery);
+/// the broadcast lane keys one per node, where `bits` counts the
+/// *per-copy* cost every receiving edge accounts and delivery clones
+/// instead of draining.
+pub(crate) struct Slot<M> {
+    /// Round of the last write; `u64::MAX` = never written. A stale stamp
+    /// means the other fields are leftovers and are reset in place on the
+    /// next write (lazy, so idle slots cost nothing).
+    pub(crate) stamp: u64,
+    /// Bits accumulated by this round's writes. Saturates at `u32::MAX` —
+    /// orders of magnitude above any per-round CONGEST load.
+    pub(crate) bits: u32,
+    /// Number of same-round messages pushed to the spill vector.
+    pub(crate) spilled: u32,
+    /// Send-sequence tag of `first` (for merging the two lanes back into
+    /// exact send order).
+    pub(crate) seq: u32,
+    /// The round's first message, inline — the common case.
+    pub(crate) first: Option<M>,
+}
+
+/// Shareable cell for slot-indexed plane storage; see the module docs for
+/// the disjoint-access protocol that makes the `Sync` impl sound.
+pub(crate) struct PlaneCell<T>(UnsafeCell<T>);
+
+/// SAFETY: plane cells are mutated only at phase-disjoint indices (module
+/// docs); `T: Send` suffices because payloads move between threads but
+/// are never aliased across them mid-mutation.
+unsafe impl<T: Send> Sync for PlaneCell<T> {}
+
+impl<T> PlaneCell<T> {
+    fn new(value: T) -> Self {
+        PlaneCell(UnsafeCell::new(value))
+    }
+
+    /// Raw pointer; the caller must hold this phase's exclusivity over
+    /// the index (module docs) for the duration of the dereference.
+    pub(crate) fn get(&self) -> *mut T {
+        self.0.get()
+    }
+}
+
+/// Hint the cache that `p` is about to be written.
+///
+/// The targeted lane's slot writes are a scatter through the reverse-CSR
+/// permutation — the one cache-unfriendly access of the plane. Unlike the
+/// legacy outbox plane, the destinations are known *before* the node
+/// program runs (they are exactly its `rev_out` entries), so the engine
+/// prefetches them and the misses overlap the programs' own compute.
+/// No-op on non-x86_64 targets.
+#[inline(always)]
+pub(crate) fn prefetch_for_write<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch is a hint; any address is allowed.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(p.cast::<i8>());
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
+/// O(1) neighbor-position lookup, one per engine worker.
+///
+/// `mark[w] == tick` means `pos[w]` is the position of `w` in the
+/// neighbor list the index was last filled from. Filling is lazy — it
+/// happens on a node's first targeted `send` of the round, so
+/// broadcast-only protocols never pay for it — and costs `O(deg)`, after
+/// which every `send` resolves in O(1).
+pub(crate) struct NeighborIndex {
+    mark: Vec<u64>,
+    pos: Vec<u32>,
+    tick: u64,
+}
+
+impl NeighborIndex {
+    /// An index able to resolve destinations in `0..n`.
+    pub(crate) fn new(n: usize) -> Self {
+        NeighborIndex {
+            mark: vec![0; n],
+            pos: vec![0; n],
+            tick: 0,
+        }
+    }
+
+    /// Point the index at a new neighbor list (O(deg)).
+    fn fill(&mut self, neighbors: &[NodeId]) {
+        self.tick += 1;
+        for (k, &w) in neighbors.iter().enumerate() {
+            self.mark[w as usize] = self.tick;
+            self.pos[w as usize] = k as u32;
+        }
+    }
+
+    /// Neighbor position of `to` in the list last filled, if present.
+    fn get(&self, to: NodeId) -> Option<usize> {
+        let t = to as usize;
+        (t < self.mark.len() && self.mark[t] == self.tick).then(|| self.pos[t] as usize)
+    }
+}
+
+/// Degree at or below which `resolve` searches the (cache-resident)
+/// neighbor list directly instead of the O(1) scratch table: for short
+/// lists a handful of L1 compares beats two probes into `n`-sized arrays.
+const SMALL_DEGREE: usize = 32;
+
+/// A sender's window onto the mailbox plane for one `on_round` call.
+pub(crate) struct SlotSink<'a, M> {
+    /// The whole targeted-lane slot array (writes go to
+    /// `slots[rev_out[k]]`).
+    pub(crate) slots: &'a [PlaneCell<Slot<M>>],
+    /// The whole targeted-lane overflow array (same indexing; cold).
+    pub(crate) spill: &'a [PlaneCell<Vec<(M, u32)>>],
+    /// This node's broadcast-lane slot.
+    pub(crate) bcast: &'a PlaneCell<Slot<M>>,
+    /// This node's broadcast-lane overflow (cold).
+    pub(crate) bcast_spill: &'a PlaneCell<Vec<(M, u32)>>,
+    /// The node's slice of the reverse-CSR permutation: `rev_out[k]` is
+    /// the receiver-side slot id of the edge to the `k`-th neighbor.
+    pub(crate) rev_out: &'a [u32],
+    /// Current round (the epoch value to stamp writes with).
+    pub(crate) epoch: u64,
+    /// Per-round send-call sequence (shared by both lanes; restores exact
+    /// send order at delivery).
+    pub(crate) seq: u32,
+    /// Targeted sends issued through this sink (drives the engine's
+    /// lane-skipping and prefetch heuristics).
+    pub(crate) targeted: u32,
+    /// Broadcasts issued through this sink.
+    pub(crate) broadcasts: u32,
+    /// The worker's neighbor-position scratch.
+    pub(crate) lookup: &'a mut NeighborIndex,
+    /// Whether `lookup` has been filled for this node yet.
+    pub(crate) filled: bool,
+    /// First error any node of this worker's range raised (kept, not
+    /// overwritten — nodes are stepped in ascending id order).
+    pub(crate) err: &'a mut Option<SimError>,
+}
+
+/// Clamp a `bit_cost` to the slot counters' width.
+fn cost32(msg_bits: u64) -> u32 {
+    u32::try_from(msg_bits).unwrap_or(u32::MAX)
+}
+
+impl<M: Message> SlotSink<'_, M> {
+    /// Resolve `to` to a neighbor position: O(1) via the scratch table
+    /// (filled lazily on a node's first targeted send), with a
+    /// small-degree fast path over the neighbor list itself.
+    pub(crate) fn resolve(&mut self, neighbors: &[NodeId], to: NodeId) -> Option<usize> {
+        if neighbors.len() <= SMALL_DEGREE {
+            return neighbors.binary_search(&to).ok();
+        }
+        if !self.filled {
+            self.lookup.fill(neighbors);
+            self.filled = true;
+        }
+        self.lookup.get(to)
+    }
+
+    /// The shared write protocol of both lanes: lazy epoch reset, bit
+    /// accumulation, inline-first-or-spill, sequence tagging.
+    ///
+    /// SAFETY (caller): the cells must be ones this sink's node is the
+    /// unique step-phase writer of — its out-edges' targeted slots or
+    /// its own broadcast slot (module docs).
+    fn push(
+        slot: &PlaneCell<Slot<M>>,
+        spill: &PlaneCell<Vec<(M, u32)>>,
+        epoch: u64,
+        seq: u32,
+        msg: M,
+    ) {
+        // SAFETY: exclusivity guaranteed by the caller (see above).
+        let slot = unsafe { &mut *slot.get() };
+        if slot.stamp != epoch {
+            slot.stamp = epoch;
+            slot.bits = 0;
+            slot.first = None;
+            if slot.spilled > 0 {
+                slot.spilled = 0;
+                // SAFETY: same exclusivity as the hot slot.
+                unsafe { &mut *spill.get() }.clear();
+            }
+        }
+        slot.bits = slot.bits.saturating_add(cost32(msg.bit_cost()));
+        if slot.first.is_none() {
+            slot.first = Some(msg);
+            slot.seq = seq;
+        } else {
+            slot.spilled += 1;
+            // SAFETY: same exclusivity as the hot slot.
+            unsafe { &mut *spill.get() }.push((msg, seq));
+        }
+    }
+
+    /// Targeted send: append `msg` to the slot of the edge to neighbor
+    /// `k`, folding its bit cost into the slot counter.
+    pub(crate) fn write(&mut self, k: usize, msg: M) {
+        let e = self.rev_out[k] as usize;
+        // SAFETY: this sink's node is the unique step-phase sender over
+        // its out-edges' slots (module docs).
+        Self::push(&self.slots[e], &self.spill[e], self.epoch, self.seq, msg);
+        self.seq += 1;
+        self.targeted += 1;
+    }
+
+    /// Broadcast: store `msg` once in the sender's broadcast slot; every
+    /// receiving edge clones its own copy at delivery (the same copies
+    /// the legacy plane made at send time) and accounts `bit_cost` bits.
+    pub(crate) fn write_bcast(&mut self, msg: M) {
+        // SAFETY: a node's broadcast slot is written only while its own
+        // worker steps it (module docs).
+        Self::push(self.bcast, self.bcast_spill, self.epoch, self.seq, msg);
+        self.seq += 1;
+        self.broadcasts += 1;
+    }
+}
+
+/// Where a `Ctx`'s sends go: the engine's slot plane, or a plain outbox
+/// (the pre-PR reference engine and unit tests).
+pub(crate) enum Sink<'a, M> {
+    /// CSR mailbox plane (the engine's fast path).
+    Slots(SlotSink<'a, M>),
+    /// Legacy per-round `(destination, message)` outbox.
+    Outbox(&'a mut Vec<(NodeId, M)>),
+}
+
+/// The engine-owned lane arrays plus the reverse-CSR permutation.
+pub(crate) struct MailboxPlane<M> {
+    /// `rev[offsets[u] + k]` = receiver-side slot id of the edge from `u`
+    /// to its `k`-th neighbor (i.e. `offsets[v] + pos(u in N(v))`). An
+    /// involution over directed-edge ids.
+    pub(crate) rev: Vec<u32>,
+    /// Targeted lane, receiver-side keyed: receiver `v` owns the
+    /// contiguous range `offsets[v]..offsets[v+1]`, in-neighbor order.
+    pub(crate) slots: Vec<PlaneCell<Slot<M>>>,
+    /// Targeted-lane overflow (cold; same indexing).
+    pub(crate) spill: Vec<PlaneCell<Vec<(M, u32)>>>,
+    /// Broadcast lane, sender keyed (length `n`).
+    pub(crate) bcast: Vec<PlaneCell<Slot<M>>>,
+    /// Broadcast-lane overflow (cold; length `n`).
+    pub(crate) bcast_spill: Vec<PlaneCell<Vec<(M, u32)>>>,
+}
+
+impl<M> MailboxPlane<M> {
+    /// Build the plane for `graph` (O(n + m)).
+    pub(crate) fn new(graph: &Graph) -> Self {
+        let offsets = graph.offsets();
+        let adj = graph.adjacency();
+        assert!(
+            adj.len() <= u32::MAX as usize,
+            "graph too large for u32 edge ids"
+        );
+        // rev[offsets[v] + pos(u in N(v))] = offsets[u] + pos(v in N(u)).
+        // Iterating senders in ascending id order means each receiver v
+        // sees its in-neighbors in ascending order too, so a per-receiver
+        // cursor yields pos(u in N(v)) without any search.
+        let mut rev = vec![0u32; adj.len()];
+        let mut cursor: Vec<usize> = offsets[..offsets.len() - 1].to_vec();
+        for win in offsets.windows(2) {
+            for (x, &v) in adj[win[0]..win[1]]
+                .iter()
+                .enumerate()
+                .map(|(k, v)| (win[0] + k, v))
+            {
+                rev[cursor[v as usize]] = x as u32;
+                cursor[v as usize] += 1;
+            }
+        }
+        MailboxPlane {
+            rev,
+            slots: (0..adj.len())
+                .map(|_| {
+                    PlaneCell::new(Slot {
+                        stamp: u64::MAX,
+                        bits: 0,
+                        spilled: 0,
+                        seq: 0,
+                        first: None,
+                    })
+                })
+                .collect(),
+            spill: (0..adj.len()).map(|_| PlaneCell::new(Vec::new())).collect(),
+            bcast: (0..graph.n())
+                .map(|_| {
+                    PlaneCell::new(Slot {
+                        stamp: u64::MAX,
+                        bits: 0,
+                        spilled: 0,
+                        seq: 0,
+                        first: None,
+                    })
+                })
+                .collect(),
+            bcast_spill: (0..graph.n()).map(|_| PlaneCell::new(Vec::new())).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::gen;
+
+    #[test]
+    fn rev_is_an_involution_mapping_edges_to_their_reverse() {
+        for g in [
+            gen::gnp(60, 0.1, 3),
+            gen::cycle(9),
+            gen::complete(7),
+            gen::star(5),
+            gen::path(0),
+        ] {
+            let plane: MailboxPlane<()> = MailboxPlane::new(&g);
+            let offsets = g.offsets();
+            let adj = g.adjacency();
+            assert_eq!(plane.slots.len(), adj.len());
+            assert_eq!(plane.bcast.len(), g.n());
+            for v in 0..g.n() {
+                for (j, &u) in g.neighbors(v as NodeId).iter().enumerate() {
+                    let x = offsets[v] + j;
+                    let e = plane.rev[x] as usize;
+                    // e is an out-edge of u pointing at v...
+                    assert!(offsets[u as usize] <= e && e < offsets[u as usize + 1]);
+                    assert_eq!(adj[e], v as NodeId);
+                    // ...and reversing it again returns to x.
+                    assert_eq!(plane.rev[e] as usize, x);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_index_resolves_and_rejects() {
+        let mut idx = NeighborIndex::new(10);
+        idx.fill(&[1, 4, 7]);
+        assert_eq!(idx.get(1), Some(0));
+        assert_eq!(idx.get(4), Some(1));
+        assert_eq!(idx.get(7), Some(2));
+        assert_eq!(idx.get(2), None);
+        assert_eq!(idx.get(99), None, "out-of-range ids are not neighbors");
+        // Refilling for another node invalidates earlier marks.
+        idx.fill(&[2]);
+        assert_eq!(idx.get(1), None);
+        assert_eq!(idx.get(2), Some(0));
+    }
+
+    #[derive(Clone)]
+    struct Bit8;
+    impl Message for Bit8 {
+        fn bit_cost(&self) -> u64 {
+            8
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn sink_fixture<'a>(
+        cells: &'a [PlaneCell<Slot<Bit8>>],
+        spill: &'a [PlaneCell<Vec<(Bit8, u32)>>],
+        bcast: &'a PlaneCell<Slot<Bit8>>,
+        bcast_spill: &'a PlaneCell<Vec<(Bit8, u32)>>,
+        rev_out: &'a [u32],
+        epoch: u64,
+        lookup: &'a mut NeighborIndex,
+        err: &'a mut Option<SimError>,
+    ) -> SlotSink<'a, Bit8> {
+        SlotSink {
+            slots: cells,
+            spill,
+            bcast,
+            bcast_spill,
+            rev_out,
+            epoch,
+            seq: 0,
+            targeted: 0,
+            broadcasts: 0,
+            lookup,
+            filled: false,
+            err,
+        }
+    }
+
+    #[test]
+    fn slot_writes_accumulate_and_epoch_reset_clears_in_place() {
+        let cells = [PlaneCell::new(Slot::<Bit8> {
+            stamp: u64::MAX,
+            bits: 0,
+            spilled: 0,
+            seq: 0,
+            first: None,
+        })];
+        let spill = [PlaneCell::new(Vec::new())];
+        let bcast = PlaneCell::new(Slot::<Bit8> {
+            stamp: u64::MAX,
+            bits: 0,
+            spilled: 0,
+            seq: 0,
+            first: None,
+        });
+        let bcast_spill = PlaneCell::new(Vec::new());
+        let rev_out = [0u32];
+        let mut lookup = NeighborIndex::new(1);
+        let mut err = None;
+        let mut sink = sink_fixture(
+            &cells,
+            &spill,
+            &bcast,
+            &bcast_spill,
+            &rev_out,
+            0,
+            &mut lookup,
+            &mut err,
+        );
+        sink.write(0, Bit8);
+        sink.write_bcast(Bit8);
+        sink.write(0, Bit8);
+        assert_eq!((sink.targeted, sink.broadcasts, sink.seq), (2, 1, 3));
+        // SAFETY: single-threaded test, no other accessor.
+        let slot = unsafe { &mut *cells[0].get() };
+        assert_eq!((slot.bits, slot.spilled, slot.seq), (16, 1, 0));
+        // The spilled targeted message carries its send sequence (2).
+        assert_eq!(unsafe { &*spill[0].get() }[0].1, 2);
+        let b = unsafe { &mut *bcast.get() };
+        assert_eq!((b.bits, b.spilled, b.seq), (8, 0, 1));
+        // A later epoch resets lazily on the next write.
+        let mut sink = sink_fixture(
+            &cells,
+            &spill,
+            &bcast,
+            &bcast_spill,
+            &rev_out,
+            5,
+            &mut lookup,
+            &mut err,
+        );
+        sink.write(0, Bit8);
+        let slot = unsafe { &mut *cells[0].get() };
+        assert_eq!((slot.stamp, slot.bits, slot.spilled), (5, 8, 0));
+        assert!(unsafe { &*spill[0].get() }.is_empty());
+    }
+}

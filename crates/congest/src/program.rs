@@ -1,6 +1,8 @@
 //! Node programs and their per-round execution context.
 
+use crate::error::SimError;
 use crate::message::Message;
+use crate::plane::Sink;
 use graphs::NodeId;
 use rand::rngs::StdRng;
 
@@ -30,7 +32,7 @@ pub struct Ctx<'a, M> {
     pub(crate) neighbors: &'a [NodeId],
     pub(crate) inbox: &'a [(NodeId, M)],
     pub(crate) rng: &'a mut StdRng,
-    pub(crate) outbox: &'a mut Vec<(NodeId, M)>,
+    pub(crate) sink: Sink<'a, M>,
 }
 
 impl<'a, M: Message> Ctx<'a, M> {
@@ -55,12 +57,20 @@ impl<'a, M: Message> Ctx<'a, M> {
     }
 
     /// Position of `u` in the sorted neighbor list, if adjacent.
+    ///
+    /// O(log deg); the engine's own send path resolves destinations in
+    /// O(1) through the mailbox plane's neighbor index instead.
     pub fn neighbor_index(&self, u: NodeId) -> Option<usize> {
         self.neighbors.binary_search(&u).ok()
     }
 
-    /// Messages delivered this round, as `(sender, message)` pairs sorted
-    /// by sender id.
+    /// Messages delivered this round, as `(sender, message)` pairs.
+    ///
+    /// **Arrival order is a documented guarantee:** the inbox is sorted by
+    /// sender id (the receiver's CSR neighbor order), and messages from
+    /// one sender appear in the order that sender's `send`/`broadcast`
+    /// calls issued them — regardless of the order destinations were
+    /// addressed in, and regardless of the engine's thread count.
     pub fn inbox(&self) -> &'a [(NodeId, M)] {
         self.inbox
     }
@@ -76,14 +86,41 @@ impl<'a, M: Message> Ctx<'a, M> {
     /// Sending to a non-neighbor is reported by the engine as
     /// [`crate::SimError::NotANeighbor`].
     pub fn send(&mut self, to: NodeId, msg: M) {
-        self.outbox.push((to, msg));
+        match &mut self.sink {
+            Sink::Slots(s) => match s.resolve(self.neighbors, to) {
+                Some(k) => s.write(k, msg),
+                None => {
+                    if s.err.is_none() {
+                        *s.err = Some(SimError::NotANeighbor {
+                            from: self.node,
+                            to,
+                            round: self.round,
+                        });
+                    }
+                }
+            },
+            Sink::Outbox(out) => out.push((to, msg)),
+        }
     }
 
     /// Send a copy of `msg` to every neighbor.
+    ///
+    /// On the mailbox plane this is a single write into the node's
+    /// broadcast slot — no destination resolution, no per-edge storage;
+    /// the per-neighbor copies are cloned at delivery.
     pub fn broadcast(&mut self, msg: M) {
-        for i in 0..self.neighbors.len() {
-            let to = self.neighbors[i];
-            self.outbox.push((to, msg.clone()));
+        match &mut self.sink {
+            Sink::Slots(s) => {
+                if self.neighbors.is_empty() {
+                    return;
+                }
+                s.write_bcast(msg);
+            }
+            Sink::Outbox(out) => {
+                for &to in self.neighbors {
+                    out.push((to, msg.clone()));
+                }
+            }
         }
     }
 }
@@ -105,7 +142,7 @@ mod tests {
             neighbors: &neighbors,
             inbox: &inbox,
             rng: &mut rng,
-            outbox: &mut outbox,
+            sink: Sink::Outbox(&mut outbox),
         };
         assert_eq!(ctx.id(), 5);
         assert_eq!(ctx.round(), 2);

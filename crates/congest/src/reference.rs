@@ -1,0 +1,212 @@
+//! The pre-mailbox-plane engine, preserved verbatim as a baseline.
+//!
+//! [`run_reference`] is the sort-and-scatter message plane this repo
+//! shipped with before the CSR edge-indexed mailbox landed in
+//! [`crate::run`]: per-node `Vec<(NodeId, Msg)>` outboxes, a per-round
+//! `sort_by_key` to group each outbox by destination, a `binary_search`
+//! neighbor check per destination group, and scattered
+//! `inboxes[dst].push(..)` delivery. It exists for two reasons:
+//!
+//! 1. **Differential testing** — `tests/prop_invariants.rs` and the
+//!    engine unit tests assert that the mailbox plane produces the exact
+//!    same [`RunReport`]s, final program states, and inbox orders.
+//! 2. **Benchmarking** — `crates/bench/benches/engine_plane.rs` and
+//!    experiment E0 measure the new plane against this one.
+//!
+//! It is *not* part of the supported API surface for protocols; use
+//! [`crate::run`].
+
+use crate::error::SimError;
+use crate::message::Message;
+use crate::metrics::RunReport;
+use crate::plane::Sink;
+use crate::program::{Ctx, Program};
+use crate::{Bandwidth, SimConfig};
+use graphs::{Graph, NodeId};
+use prand::mix::mix2;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Run `programs` on the legacy outbox plane. Same contract as
+/// [`crate::run`], bit-for-bit identical results, allocation-heavy
+/// routing.
+///
+/// # Errors
+///
+/// Same as [`crate::run`].
+///
+/// # Panics
+///
+/// Panics if `programs.len() != graph.n()`.
+pub fn run_reference<P: Program>(
+    graph: &Graph,
+    mut programs: Vec<P>,
+    config: SimConfig,
+) -> Result<(Vec<P>, RunReport), SimError> {
+    assert_eq!(
+        programs.len(),
+        graph.n(),
+        "need exactly one program per node"
+    );
+    let n = graph.n();
+    let mut rngs: Vec<StdRng> = (0..n)
+        .map(|v| StdRng::seed_from_u64(mix2(config.seed, v as u64)))
+        .collect();
+    let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+    let mut outboxes: Vec<Vec<(NodeId, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+    let mut report = RunReport {
+        completed: true,
+        ..Default::default()
+    };
+
+    let mut round = 0u64;
+    loop {
+        if programs.iter().all(|p| p.is_done()) {
+            break;
+        }
+        if round >= config.max_rounds {
+            report.completed = false;
+            break;
+        }
+
+        // Step phase: every node reads its inbox and fills its outbox.
+        step_all(
+            graph,
+            &mut programs,
+            &mut rngs,
+            &inboxes,
+            &mut outboxes,
+            round,
+            config.threads,
+        );
+
+        // Routing phase: account bandwidth and deliver.
+        for inbox in &mut inboxes {
+            inbox.clear();
+        }
+        let mut round_max_edge_bits = 0u64;
+        for (src, out) in outboxes.iter_mut().enumerate() {
+            if out.is_empty() {
+                continue;
+            }
+            // Group by destination to compute per-directed-edge load.
+            out.sort_by_key(|&(dst, _)| dst);
+            let mut i = 0;
+            while i < out.len() {
+                let dst = out[i].0;
+                if graph.neighbors(src as NodeId).binary_search(&dst).is_err() {
+                    return Err(SimError::NotANeighbor {
+                        from: src as NodeId,
+                        to: dst,
+                        round,
+                    });
+                }
+                let mut edge_bits = 0u64;
+                let mut j = i;
+                while j < out.len() && out[j].0 == dst {
+                    edge_bits += out[j].1.bit_cost();
+                    j += 1;
+                }
+                if let Bandwidth::Strict(limit) = config.bandwidth {
+                    if edge_bits > limit {
+                        return Err(SimError::BandwidthExceeded {
+                            from: src as NodeId,
+                            to: dst,
+                            bits: edge_bits,
+                            limit,
+                            round,
+                        });
+                    }
+                }
+                round_max_edge_bits = round_max_edge_bits.max(edge_bits);
+                report.total_bits += edge_bits;
+                report.messages += (j - i) as u64;
+                i = j;
+            }
+            for (dst, msg) in out.drain(..) {
+                inboxes[dst as usize].push((src as NodeId, msg));
+            }
+        }
+        report.edge_load.record(round_max_edge_bits);
+        round += 1;
+    }
+    report.rounds = round;
+    Ok((programs, report))
+}
+
+/// Execute the step phase, optionally sharded over threads. Each node only
+/// touches its own program, RNG and outbox, so sharding cannot change
+/// results.
+fn step_all<P: Program>(
+    graph: &Graph,
+    programs: &mut [P],
+    rngs: &mut [StdRng],
+    inboxes: &[Vec<(NodeId, P::Msg)>],
+    outboxes: &mut [Vec<(NodeId, P::Msg)>],
+    round: u64,
+    threads: usize,
+) {
+    let n = programs.len();
+    if threads <= 1 || n < 256 {
+        for v in 0..n {
+            step_one(
+                graph,
+                &mut programs[v],
+                &mut rngs[v],
+                &inboxes[v],
+                &mut outboxes[v],
+                v,
+                round,
+            );
+        }
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut prog_chunks = programs.chunks_mut(chunk);
+        let mut rng_chunks = rngs.chunks_mut(chunk);
+        let mut out_chunks = outboxes.chunks_mut(chunk);
+        let mut base = 0usize;
+        for _ in 0..threads {
+            let (Some(ps), Some(rs), Some(os)) =
+                (prog_chunks.next(), rng_chunks.next(), out_chunks.next())
+            else {
+                break;
+            };
+            let start = base;
+            base += ps.len();
+            let inboxes = &inboxes;
+            scope.spawn(move || {
+                for (i, ((p, r), o)) in ps
+                    .iter_mut()
+                    .zip(rs.iter_mut())
+                    .zip(os.iter_mut())
+                    .enumerate()
+                {
+                    let v = start + i;
+                    step_one(graph, p, r, &inboxes[v], o, v, round);
+                }
+            });
+        }
+    });
+}
+
+fn step_one<P: Program>(
+    graph: &Graph,
+    program: &mut P,
+    rng: &mut StdRng,
+    inbox: &[(NodeId, P::Msg)],
+    outbox: &mut Vec<(NodeId, P::Msg)>,
+    v: usize,
+    round: u64,
+) {
+    let mut ctx = Ctx {
+        node: v as NodeId,
+        round,
+        neighbors: graph.neighbors(v as NodeId),
+        inbox,
+        rng,
+        sink: Sink::Outbox(outbox),
+    };
+    program.on_round(&mut ctx);
+}

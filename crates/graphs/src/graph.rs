@@ -80,6 +80,23 @@ impl Graph {
         &self.adj[self.offsets[v]..self.offsets[v + 1]]
     }
 
+    /// CSR row offsets, length `n + 1`.
+    ///
+    /// Node `v`'s neighbors occupy
+    /// `adjacency()[offsets()[v]..offsets()[v + 1]]`, so `offsets()[v] + k`
+    /// is the **directed edge id** of the edge from `v` to its `k`-th
+    /// neighbor — the key the simulator's mailbox plane indexes by.
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The flat adjacency array, length `2m`, indexed by directed edge id.
+    #[inline]
+    pub fn adjacency(&self) -> &[NodeId] {
+        &self.adj
+    }
+
     /// Whether the undirected edge `{u, v}` is present.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         // Search the shorter adjacency list.
@@ -366,6 +383,17 @@ mod tests {
         let g = b.build();
         assert_eq!(g.n(), 4);
         assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn csr_accessors_expose_edge_ids() {
+        let g = triangle();
+        assert_eq!(g.offsets(), &[0, 2, 4, 6]);
+        assert_eq!(g.adjacency().len(), 2 * g.m());
+        for v in 0..3u32 {
+            let (lo, hi) = (g.offsets()[v as usize], g.offsets()[v as usize + 1]);
+            assert_eq!(&g.adjacency()[lo..hi], g.neighbors(v));
+        }
     }
 
     #[test]

@@ -39,12 +39,7 @@ fn main() {
         "census of {} nodes in {} rounds (max {} bits/edge/round)\n",
         graph.n(),
         report.rounds,
-        report
-            .max_edge_bits_per_round
-            .iter()
-            .max()
-            .copied()
-            .unwrap_or(0)
+        report.max_edge_bits()
     );
 
     println!(

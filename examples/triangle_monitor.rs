@@ -37,11 +37,7 @@ fn main() {
     println!(
         "\ndetector finished in {} rounds, max {} bits on any edge",
         run.rounds,
-        run.max_edge_bits_per_round
-            .iter()
-            .max()
-            .copied()
-            .unwrap_or(0)
+        run.max_edge_bits()
     );
     println!("threshold εΔ = {:.1}; flagged edges:", report.threshold);
     for &(u, v) in &report.flagged {

@@ -28,6 +28,11 @@ bench-smoke:
 bench:
     cargo bench --workspace
 
+# Engine-plane microbench (E0) → machine-readable JSON (full scale;
+# BENCH_2.json at the repo root is the committed snapshot of this).
+bench-json:
+    cargo run --release -p bench --bin experiments -- --json bench.json E0
+
 # Run every example end-to-end with its built-in tiny inputs.
 examples:
     cargo run -q --release --example quickstart

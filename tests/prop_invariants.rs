@@ -137,3 +137,154 @@ proptest! {
         prop_assert!(check_coloring(&g, &lists, &coloring).is_err());
     }
 }
+
+/// Differential harness for the engine's mailbox plane (PR 2): a chatty
+/// protocol that uses both plane lanes, per-node randomness, and uneven
+/// termination, run on the CSR mailbox plane across thread counts and on
+/// the pre-PR reference plane. Everything observable must agree.
+mod plane_vs_reference {
+    use congest_coloring::congest::reference::run_reference;
+    use congest_coloring::congest::{self, Ctx, Message, Program, SimConfig};
+    use congest_coloring::graphs::{gen, Graph, NodeId};
+    use rand::Rng;
+
+    #[derive(Clone, PartialEq, Debug)]
+    pub struct Note(pub u64);
+
+    impl Message for Note {
+        fn bit_cost(&self) -> u64 {
+            24
+        }
+    }
+
+    /// Each round: record the full inbox into a running transcript hash,
+    /// then (pseudo-randomly, per-node) broadcast, send to a random
+    /// subset of neighbors in a rotated order, or both interleaved.
+    /// Nodes finish after `id % 7 + 3` active rounds, so done/undone
+    /// nodes coexist.
+    #[derive(Clone)]
+    pub struct Chatter {
+        pub transcript: u64,
+        pub left: u32,
+        pub done: bool,
+    }
+
+    impl Program for Chatter {
+        type Msg = Note;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, Note>) {
+            if self.done {
+                return;
+            }
+            for &(u, Note(x)) in ctx.inbox() {
+                self.transcript = self
+                    .transcript
+                    .wrapping_mul(0x100_0000_01b3)
+                    .wrapping_add(x ^ (u64::from(u) << 32));
+            }
+            if self.left == 0 {
+                self.done = true;
+                return;
+            }
+            self.left -= 1;
+            let neighbors: Vec<NodeId> = ctx.neighbors().to_vec();
+            let style = ctx.rng().gen_range(0u32..4);
+            let payload = Note(self.transcript ^ u64::from(ctx.id()));
+            match style {
+                0 => ctx.broadcast(payload),
+                1 => {
+                    // Rotated targeted sends (shuffled destination order).
+                    let rot = ctx.rng().gen_range(0..neighbors.len().max(1));
+                    for i in 0..neighbors.len() {
+                        let w = neighbors[(i + rot) % neighbors.len()];
+                        ctx.send(w, Note(payload.0.wrapping_add(i as u64)));
+                    }
+                }
+                2 => {
+                    // Both lanes interleaved, duplicates included.
+                    if let Some(&w) = neighbors.first() {
+                        ctx.send(w, Note(payload.0 ^ 1));
+                    }
+                    ctx.broadcast(payload.clone());
+                    if let Some(&w) = neighbors.last() {
+                        ctx.send(w, Note(payload.0 ^ 2));
+                        ctx.send(w, Note(payload.0 ^ 3));
+                    }
+                }
+                _ => {} // silent round
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.done
+        }
+    }
+
+    pub fn chatter_programs(n: usize) -> Vec<Chatter> {
+        (0..n)
+            .map(|v| Chatter {
+                transcript: 0,
+                left: (v % 7 + 3) as u32,
+                done: false,
+            })
+            .collect()
+    }
+
+    pub fn graph_for(kind: usize, n: usize, p: f64, seed: u64) -> Graph {
+        match kind % 5 {
+            0 => gen::gnp(n, p, seed),
+            1 => gen::cycle(n),
+            2 => gen::complete(n.min(60)),
+            3 => gen::grid(n / 8 + 1, 8),
+            4 => gen::chung_lu(n, 2.5, 8.0, seed),
+            _ => unreachable!(),
+        }
+    }
+
+    pub fn assert_planes_agree(graph: &Graph, seed: u64) -> Result<(), String> {
+        let n = graph.n();
+        let cfg = SimConfig::seeded(seed);
+        let (ref_progs, ref_report) =
+            run_reference(graph, chatter_programs(n), cfg).map_err(|e| format!("{e:?}"))?;
+        for threads in [1usize, 2, 8] {
+            let cfg = SimConfig {
+                threads,
+                ..SimConfig::seeded(seed)
+            };
+            let (progs, report) =
+                congest::run(graph, chatter_programs(n), cfg).map_err(|e| format!("{e:?}"))?;
+            if report != ref_report {
+                return Err(format!("RunReport diverged at threads={threads}"));
+            }
+            for (v, (a, b)) in progs.iter().zip(&ref_progs).enumerate() {
+                if a.transcript != b.transcript {
+                    return Err(format!(
+                        "transcript diverged at node {v}, threads={threads}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// PR-2 satellite: the CSR mailbox plane is observably identical to
+    /// the pre-PR sort-and-scatter plane — same `RunReport`, same final
+    /// program states — for every generator family, seed, and
+    /// `threads ∈ {1, 2, 8}` (node counts straddle the engine's
+    /// parallel threshold).
+    #[test]
+    fn mailbox_plane_matches_reference_semantics(
+        kind in 0usize..5,
+        n in 2usize..400,
+        p in 0.0f64..0.15,
+        gseed in 0u64..1000,
+        seed in 0u64..1000,
+    ) {
+        let graph = plane_vs_reference::graph_for(kind, n, p, gseed);
+        if let Err(msg) = plane_vs_reference::assert_planes_agree(&graph, seed) {
+            prop_assert!(false, "{}", msg);
+        }
+    }
+}
