@@ -1,0 +1,273 @@
+//! The claim checker: fits measured sweep curves against the paper's
+//! asymptotic forms and emits pass/warn verdicts.
+//!
+//! The paper proves *asymptotic* statements (`O(log^5 log n)` rounds,
+//! `O(log n)` bits per edge per round); a finite sweep can never verify an
+//! asymptotic bound, but it can check **consistency**: across a geometric
+//! ladder `n_0 < n_1 < … < n_k`, the measured growth of a metric must not
+//! outpace the growth the claimed form allows, with a fixed slack factor
+//! for constants and noise. Operationally (see DESIGN.md §5):
+//!
+//! > A metric `v(n)` is *consistent with* `O(f(n))` over a ladder when
+//! > `v(n_k)/v(n_0) ≤ SLACK · f(n_k)/f(n_0)`, using per-`n` means across
+//! > seeds and `SLACK = 1.5`.
+//!
+//! A failed check yields [`Verdict::Warn`], not a hard error: sweeps are
+//! measurements, and the generated EXPERIMENTS.md records the verdict so a
+//! regression shows up as a diff (which the CI drift gate catches), not as
+//! a flaky red build.
+
+use crate::table::f2;
+
+/// Slack factor the growth-ratio test allows over the claimed form
+/// (absorbs lower-order terms, constants settling, and seed noise).
+pub const GROWTH_SLACK: f64 = 1.5;
+
+/// An asymptotic growth form `f(n)` the paper claims for some metric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Form {
+    /// `O(log^k log n)` — the paper's poly-log-log round bounds
+    /// (Theorem 1: `k = 5`; Corollary 1: `k = 3`).
+    PolyLogLog(u32),
+    /// `O(log n)` — the classical baseline round bound and the CONGEST
+    /// bandwidth budget.
+    LogN,
+    /// `O(log* n)` — treated as constant across any laptop-scale ladder
+    /// (log* is 4–5 for every feasible `n`).
+    LogStar,
+}
+
+impl Form {
+    /// Human-readable form label (used in reports and JSON).
+    pub fn label(self) -> String {
+        match self {
+            Form::PolyLogLog(k) => format!("O(log^{k} log n)"),
+            Form::LogN => "O(log n)".to_string(),
+            Form::LogStar => "O(log* n)".to_string(),
+        }
+    }
+
+    /// Evaluate the growth function at `n` (clamped so iterated logs stay
+    /// positive and ratios are well defined).
+    pub fn eval(self, n: f64) -> f64 {
+        match self {
+            Form::PolyLogLog(k) => n.max(4.0).log2().log2().max(1.0).powi(k as i32),
+            Form::LogN => n.max(2.0).log2(),
+            Form::LogStar => 1.0,
+        }
+    }
+}
+
+/// Outcome of one consistency check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Measured growth is within the allowed envelope.
+    Pass,
+    /// Measured growth exceeds the envelope — flagged for attention.
+    Warn,
+}
+
+impl Verdict {
+    /// Stable lowercase tag used in JSON and reports.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Verdict::Pass => "pass",
+            Verdict::Warn => "warn",
+        }
+    }
+}
+
+/// One checked claim: which metric, against which form, with what result.
+#[derive(Clone, Debug)]
+pub struct ClaimCheck {
+    /// Metric name (`"rounds"`, `"max-edge-bits"`, …).
+    pub metric: String,
+    /// The claimed form's label (e.g. `"O(log^5 log n)"`).
+    pub form: String,
+    /// Pass/warn verdict.
+    pub verdict: Verdict,
+    /// Deterministic human-readable evidence (ratios and fitted constant).
+    pub detail: String,
+}
+
+/// Check that measured `points` (ladder size `n` → per-`n` mean of the
+/// metric) are consistent with `O(f(n))` growth.
+///
+/// Points need not be sorted; at least two distinct sizes are required
+/// (otherwise the check degenerates to a [`Verdict::Warn`] explaining so).
+///
+/// # Example
+///
+/// ```
+/// use bench::claims::{check_growth, Form, Verdict};
+///
+/// // A curve that really grows like (log log n)^5 …
+/// let curve: Vec<(f64, f64)> = [1024.0, 4096.0, 16384.0, 65536.0]
+///     .iter()
+///     .map(|&n| (n, 3.0 * Form::PolyLogLog(5).eval(n)))
+///     .collect();
+/// // … is consistent with its own form but not with O(log* n).
+/// assert_eq!(check_growth("rounds", Form::PolyLogLog(5), &curve).verdict, Verdict::Pass);
+/// assert_eq!(check_growth("rounds", Form::LogStar, &curve).verdict, Verdict::Warn);
+/// ```
+pub fn check_growth(metric: &str, form: Form, points: &[(f64, f64)]) -> ClaimCheck {
+    let mut pts: Vec<(f64, f64)> = points.to_vec();
+    pts.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in sweep data"));
+    pts.dedup_by(|a, b| a.0 == b.0);
+    if pts.len() < 2 {
+        return ClaimCheck {
+            metric: metric.to_string(),
+            form: form.label(),
+            verdict: Verdict::Warn,
+            detail: format!(
+                "need >= 2 ladder sizes to fit a growth form, got {}",
+                pts.len()
+            ),
+        };
+    }
+    let (n0, v0) = pts[0];
+    let (n1, v1) = pts[pts.len() - 1];
+    // A zero baseline cannot form a ratio: nonzero growth out of zero is
+    // unbounded (warn), zero-to-zero is flat (pass). No clamping — a
+    // fractional baseline must not understate measured growth.
+    let measured = if v0 > 0.0 {
+        v1 / v0
+    } else if v1 > 0.0 {
+        f64::INFINITY
+    } else {
+        1.0
+    };
+    let form_ratio = form.eval(n1) / form.eval(n0);
+    let allowed = GROWTH_SLACK * form_ratio;
+    // Fitted leading constant: mean of v_i / f(n_i) over the ladder.
+    let c = pts.iter().map(|&(n, v)| v / form.eval(n)).sum::<f64>() / pts.len() as f64;
+    let verdict = if measured <= allowed {
+        Verdict::Pass
+    } else {
+        Verdict::Warn
+    };
+    ClaimCheck {
+        metric: metric.to_string(),
+        form: form.label(),
+        verdict,
+        detail: format!(
+            "growth x{} over n {}..{} vs allowed x{} (slack {} x form x{}); fitted c~{}",
+            f2(measured),
+            n0 as u64,
+            n1 as u64,
+            f2(allowed),
+            f2(GROWTH_SLACK),
+            f2(form_ratio),
+            f2(c),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A ladder of n values paired with `v(n)` for the given function.
+    fn curve(f: impl Fn(f64) -> f64) -> Vec<(f64, f64)> {
+        [1024.0f64, 2048.0, 4096.0, 8192.0, 16384.0, 65536.0]
+            .iter()
+            .map(|&n| (n, f(n)))
+            .collect()
+    }
+
+    #[test]
+    fn polyloglog_curve_passes_its_own_form() {
+        for k in [3u32, 5] {
+            let pts = curve(|n| 2.5 * Form::PolyLogLog(k).eval(n) + 10.0);
+            let c = check_growth("rounds", Form::PolyLogLog(k), &pts);
+            assert_eq!(c.verdict, Verdict::Pass, "{}", c.detail);
+        }
+    }
+
+    #[test]
+    fn log_curve_passes_log_but_fails_logstar() {
+        let pts = curve(|n| 4.0 * n.log2());
+        assert_eq!(check_growth("r", Form::LogN, &pts).verdict, Verdict::Pass);
+        assert_eq!(
+            check_growth("r", Form::LogStar, &pts).verdict,
+            Verdict::Warn
+        );
+    }
+
+    #[test]
+    fn flat_curve_passes_every_form() {
+        let pts = curve(|_| 42.0);
+        for form in [Form::PolyLogLog(5), Form::LogN, Form::LogStar] {
+            assert_eq!(check_growth("r", form, &pts).verdict, Verdict::Pass);
+        }
+    }
+
+    #[test]
+    fn polynomial_curve_fails_every_claimed_form() {
+        let pts = curve(|n| n.sqrt());
+        for form in [Form::PolyLogLog(5), Form::PolyLogLog(3), Form::LogN] {
+            let c = check_growth("r", form, &pts);
+            assert_eq!(c.verdict, Verdict::Warn, "{}", c.detail);
+        }
+    }
+
+    #[test]
+    fn log_growth_exceeds_polyloglog_on_wide_ladders() {
+        // Θ(log n) growth must *not* be mistaken for poly(log log n) once
+        // the ladder is wide enough for the forms to separate.
+        let pts: Vec<(f64, f64)> = (10..=40)
+            .step_by(2)
+            .map(|e| {
+                let n = (2.0f64).powi(e);
+                (n, 1.5 * n.log2())
+            })
+            .collect();
+        let c = check_growth("rounds", Form::PolyLogLog(1), &pts);
+        assert_eq!(c.verdict, Verdict::Warn, "{}", c.detail);
+    }
+
+    #[test]
+    fn fractional_and_zero_baselines_are_not_clamped() {
+        // 0.5 → 1.5 over one octave is 3.0x growth — above the O(log n)
+        // envelope (1.5 × log-ratio ≈ 1.65) — and must warn even though
+        // both values are below 1.
+        let pts = [(1024.0, 0.5), (2048.0, 1.5)];
+        assert_eq!(check_growth("r", Form::LogN, &pts).verdict, Verdict::Warn);
+        // Zero-to-nonzero is unbounded growth; zero-to-zero is flat.
+        let from_zero = [(1024.0, 0.0), (2048.0, 2.0)];
+        assert_eq!(
+            check_growth("r", Form::LogN, &from_zero).verdict,
+            Verdict::Warn
+        );
+        let all_zero = [(1024.0, 0.0), (2048.0, 0.0)];
+        assert_eq!(
+            check_growth("r", Form::LogN, &all_zero).verdict,
+            Verdict::Pass
+        );
+    }
+
+    #[test]
+    fn single_point_warns() {
+        let c = check_growth("r", Form::LogN, &[(1024.0, 10.0)]);
+        assert_eq!(c.verdict, Verdict::Warn);
+        assert!(c.detail.contains("need >= 2"));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Form::PolyLogLog(5).label(), "O(log^5 log n)");
+        assert_eq!(Form::LogN.label(), "O(log n)");
+        assert_eq!(Form::LogStar.label(), "O(log* n)");
+        assert_eq!(Verdict::Pass.tag(), "pass");
+        assert_eq!(Verdict::Warn.tag(), "warn");
+    }
+
+    #[test]
+    fn detail_is_deterministic() {
+        let pts = curve(|n| 3.0 * n.log2());
+        let a = check_growth("rounds", Form::LogN, &pts);
+        let b = check_growth("rounds", Form::LogN, &pts);
+        assert_eq!(a.detail, b.detail);
+        assert!(a.detail.contains("fitted c~3.00"), "{}", a.detail);
+    }
+}

@@ -7,6 +7,7 @@
 //! * **A3** the dense machinery (SynchColorTrial + put-aside): disabling
 //!   it dumps almost-clique members onto the generic slack path.
 
+use crate::scenario::{Scenario, TableScenario};
 use crate::table::{f2, f3, mean, Table};
 use crate::workloads::Scale;
 use congest::SimConfig;
@@ -18,6 +19,30 @@ use estimate::{estimate_similarity, SimilarityScheme};
 use graphs::{gen, NodeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Registry entries for this module (E16a/b/c).
+pub fn scenarios() -> Vec<Box<dyn Scenario>> {
+    vec![
+        TableScenario::boxed(
+            "E16a",
+            "Ablation: MultiTrial window sigma",
+            "sigma = Theta(log n) suffices; tiny windows starve the color sampler",
+            ablation_sigma,
+        ),
+        TableScenario::boxed(
+            "E16b",
+            "Ablation: Alg. 1 scale-up",
+            "Under simulated advice the scale-up step is statistically neutral",
+            ablation_scaleup,
+        ),
+        TableScenario::boxed(
+            "E16c",
+            "Ablation: dense machinery",
+            "Without ACD + SynchColorTrial + put-aside, dense nodes fall to fallback/cleanup",
+            ablation_dense_machinery,
+        ),
+    ]
+}
 
 /// A1: MultiTrial success rate as a function of the window σ.
 pub fn ablation_sigma(scale: Scale) -> Table {

@@ -1,6 +1,7 @@
 //! Experiments E13–E15: almost-clique decomposition quality, slack
 //! generation, and leader selection.
 
+use crate::scenario::{Scenario, TableScenario};
 use crate::table::{f2, f3, mean, Table};
 use crate::workloads::Scale;
 use congest::SimConfig;
@@ -11,6 +12,30 @@ use d1lc::trycolor::TryColorPass;
 use d1lc::wire::ColorCodec;
 use d1lc::{AcdClass, NodeState, Palette, ParamProfile};
 use graphs::{analysis, gen, Graph, NodeId};
+
+/// Registry entries for this module (E13–E15).
+pub fn scenarios() -> Vec<Box<dyn Scenario>> {
+    vec![
+        TableScenario::boxed(
+            "E13",
+            "Almost-clique decomposition quality",
+            "Section 4.2 / Definition 6: planted clique members classify dense",
+            e13_acd,
+        ),
+        TableScenario::boxed(
+            "E14",
+            "GenerateSlack vs sparsity",
+            "Proposition 2: sparser neighborhoods gain more permanent slack",
+            e14_slack,
+        ),
+        TableScenario::boxed(
+            "E15",
+            "Leader selection quality",
+            "Appendix D.1, Lemma 12: the elected leader attains the clique minimum score",
+            e15_leader,
+        ),
+    ]
+}
 
 fn fresh_active(g: &Graph, extra: usize) -> Vec<NodeState> {
     let profile = ParamProfile::laptop();

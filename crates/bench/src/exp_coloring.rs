@@ -1,11 +1,42 @@
 //! Experiments E1–E3 and E11: round complexity and bandwidth of the D1LC
 //! pipeline versus the baselines.
 
+use crate::scenario::{Scenario, TableScenario};
 use crate::table::{f2, Table};
 use crate::workloads::{blend_window, gnp_d1c, gnp_window, high_degree, Scale};
 use congest::SimConfig;
 use d1lc::{solve, solve_random_trial, SolveOptions};
 use graphs::palette::random_lists;
+
+/// Registry entries for this module (E1–E3, E11).
+pub fn scenarios() -> Vec<Box<dyn Scenario>> {
+    vec![
+        TableScenario::boxed(
+            "E1",
+            "D1LC round complexity vs n",
+            "Theorem 1: D1LC solvable w.h.p. in O(log^5 log n) CONGEST rounds",
+            e1_rounds_vs_n,
+        ),
+        TableScenario::boxed(
+            "E2",
+            "High-min-degree regime",
+            "Theorem 1(b): above the phase threshold the algorithm runs in O(log* n) rounds",
+            e2_high_degree,
+        ),
+        TableScenario::boxed(
+            "E3",
+            "D1C round complexity",
+            "Corollary 1: D1C solvable w.h.p. in O(log^3 log n) CONGEST rounds",
+            e3_d1c,
+        ),
+        TableScenario::boxed(
+            "E11",
+            "Bandwidth of one MultiTrial(x) operation",
+            "Hashed trials need O(log n) bits/edge; naive trials need Theta(x log|C|)",
+            e11_congestion,
+        ),
+    ]
+}
 
 fn log2(n: usize) -> f64 {
     (n.max(2) as f64).log2()

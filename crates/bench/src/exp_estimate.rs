@@ -1,5 +1,6 @@
 //! Experiments E4–E8: the §3 estimation and detection primitives.
 
+use crate::scenario::{Scenario, TableScenario};
 use crate::table::{f2, f3, mean, quantile, Table};
 use crate::workloads::Scale;
 use congest::SimConfig;
@@ -10,6 +11,42 @@ use estimate::{
 use graphs::{analysis, gen};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Registry entries for this module (E4–E8).
+pub fn scenarios() -> Vec<Box<dyn Scenario>> {
+    vec![
+        TableScenario::boxed(
+            "E4",
+            "EstimateSimilarity accuracy",
+            "Lemma 2: estimate within eps*max(|Su|,|Sv|) w.p. 1-nu",
+            e4_similarity,
+        ),
+        TableScenario::boxed(
+            "E5",
+            "JointSample agreement",
+            "Lemma 3: both parties output the same element w.p. 1-5eps/4-nu",
+            e5_joint_sample,
+        ),
+        TableScenario::boxed(
+            "E6",
+            "EstimateSparsity accuracy",
+            "Lemmas 4-5: global estimate within eps*Delta, local within eps*d_v",
+            e6_sparsity,
+        ),
+        TableScenario::boxed(
+            "E7",
+            "Local triangle finding",
+            "Theorem 2: each edge on >= eps*Delta triangles detected w.h.p.",
+            e7_triangles,
+        ),
+        TableScenario::boxed(
+            "E8",
+            "Local four-cycle finding",
+            "Theorem 3: each wedge on >= eps*Delta four-cycles detected w.h.p.",
+            e8_four_cycles,
+        ),
+    ]
+}
 
 /// E4 — Lemma 2: `EstimateSimilarity` accuracy and message cost.
 pub fn e4_similarity(scale: Scale) -> Table {

@@ -1,6 +1,7 @@
 //! Experiments E9, E10, E12: MultiTrial success probability, Lemma 1
 //! goodness fractions, and the uniform implementations.
 
+use crate::scenario::{Scenario, TableScenario};
 use crate::table::{f3, Table};
 use crate::workloads::Scale;
 use congest::SimConfig;
@@ -13,6 +14,30 @@ use graphs::{gen, Graph, NodeId};
 use prand::{RepHashFamily, RepParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Registry entries for this module (E9, E10, E12).
+pub fn scenarios() -> Vec<Box<dyn Scenario>> {
+    vec![
+        TableScenario::boxed(
+            "E9",
+            "MultiTrial(x) success probability",
+            "Lemma 6: one MultiTrial(x) colors v w.p. >= 1-(7/8)^x-2nu",
+            e9_multitrial,
+        ),
+        TableScenario::boxed(
+            "E10",
+            "Representative-family goodness",
+            "Lemma 1: at least a (1-nu) fraction of the family is (A,B)-good",
+            e10_rep_goodness,
+        ),
+        TableScenario::boxed(
+            "E12",
+            "Uniform implementations",
+            "Section 5: explicit hashing + samplers + ECC match the advice-based behaviour",
+            e12_uniform,
+        ),
+    ]
+}
 
 fn states_with_extra(g: &Graph, extra: usize, seed: u64) -> Vec<NodeState> {
     let profile = ParamProfile::laptop();

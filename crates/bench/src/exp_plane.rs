@@ -15,6 +15,7 @@
 //! identity the engine guarantees — so a perf regression can never hide
 //! a correctness one.
 
+use crate::scenario::{Scenario, TableScenario};
 use crate::table::{f2, Table};
 use crate::workloads::Scale;
 use congest::reference::run_reference;
@@ -22,10 +23,20 @@ use congest::{run, Ctx, Message, Program, RunReport, SimConfig};
 use graphs::{gen, Graph};
 use std::time::Instant;
 
+/// Registry entries for this module (E0).
+pub fn scenarios() -> Vec<Box<dyn Scenario>> {
+    vec![TableScenario::boxed(
+        "E0",
+        "Engine message-plane microbench",
+        "CSR mailbox plane >= 2x the sort-and-scatter reference at 1 thread",
+        e0_engine_plane,
+    )]
+}
+
 /// Rounds every node stays active (the workload's round budget).
-const ROUNDS: u32 = 50;
+pub const ROUNDS: u32 = 50;
 /// Repetitions per configuration; the minimum wall time is reported.
-const REPS: usize = 5;
+pub const REPS: usize = 5;
 
 /// The flood payload: one machine word costing a CONGEST-ish 20 bits.
 #[derive(Clone)]

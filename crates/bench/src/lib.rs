@@ -2,16 +2,36 @@
 //!
 //! The paper is a theory paper with no empirical evaluation section, so
 //! every quantitative claim (Theorem 1, Corollary 1, Lemmas 1–6,
-//! Theorems 2–3, the App. D constructions) is operationalized as an
-//! experiment E1–E15 (see DESIGN.md §4), and the simulator itself is
-//! benchmarked as experiment E0 (the message-plane microbench). Each
-//! experiment function builds its workload, runs the relevant system, and
-//! returns a printable [`Table`]; the `experiments` binary renders them
-//! all (and mirrors them to JSON via `--json`), and `EXPERIMENTS.md`
-//! records paper-claim vs measured shape.
+//! Theorems 2–3, the App. D constructions) is operationalized as a
+//! runnable [`Scenario`]:
+//!
+//! * **Table experiments** (`E0`–`E16c`, modules `exp_*`) — one-off
+//!   measurements rendered as a printable [`Table`];
+//! * **Ladder sweeps** (`S1`–`S6`, [`scenario::sweep_scenarios`]) — a
+//!   declarative graph-family × scale-ladder × algorithm × seed-set ×
+//!   thread-count grid ([`sweep::SweepSpec`]) whose measurements are
+//!   checked against the paper's asymptotic forms ([`claims`]) and
+//!   rendered into the generated `EXPERIMENTS.md` ([`report`]).
+//!
+//! The `experiments` binary runs any subset by id ([`registry`] lists
+//! everything), mirrors results to the `BENCH_*.json` format ([`json`]),
+//! and regenerates `EXPERIMENTS.md` (`just experiments-md`).
+//!
+//! # Example
+//!
+//! ```
+//! // Every catalog entry is runnable and carries its paper claim.
+//! let reg = bench::registry();
+//! assert!(reg.iter().any(|s| s.id() == "S1"));
+//! for s in reg.iter().filter(|s| s.id() == "E16b") {
+//!     let outcome = s.run(bench::Scale::Quick);
+//!     assert!(!outcome.table.is_empty());
+//! }
+//! ```
 
 #![warn(missing_docs)]
 
+pub mod claims;
 pub mod exp_ablation;
 pub mod exp_acd;
 pub mod exp_coloring;
@@ -19,37 +39,16 @@ pub mod exp_estimate;
 pub mod exp_hash;
 pub mod exp_plane;
 pub mod json;
+pub mod report;
+pub mod scenario;
+pub mod sweep;
 pub mod table;
 pub mod workloads;
 
+pub use scenario::{registry, Scenario, ScenarioOutcome};
 pub use table::Table;
 pub use workloads::Scale;
 
-/// An experiment runner: builds its workload at the given [`Scale`] and
-/// returns a printable [`Table`].
+/// A table experiment runner: builds its workload at the given [`Scale`]
+/// and returns a printable [`Table`].
 pub type Experiment = fn(Scale) -> Table;
-
-/// All experiments in order, as `(id, runner)` pairs.
-pub fn all_experiments() -> Vec<(&'static str, Experiment)> {
-    vec![
-        ("E0", exp_plane::e0_engine_plane as Experiment),
-        ("E1", exp_coloring::e1_rounds_vs_n),
-        ("E2", exp_coloring::e2_high_degree),
-        ("E3", exp_coloring::e3_d1c),
-        ("E4", exp_estimate::e4_similarity),
-        ("E5", exp_estimate::e5_joint_sample),
-        ("E6", exp_estimate::e6_sparsity),
-        ("E7", exp_estimate::e7_triangles),
-        ("E8", exp_estimate::e8_four_cycles),
-        ("E9", exp_hash::e9_multitrial),
-        ("E10", exp_hash::e10_rep_goodness),
-        ("E11", exp_coloring::e11_congestion),
-        ("E12", exp_hash::e12_uniform),
-        ("E13", exp_acd::e13_acd),
-        ("E14", exp_acd::e14_slack),
-        ("E15", exp_acd::e15_leader),
-        ("E16a", exp_ablation::ablation_sigma),
-        ("E16b", exp_ablation::ablation_scaleup),
-        ("E16c", exp_ablation::ablation_dense_machinery),
-    ]
-}

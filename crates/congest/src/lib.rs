@@ -68,6 +68,6 @@ mod twoparty;
 pub use engine::{run, Bandwidth, SimConfig};
 pub use error::SimError;
 pub use message::Message;
-pub use metrics::{LoadProfile, PassLog, RunReport};
+pub use metrics::{LoadProfile, PassLog, PassRecord, RunReport, MAX_BUCKETS};
 pub use program::{Ctx, Program};
 pub use twoparty::BitTally;

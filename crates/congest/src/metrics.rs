@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 
 /// Distinct-bucket cap of a [`LoadProfile`]; beyond it the histogram
 /// coarsens by doubling its granularity.
-const MAX_BUCKETS: usize = 512;
+pub const MAX_BUCKETS: usize = 512;
 
 /// Streaming summary of the per-round maximum edge loads.
 ///
@@ -221,12 +221,58 @@ impl RunReport {
     }
 }
 
+/// One recorded engine pass: its name, the pipeline phase it ran under,
+/// and its metrics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PassRecord {
+    /// Pass name (e.g. `"acd-degrees"`, `"fallback"`).
+    pub name: String,
+    /// Phase label the pass was attributed to (empty when the driver never
+    /// called [`PassLog::set_phase`]).
+    pub phase: String,
+    /// The pass's engine metrics.
+    pub report: RunReport,
+}
+
 /// Accumulates reports across the named passes of a multi-pass pipeline
 /// (e.g. the D1LC pipeline runs ACD, slack generation, SlackColor, … as
 /// separate engine passes whose rounds add up).
+///
+/// Passes can additionally be grouped into coarser **phases**
+/// (setup / per-degree-range / fallback / cleanup in the Theorem 1
+/// pipeline): call [`set_phase`](PassLog::set_phase) at each phase
+/// boundary and every subsequently recorded pass is attributed to that
+/// phase. [`phase_breakdown`](PassLog::phase_breakdown) then folds the log
+/// into one aggregate [`RunReport`] per phase, which is how the bench
+/// crate's scenario sweeps report where the rounds went.
+///
+/// # Example
+///
+/// ```
+/// use congest::{LoadProfile, PassLog, RunReport};
+///
+/// let pass = |rounds| RunReport {
+///     rounds,
+///     edge_load: LoadProfile::from_loads(&vec![8; rounds as usize]),
+///     completed: true,
+///     ..Default::default()
+/// };
+/// let mut log = PassLog::new();
+/// log.set_phase("setup");
+/// log.record("codec-setup", pass(2));
+/// log.set_phase("color");
+/// log.record("trial", pass(5));
+/// log.record("trial", pass(3));
+/// let phases = log.phase_breakdown();
+/// assert_eq!(phases.len(), 2);
+/// assert_eq!(phases[0], ("setup".to_string(), 2));
+/// assert_eq!(phases[1], ("color".to_string(), 8));
+/// assert_eq!(log.total_rounds(), 10);
+/// ```
 #[derive(Clone, Debug, Default)]
 pub struct PassLog {
-    passes: Vec<(String, RunReport)>,
+    passes: Vec<PassRecord>,
+    current_phase: String,
 }
 
 impl PassLog {
@@ -235,49 +281,89 @@ impl PassLog {
         Self::default()
     }
 
-    /// Record a pass.
+    /// Start a new phase: every pass recorded from now on is attributed
+    /// to `name` (until the next `set_phase`).
+    pub fn set_phase(&mut self, name: impl Into<String>) {
+        self.current_phase = name.into();
+    }
+
+    /// The phase newly recorded passes are attributed to.
+    pub fn current_phase(&self) -> &str {
+        &self.current_phase
+    }
+
+    /// Record a pass under the current phase.
     pub fn record(&mut self, name: impl Into<String>, report: RunReport) {
-        self.passes.push((name.into(), report));
+        self.passes.push(PassRecord {
+            name: name.into(),
+            phase: self.current_phase.clone(),
+            report,
+        });
     }
 
     /// All recorded passes in order.
-    pub fn passes(&self) -> &[(String, RunReport)] {
+    pub fn passes(&self) -> &[PassRecord] {
         &self.passes
+    }
+
+    /// Round totals per phase, in first-recorded order. Passes recorded
+    /// before any [`set_phase`](PassLog::set_phase) call appear under the
+    /// empty label `""`.
+    pub fn phase_breakdown(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = Vec::new();
+        for p in &self.passes {
+            match out.iter_mut().find(|(name, _)| *name == p.phase) {
+                Some((_, rounds)) => *rounds += p.report.rounds,
+                None => out.push((p.phase.clone(), p.report.rounds)),
+            }
+        }
+        out
     }
 
     /// Total rounds across passes.
     pub fn total_rounds(&self) -> u64 {
-        self.passes.iter().map(|(_, r)| r.rounds).sum()
+        self.passes.iter().map(|p| p.report.rounds).sum()
     }
 
     /// Total messages across passes.
     pub fn total_messages(&self) -> u64 {
-        self.passes.iter().map(|(_, r)| r.messages).sum()
+        self.passes.iter().map(|p| p.report.messages).sum()
     }
 
     /// Total bits across passes.
     pub fn total_bits(&self) -> u64 {
-        self.passes.iter().map(|(_, r)| r.total_bits).sum()
+        self.passes.iter().map(|p| p.report.total_bits).sum()
     }
 
     /// Largest per-edge per-round load across passes.
     pub fn max_edge_bits(&self) -> u64 {
         self.passes
             .iter()
-            .map(|(_, r)| r.max_edge_bits())
+            .map(|p| p.report.max_edge_bits())
             .max()
             .unwrap_or(0)
+    }
+
+    /// Fold every pass's edge-load histogram into one run-wide
+    /// [`LoadProfile`] (the per-round maxima of the whole pipeline).
+    pub fn edge_load(&self) -> LoadProfile {
+        let mut profile = LoadProfile::new();
+        for p in &self.passes {
+            profile.merge(&p.report.edge_load);
+        }
+        profile
     }
 
     /// Total bandwidth-normalized rounds across passes.
     pub fn normalized_rounds(&self, bandwidth: u64) -> u64 {
         self.passes
             .iter()
-            .map(|(_, r)| r.normalized_rounds(bandwidth))
+            .map(|p| p.report.normalized_rounds(bandwidth))
             .sum()
     }
 
-    /// Merge another log's passes after this one's.
+    /// Merge another log's passes after this one's (their phase labels
+    /// travel with them; this log's current phase is unchanged).
     pub fn extend(&mut self, other: PassLog) {
         self.passes.extend(other.passes);
     }
@@ -324,6 +410,46 @@ mod tests {
         assert_eq!(log.max_edge_bits(), 100);
         assert_eq!(log.normalized_rounds(32), 4 + 4);
         assert_eq!(log.passes().len(), 2);
+        assert_eq!(log.edge_load().rounds(), 5);
+        assert_eq!(log.edge_load().max(), 100);
+    }
+
+    #[test]
+    fn phase_attribution_groups_passes() {
+        let mut log = PassLog::new();
+        log.record("pre", report(1, &[1]));
+        log.set_phase("phase-1");
+        log.record("acd", report(4, &[2, 2, 2, 2]));
+        log.record("slack", report(2, &[3, 3]));
+        log.set_phase("cleanup");
+        log.record("cleanup", report(3, &[4, 4, 4]));
+        assert_eq!(log.current_phase(), "cleanup");
+        assert_eq!(log.passes()[1].phase, "phase-1");
+        assert_eq!(log.passes()[1].name, "acd");
+        assert_eq!(
+            log.phase_breakdown(),
+            vec![
+                (String::new(), 1),
+                ("phase-1".to_string(), 6),
+                ("cleanup".to_string(), 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn extend_preserves_phase_labels() {
+        let mut a = PassLog::new();
+        a.set_phase("left");
+        a.record("x", report(1, &[1]));
+        let mut b = PassLog::new();
+        b.set_phase("right");
+        b.record("y", report(2, &[1, 1]));
+        a.extend(b);
+        assert_eq!(a.current_phase(), "left");
+        assert_eq!(
+            a.phase_breakdown(),
+            vec![("left".to_string(), 1), ("right".to_string(), 2)]
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //!    unevenness `η_v` exceeds `ε·d_v` (Definition 5), else *sparse*;
 //! 3. **clique formation** (4 rounds) — dense nodes adopt the minimum id
 //!    within distance 2 of the buddy graph as clique id (almost-cliques
-//!    have diameter ≤ 2, [ACK19]);
+//!    have diameter ≤ 2, \[ACK19\]);
 //! 4. **size & pruning** (8 rounds) — the hub aggregates `|C|`; members
 //!    violating Definition 6's conditions 3–4 are demoted to sparse and
 //!    the clique neighborhood view is refreshed.

@@ -48,7 +48,9 @@ pub fn solve_random_trial(
     };
     let mut driver = Driver::new(g, sim);
     let mut states = initial_states(g, lists, &opts.profile, opts.seed);
+    driver.begin_phase("setup");
     states = driver.run_pass("codec-setup", states, CodecSetupPass::new)?;
+    driver.begin_phase("trials");
     states = driver.activate(states, |_| true)?;
     let cap = 40 + 12 * (64 - (g.n().max(2) as u64).leading_zeros());
     for _ in 0..cap {
@@ -58,6 +60,7 @@ pub fn solve_random_trial(
         states = driver.try_color(states, "random-trial")?;
     }
     if Driver::uncolored_count(&states) > 0 {
+        driver.begin_phase("cleanup");
         states = cleanup(&mut driver, states)?;
     }
     Ok(finish(g, lists, states, driver.log, 0))

@@ -32,6 +32,13 @@ impl<'g> Driver<'g> {
         }
     }
 
+    /// Mark a pipeline-phase boundary: every pass recorded from now on is
+    /// attributed to `name` in [`PassLog::phase_breakdown`]. Purely a
+    /// metrics label — no rounds are spent.
+    pub fn begin_phase(&mut self, name: impl Into<String>) {
+        self.log.set_phase(name);
+    }
+
     /// Run one pass: build a program per node (in id order), execute to
     /// completion, recover the states, record metrics under `name`.
     ///

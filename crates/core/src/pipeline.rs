@@ -103,6 +103,13 @@ impl SolveResult {
     pub fn normalized_rounds(&self, bandwidth: u64) -> u64 {
         self.log.normalized_rounds(bandwidth)
     }
+
+    /// Round totals per pipeline phase (`setup`, `range-1`, …, `fallback`,
+    /// `cleanup`), in execution order — the attribution the scenario
+    /// sweeps report.
+    pub fn phase_breakdown(&self) -> Vec<(String, u64)> {
+        self.log.phase_breakdown()
+    }
 }
 
 /// Build fresh node states from a list assignment (building block for
@@ -216,6 +223,7 @@ pub fn solve(
     let mut states = initial_states(g, lists, &profile, opts.seed);
 
     // One-time codec setup (App. D.3 hash indices).
+    driver.begin_phase("setup");
     states = driver.run_pass("codec-setup", states, CodecSetupPass::new)?;
 
     // Degree-range phases (Alg. 7).
@@ -236,6 +244,7 @@ pub fn solve(
             continue;
         }
         phases += 1;
+        driver.begin_phase(format!("range-{phases}"));
         for st in &mut states {
             st.reset_phase();
         }
@@ -251,6 +260,7 @@ pub fn solve(
     }
 
     // Low-degree fallback: repeated random color trials.
+    driver.begin_phase("fallback");
     states = driver.activate(states, |st| st.uncolored())?;
     for t in 0..profile.fallback_trials {
         if Driver::uncolored_count(&states) == 0 {
@@ -264,6 +274,7 @@ pub fn solve(
 
     // Deterministic cleanup of the shattered leftovers.
     if Driver::uncolored_count(&states) > 0 {
+        driver.begin_phase("cleanup");
         states = cleanup(&mut driver, states)?;
     }
 
@@ -380,6 +391,23 @@ mod tests {
         let r = solve(&g, &lists, opts).expect("uniform solve");
         assert_eq!(check_coloring(&g, &lists, &r.coloring), Ok(()));
         assert!(r.stats.phases >= 1);
+    }
+
+    #[test]
+    fn phase_breakdown_attributes_all_rounds() {
+        let g = gen::gnp(160, 0.4, 5);
+        let lists = degree_plus_one_lists(&g);
+        let r = assert_solves(&g, &lists, 31);
+        let phases = r.phase_breakdown();
+        // Every recorded round lands in exactly one phase bucket.
+        assert_eq!(phases.iter().map(|(_, x)| x).sum::<u64>(), r.rounds());
+        assert_eq!(phases[0].0, "setup");
+        assert!(
+            phases.iter().any(|(name, _)| name.starts_with("range-")),
+            "a degree-range phase must have run: {phases:?}"
+        );
+        // No pass escaped attribution (the empty label never appears).
+        assert!(phases.iter().all(|(name, _)| !name.is_empty()));
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Post-shattering deterministic cleanup.
 //!
 //! Nodes the randomized phases failed to color form, w.h.p., small
-//! ("shattered") components [BEPS16]. The paper colors them with the
-//! deterministic algorithm of [GK21] on top of a network decomposition
+//! ("shattered") components \[BEPS16\]. The paper colors them with the
+//! deterministic algorithm of \[GK21\] on top of a network decomposition
 //! and a color-space reduction (Lemma 17). **Substitution** (see
 //! DESIGN.md §3.4): we run the elementary deterministic procedure
 //! *local-minimum greedy* — every uncolored node whose id is smallest

@@ -1,0 +1,103 @@
+//! Scale ladders: the node-count sequences scenario sweeps run over.
+//!
+//! A *ladder* is a geometrically increasing sequence of instance sizes.
+//! Asymptotic claims (rounds = `O(log^k log n)`, bandwidth = `O(log n)`)
+//! are only testable across a geometric range — linear steps barely move
+//! `log n`, let alone `log log n` — so every sweep in `crates/bench` draws
+//! its sizes from one of these helpers.
+
+/// Powers of two `2^lo_exp, 2^(lo_exp+1), …, 2^hi_exp` (inclusive).
+///
+/// The canonical sweep ladder: each rung doubles `n`, so `log2 n`
+/// advances by exactly 1 per rung and asymptotic fits get evenly spaced
+/// sample points.
+///
+/// # Panics
+///
+/// Panics if `lo_exp > hi_exp` or `hi_exp` would overflow `usize`.
+///
+/// # Example
+///
+/// ```
+/// use graphs::gen::pow2_ladder;
+///
+/// assert_eq!(pow2_ladder(8, 11), vec![256, 512, 1024, 2048]);
+/// assert_eq!(pow2_ladder(4, 4), vec![16]);
+/// ```
+pub fn pow2_ladder(lo_exp: u32, hi_exp: u32) -> Vec<usize> {
+    assert!(lo_exp <= hi_exp, "ladder must ascend: {lo_exp} > {hi_exp}");
+    assert!(
+        (hi_exp as usize) < usize::BITS as usize,
+        "2^{hi_exp} overflows usize"
+    );
+    (lo_exp..=hi_exp).map(|e| 1usize << e).collect()
+}
+
+/// Geometric ladder `lo, lo*factor, lo*factor², …` capped at `hi`
+/// (inclusive; the last rung is the largest `lo·factorᵏ ≤ hi`).
+///
+/// # Panics
+///
+/// Panics if `lo == 0`, `factor < 2`, or `lo > hi`.
+///
+/// # Example
+///
+/// ```
+/// use graphs::gen::geometric_ladder;
+///
+/// assert_eq!(geometric_ladder(100, 1000, 3), vec![100, 300, 900]);
+/// assert_eq!(geometric_ladder(64, 64, 2), vec![64]);
+/// ```
+pub fn geometric_ladder(lo: usize, hi: usize, factor: usize) -> Vec<usize> {
+    assert!(lo > 0, "ladder must start above zero");
+    assert!(factor >= 2, "a geometric ladder needs factor >= 2");
+    assert!(lo <= hi, "ladder must ascend: {lo} > {hi}");
+    let mut out = Vec::new();
+    let mut n = lo;
+    loop {
+        out.push(n);
+        match n.checked_mul(factor) {
+            Some(next) if next <= hi => n = next,
+            _ => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow2_ladder_is_doubling() {
+        let l = pow2_ladder(10, 14);
+        assert_eq!(l, vec![1024, 2048, 4096, 8192, 16384]);
+        assert!(l.windows(2).all(|w| w[1] == 2 * w[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "ascend")]
+    fn pow2_ladder_rejects_descending() {
+        let _ = pow2_ladder(5, 4);
+    }
+
+    #[test]
+    fn geometric_ladder_caps_at_hi() {
+        assert_eq!(geometric_ladder(10, 99, 2), vec![10, 20, 40, 80]);
+        assert_eq!(geometric_ladder(10, 80, 2), vec![10, 20, 40, 80]);
+    }
+
+    #[test]
+    fn geometric_ladder_survives_overflow() {
+        // Doubling the second rung overflows usize; the ladder must stop
+        // cleanly instead of wrapping.
+        let l = geometric_ladder(usize::MAX / 2, usize::MAX, 2);
+        assert_eq!(l, vec![usize::MAX / 2, usize::MAX - 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn geometric_ladder_rejects_factor_one() {
+        let _ = geometric_ladder(1, 10, 1);
+    }
+}

@@ -8,6 +8,7 @@
 
 mod cliques;
 mod gnp;
+mod ladder;
 mod powerlaw;
 mod regular;
 mod structured;
@@ -15,6 +16,7 @@ mod subgraph_rich;
 
 pub use cliques::{clique_blend, disjoint_cliques, hub_and_spokes, planted_acd, CliqueBlendParams};
 pub use gnp::{gnp, gnp_min_degree};
+pub use ladder::{geometric_ladder, pow2_ladder};
 pub use powerlaw::chung_lu;
 pub use regular::random_regular;
 pub use structured::{complete, complete_bipartite, cycle, grid, path, star};

@@ -6,7 +6,7 @@
 //! * [`Graph`]: a compact, immutable, undirected simple graph in CSR form,
 //!   built through [`GraphBuilder`];
 //! * [`gen`]: workload generators — Erdős–Rényi [`gen::gnp`], planted
-//!   almost-clique blends [`gen::cliques`], Chung–Lu power-law graphs
+//!   almost-clique blends [`gen::clique_blend`], Chung–Lu power-law graphs
 //!   [`gen::chung_lu`], structured graphs (cycles, stars, grids, complete
 //!   bipartite), and triangle-/four-cycle-rich instances for the
 //!   subgraph-detection experiments;

@@ -10,7 +10,7 @@
 //! The family is seeded: member `i` derives `(a, b)` from `(seed, i)`, so
 //! communicating a member costs an index of `family_bits` bits, matching
 //! the `O(log λ + log log |C| + log(1/ε))`-bit descriptions the paper cites
-//! (Problem 3.4 in [Vad12]).
+//! (Problem 3.4 in \[Vad12\]).
 
 use crate::mix::{mix3, mix64};
 use rand::Rng;

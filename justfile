@@ -33,6 +33,19 @@ bench:
 bench-json:
     cargo run --release -p bench --bin experiments -- --json bench.json E0
 
+# Full-scale scenario sweep (S1–S6) → BENCH_3.json, the committed
+# snapshot EXPERIMENTS.md's full-scale section is rendered from. Slow;
+# rerun only when solver behaviour changes, then `just experiments-md`.
+sweep-json:
+    cargo run --release -p bench --bin experiments -- --sweep --json BENCH_3.json
+
+# Regenerate EXPERIMENTS.md: a fresh quick-scale sweep (deterministic —
+# no wall-clock data is rendered from it) + the committed BENCH_3.json.
+# Byte-identical unless measured behaviour changed; CI fails on drift.
+experiments-md:
+    cargo run --release -p bench --bin experiments -- --sweep --quick --json target/sweep-quick.json
+    cargo run --release -p bench --bin experiments -- --render-experiments EXPERIMENTS.md --from-full BENCH_3.json --from-quick target/sweep-quick.json
+
 # Run every example end-to-end with its built-in tiny inputs.
 examples:
     cargo run -q --release --example quickstart
@@ -47,5 +60,9 @@ examples:
 test-slow:
     cargo test -q --workspace --features slow-tests
 
+# Rustdoc exactly as CI enforces it (warnings are errors).
+doc:
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
 # Everything CI checks, in CI order.
-ci: verify lint bench-smoke examples
+ci: verify lint doc bench-smoke examples experiments-md

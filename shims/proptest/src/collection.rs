@@ -1,4 +1,4 @@
-//! Collection strategies: [`vec`] and [`hash_set`].
+//! Collection strategies: [`vec()`] and [`hash_set`].
 
 use crate::strategy::Strategy;
 use core::hash::Hash;
