@@ -1,0 +1,50 @@
+//! End-to-end solve benchmark: the full D1LC pipeline on the S1 workload
+//! family (G(n, 24/n) with shared-window lists) through each engine path
+//! — the persistent session, the preserved pre-session per-pass engine,
+//! and the legacy sort-and-scatter plane.
+//!
+//! This is the criterion companion of experiment E0b (whose committed
+//! full-scale snapshot is `BENCH_4.json`); it exists so
+//! `cargo bench -p bench --bench solve_pipeline` (`just bench-solve`)
+//! tracks the whole solve path, engine *and* pass compute, alongside the
+//! per-plane microbenches.
+
+use bench::workloads;
+use congest::SimConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use d1lc::{solve, EngineMode, SolveOptions};
+use std::time::Duration;
+
+/// The E0b acceptance scale: the S1 family at the largest quick-scale n.
+const N: usize = 1024;
+
+fn bench_solve_pipeline(c: &mut Criterion) {
+    let inst = workloads::gnp_window(N, 1);
+    let mut group = c.benchmark_group("solve-pipeline");
+    group
+        .sample_size(5)
+        .measurement_time(Duration::from_secs(20));
+    for (label, engine) in [
+        ("session", EngineMode::Session),
+        ("per-pass", EngineMode::PerPass),
+        ("reference", EngineMode::Reference),
+    ] {
+        for threads in [1usize, 8] {
+            let opts = SolveOptions {
+                engine,
+                sim: SimConfig {
+                    threads,
+                    ..SimConfig::default()
+                },
+                ..SolveOptions::seeded(1)
+            };
+            group.bench_function(format!("{label}/t{threads}"), |b| {
+                b.iter(|| solve(&inst.graph, &inst.lists, opts).expect("solve"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solve_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,162 @@
+//! E0b — persistent engine sessions vs the per-pass engine on **full
+//! pipeline solves**.
+//!
+//! The HNT22 pipeline is many short passes over a shrinking frontier;
+//! pre-session, every pass paid a fresh `O(n + m)` mailbox-plane build,
+//! scratch allocation, and (pooled) thread spawn, and every round
+//! stepped all `n` programs and swept all edge slots. E0b measures what
+//! the session buys on the S1 workload family (`gnp-window`, the
+//! shared-window G(n, 24/n) instances) by running [`d1lc::solve`]
+//! through the three [`EngineMode`] paths:
+//!
+//! * `session` — one persistent [`congest::Session`] per solve (the
+//!   default),
+//! * `per-pass` — the preserved pre-session engine per pass
+//!   (`congest::reference::run_mailbox_sweep`: plane rebuilt per pass,
+//!   full step/route sweep every round),
+//! * `reference` — the legacy sort-and-scatter plane per pass (1-thread
+//!   row only; it exists to witness generational transcript identity).
+//!
+//! The run **asserts** that every arm produces the identical coloring
+//! and the identical per-pass `PassLog` for every thread count — the
+//! byte-for-byte transcript identity the session guarantees — so a perf
+//! regression can never hide a correctness one. `BENCH_4.json` at the
+//! repo root is the committed full-scale snapshot; the acceptance row is
+//! the S1 family at the largest quick-scale `n` (1024), threads = 1.
+
+use crate::scenario::{Scenario, TableScenario};
+use crate::table::{f2, Table};
+use crate::workloads::{self, Instance, Scale};
+use congest::SimConfig;
+use d1lc::{solve, EngineMode, SolveOptions, SolveResult};
+use std::time::Instant;
+
+/// Registry entries for this module (E0b).
+pub fn scenarios() -> Vec<Box<dyn Scenario>> {
+    vec![TableScenario::boxed(
+        "E0b",
+        "Engine-session vs per-pass pipeline solve",
+        "A persistent session solves ≥ 1.5× faster than the per-pass engine at 1 thread",
+        e0b_session_solve,
+    )]
+}
+
+/// Repetitions per configuration; the minimum wall time is reported.
+pub const REPS: usize = 3;
+
+/// Solve seed (a member of the S1 sweep's seed set).
+pub const SEED: u64 = 1;
+
+/// One timed solve in the given engine mode; returns the best wall time
+/// over [`REPS`] and the (deterministic) result.
+pub fn timed_solve(inst: &Instance, engine: EngineMode, threads: usize) -> (f64, SolveResult) {
+    let opts = SolveOptions {
+        engine,
+        sim: SimConfig {
+            threads,
+            ..SimConfig::default()
+        },
+        ..SolveOptions::seeded(SEED)
+    };
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let result = solve(&inst.graph, &inst.lists, opts).expect("solve");
+        best = best.min(start.elapsed().as_secs_f64());
+        out = Some(result);
+    }
+    (best, out.expect("at least one rep"))
+}
+
+/// E0b — session vs per-pass vs reference engines, S1 family.
+pub fn e0b_session_solve(scale: Scale) -> Table {
+    let sizes: Vec<usize> = match scale {
+        Scale::Quick => vec![256, 1024],
+        Scale::Full => vec![256, 1024, 4096],
+    };
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut t = Table::new(
+        format!(
+            "E0b — engine sessions, d1lc solve on gnp-window (S1 family), seed {SEED} \
+             (min of {REPS}, host cores={cores})",
+        ),
+        "Persistent session ≥1.5× the per-pass engine at 1 thread on a full pipeline solve",
+    );
+    t.columns([
+        "n", "engine", "threads", "wall ms", "speedup", "rounds", "passes", "repairs",
+    ]);
+    for n in sizes {
+        let inst = workloads::gnp_window(n, SEED);
+        // Transcript witness: every arm must reproduce this exactly.
+        let mut witness: Option<SolveResult> = None;
+        let mut check = |label: &str, result: &SolveResult| match &witness {
+            None => witness = Some(result.clone()),
+            Some(w) => {
+                assert_eq!(w.coloring, result.coloring, "coloring diverged: {label}");
+                assert_eq!(
+                    w.log.passes(),
+                    result.log.passes(),
+                    "pass log diverged: {label}"
+                );
+            }
+        };
+        for threads in [1usize, 2, 8] {
+            let (per_pass_ms, per_pass) = timed_solve(&inst, EngineMode::PerPass, threads);
+            check(&format!("per-pass t={threads} n={n}"), &per_pass);
+            let (session_ms, session) = timed_solve(&inst, EngineMode::Session, threads);
+            check(&format!("session t={threads} n={n}"), &session);
+            let mut arms = vec![
+                ("per-pass", per_pass_ms, per_pass),
+                ("session", session_ms, session),
+            ];
+            if threads == 1 {
+                // The legacy plane is slow; one generational-identity row.
+                let (reference_ms, reference) = timed_solve(&inst, EngineMode::Reference, 1);
+                check(&format!("reference t=1 n={n}"), &reference);
+                arms.insert(0, ("reference", reference_ms, reference));
+            }
+            let baseline_ms = per_pass_ms;
+            for (engine, wall, result) in arms {
+                t.row([
+                    n.to_string(),
+                    engine.to_string(),
+                    threads.to_string(),
+                    f2(wall * 1e3),
+                    f2(baseline_ms / wall),
+                    result.rounds().to_string(),
+                    result.log.passes().len().to_string(),
+                    result.stats.repairs.to_string(),
+                ]);
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The three engine arms agree on a small instance (the full-size
+    /// assertions live inside `e0b_session_solve`; this keeps a fast
+    /// guard in the unit suite).
+    #[test]
+    fn engine_arms_agree_on_small_instance() {
+        let inst = workloads::gnp_window(120, 3);
+        let run = |engine| {
+            let opts = SolveOptions {
+                engine,
+                ..SolveOptions::seeded(5)
+            };
+            solve(&inst.graph, &inst.lists, opts).expect("solve")
+        };
+        let a = run(EngineMode::Session);
+        let b = run(EngineMode::PerPass);
+        let c = run(EngineMode::Reference);
+        assert_eq!(a.coloring, b.coloring);
+        assert_eq!(a.coloring, c.coloring);
+        assert_eq!(a.log.passes(), b.log.passes());
+        assert_eq!(a.log.passes(), c.log.passes());
+    }
+}

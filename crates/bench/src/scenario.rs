@@ -13,7 +13,9 @@ use crate::claims::Form;
 use crate::sweep::{run_sweep, Algorithm, Metric, SweepOutcome, SweepSpec};
 use crate::table::{f2, mean, Table};
 use crate::workloads::{self, Instance, Scale};
-use crate::{exp_ablation, exp_acd, exp_coloring, exp_estimate, exp_hash, exp_plane, Experiment};
+use crate::{
+    exp_ablation, exp_acd, exp_coloring, exp_estimate, exp_hash, exp_plane, exp_session, Experiment,
+};
 
 /// What running a scenario produces: always a printable table; for sweep
 /// scenarios, also the structured measurements behind it.
@@ -137,6 +139,7 @@ fn sweep_table(s: &SweepScenario, out: &SweepOutcome) -> Table {
         "rounds@B",
         "max bits/edge",
         "p99 bits/edge",
+        "wall s",
         "phases",
     ]);
     let mut sizes: Vec<usize> = out.cells.iter().map(|c| c.n).collect();
@@ -147,6 +150,7 @@ fn sweep_table(s: &SweepScenario, out: &SweepOutcome) -> Table {
         let norm: Vec<f64> = group.iter().map(|c| c.normalized_rounds as f64).collect();
         let maxb = group.iter().map(|c| c.max_edge_bits).max().unwrap_or(0);
         let p99 = group.iter().map(|c| c.p99_edge_bits).max().unwrap_or(0);
+        let wall: Vec<f64> = group.iter().map(|c| c.wall_seconds).collect();
         t.row([
             n.to_string(),
             group.len().to_string(),
@@ -154,6 +158,7 @@ fn sweep_table(s: &SweepScenario, out: &SweepOutcome) -> Table {
             f2(mean(&norm)),
             maxb.to_string(),
             p99.to_string(),
+            f2(mean(&wall)),
             phase_means(&group),
         ]);
     }
@@ -163,6 +168,7 @@ fn sweep_table(s: &SweepScenario, out: &SweepOutcome) -> Table {
             String::new(),
             check.metric.clone(),
             check.form.clone(),
+            String::new(),
             String::new(),
             String::new(),
             check.detail.clone(),
@@ -372,6 +378,7 @@ pub fn sweep_scenarios() -> Vec<Box<dyn Scenario>> {
 pub fn registry() -> Vec<Box<dyn Scenario>> {
     let mut all: Vec<Box<dyn Scenario>> = Vec::new();
     all.extend(exp_plane::scenarios());
+    all.extend(exp_session::scenarios());
     all.extend(exp_coloring::scenarios());
     all.extend(exp_estimate::scenarios());
     all.extend(exp_hash::scenarios());
@@ -392,7 +399,9 @@ mod tests {
         let ids: Vec<&str> = reg.iter().map(|s| s.id()).collect();
         let set: HashSet<&str> = ids.iter().copied().collect();
         assert_eq!(set.len(), ids.len(), "duplicate scenario ids: {ids:?}");
-        for wanted in ["E0", "E1", "E9", "E16c", "S1", "S2", "S3", "S4", "S5", "S6"] {
+        for wanted in [
+            "E0", "E0b", "E1", "E9", "E16c", "S1", "S2", "S3", "S4", "S5", "S6",
+        ] {
             assert!(set.contains(wanted), "{wanted} missing from registry");
         }
         for s in &reg {

@@ -1,34 +1,22 @@
-//! The round-synchronous simulation engine.
+//! The round-synchronous simulation engine: configuration types and the
+//! one-shot [`run`] entry point.
 //!
-//! The engine runs on a two-lane **CSR edge-indexed mailbox plane** (see
-//! [`crate::plane`]): broadcasts take a node-indexed fast lane, targeted
-//! sends write receiver-side per-edge slots through the reverse-CSR
-//! permutation, and per-edge bandwidth accounting is folded into the slot
-//! writes. Delivery sweeps each receiver's contiguous in-slots and
-//! gathers its in-neighbors' broadcast slots, skipping any lane the round
-//! did not use. With `threads > 1` both the step phase and the routing
-//! phase shard across a pool of `std::thread::scope` workers spawned
-//! **once per run** and synchronized per phase with a barrier (per-round
-//! spawning would cost more than the phases themselves); results are
-//! identical for every thread count. The pre-PR sort-and-scatter plane
-//! is preserved as [`crate::reference::run_reference`] for differential
-//! tests and benchmarks.
+//! [`run`] is a thin wrapper that builds a throwaway [`crate::Session`]
+//! and executes one pass on it. The session (see [`crate::session`])
+//! owns the two-lane CSR mailbox plane ([`crate::plane`]), the worker
+//! pool, the per-node RNGs, and the active-frontier scheduler; drivers
+//! that execute many passes over one graph should hold a session and
+//! reuse it — the results are byte-identical, the per-pass setup is
+//! amortized away. The pre-mailbox sort-and-scatter plane is preserved
+//! as [`crate::reference::run_reference`] for differential tests and
+//! benchmarks.
 
 use crate::error::SimError;
-use crate::message::{bits_for_range, Message};
+use crate::message::bits_for_range;
 use crate::metrics::RunReport;
-use crate::plane::{prefetch_for_write, MailboxPlane, NeighborIndex, Sink, SlotSink};
-use crate::program::{Ctx, Program};
-use graphs::{Graph, NodeId};
-use prand::mix::mix2;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Barrier, Mutex};
-
-/// Below this node count the engine always runs single-threaded: barrier
-/// overhead would dominate.
-const PAR_MIN_NODES: usize = 256;
+use crate::program::Program;
+use crate::session::Session;
+use graphs::Graph;
 
 /// Bandwidth policy for a run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -100,28 +88,13 @@ impl SimConfig {
     }
 }
 
-/// Which plane lanes a round actually used (merged over all step
-/// workers); the router skips dead lanes entirely.
-#[derive(Clone, Copy, Default)]
-struct Lanes {
-    targeted: bool,
-    bcast: bool,
-}
-
-/// One step shard's result.
-#[derive(Default)]
-struct StepOut {
-    /// Net change in the number of done nodes.
-    delta: i64,
-    /// First send-side error in node order.
-    err: Option<SimError>,
-    /// Lanes this shard's nodes wrote.
-    lanes: Lanes,
-}
-
-/// Run `programs` (one per node of `graph`) to completion.
+/// Run `programs` (one per node of `graph`) to completion on a one-shot
+/// [`Session`].
 ///
-/// Returns the final programs and the run report.
+/// Returns the final programs and the run report. Multi-pass drivers
+/// should construct a [`Session`] directly and reuse it per pass — same
+/// results, none of the per-pass plane/scratch/pool setup this wrapper
+/// pays.
 ///
 /// # Errors
 ///
@@ -144,498 +117,18 @@ pub fn run<P: Program>(
         graph.n(),
         "need exactly one program per node"
     );
-    let n = graph.n();
-    let workers = if config.threads <= 1 || n < PAR_MIN_NODES {
-        1
-    } else {
-        config.threads
-    };
-    let mut rngs: Vec<StdRng> = (0..n)
-        .map(|v| StdRng::seed_from_u64(mix2(config.seed, v as u64)))
-        .collect();
-    let plane: MailboxPlane<P::Msg> = MailboxPlane::new(graph);
-    let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
-    let mut done: Vec<bool> = programs.iter().map(P::is_done).collect();
-    let done_count = done.iter().filter(|&&d| d).count();
-
-    let report = if workers == 1 {
-        run_sequential(
-            graph,
-            &mut programs,
-            &mut rngs,
-            &mut done,
-            &plane,
-            &mut inboxes,
-            config,
-            done_count,
-        )?
-    } else {
-        run_pooled(
-            graph,
-            &mut programs,
-            &mut rngs,
-            &mut done,
-            &plane,
-            &mut inboxes,
-            config,
-            workers,
-            done_count,
-        )?
-    };
+    let mut session: Session<'_, P::Msg> = Session::new(graph, config);
+    let report = session.run(&mut programs, config.seed)?;
     Ok((programs, report))
 }
 
-/// The single-threaded engine loop: no barriers, one lookup scratch.
-#[allow(clippy::too_many_arguments)]
-fn run_sequential<P: Program>(
-    graph: &Graph,
-    programs: &mut [P],
-    rngs: &mut [StdRng],
-    done: &mut [bool],
-    plane: &MailboxPlane<P::Msg>,
-    inboxes: &mut [Vec<(NodeId, P::Msg)>],
-    config: SimConfig,
-    mut done_count: usize,
-) -> Result<RunReport, SimError> {
-    let n = programs.len();
-    let mut lookup = NeighborIndex::new(n);
-    let mut report = RunReport {
-        completed: true,
-        ..Default::default()
-    };
-    let mut round = 0u64;
-    let mut prefetch = false;
-    loop {
-        if done_count == n {
-            break;
-        }
-        if round >= config.max_rounds {
-            report.completed = false;
-            break;
-        }
-        let shard = StepShard {
-            lo: 0,
-            programs,
-            rngs,
-            done,
-            inboxes,
-        };
-        let out = step_range(graph, plane, &mut lookup, round, prefetch, shard);
-        if let Some(e) = out.err {
-            return Err(e);
-        }
-        done_count = (done_count as i64 + out.delta) as usize;
-        prefetch = out.lanes.targeted;
-        let stats = route_range(graph, plane, inboxes, 0, round, config.bandwidth, out.lanes);
-        if let Some(e) = stats.err {
-            return Err(e);
-        }
-        report.total_bits += stats.bits;
-        report.messages += stats.messages;
-        report.edge_load.record(stats.max);
-        round += 1;
-    }
-    report.rounds = round;
-    Ok(report)
-}
-
-/// Per-round worker commands, written by the coordinator between barriers.
-struct PoolControl {
-    /// Current round number.
-    round: AtomicU64,
-    /// Whether step workers should prefetch targeted out-slots (the
-    /// previous round used the targeted lane).
-    prefetch: AtomicBool,
-    /// Lanes the just-finished step phase wrote (drives routing).
-    targeted: AtomicBool,
-    bcast: AtomicBool,
-    /// Set by the coordinator to terminate the worker loops.
-    exit: AtomicBool,
-}
-
-/// The pooled engine loop: `workers` scoped threads are spawned once and
-/// synchronized with a barrier before and after each phase (4 waits per
-/// round). Worker `w` owns nodes `[w·chunk, (w+1)·chunk)`: it steps them,
-/// then routes into their inboxes, so programs, RNGs, done flags and
-/// inboxes are moved into the worker as plain `&mut` chunks; only the
-/// slot plane is shared (see [`crate::plane`] for its access protocol).
-///
-/// Determinism: per-node work is independent of sharding, counters merge
-/// with commutative ops, and first-error selection scans workers in
-/// ascending chunk order, so any thread count yields the sequential
-/// engine's exact results.
-#[allow(clippy::too_many_arguments)]
-fn run_pooled<P: Program>(
-    graph: &Graph,
-    programs: &mut [P],
-    rngs: &mut [StdRng],
-    done: &mut [bool],
-    plane: &MailboxPlane<P::Msg>,
-    inboxes: &mut [Vec<(NodeId, P::Msg)>],
-    config: SimConfig,
-    workers: usize,
-    mut done_count: usize,
-) -> Result<RunReport, SimError> {
-    let n = programs.len();
-    let chunk = n.div_ceil(workers);
-    let shards = n.div_ceil(chunk);
-    let barrier = Barrier::new(shards + 1);
-    let control = PoolControl {
-        round: AtomicU64::new(0),
-        prefetch: AtomicBool::new(false),
-        targeted: AtomicBool::new(false),
-        bcast: AtomicBool::new(false),
-        exit: AtomicBool::new(false),
-    };
-    let step_out: Vec<Mutex<StepOut>> = (0..shards).map(|_| Mutex::default()).collect();
-    let route_out: Vec<Mutex<RouteStats>> = (0..shards).map(|_| Mutex::default()).collect();
-
-    std::thread::scope(|scope| {
-        let shard_iter = programs
-            .chunks_mut(chunk)
-            .zip(rngs.chunks_mut(chunk))
-            .zip(done.chunks_mut(chunk))
-            .zip(inboxes.chunks_mut(chunk));
-        let mut lo = 0usize;
-        for (w, (((ps, rs), ds), inb)) in shard_iter.enumerate() {
-            let lo_w = lo;
-            lo += ps.len();
-            let (barrier, control) = (&barrier, &control);
-            let (step_out, route_out) = (&step_out, &route_out);
-            let bandwidth = config.bandwidth;
-            scope.spawn(move || {
-                let mut lookup = NeighborIndex::new(n);
-                let mut shard = StepShard {
-                    lo: lo_w,
-                    programs: ps,
-                    rngs: rs,
-                    done: ds,
-                    inboxes: inb,
-                };
-                loop {
-                    barrier.wait(); // coordinator released the step phase
-                    if control.exit.load(Ordering::Acquire) {
-                        break;
-                    }
-                    let round = control.round.load(Ordering::Acquire);
-                    let prefetch = control.prefetch.load(Ordering::Acquire);
-                    let out =
-                        step_range(graph, plane, &mut lookup, round, prefetch, shard.reborrow());
-                    *step_out[w].lock().expect("step slot poisoned") = out;
-                    barrier.wait(); // step results visible to coordinator
-                    barrier.wait(); // coordinator released the routing phase
-                    if control.exit.load(Ordering::Acquire) {
-                        break;
-                    }
-                    let lanes = Lanes {
-                        targeted: control.targeted.load(Ordering::Acquire),
-                        bcast: control.bcast.load(Ordering::Acquire),
-                    };
-                    let stats =
-                        route_range(graph, plane, shard.inboxes, lo_w, round, bandwidth, lanes);
-                    *route_out[w].lock().expect("route slot poisoned") = stats;
-                    barrier.wait(); // route results visible to coordinator
-                }
-            });
-        }
-
-        // Coordinator.
-        let mut report = RunReport {
-            completed: true,
-            ..Default::default()
-        };
-        let mut round = 0u64;
-        let shutdown = |result: Result<RunReport, SimError>| {
-            control.exit.store(true, Ordering::Release);
-            barrier.wait();
-            result
-        };
-        loop {
-            if done_count == n {
-                report.rounds = round;
-                return shutdown(Ok(report));
-            }
-            if round >= config.max_rounds {
-                report.completed = false;
-                report.rounds = round;
-                return shutdown(Ok(report));
-            }
-            control.round.store(round, Ordering::Release);
-            barrier.wait(); // release step
-            barrier.wait(); // step done
-            let mut delta = 0i64;
-            let mut err = None;
-            let mut lanes = Lanes::default();
-            for slot in &step_out {
-                let out = std::mem::take(&mut *slot.lock().expect("step slot poisoned"));
-                delta += out.delta;
-                if err.is_none() {
-                    err = out.err;
-                }
-                lanes.targeted |= out.lanes.targeted;
-                lanes.bcast |= out.lanes.bcast;
-            }
-            if let Some(e) = err {
-                return shutdown(Err(e));
-            }
-            done_count = (done_count as i64 + delta) as usize;
-            control.targeted.store(lanes.targeted, Ordering::Release);
-            control.bcast.store(lanes.bcast, Ordering::Release);
-            control.prefetch.store(lanes.targeted, Ordering::Release);
-            barrier.wait(); // release route
-            barrier.wait(); // route done
-            let mut stats = RouteStats::default();
-            for slot in &route_out {
-                let s = std::mem::take(&mut *slot.lock().expect("route slot poisoned"));
-                stats.max = stats.max.max(s.max);
-                stats.bits += s.bits;
-                stats.messages += s.messages;
-                if stats.err.is_none() {
-                    stats.err = s.err;
-                }
-            }
-            if let Some(e) = stats.err {
-                return shutdown(Err(e));
-            }
-            report.total_bits += stats.bits;
-            report.messages += stats.messages;
-            report.edge_load.record(stats.max);
-            round += 1;
-        }
-    })
-}
-
-/// One worker's node range: the programs/RNGs/done flags it steps and the
-/// inboxes it reads (step) and fills (route).
-struct StepShard<'a, P: Program> {
-    lo: usize,
-    programs: &'a mut [P],
-    rngs: &'a mut [StdRng],
-    done: &'a mut [bool],
-    inboxes: &'a mut [Vec<(NodeId, P::Msg)>],
-}
-
-impl<P: Program> StepShard<'_, P> {
-    /// A shorter-lived view of the same shard (the pooled worker reuses
-    /// its shard every round).
-    fn reborrow(&mut self) -> StepShard<'_, P> {
-        StepShard {
-            lo: self.lo,
-            programs: &mut *self.programs,
-            rngs: &mut *self.rngs,
-            done: &mut *self.done,
-            inboxes: &mut *self.inboxes,
-        }
-    }
-}
-
-/// Step nodes `shard.lo ..`: run `on_round` with a slot sink over each
-/// node's out-edges, and fold the done-flag scan into the same loop (no
-/// separate O(n) `all(is_done)` pass per round).
-fn step_range<P: Program>(
-    graph: &Graph,
-    plane: &MailboxPlane<P::Msg>,
-    lookup: &mut NeighborIndex,
-    round: u64,
-    prefetch: bool,
-    shard: StepShard<'_, P>,
-) -> StepOut {
-    let offsets = graph.offsets();
-    let mut out = StepOut::default();
-    let len = shard.programs.len();
-    // When the previous round used the targeted lane, overlap its
-    // scatter misses with program compute: a node's write targets are
-    // statically its rev_out entries, issued PREFETCH_AHEAD nodes early.
-    const PREFETCH_AHEAD: usize = 2;
-    let lo = shard.lo;
-    let prefetch_node = |i: usize| {
-        let v = lo + i;
-        for &e in &plane.rev[offsets[v]..offsets[v + 1]] {
-            prefetch_for_write(plane.slots[e as usize].get());
-        }
-    };
-    if prefetch {
-        for i in 0..PREFETCH_AHEAD.min(len) {
-            prefetch_node(i);
-        }
-    }
-    for i in 0..len {
-        let v = lo + i;
-        if prefetch && i + PREFETCH_AHEAD < len && !shard.done[i + PREFETCH_AHEAD] {
-            prefetch_node(i + PREFETCH_AHEAD);
-        }
-        let mut ctx = Ctx {
-            node: v as NodeId,
-            round,
-            neighbors: graph.neighbors(v as NodeId),
-            inbox: &shard.inboxes[i],
-            rng: &mut shard.rngs[i],
-            sink: Sink::Slots(SlotSink {
-                slots: &plane.slots,
-                spill: &plane.spill,
-                bcast: &plane.bcast[v],
-                bcast_spill: &plane.bcast_spill[v],
-                rev_out: &plane.rev[offsets[v]..offsets[v + 1]],
-                epoch: round,
-                seq: 0,
-                targeted: 0,
-                broadcasts: 0,
-                lookup: &mut *lookup,
-                filled: false,
-                err: &mut out.err,
-            }),
-        };
-        shard.programs[i].on_round(&mut ctx);
-        if let Sink::Slots(s) = &ctx.sink {
-            out.lanes.targeted |= s.targeted > 0;
-            out.lanes.bcast |= s.broadcasts > 0;
-        }
-        // Fold the done scan into the (cache-hot) step loop instead of
-        // re-scanning all programs at the top of every round.
-        let now = shard.programs[i].is_done();
-        out.delta += i64::from(now) - i64::from(shard.done[i]);
-        shard.done[i] = now;
-    }
-    out
-}
-
-/// Aggregated routing-phase counters for one round (or one worker shard).
-#[derive(Default)]
-struct RouteStats {
-    max: u64,
-    bits: u64,
-    messages: u64,
-    err: Option<SimError>,
-}
-
-/// Deliver to receivers `lo .. lo + inboxes.len()`: sweep each receiver's
-/// contiguous targeted in-slots, gather its in-neighbors' broadcast
-/// slots, check the per-edge bit counters, and fill the inbox in CSR
-/// order (per sender, exact send order — merged by sequence tag when one
-/// neighbor used both lanes). Lanes the round didn't use are skipped.
-fn route_range<M: Message>(
-    graph: &Graph,
-    plane: &MailboxPlane<M>,
-    inboxes: &mut [Vec<(NodeId, M)>],
-    lo: usize,
-    round: u64,
-    bandwidth: Bandwidth,
-    lanes: Lanes,
-) -> RouteStats {
-    let offsets = graph.offsets();
-    let mut stats = RouteStats::default();
-    if !lanes.targeted && !lanes.bcast {
-        for inbox in inboxes.iter_mut() {
-            inbox.clear();
-        }
-        return stats;
-    }
-    for (i, inbox) in inboxes.iter_mut().enumerate() {
-        let v = lo + i;
-        inbox.clear();
-        let base = offsets[v];
-        for (j, &u) in graph.neighbors(v as NodeId).iter().enumerate() {
-            // Targeted lane: contiguous in-slot sweep.
-            // SAFETY: slots are receiver-side keyed and routing workers
-            // own disjoint receiver ranges, so slot `base + j` is reached
-            // by exactly one worker; the phase barrier orders this access
-            // after every step-phase write.
-            let eslot = lanes
-                .targeted
-                .then(|| unsafe { &mut *plane.slots[base + j].get() })
-                .filter(|s| s.stamp == round);
-            // Broadcast lane: cache-resident gather by sender id.
-            // SAFETY: broadcast slots are only *read* during routing (and
-            // written solely by their owner in the step phase).
-            let bslot = lanes
-                .bcast
-                .then(|| unsafe { &*plane.bcast[u as usize].get() })
-                .filter(|b| b.stamp == round);
-            if eslot.is_none() && bslot.is_none() {
-                continue;
-            }
-            let edge_bits = eslot.as_ref().map_or(0u64, |s| u64::from(s.bits))
-                + bslot.map_or(0u64, |b| u64::from(b.bits));
-            if let Bandwidth::Strict(limit) = bandwidth {
-                if edge_bits > limit {
-                    stats.err = Some(SimError::BandwidthExceeded {
-                        from: u,
-                        to: v as NodeId,
-                        bits: edge_bits,
-                        limit,
-                        round,
-                    });
-                    return stats;
-                }
-            }
-            stats.max = stats.max.max(edge_bits);
-            stats.bits += edge_bits;
-            match (eslot, bslot) {
-                (Some(s), None) => {
-                    let msg = s.first.take().expect("live slot has a first message");
-                    stats.messages += 1 + u64::from(s.spilled);
-                    inbox.push((u, msg));
-                    if s.spilled > 0 {
-                        s.spilled = 0;
-                        // SAFETY: same receiver-range exclusivity.
-                        let sp = unsafe { &mut *plane.spill[base + j].get() };
-                        inbox.extend(sp.drain(..).map(|(m, _)| (u, m)));
-                    }
-                }
-                (None, Some(b)) => {
-                    let msg = b.first.clone().expect("live slot has a first message");
-                    stats.messages += 1 + u64::from(b.spilled);
-                    inbox.push((u, msg));
-                    if b.spilled > 0 {
-                        // SAFETY: read-only, like the hot broadcast slot.
-                        let sp = unsafe { &*plane.bcast_spill[u as usize].get() };
-                        inbox.extend(sp.iter().map(|(m, _)| (u, m.clone())));
-                    }
-                }
-                (Some(s), Some(b)) => {
-                    // Rare: one neighbor used both lanes this round.
-                    // Interleave back into exact send order by sequence.
-                    stats.messages += 2 + u64::from(s.spilled) + u64::from(b.spilled);
-                    let first_t = s.first.take().expect("live slot has a first message");
-                    s.spilled = 0;
-                    // SAFETY: as in the single-lane branches above.
-                    let sp_t = unsafe { &mut *plane.spill[base + j].get() };
-                    let sp_b = unsafe { &*plane.bcast_spill[u as usize].get() };
-                    let mut te = std::iter::once((s.seq, first_t))
-                        .chain(sp_t.drain(..).map(|(m, q)| (q, m)))
-                        .peekable();
-                    let first_b = b.first.clone().expect("live slot has a first message");
-                    let mut be = std::iter::once((b.seq, first_b))
-                        .chain(sp_b.iter().map(|(m, q)| (*q, m.clone())))
-                        .peekable();
-                    loop {
-                        let take_targeted = match (te.peek(), be.peek()) {
-                            (Some((tq, _)), Some((bq, _))) => tq < bq,
-                            (Some(_), None) => true,
-                            (None, Some(_)) => false,
-                            (None, None) => break,
-                        };
-                        let (_, m) = if take_targeted {
-                            te.next().expect("peeked")
-                        } else {
-                            be.next().expect("peeked")
-                        };
-                        inbox.push((u, m));
-                    }
-                }
-                (None, None) => unreachable!("filtered above"),
-            }
-        }
-    }
-    stats
-}
-
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
-    use crate::message::bits_for_range;
+    use crate::message::{bits_for_range, Message};
+    use crate::program::Ctx;
     use crate::reference::run_reference;
-    use graphs::gen;
+    use graphs::{gen, NodeId};
 
     /// Flood the minimum id seen so far; finishes when stable for 2 rounds.
     #[derive(Clone)]

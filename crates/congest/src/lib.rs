@@ -4,11 +4,16 @@
 //! per round, each node may send one message of `O(log n)` bits across each
 //! incident edge. This crate provides:
 //!
-//! * [`Program`] / [`Ctx`] — the node-program abstraction;
-//! * [`run`] — the engine: a CSR edge-indexed mailbox plane with O(1)
-//!   sends, permutation delivery, deterministic per-node randomness,
-//!   optional multi-threaded step *and* routing phases, and
-//!   per-directed-edge per-round bit accounting folded into slot writes;
+//! * [`Program`] / [`Ctx`] — the node-program abstraction (programs can
+//!   retire themselves from the scheduler with [`Ctx::halt`]);
+//! * [`Session`] — a persistent engine session: the CSR edge-indexed
+//!   mailbox plane, worker pool, per-node RNGs, and the active-frontier
+//!   scheduler (compacted active lists + dirty-receiver delivery),
+//!   reused across every pass of a multi-pass pipeline;
+//! * [`run`] — the one-shot wrapper over [`Session`]: O(1) sends,
+//!   permutation delivery, deterministic per-node randomness, optional
+//!   multi-threaded step *and* routing phases, and per-directed-edge
+//!   per-round bit accounting folded into slot writes;
 //! * [`reference::run_reference`] — the pre-mailbox sort-and-scatter
 //!   plane, kept as a differential-testing and benchmarking baseline;
 //! * [`Bandwidth`] — strict enforcement (prove a protocol CONGEST-legal)
@@ -63,6 +68,7 @@ mod metrics;
 mod plane;
 mod program;
 pub mod reference;
+mod session;
 mod twoparty;
 
 pub use engine::{run, Bandwidth, SimConfig};
@@ -70,4 +76,5 @@ pub use error::SimError;
 pub use message::Message;
 pub use metrics::{LoadProfile, PassLog, PassRecord, RunReport, MAX_BUCKETS};
 pub use program::{Ctx, Program};
+pub use session::Session;
 pub use twoparty::BitTally;

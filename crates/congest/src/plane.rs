@@ -55,6 +55,7 @@ use crate::error::SimError;
 use crate::message::Message;
 use graphs::{Graph, NodeId};
 use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One mailbox slot — the hot, fixed-size part shared by both lanes.
 ///
@@ -158,6 +159,43 @@ impl NeighborIndex {
     }
 }
 
+/// Per-receiver dirty stamps: the epoch of the last write addressed to a
+/// receiver, the worklist behind the session scheduler's dirty-receiver
+/// delivery (see [`crate::Session`]). A targeted send stamps its
+/// destination; a broadcast stamps the sender's whole out-neighborhood
+/// (the same O(deg) the delivery clone pass pays anyway). Routing then
+/// sweeps only receivers stamped with the current epoch instead of every
+/// edge slot of the graph.
+///
+/// Stores are `Relaxed` atomics: several step workers may stamp the same
+/// receiver in one round, but they all write the *same* epoch value, and
+/// the phase barrier orders every stamp before the routing phase's loads.
+pub(crate) struct DirtyBoard {
+    stamps: Vec<AtomicU64>,
+}
+
+impl DirtyBoard {
+    /// A board for receivers `0..n`; no receiver starts dirty (the
+    /// initial stamp `u64::MAX` is never a valid epoch).
+    pub(crate) fn new(n: usize) -> Self {
+        DirtyBoard {
+            stamps: (0..n).map(|_| AtomicU64::new(u64::MAX)).collect(),
+        }
+    }
+
+    /// Stamp receiver `v` dirty for `epoch`.
+    #[inline]
+    pub(crate) fn mark(&self, v: NodeId, epoch: u64) {
+        self.stamps[v as usize].store(epoch, Ordering::Relaxed);
+    }
+
+    /// Whether receiver `v` was addressed during `epoch`.
+    #[inline]
+    pub(crate) fn is_dirty(&self, v: usize, epoch: u64) -> bool {
+        self.stamps[v].load(Ordering::Relaxed) == epoch
+    }
+}
+
 /// Degree at or below which `resolve` searches the (cache-resident)
 /// neighbor list directly instead of the O(1) scratch table: for short
 /// lists a handful of L1 compares beats two probes into `n`-sized arrays.
@@ -177,6 +215,9 @@ pub(crate) struct SlotSink<'a, M> {
     /// The node's slice of the reverse-CSR permutation: `rev_out[k]` is
     /// the receiver-side slot id of the edge to the `k`-th neighbor.
     pub(crate) rev_out: &'a [u32],
+    /// The session's dirty-receiver stamps (every write marks its
+    /// receiver so routing can skip clean nodes).
+    pub(crate) dirty: &'a DirtyBoard,
     /// Current round (the epoch value to stamp writes with).
     pub(crate) epoch: u64,
     /// Per-round send-call sequence (shared by both lanes; restores exact
@@ -253,12 +294,14 @@ impl<M: Message> SlotSink<'_, M> {
     }
 
     /// Targeted send: append `msg` to the slot of the edge to neighbor
-    /// `k`, folding its bit cost into the slot counter.
-    pub(crate) fn write(&mut self, k: usize, msg: M) {
+    /// `k` (node id `to`), folding its bit cost into the slot counter and
+    /// stamping the receiver dirty.
+    pub(crate) fn write(&mut self, k: usize, to: NodeId, msg: M) {
         let e = self.rev_out[k] as usize;
         // SAFETY: this sink's node is the unique step-phase sender over
         // its out-edges' slots (module docs).
         Self::push(&self.slots[e], &self.spill[e], self.epoch, self.seq, msg);
+        self.dirty.mark(to, self.epoch);
         self.seq += 1;
         self.targeted += 1;
     }
@@ -266,12 +309,20 @@ impl<M: Message> SlotSink<'_, M> {
     /// Broadcast: store `msg` once in the sender's broadcast slot; every
     /// receiving edge clones its own copy at delivery (the same copies
     /// the legacy plane made at send time) and accounts `bit_cost` bits.
+    /// The caller ([`crate::Ctx::broadcast`]) stamps the out-neighborhood
+    /// dirty via [`SlotSink::mark`].
     pub(crate) fn write_bcast(&mut self, msg: M) {
         // SAFETY: a node's broadcast slot is written only while its own
         // worker steps it (module docs).
         Self::push(self.bcast, self.bcast_spill, self.epoch, self.seq, msg);
         self.seq += 1;
         self.broadcasts += 1;
+    }
+
+    /// Stamp `v` as a dirty receiver of the current epoch.
+    #[inline]
+    pub(crate) fn mark(&self, v: NodeId) {
+        self.dirty.mark(v, self.epoch);
     }
 }
 
@@ -419,6 +470,7 @@ mod tests {
         bcast: &'a PlaneCell<Slot<Bit8>>,
         bcast_spill: &'a PlaneCell<Vec<(Bit8, u32)>>,
         rev_out: &'a [u32],
+        dirty: &'a DirtyBoard,
         epoch: u64,
         lookup: &'a mut NeighborIndex,
         err: &'a mut Option<SimError>,
@@ -429,6 +481,7 @@ mod tests {
             bcast,
             bcast_spill,
             rev_out,
+            dirty,
             epoch,
             seq: 0,
             targeted: 0,
@@ -458,6 +511,7 @@ mod tests {
         });
         let bcast_spill = PlaneCell::new(Vec::new());
         let rev_out = [0u32];
+        let dirty = DirtyBoard::new(1);
         let mut lookup = NeighborIndex::new(1);
         let mut err = None;
         let mut sink = sink_fixture(
@@ -466,14 +520,16 @@ mod tests {
             &bcast,
             &bcast_spill,
             &rev_out,
+            &dirty,
             0,
             &mut lookup,
             &mut err,
         );
-        sink.write(0, Bit8);
+        sink.write(0, 0, Bit8);
         sink.write_bcast(Bit8);
-        sink.write(0, Bit8);
+        sink.write(0, 0, Bit8);
         assert_eq!((sink.targeted, sink.broadcasts, sink.seq), (2, 1, 3));
+        assert!(dirty.is_dirty(0, 0), "targeted write must stamp receiver");
         // SAFETY: single-threaded test, no other accessor.
         let slot = unsafe { &mut *cells[0].get() };
         assert_eq!((slot.bits, slot.spilled, slot.seq), (16, 1, 0));
@@ -488,11 +544,12 @@ mod tests {
             &bcast,
             &bcast_spill,
             &rev_out,
+            &dirty,
             5,
             &mut lookup,
             &mut err,
         );
-        sink.write(0, Bit8);
+        sink.write(0, 0, Bit8);
         let slot = unsafe { &mut *cells[0].get() };
         assert_eq!((slot.stamp, slot.bits, slot.spilled), (5, 8, 0));
         assert!(unsafe { &*spill[0].get() }.is_empty());

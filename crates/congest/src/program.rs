@@ -11,7 +11,8 @@ use rand::rngs::StdRng;
 /// The engine calls [`Program::on_round`] every round, starting at round 0
 /// with an empty inbox. Messages sent during round `r` are delivered in the
 /// inbox of round `r + 1`. The run ends when every node reports
-/// [`Program::is_done`] (or the round cap is hit).
+/// [`Program::is_done`] or has called [`Ctx::halt`] (or the round cap is
+/// hit).
 pub trait Program: Send {
     /// Message type exchanged by this protocol.
     type Msg: Message;
@@ -20,8 +21,11 @@ pub trait Program: Send {
     /// messages via `ctx.send` / `ctx.broadcast`.
     fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
 
-    /// Whether this node has terminated. Done nodes still receive rounds
-    /// (their `on_round` should be a no-op) until the whole run ends.
+    /// Whether this node has terminated. A done node's `on_round` must be
+    /// a no-op (no sends, no state changes, no RNG draws): the
+    /// active-frontier scheduler ([`crate::Session`]) relies on this to
+    /// skip done nodes entirely, and the done flag must never flip back.
+    /// Done nodes still *receive* messages until the whole run ends.
     fn is_done(&self) -> bool;
 }
 
@@ -32,6 +36,7 @@ pub struct Ctx<'a, M> {
     pub(crate) neighbors: &'a [NodeId],
     pub(crate) inbox: &'a [(NodeId, M)],
     pub(crate) rng: &'a mut StdRng,
+    pub(crate) halt: &'a mut bool,
     pub(crate) sink: Sink<'a, M>,
 }
 
@@ -81,6 +86,20 @@ impl<'a, M: Message> Ctx<'a, M> {
         self.rng
     }
 
+    /// Retire this node from the run's active frontier: the engine will
+    /// not step it again this run (regardless of [`Program::is_done`]),
+    /// and it counts as finished for run termination. It still *receives*
+    /// messages — they are delivered and accounted, just never read. The
+    /// driver re-activates nodes by starting the next run
+    /// ([`crate::Session::run`] / [`crate::Session::run_from`]).
+    ///
+    /// Calling `halt()` promises the same contract as a true
+    /// [`Program::is_done`]: every further `on_round` would have been a
+    /// no-op.
+    pub fn halt(&mut self) {
+        *self.halt = true;
+    }
+
     /// Send `msg` to neighbor `to` (delivered next round).
     ///
     /// Sending to a non-neighbor is reported by the engine as
@@ -88,7 +107,7 @@ impl<'a, M: Message> Ctx<'a, M> {
     pub fn send(&mut self, to: NodeId, msg: M) {
         match &mut self.sink {
             Sink::Slots(s) => match s.resolve(self.neighbors, to) {
-                Some(k) => s.write(k, msg),
+                Some(k) => s.write(k, to, msg),
                 None => {
                     if s.err.is_none() {
                         *s.err = Some(SimError::NotANeighbor {
@@ -114,6 +133,11 @@ impl<'a, M: Message> Ctx<'a, M> {
                 if self.neighbors.is_empty() {
                     return;
                 }
+                // Stamping the out-neighborhood dirty is O(deg) — the
+                // same work the delivery clone pass pays per copy.
+                for &to in self.neighbors {
+                    s.mark(to);
+                }
                 s.write_bcast(msg);
             }
             Sink::Outbox(out) => {
@@ -136,12 +160,14 @@ mod tests {
         let inbox: Vec<(NodeId, ())> = vec![(1, ()), (3, ())];
         let mut rng = StdRng::seed_from_u64(1);
         let mut outbox = Vec::new();
+        let mut halt = false;
         let mut ctx = Ctx {
             node: 5,
             round: 2,
             neighbors: &neighbors,
             inbox: &inbox,
             rng: &mut rng,
+            halt: &mut halt,
             sink: Sink::Outbox(&mut outbox),
         };
         assert_eq!(ctx.id(), 5);
@@ -152,8 +178,10 @@ mod tests {
         assert_eq!(ctx.inbox().len(), 2);
         ctx.send(1, ());
         ctx.broadcast(());
+        ctx.halt();
         assert_eq!(outbox.len(), 4);
         assert_eq!(outbox[1].0, 1);
         assert_eq!(outbox[3].0, 7);
+        assert!(halt, "halt() must raise the frontier flag");
     }
 }

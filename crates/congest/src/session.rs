@@ -1,0 +1,1192 @@
+//! Persistent engine sessions with active-frontier scheduling.
+//!
+//! A [`Session`] owns everything an engine run needs that is a function
+//! of the *graph*, not of one protocol pass: the mailbox plane, the
+//! per-node RNG vector, the inboxes, the per-worker neighbor-lookup
+//! scratch, the worker pool, and the scheduler state. Multi-pass
+//! pipelines (the HNT22 driver runs dozens of short passes per solve)
+//! reuse one session for every pass instead of paying a fresh `O(n + m)`
+//! plane build, scratch allocation, and thread spawn per pass;
+//! [`crate::run`] remains as a one-shot wrapper that builds a throwaway
+//! session.
+//!
+//! # The active frontier
+//!
+//! Every run starts with an **active list** of nodes (all of them for
+//! [`Session::run`]; a driver-chosen subset for [`Session::run_from`]).
+//! A node leaves the frontier — permanently, for the rest of the run —
+//! when its program reports [`crate::Program::is_done`] after a step or
+//! calls [`crate::Ctx::halt`]. The step phase iterates a compacted
+//! per-worker active list instead of `0..n`, so late rounds in which a
+//! handful of nodes still work cost `O(active)`, not `O(n)`. The run
+//! ends when the frontier is empty. This is transcript-preserving
+//! because a done program's `on_round` is contractually a no-op (see
+//! [`crate::Program::is_done`]); the engine merely stops paying for the
+//! no-ops.
+//!
+//! # Dirty-receiver delivery
+//!
+//! Delivery used to sweep every receiver's in-slots each round — `O(m)`
+//! even when one node sent one message. The session keeps a
+//! [`DirtyBoard`]: each targeted send stamps its receiver with the
+//! current epoch, each broadcast stamps the sender's out-neighborhood
+//! (the same `O(deg)` the per-copy delivery pays anyway), and routing
+//! sweeps only receivers stamped this epoch. Inboxes filled in round `r`
+//! are remembered in a per-worker `filled` worklist and cleared at the
+//! start of round `r + 1`'s routing, which reproduces the old
+//! clear-everything semantics without touching clean nodes.
+//!
+//! Epochs are a session-global round counter that never resets, so slot
+//! stamps from earlier passes (or an aborted round) can never alias a
+//! later round's stamp.
+//!
+//! # The worker pool
+//!
+//! With `threads > 1` (and ≥ [`PAR_MIN_NODES`] nodes) the session spawns
+//! its workers **once, at construction**, and parks them on a barrier
+//! between passes. Each pass posts a type-erased job — a [`WorkerTask`]
+//! trait object over that pass's program type — and runs the same
+//! 4-barrier-per-round protocol as before.
+//!
+//! ## SAFETY (sharded frontier and the job cell)
+//!
+//! * Worker `w` owns the node range `[w·chunk, (w+1)·chunk)`: its
+//!   programs, RNGs, inboxes, active list, and filled list. These are
+//!   handed over as plain `&mut` shards inside a
+//!   per-worker `Mutex<Option<WorkerSlot>>` — locked exactly twice per
+//!   pass (take at pass start, put back at pass end), so there is no
+//!   unsafe aliasing of scheduler state at all.
+//! * The dirty board is shared: several step workers may stamp the same
+//!   receiver in one round. Stamps are relaxed atomic stores of the
+//!   *same* epoch value, and the phase barrier orders every stamp before
+//!   the routing loads.
+//! * The job cell holds a raw `*const dyn WorkerTask` with its lifetime
+//!   erased. The coordinator writes it while all workers are parked at
+//!   the pass-release barrier and clears it after the pass-end barrier;
+//!   workers dereference it only between those two barriers, during
+//!   which the coordinator's stack frame keeps the task alive. The task
+//!   type is `Sync` (enforced by the trait bound), so sharing the
+//!   reference across workers is sound.
+//! * Mailbox-plane slots keep the exact access protocol documented in
+//!   [`crate::plane`]; the frontier does not change who writes which
+//!   slot, only *whether* a node is stepped at all.
+
+use crate::engine::{Bandwidth, SimConfig};
+use crate::error::SimError;
+use crate::message::Message;
+use crate::metrics::RunReport;
+use crate::plane::{prefetch_for_write, DirtyBoard, MailboxPlane, NeighborIndex, Sink, SlotSink};
+use crate::program::{Ctx, Program};
+use graphs::{Graph, NodeId};
+use prand::mix::mix2;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+
+/// Below this node count the engine always runs single-threaded: barrier
+/// overhead would dominate.
+pub(crate) const PAR_MIN_NODES: usize = 256;
+
+/// Which plane lanes a round actually used (merged over all step
+/// workers); the router skips dead lanes entirely.
+#[derive(Clone, Copy, Default)]
+struct Lanes {
+    targeted: bool,
+    bcast: bool,
+}
+
+/// One step shard's result.
+#[derive(Default)]
+struct StepOut {
+    /// Nodes this shard retired from the frontier this round (done or
+    /// halted — monotone, they never come back within a run).
+    retired: usize,
+    /// First send-side error in node order.
+    err: Option<SimError>,
+    /// Lanes this shard's nodes wrote.
+    lanes: Lanes,
+}
+
+/// Aggregated routing-phase counters for one round (or one worker shard).
+#[derive(Default)]
+struct RouteStats {
+    max: u64,
+    bits: u64,
+    messages: u64,
+    err: Option<SimError>,
+}
+
+/// One worker's slice of the session: the node range it steps and routes.
+struct WorkerSlot<'a, P: Program> {
+    /// First node id of the range.
+    lo: usize,
+    programs: &'a mut [P],
+    rngs: &'a mut [StdRng],
+    inboxes: &'a mut [Vec<(NodeId, P::Msg)>],
+    /// Compacted ascending list of this range's frontier nodes.
+    /// **This list is the sole scheduler state** — a node is halted iff
+    /// it is absent, so retirement is just dropping out of the
+    /// compaction.
+    active: &'a mut Vec<u32>,
+    /// Receivers of this range whose inboxes were filled last round.
+    filled: &'a mut Vec<u32>,
+    /// The worker's persistent neighbor-position scratch.
+    lookup: &'a mut NeighborIndex,
+}
+
+/// Step the shard's active frontier: run `on_round` with a slot sink
+/// over each active node's out-edges and compact the frontier in place
+/// (done/halted nodes drop out, order preserved).
+fn step_shard<P: Program>(
+    graph: &Graph,
+    plane: &MailboxPlane<P::Msg>,
+    dirty: &DirtyBoard,
+    slot: &mut WorkerSlot<'_, P>,
+    round: u64,
+    epoch: u64,
+    prefetch: bool,
+) -> StepOut {
+    let offsets = graph.offsets();
+    let mut out = StepOut::default();
+    let lo = slot.lo;
+    let len = slot.active.len();
+    // When the previous round used the targeted lane, overlap its
+    // scatter misses with program compute: a node's write targets are
+    // statically its rev_out entries, issued PREFETCH_AHEAD frontier
+    // positions early.
+    const PREFETCH_AHEAD: usize = 2;
+    let prefetch_node = |v: usize| {
+        for &e in &plane.rev[offsets[v]..offsets[v + 1]] {
+            prefetch_for_write(plane.slots[e as usize].get());
+        }
+    };
+    if prefetch {
+        for i in 0..PREFETCH_AHEAD.min(len) {
+            prefetch_node(slot.active[i] as usize);
+        }
+    }
+    let mut keep = 0usize;
+    for i in 0..len {
+        let v = slot.active[i] as usize;
+        if prefetch && i + PREFETCH_AHEAD < len {
+            prefetch_node(slot.active[i + PREFETCH_AHEAD] as usize);
+        }
+        let mut halt_now = false;
+        let mut ctx = Ctx {
+            node: v as NodeId,
+            round,
+            neighbors: graph.neighbors(v as NodeId),
+            inbox: &slot.inboxes[v - lo],
+            rng: &mut slot.rngs[v - lo],
+            halt: &mut halt_now,
+            sink: Sink::Slots(SlotSink {
+                slots: &plane.slots,
+                spill: &plane.spill,
+                bcast: &plane.bcast[v],
+                bcast_spill: &plane.bcast_spill[v],
+                rev_out: &plane.rev[offsets[v]..offsets[v + 1]],
+                dirty,
+                epoch,
+                seq: 0,
+                targeted: 0,
+                broadcasts: 0,
+                lookup: &mut *slot.lookup,
+                filled: false,
+                err: &mut out.err,
+            }),
+        };
+        slot.programs[v - lo].on_round(&mut ctx);
+        if let Sink::Slots(s) = &ctx.sink {
+            out.lanes.targeted |= s.targeted > 0;
+            out.lanes.bcast |= s.broadcasts > 0;
+        }
+        if halt_now || slot.programs[v - lo].is_done() {
+            out.retired += 1;
+        } else {
+            slot.active[keep] = v as u32;
+            keep += 1;
+        }
+    }
+    slot.active.truncate(keep);
+    out
+}
+
+/// Deliver to the shard's dirty receivers: clear the inboxes filled last
+/// round, then sweep only receivers stamped with the current epoch —
+/// per receiver, the exact contiguous in-slot sweep and broadcast gather
+/// of the full-sweep engine, so inbox order, bit accounting, and strict
+/// checks are unchanged. Lanes the round didn't use are skipped.
+///
+/// Dirty receivers are *found* by a sequential scan of the shard's slice
+/// of the stamp array — a deliberate trade-off: the scan streams one u64
+/// stamp per node per round (8n bytes, sequential and prefetch-friendly,
+/// vs the old engine's O(m) *scattered* slot visits) and yields
+/// receivers in ascending order with no cross-worker merging, which is
+/// what keeps error selection and inbox fills deterministic.
+/// Per-receiver delivery work is O(dirty); only the stamp probe is O(n).
+#[allow(clippy::too_many_arguments)]
+fn route_shard<M: Message>(
+    graph: &Graph,
+    plane: &MailboxPlane<M>,
+    dirty: &DirtyBoard,
+    inboxes: &mut [Vec<(NodeId, M)>],
+    filled: &mut Vec<u32>,
+    lo: usize,
+    round: u64,
+    epoch: u64,
+    bandwidth: Bandwidth,
+    lanes: Lanes,
+) -> RouteStats {
+    let offsets = graph.offsets();
+    let mut stats = RouteStats::default();
+    // Reproduce the old clear-everything semantics lazily: only inboxes
+    // actually filled last round can be non-empty.
+    for &v in filled.iter() {
+        inboxes[v as usize - lo].clear();
+    }
+    filled.clear();
+    if !lanes.targeted && !lanes.bcast {
+        return stats;
+    }
+    for (i, inbox) in inboxes.iter_mut().enumerate() {
+        let v = lo + i;
+        if !dirty.is_dirty(v, epoch) {
+            continue;
+        }
+        filled.push(v as u32);
+        let base = offsets[v];
+        for (j, &u) in graph.neighbors(v as NodeId).iter().enumerate() {
+            // Targeted lane: contiguous in-slot sweep.
+            // SAFETY: slots are receiver-side keyed and routing workers
+            // own disjoint receiver ranges, so slot `base + j` is reached
+            // by exactly one worker; the phase barrier orders this access
+            // after every step-phase write.
+            let eslot = lanes
+                .targeted
+                .then(|| unsafe { &mut *plane.slots[base + j].get() })
+                .filter(|s| s.stamp == epoch);
+            // Broadcast lane: cache-resident gather by sender id.
+            // SAFETY: broadcast slots are only *read* during routing (and
+            // written solely by their owner in the step phase).
+            let bslot = lanes
+                .bcast
+                .then(|| unsafe { &*plane.bcast[u as usize].get() })
+                .filter(|b| b.stamp == epoch);
+            if eslot.is_none() && bslot.is_none() {
+                continue;
+            }
+            let edge_bits = eslot.as_ref().map_or(0u64, |s| u64::from(s.bits))
+                + bslot.map_or(0u64, |b| u64::from(b.bits));
+            if let Bandwidth::Strict(limit) = bandwidth {
+                if edge_bits > limit {
+                    stats.err = Some(SimError::BandwidthExceeded {
+                        from: u,
+                        to: v as NodeId,
+                        bits: edge_bits,
+                        limit,
+                        round,
+                    });
+                    return stats;
+                }
+            }
+            stats.max = stats.max.max(edge_bits);
+            stats.bits += edge_bits;
+            match (eslot, bslot) {
+                (Some(s), None) => {
+                    let msg = s.first.take().expect("live slot has a first message");
+                    stats.messages += 1 + u64::from(s.spilled);
+                    inbox.push((u, msg));
+                    if s.spilled > 0 {
+                        s.spilled = 0;
+                        // SAFETY: same receiver-range exclusivity.
+                        let sp = unsafe { &mut *plane.spill[base + j].get() };
+                        inbox.extend(sp.drain(..).map(|(m, _)| (u, m)));
+                    }
+                }
+                (None, Some(b)) => {
+                    let msg = b.first.clone().expect("live slot has a first message");
+                    stats.messages += 1 + u64::from(b.spilled);
+                    inbox.push((u, msg));
+                    if b.spilled > 0 {
+                        // SAFETY: read-only, like the hot broadcast slot.
+                        let sp = unsafe { &*plane.bcast_spill[u as usize].get() };
+                        inbox.extend(sp.iter().map(|(m, _)| (u, m.clone())));
+                    }
+                }
+                (Some(s), Some(b)) => {
+                    // Rare: one neighbor used both lanes this round.
+                    // Interleave back into exact send order by sequence.
+                    stats.messages += 2 + u64::from(s.spilled) + u64::from(b.spilled);
+                    let first_t = s.first.take().expect("live slot has a first message");
+                    s.spilled = 0;
+                    // SAFETY: as in the single-lane branches above.
+                    let sp_t = unsafe { &mut *plane.spill[base + j].get() };
+                    let sp_b = unsafe { &*plane.bcast_spill[u as usize].get() };
+                    let mut te = std::iter::once((s.seq, first_t))
+                        .chain(sp_t.drain(..).map(|(m, q)| (q, m)))
+                        .peekable();
+                    let first_b = b.first.clone().expect("live slot has a first message");
+                    let mut be = std::iter::once((b.seq, first_b))
+                        .chain(sp_b.iter().map(|(m, q)| (*q, m.clone())))
+                        .peekable();
+                    loop {
+                        let take_targeted = match (te.peek(), be.peek()) {
+                            (Some((tq, _)), Some((bq, _))) => tq < bq,
+                            (Some(_), None) => true,
+                            (None, Some(_)) => false,
+                            (None, None) => break,
+                        };
+                        let (_, m) = if take_targeted {
+                            te.next().expect("peeked")
+                        } else {
+                            be.next().expect("peeked")
+                        };
+                        inbox.push((u, m));
+                    }
+                }
+                (None, None) => unreachable!("filtered above"),
+            }
+        }
+    }
+    stats
+}
+
+/// A type-erased pass the pool workers execute. `Sync` is load-bearing:
+/// workers share one `&dyn WorkerTask` across threads.
+trait WorkerTask: Sync {
+    /// Run worker `w`'s side of the whole pass (every round, with the
+    /// standard phase barriers), returning when the coordinator raises
+    /// `pass_exit`.
+    fn run_worker(&self, w: usize, shared: &PoolShared);
+}
+
+/// Shareable cell for the posted job pointer.
+struct JobCell(UnsafeCell<Option<*const (dyn WorkerTask + 'static)>>);
+
+/// SAFETY: written only by the coordinator while every worker is parked
+/// at the pass-release barrier, read by workers only between that
+/// barrier and the pass-end barrier (module docs). The pointee itself is
+/// `Sync` (the [`WorkerTask`] supertrait), so sharing the pointer is
+/// sound.
+unsafe impl Sync for JobCell {}
+
+/// SAFETY: as above — the cell only travels inside the `Arc<PoolShared>`
+/// handed to the pool threads at spawn, before any job exists.
+unsafe impl Send for JobCell {}
+
+/// Coordinator ⇄ worker shared state, fixed for the session's lifetime.
+struct PoolShared {
+    /// Phase barrier over `shards + 1` parties (workers + coordinator).
+    barrier: Barrier,
+    /// Pass-local round number of the current round.
+    round: AtomicU64,
+    /// Session-global epoch of the current round.
+    epoch: AtomicU64,
+    /// Whether step workers should prefetch targeted out-slots (the
+    /// previous round used the targeted lane).
+    prefetch: AtomicBool,
+    /// Lanes the just-finished step phase wrote (drives routing).
+    targeted: AtomicBool,
+    bcast: AtomicBool,
+    /// Raised by the coordinator to end the current pass.
+    pass_exit: AtomicBool,
+    /// Raised on drop to terminate the worker threads.
+    pool_exit: AtomicBool,
+    /// The current pass's type-erased job.
+    job: JobCell,
+    /// Per-worker phase results.
+    step_out: Vec<Mutex<StepOut>>,
+    route_out: Vec<Mutex<RouteStats>>,
+}
+
+/// The persistent worker pool: threads parked between passes.
+struct Pool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    fn spawn(shards: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            barrier: Barrier::new(shards + 1),
+            round: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            prefetch: AtomicBool::new(false),
+            targeted: AtomicBool::new(false),
+            bcast: AtomicBool::new(false),
+            pass_exit: AtomicBool::new(false),
+            pool_exit: AtomicBool::new(false),
+            job: JobCell(UnsafeCell::new(None)),
+            step_out: (0..shards).map(|_| Mutex::default()).collect(),
+            route_out: (0..shards).map(|_| Mutex::default()).collect(),
+        });
+        let handles = (0..shards)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("congest-session-{w}"))
+                    .spawn(move || worker_main(w, &shared))
+                    .expect("spawn session worker")
+            })
+            .collect();
+        Pool { shared, handles }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.pool_exit.store(true, Ordering::Release);
+        self.shared.barrier.wait();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A pool worker's outer loop: park until a pass (or pool exit) is
+/// posted, run it, sync the pass-end barrier, repeat.
+fn worker_main(w: usize, shared: &PoolShared) {
+    loop {
+        shared.barrier.wait(); // pass posted (or pool exit)
+        if shared.pool_exit.load(Ordering::Acquire) {
+            break;
+        }
+        // SAFETY: the coordinator posted the job before releasing the
+        // barrier and keeps the task alive until the pass-end barrier
+        // below; between the two the pointee is valid and Sync.
+        let task = unsafe { &*(*shared.job.0.get()).expect("job posted before release") };
+        task.run_worker(w, shared);
+        shared.barrier.wait(); // pass-end: coordinator reclaims the task
+    }
+}
+
+/// One pass's job: the borrowed engine state plus per-worker slots.
+struct PassTask<'a, P: Program> {
+    graph: &'a Graph,
+    plane: &'a MailboxPlane<P::Msg>,
+    dirty: &'a DirtyBoard,
+    bandwidth: Bandwidth,
+    /// Taken by worker `w` at pass start, returned at pass end.
+    slots: Vec<Mutex<Option<WorkerSlot<'a, P>>>>,
+}
+
+impl<P: Program> WorkerTask for PassTask<'_, P> {
+    fn run_worker(&self, w: usize, shared: &PoolShared) {
+        let mut slot = self.slots[w]
+            .lock()
+            .expect("worker slot poisoned")
+            .take()
+            .expect("worker slot present");
+        loop {
+            shared.barrier.wait(); // coordinator released the step phase
+            if shared.pass_exit.load(Ordering::Acquire) {
+                break;
+            }
+            let round = shared.round.load(Ordering::Acquire);
+            let epoch = shared.epoch.load(Ordering::Acquire);
+            let prefetch = shared.prefetch.load(Ordering::Acquire);
+            let out = step_shard(
+                self.graph, self.plane, self.dirty, &mut slot, round, epoch, prefetch,
+            );
+            *shared.step_out[w].lock().expect("step slot poisoned") = out;
+            shared.barrier.wait(); // step results visible to coordinator
+            shared.barrier.wait(); // coordinator released the routing phase
+            if shared.pass_exit.load(Ordering::Acquire) {
+                break;
+            }
+            let lanes = Lanes {
+                targeted: shared.targeted.load(Ordering::Acquire),
+                bcast: shared.bcast.load(Ordering::Acquire),
+            };
+            let stats = route_shard(
+                self.graph,
+                self.plane,
+                self.dirty,
+                &mut *slot.inboxes,
+                &mut *slot.filled,
+                slot.lo,
+                round,
+                epoch,
+                self.bandwidth,
+                lanes,
+            );
+            *shared.route_out[w].lock().expect("route slot poisoned") = stats;
+            shared.barrier.wait(); // route results visible to coordinator
+        }
+        *self.slots[w].lock().expect("worker slot poisoned") = Some(slot);
+    }
+}
+
+/// A persistent engine session: plane, RNGs, inboxes, scratch, worker
+/// pool, and scheduler state, reused across every pass of a solve.
+///
+/// Build one with [`Session::new`], then call [`Session::run`] once per
+/// pass; results are byte-identical to running each pass through
+/// [`crate::run`] — including across thread counts — while amortizing
+/// all per-pass setup.
+///
+/// # Example
+///
+/// ```
+/// use congest::{Ctx, Program, Session, SimConfig};
+///
+/// /// Announces once, then halts.
+/// struct Ping { heard: usize, done: bool }
+/// #[derive(Clone)]
+/// struct Hi;
+/// impl congest::Message for Hi {
+///     fn bit_cost(&self) -> u64 { 1 }
+/// }
+/// impl Program for Ping {
+///     type Msg = Hi;
+///     fn on_round(&mut self, ctx: &mut Ctx<'_, Hi>) {
+///         if ctx.round() == 0 {
+///             ctx.broadcast(Hi);
+///         } else {
+///             self.heard = ctx.inbox().len();
+///             self.done = true;
+///         }
+///     }
+///     fn is_done(&self) -> bool { self.done }
+/// }
+///
+/// let g = graphs::gen::cycle(8);
+/// let mut session = Session::new(&g, SimConfig::default());
+/// for pass_seed in [1u64, 2, 3] {
+///     let mut programs: Vec<Ping> =
+///         (0..8).map(|_| Ping { heard: 0, done: false }).collect();
+///     let report = session.run(&mut programs, pass_seed).unwrap();
+///     assert_eq!(report.rounds, 2);
+///     assert!(programs.iter().all(|p| p.heard == 2));
+/// }
+/// ```
+pub struct Session<'g, M: Message> {
+    graph: &'g Graph,
+    config: SimConfig,
+    plane: MailboxPlane<M>,
+    dirty: DirtyBoard,
+    rngs: Vec<StdRng>,
+    inboxes: Vec<Vec<(NodeId, M)>>,
+    active: Vec<Vec<u32>>,
+    filled: Vec<Vec<u32>>,
+    lookups: Vec<NeighborIndex>,
+    /// Session-global round counter; strictly increasing, never reused
+    /// (so stale slot stamps can never alias a later round).
+    epoch: u64,
+    chunk: usize,
+    pool: Option<Pool>,
+}
+
+impl<'g, M: Message> Session<'g, M> {
+    /// Build a session for `graph`. `config.seed` is not used — each
+    /// [`Session::run`] takes its own pass seed; bandwidth policy, round
+    /// cap, and thread count come from `config`.
+    pub fn new(graph: &'g Graph, config: SimConfig) -> Self {
+        let n = graph.n();
+        let workers = if config.threads <= 1 || n < PAR_MIN_NODES {
+            1
+        } else {
+            config.threads
+        };
+        let chunk = n.div_ceil(workers).max(1);
+        let shards = n.div_ceil(chunk).max(1);
+        Session {
+            graph,
+            config,
+            plane: MailboxPlane::new(graph),
+            dirty: DirtyBoard::new(n),
+            rngs: Vec::new(),
+            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            active: (0..shards).map(|_| Vec::with_capacity(chunk)).collect(),
+            filled: (0..shards).map(|_| Vec::new()).collect(),
+            lookups: (0..shards).map(|_| NeighborIndex::new(n)).collect(),
+            epoch: 0,
+            chunk,
+            pool: (shards > 1).then(|| Pool::spawn(shards)),
+        }
+    }
+
+    /// The graph this session runs on.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The engine configuration the session was built with.
+    pub fn config(&self) -> SimConfig {
+        self.config
+    }
+
+    /// Run one pass over **all** nodes: node `v`'s RNG is reseeded from
+    /// `(seed, v)` exactly as [`crate::run`] does, the frontier starts
+    /// with every node whose program is not already done, and the run
+    /// ends when the frontier is empty (or the round cap is hit).
+    ///
+    /// `programs` are advanced in place — on error they still hold each
+    /// node's last consistent state, so callers can report partial
+    /// results.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::run`]: [`SimError::NotANeighbor`] or, in strict mode,
+    /// [`SimError::BandwidthExceeded`], with the same deterministic
+    /// first-offender selection for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs.len() != graph.n()`.
+    pub fn run<P: Program<Msg = M>>(
+        &mut self,
+        programs: &mut [P],
+        seed: u64,
+    ) -> Result<RunReport, SimError> {
+        self.run_from(programs, seed, |_| true)
+    }
+
+    /// Like [`Session::run`], but the driver chooses the initial
+    /// frontier: node `v` starts active iff `active(v)` (and its program
+    /// is not already done). Nodes left out are never stepped this run —
+    /// they count as finished for termination but still receive (and are
+    /// billed for) messages. This is the reactivation half of the
+    /// halt/reactivate protocol: [`crate::Ctx::halt`] retires a node,
+    /// the next `run_from` decides who returns.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs.len() != graph.n()`.
+    pub fn run_from<P: Program<Msg = M>>(
+        &mut self,
+        programs: &mut [P],
+        seed: u64,
+        mut active: impl FnMut(NodeId) -> bool,
+    ) -> Result<RunReport, SimError> {
+        let n = self.graph.n();
+        assert_eq!(programs.len(), n, "need exactly one program per node");
+        // Per-pass reset: reseed RNGs, drop leftover deliveries, rebuild
+        // the frontier. All O(n) — the plane, pool, and scratch carry
+        // over untouched.
+        if self.rngs.len() != n {
+            self.rngs = (0..n)
+                .map(|v| StdRng::seed_from_u64(mix2(seed, v as u64)))
+                .collect();
+        } else {
+            for (v, rng) in self.rngs.iter_mut().enumerate() {
+                *rng = StdRng::seed_from_u64(mix2(seed, v as u64));
+            }
+        }
+        for inbox in &mut self.inboxes {
+            inbox.clear();
+        }
+        for filled in &mut self.filled {
+            filled.clear();
+        }
+        let mut halted_count = 0usize;
+        for (w, list) in self.active.iter_mut().enumerate() {
+            list.clear();
+            let lo = w * self.chunk;
+            let hi = (lo + self.chunk).min(n);
+            for (v, program) in programs.iter().enumerate().take(hi).skip(lo) {
+                if active(v as NodeId) && !program.is_done() {
+                    list.push(v as u32);
+                } else {
+                    halted_count += 1;
+                }
+            }
+        }
+        let slots = make_slots(
+            programs,
+            &mut self.rngs,
+            &mut self.inboxes,
+            &mut self.active,
+            &mut self.filled,
+            &mut self.lookups,
+            self.chunk,
+        );
+        match &self.pool {
+            None => run_rounds_sequential(
+                self.graph,
+                &self.plane,
+                &self.dirty,
+                self.config,
+                slots,
+                &mut self.epoch,
+                halted_count,
+            ),
+            Some(pool) => run_rounds_pooled(
+                self.graph,
+                &self.plane,
+                &self.dirty,
+                self.config,
+                &pool.shared,
+                slots,
+                &mut self.epoch,
+                halted_count,
+            ),
+        }
+    }
+}
+
+/// Partition every per-node array into the per-worker slots.
+#[allow(clippy::too_many_arguments)]
+fn make_slots<'a, P: Program>(
+    programs: &'a mut [P],
+    rngs: &'a mut [StdRng],
+    inboxes: &'a mut [Vec<(NodeId, P::Msg)>],
+    active: &'a mut [Vec<u32>],
+    filled: &'a mut [Vec<u32>],
+    lookups: &'a mut [NeighborIndex],
+    chunk: usize,
+) -> Vec<WorkerSlot<'a, P>> {
+    let mut slots = Vec::with_capacity(active.len());
+    let mut lo = 0usize;
+    let iter = programs
+        .chunks_mut(chunk)
+        .zip(rngs.chunks_mut(chunk))
+        .zip(inboxes.chunks_mut(chunk))
+        .zip(active.iter_mut())
+        .zip(filled.iter_mut())
+        .zip(lookups.iter_mut());
+    for (((((programs, rngs), inboxes), active), filled), lookup) in iter {
+        let lo_w = lo;
+        lo += programs.len();
+        slots.push(WorkerSlot {
+            lo: lo_w,
+            programs,
+            rngs,
+            inboxes,
+            active,
+            filled,
+            lookup,
+        });
+    }
+    slots
+}
+
+/// The single-threaded round loop: no barriers, one scratch.
+fn run_rounds_sequential<P: Program>(
+    graph: &Graph,
+    plane: &MailboxPlane<P::Msg>,
+    dirty: &DirtyBoard,
+    config: SimConfig,
+    mut slots: Vec<WorkerSlot<'_, P>>,
+    epoch_counter: &mut u64,
+    mut halted_count: usize,
+) -> Result<RunReport, SimError> {
+    let n = graph.n();
+    let mut report = RunReport {
+        completed: true,
+        ..Default::default()
+    };
+    let mut round = 0u64;
+    let mut prefetch = false;
+    loop {
+        if halted_count == n {
+            break;
+        }
+        if round >= config.max_rounds {
+            report.completed = false;
+            break;
+        }
+        // Reserve the epoch up front so an aborted round can never be
+        // aliased by a later one.
+        let epoch = *epoch_counter;
+        *epoch_counter += 1;
+        let mut lanes = Lanes::default();
+        let mut err = None;
+        for slot in &mut slots {
+            let out = step_shard(graph, plane, dirty, slot, round, epoch, prefetch);
+            if err.is_none() {
+                err = out.err;
+            }
+            lanes.targeted |= out.lanes.targeted;
+            lanes.bcast |= out.lanes.bcast;
+            halted_count += out.retired;
+        }
+        if let Some(e) = err {
+            return Err(e);
+        }
+        prefetch = lanes.targeted;
+        let mut stats = RouteStats::default();
+        for slot in &mut slots {
+            let s = route_shard(
+                graph,
+                plane,
+                dirty,
+                &mut *slot.inboxes,
+                &mut *slot.filled,
+                slot.lo,
+                round,
+                epoch,
+                config.bandwidth,
+                lanes,
+            );
+            stats.max = stats.max.max(s.max);
+            stats.bits += s.bits;
+            stats.messages += s.messages;
+            if stats.err.is_none() {
+                stats.err = s.err;
+            }
+        }
+        if let Some(e) = stats.err {
+            return Err(e);
+        }
+        report.total_bits += stats.bits;
+        report.messages += stats.messages;
+        report.edge_load.record(stats.max);
+        round += 1;
+    }
+    report.rounds = round;
+    Ok(report)
+}
+
+/// The pooled round loop: post the pass to the parked workers, then
+/// coordinate the 4-barrier-per-round protocol exactly as the scoped
+/// engine did. Determinism: per-node work is independent of sharding,
+/// counters merge with commutative ops, and first-error selection scans
+/// workers in ascending chunk order.
+#[allow(clippy::too_many_arguments)]
+fn run_rounds_pooled<P: Program>(
+    graph: &Graph,
+    plane: &MailboxPlane<P::Msg>,
+    dirty: &DirtyBoard,
+    config: SimConfig,
+    shared: &PoolShared,
+    slots: Vec<WorkerSlot<'_, P>>,
+    epoch_counter: &mut u64,
+    mut halted_count: usize,
+) -> Result<RunReport, SimError> {
+    let n = graph.n();
+    let task = PassTask {
+        graph,
+        plane,
+        dirty,
+        bandwidth: config.bandwidth,
+        slots: slots.into_iter().map(|s| Mutex::new(Some(s))).collect(),
+    };
+    let raw: *const (dyn WorkerTask + '_) = &task;
+    // SAFETY: lifetime erasure only — the pointer is dereferenced solely
+    // between the pass-release and pass-end barriers, both inside this
+    // call, while `task` is alive on this stack frame (module docs).
+    let raw: *const (dyn WorkerTask + 'static) = unsafe { std::mem::transmute(raw) };
+    shared.prefetch.store(false, Ordering::Release);
+    shared.pass_exit.store(false, Ordering::Release);
+    // SAFETY: all workers are parked at the pass-release barrier; no one
+    // reads the cell until the wait below.
+    unsafe {
+        *shared.job.0.get() = Some(raw);
+    }
+    shared.barrier.wait(); // pass release — workers enter their round loop
+
+    let finish = |result: Result<RunReport, SimError>| {
+        shared.pass_exit.store(true, Ordering::Release);
+        shared.barrier.wait(); // wakes workers at whichever phase-release barrier
+        shared.barrier.wait(); // pass-end: workers returned their slots
+                               // SAFETY: every worker is parked again; the task borrow is dead.
+        unsafe {
+            *shared.job.0.get() = None;
+        }
+        result
+    };
+
+    let mut report = RunReport {
+        completed: true,
+        ..Default::default()
+    };
+    let mut round = 0u64;
+    loop {
+        if halted_count == n {
+            report.rounds = round;
+            return finish(Ok(report));
+        }
+        if round >= config.max_rounds {
+            report.completed = false;
+            report.rounds = round;
+            return finish(Ok(report));
+        }
+        let epoch = *epoch_counter;
+        *epoch_counter += 1;
+        shared.round.store(round, Ordering::Release);
+        shared.epoch.store(epoch, Ordering::Release);
+        shared.barrier.wait(); // release step
+        shared.barrier.wait(); // step done
+        let mut err = None;
+        let mut lanes = Lanes::default();
+        for slot in &shared.step_out {
+            let out = std::mem::take(&mut *slot.lock().expect("step slot poisoned"));
+            halted_count += out.retired;
+            if err.is_none() {
+                err = out.err;
+            }
+            lanes.targeted |= out.lanes.targeted;
+            lanes.bcast |= out.lanes.bcast;
+        }
+        if let Some(e) = err {
+            return finish(Err(e));
+        }
+        shared.targeted.store(lanes.targeted, Ordering::Release);
+        shared.bcast.store(lanes.bcast, Ordering::Release);
+        shared.prefetch.store(lanes.targeted, Ordering::Release);
+        shared.barrier.wait(); // release route
+        shared.barrier.wait(); // route done
+        let mut stats = RouteStats::default();
+        for slot in &shared.route_out {
+            let s = std::mem::take(&mut *slot.lock().expect("route slot poisoned"));
+            stats.max = stats.max.max(s.max);
+            stats.bits += s.bits;
+            stats.messages += s.messages;
+            if stats.err.is_none() {
+                stats.err = s.err;
+            }
+        }
+        if let Some(e) = stats.err {
+            return finish(Err(e));
+        }
+        report.total_bits += stats.bits;
+        report.messages += stats.messages;
+        report.edge_load.record(stats.max);
+        round += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run;
+    use crate::reference::run_reference;
+    use graphs::gen;
+
+    /// Counts how often it is stepped; halts itself after `active_rounds`
+    /// steps and panics if stepped again.
+    struct HaltCounter {
+        active_rounds: u64,
+        steps: u64,
+        halted: bool,
+    }
+
+    impl Program for HaltCounter {
+        type Msg = ();
+        fn on_round(&mut self, ctx: &mut Ctx<'_, ()>) {
+            assert!(!self.halted, "node {} stepped after halt()", ctx.id());
+            self.steps += 1;
+            ctx.broadcast(());
+            if self.steps >= self.active_rounds {
+                self.halted = true;
+                ctx.halt();
+            }
+        }
+        fn is_done(&self) -> bool {
+            false
+        }
+    }
+
+    /// Satellite: a halted node is never stepped again, and halting
+    /// counts as finished for run termination even with `is_done` false.
+    #[test]
+    fn halted_node_is_never_stepped() {
+        let g = gen::cycle(10);
+        let mut session: Session<'_, ()> = Session::new(&g, SimConfig::default());
+        let mut programs: Vec<HaltCounter> = (0..10)
+            .map(|v| HaltCounter {
+                active_rounds: 1 + v % 4,
+                steps: 0,
+                halted: false,
+            })
+            .collect();
+        let report = session.run(&mut programs, 3).expect("run");
+        assert!(report.completed);
+        // The run ends one round after the slowest halter's last step.
+        assert_eq!(report.rounds, 4);
+        for (v, p) in programs.iter().enumerate() {
+            assert_eq!(p.steps, 1 + (v as u64) % 4, "node {v} step count");
+        }
+    }
+
+    /// Halting with threads > 1 behaves identically (and the pooled
+    /// never-step invariant holds via the same panic guard).
+    #[test]
+    fn halted_node_is_never_stepped_pooled() {
+        let n = 400; // above PAR_MIN_NODES
+        let g = gen::cycle(n);
+        let mk = || -> Vec<HaltCounter> {
+            (0..n)
+                .map(|v| HaltCounter {
+                    active_rounds: 1 + (v as u64) % 5,
+                    steps: 0,
+                    halted: false,
+                })
+                .collect()
+        };
+        let mut seq: Session<'_, ()> = Session::new(&g, SimConfig::default());
+        let mut a = mk();
+        let ra = seq.run(&mut a, 7).expect("run");
+        let cfg = SimConfig {
+            threads: 4,
+            ..SimConfig::default()
+        };
+        let mut pooled: Session<'_, ()> = Session::new(&g, cfg);
+        let mut b = mk();
+        let rb = pooled.run(&mut b, 7).expect("run");
+        assert_eq!(ra, rb);
+        assert!(a.iter().zip(&b).all(|(x, y)| x.steps == y.steps));
+    }
+
+    /// `run_from` keeps excluded nodes out of the frontier entirely.
+    #[test]
+    fn run_from_respects_the_initial_frontier() {
+        let g = gen::cycle(8);
+        let mut session: Session<'_, ()> = Session::new(&g, SimConfig::default());
+        let mut programs: Vec<HaltCounter> = (0..8)
+            .map(|_| HaltCounter {
+                active_rounds: 2,
+                steps: 0,
+                halted: false,
+            })
+            .collect();
+        let report = session
+            .run_from(&mut programs, 1, |v| v % 2 == 0)
+            .expect("run");
+        assert!(report.completed);
+        for (v, p) in programs.iter().enumerate() {
+            let expect = if v % 2 == 0 { 2 } else { 0 };
+            assert_eq!(p.steps, expect, "node {v}");
+        }
+    }
+
+    use crate::engine::tests::min_flood_programs;
+
+    /// Session reuse across passes is byte-identical to a fresh
+    /// `congest::run` per pass and to the legacy reference plane, for
+    /// every thread count.
+    #[test]
+    fn session_reuse_matches_per_pass_runs() {
+        let g = gen::gnp(400, 0.02, 17);
+        for threads in [1usize, 2, 8] {
+            let cfg = SimConfig {
+                threads,
+                ..SimConfig::default()
+            };
+            let mut session: Session<'_, crate::engine::tests::IdMsg> = Session::new(&g, cfg);
+            for pass_seed in [5u64, 99, 123] {
+                let mut programs = min_flood_programs(400);
+                let rs = session.run(&mut programs, pass_seed).expect("session");
+                let (one_shot, ro) = run(
+                    &g,
+                    min_flood_programs(400),
+                    SimConfig {
+                        seed: pass_seed,
+                        ..cfg
+                    },
+                )
+                .expect("one-shot");
+                let (refr, rr) = run_reference(
+                    &g,
+                    min_flood_programs(400),
+                    SimConfig {
+                        seed: pass_seed,
+                        ..cfg
+                    },
+                )
+                .expect("reference");
+                assert_eq!(rs, ro, "pass {pass_seed} threads {threads}: one-shot");
+                assert_eq!(rs, rr, "pass {pass_seed} threads {threads}: reference");
+                assert!(programs.iter().zip(&one_shot).all(|(a, b)| a.min == b.min));
+                assert!(programs.iter().zip(&refr).all(|(a, b)| a.min == b.min));
+            }
+        }
+    }
+
+    /// Mixed-degree message sparsity: only dirty receivers get swept, but
+    /// the bit/message accounting matches the full-sweep wrapper exactly.
+    #[test]
+    fn dirty_receiver_accounting_matches_full_sweep() {
+        #[derive(Clone)]
+        struct Loner {
+            done: bool,
+        }
+        impl Program for Loner {
+            type Msg = crate::engine::tests::IdMsg;
+            fn on_round(&mut self, ctx: &mut Ctx<'_, crate::engine::tests::IdMsg>) {
+                if ctx.round() < 3 {
+                    if ctx.id() == 0 {
+                        if let Some(&w) = ctx.neighbors().first() {
+                            ctx.send(w, crate::engine::tests::IdMsg(ctx.id()));
+                        }
+                    }
+                } else {
+                    self.done = true;
+                }
+            }
+            fn is_done(&self) -> bool {
+                self.done
+            }
+        }
+        let g = gen::gnp(300, 0.05, 3);
+        let mk = || vec![Loner { done: false }; 300];
+        let (a, ra) = run(&g, mk(), SimConfig::seeded(2)).expect("run");
+        let (b, rb) = run_reference(&g, mk(), SimConfig::seeded(2)).expect("reference");
+        assert_eq!(ra, rb);
+        assert!(a.iter().zip(&b).all(|(x, y)| x.done == y.done));
+    }
+
+    /// A strict-bandwidth abort leaves the session reusable: the next run
+    /// starts from a clean frontier, clean inboxes, and a fresh epoch.
+    #[test]
+    fn session_survives_an_engine_error() {
+        #[derive(Clone)]
+        struct Burst {
+            loud: bool,
+            done: bool,
+        }
+        #[derive(Clone)]
+        struct Fat;
+        impl Message for Fat {
+            fn bit_cost(&self) -> u64 {
+                100
+            }
+        }
+        impl Program for Burst {
+            type Msg = Fat;
+            fn on_round(&mut self, ctx: &mut Ctx<'_, Fat>) {
+                if ctx.round() == 0 && self.loud {
+                    ctx.broadcast(Fat);
+                    ctx.broadcast(Fat);
+                }
+                self.done = true;
+            }
+            fn is_done(&self) -> bool {
+                self.done
+            }
+        }
+        let g = gen::cycle(8);
+        let cfg = SimConfig {
+            bandwidth: Bandwidth::Strict(150),
+            ..SimConfig::default()
+        };
+        let mut session: Session<'_, Fat> = Session::new(&g, cfg);
+        let mut noisy: Vec<Burst> = (0..8)
+            .map(|_| Burst {
+                loud: true,
+                done: false,
+            })
+            .collect();
+        let err = session.run(&mut noisy, 1).expect_err("expected overflow");
+        assert!(matches!(err, SimError::BandwidthExceeded { .. }));
+        // Programs survive the error with consistent state.
+        assert!(noisy.iter().all(|p| p.done));
+        // The session keeps working afterwards.
+        let mut quiet: Vec<Burst> = (0..8)
+            .map(|_| Burst {
+                loud: false,
+                done: false,
+            })
+            .collect();
+        let report = session.run(&mut quiet, 2).expect("clean run");
+        assert!(report.completed);
+        assert_eq!(report.messages, 0);
+    }
+}

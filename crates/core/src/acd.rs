@@ -21,13 +21,15 @@
 
 use crate::clique_comm::{AggOp, CliqueAggregatePass};
 use crate::config::ParamProfile;
-use crate::driver::Driver;
-use crate::passes::StatePass;
+use crate::driver::{Driver, PassFailure};
+use crate::passes::{inbox_positions, StatePass};
 use crate::state::{AcdClass, NodeState};
 use crate::wire::{tags, Wire};
 use congest::message::bits_for_range;
-use congest::{Ctx, Program, SimError};
-use estimate::{intersection_size, window_signature, EdgeSetup, SimilarityScheme};
+use congest::{Ctx, Program};
+use estimate::{
+    intersection_size, window_signature, window_signature_reference, EdgeSetup, SimilarityScheme,
+};
 use graphs::NodeId;
 use prand::mix::mix3;
 
@@ -37,24 +39,40 @@ struct BuddyEstimatePass {
     st: NodeState,
     scheme: SimilarityScheme,
     seed: u64,
+    /// Use the preserved pre-fusion signature path (legacy engine modes;
+    /// identical outputs, see `Driver::legacy_compute`).
+    reference_compute: bool,
     degree_bits: u32,
     neighbor_adeg: Vec<u32>,
     edge_index: Vec<u64>,
+    /// Round-2 signatures, cached per neighbor: the compare round needs
+    /// exactly the signature this node already computed and sent, so it
+    /// is reused instead of recomputed (signature evaluation is the
+    /// pass's dominant cost).
+    my_sigs: Vec<Vec<u64>>,
     /// Output: per-neighbor estimate of the active-neighborhood overlap.
     estimates: Vec<f64>,
     done: bool,
 }
 
 impl BuddyEstimatePass {
-    fn new(st: NodeState, scheme: SimilarityScheme, seed: u64, n: usize) -> Self {
+    fn new(
+        st: NodeState,
+        scheme: SimilarityScheme,
+        seed: u64,
+        n: usize,
+        reference_compute: bool,
+    ) -> Self {
         let degree = st.neighbor_active.len();
         BuddyEstimatePass {
             st,
             scheme,
             seed,
+            reference_compute,
             degree_bits: bits_for_range(n as u64) as u32,
             neighbor_adeg: vec![0; degree],
             edge_index: vec![0; degree],
+            my_sigs: vec![Vec::new(); degree],
             estimates: vec![0.0; degree],
             done: false,
         }
@@ -100,14 +118,13 @@ impl Program for BuddyEstimatePass {
                 });
             }
             1 => {
-                for &(from, ref msg) in ctx.inbox() {
+                for (pos, _, msg) in inbox_positions(ctx.neighbors(), ctx.inbox()) {
                     if let Wire::Uint {
                         tag: tags::DEGREE,
                         value,
                         ..
                     } = msg
                     {
-                        let pos = ctx.neighbor_index(from).expect("degree from non-neighbor");
                         self.neighbor_adeg[pos] = *value as u32;
                     }
                 }
@@ -132,14 +149,13 @@ impl Program for BuddyEstimatePass {
                 }
             }
             2 => {
-                for &(from, ref msg) in ctx.inbox() {
+                for (pos, _, msg) in inbox_positions(ctx.neighbors(), ctx.inbox()) {
                     if let Wire::Uint {
                         tag: tags::AGG_UP,
                         value,
                         ..
                     } = msg
                     {
-                        let pos = ctx.neighbor_index(from).expect("index from non-neighbor");
                         self.edge_index[pos] = *value;
                     }
                 }
@@ -153,7 +169,13 @@ impl Program for BuddyEstimatePass {
                     let nb = ctx.neighbors()[pos];
                     let setup = self.edge_setup(me, nb, my_deg, self.neighbor_adeg[pos] as usize);
                     let h = setup.family.member(self.edge_index[pos]);
-                    let words = window_signature(&setup, &h, &own);
+                    let words = if self.reference_compute {
+                        window_signature_reference(&setup, &h, &own)
+                    } else {
+                        let words = window_signature(&setup, &h, &own);
+                        self.my_sigs[pos] = words.clone();
+                        words
+                    };
                     ctx.send(
                         nb,
                         Wire::Bitmap {
@@ -167,14 +189,22 @@ impl Program for BuddyEstimatePass {
             _ => {
                 let me = ctx.id();
                 let my_deg = self.active_degree();
-                let own = self.active_set(ctx);
-                for &(from, ref msg) in ctx.inbox() {
+                let own = self.reference_compute.then(|| self.active_set(ctx));
+                for (pos, from, msg) in inbox_positions(ctx.neighbors(), ctx.inbox()) {
                     if let Wire::Bitmap { words, .. } = msg {
-                        let pos = ctx.neighbor_index(from).expect("bitmap from non-neighbor");
                         let setup =
                             self.edge_setup(me, from, my_deg, self.neighbor_adeg[pos] as usize);
-                        let h = setup.family.member(self.edge_index[pos]);
-                        let mine = window_signature(&setup, &h, &own);
+                        // This node's signature for the edge is exactly
+                        // the one computed (and sent) last round: reuse
+                        // it (the legacy arm recomputes it, as the
+                        // pre-PR pass did).
+                        let mine = match &own {
+                            Some(own) => {
+                                let h = setup.family.member(self.edge_index[pos]);
+                                window_signature_reference(&setup, &h, own)
+                            }
+                            None => std::mem::take(&mut self.my_sigs[pos]),
+                        };
                         self.estimates[pos] = setup.descale(intersection_size(&mine, words));
                     }
                 }
@@ -395,7 +425,7 @@ pub fn compute_acd(
     states: Vec<NodeState>,
     profile: &ParamProfile,
     seed: u64,
-) -> Result<Vec<NodeState>, SimError> {
+) -> Result<Vec<NodeState>, PassFailure> {
     let n = driver.graph.n();
     // The in-pipeline similarity scheme: §4.2's buddy test needs coarse
     // discrimination only, so the window is capped near the bandwidth
@@ -409,16 +439,14 @@ pub fn compute_acd(
     let eps = profile.eps_acd;
 
     // Pass 1: similarity estimates.
+    let reference_compute = driver.legacy_compute();
     let programs: Vec<BuddyEstimatePass> = states
         .into_iter()
-        .map(|st| BuddyEstimatePass::new(st, scheme, seed, n))
+        .map(|st| BuddyEstimatePass::new(st, scheme, seed, n, reference_compute))
         .collect();
-    let config = congest::SimConfig {
-        seed: prand::mix::mix2(seed, 0xacd),
-        ..driver.config
-    };
-    let (programs, report) = congest::run(driver.graph, programs, config)?;
-    driver.log.record("acd-estimate", report);
+    let programs = driver
+        .run_seeded("acd-estimate", prand::mix::mix2(seed, 0xacd), programs)
+        .map_err(PassFailure::from_programs)?;
 
     // Pass 2: local classification from the per-edge estimates.
     let mut states = Vec::with_capacity(programs.len());
@@ -487,7 +515,7 @@ pub(crate) fn finish_acd(
     buddy_masks: Vec<Vec<bool>>,
     profile: &ParamProfile,
     seed: u64,
-) -> Result<Vec<NodeState>, SimError> {
+) -> Result<Vec<NodeState>, PassFailure> {
     let n = driver.graph.n();
     let eps = profile.eps_acd;
 
@@ -504,12 +532,9 @@ pub(crate) fn finish_acd(
         .into_iter()
         .map(|st| CliqueAggregatePass::new(st, AggOp::Sum, 1, bits))
         .collect();
-    let config = congest::SimConfig {
-        seed: prand::mix::mix2(seed, 0xacd2),
-        ..driver.config
-    };
-    let (programs, report) = congest::run(driver.graph, programs, config)?;
-    driver.log.record("acd-size", report);
+    let programs = driver
+        .run_seeded("acd-size", prand::mix::mix2(seed, 0xacd2), programs)
+        .map_err(PassFailure::from_programs)?;
     let mut states: Vec<NodeState> = programs
         .into_iter()
         .map(|p| {

@@ -23,12 +23,12 @@
 
 use crate::acd::{classify, finish_acd};
 use crate::config::ParamProfile;
-use crate::driver::Driver;
+use crate::driver::{Driver, PassFailure};
 use crate::passes::StatePass;
 use crate::state::NodeState;
 use crate::wire::{tags, Wire};
 use congest::message::bits_for_range;
-use congest::{Ctx, Program, SimError};
+use congest::{Ctx, Program};
 use graphs::NodeId;
 use prand::mix::{mix2, mix3};
 use prand::{IdCode, MultisetSampler, PairwiseFamily, PairwiseHash};
@@ -439,18 +439,15 @@ pub fn compute_acd_uniform(
     states: Vec<NodeState>,
     profile: &ParamProfile,
     seed: u64,
-) -> Result<Vec<NodeState>, SimError> {
+) -> Result<Vec<NodeState>, PassFailure> {
     let n = driver.graph.n();
     let programs: Vec<UniformBuddyPass> = states
         .into_iter()
         .map(|st| UniformBuddyPass::new(st, *profile, seed, n))
         .collect();
-    let config = congest::SimConfig {
-        seed: mix2(seed, 0xacd3),
-        ..driver.config
-    };
-    let (programs, report) = congest::run(driver.graph, programs, config)?;
-    driver.log.record("acd-uniform-buddy", report);
+    let programs = driver
+        .run_seeded("acd-uniform-buddy", mix2(seed, 0xacd3), programs)
+        .map_err(PassFailure::from_programs)?;
     let mut states = Vec::with_capacity(programs.len());
     let mut masks = Vec::with_capacity(programs.len());
     for p in programs {

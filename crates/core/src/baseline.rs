@@ -20,9 +20,8 @@ use crate::state::NodeState;
 use crate::wire::{tags, Wire};
 use congest::{Ctx, Program, SimConfig, SimError};
 use graphs::palette::ListAssignment;
-use graphs::{Color, Graph, NodeId};
+use graphs::{Color, Graph};
 use rand::seq::SliceRandom;
-use std::collections::HashSet;
 
 /// The Johansson/Luby-style baseline: repeated single random color trials.
 ///
@@ -46,7 +45,7 @@ pub fn solve_random_trial(
         seed: opts.seed,
         ..opts.sim
     };
-    let mut driver = Driver::new(g, sim);
+    let mut driver = Driver::with_engine(g, sim, opts.engine);
     let mut states = initial_states(g, lists, &opts.profile, opts.seed);
     driver.begin_phase("setup");
     states = driver.run_pass("codec-setup", states, CodecSetupPass::new)?;
@@ -113,7 +112,9 @@ impl Program for NaiveMultiTrialPass {
             }
             1 => {
                 if !self.tried.is_empty() {
-                    let mut rivals: HashSet<Color> = HashSet::new();
+                    // Sorted scratch instead of a per-round hash set:
+                    // rival lists are short and only membership-tested.
+                    let mut rivals: Vec<Color> = Vec::new();
                     for (_, msg) in ctx.inbox() {
                         if let Wire::UintList {
                             tag: tags::TRIED,
@@ -124,9 +125,10 @@ impl Program for NaiveMultiTrialPass {
                             rivals.extend(values.iter().copied());
                         }
                     }
+                    rivals.sort_unstable();
                     // A color tried by any neighbor is skipped by both
                     // sides — symmetric, hence conflict-free.
-                    if let Some(&c) = self.tried.iter().find(|c| !rivals.contains(c)) {
+                    if let Some(&c) = self.tried.iter().find(|c| rivals.binary_search(c).is_err()) {
                         self.st.adopt(c, "naive-multitrial");
                         announce_adoption(&self.st, ctx, c);
                     }
@@ -189,7 +191,7 @@ pub fn solve_naive_multitrial(
         seed: opts.seed,
         ..opts.sim
     };
-    let mut driver = Driver::new(g, sim);
+    let mut driver = Driver::with_engine(g, sim, opts.engine);
     let mut states = initial_states(g, lists, &opts.profile, opts.seed);
     states = driver.run_pass("codec-setup", states, CodecSetupPass::new)?;
     states = driver.activate(states, |_| true)?;
@@ -220,17 +222,12 @@ pub fn greedy_oracle(g: &Graph, lists: &ListAssignment) -> Vec<Color> {
         "lists must give every node ≥ deg+1 colors"
     );
     let mut coloring: Vec<Option<Color>> = vec![None; g.n()];
+    // One sorted scratch reused across all nodes — the per-node hash-set
+    // rebuild used to dominate this oracle on large graphs. The
+    // first-free rule itself is shared with the pipeline's repair sweep.
+    let mut taken: Vec<Color> = Vec::new();
     for v in 0..g.n() {
-        let taken: HashSet<Color> = g
-            .neighbors(v as NodeId)
-            .iter()
-            .filter_map(|&u| coloring[u as usize])
-            .collect();
-        let c = lists
-            .list(v as NodeId)
-            .iter()
-            .copied()
-            .find(|c| !taken.contains(c))
+        let c = crate::pipeline::first_free_color(g, lists, &coloring, v, &mut taken)
             .expect("greedy on (deg+1)-lists cannot fail");
         coloring[v] = Some(c);
     }

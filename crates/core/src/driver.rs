@@ -1,12 +1,86 @@
 //! The pass driver: threads node states through a sequence of engine runs
 //! and accumulates their round/bit costs in a [`PassLog`].
+//!
+//! By default every pass of a solve runs on **one persistent
+//! [`congest::Session`]** — the mailbox plane, worker pool, RNG vector,
+//! and scheduler scratch are built once and reused, and each pass only
+//! pays the O(n) frontier/RNG reset (see [`EngineMode`]). The per-pass
+//! seed derivation (`mix2(solve seed, pass counter)`) is unchanged, so
+//! every engine mode produces byte-identical transcripts.
 
 use crate::passes::{ActivatePass, StatePass};
 use crate::state::NodeState;
 use crate::trycolor::TryColorPass;
-use congest::{PassLog, SimConfig, SimError};
-use graphs::Graph;
+use crate::wire::Wire;
+use congest::{PassLog, Session, SimConfig, SimError};
+use graphs::{Color, Graph};
 use prand::mix::mix2;
+
+/// Which engine path a [`Driver`] runs its passes on. All three produce
+/// byte-identical transcripts, reports, and colorings for every thread
+/// count; they differ only in speed (differentially tested in
+/// `tests/prop_invariants.rs`, measured by experiment E0b).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EngineMode {
+    /// One persistent session for the whole solve: plane, pool, and
+    /// scratch built once, frontier and RNGs reset per pass. The fast
+    /// default.
+    #[default]
+    Session,
+    /// The pre-session engine, per pass
+    /// ([`congest::reference::run_mailbox_sweep`]): mailbox plane rebuilt
+    /// every pass, all `n` programs stepped and every edge slot swept
+    /// every round, worker threads respawned per pass. Kept as the
+    /// baseline arm of the E0b microbench.
+    PerPass,
+    /// The legacy sort-and-scatter plane per pass
+    /// ([`congest::reference::run_reference`]) — differential testing
+    /// and benchmarking only.
+    Reference,
+}
+
+/// A failed engine pass **with the node states recovered** from the
+/// aborted programs, so callers can report partial colorings instead of
+/// aborting blind. Converts into the bare [`SimError`] via `From` (which
+/// is how [`crate::solve`] propagates it).
+#[derive(Debug)]
+pub struct PassFailure {
+    /// The engine error that aborted the pass.
+    pub error: SimError,
+    /// Every node's last consistent state. Empty in the legacy modes
+    /// ([`EngineMode::PerPass`] / [`EngineMode::Reference`]), whose
+    /// entry points consume their programs.
+    pub states: Vec<NodeState>,
+}
+
+impl PassFailure {
+    /// The partial coloring at the moment of failure (one entry per
+    /// node, `None` where uncolored; empty in reference mode).
+    pub fn partial_coloring(&self) -> Vec<Option<Color>> {
+        self.states.iter().map(|s| s.color).collect()
+    }
+
+    /// Recover a failure from [`Driver::run_seeded`]'s
+    /// `(error, programs)` pair by unwrapping the programs' states.
+    pub fn from_programs<P: StatePass>((error, programs): (SimError, Vec<P>)) -> Self {
+        PassFailure {
+            error,
+            states: programs.into_iter().map(StatePass::into_state).collect(),
+        }
+    }
+}
+
+impl From<PassFailure> for SimError {
+    fn from(failure: PassFailure) -> SimError {
+        failure.error
+    }
+}
+
+enum Engine<'g> {
+    Session(Box<Session<'g, Wire>>),
+    PerPass,
+    Reference,
+}
 
 /// Drives passes over a graph and its node states.
 pub struct Driver<'g> {
@@ -16,20 +90,45 @@ pub struct Driver<'g> {
     pub config: SimConfig,
     /// Accumulated metrics, one entry per pass.
     pub log: PassLog,
+    engine: Engine<'g>,
     seed: u64,
     pass_counter: u64,
 }
 
 impl<'g> Driver<'g> {
-    /// A driver with the given base engine config.
+    /// A driver with the given base engine config, running every pass on
+    /// one persistent session ([`EngineMode::Session`]).
     pub fn new(graph: &'g Graph, config: SimConfig) -> Self {
+        Driver::with_engine(graph, config, EngineMode::Session)
+    }
+
+    /// A driver running its passes through the given engine path.
+    pub fn with_engine(graph: &'g Graph, config: SimConfig, mode: EngineMode) -> Self {
+        let engine = match mode {
+            EngineMode::Session => Engine::Session(Box::new(Session::new(graph, config))),
+            EngineMode::PerPass => Engine::PerPass,
+            EngineMode::Reference => Engine::Reference,
+        };
         Driver {
             graph,
             config,
             log: PassLog::new(),
+            engine,
             seed: config.seed,
             pass_counter: 0,
         }
+    }
+
+    /// Whether this driver runs a preserved pre-session baseline
+    /// ([`EngineMode::PerPass`] / [`EngineMode::Reference`]). Passes
+    /// with a dual compute path (e.g. the ACD estimate signatures, see
+    /// `estimate::window_signature_reference`) select their pre-fusion
+    /// reference implementation under a legacy engine, so the E0b
+    /// microbench's baseline arms measure the full pre-PR configuration
+    /// — engine *and* pass compute. Outputs are identical either way
+    /// (pinned by tests).
+    pub fn legacy_compute(&self) -> bool {
+        !matches!(self.engine, Engine::Session(_))
     }
 
     /// Mark a pipeline-phase boundary: every pass recorded from now on is
@@ -40,31 +139,108 @@ impl<'g> Driver<'g> {
     }
 
     /// Run one pass: build a program per node (in id order), execute to
-    /// completion, recover the states, record metrics under `name`.
+    /// completion on the driver's engine, recover the states, record
+    /// metrics under `name`.
     ///
     /// # Errors
     ///
-    /// Propagates engine errors; states are lost in that case (the whole
-    /// solve aborts).
+    /// Engine errors come back as a [`PassFailure`] carrying every
+    /// node's last consistent state, so callers can report partial
+    /// colorings instead of aborting blind.
     pub fn run_pass<P, B>(
         &mut self,
         name: &'static str,
         states: Vec<NodeState>,
         mut build: B,
-    ) -> Result<Vec<NodeState>, SimError>
+    ) -> Result<Vec<NodeState>, PassFailure>
     where
         P: StatePass,
         B: FnMut(NodeState) -> P,
     {
         self.pass_counter += 1;
-        let config = SimConfig {
-            seed: mix2(self.seed, self.pass_counter),
-            ..self.config
+        let seed = mix2(self.seed, self.pass_counter);
+        let mut programs: Vec<P> = states.into_iter().map(&mut build).collect();
+        let outcome = match &mut self.engine {
+            Engine::Session(session) => session.run(&mut programs, seed),
+            legacy => {
+                let config = SimConfig {
+                    seed,
+                    ..self.config
+                };
+                let run = match legacy {
+                    Engine::PerPass => congest::reference::run_mailbox_sweep::<P>,
+                    _ => congest::reference::run_reference::<P>,
+                };
+                return match run(self.graph, programs, config) {
+                    Ok((programs, report)) => {
+                        self.log.record(name, report);
+                        Ok(programs.into_iter().map(StatePass::into_state).collect())
+                    }
+                    Err(error) => Err(PassFailure {
+                        error,
+                        states: Vec::new(),
+                    }),
+                };
+            }
         };
-        let programs: Vec<P> = states.into_iter().map(&mut build).collect();
-        let (programs, report) = congest::run(self.graph, programs, config)?;
-        self.log.record(name, report);
-        Ok(programs.into_iter().map(StatePass::into_state).collect())
+        match outcome {
+            Ok(report) => {
+                self.log.record(name, report);
+                Ok(programs.into_iter().map(StatePass::into_state).collect())
+            }
+            Err(error) => Err(PassFailure {
+                error,
+                states: programs.into_iter().map(StatePass::into_state).collect(),
+            }),
+        }
+    }
+
+    /// Run an arbitrary program pass on the driver's engine with an
+    /// **explicit engine seed** — for passes whose seed derivation is not
+    /// the driver's pass counter, or whose programs carry extra outputs
+    /// beyond a [`NodeState`] (so [`Driver::run_pass`] cannot recover
+    /// them). Records metrics under `name`; does not advance the pass
+    /// counter.
+    ///
+    /// # Errors
+    ///
+    /// Returns the engine error together with the programs (empty in
+    /// [`EngineMode::Reference`], whose legacy entry point consumes
+    /// them), so callers can recover states for partial reporting.
+    #[allow(clippy::type_complexity)]
+    pub fn run_seeded<P: congest::Program<Msg = Wire>>(
+        &mut self,
+        name: &'static str,
+        seed: u64,
+        mut programs: Vec<P>,
+    ) -> Result<Vec<P>, (SimError, Vec<P>)> {
+        let outcome = match &mut self.engine {
+            Engine::Session(session) => session.run(&mut programs, seed),
+            legacy => {
+                let config = SimConfig {
+                    seed,
+                    ..self.config
+                };
+                let run = match legacy {
+                    Engine::PerPass => congest::reference::run_mailbox_sweep::<P>,
+                    _ => congest::reference::run_reference::<P>,
+                };
+                return match run(self.graph, programs, config) {
+                    Ok((programs, report)) => {
+                        self.log.record(name, report);
+                        Ok(programs)
+                    }
+                    Err(error) => Err((error, Vec::new())),
+                };
+            }
+        };
+        match outcome {
+            Ok(report) => {
+                self.log.record(name, report);
+                Ok(programs)
+            }
+            Err(error) => Err((error, programs)),
+        }
     }
 
     /// Refresh activation: node `v` stays/becomes active iff `keep(v)` and
@@ -72,12 +248,12 @@ impl<'g> Driver<'g> {
     ///
     /// # Errors
     ///
-    /// Propagates engine errors.
+    /// Propagates engine errors with the recovered states.
     pub fn activate(
         &mut self,
         states: Vec<NodeState>,
         mut keep: impl FnMut(&NodeState) -> bool,
-    ) -> Result<Vec<NodeState>, SimError> {
+    ) -> Result<Vec<NodeState>, PassFailure> {
         self.run_pass("activate", states, |st| {
             let on = keep(&st);
             ActivatePass::new(st, on)
@@ -88,12 +264,12 @@ impl<'g> Driver<'g> {
     ///
     /// # Errors
     ///
-    /// Propagates engine errors.
+    /// Propagates engine errors with the recovered states.
     pub fn try_color(
         &mut self,
         states: Vec<NodeState>,
         name: &'static str,
-    ) -> Result<Vec<NodeState>, SimError> {
+    ) -> Result<Vec<NodeState>, PassFailure> {
         self.run_pass(name, states, |st| TryColorPass::every_node(st, name))
     }
 
@@ -148,6 +324,66 @@ mod tests {
         assert!(Driver::uncolored_count(&states) <= 2);
         assert!(driver.log.total_rounds() > 0);
         assert!(driver.log.passes().len() >= 2);
+    }
+
+    /// Satellite: a failed pass returns the recovered states alongside
+    /// the error, so callers can report partial colorings.
+    #[test]
+    fn failed_pass_returns_states_for_partial_reporting() {
+        let g = gen::complete(8);
+        // An 8-bit cap passes the 2-bit activation flags but not the
+        // 16-bit color trials.
+        let cfg = SimConfig {
+            bandwidth: congest::Bandwidth::Strict(8),
+            ..SimConfig::seeded(3)
+        };
+        let mut driver = Driver::new(&g, cfg);
+        let mut states = fresh(&g);
+        states[0].color = Some(99);
+        states = driver.activate(states, |_| true).unwrap();
+        let failure = driver
+            .try_color(states, "trial")
+            .expect_err("16-bit colors must blow an 8-bit cap");
+        assert!(matches!(
+            failure.error,
+            congest::SimError::BandwidthExceeded { .. }
+        ));
+        assert_eq!(failure.states.len(), 8, "states recovered with the error");
+        let partial = failure.partial_coloring();
+        assert_eq!(partial[0], Some(99), "pre-existing coloring survives");
+        // The recovered states are consistent driver inputs: a fresh
+        // driver without the cap finishes the solve from them.
+        let mut retry = Driver::new(&g, SimConfig::seeded(4));
+        let mut states = failure.states;
+        for _ in 0..40 {
+            states = retry.try_color(states, "retry").unwrap();
+            if Driver::uncolored_count(&states) == 0 {
+                break;
+            }
+        }
+        assert_eq!(Driver::uncolored_count(&states), 0);
+    }
+
+    /// All three engine modes drive byte-identical pass sequences.
+    #[test]
+    fn engine_modes_are_transcript_identical() {
+        let g = gen::gnp(60, 0.1, 2);
+        let run_mode = |mode: EngineMode| {
+            let mut driver = Driver::with_engine(&g, SimConfig::seeded(9), mode);
+            let mut states = fresh(&g);
+            states = driver.activate(states, |_| true).unwrap();
+            for _ in 0..12 {
+                states = driver.try_color(states, "trial").unwrap();
+            }
+            let colors: Vec<_> = states.iter().map(|s| s.color).collect();
+            (colors, driver.log)
+        };
+        let (base_colors, base_log) = run_mode(EngineMode::Session);
+        for mode in [EngineMode::PerPass, EngineMode::Reference] {
+            let (colors, log) = run_mode(mode);
+            assert_eq!(base_colors, colors, "{mode:?} coloring diverged");
+            assert_eq!(base_log.passes(), log.passes(), "{mode:?} log diverged");
+        }
     }
 
     #[test]

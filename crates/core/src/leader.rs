@@ -24,11 +24,11 @@
 
 use crate::clique_comm::{pack_argmin, unpack_argmin_id, AggOp, CliqueAggregatePass};
 use crate::config::ParamProfile;
-use crate::driver::Driver;
+use crate::driver::{Driver, PassFailure};
 use crate::passes::StatePass;
 use crate::state::{AcdClass, NodeState};
 use crate::wire::{tags, Wire};
-use congest::{Ctx, Program, SimError};
+use congest::{Ctx, Program};
 use graphs::NodeId;
 
 /// The leader-selection score `e_v + a_v + κ_v` (Lemma 12).
@@ -243,7 +243,7 @@ pub fn select_leaders(
     states: Vec<NodeState>,
     profile: &ParamProfile,
     delta: usize,
-) -> Result<Vec<NodeState>, SimError> {
+) -> Result<Vec<NodeState>, PassFailure> {
     // Arg-min of the packed (score, id) word across each clique.
     let programs: Vec<CliqueAggregatePass> = states
         .into_iter()
@@ -252,12 +252,13 @@ pub fn select_leaders(
             CliqueAggregatePass::new(st, AggOp::Min, packed, 64)
         })
         .collect();
-    let config = congest::SimConfig {
-        seed: prand::mix::mix2(driver.config.seed, 0x1ead),
-        ..driver.config
-    };
-    let (programs, report) = congest::run(driver.graph, programs, config)?;
-    driver.log.record("leader-argmin", report);
+    let programs = driver
+        .run_seeded(
+            "leader-argmin",
+            prand::mix::mix2(driver.config.seed, 0x1ead),
+            programs,
+        )
+        .map_err(PassFailure::from_programs)?;
     let states: Vec<NodeState> = programs
         .into_iter()
         .map(|p| {

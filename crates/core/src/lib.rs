@@ -60,6 +60,7 @@ pub mod wire;
 pub use baseline::{greedy_oracle, solve_naive_multitrial, solve_random_trial};
 pub use buddy_uniform::{uniform_buddy, BuddyOutcome, UniformBuddyParams};
 pub use config::ParamProfile;
+pub use driver::{Driver, EngineMode, PassFailure};
 pub use palette::Palette;
 pub use pipeline::{solve, SolveOptions, SolveResult, Stats};
 pub use state::{AcdClass, NodeState};

@@ -20,7 +20,7 @@
 //! probability `≥ 1 − (7/8)^x − 2ν`.
 
 use crate::config::ParamProfile;
-use crate::passes::{announce_adoption, digest_adoption, StatePass};
+use crate::passes::{announce_adoption, digest_adoption, inbox_positions, StatePass};
 use crate::state::NodeState;
 use crate::wire::{tags, Wire};
 use congest::message::bits_for_range;
@@ -128,9 +128,8 @@ impl Program for MultiTrialPass {
                 }
             }
             1 => {
-                for &(from, ref msg) in ctx.inbox() {
+                for (pos, _, msg) in inbox_positions(ctx.neighbors(), ctx.inbox()) {
                     if let Wire::MtHash { lambda, index, .. } = msg {
-                        let pos = ctx.neighbor_index(from).expect("hash from non-neighbor");
                         self.neighbor_hash[pos] = Some((*lambda, *index));
                     }
                 }
@@ -182,16 +181,13 @@ impl Program for MultiTrialPass {
                 }
             }
             _ => {
-                for &(from, ref msg) in ctx.inbox() {
+                for (pos, _, msg) in inbox_positions(ctx.neighbors(), ctx.inbox()) {
                     if let Wire::Color {
                         tag: tags::ADOPTED,
                         payload,
                         ..
                     } = msg
                     {
-                        let pos = ctx
-                            .neighbor_index(from)
-                            .expect("adoption from non-neighbor");
                         digest_adoption(&mut self.st, pos, *payload, false);
                     }
                 }

@@ -22,7 +22,7 @@ use crate::passes::{announce_adoption, digest_adoption, StatePass};
 use crate::state::NodeState;
 use crate::wire::{tags, Wire};
 use congest::message::bits_for_range;
-use congest::{Ctx, Program, SimError};
+use congest::{Ctx, Program};
 use graphs::Color;
 use prand::mix::mix2;
 use prand::{MultisetSampler, PairwiseFamily, PairwiseHash};
@@ -293,7 +293,7 @@ pub fn uniform_multitrial(
     x: u32,
     profile: &ParamProfile,
     seed: u64,
-) -> Result<Vec<NodeState>, SimError> {
+) -> Result<Vec<NodeState>, crate::driver::PassFailure> {
     let n = driver.graph.n();
     let p = *profile;
     driver.run_pass("uniform-multitrial", states, |st| {

@@ -13,6 +13,26 @@ pub trait StatePass: Program<Msg = Wire> {
     fn into_state(self) -> NodeState;
 }
 
+/// Walk an inbox in lockstep with the sorted neighbor list, yielding
+/// `(neighbor position, sender, message)` — O(deg) for the whole inbox,
+/// versus a binary search per message.
+///
+/// Relies on the engine's documented inbox order (sorted by sender id,
+/// see [`Ctx::inbox`]); senders are guaranteed neighbors by the engine.
+pub fn inbox_positions<'a, M>(
+    neighbors: &'a [graphs::NodeId],
+    inbox: &'a [(graphs::NodeId, M)],
+) -> impl Iterator<Item = (usize, graphs::NodeId, &'a M)> {
+    let mut pos = 0usize;
+    inbox.iter().map(move |&(from, ref msg)| {
+        while neighbors[pos] < from {
+            pos += 1;
+        }
+        debug_assert_eq!(neighbors[pos], from, "sender must be a neighbor");
+        (pos, from, msg)
+    })
+}
+
 /// Digest a neighbor's permanent-color announcement: mark it colored,
 /// remove the color from the palette, and (during `GenerateSlack`) account
 /// chromatic slack `κ_v` and slack gain.
@@ -82,9 +102,8 @@ impl Program for CodecSetupPass {
                 });
             }
             _ => {
-                for &(from, ref msg) in ctx.inbox() {
+                for (pos, _, msg) in inbox_positions(ctx.neighbors(), ctx.inbox()) {
                     if let Wire::Uint { value, .. } = msg {
-                        let pos = ctx.neighbor_index(from).expect("index from non-neighbor");
                         self.st.codec.set_neighbor_index(pos, *value);
                     }
                 }
@@ -141,9 +160,8 @@ impl Program for ActivatePass {
                 });
             }
             _ => {
-                for &(from, ref msg) in ctx.inbox() {
+                for (pos, _, msg) in inbox_positions(ctx.neighbors(), ctx.inbox()) {
                     if let Wire::Uint { value, .. } = msg {
-                        let pos = ctx.neighbor_index(from).expect("flag from non-neighbor");
                         self.st.neighbor_active[pos] = value & 1 != 0;
                         self.st.neighbor_uncolored[pos] = value & 2 != 0;
                     }

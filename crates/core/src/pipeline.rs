@@ -21,7 +21,7 @@
 
 use crate::config::ParamProfile;
 use crate::dense::color_dense;
-use crate::driver::Driver;
+use crate::driver::{Driver, EngineMode};
 use crate::palette::Palette;
 use crate::passes::CodecSetupPass;
 use crate::shattering::cleanup;
@@ -33,7 +33,6 @@ use graphs::palette::ListAssignment;
 use graphs::{Color, Graph, NodeId};
 use prand::mix::mix2;
 use std::collections::BTreeMap;
-use std::collections::HashSet;
 
 /// Options for [`solve`].
 #[derive(Clone, Copy, Debug)]
@@ -48,6 +47,11 @@ pub struct SolveOptions {
     /// ECC, `acd_uniform`) instead of the representative-hash ACD. The
     /// rest of the pipeline is shared.
     pub uniform_acd: bool,
+    /// Engine path for the solve's passes: one persistent
+    /// [`congest::Session`] by default; the per-pass and legacy-plane
+    /// paths produce byte-identical results and exist for benchmarking
+    /// and differential testing (experiment E0b).
+    pub engine: EngineMode,
 }
 
 impl Default for SolveOptions {
@@ -57,6 +61,7 @@ impl Default for SolveOptions {
             seed: 0xc010_41f0,
             sim: SimConfig::default(),
             uniform_acd: false,
+            engine: EngineMode::Session,
         }
     }
 }
@@ -134,6 +139,31 @@ pub fn initial_states(
         .collect()
 }
 
+/// First color of `v`'s list unused by any colored neighbor, resolved
+/// through the caller's reusable sorted scratch — the one first-free
+/// rule shared by the central repair sweep and the greedy oracle
+/// ([`crate::baseline::greedy_oracle`]).
+pub(crate) fn first_free_color(
+    g: &Graph,
+    lists: &ListAssignment,
+    coloring: &[Option<Color>],
+    v: usize,
+    taken: &mut Vec<Color>,
+) -> Option<Color> {
+    taken.clear();
+    taken.extend(
+        g.neighbors(v as NodeId)
+            .iter()
+            .filter_map(|&u| coloring[u as usize]),
+    );
+    taken.sort_unstable();
+    lists
+        .list(v as NodeId)
+        .iter()
+        .copied()
+        .find(|c| taken.binary_search(c).is_err())
+}
+
 /// Finish a solve: repair stragglers centrally, assemble the coloring and
 /// stats, and verify validity.
 pub(crate) fn finish(
@@ -154,19 +184,12 @@ pub(crate) fn finish(
         }
     }
     // Central repair: pick any list color unused by neighbors. Possible
-    // because |list(v)| ≥ d_v + 1.
+    // because |list(v)| ≥ d_v + 1. One sorted scratch reused across
+    // nodes — no per-node hash-set build.
+    let mut taken: Vec<Color> = Vec::new();
     for v in 0..g.n() {
         if coloring[v].is_none() {
-            let taken: HashSet<Color> = g
-                .neighbors(v as NodeId)
-                .iter()
-                .filter_map(|&u| coloring[u as usize])
-                .collect();
-            let c = lists
-                .list(v as NodeId)
-                .iter()
-                .copied()
-                .find(|c| !taken.contains(c))
+            let c = first_free_color(g, lists, &coloring, v, &mut taken)
                 .expect("a (deg+1)-list always has a free color");
             coloring[v] = Some(c);
             stats.repairs += 1;
@@ -219,7 +242,7 @@ pub fn solve(
         seed: opts.seed,
         ..opts.sim
     };
-    let mut driver = Driver::new(g, sim);
+    let mut driver = Driver::with_engine(g, sim, opts.engine);
     let mut states = initial_states(g, lists, &profile, opts.seed);
 
     // One-time codec setup (App. D.3 hash indices).

@@ -21,15 +21,14 @@
 //! them back.
 
 use crate::config::ParamProfile;
-use crate::driver::Driver;
+use crate::driver::{Driver, PassFailure};
 use crate::passes::{announce_adoption, digest_adoption, StatePass};
 use crate::state::{AcdClass, NodeState};
 use crate::wire::{tags, ColorWire, Wire};
 use congest::message::bits_for_range;
-use congest::{Ctx, Program, SimError};
+use congest::{Ctx, Program};
 use graphs::NodeId;
 use rand::Rng;
-use std::collections::{HashMap, HashSet};
 
 /// Sampling probability for put-aside candidates.
 ///
@@ -215,6 +214,10 @@ impl StatePass for PutAsideSelectPass {
 /// `CHUNK_ROUNDS · ⌊256/color_bits⌋` tokens per member).
 const CHUNK_ROUNDS: u64 = 4;
 
+/// One member's upload at the leader: its color tokens and its `P_C`
+/// neighbor ids.
+type Upload = (Vec<u64>, Vec<NodeId>);
+
 /// End-of-phase coloring of the put-aside sets (9 rounds).
 #[derive(Debug)]
 pub struct PutAsideColorPass {
@@ -222,8 +225,11 @@ pub struct PutAsideColorPass {
     id_bits: u32,
     /// This member's token upload, chunked in round order.
     my_tokens: Vec<u64>,
-    /// Leader scratch: tokens and `P_C` topology per member.
-    uploads: HashMap<NodeId, (Vec<u64>, Vec<NodeId>)>,
+    /// Leader scratch: tokens and `P_C` topology per member, kept sorted
+    /// by member id (binary-search upsert — members are few and the
+    /// inbox already arrives in sender order, so this replaces the old
+    /// per-leader hash map at zero comparison cost).
+    uploads: Vec<(NodeId, Upload)>,
     done: bool,
 }
 
@@ -234,7 +240,7 @@ impl PutAsideColorPass {
             st,
             id_bits: bits_for_range(n as u64) as u32,
             my_tokens: Vec::new(),
-            uploads: HashMap::new(),
+            uploads: Vec::new(),
             done: false,
         }
     }
@@ -258,20 +264,34 @@ impl PutAsideColorPass {
         ctx.neighbor_index(self.st.leader?)
     }
 
+    /// The leader's upload record for `from` (sorted-insert on miss).
+    fn upload_entry(&mut self, from: NodeId) -> &mut Upload {
+        let i = match self.uploads.binary_search_by_key(&from, |(v, _)| *v) {
+            Ok(i) => i,
+            Err(i) => {
+                self.uploads.insert(i, (from, (Vec::new(), Vec::new())));
+                i
+            }
+        };
+        &mut self.uploads[i].1
+    }
+
     /// Distinct color tokens under the leader's hash for upload.
     fn tokens(&self, ctx: &Ctx<'_, Wire>) -> Vec<u64> {
         let want = (self.st.pc_neighbors.len() + 4).min(CHUNK_ROUNDS as usize * self.chunk_len());
         let Some(pos) = self.leader_pos(ctx) else {
             return Vec::new();
         };
-        let mut seen = HashSet::new();
+        // Sorted dedup scratch: `want` is O(|P_C ∩ N(v)|), tiny.
+        let mut seen: Vec<u64> = Vec::new();
         let mut out = Vec::new();
         for &c in self.st.palette.colors() {
             let token = match self.st.codec.encode_for(pos, c) {
                 ColorWire::Raw(x) => x,
                 ColorWire::Hashed(img) => img,
             };
-            if seen.insert(token) {
+            if let Err(i) = seen.binary_search(&token) {
+                seen.insert(i, token);
                 out.push(token);
                 if out.len() >= want {
                     break;
@@ -310,7 +330,7 @@ impl Program for PutAsideColorPass {
                 // Leader side: record incoming ids (round 1) and chunks.
                 if self.am_leader() {
                     for &(from, ref msg) in ctx.inbox() {
-                        let entry = self.uploads.entry(from).or_default();
+                        let entry = self.upload_entry(from);
                         match msg {
                             Wire::UintList {
                                 tag: tags::PAL_UP,
@@ -359,25 +379,30 @@ impl Program for PutAsideColorPass {
                             ..
                         } = msg
                         {
-                            self.uploads
-                                .entry(from)
-                                .or_default()
-                                .0
-                                .extend_from_slice(values);
+                            self.upload_entry(from).0.extend_from_slice(values);
                         }
                     }
-                    // Greedy assignment in id order: pick a token no
-                    // already-assigned P_C-neighbor holds.
-                    let mut members: Vec<NodeId> = self.uploads.keys().copied().collect();
-                    members.sort_unstable();
-                    let mut chosen: HashMap<NodeId, u64> = HashMap::new();
+                    // Greedy assignment in id order (uploads are already
+                    // sorted by member id): pick a token no
+                    // already-assigned P_C-neighbor holds. `chosen` grows
+                    // in that same ascending order, so member lookups are
+                    // binary searches over a sorted vec.
+                    let mut chosen: Vec<(NodeId, u64)> = Vec::new();
+                    let mut taken: Vec<u64> = Vec::new();
                     let bits_each = self.st.codec.color_bits();
-                    for v in members {
-                        let (tokens, nbrs) = &self.uploads[&v];
-                        let taken: HashSet<u64> =
-                            nbrs.iter().filter_map(|u| chosen.get(u).copied()).collect();
-                        if let Some(&t) = tokens.iter().find(|t| !taken.contains(t)) {
-                            chosen.insert(v, t);
+                    for m in 0..self.uploads.len() {
+                        let (v, (tokens, nbrs)) = &self.uploads[m];
+                        taken.clear();
+                        taken.extend(nbrs.iter().filter_map(|u| {
+                            chosen
+                                .binary_search_by_key(u, |&(w, _)| w)
+                                .ok()
+                                .map(|i| chosen[i].1)
+                        }));
+                        taken.sort_unstable();
+                        if let Some(&t) = tokens.iter().find(|t| taken.binary_search(t).is_err()) {
+                            let v = *v;
+                            chosen.push((v, t));
                             ctx.send(
                                 v,
                                 Wire::Uint {
@@ -460,7 +485,7 @@ pub fn select_put_aside(
     states: Vec<NodeState>,
     profile: &ParamProfile,
     delta: usize,
-) -> Result<Vec<NodeState>, SimError> {
+) -> Result<Vec<NodeState>, PassFailure> {
     let ell = profile.ell(delta);
     let n = driver.graph.n();
     driver.run_pass("put-aside-select", states, |st| {
@@ -476,7 +501,7 @@ pub fn select_put_aside(
 pub fn color_put_aside(
     driver: &mut Driver<'_>,
     states: Vec<NodeState>,
-) -> Result<Vec<NodeState>, SimError> {
+) -> Result<Vec<NodeState>, PassFailure> {
     let n = driver.graph.n();
     driver.run_pass("put-aside-color", states, |st| {
         PutAsideColorPass::new(st, n)

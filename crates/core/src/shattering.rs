@@ -14,7 +14,7 @@
 use crate::passes::{announce_adoption, digest_adoption, StatePass};
 use crate::state::NodeState;
 use crate::wire::{tags, Wire};
-use congest::{Ctx, Program, SimError};
+use congest::{Ctx, Program};
 use graphs::NodeId;
 
 /// The deterministic cleanup program: repeated 2-round cycles of
@@ -110,7 +110,7 @@ impl StatePass for CleanupPass {
 pub fn cleanup(
     driver: &mut crate::driver::Driver<'_>,
     states: Vec<NodeState>,
-) -> Result<Vec<NodeState>, SimError> {
+) -> Result<Vec<NodeState>, crate::driver::PassFailure> {
     driver.run_pass("cleanup", states, CleanupPass::new)
 }
 

@@ -8,10 +8,9 @@
 //! are swept up by the post-shattering cleanup).
 
 use crate::config::ParamProfile;
-use crate::driver::Driver;
+use crate::driver::{Driver, PassFailure};
 use crate::multitrial::MultiTrialPass;
 use crate::state::NodeState;
-use congest::SimError;
 
 /// The tetration sequence `2↑↑i` for `i = 0, 1, 2, …`, saturating at
 /// `cap`.
@@ -47,7 +46,7 @@ pub fn slack_color(
     seed: u64,
     smin: u64,
     pass_name: &'static str,
-) -> Result<Vec<NodeState>, SimError> {
+) -> Result<Vec<NodeState>, PassFailure> {
     let n = driver.graph.n();
     let smin = smin.max(1);
 
@@ -78,7 +77,7 @@ pub fn slack_color(
     let multitrial = |driver: &mut Driver<'_>,
                       states: Vec<NodeState>,
                       x: u64|
-     -> Result<Vec<NodeState>, SimError> {
+     -> Result<Vec<NodeState>, PassFailure> {
         let x = x.min(1 << 20) as u32;
         driver.run_pass(pass_name, states, |st| {
             // Lemma 6 cap: x ≤ |Ψ_v|/(2|N(v)|), enforced per node.

@@ -11,13 +11,13 @@
 //!    the permanent slack from step 1.
 
 use crate::config::ParamProfile;
-use crate::driver::Driver;
+use crate::driver::{Driver, PassFailure};
 use crate::passes::StatePass;
 use crate::slackcolor::slack_color;
 use crate::state::{AcdClass, NodeState};
 use crate::trycolor::TryColorPass;
 use crate::wire::{tags, Wire};
-use congest::{Ctx, Program, SimError};
+use congest::{Ctx, Program};
 
 /// 2-round exchange of "I received enough slack" flags (`V_start`
 /// selection, App. D).
@@ -101,7 +101,7 @@ pub fn color_sparse(
     mut states: Vec<NodeState>,
     profile: &ParamProfile,
     seed: u64,
-) -> Result<Vec<NodeState>, SimError> {
+) -> Result<Vec<NodeState>, PassFailure> {
     // Participants: sparse/uneven classified nodes of this phase.
     let phase_member: Vec<bool> = states
         .iter()

@@ -11,7 +11,7 @@
 use crate::passes::{announce_adoption, digest_adoption, StatePass};
 use crate::state::{AcdClass, NodeState};
 use crate::wire::{tags, Wire};
-use congest::{Ctx, Program, SimError};
+use congest::{Ctx, Program};
 use graphs::{Color, NodeId};
 use rand::seq::SliceRandom;
 
@@ -190,7 +190,7 @@ impl StatePass for SynchColorTrialPass {
 pub fn synch_color_trial(
     driver: &mut crate::driver::Driver<'_>,
     states: Vec<NodeState>,
-) -> Result<Vec<NodeState>, SimError> {
+) -> Result<Vec<NodeState>, crate::driver::PassFailure> {
     driver.run_pass("synch-trial", states, SynchColorTrialPass::new)
 }
 

@@ -13,7 +13,7 @@
 //! `GenerateSlack` (Alg. 10) is this pass with participation probability
 //! `p_g` and chromatic-slack counting on.
 
-use crate::passes::{announce_adoption, digest_adoption, StatePass};
+use crate::passes::{announce_adoption, digest_adoption, inbox_positions, StatePass};
 use crate::state::NodeState;
 use crate::wire::{tags, Wire};
 use congest::{Ctx, Program};
@@ -106,16 +106,13 @@ impl Program for TryColorPass {
                 }
             }
             _ => {
-                for &(from, ref msg) in ctx.inbox() {
+                for (pos, _, msg) in inbox_positions(ctx.neighbors(), ctx.inbox()) {
                     if let Wire::Color {
                         tag: tags::ADOPTED,
                         payload,
                         ..
                     } = msg
                     {
-                        let pos = ctx
-                            .neighbor_index(from)
-                            .expect("adoption from non-neighbor");
                         digest_adoption(&mut self.st, pos, *payload, self.count_chroma);
                     }
                 }

@@ -122,14 +122,61 @@ impl EdgeSetup {
 }
 
 /// Compute the σ-bit signature `h(T)` with `T = S' ¬_h S'` on the scaled-up
-/// set `S' = S × [k]`.
+/// set `S' = S × [k]` (element `x` becomes `x·k + i` for `i ∈ [k]`; the
+/// universe is relabeled injectively, callers keep colors below `2^63/k`).
+///
+/// Because the isolated-set operator is applied with `A = B = S'`, a
+/// window bit is set iff **exactly one** element of `S'` hashes to it, so
+/// the signature is computed in a single hashing pass over `S'` with a
+/// once/twice bit pair — no intermediate scaled vector, no sort, no
+/// per-edge hash map, and every element hashed exactly once (the
+/// equivalence with `isolated` + `window_bitmap` is pinned by a test).
+/// This is the inner loop of the ACD similarity estimates, evaluated per
+/// directed edge.
 pub fn window_signature(setup: &EdgeSetup, h: &RepHash, s: &[u64]) -> Vec<u64> {
+    let sigma = h.sigma();
+    let words = sigma.div_ceil(64) as usize;
+    let mut once = vec![0u64; words];
+    let mut twice = vec![0u64; words];
+    let mut tally = |value: u64| {
+        let hv = h.hash(value);
+        if hv < sigma {
+            let (w, bit) = ((hv / 64) as usize, 1u64 << (hv % 64));
+            twice[w] |= once[w] & bit;
+            once[w] |= bit;
+        }
+    };
     if setup.k == 1 {
-        let t = h.isolated(s, s);
+        for &x in s {
+            tally(x);
+        }
+    } else {
+        for &x in s {
+            for i in 0..setup.k {
+                tally(x * setup.k + i);
+            }
+        }
+    }
+    for (o, t) in once.iter_mut().zip(&twice) {
+        *o &= !t;
+    }
+    once
+}
+
+/// The pre-fusion [`window_signature`]: materialize the scaled set, sort
+/// a copy, apply the isolated-set operator, pack the bitmap. **Preserved
+/// verbatim as a baseline** — `tests` pin it equal to the fused
+/// implementation, and the E0b microbench's pre-PR arm runs the ACD
+/// estimates through it to measure what the fusion bought.
+pub fn window_signature_reference(setup: &EdgeSetup, h: &RepHash, s: &[u64]) -> Vec<u64> {
+    if setup.k == 1 {
+        // Force the general (hash-map) isolated path, as the original
+        // always took: pass a distinct, sorted copy as `b`.
+        let mut sorted = s.to_vec();
+        sorted.sort_unstable();
+        let t = h.isolated(s, &sorted);
         return h.window_bitmap(&t);
     }
-    // Scale up: element x becomes x·k + i for i ∈ [k]. (The universe is
-    // relabeled injectively; callers keep colors below 2^63/k.)
     let scaled: Vec<u64> = s
         .iter()
         .flat_map(|&x| (0..setup.k).map(move |i| x * setup.k + i))
@@ -174,6 +221,39 @@ mod tests {
     fn run_once(su: &[u64], sv: &[u64], eps: f64, seed: u64, trial: u64) -> SimilarityEstimate {
         let mut rng = StdRng::seed_from_u64(trial);
         estimate_similarity(&SimilarityScheme::practical(eps), su, sv, seed, &mut rng)
+    }
+
+    /// The fused once/twice signature must equal the preserved
+    /// `isolated(S', S')` + `window_bitmap` reference composition.
+    #[test]
+    fn window_signature_matches_isolated_bitmap_reference() {
+        let scheme = SimilarityScheme::practical(1.0 / 12.0);
+        for (len, seed) in [(0usize, 1u64), (1, 7), (5, 2), (40, 3), (200, 4)] {
+            let s: Vec<u64> = (0..len as u64).map(|i| i * 7 + seed % 3).collect();
+            let setup = EdgeSetup::new(&scheme, s.len().max(1), s.len().max(1), seed);
+            for index in [0u64, 3] {
+                let h = setup.family.member(index);
+                assert_eq!(
+                    window_signature(&setup, &h, &s),
+                    window_signature_reference(&setup, &h, &s),
+                    "len={len} seed={seed} index={index} k={}",
+                    setup.k
+                );
+            }
+        }
+        // k == 1 regime (scale-up disabled): same law.
+        let flat = SimilarityScheme {
+            scale_cap: 1,
+            ..scheme
+        };
+        let big: Vec<u64> = (0..4000u64).map(|i| i * 3).collect();
+        let setup = EdgeSetup::new(&flat, big.len(), big.len(), 11);
+        assert_eq!(setup.k, 1, "scale_cap 1 must pin k");
+        let h = setup.family.member(1);
+        assert_eq!(
+            window_signature(&setup, &h, &big),
+            window_signature_reference(&setup, &h, &big)
+        );
     }
 
     #[test]

@@ -181,7 +181,38 @@ impl RepHash {
     /// other element of `B` — i.e. `low(a)` minus `colliding(a, b)`.
     ///
     /// `b` must be sorted.
+    ///
+    /// When `a` and `b` are the *same slice* (the `S ¬_h S` self-join,
+    /// the hot case in `MultiTrial` and the similarity estimates), a
+    /// one-pass fast path applies: `x` survives iff `h(x) < σ` and no
+    /// other element shares its window value, tracked with a once/twice
+    /// bit pair — each element hashed exactly once, no hash-map scratch,
+    /// no per-element binary search. Results are identical to the
+    /// general path (pinned by a test).
     pub fn isolated(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        if std::ptr::eq(a, b) {
+            let words = self.sigma.div_ceil(64) as usize;
+            let mut once = vec![0u64; words];
+            let mut twice = vec![0u64; words];
+            let mut hashes = Vec::with_capacity(a.len());
+            for &x in a {
+                let h = self.hash(x);
+                hashes.push(h);
+                if h < self.sigma {
+                    let (w, bit) = ((h / 64) as usize, 1u64 << (h % 64));
+                    twice[w] |= once[w] & bit;
+                    once[w] |= bit;
+                }
+            }
+            return a
+                .iter()
+                .zip(&hashes)
+                .filter(|&(_, &h)| {
+                    h < self.sigma && twice[(h / 64) as usize] & (1 << (h % 64)) == 0
+                })
+                .map(|(&x, _)| x)
+                .collect();
+        }
         debug_assert!(b.windows(2).all(|w| w[0] <= w[1]), "b must be sorted");
         let counts = self.window_counts(b);
         a.iter()
@@ -258,6 +289,25 @@ mod tests {
         assert_eq!(h1.hash(99), f.member(3).hash(99));
         let same = (0..200).filter(|&x| h1.hash(x) == h2.hash(x)).count();
         assert!(same < 20, "members look identical: {same} agreements");
+    }
+
+    /// The same-slice fast path must agree with the general path
+    /// (including on duplicate elements).
+    #[test]
+    fn isolated_self_join_fast_path_matches_general() {
+        let f = family();
+        for index in [0u64, 2, 5] {
+            let h = f.member(index);
+            let a: Vec<u64> = (0..400u64).map(|i| i * 3).collect();
+            let b = a.clone();
+            assert_eq!(h.isolated(&a, &a), h.isolated(&a, &b), "index {index}");
+            let mut d: Vec<u64> = (0..100u64).map(|i| i * 5).collect();
+            d.push(250);
+            d.sort_unstable();
+            let db = d.clone();
+            assert_eq!(h.isolated(&d, &d), h.isolated(&d, &db), "index {index}");
+            assert_eq!(h.isolated(&[], &[]).len(), 0);
+        }
     }
 
     #[test]

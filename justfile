@@ -33,6 +33,13 @@ bench:
 bench-json:
     cargo run --release -p bench --bin experiments -- --json bench.json E0
 
+# End-to-end solve benches: the E0b session-vs-per-pass microbench
+# (BENCH_4.json at the repo root is the committed full-scale snapshot)
+# plus the criterion companion bench.
+bench-solve:
+    cargo run --release -p bench --bin experiments -- --json BENCH_4.json E0b
+    cargo bench -p bench --bench solve_pipeline
+
 # Full-scale scenario sweep (S1–S6) → BENCH_3.json, the committed
 # snapshot EXPERIMENTS.md's full-scale section is rendered from. Slow;
 # rerun only when solver behaviour changes, then `just experiments-md`.

@@ -288,3 +288,58 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// PR-4 satellite: a full pipeline solve on one persistent engine
+    /// session is byte-identical — same coloring, same per-pass
+    /// `RunReport` log — to the per-pass pre-session engine and to the
+    /// legacy reference plane, for every thread count in {1, 2, 8}
+    /// (node counts straddle the engine's parallel threshold, so the
+    /// pooled session path is exercised too).
+    #[test]
+    fn session_solve_matches_legacy_engines(
+        n in 8usize..320,
+        p in 0.01f64..0.2,
+        gseed in 0u64..500,
+        lseed in 0u64..500,
+        seed in 0u64..500,
+    ) {
+        use congest_coloring::congest::SimConfig;
+        use congest_coloring::d1lc::EngineMode;
+
+        let g = gen::gnp(n, p, gseed);
+        let lists = random_lists(&g, 32, 0, lseed);
+        let run = |engine: EngineMode, threads: usize| {
+            let opts = SolveOptions {
+                engine,
+                sim: SimConfig { threads, ..SimConfig::default() },
+                ..SolveOptions::seeded(seed)
+            };
+            solve(&g, &lists, opts).expect("solve")
+        };
+        let base = run(EngineMode::Session, 1);
+        prop_assert_eq!(check_coloring(&g, &lists, &base.coloring), Ok(()));
+        for engine in [EngineMode::Session, EngineMode::PerPass, EngineMode::Reference] {
+            for threads in [1usize, 2, 8] {
+                if engine == EngineMode::Session && threads == 1 {
+                    continue;
+                }
+                let other = run(engine, threads);
+                prop_assert!(
+                    base.coloring == other.coloring,
+                    "coloring diverged: {:?} t={}",
+                    engine,
+                    threads
+                );
+                prop_assert!(
+                    base.log.passes() == other.log.passes(),
+                    "pass log diverged: {:?} t={}",
+                    engine,
+                    threads
+                );
+            }
+        }
+    }
+}
