@@ -1,0 +1,45 @@
+//! Throughput benchmark: a request stream through the batched
+//! [`SolveService`] arms vs fresh-session-per-solve.
+//!
+//! This is the criterion companion of experiment E0c (whose committed
+//! full-scale snapshot is `BENCH_5.json`): the same repeat-heavy
+//! `uniform-256` serving stream, measured per batch by
+//! `cargo bench -p bench --bench solve_throughput`
+//! (`just bench-throughput`). Every arm produces byte-identical
+//! responses (asserted inside E0c and by the service's differential
+//! proptests); the arms differ only in what they amortize across the
+//! stream.
+
+use bench::exp_service::uniform_requests;
+use bench::Scale;
+use criterion::{criterion_group, criterion_main, Criterion};
+use d1lc::service::{ServiceConfig, SolveService};
+use std::time::Duration;
+
+fn bench_solve_throughput(c: &mut Criterion) {
+    // E0c's own quick-scale uniform-256 serving stream, so the bench and
+    // the experiment can never drift apart.
+    let requests = uniform_requests(Scale::Quick);
+    let mut group = c.benchmark_group("solve-throughput");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(15));
+    for (label, config) in [
+        ("fresh", ServiceConfig::fresh_per_solve()),
+        ("pooled", ServiceConfig::pooled_only()),
+        ("service", ServiceConfig::default()),
+    ] {
+        group.bench_function(format!("uniform-256/{label}"), |b| {
+            b.iter(|| {
+                // A cold service per batch: memo hits are earned within
+                // the measured stream, exactly as E0c measures them.
+                let mut service = SolveService::new(config);
+                service.solve_batch(&requests).expect("batch")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solve_throughput);
+criterion_main!(benches);

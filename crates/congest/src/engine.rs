@@ -31,7 +31,7 @@ pub enum Bandwidth {
 }
 
 /// Engine configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SimConfig {
     /// Global seed; node `v`'s RNG is seeded from `(seed, v)`.
     pub seed: u64,

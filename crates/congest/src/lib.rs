@@ -10,6 +10,10 @@
 //!   mailbox plane, worker pool, per-node RNGs, and the active-frontier
 //!   scheduler (compacted active lists + dirty-receiver delivery),
 //!   reused across every pass of a multi-pass pipeline;
+//! * [`SessionCore`] — the graph-independent half of a session: unbind
+//!   a finished session and rebind the storage (and parked worker pool)
+//!   to the next graph, so a stream of solves over varying graphs runs
+//!   on one warm engine;
 //! * [`run`] — the one-shot wrapper over [`Session`]: O(1) sends,
 //!   permutation delivery, deterministic per-node randomness, optional
 //!   multi-threaded step *and* routing phases, and per-directed-edge
@@ -76,5 +80,5 @@ pub use error::SimError;
 pub use message::Message;
 pub use metrics::{LoadProfile, PassLog, PassRecord, RunReport, MAX_BUCKETS};
 pub use program::{Ctx, Program};
-pub use session::Session;
+pub use session::{Session, SessionCore};
 pub use twoparty::BitTally;

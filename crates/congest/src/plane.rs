@@ -143,6 +143,16 @@ impl NeighborIndex {
         }
     }
 
+    /// Grow the index to resolve destinations in `0..n` (never shrinks).
+    /// New entries carry mark 0, which predates every post-fill `tick`,
+    /// so they can never be mistaken for resolved positions.
+    pub(crate) fn grow(&mut self, n: usize) {
+        if self.mark.len() < n {
+            self.mark.resize(n, 0);
+            self.pos.resize(n, 0);
+        }
+    }
+
     /// Point the index at a new neighbor list (O(deg)).
     fn fill(&mut self, neighbors: &[NodeId]) {
         self.tick += 1;
@@ -180,6 +190,15 @@ impl DirtyBoard {
     pub(crate) fn new(n: usize) -> Self {
         DirtyBoard {
             stamps: (0..n).map(|_| AtomicU64::new(u64::MAX)).collect(),
+        }
+    }
+
+    /// Grow the board to cover receivers `0..n` (never shrinks — retained
+    /// stamps are from past epochs and the session epoch counter never
+    /// reuses a value, so they can never alias a future round).
+    pub(crate) fn grow(&mut self, n: usize) {
+        if self.stamps.len() < n {
+            self.stamps.resize_with(n, || AtomicU64::new(u64::MAX));
         }
     }
 
@@ -352,9 +371,45 @@ pub(crate) struct MailboxPlane<M> {
     pub(crate) bcast_spill: Vec<PlaneCell<Vec<(M, u32)>>>,
 }
 
+/// A never-written slot (stamp `u64::MAX` predates every epoch).
+fn fresh_slot<M>() -> PlaneCell<Slot<M>> {
+    PlaneCell::new(Slot {
+        stamp: u64::MAX,
+        bits: 0,
+        spilled: 0,
+        seq: 0,
+        first: None,
+    })
+}
+
 impl<M> MailboxPlane<M> {
+    /// A plane bound to no graph (every lane empty). Useful as the
+    /// recyclable identity of [`MailboxPlane::rebuild`].
+    pub(crate) fn empty() -> Self {
+        MailboxPlane {
+            rev: Vec::new(),
+            slots: Vec::new(),
+            spill: Vec::new(),
+            bcast: Vec::new(),
+            bcast_spill: Vec::new(),
+        }
+    }
+
     /// Build the plane for `graph` (O(n + m)).
     pub(crate) fn new(graph: &Graph) -> Self {
+        let mut plane = MailboxPlane::empty();
+        plane.rebuild(graph);
+        plane
+    }
+
+    /// Retarget the plane at `graph` in place (O(n + m)), reusing the
+    /// lane allocations of the previous binding. Slots retained from an
+    /// earlier graph keep their stale stamps: as long as the caller's
+    /// epoch counter never reuses a value (the [`crate::Session`]
+    /// contract), a stale stamp can never equal a live epoch, so leftover
+    /// payloads are never delivered and are lazily overwritten by the
+    /// next write to the slot.
+    pub(crate) fn rebuild(&mut self, graph: &Graph) {
         let offsets = graph.offsets();
         let adj = graph.adjacency();
         assert!(
@@ -365,7 +420,8 @@ impl<M> MailboxPlane<M> {
         // Iterating senders in ascending id order means each receiver v
         // sees its in-neighbors in ascending order too, so a per-receiver
         // cursor yields pos(u in N(v)) without any search.
-        let mut rev = vec![0u32; adj.len()];
+        self.rev.clear();
+        self.rev.resize(adj.len(), 0);
         let mut cursor: Vec<usize> = offsets[..offsets.len() - 1].to_vec();
         for win in offsets.windows(2) {
             for (x, &v) in adj[win[0]..win[1]]
@@ -373,37 +429,18 @@ impl<M> MailboxPlane<M> {
                 .enumerate()
                 .map(|(k, v)| (win[0] + k, v))
             {
-                rev[cursor[v as usize]] = x as u32;
+                self.rev[cursor[v as usize]] = x as u32;
                 cursor[v as usize] += 1;
             }
         }
-        MailboxPlane {
-            rev,
-            slots: (0..adj.len())
-                .map(|_| {
-                    PlaneCell::new(Slot {
-                        stamp: u64::MAX,
-                        bits: 0,
-                        spilled: 0,
-                        seq: 0,
-                        first: None,
-                    })
-                })
-                .collect(),
-            spill: (0..adj.len()).map(|_| PlaneCell::new(Vec::new())).collect(),
-            bcast: (0..graph.n())
-                .map(|_| {
-                    PlaneCell::new(Slot {
-                        stamp: u64::MAX,
-                        bits: 0,
-                        spilled: 0,
-                        seq: 0,
-                        first: None,
-                    })
-                })
-                .collect(),
-            bcast_spill: (0..graph.n()).map(|_| PlaneCell::new(Vec::new())).collect(),
-        }
+        // resize_with truncates on shrink and fills fresh cells on grow;
+        // retained cells keep their (stale-stamped) state, see above.
+        self.slots.resize_with(adj.len(), fresh_slot);
+        self.spill
+            .resize_with(adj.len(), || PlaneCell::new(Vec::new()));
+        self.bcast.resize_with(graph.n(), fresh_slot);
+        self.bcast_spill
+            .resize_with(graph.n(), || PlaneCell::new(Vec::new()));
     }
 }
 

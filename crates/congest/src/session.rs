@@ -48,6 +48,20 @@
 //! trait object over that pass's program type — and runs the same
 //! 4-barrier-per-round protocol as before.
 //!
+//! # Rebinding
+//!
+//! A session splits into a graph *binding* (the `&Graph` plus the chunk
+//! geometry derived from it) and a [`SessionCore`] — everything else:
+//! lane arrays, dirty board, RNG/inbox vectors, scheduler scratch, the
+//! parked pool, and the epoch counter. [`Session::unbind`] recovers the
+//! core; [`SessionCore::bind`] retargets it at any other graph, reusing
+//! the allocations (growing only when the new graph is larger) and
+//! keeping the parked pool whenever the shard count still matches.
+//! Because the epoch counter carries over and strictly increases, slot
+//! and dirty stamps written under one binding can never alias a round
+//! run under a later one — a rebound session is byte-identical in
+//! behaviour to a fresh one.
+//!
 //! ## SAFETY (sharded frontier and the job cell)
 //!
 //! * Worker `w` owns the node range `[w·chunk, (w+1)·chunk)`: its
@@ -519,13 +533,170 @@ impl<P: Program> WorkerTask for PassTask<'_, P> {
     }
 }
 
+/// The graph-independent half of a [`Session`]: every allocation the
+/// engine owns that survives retargeting to a *different* graph — the
+/// mailbox-plane lane arrays, the dirty board, the per-node RNG and inbox
+/// vectors, the per-worker scheduler scratch, the parked worker pool, and
+/// the session-global epoch counter.
+///
+/// A core cycles through bindings:
+///
+/// ```text
+/// SessionCore::new() ── bind(graph) ──▶ Session ── unbind() ──▶ SessionCore
+///        ▲                                                          │
+///        └────────────────── bind(next graph) ◀────────────────────┘
+/// ```
+///
+/// [`SessionCore::bind`] retargets the storage at a new graph in place:
+/// lane arrays are resized (capacity reused, growing only when the new
+/// graph is larger), the reverse-CSR permutation is rebuilt, and the
+/// worker pool is kept parked whenever the new binding needs the same
+/// shard count (it is respawned only when the shard count changes, and
+/// retained across single-shard bindings). The **epoch counter carries
+/// over**: it never resets, so slot stamps and dirty-board stamps written
+/// under a previous binding can never alias a round of a later one —
+/// stale payloads from the old graph are unreachable by construction.
+///
+/// Solver stacks use this to run a stream of solves over varying graphs
+/// on one warm engine (see `d1lc::service::SolveService`).
+pub struct SessionCore<M: Message> {
+    plane: MailboxPlane<M>,
+    dirty: DirtyBoard,
+    rngs: Vec<StdRng>,
+    inboxes: Vec<Vec<(NodeId, M)>>,
+    active: Vec<Vec<u32>>,
+    filled: Vec<Vec<u32>>,
+    lookups: Vec<NeighborIndex>,
+    /// Session-global round counter; strictly increasing, never reused
+    /// (so stale slot stamps can never alias a later round), including
+    /// across rebinds.
+    epoch: u64,
+    pool: Option<Pool>,
+    /// Node count of the graph last bound (0 before the first binding).
+    bound_n: usize,
+    /// Directed-edge count of the graph last bound.
+    bound_m: usize,
+}
+
+impl<M: Message> Default for SessionCore<M> {
+    fn default() -> Self {
+        SessionCore::new()
+    }
+}
+
+impl<M: Message> SessionCore<M> {
+    /// An empty core, bound to no graph. The first [`SessionCore::bind`]
+    /// allocates; later binds reuse.
+    pub fn new() -> Self {
+        SessionCore {
+            plane: MailboxPlane::empty(),
+            dirty: DirtyBoard::new(0),
+            rngs: Vec::new(),
+            inboxes: Vec::new(),
+            active: Vec::new(),
+            filled: Vec::new(),
+            lookups: Vec::new(),
+            epoch: 0,
+            pool: None,
+            bound_n: 0,
+            bound_m: 0,
+        }
+    }
+
+    /// Bind the core to `graph`, producing a ready [`Session`]. All
+    /// graph-shaped storage is retargeted in place (O(n + m), reusing
+    /// capacity); the worker pool and epoch counter carry over as
+    /// described on [`SessionCore`].
+    pub fn bind(mut self, graph: &Graph, config: SimConfig) -> Session<'_, M> {
+        self.plane.rebuild(graph);
+        self.finish_bind(graph, config)
+    }
+
+    /// Like [`SessionCore::bind`], but skips rebuilding the mailbox-plane
+    /// permutation: the caller asserts `graph` is **structurally
+    /// identical** (same node ids, same adjacency) to the graph this core
+    /// was last bound to — e.g. the same `Arc<Graph>` resolved again.
+    /// Node and edge counts are always checked; debug builds verify the
+    /// retained permutation edge by edge against `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph`'s node or directed-edge count differs from the
+    /// previous binding's.
+    pub fn bind_same_graph(self, graph: &Graph, config: SimConfig) -> Session<'_, M> {
+        assert_eq!(
+            (graph.n(), graph.adjacency().len()),
+            (self.bound_n, self.bound_m),
+            "bind_same_graph: graph shape differs from the previous binding"
+        );
+        #[cfg(debug_assertions)]
+        {
+            let offsets = graph.offsets();
+            let adj = graph.adjacency();
+            for v in 0..graph.n() {
+                for (j, &u) in graph.neighbors(v as NodeId).iter().enumerate() {
+                    let e = self.plane.rev[offsets[v] + j] as usize;
+                    debug_assert!(
+                        offsets[u as usize] <= e
+                            && e < offsets[u as usize + 1]
+                            && adj[e] == v as NodeId,
+                        "bind_same_graph: retained permutation does not match this graph"
+                    );
+                }
+            }
+        }
+        self.finish_bind(graph, config)
+    }
+
+    /// The binding steps shared by both entry points: resize the
+    /// graph-sized and shard-sized storage, and reconcile the worker
+    /// pool with the new shard count.
+    fn finish_bind(mut self, graph: &Graph, config: SimConfig) -> Session<'_, M> {
+        let n = graph.n();
+        let workers = if config.threads <= 1 || n < PAR_MIN_NODES {
+            1
+        } else {
+            config.threads
+        };
+        let chunk = n.div_ceil(workers).max(1);
+        let shards = n.div_ceil(chunk).max(1);
+        self.dirty.grow(n);
+        self.inboxes.resize_with(n, Vec::new);
+        self.rngs.truncate(n); // grown lazily by the per-pass reseed
+        self.active.resize_with(shards, Vec::new);
+        self.filled.resize_with(shards, Vec::new);
+        self.lookups.resize_with(shards, || NeighborIndex::new(n));
+        for lookup in &mut self.lookups {
+            lookup.grow(n);
+        }
+        // Keep a parked pool whenever its shard count still fits (in
+        // particular across single-shard bindings, where the sequential
+        // path simply ignores it); respawn only on a genuine mismatch.
+        let pool_shards = self.pool.as_ref().map_or(0, |p| p.handles.len());
+        if shards > 1 && pool_shards != shards {
+            self.pool = Some(Pool::spawn(shards));
+        }
+        self.bound_n = n;
+        self.bound_m = graph.adjacency().len();
+        Session {
+            graph,
+            config,
+            chunk,
+            shards,
+            core: self,
+        }
+    }
+}
+
 /// A persistent engine session: plane, RNGs, inboxes, scratch, worker
 /// pool, and scheduler state, reused across every pass of a solve.
 ///
 /// Build one with [`Session::new`], then call [`Session::run`] once per
 /// pass; results are byte-identical to running each pass through
 /// [`crate::run`] — including across thread counts — while amortizing
-/// all per-pass setup.
+/// all per-pass setup. To reuse the allocations across *solves over
+/// different graphs*, recover the graph-independent storage with
+/// [`Session::unbind`] (or retarget directly with [`Session::rebind`]).
 ///
 /// # Example
 ///
@@ -565,18 +736,11 @@ impl<P: Program> WorkerTask for PassTask<'_, P> {
 pub struct Session<'g, M: Message> {
     graph: &'g Graph,
     config: SimConfig,
-    plane: MailboxPlane<M>,
-    dirty: DirtyBoard,
-    rngs: Vec<StdRng>,
-    inboxes: Vec<Vec<(NodeId, M)>>,
-    active: Vec<Vec<u32>>,
-    filled: Vec<Vec<u32>>,
-    lookups: Vec<NeighborIndex>,
-    /// Session-global round counter; strictly increasing, never reused
-    /// (so stale slot stamps can never alias a later round).
-    epoch: u64,
     chunk: usize,
-    pool: Option<Pool>,
+    /// Shard count of *this binding* (the parked pool may be larger when
+    /// it was retained across a smaller, single-shard binding).
+    shards: usize,
+    core: SessionCore<M>,
 }
 
 impl<'g, M: Message> Session<'g, M> {
@@ -584,28 +748,7 @@ impl<'g, M: Message> Session<'g, M> {
     /// [`Session::run`] takes its own pass seed; bandwidth policy, round
     /// cap, and thread count come from `config`.
     pub fn new(graph: &'g Graph, config: SimConfig) -> Self {
-        let n = graph.n();
-        let workers = if config.threads <= 1 || n < PAR_MIN_NODES {
-            1
-        } else {
-            config.threads
-        };
-        let chunk = n.div_ceil(workers).max(1);
-        let shards = n.div_ceil(chunk).max(1);
-        Session {
-            graph,
-            config,
-            plane: MailboxPlane::new(graph),
-            dirty: DirtyBoard::new(n),
-            rngs: Vec::new(),
-            inboxes: (0..n).map(|_| Vec::new()).collect(),
-            active: (0..shards).map(|_| Vec::with_capacity(chunk)).collect(),
-            filled: (0..shards).map(|_| Vec::new()).collect(),
-            lookups: (0..shards).map(|_| NeighborIndex::new(n)).collect(),
-            epoch: 0,
-            chunk,
-            pool: (shards > 1).then(|| Pool::spawn(shards)),
-        }
+        SessionCore::new().bind(graph, config)
     }
 
     /// The graph this session runs on.
@@ -616,6 +759,21 @@ impl<'g, M: Message> Session<'g, M> {
     /// The engine configuration the session was built with.
     pub fn config(&self) -> SimConfig {
         self.config
+    }
+
+    /// Release the graph binding, recovering the reusable
+    /// [`SessionCore`] (allocations, parked worker pool, epoch counter).
+    pub fn unbind(self) -> SessionCore<M> {
+        self.core
+    }
+
+    /// Retarget this session at a new graph (and config) in place:
+    /// shorthand for [`Session::unbind`] + [`SessionCore::bind`]. The
+    /// returned session is byte-identical in behaviour to a fresh
+    /// [`Session::new`] for `graph` — reuse only changes who owns the
+    /// allocations.
+    pub fn rebind<'h>(self, graph: &'h Graph, config: SimConfig) -> Session<'h, M> {
+        self.core.bind(graph, config)
     }
 
     /// Run one pass over **all** nodes: node `v`'s RNG is reseeded from
@@ -669,24 +827,25 @@ impl<'g, M: Message> Session<'g, M> {
         assert_eq!(programs.len(), n, "need exactly one program per node");
         // Per-pass reset: reseed RNGs, drop leftover deliveries, rebuild
         // the frontier. All O(n) — the plane, pool, and scratch carry
-        // over untouched.
-        if self.rngs.len() != n {
-            self.rngs = (0..n)
-                .map(|v| StdRng::seed_from_u64(mix2(seed, v as u64)))
-                .collect();
-        } else {
-            for (v, rng) in self.rngs.iter_mut().enumerate() {
-                *rng = StdRng::seed_from_u64(mix2(seed, v as u64));
-            }
+        // over untouched. The RNG vector grows in place (capacity is
+        // reused across passes and rebinds).
+        let kept = self.core.rngs.len().min(n);
+        for (v, rng) in self.core.rngs.iter_mut().take(kept).enumerate() {
+            *rng = StdRng::seed_from_u64(mix2(seed, v as u64));
         }
-        for inbox in &mut self.inboxes {
+        for v in kept..n {
+            self.core
+                .rngs
+                .push(StdRng::seed_from_u64(mix2(seed, v as u64)));
+        }
+        for inbox in &mut self.core.inboxes {
             inbox.clear();
         }
-        for filled in &mut self.filled {
+        for filled in &mut self.core.filled {
             filled.clear();
         }
         let mut halted_count = 0usize;
-        for (w, list) in self.active.iter_mut().enumerate() {
+        for (w, list) in self.core.active.iter_mut().enumerate() {
             list.clear();
             let lo = w * self.chunk;
             let hi = (lo + self.chunk).min(n);
@@ -700,33 +859,39 @@ impl<'g, M: Message> Session<'g, M> {
         }
         let slots = make_slots(
             programs,
-            &mut self.rngs,
-            &mut self.inboxes,
-            &mut self.active,
-            &mut self.filled,
-            &mut self.lookups,
+            &mut self.core.rngs,
+            &mut self.core.inboxes,
+            &mut self.core.active,
+            &mut self.core.filled,
+            &mut self.core.lookups,
             self.chunk,
         );
-        match &self.pool {
-            None => run_rounds_sequential(
+        if self.shards > 1 {
+            let pool = self
+                .core
+                .pool
+                .as_ref()
+                .expect("multi-shard binding has a pool");
+            run_rounds_pooled(
                 self.graph,
-                &self.plane,
-                &self.dirty,
-                self.config,
-                slots,
-                &mut self.epoch,
-                halted_count,
-            ),
-            Some(pool) => run_rounds_pooled(
-                self.graph,
-                &self.plane,
-                &self.dirty,
+                &self.core.plane,
+                &self.core.dirty,
                 self.config,
                 &pool.shared,
                 slots,
-                &mut self.epoch,
+                &mut self.core.epoch,
                 halted_count,
-            ),
+            )
+        } else {
+            run_rounds_sequential(
+                self.graph,
+                &self.core.plane,
+                &self.core.dirty,
+                self.config,
+                slots,
+                &mut self.core.epoch,
+                halted_count,
+            )
         }
     }
 }
@@ -1131,6 +1296,117 @@ mod tests {
         let (b, rb) = run_reference(&g, mk(), SimConfig::seeded(2)).expect("reference");
         assert_eq!(ra, rb);
         assert!(a.iter().zip(&b).all(|(x, y)| x.done == y.done));
+    }
+
+    /// A program that must observe an empty world: sends nothing and
+    /// asserts its inbox stays empty. If a rebound session ever delivered
+    /// stale slots (epoch aliasing across rebinds), this panics.
+    struct MustHearNothing {
+        rounds: u64,
+        done: bool,
+    }
+
+    impl Program for MustHearNothing {
+        type Msg = crate::engine::tests::IdMsg;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, crate::engine::tests::IdMsg>) {
+            assert!(
+                ctx.inbox().is_empty(),
+                "node {} heard a stale message after rebind",
+                ctx.id()
+            );
+            if ctx.round() + 1 >= self.rounds {
+                self.done = true;
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.done
+        }
+    }
+
+    /// Satellite: a rebound session never aliases stale epochs or slots
+    /// from the previous graph — a silent pass on the new graph hears
+    /// nothing, and a real pass matches a fresh session byte for byte.
+    #[test]
+    fn rebound_session_never_aliases_stale_state() {
+        // Saturate every slot of a dense graph...
+        let dense = gen::complete(8);
+        let mut session: Session<'_, crate::engine::tests::IdMsg> =
+            Session::new(&dense, SimConfig::default());
+        let mut programs = min_flood_programs(8);
+        session.run(&mut programs, 11).expect("dense pass");
+        // ...then retarget at a different topology (more nodes, fewer
+        // edges per node): no leftover payload may surface.
+        let sparse = gen::cycle(12);
+        let mut session = session.rebind(&sparse, SimConfig::default());
+        let mut silent: Vec<MustHearNothing> = (0..12)
+            .map(|_| MustHearNothing {
+                rounds: 3,
+                done: false,
+            })
+            .collect();
+        let report = session.run(&mut silent, 13).expect("silent pass");
+        assert_eq!(report.messages, 0);
+        // A real pass on the rebound session is byte-identical to a
+        // fresh-session run of the same pass.
+        let mut reused = min_flood_programs(12);
+        let report_reused = session.run(&mut reused, 17).expect("rebound pass");
+        let mut fresh_session: Session<'_, crate::engine::tests::IdMsg> =
+            Session::new(&sparse, SimConfig::default());
+        let mut fresh = min_flood_programs(12);
+        let report_fresh = fresh_session.run(&mut fresh, 17).expect("fresh pass");
+        assert_eq!(report_reused, report_fresh);
+        assert!(reused.iter().zip(&fresh).all(|(a, b)| a.min == b.min));
+    }
+
+    /// Rebinding across sizes and shard counts: the pool is kept when the
+    /// shard count matches, survives a single-shard binding in between,
+    /// and every binding matches a fresh session.
+    #[test]
+    fn rebind_across_sizes_matches_fresh_sessions() {
+        let cfg = SimConfig {
+            threads: 4,
+            ..SimConfig::default()
+        };
+        let big = gen::gnp(400, 0.02, 5);
+        let small = gen::cycle(10);
+        let bigger = gen::gnp(600, 0.015, 7);
+        let mut core: SessionCore<crate::engine::tests::IdMsg> = SessionCore::new();
+        for (graph, seed) in [(&big, 3u64), (&small, 4), (&bigger, 5), (&big, 6)] {
+            let n = graph.n();
+            let mut session = core.bind(graph, cfg);
+            let mut programs = min_flood_programs(n);
+            let report = session.run(&mut programs, seed).expect("rebound run");
+            let mut fresh_session: Session<'_, crate::engine::tests::IdMsg> =
+                Session::new(graph, cfg);
+            let mut fresh = min_flood_programs(n);
+            let fresh_report = fresh_session.run(&mut fresh, seed).expect("fresh run");
+            assert_eq!(report, fresh_report, "n={n}");
+            assert!(programs.iter().zip(&fresh).all(|(a, b)| a.min == b.min));
+            core = session.unbind();
+        }
+    }
+
+    /// `bind_same_graph` (the permutation-reusing fast path) behaves
+    /// exactly like a full bind, and rejects a different-shaped graph.
+    #[test]
+    fn bind_same_graph_matches_full_bind() {
+        let g = gen::gnp(50, 0.1, 9);
+        let mut session: Session<'_, crate::engine::tests::IdMsg> =
+            Session::new(&g, SimConfig::default());
+        let mut a = min_flood_programs(50);
+        let ra = session.run(&mut a, 21).expect("first bind");
+        let mut session = session.unbind().bind_same_graph(&g, SimConfig::default());
+        let mut b = min_flood_programs(50);
+        let rb = session.run(&mut b, 21).expect("same-graph rebind");
+        assert_eq!(ra, rb);
+        assert!(a.iter().zip(&b).all(|(x, y)| x.min == y.min));
+        let other = gen::cycle(50);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = session
+                .unbind()
+                .bind_same_graph(&other, SimConfig::default());
+        }));
+        assert!(caught.is_err(), "shape mismatch must be rejected");
     }
 
     /// A strict-bandwidth abort leaves the session reusable: the next run

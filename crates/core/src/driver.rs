@@ -119,6 +119,34 @@ impl<'g> Driver<'g> {
         }
     }
 
+    /// A driver running on an **already-bound session** — the
+    /// throughput-mode entry point: `d1lc::service::SolveService` binds a
+    /// pooled [`congest::SessionCore`] to the request's graph and hands
+    /// the session here, so a stream of solves reuses one warm engine.
+    /// Behaviour is byte-identical to [`Driver::new`] on the same graph
+    /// and config (session reuse only changes who owns the allocations).
+    pub fn from_session(session: Session<'g, Wire>) -> Self {
+        Driver {
+            graph: session.graph(),
+            config: session.config(),
+            log: PassLog::new(),
+            seed: session.config().seed,
+            engine: Engine::Session(Box::new(session)),
+            pass_counter: 0,
+        }
+    }
+
+    /// Recover the engine session for recycling (`None` for the legacy
+    /// engine modes, which own no session). The caller typically unbinds
+    /// it back into a [`congest::SessionCore`] and pools it for the next
+    /// solve.
+    pub fn into_session(self) -> Option<Session<'g, Wire>> {
+        match self.engine {
+            Engine::Session(session) => Some(*session),
+            _ => None,
+        }
+    }
+
     /// Whether this driver runs a preserved pre-session baseline
     /// ([`EngineMode::PerPass`] / [`EngineMode::Reference`]). Passes
     /// with a dual compute path (e.g. the ACD estimate signatures, see

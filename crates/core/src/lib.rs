@@ -14,7 +14,10 @@
 //! * [`slackcolor`] — Alg. 15's tetration ladder;
 //! * [`leader`], [`putaside`], [`synchtrial`] — the App. D dense-path
 //!   machinery;
-//! * [`baseline`] — the classical comparators.
+//! * [`baseline`] — the classical comparators;
+//! * [`service`] — throughput-mode solving: a batched [`SolveService`]
+//!   over pooled, rebindable engine sessions with deterministic response
+//!   memoization.
 //!
 //! # Example
 //!
@@ -49,6 +52,7 @@ pub mod palette;
 pub mod passes;
 pub mod pipeline;
 pub mod putaside;
+pub mod service;
 pub mod shattering;
 pub mod slackcolor;
 pub mod sparse;
@@ -63,4 +67,5 @@ pub use config::ParamProfile;
 pub use driver::{Driver, EngineMode, PassFailure};
 pub use palette::Palette;
 pub use pipeline::{solve, SolveOptions, SolveResult, Stats};
+pub use service::{ServiceConfig, SolveRequest, SolveService};
 pub use state::{AcdClass, NodeState};

@@ -175,18 +175,20 @@ impl Program for UniformMultiTrialPass {
                     }
                 }
                 let Some(h) = self.my_hash else { return };
-                // X_v ← x random palette colors hashing into S_v.
+                // X_v ← x random palette colors hashing into S_v. The
+                // membership probe runs over a sorted scratch (binary
+                // search) instead of a per-round hash set.
                 let sigma = self.sigma(self.my_lambda);
                 let sampler = sampler_for(&self.profile, self.seed, self.my_lambda, sigma);
-                let in_set: std::collections::HashSet<u64> =
-                    sampler.multiset(self.my_set_seed).collect();
+                let mut in_set: Vec<u64> = sampler.multiset(self.my_set_seed).collect();
+                in_set.sort_unstable();
                 let mut candidates: Vec<Color> = self
                     .st
                     .palette
                     .colors()
                     .iter()
                     .copied()
-                    .filter(|&c| in_set.contains(&h.hash(c)))
+                    .filter(|&c| in_set.binary_search(&h.hash(c)).is_ok())
                     .collect();
                 candidates.shuffle(ctx.rng());
                 candidates.truncate(self.x as usize);
@@ -195,7 +197,10 @@ impl Program for UniformMultiTrialPass {
                     return;
                 }
                 // Per participating neighbor: mark the positions of S_u
-                // hit by our tried colors through h_u.
+                // hit by our tried colors through h_u. One sorted scratch
+                // is reused across neighbors (|X_v| is tiny, so a binary
+                // search beats building a hash set per neighbor).
+                let mut hits: Vec<u64> = Vec::with_capacity(self.tried.len());
                 for pos in 0..ctx.neighbors().len() {
                     let Some((lambda_u, idx_u, seed_u)) = self.neighbor_setup[pos] else {
                         continue;
@@ -203,11 +208,12 @@ impl Program for UniformMultiTrialPass {
                     let hu = pwi_family(&self.profile, self.seed, lambda_u).member(idx_u);
                     let sigma_u = self.sigma(lambda_u);
                     let sampler_u = sampler_for(&self.profile, self.seed, lambda_u, sigma_u);
-                    let hits: std::collections::HashSet<u64> =
-                        self.tried.iter().map(|&c| hu.hash(c)).collect();
+                    hits.clear();
+                    hits.extend(self.tried.iter().map(|&c| hu.hash(c)));
+                    hits.sort_unstable();
                     let mut words = vec![0u64; (sigma_u as usize).div_ceil(64)];
                     for (i, s) in sampler_u.multiset(seed_u).enumerate() {
-                        if hits.contains(&s) {
+                        if hits.binary_search(&s).is_ok() {
                             words[i / 64] |= 1 << (i % 64);
                         }
                     }

@@ -10,11 +10,30 @@ use prand::ColorHash;
 /// colors as `h_v(ψ)` images under this node's universal hash, and the
 /// node removes every palette color with a matching image (exactly the
 /// true color w.h.p.).
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// The original list is kept **copy-on-write**: until the first removal,
+/// `colors` *is* the original (one shared allocation — construction
+/// never clones), and the snapshot materializes lazily when a removal
+/// actually happens. Nodes that keep their full palette (the common case
+/// early in a solve) never pay the second allocation.
+#[derive(Clone, Debug)]
 pub struct Palette {
     colors: Vec<Color>,
-    original: Vec<Color>,
+    /// `None` while no color has been removed (`colors` doubles as the
+    /// original list); the pre-removal snapshot afterwards.
+    original: Option<Vec<Color>>,
 }
+
+/// Equality is semantic — remaining colors and (materialized-or-not)
+/// original list — so a never-touched palette equals a touched one whose
+/// removals were re-added via [`Palette::reset`].
+impl PartialEq for Palette {
+    fn eq(&self, other: &Self) -> bool {
+        self.colors == other.colors && self.original() == other.original()
+    }
+}
+
+impl Eq for Palette {}
 
 impl Palette {
     /// A palette initialized to `list` (sorted, deduplicated).
@@ -22,8 +41,32 @@ impl Palette {
         list.sort_unstable();
         list.dedup();
         Palette {
-            colors: list.clone(),
-            original: list,
+            colors: list,
+            original: None,
+        }
+    }
+
+    /// Re-initialize to `list` in place, reusing the palette's
+    /// allocations (the larger of the two retained buffers keeps its
+    /// capacity) — for recycling node state across solves or phases.
+    pub fn reset(&mut self, list: impl IntoIterator<Item = Color>) {
+        let mut buf = std::mem::take(&mut self.colors);
+        if let Some(orig) = self.original.take() {
+            if orig.capacity() > buf.capacity() {
+                buf = orig;
+            }
+        }
+        buf.clear();
+        buf.extend(list);
+        buf.sort_unstable();
+        buf.dedup();
+        self.colors = buf;
+    }
+
+    /// Snapshot the original list before the first mutation of `colors`.
+    fn materialize(&mut self) {
+        if self.original.is_none() {
+            self.original = Some(self.colors.clone());
         }
     }
 
@@ -35,7 +78,7 @@ impl Palette {
     /// The original list (used for chromatic-slack counting, which is
     /// defined against `Ψ_v` at phase start).
     pub fn original(&self) -> &[Color] {
-        &self.original
+        self.original.as_deref().unwrap_or(&self.colors)
     }
 
     /// Number of remaining colors.
@@ -58,6 +101,7 @@ impl Palette {
     pub fn remove(&mut self, c: Color) -> bool {
         match self.colors.binary_search(&c) {
             Ok(i) => {
+                self.materialize();
                 self.colors.remove(i);
                 true
             }
@@ -69,6 +113,13 @@ impl Palette {
     /// hashed announcement). Returns how many colors were removed (w.h.p.
     /// 0 or 1).
     pub fn remove_by_hash(&mut self, h: &ColorHash, image: u64) -> usize {
+        // Probe first: a no-match announcement (the common case — each
+        // announcement targets one neighbor's color) must not force the
+        // copy-on-write snapshot.
+        if !self.colors.iter().any(|&c| h.hash(c) == image) {
+            return 0;
+        }
+        self.materialize();
         let before = self.colors.len();
         self.colors.retain(|&c| h.hash(c) != image);
         before - self.colors.len()
@@ -83,7 +134,7 @@ impl Palette {
     /// Whether the *original* list contains a color with the given image
     /// (chromatic-slack test: did the neighbor adopt outside my list?).
     pub fn original_has_hash(&self, h: &ColorHash, image: u64) -> bool {
-        self.original.iter().any(|&c| h.hash(c) == image)
+        self.original().iter().any(|&c| h.hash(c) == image)
     }
 }
 
@@ -147,5 +198,53 @@ mod tests {
     fn from_iterator() {
         let p: Palette = [3u64, 1, 2].into_iter().collect();
         assert_eq!(p.colors(), &[1, 2, 3]);
+    }
+
+    /// Satellite: construction shares one allocation; the original list
+    /// materializes only when a removal actually happens.
+    #[test]
+    fn original_materializes_lazily() {
+        let mut p = Palette::new(vec![1, 2, 3]);
+        assert!(p.original.is_none(), "no snapshot before any removal");
+        assert_eq!(p.original(), &[1, 2, 3]);
+        assert!(!p.remove(9), "miss must not snapshot");
+        let fam = ColorHashFamily::for_graph(1000, 6, 3);
+        let h = fam.member(1);
+        assert_eq!(p.remove_by_hash(&h, h.hash(77)), 0);
+        assert!(p.original.is_none(), "no-op removals keep sharing");
+        assert!(p.remove(2));
+        assert!(p.original.is_some(), "first hit snapshots");
+        assert_eq!(p.colors(), &[1, 3]);
+        assert_eq!(p.original(), &[1, 2, 3]);
+    }
+
+    /// Semantic equality ignores whether the snapshot materialized.
+    #[test]
+    fn equality_is_semantic() {
+        let fresh = Palette::new(vec![1, 2, 3]);
+        let mut touched = Palette::new(vec![1, 2, 3]);
+        assert!(!touched.remove(9));
+        assert_eq!(fresh, touched);
+        let mut removed = Palette::new(vec![1, 2, 3]);
+        removed.remove(2);
+        assert_ne!(fresh, removed, "different original views");
+    }
+
+    /// `reset` re-initializes in place, reusing the larger retained
+    /// buffer's capacity and clearing the snapshot.
+    #[test]
+    fn reset_reuses_capacity() {
+        let mut p = Palette::new((0..64).collect());
+        p.remove(10);
+        let cap_before = p
+            .colors
+            .capacity()
+            .max(p.original.as_ref().map_or(0, std::vec::Vec::capacity));
+        p.reset([5, 3, 3, 1]);
+        assert_eq!(p.colors(), &[1, 3, 5]);
+        assert_eq!(p.original(), &[1, 3, 5]);
+        assert!(p.original.is_none(), "reset restores the shared state");
+        assert!(p.colors.capacity() >= cap_before, "capacity retained");
+        assert_eq!(p, Palette::new(vec![1, 3, 5]));
     }
 }

@@ -35,7 +35,11 @@ use prand::mix::mix2;
 use std::collections::BTreeMap;
 
 /// Options for [`solve`].
-#[derive(Clone, Copy, Debug)]
+///
+/// `PartialEq` compares every field — two equal options (plus equal
+/// graph and lists) fully determine the [`SolveResult`], which is what
+/// lets [`crate::service::SolveService`] memoize responses.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SolveOptions {
     /// Constant profile (laptop by default).
     pub profile: ParamProfile,
@@ -237,12 +241,30 @@ pub fn solve(
         lists.is_degree_plus_one(g),
         "lists must give every node ≥ deg+1 colors"
     );
-    let profile = opts.profile;
     let sim = SimConfig {
         seed: opts.seed,
         ..opts.sim
     };
     let mut driver = Driver::with_engine(g, sim, opts.engine);
+    solve_on(&mut driver, g, lists, &opts)
+}
+
+/// Run the full pipeline on a caller-provided [`Driver`] — the engine
+/// (and therefore any pooled session behind it) is the caller's to own
+/// and recycle. `driver.log` is consumed into the result. This is how
+/// [`crate::service::SolveService`] runs solves on reused sessions;
+/// results are byte-identical to [`solve`] with the same options.
+///
+/// # Errors
+///
+/// As [`solve`]. On error the driver (and its session) remains valid.
+pub(crate) fn solve_on(
+    driver: &mut Driver<'_>,
+    g: &Graph,
+    lists: &ListAssignment,
+    opts: &SolveOptions,
+) -> Result<SolveResult, SimError> {
+    let profile = opts.profile;
     let mut states = initial_states(g, lists, &profile, opts.seed);
 
     // One-time codec setup (App. D.3 hash indices).
@@ -274,12 +296,12 @@ pub fn solve(
         states = driver.activate(states, in_range)?;
         let phase_seed = mix2(opts.seed, phases as u64);
         states = if opts.uniform_acd {
-            crate::acd_uniform::compute_acd_uniform(&mut driver, states, &profile, phase_seed)?
+            crate::acd_uniform::compute_acd_uniform(driver, states, &profile, phase_seed)?
         } else {
-            crate::acd::compute_acd(&mut driver, states, &profile, phase_seed)?
+            crate::acd::compute_acd(driver, states, &profile, phase_seed)?
         };
-        states = color_sparse(&mut driver, states, &profile, phase_seed)?;
-        states = color_dense(&mut driver, states, &profile, phase_seed, hi)?;
+        states = color_sparse(driver, states, &profile, phase_seed)?;
+        states = color_dense(driver, states, &profile, phase_seed, hi)?;
     }
 
     // Low-degree fallback: repeated random color trials.
@@ -298,10 +320,16 @@ pub fn solve(
     // Deterministic cleanup of the shattered leftovers.
     if Driver::uncolored_count(&states) > 0 {
         driver.begin_phase("cleanup");
-        states = cleanup(&mut driver, states)?;
+        states = cleanup(driver, states)?;
     }
 
-    Ok(finish(g, lists, states, driver.log, phases))
+    Ok(finish(
+        g,
+        lists,
+        states,
+        std::mem::take(&mut driver.log),
+        phases,
+    ))
 }
 
 #[cfg(test)]

@@ -1,0 +1,616 @@
+//! Throughput-mode solving: a batched [`SolveService`] over pooled,
+//! rebindable engine sessions.
+//!
+//! One-shot [`crate::solve`] builds a fresh engine — mailbox plane,
+//! dirty board, RNG/inbox vectors, scheduler scratch, worker pool — for
+//! every call. A service that fields a *stream* of solve requests can do
+//! better, and because the solver is **deterministic** (the repo's core
+//! invariant: the result is a pure function of `(graph, lists,
+//! options)`), it can do so without changing a single byte of any
+//! response:
+//!
+//! * **Session pooling** — finished solves return their
+//!   [`congest::SessionCore`] (allocations + parked worker pool + epoch
+//!   counter) to a bounded pool; the next request rebinds a pooled core
+//!   to its graph instead of building a fresh engine. With the default
+//!   `pool_size = 1` every solve in the stream runs on **one shared
+//!   persistent worker pool**. When a request's graph is *identical* (the
+//!   same `Arc<Graph>`) to the one a pooled core last ran, the rebind
+//!   also skips rebuilding the reverse-CSR permutation
+//!   ([`congest::SessionCore::bind_same_graph`]).
+//! * **Response memoization** — requests are keyed by graph and list
+//!   *identity* (`Arc` pointer) plus full [`SolveOptions`] equality; a
+//!   repeated request is answered with the cached [`SolveResult`]
+//!   (shared via `Arc`, bounded FIFO). Memoizing a pure function is
+//!   sound by construction: the hit returns the byte-identical result
+//!   the solver would recompute.
+//!
+//! Honest accounting (measured by experiment `E0c`, committed full-scale
+//! snapshot `BENCH_5.json`): engine construction is a small fraction of
+//! a solve (the distributed passes dominate), so on streams of all-new
+//! requests session pooling buys only the setup constant. The large
+//! throughput wins come from memoization on repeat-heavy serving mixes —
+//! [`ServiceStats`] splits hits from solved misses so the two effects
+//! are never conflated.
+//!
+//! # Example
+//!
+//! ```
+//! use d1lc::service::{ServiceConfig, SolveRequest, SolveService};
+//! use d1lc::SolveOptions;
+//!
+//! let graph = graphs::gen::gnp(60, 0.1, 7);
+//! let lists = graphs::palette::degree_plus_one_lists(&graph);
+//! let mut service = SolveService::new(ServiceConfig::default());
+//! // A serving stream: the same instance, re-requested.
+//! let req = SolveRequest::new(graph, lists, SolveOptions::seeded(1));
+//! let batch = service
+//!     .solve_batch(&[req.clone(), req.clone(), req])
+//!     .unwrap();
+//! assert_eq!(batch.results.len(), 3);
+//! assert_eq!(service.stats().memo_hits, 2);
+//! assert!(batch.throughput.solves_per_sec > 0.0);
+//! ```
+
+use crate::driver::Driver;
+use crate::pipeline::{solve_on, SolveOptions, SolveResult};
+use crate::wire::Wire;
+use congest::{Session, SessionCore, SimConfig, SimError};
+use graphs::palette::ListAssignment;
+use graphs::Graph;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One solve request: an instance plus the full option set.
+///
+/// The graph and lists travel as `Arc`s so a request stream can repeat
+/// an instance without copying it — and so the service can recognize
+/// repeats *by identity* (pointer equality), which is what keys both the
+/// same-graph session rebind and the response memo. Two structurally
+/// equal instances behind different `Arc`s are treated as distinct (they
+/// solve correctly, just without the reuse fast paths).
+#[derive(Clone, Debug)]
+pub struct SolveRequest {
+    /// The graph to color.
+    pub graph: Arc<Graph>,
+    /// The (degree+1)-list assignment.
+    pub lists: Arc<ListAssignment>,
+    /// Solve options (profile, seed, engine config).
+    pub options: SolveOptions,
+}
+
+impl SolveRequest {
+    /// Wrap an owned instance into a request.
+    pub fn new(graph: Graph, lists: ListAssignment, options: SolveOptions) -> Self {
+        SolveRequest {
+            graph: Arc::new(graph),
+            lists: Arc::new(lists),
+            options,
+        }
+    }
+
+    /// A request over an already-shared instance (clones the `Arc`s, not
+    /// the data) — how streams express same-topology repeats.
+    pub fn shared(graph: &Arc<Graph>, lists: &Arc<ListAssignment>, options: SolveOptions) -> Self {
+        SolveRequest {
+            graph: Arc::clone(graph),
+            lists: Arc::clone(lists),
+            options,
+        }
+    }
+}
+
+/// Service tuning knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Maximum idle [`SessionCore`]s kept for reuse. `0` (or
+    /// `reuse_sessions = false`) reproduces the fresh-session-per-solve
+    /// baseline.
+    pub pool_size: usize,
+    /// Whether finished solves return their session to the pool.
+    pub reuse_sessions: bool,
+    /// Maximum memoized responses (FIFO eviction). `0` disables
+    /// memoization.
+    pub memo_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            pool_size: 1,
+            reuse_sessions: true,
+            memo_capacity: 128,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// The fresh-session-per-solve baseline: no pooling, no memoization —
+    /// every request pays exactly what a one-shot [`crate::solve`] pays.
+    /// This is the E0c baseline arm.
+    pub fn fresh_per_solve() -> Self {
+        ServiceConfig {
+            pool_size: 0,
+            reuse_sessions: false,
+            memo_capacity: 0,
+        }
+    }
+
+    /// Session pooling only (memoization off) — isolates what warm
+    /// engine storage buys on streams with no repeated requests.
+    pub fn pooled_only() -> Self {
+        ServiceConfig {
+            memo_capacity: 0,
+            ..ServiceConfig::default()
+        }
+    }
+}
+
+/// Where each served request's answer came from.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests answered (hits + solved).
+    pub served: u64,
+    /// Requests answered from the response memo.
+    pub memo_hits: u64,
+    /// Solves that rebound a pooled session to a new graph.
+    pub rebinds: u64,
+    /// Solves that rebound a pooled session to the *same* graph
+    /// (permutation rebuild skipped).
+    pub same_graph_rebinds: u64,
+    /// Solves that built a session from scratch.
+    pub fresh_sessions: u64,
+    /// Requests honored through a legacy engine mode (one-shot path,
+    /// no session pooling).
+    pub legacy_engine_solves: u64,
+}
+
+/// Throughput figures for one [`SolveService::solve_batch`] call.
+#[derive(Clone, Copy, Debug)]
+pub struct Throughput {
+    /// Requests served.
+    pub solves: usize,
+    /// End-to-end wall time of the batch.
+    pub wall: Duration,
+    /// `solves / wall` (0 for an empty batch).
+    pub solves_per_sec: f64,
+    /// Median per-request wall time (nearest rank).
+    pub p50: Duration,
+    /// 99th-percentile per-request wall time (nearest rank).
+    pub p99: Duration,
+}
+
+impl Throughput {
+    /// Aggregate a batch's per-request wall times.
+    fn from_walls(wall: Duration, walls: &[Duration]) -> Self {
+        let mut sorted = walls.to_vec();
+        sorted.sort_unstable();
+        let pct = |p: usize| -> Duration {
+            if sorted.is_empty() {
+                return Duration::ZERO;
+            }
+            // Nearest-rank percentile: the smallest wall time covering
+            // p% of requests.
+            let rank = (p * sorted.len()).div_ceil(100).max(1);
+            sorted[rank - 1]
+        };
+        Throughput {
+            solves: walls.len(),
+            wall,
+            solves_per_sec: if wall.is_zero() {
+                0.0
+            } else {
+                walls.len() as f64 / wall.as_secs_f64()
+            },
+            p50: pct(50),
+            p99: pct(99),
+        }
+    }
+}
+
+/// One batch's responses plus its throughput profile.
+#[derive(Clone, Debug)]
+pub struct BatchOutcome {
+    /// Per-request results, in request order. Memo hits share the `Arc`
+    /// of the original response.
+    pub results: Vec<Arc<SolveResult>>,
+    /// Per-request wall times, in request order.
+    pub walls: Vec<Duration>,
+    /// Aggregate throughput (solves/sec, wall p50/p99).
+    pub throughput: Throughput,
+}
+
+/// An idle session core plus the identity of the graph it last ran.
+struct PooledCore {
+    core: SessionCore<Wire>,
+    graph: Arc<Graph>,
+}
+
+/// A memoized response. Holding the `Arc`s pins the graph/list
+/// allocations, so the pointer keys can never be recycled to a different
+/// live instance while the entry exists.
+struct MemoEntry {
+    graph: Arc<Graph>,
+    lists: Arc<ListAssignment>,
+    options: SolveOptions,
+    result: Arc<SolveResult>,
+}
+
+/// A batched solve service over pooled engine sessions (module docs).
+///
+/// Responses are byte-identical to one-shot [`crate::solve`] calls with
+/// the same request, regardless of batch order, pool size, or
+/// session-reuse history (differentially tested in
+/// `tests/prop_invariants.rs`).
+pub struct SolveService {
+    config: ServiceConfig,
+    pool: Vec<PooledCore>,
+    memo: VecDeque<MemoEntry>,
+    stats: ServiceStats,
+}
+
+impl SolveService {
+    /// A service with the given configuration.
+    pub fn new(config: ServiceConfig) -> Self {
+        SolveService {
+            config,
+            pool: Vec::new(),
+            memo: VecDeque::new(),
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// The configuration the service was built with.
+    pub fn config(&self) -> ServiceConfig {
+        self.config
+    }
+
+    /// Cumulative serving statistics.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    /// Idle sessions currently pooled.
+    pub fn pooled_sessions(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Serve one request: memo lookup, then a solve on a pooled (or
+    /// fresh) session.
+    ///
+    /// Requests asking for a legacy engine (`options.engine` other than
+    /// [`crate::EngineMode::Session`]) are honored through the one-shot
+    /// [`crate::solve`] path — the legacy modes own no session to pool —
+    /// and still memoized.
+    ///
+    /// # Errors
+    ///
+    /// Engine errors (possible only under a strict bandwidth policy)
+    /// propagate; the session is still recycled into the pool — an
+    /// aborted pass leaves it reusable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request's lists are not a valid (degree+1)-list
+    /// assignment for its graph, exactly as [`crate::solve`] does.
+    pub fn solve(&mut self, req: &SolveRequest) -> Result<Arc<SolveResult>, SimError> {
+        self.stats.served += 1;
+        if let Some(hit) = self.memo_lookup(req) {
+            self.stats.memo_hits += 1;
+            return Ok(hit);
+        }
+        if req.options.engine != crate::EngineMode::Session {
+            // A legacy-engine request (benchmarking / differential use):
+            // run exactly the engine asked for. Results are byte-identical
+            // to the session path by the cross-engine invariant, but the
+            // *execution* must be the one requested.
+            self.stats.legacy_engine_solves += 1;
+            let result = Arc::new(crate::solve(&req.graph, &req.lists, req.options)?);
+            self.memo_insert(req, &result);
+            return Ok(result);
+        }
+        assert!(
+            req.lists.is_degree_plus_one(&req.graph),
+            "lists must give every node ≥ deg+1 colors"
+        );
+        let sim = SimConfig {
+            seed: req.options.seed,
+            ..req.options.sim
+        };
+        let session: Session<'_, Wire> = match self.take_core(&req.graph) {
+            Some(pooled) if Arc::ptr_eq(&pooled.graph, &req.graph) => {
+                self.stats.same_graph_rebinds += 1;
+                pooled.core.bind_same_graph(&req.graph, sim)
+            }
+            Some(pooled) => {
+                self.stats.rebinds += 1;
+                pooled.core.bind(&req.graph, sim)
+            }
+            None => {
+                self.stats.fresh_sessions += 1;
+                Session::new(&req.graph, sim)
+            }
+        };
+        let mut driver = Driver::from_session(session);
+        let outcome = solve_on(&mut driver, &req.graph, &req.lists, &req.options);
+        if self.config.reuse_sessions && self.pool.len() < self.config.pool_size {
+            if let Some(session) = driver.into_session() {
+                self.pool.push(PooledCore {
+                    core: session.unbind(),
+                    graph: Arc::clone(&req.graph),
+                });
+            }
+        }
+        let result = Arc::new(outcome?);
+        self.memo_insert(req, &result);
+        Ok(result)
+    }
+
+    /// Serve a batch in order, timing each request, and aggregate the
+    /// throughput profile.
+    ///
+    /// # Errors
+    ///
+    /// Stops at (and returns) the first engine error.
+    pub fn solve_batch(&mut self, requests: &[SolveRequest]) -> Result<BatchOutcome, SimError> {
+        let start = Instant::now();
+        let mut results = Vec::with_capacity(requests.len());
+        let mut walls = Vec::with_capacity(requests.len());
+        for req in requests {
+            let t = Instant::now();
+            results.push(self.solve(req)?);
+            walls.push(t.elapsed());
+        }
+        let wall = start.elapsed();
+        Ok(BatchOutcome {
+            throughput: Throughput::from_walls(wall, &walls),
+            results,
+            walls,
+        })
+    }
+
+    /// Take the pooled core best suited for `graph`: one that last ran
+    /// this exact graph if available (same-graph rebind fast path), else
+    /// the most recently parked one.
+    fn take_core(&mut self, graph: &Arc<Graph>) -> Option<PooledCore> {
+        if let Some(i) = self.pool.iter().position(|p| Arc::ptr_eq(&p.graph, graph)) {
+            return Some(self.pool.remove(i));
+        }
+        self.pool.pop()
+    }
+
+    fn memo_lookup(&self, req: &SolveRequest) -> Option<Arc<SolveResult>> {
+        self.memo
+            .iter()
+            .find(|e| {
+                Arc::ptr_eq(&e.graph, &req.graph)
+                    && Arc::ptr_eq(&e.lists, &req.lists)
+                    && e.options == req.options
+            })
+            .map(|e| Arc::clone(&e.result))
+    }
+
+    fn memo_insert(&mut self, req: &SolveRequest, result: &Arc<SolveResult>) {
+        if self.config.memo_capacity == 0 {
+            return;
+        }
+        if self.memo.len() >= self.config.memo_capacity {
+            self.memo.pop_front();
+        }
+        self.memo.push_back(MemoEntry {
+            graph: Arc::clone(&req.graph),
+            lists: Arc::clone(&req.lists),
+            options: req.options,
+            result: Arc::clone(result),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve;
+    use graphs::gen;
+    use graphs::palette::{check_coloring, degree_plus_one_lists, random_lists};
+
+    fn instance(n: usize, seed: u64) -> (Arc<Graph>, Arc<ListAssignment>) {
+        let graph = gen::gnp(n, 0.08, seed);
+        let lists = random_lists(&graph, 32, 0, seed ^ 0x55);
+        (Arc::new(graph), Arc::new(lists))
+    }
+
+    /// Every service response equals the one-shot solve, across pooled
+    /// rebinds over different graphs.
+    #[test]
+    fn service_matches_one_shot_solves() {
+        let mut service = SolveService::new(ServiceConfig::default());
+        let instances: Vec<_> = (0..3).map(|i| instance(40 + 20 * i, i as u64)).collect();
+        for round in 0..2u64 {
+            for (g, lists) in &instances {
+                let opts = SolveOptions::seeded(round);
+                let req = SolveRequest::shared(g, lists, opts);
+                let served = service.solve(&req).expect("service solve");
+                let direct = solve(g, lists, opts).expect("one-shot solve");
+                assert_eq!(served.coloring, direct.coloring);
+                assert_eq!(served.log.passes(), direct.log.passes());
+                assert_eq!(check_coloring(g, lists, &served.coloring), Ok(()));
+            }
+        }
+        let stats = service.stats();
+        assert_eq!(stats.served, 6);
+        assert_eq!(stats.memo_hits, 0, "all requests distinct");
+        assert_eq!(stats.fresh_sessions, 1, "one cold start only");
+        assert_eq!(stats.rebinds + stats.same_graph_rebinds, 5);
+    }
+
+    /// Duplicate requests are served from the memo as the *same* Arc.
+    #[test]
+    fn duplicate_requests_hit_the_memo() {
+        let (g, lists) = instance(50, 3);
+        let mut service = SolveService::new(ServiceConfig::default());
+        let req = SolveRequest::shared(&g, &lists, SolveOptions::seeded(9));
+        let first = service.solve(&req).expect("miss");
+        let second = service.solve(&req).expect("hit");
+        assert!(Arc::ptr_eq(&first, &second), "hit shares the response");
+        assert_eq!(service.stats().memo_hits, 1);
+        // A different seed is a different request.
+        let other = SolveRequest::shared(&g, &lists, SolveOptions::seeded(10));
+        let third = service.solve(&other).expect("different seed");
+        assert!(!Arc::ptr_eq(&first, &third));
+        assert_eq!(service.stats().memo_hits, 1);
+    }
+
+    /// The memo is FIFO-bounded and disabled at capacity 0.
+    #[test]
+    fn memo_respects_capacity() {
+        let (g, lists) = instance(40, 1);
+        let mut service = SolveService::new(ServiceConfig {
+            memo_capacity: 2,
+            ..ServiceConfig::default()
+        });
+        let req = |seed| SolveRequest::shared(&g, &lists, SolveOptions::seeded(seed));
+        for seed in 0..3 {
+            service.solve(&req(seed)).expect("solve");
+        }
+        // Seed 0 was evicted; seeds 1 and 2 still hit.
+        service.solve(&req(1)).expect("hit 1");
+        service.solve(&req(2)).expect("hit 2");
+        service.solve(&req(0)).expect("evicted -> resolve");
+        assert_eq!(service.stats().memo_hits, 2);
+
+        let mut off = SolveService::new(ServiceConfig {
+            memo_capacity: 0,
+            ..ServiceConfig::default()
+        });
+        off.solve(&req(0)).expect("solve");
+        off.solve(&req(0)).expect("resolve");
+        assert_eq!(off.stats().memo_hits, 0);
+    }
+
+    /// The fresh-per-solve baseline never pools or memoizes.
+    #[test]
+    fn fresh_baseline_builds_every_session() {
+        let (g, lists) = instance(40, 2);
+        let mut service = SolveService::new(ServiceConfig::fresh_per_solve());
+        let req = SolveRequest::shared(&g, &lists, SolveOptions::seeded(4));
+        for _ in 0..3 {
+            service.solve(&req).expect("solve");
+        }
+        let stats = service.stats();
+        assert_eq!(stats.fresh_sessions, 3);
+        assert_eq!(stats.memo_hits, 0);
+        assert_eq!(service.pooled_sessions(), 0);
+    }
+
+    /// Same-graph repeats take the permutation-reusing rebind fast path.
+    #[test]
+    fn same_graph_repeats_use_fast_rebind() {
+        let (g, lists) = instance(60, 5);
+        let mut service = SolveService::new(ServiceConfig::pooled_only());
+        for seed in 0..4 {
+            let req = SolveRequest::shared(&g, &lists, SolveOptions::seeded(seed));
+            service.solve(&req).expect("solve");
+        }
+        let stats = service.stats();
+        assert_eq!(stats.fresh_sessions, 1);
+        assert_eq!(stats.same_graph_rebinds, 3);
+        assert_eq!(stats.rebinds, 0);
+    }
+
+    /// Batch serving reports ordered results and a throughput profile.
+    #[test]
+    fn batch_reports_throughput() {
+        let (g, lists) = instance(40, 7);
+        let (g2, lists2) = instance(60, 8);
+        let mut service = SolveService::new(ServiceConfig::default());
+        let reqs = vec![
+            SolveRequest::shared(&g, &lists, SolveOptions::seeded(1)),
+            SolveRequest::shared(&g2, &lists2, SolveOptions::seeded(1)),
+            SolveRequest::shared(&g, &lists, SolveOptions::seeded(1)),
+        ];
+        let batch = service.solve_batch(&reqs).expect("batch");
+        assert_eq!(batch.results.len(), 3);
+        assert_eq!(batch.walls.len(), 3);
+        assert!(Arc::ptr_eq(&batch.results[0], &batch.results[2]));
+        assert_eq!(batch.throughput.solves, 3);
+        assert!(batch.throughput.solves_per_sec > 0.0);
+        assert!(batch.throughput.p50 <= batch.throughput.p99);
+        assert!(batch.throughput.p99 <= batch.throughput.wall);
+    }
+
+    /// An engine error propagates but leaves the service (and its pooled
+    /// session) serviceable.
+    #[test]
+    fn engine_error_leaves_service_usable() {
+        let graph = Arc::new(gen::complete(8));
+        let lists = Arc::new(degree_plus_one_lists(&graph));
+        let mut service = SolveService::new(ServiceConfig::default());
+        let strict = SolveOptions {
+            sim: SimConfig {
+                bandwidth: congest::Bandwidth::Strict(8),
+                ..SimConfig::default()
+            },
+            ..SolveOptions::seeded(3)
+        };
+        let err = service
+            .solve(&SolveRequest::shared(&graph, &lists, strict))
+            .expect_err("8-bit cap must abort");
+        assert!(matches!(err, SimError::BandwidthExceeded { .. }));
+        assert_eq!(service.pooled_sessions(), 1, "session recycled on error");
+        let ok = service
+            .solve(&SolveRequest::shared(
+                &graph,
+                &lists,
+                SolveOptions::seeded(3),
+            ))
+            .expect("tracking-mode solve succeeds");
+        assert_eq!(check_coloring(&graph, &lists, &ok.coloring), Ok(()));
+        assert_eq!(service.stats().same_graph_rebinds, 1);
+    }
+
+    /// A legacy-engine request runs the engine it asked for (counted
+    /// separately, no session pooled) and matches the session path.
+    #[test]
+    fn legacy_engine_requests_are_honored() {
+        let (g, lists) = instance(50, 6);
+        let mut service = SolveService::new(ServiceConfig::default());
+        let legacy = SolveOptions {
+            engine: crate::EngineMode::PerPass,
+            ..SolveOptions::seeded(2)
+        };
+        let served_legacy = service
+            .solve(&SolveRequest::shared(&g, &lists, legacy))
+            .expect("legacy solve");
+        assert_eq!(service.stats().legacy_engine_solves, 1);
+        assert_eq!(service.pooled_sessions(), 0, "no session to pool");
+        let served_session = service
+            .solve(&SolveRequest::shared(&g, &lists, SolveOptions::seeded(2)))
+            .expect("session solve");
+        assert_eq!(served_legacy.coloring, served_session.coloring);
+        assert_eq!(served_legacy.log.passes(), served_session.log.passes());
+        assert!(
+            !Arc::ptr_eq(&served_legacy, &served_session),
+            "different engine field => different memo key"
+        );
+        // The legacy response was memoized too.
+        service
+            .solve(&SolveRequest::shared(&g, &lists, legacy))
+            .expect("hit");
+        assert_eq!(service.stats().memo_hits, 1);
+    }
+
+    /// Nearest-rank percentiles on a known distribution.
+    #[test]
+    fn throughput_percentiles_nearest_rank() {
+        let walls: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        let t = Throughput::from_walls(Duration::from_secs(10), &walls);
+        assert_eq!(t.p50, Duration::from_millis(50));
+        assert_eq!(t.p99, Duration::from_millis(99));
+        assert_eq!(t.solves, 100);
+        assert!((t.solves_per_sec - 10.0).abs() < 1e-9);
+        let empty = Throughput::from_walls(Duration::ZERO, &[]);
+        assert_eq!(empty.p50, Duration::ZERO);
+        assert_eq!(empty.solves_per_sec, 0.0);
+    }
+}

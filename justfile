@@ -40,6 +40,13 @@ bench-solve:
     cargo run --release -p bench --bin experiments -- --json BENCH_4.json E0b
     cargo bench -p bench --bench solve_pipeline
 
+# Throughput-mode serving benches: the E0c SolveService-vs-fresh
+# microbench (BENCH_5.json at the repo root is the committed full-scale
+# snapshot) plus the criterion companion bench.
+bench-throughput:
+    cargo run --release -p bench --bin experiments -- --json BENCH_5.json E0c
+    cargo bench -p bench --bench solve_throughput
+
 # Full-scale scenario sweep (S1–S6) → BENCH_3.json, the committed
 # snapshot EXPERIMENTS.md's full-scale section is rendered from. Slow;
 # rerun only when solver behaviour changes, then `just experiments-md`.
