@@ -1,19 +1,21 @@
-//! Throughput benchmark: a request stream through the batched
-//! [`SolveService`] arms vs fresh-session-per-solve.
+//! Throughput benchmark: a request stream through the concurrent
+//! [`d1lc::server::SolveServer`] arms vs fresh-session-per-solve.
 //!
 //! This is the criterion companion of experiment E0c (whose committed
 //! full-scale snapshot is `BENCH_5.json`): the same repeat-heavy
-//! `uniform-256` serving stream, measured per batch by
+//! `uniform-256` serving stream, driven closed-loop at one worker and
+//! measured per batch by
 //! `cargo bench -p bench --bench solve_throughput`
 //! (`just bench-throughput`). Every arm produces byte-identical
-//! responses (asserted inside E0c and by the service's differential
+//! responses (asserted inside E0c and by the server's differential
 //! proptests); the arms differ only in what they amortize across the
-//! stream.
+//! stream. The open-loop saturation companion is E0d
+//! (`just bench-server`).
 
-use bench::exp_service::uniform_requests;
+use bench::exp_service::{serve_stream, uniform_requests};
 use bench::Scale;
 use criterion::{criterion_group, criterion_main, Criterion};
-use d1lc::service::{ServiceConfig, SolveService};
+use d1lc::service::ServiceConfig;
 use std::time::Duration;
 
 fn bench_solve_throughput(c: &mut Criterion) {
@@ -31,10 +33,9 @@ fn bench_solve_throughput(c: &mut Criterion) {
     ] {
         group.bench_function(format!("uniform-256/{label}"), |b| {
             b.iter(|| {
-                // A cold service per batch: memo hits are earned within
+                // A cold server per batch: memo hits are earned within
                 // the measured stream, exactly as E0c measures them.
-                let mut service = SolveService::new(config);
-                service.solve_batch(&requests).expect("batch")
+                serve_stream(config, &requests)
             })
         });
     }

@@ -1,5 +1,5 @@
-//! E0c — throughput-mode serving: the batched [`SolveService`] vs
-//! fresh-session-per-solve.
+//! E0c — throughput-mode serving: the concurrent [`SolveServer`]
+//! (driven closed-loop at one worker) vs fresh-session-per-solve.
 //!
 //! A production deployment of the solver fields a *stream* of solve
 //! requests. E0c replays four request mixes through three service arms
@@ -22,7 +22,10 @@
 //! every request pays a full engine build, exactly one-shot
 //! [`d1lc::solve`]), `pooled` ([`ServiceConfig::pooled_only`], session
 //! reuse without memoization), and `service` (the default: pooled
-//! sessions + deterministic response memoization).
+//! sessions + deterministic response memoization). Each arm runs one
+//! server worker and submits closed-loop (submit, wait, repeat), so the
+//! rows isolate the session/memo mechanisms from queueing effects — the
+//! open-loop saturation picture is E0d (`exp_server`).
 //!
 //! The run **asserts** that every distinct request's response is
 //! byte-identical to a one-shot [`d1lc::solve`] (coloring and per-pass
@@ -42,18 +45,19 @@ use crate::scenario::{Scenario, TableScenario};
 use crate::table::{f2, Table};
 use crate::workloads::{self, Scale};
 use congest::SimConfig;
-use d1lc::service::{ServiceConfig, SolveRequest, SolveService};
+use d1lc::server::SolveServer;
+use d1lc::service::{ServiceConfig, SolveRequest};
 use d1lc::{solve, EngineMode, SolveOptions, SolveResult};
 use graphs::palette::ListAssignment;
 use graphs::Graph;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Registry entries for this module (E0c).
 pub fn scenarios() -> Vec<Box<dyn Scenario>> {
     vec![TableScenario::boxed(
         "E0c",
-        "SolveService throughput vs fresh-session-per-solve",
+        "SolveServer closed-loop throughput vs fresh-session-per-solve",
         "The pooled, memoizing service serves the repeat-heavy uniform n=256 mix ≥2× faster \
          than fresh-session-per-solve at 1 engine thread, byte-identically",
         e0c_service_throughput,
@@ -61,9 +65,41 @@ pub fn scenarios() -> Vec<Box<dyn Scenario>> {
 }
 
 /// Repetitions per (mix, arm); the minimum wall time is reported. Every
-/// repetition uses a fresh service (cold pool, cold memo), so hits are
+/// repetition starts a fresh server (cold pool, cold memo), so hits are
 /// earned within the measured stream.
 pub const REPS: usize = 3;
+
+/// Drive a request stream closed-loop through a one-worker server:
+/// submit, wait, repeat. Returns the responses plus per-request walls.
+/// This is the PR 5 batched-serving shape expressed through the
+/// concurrent API — E0d's open-loop baseline reuses it.
+pub fn serve_stream(
+    config: ServiceConfig,
+    requests: &[SolveRequest],
+) -> (Vec<Arc<SolveResult>>, Vec<Duration>, u64) {
+    let server = SolveServer::start(config);
+    let handle = server.handle();
+    let mut results = Vec::with_capacity(requests.len());
+    let mut walls = Vec::with_capacity(requests.len());
+    for req in requests {
+        let start = Instant::now();
+        results.push(handle.solve(req.clone()).expect("serve"));
+        walls.push(start.elapsed());
+    }
+    let hits = server.stats().memo_hits;
+    (results, walls, hits)
+}
+
+/// Nearest-rank percentile over unsorted per-request walls.
+pub fn percentile(walls: &[Duration], p: usize) -> Duration {
+    if walls.is_empty() {
+        return Duration::ZERO;
+    }
+    let mut sorted = walls.to_vec();
+    sorted.sort_unstable();
+    let rank = (p * sorted.len()).div_ceil(100).max(1);
+    sorted[rank - 1]
+}
 
 /// A shared instance: the unit the service recognizes by identity.
 type Shared = (Arc<Graph>, Arc<ListAssignment>);
@@ -222,9 +258,9 @@ fn assert_probe_engine_identity() {
         };
         solve(&graph, &lists, opts).expect("probe solve")
     };
-    let mut service = SolveService::new(ServiceConfig::default());
+    let server = SolveServer::start(ServiceConfig::default());
     let req = SolveRequest::shared(&graph, &lists, SolveOptions::seeded(1));
-    let served = service.solve(&req).expect("service probe");
+    let served = server.handle().solve(req).expect("server probe");
     for engine in [
         EngineMode::Session,
         EngineMode::PerPass,
@@ -256,8 +292,8 @@ pub fn e0c_service_throughput(scale: Scale) -> Table {
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
     let mut t = Table::new(
         format!(
-            "E0c — SolveService throughput, gnp-window request streams, engine threads=1 \
-             (min of {REPS} cold-start reps, host cores={cores})",
+            "E0c — SolveServer closed-loop throughput, gnp-window request streams, engine \
+             threads=1, 1 worker (min of {REPS} cold-start reps, host cores={cores})",
         ),
         "Pooled sessions + deterministic memoization serve the repeat-heavy uniform n=256 \
          mix ≥2× over fresh-session-per-solve; distinct-request mixes show the honest \
@@ -288,19 +324,18 @@ pub fn e0c_service_throughput(scale: Scale) -> Table {
             let mut best = None;
             let mut hits = 0u64;
             for _ in 0..REPS {
-                let mut service = SolveService::new(config);
                 let start = Instant::now();
-                let outcome = service.solve_batch(&mix.requests).expect("batch");
+                let (results, walls, rep_hits) = serve_stream(config, &mix.requests);
                 let wall = start.elapsed().as_secs_f64();
                 if wall < best_wall {
                     best_wall = wall;
-                    hits = service.stats().memo_hits;
-                    best = Some(outcome);
+                    hits = rep_hits;
+                    best = Some((results, walls));
                 }
             }
-            let outcome = best.expect("at least one rep");
+            let (results, walls) = best.expect("at least one rep");
             if arm == "service" {
-                assert_mix_matches_one_shot(mix, &outcome.results);
+                assert_mix_matches_one_shot(mix, &results);
             }
             if arm == "fresh" {
                 baseline_s = best_wall;
@@ -313,8 +348,8 @@ pub fn e0c_service_throughput(scale: Scale) -> Table {
                 f2(best_wall * 1e3),
                 f2(mix.requests.len() as f64 / best_wall),
                 f2(baseline_s / best_wall),
-                f2(outcome.throughput.p50.as_secs_f64() * 1e3),
-                f2(outcome.throughput.p99.as_secs_f64() * 1e3),
+                f2(percentile(&walls, 50).as_secs_f64() * 1e3),
+                f2(percentile(&walls, 99).as_secs_f64() * 1e3),
                 hits.to_string(),
             ]);
         }
@@ -364,11 +399,15 @@ mod tests {
         let inst = shared_instance(64, 2);
         let catalog: Vec<(Shared, u64)> = vec![(inst.clone(), 1), (inst, 2)];
         let requests = stream(&catalog, 2);
-        let mut colorings: Vec<Vec<Vec<u64>>> = Vec::new();
+        let mut colorings = Vec::new();
         for (_, config) in arms() {
-            let mut service = SolveService::new(config);
-            let outcome = service.solve_batch(&requests).expect("batch");
-            colorings.push(outcome.results.iter().map(|r| r.coloring.clone()).collect());
+            let (results, _, _) = serve_stream(config, &requests);
+            colorings.push(
+                results
+                    .iter()
+                    .map(|r| r.coloring.clone())
+                    .collect::<Vec<_>>(),
+            );
         }
         assert_eq!(colorings[0], colorings[1]);
         assert_eq!(colorings[0], colorings[2]);

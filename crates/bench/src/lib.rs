@@ -38,6 +38,7 @@ pub mod exp_coloring;
 pub mod exp_estimate;
 pub mod exp_hash;
 pub mod exp_plane;
+pub mod exp_server;
 pub mod exp_service;
 pub mod exp_session;
 pub mod json;

@@ -28,6 +28,14 @@ pub enum SimError {
         /// Round in which the overflow happened.
         round: u64,
     },
+    /// The run was cancelled cooperatively between passes — a serving
+    /// layer's deadline or shutdown token fired at a pass boundary (the
+    /// engine never interrupts a pass mid-round). The states recovered
+    /// alongside this error are a consistent partial result.
+    Cancelled {
+        /// Engine passes that had completed when the cancellation fired.
+        after_passes: u64,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -46,6 +54,12 @@ impl std::fmt::Display for SimError {
                 f,
                 "round {round}: edge {from}->{to} carried {bits} bits, limit {limit}"
             ),
+            SimError::Cancelled { after_passes } => {
+                write!(
+                    f,
+                    "run cancelled at a pass boundary after {after_passes} passes"
+                )
+            }
         }
     }
 }

@@ -558,7 +558,7 @@ impl<P: Program> WorkerTask for PassTask<'_, P> {
 /// stale payloads from the old graph are unreachable by construction.
 ///
 /// Solver stacks use this to run a stream of solves over varying graphs
-/// on one warm engine (see `d1lc::service::SolveService`).
+/// on one warm engine (see `d1lc::server::SolveServer`).
 pub struct SessionCore<M: Message> {
     plane: MailboxPlane<M>,
     dirty: DirtyBoard,

@@ -15,6 +15,60 @@ use crate::wire::Wire;
 use congest::{PassLog, Session, SimConfig, SimError};
 use graphs::{Color, Graph};
 use prand::mix::mix2;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A cooperative cancellation token: a wall-clock deadline, a shared
+/// flag, or both. The [`Driver`] consults it **at pass boundaries only**
+/// (the engine never interrupts a pass mid-round), failing the next pass
+/// with [`SimError::Cancelled`] and the recovered node states — so a
+/// cancelled solve still yields a consistent partial coloring.
+///
+/// This is what gives the serving layer (`d1lc::server`) per-request
+/// deadlines and shutdown cancellation without ever producing a
+/// transcript that differs from an uncancelled run: a token that never
+/// fires changes nothing.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    deadline: Option<Instant>,
+    flag: Option<Arc<AtomicBool>>,
+}
+
+impl CancelToken {
+    /// A token that fires once the wall clock reaches `at`.
+    pub fn at(at: Instant) -> Self {
+        CancelToken {
+            deadline: Some(at),
+            flag: None,
+        }
+    }
+
+    /// A token that fires when the shared flag is raised (e.g. server
+    /// shutdown broadcast to in-flight solves).
+    pub fn flagged(flag: Arc<AtomicBool>) -> Self {
+        CancelToken {
+            deadline: None,
+            flag: Some(flag),
+        }
+    }
+
+    /// Add a wall-clock deadline to this token.
+    #[must_use]
+    pub fn with_deadline(mut self, at: Instant) -> Self {
+        self.deadline = Some(at);
+        self
+    }
+
+    /// Whether the token has fired (deadline passed or flag raised).
+    pub fn is_cancelled(&self) -> bool {
+        self.deadline.is_some_and(|at| Instant::now() >= at)
+            || self
+                .flag
+                .as_ref()
+                .is_some_and(|f| f.load(Ordering::Relaxed))
+    }
+}
 
 /// Which engine path a [`Driver`] runs its passes on. All three produce
 /// byte-identical transcripts, reports, and colorings for every thread
@@ -93,6 +147,7 @@ pub struct Driver<'g> {
     engine: Engine<'g>,
     seed: u64,
     pass_counter: u64,
+    cancel: Option<CancelToken>,
 }
 
 impl<'g> Driver<'g> {
@@ -116,6 +171,7 @@ impl<'g> Driver<'g> {
             engine,
             seed: config.seed,
             pass_counter: 0,
+            cancel: None,
         }
     }
 
@@ -133,7 +189,26 @@ impl<'g> Driver<'g> {
             seed: session.config().seed,
             engine: Engine::Session(Box::new(session)),
             pass_counter: 0,
+            cancel: None,
         }
+    }
+
+    /// Install a cooperative [`CancelToken`]: every subsequent pass
+    /// checks it at its boundary and fails with [`SimError::Cancelled`]
+    /// (states recovered) once it fires. A token that never fires leaves
+    /// the transcript byte-identical to an un-cancelled run.
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// The `Err` payload for a firing token, or `None` to proceed.
+    fn cancelled_now(&self) -> Option<SimError> {
+        self.cancel
+            .as_ref()
+            .filter(|t| t.is_cancelled())
+            .map(|_| SimError::Cancelled {
+                after_passes: self.pass_counter,
+            })
     }
 
     /// Recover the engine session for recycling (`None` for the legacy
@@ -185,6 +260,9 @@ impl<'g> Driver<'g> {
         P: StatePass,
         B: FnMut(NodeState) -> P,
     {
+        if let Some(error) = self.cancelled_now() {
+            return Err(PassFailure { error, states });
+        }
         self.pass_counter += 1;
         let seed = mix2(self.seed, self.pass_counter);
         let mut programs: Vec<P> = states.into_iter().map(&mut build).collect();
@@ -242,6 +320,9 @@ impl<'g> Driver<'g> {
         seed: u64,
         mut programs: Vec<P>,
     ) -> Result<Vec<P>, (SimError, Vec<P>)> {
+        if let Some(error) = self.cancelled_now() {
+            return Err((error, programs));
+        }
         let outcome = match &mut self.engine {
             Engine::Session(session) => session.run(&mut programs, seed),
             legacy => {
@@ -412,6 +493,51 @@ mod tests {
             assert_eq!(base_colors, colors, "{mode:?} coloring diverged");
             assert_eq!(base_log.passes(), log.passes(), "{mode:?} log diverged");
         }
+    }
+
+    /// A fired cancel token fails the next pass at its boundary with
+    /// the states recovered; an unfired one changes nothing.
+    #[test]
+    fn cancel_token_fires_at_pass_boundaries() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let g = gen::gnp(40, 0.1, 5);
+        // An unfired token leaves the transcript untouched.
+        let run = |token: Option<CancelToken>| {
+            let mut driver = Driver::new(&g, SimConfig::seeded(6));
+            if let Some(t) = token {
+                driver.set_cancel(t);
+            }
+            let states = driver.activate(fresh(&g), |_| true).unwrap();
+            (driver, states)
+        };
+        let (plain, plain_states) = run(None);
+        let flag = Arc::new(AtomicBool::new(false));
+        let (tokened, tokened_states) = run(Some(CancelToken::flagged(Arc::clone(&flag))));
+        assert_eq!(plain.log.passes(), tokened.log.passes());
+        let colors = |s: &[NodeState]| s.iter().map(|n| n.color).collect::<Vec<_>>();
+        assert_eq!(colors(&plain_states), colors(&tokened_states));
+
+        // Fire the flag: the very next pass boundary rejects the run
+        // and hands the states back as a consistent partial result.
+        let (mut driver, states) = run(Some(CancelToken::flagged(Arc::clone(&flag))));
+        flag.store(true, Ordering::Relaxed);
+        let passes_before = driver.log.passes().len() as u64;
+        let failure = driver
+            .try_color(states, "trial")
+            .expect_err("a fired token cancels at the boundary");
+        assert_eq!(
+            failure.error,
+            congest::SimError::Cancelled {
+                after_passes: passes_before
+            }
+        );
+        assert_eq!(failure.states.len(), 40, "states recovered intact");
+        // An already-expired deadline behaves identically.
+        let expired = CancelToken::at(std::time::Instant::now());
+        assert!(expired.is_cancelled());
+        assert!(!CancelToken::default().is_cancelled());
     }
 
     #[test]

@@ -15,9 +15,11 @@
 //! * [`leader`], [`putaside`], [`synchtrial`] — the App. D dense-path
 //!   machinery;
 //! * [`baseline`] — the classical comparators;
-//! * [`service`] — throughput-mode solving: a batched [`SolveService`]
-//!   over pooled, rebindable engine sessions with deterministic response
-//!   memoization.
+//! * [`server`] — throughput-mode solving: an always-on concurrent
+//!   [`server::SolveServer`] over pooled, rebindable engine sessions
+//!   with admission control, per-request deadlines/retries, and
+//!   single-flight deterministic response memoization ([`service`]
+//!   holds the shared request/config/error vocabulary).
 //!
 //! # Example
 //!
@@ -52,6 +54,7 @@ pub mod palette;
 pub mod passes;
 pub mod pipeline;
 pub mod putaside;
+pub mod server;
 pub mod service;
 pub mod shattering;
 pub mod slackcolor;
@@ -64,8 +67,11 @@ pub mod wire;
 pub use baseline::{greedy_oracle, solve_naive_multitrial, solve_random_trial};
 pub use buddy_uniform::{uniform_buddy, BuddyOutcome, UniformBuddyParams};
 pub use config::ParamProfile;
-pub use driver::{Driver, EngineMode, PassFailure};
+pub use driver::{CancelToken, Driver, EngineMode, PassFailure};
 pub use palette::Palette;
 pub use pipeline::{solve, SolveOptions, SolveResult, Stats};
-pub use service::{ServiceConfig, SolveRequest, SolveService};
+pub use server::{ServerHandle, ServerStats, SolveServer, Ticket};
+#[allow(deprecated)]
+pub use service::SolveService;
+pub use service::{Admission, ConfigError, RequestPolicy, ServeError, ServiceConfig, SolveRequest};
 pub use state::{AcdClass, NodeState};

@@ -38,7 +38,7 @@ use std::collections::BTreeMap;
 ///
 /// `PartialEq` compares every field — two equal options (plus equal
 /// graph and lists) fully determine the [`SolveResult`], which is what
-/// lets [`crate::service::SolveService`] memoize responses.
+/// lets the serving layer ([`crate::server`]) memoize responses.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SolveOptions {
     /// Constant profile (laptop by default).
@@ -81,7 +81,7 @@ impl SolveOptions {
 }
 
 /// Outcome statistics of one solve.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Stats {
     /// How many nodes each pass colored, by pass name.
     pub colored_by: BTreeMap<&'static str, usize>,

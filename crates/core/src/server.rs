@@ -1,0 +1,761 @@
+//! An always-on concurrent solve server over pooled engine sessions.
+//!
+//! [`SolveServer::start`] spawns a fixed pool of worker threads draining
+//! a bounded MPMC work queue. Any number of threads hold cloneable
+//! [`ServerHandle`]s and call [`ServerHandle::submit`], which returns a
+//! [`Ticket`] immediately; [`Ticket::wait`] blocks until the response is
+//! ready. The serving layer adds policy around the unchanged solve
+//! pipeline:
+//!
+//! * **Admission control** — the queue is bounded
+//!   ([`ServiceConfig::queue_depth`]); a full queue either blocks the
+//!   submitter or rejects with [`ServeError::Overloaded`]
+//!   ([`crate::service::Admission`]).
+//! * **Deadlines** — a request's [`crate::service::RequestPolicy::deadline`]
+//!   is checked when its job is dequeued and then cooperatively at every
+//!   engine pass boundary via [`crate::driver::CancelToken`]; expiry
+//!   surfaces as [`ServeError::DeadlineExceeded`].
+//! * **Retries** — failed solves re-run up to the request's
+//!   [`crate::service::RequestPolicy::retry_limit`]; exhaustion surfaces
+//!   as [`ServeError::RetriesExhausted`].
+//! * **Single-flight memoization** — completed responses are memoized
+//!   (FIFO, [`ServiceConfig::memo_capacity`]); a submit that duplicates
+//!   an *in-flight* request attaches to the existing flight instead of
+//!   enqueuing, so N concurrent identical submissions cost one engine
+//!   solve and resolve to N clones of the same `Arc`.
+//!
+//! Determinism is untouched: every completed response is byte-identical
+//! to a one-shot [`crate::solve`] of the same request, whatever the
+//! worker count, queue depth, or submission order (enforced by the E0c
+//! differential suite and `tests/prop_invariants.rs`).
+//!
+//! Concurrency invariant (see DESIGN.md §7): the memo's lookup and
+//! flight-insertion happen under one lock acquisition, so for any
+//! request key at most one flight exists at a time, and every duplicate
+//! submitted during that flight joins it. The memo lock and the queue
+//! lock are never held together; ticket cells are leaf locks.
+//!
+//! ```
+//! use d1lc::server::SolveServer;
+//! use d1lc::service::{ServiceConfig, SolveRequest};
+//! use d1lc::SolveOptions;
+//! use std::sync::Arc;
+//!
+//! let graph = Arc::new(graphs::gen::gnp(120, 0.08, 7));
+//! let lists = Arc::new(graphs::palette::random_lists(&graph, 40, 0, 3));
+//! let server = SolveServer::start(ServiceConfig::builder().workers(2).build().unwrap());
+//! let handle = server.handle();
+//! let ticket = handle.submit(SolveRequest::shared(&graph, &lists, SolveOptions::seeded(1)));
+//! let result = ticket.wait().unwrap();
+//! assert_eq!(result.coloring.len(), 120);
+//! ```
+
+use crate::driver::CancelToken;
+use crate::pipeline::{SolveOptions, SolveResult};
+use crate::service::{
+    solve_with_core, Admission, CoreUse, PooledCore, ServeError, ServiceConfig, SolveRequest,
+};
+use graphs::palette::ListAssignment;
+use graphs::Graph;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Instant;
+
+/// The resolved value a ticket carries: the response (or serving error)
+/// plus the instant it resolved, so latency can be measured without a
+/// waiter thread in the loop.
+type Resolution = (Result<Arc<SolveResult>, ServeError>, Instant);
+
+/// Shared completion slot between a [`Ticket`] and the worker that
+/// resolves it.
+struct TicketCell {
+    state: Mutex<Option<Resolution>>,
+    cv: Condvar,
+}
+
+impl TicketCell {
+    fn new() -> Arc<Self> {
+        Arc::new(TicketCell {
+            state: Mutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn resolve(&self, outcome: Result<Arc<SolveResult>, ServeError>) {
+        let mut state = self.state.lock().unwrap();
+        // First resolution wins; double-resolve is a server bug but must
+        // not clobber an answer a waiter may already have observed.
+        if state.is_none() {
+            *state = Some((outcome, Instant::now()));
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// A claim on one submitted request. Cheap to clone (clones share the
+/// completion slot); waitable from any thread, any number of times.
+#[derive(Clone)]
+pub struct Ticket {
+    cell: Arc<TicketCell>,
+}
+
+impl Ticket {
+    /// A ticket resolved on the spot (memo hits, admission rejections).
+    fn resolved(outcome: Result<Arc<SolveResult>, ServeError>) -> Self {
+        let cell = TicketCell::new();
+        cell.resolve(outcome);
+        Ticket { cell }
+    }
+
+    /// Block until the response is ready.
+    ///
+    /// Never hangs on a live server: every admitted job is drained even
+    /// during shutdown, and rejected/closed submissions resolve
+    /// immediately.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError`] — admission, deadline, retry exhaustion,
+    /// engine failure, or server shutdown.
+    pub fn wait(&self) -> Result<Arc<SolveResult>, ServeError> {
+        let mut state = self.cell.state.lock().unwrap();
+        loop {
+            if let Some((outcome, _)) = state.as_ref() {
+                return outcome.clone();
+            }
+            state = self.cell.cv.wait(state).unwrap();
+        }
+    }
+
+    /// The response if it is already resolved, without blocking.
+    pub fn try_result(&self) -> Option<Result<Arc<SolveResult>, ServeError>> {
+        self.cell
+            .state
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map(|(outcome, _)| outcome.clone())
+    }
+
+    /// When the ticket resolved (for latency measurement), if it has.
+    pub fn completed_at(&self) -> Option<Instant> {
+        self.cell.state.lock().unwrap().as_ref().map(|(_, at)| *at)
+    }
+}
+
+/// One queued unit of work: the request, its completion slot, and the
+/// submission instant its deadline is measured from.
+struct Job {
+    req: SolveRequest,
+    cell: Arc<TicketCell>,
+    submitted_at: Instant,
+}
+
+/// Memo identity: the `Arc` pointers of the instance plus the full
+/// option set. Policy (deadline, retries) is deliberately absent — it
+/// never affects the solve's output.
+struct MemoKey {
+    graph: Arc<Graph>,
+    lists: Arc<ListAssignment>,
+    options: SolveOptions,
+}
+
+impl MemoKey {
+    fn of(req: &SolveRequest) -> Self {
+        MemoKey {
+            graph: Arc::clone(&req.graph),
+            lists: Arc::clone(&req.lists),
+            options: req.options,
+        }
+    }
+
+    fn matches(&self, req: &SolveRequest) -> bool {
+        Arc::ptr_eq(&self.graph, &req.graph)
+            && Arc::ptr_eq(&self.lists, &req.lists)
+            && self.options == req.options
+    }
+}
+
+/// A completed, memoized response. Holding the key's `Arc`s pins the
+/// instance allocations, so pointer identity cannot be recycled while
+/// the entry lives.
+struct ReadyEntry {
+    key: MemoKey,
+    result: Arc<SolveResult>,
+}
+
+/// An in-flight request: one job is queued (or solving) for this key;
+/// duplicates submitted meanwhile park their cells here instead of
+/// enqueuing.
+struct Flight {
+    key: MemoKey,
+    waiters: Vec<Arc<TicketCell>>,
+}
+
+/// The single-flight memo. One mutex guards both halves so a lookup and
+/// the follow-up flight insertion are atomic — the property that makes
+/// "at most one flight per key" an invariant rather than a race.
+#[derive(Default)]
+struct Memo {
+    ready: VecDeque<ReadyEntry>,
+    inflight: Vec<Flight>,
+}
+
+/// The bounded MPMC work queue: jobs plus the closed flag, guarded by
+/// one mutex with separate not-empty / not-full condvars.
+#[derive(Default)]
+struct WorkQueue {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// Atomic serving counters (see [`ServerStats`] for field meaning).
+#[derive(Default)]
+struct AtomicStats {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    memo_hits: AtomicU64,
+    dedup_joins: AtomicU64,
+    deadline_misses: AtomicU64,
+    retries: AtomicU64,
+    engine_errors: AtomicU64,
+    fresh_sessions: AtomicU64,
+    rebinds: AtomicU64,
+    same_graph_rebinds: AtomicU64,
+    legacy_engine_solves: AtomicU64,
+}
+
+/// A point-in-time snapshot of the server's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests submitted (admitted or not).
+    pub submitted: u64,
+    /// Tickets resolved with a response (engine solves, memo hits, and
+    /// dedup joins alike).
+    pub completed: u64,
+    /// Submissions refused by [`Admission::Reject`] on a full queue.
+    pub rejected: u64,
+    /// Submissions answered instantly from the response memo.
+    pub memo_hits: u64,
+    /// Submissions that joined an in-flight duplicate instead of
+    /// enqueuing their own job.
+    pub dedup_joins: u64,
+    /// Requests that failed their deadline (queued or mid-solve).
+    pub deadline_misses: u64,
+    /// Re-run attempts after a failed solve (each re-run counts once).
+    pub retries: u64,
+    /// Requests whose final outcome was an engine error
+    /// ([`ServeError::Engine`] or [`ServeError::RetriesExhausted`]).
+    pub engine_errors: u64,
+    /// Engine runs on a from-scratch session.
+    pub fresh_sessions: u64,
+    /// Engine runs that rebound a warm core to a different graph.
+    pub rebinds: u64,
+    /// Engine runs that rebound a warm core to the same graph (reverse
+    /// permutation rebuild skipped).
+    pub same_graph_rebinds: u64,
+    /// Requests honored through a legacy engine mode (no pooling).
+    pub legacy_engine_solves: u64,
+}
+
+/// State shared by the server, its handles, and its workers.
+struct ServerShared {
+    config: ServiceConfig,
+    queue: Mutex<WorkQueue>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    memo: Mutex<Memo>,
+    stats: AtomicStats,
+}
+
+impl ServerShared {
+    fn snapshot(&self) -> ServerStats {
+        let s = &self.stats;
+        let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        ServerStats {
+            submitted: get(&s.submitted),
+            completed: get(&s.completed),
+            rejected: get(&s.rejected),
+            memo_hits: get(&s.memo_hits),
+            dedup_joins: get(&s.dedup_joins),
+            deadline_misses: get(&s.deadline_misses),
+            retries: get(&s.retries),
+            engine_errors: get(&s.engine_errors),
+            fresh_sessions: get(&s.fresh_sessions),
+            rebinds: get(&s.rebinds),
+            same_graph_rebinds: get(&s.same_graph_rebinds),
+            legacy_engine_solves: get(&s.legacy_engine_solves),
+        }
+    }
+
+    /// Remove the flight for `req` (if any) and return its waiter cells.
+    /// Called when the flight's job leaves the system — completed,
+    /// rejected, or refused at close.
+    fn take_flight(&self, req: &SolveRequest) -> Vec<Arc<TicketCell>> {
+        if self.config.memo_capacity() == 0 {
+            return Vec::new();
+        }
+        let mut memo = self.memo.lock().unwrap();
+        match memo.inflight.iter().position(|f| f.key.matches(req)) {
+            Some(i) => memo.inflight.swap_remove(i).waiters,
+            None => Vec::new(),
+        }
+    }
+
+    /// Resolve a job's cell and every duplicate parked on its flight
+    /// with the same outcome, memoizing successes.
+    fn complete(&self, job: &Job, outcome: Result<Arc<SolveResult>, ServeError>) {
+        if let Ok(result) = &outcome {
+            let capacity = self.config.memo_capacity();
+            if capacity > 0 {
+                let mut memo = self.memo.lock().unwrap();
+                if memo.ready.len() >= capacity {
+                    memo.ready.pop_front();
+                }
+                memo.ready.push_back(ReadyEntry {
+                    key: MemoKey::of(&job.req),
+                    result: Arc::clone(result),
+                });
+            }
+        }
+        let waiters = self.take_flight(&job.req);
+        // Count before resolving: a waiter woken by `resolve` may read
+        // the stats immediately, and the count must already be there.
+        if outcome.is_ok() {
+            let resolved = 1 + waiters.len() as u64;
+            self.stats.completed.fetch_add(resolved, Ordering::Relaxed);
+        }
+        job.cell.resolve(outcome.clone());
+        for cell in waiters {
+            cell.resolve(outcome.clone());
+        }
+    }
+}
+
+/// A cloneable, `Send + Sync` submission endpoint. All handles feed the
+/// same queue; drop them freely — the server's lifetime is governed by
+/// the [`SolveServer`] value, not its handles.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<ServerShared>,
+}
+
+impl ServerHandle {
+    /// Submit a request, returning its [`Ticket`] immediately.
+    ///
+    /// Fast paths resolve the ticket before it is returned: a memo hit
+    /// yields the memoized `Arc`; a duplicate of an in-flight request
+    /// joins that flight (no queue slot consumed) and resolves when the
+    /// flight does — sharing its outcome, including failure. Otherwise
+    /// the job is enqueued; on a full queue [`Admission::Block`] waits
+    /// for a slot and [`Admission::Reject`] resolves the ticket (and any
+    /// duplicates that joined meanwhile) with [`ServeError::Overloaded`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request's lists are not a valid (degree+1)-list
+    /// assignment for its graph, exactly as [`crate::solve`] does.
+    pub fn submit(&self, req: SolveRequest) -> Ticket {
+        assert!(
+            req.lists.is_degree_plus_one(&req.graph),
+            "lists must give every node ≥ deg+1 colors"
+        );
+        let shared = &*self.shared;
+        shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        if shared.config.memo_capacity() > 0 {
+            let mut memo = shared.memo.lock().unwrap();
+            if let Some(hit) = memo.ready.iter().find(|e| e.key.matches(&req)) {
+                shared.stats.memo_hits.fetch_add(1, Ordering::Relaxed);
+                shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                return Ticket::resolved(Ok(Arc::clone(&hit.result)));
+            }
+            if let Some(flight) = memo.inflight.iter_mut().find(|f| f.key.matches(&req)) {
+                let cell = TicketCell::new();
+                flight.waiters.push(Arc::clone(&cell));
+                shared.stats.dedup_joins.fetch_add(1, Ordering::Relaxed);
+                return Ticket { cell };
+            }
+            memo.inflight.push(Flight {
+                key: MemoKey::of(&req),
+                waiters: Vec::new(),
+            });
+        }
+        let cell = TicketCell::new();
+        let job = Job {
+            req,
+            cell: Arc::clone(&cell),
+            submitted_at: Instant::now(),
+        };
+        let mut queue = shared.queue.lock().unwrap();
+        loop {
+            if queue.closed {
+                drop(queue);
+                self.refuse(&job, ServeError::Closed);
+                return Ticket { cell };
+            }
+            if queue.jobs.len() < shared.config.queue_depth() {
+                queue.jobs.push_back(job);
+                shared.not_empty.notify_one();
+                return Ticket { cell };
+            }
+            match shared.config.admission() {
+                Admission::Block => {
+                    queue = shared.not_full.wait(queue).unwrap();
+                }
+                Admission::Reject => {
+                    drop(queue);
+                    shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                    self.refuse(
+                        &job,
+                        ServeError::Overloaded {
+                            depth: shared.config.queue_depth(),
+                        },
+                    );
+                    return Ticket { cell };
+                }
+            }
+        }
+    }
+
+    /// Fail a job that never made it into the queue, dissolving its
+    /// flight so parked duplicates fail with it rather than hang.
+    fn refuse(&self, job: &Job, error: ServeError) {
+        let waiters = self.shared.take_flight(&job.req);
+        job.cell.resolve(Err(error.clone()));
+        for cell in waiters {
+            cell.resolve(Err(error.clone()));
+        }
+    }
+
+    /// Submit and wait: the drop-in replacement for the deprecated
+    /// batched `SolveService::solve`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError`]; see [`Ticket::wait`].
+    pub fn solve(&self, req: SolveRequest) -> Result<Arc<SolveResult>, ServeError> {
+        self.submit(req).wait()
+    }
+
+    /// A point-in-time snapshot of the serving counters.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.snapshot()
+    }
+
+    /// The configuration the server was started with.
+    pub fn config(&self) -> ServiceConfig {
+        self.shared.config
+    }
+}
+
+/// The always-on server: owns the worker threads. Dropping it closes
+/// the queue, drains every already-admitted job, and joins the workers
+/// — no admitted ticket is ever abandoned.
+pub struct SolveServer {
+    shared: Arc<ServerShared>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl SolveServer {
+    /// Start `config.workers()` worker threads over an empty queue.
+    ///
+    /// Worker `w` keeps its engine core warm between solves iff
+    /// `w < config.pool_size()` — so `pool(0)` reproduces the
+    /// fresh-session-per-solve baseline and `pool(k)`, `k ≥ workers`,
+    /// keeps every worker warm.
+    pub fn start(config: ServiceConfig) -> Self {
+        let shared = Arc::new(ServerShared {
+            config,
+            queue: Mutex::new(WorkQueue::default()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            memo: Mutex::new(Memo::default()),
+            stats: AtomicStats::default(),
+        });
+        let workers = (0..config.workers())
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("d1lc-worker-{index}"))
+                    .spawn(move || worker_loop(index, &shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        SolveServer { shared, workers }
+    }
+
+    /// A new submission handle (cloneable; all handles are equivalent).
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// A point-in-time snapshot of the serving counters.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.snapshot()
+    }
+
+    /// Close the queue and wait for the workers to drain it. Called by
+    /// `Drop`; exposed for callers that want shutdown at a chosen point
+    /// and a final stats read afterwards.
+    pub fn shutdown(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().unwrap();
+            queue.closed = true;
+            self.shared.not_empty.notify_all();
+            self.shared.not_full.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for SolveServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Worker thread body: pop, enforce policy, solve, publish. Exits when
+/// the queue is closed *and* empty (graceful drain).
+fn worker_loop(index: usize, shared: &ServerShared) {
+    // The worker's resident warm core. Workers beyond the pool size run
+    // fresh-session-per-solve.
+    let mut resident: Option<PooledCore> = None;
+    let retain = index < shared.config.pool_size();
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    shared.not_full.notify_one();
+                    break job;
+                }
+                if queue.closed {
+                    return;
+                }
+                queue = shared.not_empty.wait(queue).unwrap();
+            }
+        };
+        run_job(shared, &job, &mut resident, retain);
+    }
+}
+
+/// Enforce the job's policy around [`solve_with_core`] and publish the
+/// outcome.
+fn run_job(shared: &ServerShared, job: &Job, resident: &mut Option<PooledCore>, retain: bool) {
+    let policy = job.req.policy();
+    let deadline_at = policy.deadline.map(|d| job.submitted_at + d);
+    // A request that expired while queued fails without touching the
+    // engine — under overload this sheds work instead of compounding it.
+    if deadline_at.is_some_and(|at| Instant::now() >= at) {
+        shared.stats.deadline_misses.fetch_add(1, Ordering::Relaxed);
+        shared.complete(
+            job,
+            Err(ServeError::DeadlineExceeded {
+                deadline: policy.deadline.expect("deadline_at implies deadline"),
+            }),
+        );
+        return;
+    }
+    let attempts = policy.retry_limit + 1;
+    let mut attempt = 0;
+    let outcome = loop {
+        attempt += 1;
+        let cancel = deadline_at.map(CancelToken::at);
+        let mut core_use = CoreUse::default();
+        let (solved, recovered) = solve_with_core(resident.take(), &job.req, cancel, &mut core_use);
+        *resident = if retain { recovered } else { None };
+        let s = &shared.stats;
+        s.fresh_sessions
+            .fetch_add(core_use.fresh, Ordering::Relaxed);
+        s.rebinds.fetch_add(core_use.rebinds, Ordering::Relaxed);
+        s.same_graph_rebinds
+            .fetch_add(core_use.same_graph_rebinds, Ordering::Relaxed);
+        s.legacy_engine_solves
+            .fetch_add(core_use.legacy, Ordering::Relaxed);
+        match solved {
+            Ok(result) => break Ok(Arc::new(result)),
+            Err(congest::SimError::Cancelled { .. }) => {
+                // The deadline fired mid-solve; retrying cannot help.
+                s.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                break Err(ServeError::DeadlineExceeded {
+                    deadline: policy.deadline.expect("cancellation implies deadline"),
+                });
+            }
+            Err(_) if attempt < attempts => {
+                s.retries.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(error) => {
+                s.engine_errors.fetch_add(1, Ordering::Relaxed);
+                break Err(if policy.retry_limit > 0 {
+                    ServeError::RetriesExhausted {
+                        attempts,
+                        last: error,
+                    }
+                } else {
+                    ServeError::Engine(error)
+                });
+            }
+        }
+    };
+    shared.complete(job, outcome);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{Admission, ServiceConfig};
+    use graphs::gen;
+    use graphs::palette::random_lists;
+    use std::time::Duration;
+
+    fn instance(n: usize, seed: u64) -> (Arc<Graph>, Arc<ListAssignment>) {
+        let graph = gen::gnp(n, 0.08, seed);
+        let lists = random_lists(&graph, 32, 0, seed ^ 0x55);
+        (Arc::new(graph), Arc::new(lists))
+    }
+
+    #[test]
+    fn serves_byte_identical_to_one_shot() {
+        let (g, lists) = instance(60, 5);
+        let server = SolveServer::start(ServiceConfig::builder().workers(2).build().unwrap());
+        let handle = server.handle();
+        let req = SolveRequest::shared(&g, &lists, SolveOptions::seeded(11));
+        let served = handle.solve(req).expect("serves");
+        let direct = crate::solve(&g, &lists, SolveOptions::seeded(11)).expect("one-shot");
+        assert_eq!(served.coloring, direct.coloring);
+        assert_eq!(served.log.passes(), direct.log.passes());
+        assert_eq!(served.stats, direct.stats);
+    }
+
+    #[test]
+    fn memo_hit_shares_the_response_arc() {
+        let (g, lists) = instance(40, 6);
+        let server = SolveServer::start(ServiceConfig::default());
+        let handle = server.handle();
+        let req = SolveRequest::shared(&g, &lists, SolveOptions::seeded(2));
+        let first = handle.solve(req.clone()).unwrap();
+        let second = handle.solve(req).unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = handle.stats();
+        assert_eq!(stats.memo_hits, 1);
+        assert_eq!(stats.completed, 2);
+    }
+
+    #[test]
+    fn reject_admission_surfaces_overloaded() {
+        let (g, lists) = instance(200, 7);
+        // One worker, queue depth 1: flood with distinct requests (memo
+        // off so none dedup) and demand at least one rejection.
+        let config = ServiceConfig::builder()
+            .workers(1)
+            .queue(1)
+            .memo(0)
+            .admission(Admission::Reject)
+            .build()
+            .unwrap();
+        let server = SolveServer::start(config);
+        let handle = server.handle();
+        let tickets: Vec<Ticket> = (0..16)
+            .map(|i| handle.submit(SolveRequest::shared(&g, &lists, SolveOptions::seeded(i))))
+            .collect();
+        let outcomes: Vec<_> = tickets.iter().map(Ticket::wait).collect();
+        let rejected = outcomes
+            .iter()
+            .filter(|o| matches!(o, Err(ServeError::Overloaded { depth: 1 })))
+            .count();
+        assert!(rejected > 0, "16 instant submissions must overflow depth 1");
+        assert!(outcomes.iter().any(Result::is_ok), "queue still serves");
+        assert_eq!(handle.stats().rejected, rejected as u64);
+    }
+
+    #[test]
+    fn expired_deadline_fails_without_solving() {
+        let (g, lists) = instance(40, 8);
+        let server = SolveServer::start(ServiceConfig::default());
+        let handle = server.handle();
+        let req =
+            SolveRequest::shared(&g, &lists, SolveOptions::seeded(3)).with_deadline(Duration::ZERO);
+        match handle.solve(req) {
+            Err(ServeError::DeadlineExceeded { deadline }) => {
+                assert_eq!(deadline, Duration::ZERO);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(handle.stats().deadline_misses, 1);
+        // The worker never ran the engine for it.
+        assert_eq!(handle.stats().fresh_sessions, 0);
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_closed() {
+        let (g, lists) = instance(30, 9);
+        let mut server = SolveServer::start(ServiceConfig::default());
+        let handle = server.handle();
+        server.shutdown();
+        let outcome = handle.solve(SolveRequest::shared(&g, &lists, SolveOptions::seeded(4)));
+        assert_eq!(outcome.unwrap_err(), ServeError::Closed);
+    }
+
+    #[test]
+    fn drop_drains_admitted_jobs() {
+        let (g, lists) = instance(80, 10);
+        let server = SolveServer::start(ServiceConfig::builder().workers(1).build().unwrap());
+        let handle = server.handle();
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|i| handle.submit(SolveRequest::shared(&g, &lists, SolveOptions::seeded(i))))
+            .collect();
+        drop(server);
+        for ticket in &tickets {
+            assert!(ticket.wait().is_ok(), "admitted jobs drain on shutdown");
+            assert!(ticket.completed_at().is_some());
+        }
+    }
+
+    #[test]
+    fn retries_exhausted_reports_attempts_and_source() {
+        let (g, lists) = instance(120, 11);
+        // A strict bandwidth cap of a few bits per round fails every
+        // pass deterministically, so every retry fails identically.
+        let mut options = SolveOptions::seeded(5);
+        options.sim.bandwidth = congest::Bandwidth::Strict(4);
+        let server = SolveServer::start(ServiceConfig::default());
+        let handle = server.handle();
+        let req = SolveRequest::shared(&g, &lists, options).with_retry_limit(2);
+        match handle.solve(req) {
+            Err(ServeError::RetriesExhausted { attempts, last }) => {
+                assert_eq!(attempts, 3);
+                assert!(matches!(last, congest::SimError::BandwidthExceeded { .. }));
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+        let stats = handle.stats();
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.engine_errors, 1);
+        // Without a retry limit the same request fails as Engine(_).
+        let req = SolveRequest::shared(&g, &lists, options);
+        assert!(matches!(handle.solve(req), Err(ServeError::Engine(_))));
+    }
+
+    #[test]
+    fn legacy_engine_modes_are_honored() {
+        let (g, lists) = instance(50, 12);
+        let server = SolveServer::start(ServiceConfig::default());
+        let handle = server.handle();
+        let mut options = SolveOptions::seeded(6);
+        options.engine = crate::EngineMode::PerPass;
+        let served = handle
+            .solve(SolveRequest::shared(&g, &lists, options))
+            .expect("legacy engine serves");
+        let direct = crate::solve(&g, &lists, options).expect("one-shot");
+        assert_eq!(served.coloring, direct.coloring);
+        assert_eq!(handle.stats().legacy_engine_solves, 1);
+        assert_eq!(handle.stats().fresh_sessions, 0);
+    }
+}

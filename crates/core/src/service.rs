@@ -1,56 +1,26 @@
-//! Throughput-mode solving: a batched [`SolveService`] over pooled,
-//! rebindable engine sessions.
+//! Serving-layer vocabulary: requests, configuration, and errors shared
+//! by the concurrent [`crate::server`] and the deprecated batched
+//! [`SolveService`] shim.
 //!
-//! One-shot [`crate::solve`] builds a fresh engine — mailbox plane,
-//! dirty board, RNG/inbox vectors, scheduler scratch, worker pool — for
-//! every call. A service that fields a *stream* of solve requests can do
-//! better, and because the solver is **deterministic** (the repo's core
-//! invariant: the result is a pure function of `(graph, lists,
-//! options)`), it can do so without changing a single byte of any
-//! response:
+//! The serving stack exploits one repo-wide invariant: the solver is
+//! **deterministic** — a [`crate::SolveResult`] is a pure function of
+//! `(graph, lists, options)`. That is what makes session reuse
+//! transcript-invariant and response memoization sound (a memo hit
+//! returns the byte-identical result a recompute would produce).
 //!
-//! * **Session pooling** — finished solves return their
-//!   [`congest::SessionCore`] (allocations + parked worker pool + epoch
-//!   counter) to a bounded pool; the next request rebinds a pooled core
-//!   to its graph instead of building a fresh engine. With the default
-//!   `pool_size = 1` every solve in the stream runs on **one shared
-//!   persistent worker pool**. When a request's graph is *identical* (the
-//!   same `Arc<Graph>`) to the one a pooled core last ran, the rebind
-//!   also skips rebuilding the reverse-CSR permutation
-//!   ([`congest::SessionCore::bind_same_graph`]).
-//! * **Response memoization** — requests are keyed by graph and list
-//!   *identity* (`Arc` pointer) plus full [`SolveOptions`] equality; a
-//!   repeated request is answered with the cached [`SolveResult`]
-//!   (shared via `Arc`, bounded FIFO). Memoizing a pure function is
-//!   sound by construction: the hit returns the byte-identical result
-//!   the solver would recompute.
+//! * [`SolveRequest`] — an `Arc`-shared instance plus [`crate::SolveOptions`]
+//!   and a per-request [`RequestPolicy`] (deadline, retry limit). Identity
+//!   (`Arc` pointer equality) keys both the same-graph session rebind and
+//!   the response memo.
+//! * [`ServiceConfig`] — built through [`ServiceConfig::builder`] with
+//!   validation errors ([`ConfigError`]) instead of silently-clamped
+//!   fields; [`ServiceConfig::fresh_per_solve`] and
+//!   [`ServiceConfig::pooled_only`] remain as presets.
+//! * [`ServeError`] — the typed serving-path error: admission rejection,
+//!   deadline expiry, retry exhaustion, engine errors, shutdown.
 //!
-//! Honest accounting (measured by experiment `E0c`, committed full-scale
-//! snapshot `BENCH_5.json`): engine construction is a small fraction of
-//! a solve (the distributed passes dominate), so on streams of all-new
-//! requests session pooling buys only the setup constant. The large
-//! throughput wins come from memoization on repeat-heavy serving mixes —
-//! [`ServiceStats`] splits hits from solved misses so the two effects
-//! are never conflated.
-//!
-//! # Example
-//!
-//! ```
-//! use d1lc::service::{ServiceConfig, SolveRequest, SolveService};
-//! use d1lc::SolveOptions;
-//!
-//! let graph = graphs::gen::gnp(60, 0.1, 7);
-//! let lists = graphs::palette::degree_plus_one_lists(&graph);
-//! let mut service = SolveService::new(ServiceConfig::default());
-//! // A serving stream: the same instance, re-requested.
-//! let req = SolveRequest::new(graph, lists, SolveOptions::seeded(1));
-//! let batch = service
-//!     .solve_batch(&[req.clone(), req.clone(), req])
-//!     .unwrap();
-//! assert_eq!(batch.results.len(), 3);
-//! assert_eq!(service.stats().memo_hits, 2);
-//! assert!(batch.throughput.solves_per_sec > 0.0);
-//! ```
+//! The always-on concurrent frontend lives in [`crate::server`]; see
+//! DESIGN.md §7 for the queue/admission/deadline lifecycle.
 
 use crate::driver::Driver;
 use crate::pipeline::{solve_on, SolveOptions, SolveResult};
@@ -62,88 +32,395 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// One solve request: an instance plus the full option set.
+/// Per-request serving policy: how long the serving layer may spend on
+/// this request and how often it may retry a failed pass sequence.
+/// Policy rides the **request**, not the service configuration — two
+/// requests for the same instance with different deadlines are the same
+/// memo key (policy never affects the solve's output, only whether the
+/// serving layer keeps working on it).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RequestPolicy {
+    /// Wall-clock budget measured from submission. `None` = no deadline.
+    /// Checked at dequeue and cooperatively at every pass boundary
+    /// ([`crate::driver::CancelToken`]); an expired request fails with
+    /// [`ServeError::DeadlineExceeded`].
+    pub deadline: Option<Duration>,
+    /// Additional attempts after a failed solve (engine error). `0`
+    /// (default) fails fast with [`ServeError::Engine`]; `k > 0` re-runs
+    /// up to `k` more times and reports
+    /// [`ServeError::RetriesExhausted`] if none succeeds. Retries re-run
+    /// the *identical* request — the solver is deterministic, so this
+    /// only helps with transient conditions (e.g. deadline pressure from
+    /// a shared host, or future non-deterministic backends), never with
+    /// a structurally doomed request.
+    pub retry_limit: u32,
+}
+
+/// One solve request: an instance plus the full option set and the
+/// per-request serving policy.
 ///
 /// The graph and lists travel as `Arc`s so a request stream can repeat
-/// an instance without copying it — and so the service can recognize
-/// repeats *by identity* (pointer equality), which is what keys both the
-/// same-graph session rebind and the response memo. Two structurally
-/// equal instances behind different `Arc`s are treated as distinct (they
-/// solve correctly, just without the reuse fast paths).
+/// an instance without copying it — and so the serving layer can
+/// recognize repeats *by identity* (pointer equality), which is what
+/// keys both the same-graph session rebind and the response memo. Two
+/// structurally equal instances behind different `Arc`s are treated as
+/// distinct (they solve correctly, just without the reuse fast paths).
 #[derive(Clone, Debug)]
 pub struct SolveRequest {
     /// The graph to color.
     pub graph: Arc<Graph>,
     /// The (degree+1)-list assignment.
     pub lists: Arc<ListAssignment>,
-    /// Solve options (profile, seed, engine config).
+    /// Solve options (profile, seed, engine config). Part of the memo
+    /// key: equal options on an identical instance determine the result.
     pub options: SolveOptions,
+    /// Serving policy (deadline, retry limit). **Not** part of the memo
+    /// key.
+    policy: RequestPolicy,
 }
 
 impl SolveRequest {
     /// Wrap an owned instance into a request.
+    #[deprecated(
+        since = "0.2.0",
+        note = "wrap the instance in `Arc`s once and use `SolveRequest::shared` (or \
+                `from_arcs`): the owning form re-allocates fresh `Arc`s every call, so \
+                repeated requests are never recognized as identical and every \
+                identity-keyed fast path (memo, same-graph rebind, single-flight \
+                dedup) is defeated"
+    )]
     pub fn new(graph: Graph, lists: ListAssignment, options: SolveOptions) -> Self {
-        SolveRequest {
-            graph: Arc::new(graph),
-            lists: Arc::new(lists),
-            options,
-        }
+        SolveRequest::from_arcs(Arc::new(graph), Arc::new(lists), options)
     }
 
     /// A request over an already-shared instance (clones the `Arc`s, not
-    /// the data) — how streams express same-topology repeats.
+    /// the data) — how streams express same-instance repeats.
     pub fn shared(graph: &Arc<Graph>, lists: &Arc<ListAssignment>, options: SolveOptions) -> Self {
+        SolveRequest::from_arcs(Arc::clone(graph), Arc::clone(lists), options)
+    }
+
+    /// A request taking ownership of the shared handles.
+    pub fn from_arcs(graph: Arc<Graph>, lists: Arc<ListAssignment>, options: SolveOptions) -> Self {
         SolveRequest {
-            graph: Arc::clone(graph),
-            lists: Arc::clone(lists),
+            graph,
+            lists,
             options,
+            policy: RequestPolicy::default(),
+        }
+    }
+
+    /// Give this request a wall-clock deadline, measured from submission
+    /// (see [`RequestPolicy::deadline`]).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.policy.deadline = Some(deadline);
+        self
+    }
+
+    /// Allow up to `retries` additional solve attempts after a failure
+    /// (see [`RequestPolicy::retry_limit`]).
+    #[must_use]
+    pub fn with_retry_limit(mut self, retries: u32) -> Self {
+        self.policy.retry_limit = retries;
+        self
+    }
+
+    /// The request's serving policy.
+    pub fn policy(&self) -> RequestPolicy {
+        self.policy
+    }
+}
+
+/// What a submitter experiences when the work queue is full.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Admission {
+    /// Block the submitting thread until a queue slot frees up —
+    /// closed-loop callers that prefer latency over errors.
+    #[default]
+    Block,
+    /// Fail fast with [`ServeError::Overloaded`] — open-loop callers
+    /// that must never stall the arrival process (load shedding).
+    Reject,
+}
+
+/// Why a [`ServiceConfig`] could not be built. Construction validates
+/// instead of silently clamping: a nonsensical knob is an error at
+/// `build()` time, never a quietly different deployment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `workers == 0`: a server with no workers can never complete a
+    /// request.
+    ZeroWorkers,
+    /// `queue == 0`: a zero-depth queue can never admit a request.
+    ZeroQueueDepth,
+    /// More workers than [`ConfigError::MAX_WORKERS`] — almost certainly
+    /// a typo (workers are OS threads each owning an engine core).
+    TooManyWorkers {
+        /// The requested worker count.
+        workers: usize,
+    },
+}
+
+impl ConfigError {
+    /// Upper bound on the worker count a config will accept.
+    pub const MAX_WORKERS: usize = 512;
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroWorkers => write!(f, "workers must be >= 1"),
+            ConfigError::ZeroQueueDepth => write!(f, "queue depth must be >= 1"),
+            ConfigError::TooManyWorkers { workers } => write!(
+                f,
+                "workers = {workers} exceeds the sanity cap of {}",
+                ConfigError::MAX_WORKERS
+            ),
         }
     }
 }
 
-/// Service tuning knobs.
+impl std::error::Error for ConfigError {}
+
+/// Serving-stack tuning knobs, built through [`ServiceConfig::builder`].
+///
+/// ```
+/// use d1lc::service::{Admission, ServiceConfig};
+///
+/// let config = ServiceConfig::builder()
+///     .workers(8)
+///     .queue(32)
+///     .pool(8)
+///     .memo(256)
+///     .admission(Admission::Reject)
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.workers(), 8);
+/// assert!(ServiceConfig::builder().workers(0).build().is_err());
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ServiceConfig {
-    /// Maximum idle [`SessionCore`]s kept for reuse. `0` (or
-    /// `reuse_sessions = false`) reproduces the fresh-session-per-solve
-    /// baseline.
-    pub pool_size: usize,
-    /// Whether finished solves return their session to the pool.
-    pub reuse_sessions: bool,
-    /// Maximum memoized responses (FIFO eviction). `0` disables
-    /// memoization.
-    pub memo_capacity: usize,
+    workers: usize,
+    queue_depth: usize,
+    pool_size: usize,
+    memo_capacity: usize,
+    admission: Admission,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        ServiceConfig {
-            pool_size: 1,
-            reuse_sessions: true,
-            memo_capacity: 128,
-        }
+        ServiceConfig::builder().build().expect("default is valid")
     }
 }
 
 impl ServiceConfig {
+    /// Start building a configuration (see [`ServiceConfigBuilder`]).
+    pub fn builder() -> ServiceConfigBuilder {
+        ServiceConfigBuilder::default()
+    }
+
     /// The fresh-session-per-solve baseline: no pooling, no memoization —
     /// every request pays exactly what a one-shot [`crate::solve`] pays.
-    /// This is the E0c baseline arm.
+    /// This is the baseline arm of experiments E0c/E0d.
     pub fn fresh_per_solve() -> Self {
-        ServiceConfig {
-            pool_size: 0,
-            reuse_sessions: false,
-            memo_capacity: 0,
-        }
+        ServiceConfig::builder()
+            .pool(0)
+            .memo(0)
+            .build()
+            .expect("preset is valid")
     }
 
     /// Session pooling only (memoization off) — isolates what warm
     /// engine storage buys on streams with no repeated requests.
     pub fn pooled_only() -> Self {
-        ServiceConfig {
-            memo_capacity: 0,
-            ..ServiceConfig::default()
+        ServiceConfig::builder()
+            .memo(0)
+            .build()
+            .expect("preset is valid")
+    }
+
+    /// Worker threads draining the queue (each owns a rebindable
+    /// [`congest::SessionCore`]).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Bounded work-queue depth (admission control triggers beyond it).
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth
+    }
+
+    /// Maximum engine cores kept warm across solves. `0` reproduces the
+    /// fresh-session-per-solve baseline.
+    pub fn pool_size(&self) -> usize {
+        self.pool_size
+    }
+
+    /// Whether finished solves keep their session for reuse.
+    pub fn reuse_sessions(&self) -> bool {
+        self.pool_size > 0
+    }
+
+    /// Maximum memoized responses (FIFO eviction). `0` disables both
+    /// memoization and single-flight deduplication.
+    pub fn memo_capacity(&self) -> usize {
+        self.memo_capacity
+    }
+
+    /// Behaviour when the queue is full.
+    pub fn admission(&self) -> Admission {
+        self.admission
+    }
+}
+
+/// Builder for [`ServiceConfig`]; `build()` validates every knob.
+///
+/// Defaults: 1 worker, queue depth 64, pool = worker count, memo
+/// capacity 128, [`Admission::Block`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceConfigBuilder {
+    workers: Option<usize>,
+    queue_depth: Option<usize>,
+    pool: Option<usize>,
+    memo: Option<usize>,
+    admission: Option<Admission>,
+}
+
+impl ServiceConfigBuilder {
+    /// Worker threads draining the queue (must be ≥ 1).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Bounded work-queue depth (must be ≥ 1).
+    #[must_use]
+    pub fn queue(mut self, depth: usize) -> Self {
+        self.queue_depth = Some(depth);
+        self
+    }
+
+    /// Maximum warm engine cores (default: the worker count, so every
+    /// worker keeps its core; `0` = fresh engine per solve).
+    #[must_use]
+    pub fn pool(mut self, pool: usize) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Maximum memoized responses (`0` disables memo + single-flight).
+    #[must_use]
+    pub fn memo(mut self, capacity: usize) -> Self {
+        self.memo = Some(capacity);
+        self
+    }
+
+    /// Behaviour when the queue is full.
+    #[must_use]
+    pub fn admission(mut self, admission: Admission) -> Self {
+        self.admission = Some(admission);
+        self
+    }
+
+    /// Validate and assemble the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::ZeroWorkers`], [`ConfigError::ZeroQueueDepth`], or
+    /// [`ConfigError::TooManyWorkers`] — invalid knobs error instead of
+    /// being silently clamped.
+    pub fn build(self) -> Result<ServiceConfig, ConfigError> {
+        let workers = self.workers.unwrap_or(1);
+        if workers == 0 {
+            return Err(ConfigError::ZeroWorkers);
         }
+        if workers > ConfigError::MAX_WORKERS {
+            return Err(ConfigError::TooManyWorkers { workers });
+        }
+        let queue_depth = self.queue_depth.unwrap_or(64);
+        if queue_depth == 0 {
+            return Err(ConfigError::ZeroQueueDepth);
+        }
+        Ok(ServiceConfig {
+            workers,
+            queue_depth,
+            pool_size: self.pool.unwrap_or(workers),
+            memo_capacity: self.memo.unwrap_or(128),
+            admission: self.admission.unwrap_or_default(),
+        })
+    }
+}
+
+/// The typed serving-path error. Engine errors stay [`SimError`] inside;
+/// everything the *serving layer* adds (admission, deadlines, retries,
+/// lifecycle) is its own variant, so callers can branch on the policy
+/// outcome without string-matching.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// Admission control rejected the request: the bounded work queue
+    /// was full and the service runs [`Admission::Reject`]. The request
+    /// was **not** solved; resubmit later or switch to
+    /// [`Admission::Block`].
+    Overloaded {
+        /// The configured queue depth that was exhausted.
+        depth: usize,
+    },
+    /// The request's [`RequestPolicy::deadline`] expired — either while
+    /// still queued (checked at dequeue) or cooperatively at a pass
+    /// boundary mid-solve ([`SimError::Cancelled`] surfaced as policy).
+    DeadlineExceeded {
+        /// The deadline the request carried.
+        deadline: Duration,
+    },
+    /// Every allowed attempt failed. `attempts` counts all of them
+    /// (first try + retries); `last` is the final engine error.
+    RetriesExhausted {
+        /// Total solve attempts made (`retry_limit + 1`).
+        attempts: u32,
+        /// The error of the last attempt.
+        last: SimError,
+    },
+    /// The solve failed and the request allowed no retries
+    /// ([`RequestPolicy::retry_limit`] = 0). Possible only under a
+    /// strict bandwidth policy (tracking mode never errors).
+    Engine(SimError),
+    /// The server shut down: submitted after close, or (for
+    /// [`crate::server::Ticket::wait`]) abandoned by a dropped server.
+    Closed,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { depth } => {
+                write!(f, "work queue full (depth {depth}), request rejected")
+            }
+            ServeError::DeadlineExceeded { deadline } => {
+                write!(f, "deadline of {deadline:?} exceeded")
+            }
+            ServeError::RetriesExhausted { attempts, last } => {
+                write!(f, "all {attempts} attempts failed; last: {last}")
+            }
+            ServeError::Engine(e) => write!(f, "engine error: {e}"),
+            ServeError::Closed => write!(f, "server closed"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::RetriesExhausted { last, .. } => Some(last),
+            ServeError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for ServeError {
+    fn from(e: SimError) -> Self {
+        ServeError::Engine(e)
     }
 }
 
@@ -221,10 +498,87 @@ pub struct BatchOutcome {
     pub throughput: Throughput,
 }
 
-/// An idle session core plus the identity of the graph it last ran.
-struct PooledCore {
-    core: SessionCore<Wire>,
-    graph: Arc<Graph>,
+/// An idle session core plus the identity of the graph it last ran —
+/// the unit both the deprecated batched shim and the concurrent server
+/// pool and rebind.
+pub(crate) struct PooledCore {
+    pub(crate) core: SessionCore<Wire>,
+    pub(crate) graph: Arc<Graph>,
+}
+
+/// Run one solve on an optionally-warm core, returning the outcome plus
+/// the (recyclable) core. This is the single solve path shared by the
+/// deprecated [`SolveService`] and the [`crate::server`] workers, so the
+/// two can never drift: take the best available core for the request's
+/// graph, rebind (same-graph fast path when the `Arc` matches), drive
+/// the unchanged pipeline, recover the session.
+///
+/// `cancel` installs a cooperative [`crate::driver::CancelToken`]
+/// checked at pass boundaries. Legacy engine modes
+/// ([`crate::EngineMode`] other than `Session`) run the engine they ask
+/// for and return no core.
+///
+/// The caller must have validated `req.lists.is_degree_plus_one()`.
+pub(crate) fn solve_with_core(
+    warm: Option<PooledCore>,
+    req: &SolveRequest,
+    cancel: Option<crate::driver::CancelToken>,
+    stats: &mut CoreUse,
+) -> (Result<SolveResult, SimError>, Option<PooledCore>) {
+    if req.options.engine != crate::EngineMode::Session {
+        // A legacy-engine request (benchmarking / differential use): run
+        // exactly the engine asked for. Results are byte-identical to
+        // the session path by the cross-engine invariant, but the
+        // *execution* must be the one requested.
+        stats.legacy += 1;
+        let sim = SimConfig {
+            seed: req.options.seed,
+            ..req.options.sim
+        };
+        let mut driver = Driver::with_engine(&req.graph, sim, req.options.engine);
+        if let Some(token) = cancel {
+            driver.set_cancel(token);
+        }
+        let outcome = solve_on(&mut driver, &req.graph, &req.lists, &req.options);
+        return (outcome, warm);
+    }
+    let sim = SimConfig {
+        seed: req.options.seed,
+        ..req.options.sim
+    };
+    let session: Session<'_, Wire> = match warm {
+        Some(pooled) if Arc::ptr_eq(&pooled.graph, &req.graph) => {
+            stats.same_graph_rebinds += 1;
+            pooled.core.bind_same_graph(&req.graph, sim)
+        }
+        Some(pooled) => {
+            stats.rebinds += 1;
+            pooled.core.bind(&req.graph, sim)
+        }
+        None => {
+            stats.fresh += 1;
+            Session::new(&req.graph, sim)
+        }
+    };
+    let mut driver = Driver::from_session(session);
+    if let Some(token) = cancel {
+        driver.set_cancel(token);
+    }
+    let outcome = solve_on(&mut driver, &req.graph, &req.lists, &req.options);
+    let recovered = driver.into_session().map(|session| PooledCore {
+        core: session.unbind(),
+        graph: Arc::clone(&req.graph),
+    });
+    (outcome, recovered)
+}
+
+/// Session-provenance counters one [`solve_with_core`] call bumps.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct CoreUse {
+    pub(crate) fresh: u64,
+    pub(crate) rebinds: u64,
+    pub(crate) same_graph_rebinds: u64,
+    pub(crate) legacy: u64,
 }
 
 /// A memoized response. Holding the `Arc`s pins the graph/list
@@ -237,12 +591,17 @@ struct MemoEntry {
     result: Arc<SolveResult>,
 }
 
-/// A batched solve service over pooled engine sessions (module docs).
+/// A batched, single-caller solve service over pooled engine sessions.
 ///
 /// Responses are byte-identical to one-shot [`crate::solve`] calls with
 /// the same request, regardless of batch order, pool size, or
-/// session-reuse history (differentially tested in
-/// `tests/prop_invariants.rs`).
+/// session-reuse history.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `d1lc::server::SolveServer`: `ServerHandle::submit` / `Ticket::wait` \
+            serve concurrent request streams with admission control and deadlines, and \
+            `ServerHandle::solve` is the drop-in replacement for one-at-a-time calls"
+)]
 pub struct SolveService {
     config: ServiceConfig,
     pool: Vec<PooledCore>,
@@ -250,8 +609,10 @@ pub struct SolveService {
     stats: ServiceStats,
 }
 
+#[allow(deprecated)]
 impl SolveService {
-    /// A service with the given configuration.
+    /// A service with the given configuration. The `workers`, `queue`,
+    /// and `admission` knobs are server-only and ignored here.
     pub fn new(config: ServiceConfig) -> Self {
         SolveService {
             config,
@@ -279,11 +640,6 @@ impl SolveService {
     /// Serve one request: memo lookup, then a solve on a pooled (or
     /// fresh) session.
     ///
-    /// Requests asking for a legacy engine (`options.engine` other than
-    /// [`crate::EngineMode::Session`]) are honored through the one-shot
-    /// [`crate::solve`] path — the legacy modes own no session to pool —
-    /// and still memoized.
-    ///
     /// # Errors
     ///
     /// Engine errors (possible only under a strict bandwidth policy)
@@ -300,46 +656,20 @@ impl SolveService {
             self.stats.memo_hits += 1;
             return Ok(hit);
         }
-        if req.options.engine != crate::EngineMode::Session {
-            // A legacy-engine request (benchmarking / differential use):
-            // run exactly the engine asked for. Results are byte-identical
-            // to the session path by the cross-engine invariant, but the
-            // *execution* must be the one requested.
-            self.stats.legacy_engine_solves += 1;
-            let result = Arc::new(crate::solve(&req.graph, &req.lists, req.options)?);
-            self.memo_insert(req, &result);
-            return Ok(result);
-        }
         assert!(
             req.lists.is_degree_plus_one(&req.graph),
             "lists must give every node ≥ deg+1 colors"
         );
-        let sim = SimConfig {
-            seed: req.options.seed,
-            ..req.options.sim
-        };
-        let session: Session<'_, Wire> = match self.take_core(&req.graph) {
-            Some(pooled) if Arc::ptr_eq(&pooled.graph, &req.graph) => {
-                self.stats.same_graph_rebinds += 1;
-                pooled.core.bind_same_graph(&req.graph, sim)
-            }
-            Some(pooled) => {
-                self.stats.rebinds += 1;
-                pooled.core.bind(&req.graph, sim)
-            }
-            None => {
-                self.stats.fresh_sessions += 1;
-                Session::new(&req.graph, sim)
-            }
-        };
-        let mut driver = Driver::from_session(session);
-        let outcome = solve_on(&mut driver, &req.graph, &req.lists, &req.options);
-        if self.config.reuse_sessions && self.pool.len() < self.config.pool_size {
-            if let Some(session) = driver.into_session() {
-                self.pool.push(PooledCore {
-                    core: session.unbind(),
-                    graph: Arc::clone(&req.graph),
-                });
+        let warm = self.take_core(&req.graph);
+        let mut use_stats = CoreUse::default();
+        let (outcome, recovered) = solve_with_core(warm, req, None, &mut use_stats);
+        self.stats.fresh_sessions += use_stats.fresh;
+        self.stats.rebinds += use_stats.rebinds;
+        self.stats.same_graph_rebinds += use_stats.same_graph_rebinds;
+        self.stats.legacy_engine_solves += use_stats.legacy;
+        if let Some(pooled) = recovered {
+            if self.config.reuse_sessions() && self.pool.len() < self.config.pool_size() {
+                self.pool.push(pooled);
             }
         }
         let result = Arc::new(outcome?);
@@ -392,10 +722,10 @@ impl SolveService {
     }
 
     fn memo_insert(&mut self, req: &SolveRequest, result: &Arc<SolveResult>) {
-        if self.config.memo_capacity == 0 {
+        if self.config.memo_capacity() == 0 {
             return;
         }
-        if self.memo.len() >= self.config.memo_capacity {
+        if self.memo.len() >= self.config.memo_capacity() {
             self.memo.pop_front();
         }
         self.memo.push_back(MemoEntry {
@@ -410,9 +740,8 @@ impl SolveService {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::solve;
     use graphs::gen;
-    use graphs::palette::{check_coloring, degree_plus_one_lists, random_lists};
+    use graphs::palette::random_lists;
 
     fn instance(n: usize, seed: u64) -> (Arc<Graph>, Arc<ListAssignment>) {
         let graph = gen::gnp(n, 0.08, seed);
@@ -420,33 +749,95 @@ mod tests {
         (Arc::new(graph), Arc::new(lists))
     }
 
-    /// Every service response equals the one-shot solve, across pooled
-    /// rebinds over different graphs.
     #[test]
-    fn service_matches_one_shot_solves() {
-        let mut service = SolveService::new(ServiceConfig::default());
-        let instances: Vec<_> = (0..3).map(|i| instance(40 + 20 * i, i as u64)).collect();
-        for round in 0..2u64 {
-            for (g, lists) in &instances {
-                let opts = SolveOptions::seeded(round);
-                let req = SolveRequest::shared(g, lists, opts);
-                let served = service.solve(&req).expect("service solve");
-                let direct = solve(g, lists, opts).expect("one-shot solve");
-                assert_eq!(served.coloring, direct.coloring);
-                assert_eq!(served.log.passes(), direct.log.passes());
-                assert_eq!(check_coloring(g, lists, &served.coloring), Ok(()));
-            }
-        }
-        let stats = service.stats();
-        assert_eq!(stats.served, 6);
-        assert_eq!(stats.memo_hits, 0, "all requests distinct");
-        assert_eq!(stats.fresh_sessions, 1, "one cold start only");
-        assert_eq!(stats.rebinds + stats.same_graph_rebinds, 5);
+    fn builder_defaults_and_presets() {
+        let d = ServiceConfig::default();
+        assert_eq!(
+            (
+                d.workers(),
+                d.queue_depth(),
+                d.pool_size(),
+                d.memo_capacity()
+            ),
+            (1, 64, 1, 128)
+        );
+        assert_eq!(d.admission(), Admission::Block);
+        // pool defaults to the worker count.
+        let eight = ServiceConfig::builder().workers(8).build().unwrap();
+        assert_eq!(eight.pool_size(), 8);
+        // Presets.
+        let fresh = ServiceConfig::fresh_per_solve();
+        assert!(!fresh.reuse_sessions());
+        assert_eq!(fresh.memo_capacity(), 0);
+        let pooled = ServiceConfig::pooled_only();
+        assert!(pooled.reuse_sessions());
+        assert_eq!(pooled.memo_capacity(), 0);
     }
 
-    /// Duplicate requests are served from the memo as the *same* Arc.
     #[test]
-    fn duplicate_requests_hit_the_memo() {
+    fn builder_validates_instead_of_clamping() {
+        assert_eq!(
+            ServiceConfig::builder().workers(0).build(),
+            Err(ConfigError::ZeroWorkers)
+        );
+        assert_eq!(
+            ServiceConfig::builder().queue(0).build(),
+            Err(ConfigError::ZeroQueueDepth)
+        );
+        assert_eq!(
+            ServiceConfig::builder().workers(100_000).build(),
+            Err(ConfigError::TooManyWorkers { workers: 100_000 })
+        );
+        // Errors display actionable text and implement std::error::Error.
+        let err: Box<dyn std::error::Error> = Box::new(ConfigError::ZeroWorkers);
+        assert!(err.to_string().contains(">= 1"));
+    }
+
+    #[test]
+    fn request_policy_rides_the_request() {
+        let (g, lists) = instance(20, 1);
+        let req = SolveRequest::shared(&g, &lists, SolveOptions::seeded(1))
+            .with_deadline(Duration::from_millis(250))
+            .with_retry_limit(3);
+        assert_eq!(req.policy().deadline, Some(Duration::from_millis(250)));
+        assert_eq!(req.policy().retry_limit, 3);
+        // The default policy is unconstrained.
+        let plain = SolveRequest::shared(&g, &lists, SolveOptions::seeded(1));
+        assert_eq!(plain.policy(), RequestPolicy::default());
+    }
+
+    #[test]
+    fn serve_error_display_and_source() {
+        let sim = SimError::BandwidthExceeded {
+            from: 1,
+            to: 2,
+            bits: 99,
+            limit: 32,
+            round: 7,
+        };
+        let e = ServeError::RetriesExhausted {
+            attempts: 3,
+            last: sim.clone(),
+        };
+        assert!(e.to_string().contains("3 attempts"));
+        use std::error::Error as _;
+        assert!(e.source().is_some());
+        assert_eq!(ServeError::from(sim.clone()), ServeError::Engine(sim));
+        assert!(ServeError::Overloaded { depth: 4 }
+            .to_string()
+            .contains("4"));
+        assert!(ServeError::DeadlineExceeded {
+            deadline: Duration::from_millis(5)
+        }
+        .source()
+        .is_none());
+    }
+
+    /// The deprecated batched shim still serves correctly (compat cover;
+    /// the concurrent server carries the real test load).
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_still_serves_and_memoizes() {
         let (g, lists) = instance(50, 3);
         let mut service = SolveService::new(ServiceConfig::default());
         let req = SolveRequest::shared(&g, &lists, SolveOptions::seeded(9));
@@ -454,150 +845,14 @@ mod tests {
         let second = service.solve(&req).expect("hit");
         assert!(Arc::ptr_eq(&first, &second), "hit shares the response");
         assert_eq!(service.stats().memo_hits, 1);
-        // A different seed is a different request.
-        let other = SolveRequest::shared(&g, &lists, SolveOptions::seeded(10));
-        let third = service.solve(&other).expect("different seed");
-        assert!(!Arc::ptr_eq(&first, &third));
-        assert_eq!(service.stats().memo_hits, 1);
-    }
-
-    /// The memo is FIFO-bounded and disabled at capacity 0.
-    #[test]
-    fn memo_respects_capacity() {
-        let (g, lists) = instance(40, 1);
-        let mut service = SolveService::new(ServiceConfig {
-            memo_capacity: 2,
-            ..ServiceConfig::default()
-        });
-        let req = |seed| SolveRequest::shared(&g, &lists, SolveOptions::seeded(seed));
-        for seed in 0..3 {
-            service.solve(&req(seed)).expect("solve");
-        }
-        // Seed 0 was evicted; seeds 1 and 2 still hit.
-        service.solve(&req(1)).expect("hit 1");
-        service.solve(&req(2)).expect("hit 2");
-        service.solve(&req(0)).expect("evicted -> resolve");
-        assert_eq!(service.stats().memo_hits, 2);
-
-        let mut off = SolveService::new(ServiceConfig {
-            memo_capacity: 0,
-            ..ServiceConfig::default()
-        });
-        off.solve(&req(0)).expect("solve");
-        off.solve(&req(0)).expect("resolve");
-        assert_eq!(off.stats().memo_hits, 0);
-    }
-
-    /// The fresh-per-solve baseline never pools or memoizes.
-    #[test]
-    fn fresh_baseline_builds_every_session() {
-        let (g, lists) = instance(40, 2);
-        let mut service = SolveService::new(ServiceConfig::fresh_per_solve());
-        let req = SolveRequest::shared(&g, &lists, SolveOptions::seeded(4));
-        for _ in 0..3 {
-            service.solve(&req).expect("solve");
-        }
-        let stats = service.stats();
-        assert_eq!(stats.fresh_sessions, 3);
-        assert_eq!(stats.memo_hits, 0);
-        assert_eq!(service.pooled_sessions(), 0);
-    }
-
-    /// Same-graph repeats take the permutation-reusing rebind fast path.
-    #[test]
-    fn same_graph_repeats_use_fast_rebind() {
-        let (g, lists) = instance(60, 5);
-        let mut service = SolveService::new(ServiceConfig::pooled_only());
-        for seed in 0..4 {
-            let req = SolveRequest::shared(&g, &lists, SolveOptions::seeded(seed));
-            service.solve(&req).expect("solve");
-        }
-        let stats = service.stats();
-        assert_eq!(stats.fresh_sessions, 1);
-        assert_eq!(stats.same_graph_rebinds, 3);
-        assert_eq!(stats.rebinds, 0);
-    }
-
-    /// Batch serving reports ordered results and a throughput profile.
-    #[test]
-    fn batch_reports_throughput() {
-        let (g, lists) = instance(40, 7);
-        let (g2, lists2) = instance(60, 8);
-        let mut service = SolveService::new(ServiceConfig::default());
-        let reqs = vec![
-            SolveRequest::shared(&g, &lists, SolveOptions::seeded(1)),
-            SolveRequest::shared(&g2, &lists2, SolveOptions::seeded(1)),
-            SolveRequest::shared(&g, &lists, SolveOptions::seeded(1)),
-        ];
-        let batch = service.solve_batch(&reqs).expect("batch");
-        assert_eq!(batch.results.len(), 3);
-        assert_eq!(batch.walls.len(), 3);
-        assert!(Arc::ptr_eq(&batch.results[0], &batch.results[2]));
-        assert_eq!(batch.throughput.solves, 3);
-        assert!(batch.throughput.solves_per_sec > 0.0);
+        let direct = crate::solve(&g, &lists, SolveOptions::seeded(9)).expect("one-shot");
+        assert_eq!(first.coloring, direct.coloring);
+        assert_eq!(first.log.passes(), direct.log.passes());
+        let batch = service
+            .solve_batch(&[req.clone(), req])
+            .expect("batch serves");
+        assert_eq!(batch.results.len(), 2);
         assert!(batch.throughput.p50 <= batch.throughput.p99);
-        assert!(batch.throughput.p99 <= batch.throughput.wall);
-    }
-
-    /// An engine error propagates but leaves the service (and its pooled
-    /// session) serviceable.
-    #[test]
-    fn engine_error_leaves_service_usable() {
-        let graph = Arc::new(gen::complete(8));
-        let lists = Arc::new(degree_plus_one_lists(&graph));
-        let mut service = SolveService::new(ServiceConfig::default());
-        let strict = SolveOptions {
-            sim: SimConfig {
-                bandwidth: congest::Bandwidth::Strict(8),
-                ..SimConfig::default()
-            },
-            ..SolveOptions::seeded(3)
-        };
-        let err = service
-            .solve(&SolveRequest::shared(&graph, &lists, strict))
-            .expect_err("8-bit cap must abort");
-        assert!(matches!(err, SimError::BandwidthExceeded { .. }));
-        assert_eq!(service.pooled_sessions(), 1, "session recycled on error");
-        let ok = service
-            .solve(&SolveRequest::shared(
-                &graph,
-                &lists,
-                SolveOptions::seeded(3),
-            ))
-            .expect("tracking-mode solve succeeds");
-        assert_eq!(check_coloring(&graph, &lists, &ok.coloring), Ok(()));
-        assert_eq!(service.stats().same_graph_rebinds, 1);
-    }
-
-    /// A legacy-engine request runs the engine it asked for (counted
-    /// separately, no session pooled) and matches the session path.
-    #[test]
-    fn legacy_engine_requests_are_honored() {
-        let (g, lists) = instance(50, 6);
-        let mut service = SolveService::new(ServiceConfig::default());
-        let legacy = SolveOptions {
-            engine: crate::EngineMode::PerPass,
-            ..SolveOptions::seeded(2)
-        };
-        let served_legacy = service
-            .solve(&SolveRequest::shared(&g, &lists, legacy))
-            .expect("legacy solve");
-        assert_eq!(service.stats().legacy_engine_solves, 1);
-        assert_eq!(service.pooled_sessions(), 0, "no session to pool");
-        let served_session = service
-            .solve(&SolveRequest::shared(&g, &lists, SolveOptions::seeded(2)))
-            .expect("session solve");
-        assert_eq!(served_legacy.coloring, served_session.coloring);
-        assert_eq!(served_legacy.log.passes(), served_session.log.passes());
-        assert!(
-            !Arc::ptr_eq(&served_legacy, &served_session),
-            "different engine field => different memo key"
-        );
-        // The legacy response was memoized too.
-        service
-            .solve(&SolveRequest::shared(&g, &lists, legacy))
-            .expect("hit");
-        assert_eq!(service.stats().memo_hits, 1);
     }
 
     /// Nearest-rank percentiles on a known distribution.

@@ -47,6 +47,13 @@ bench-throughput:
     cargo run --release -p bench --bin experiments -- --json BENCH_5.json E0c
     cargo bench -p bench --bench solve_throughput
 
+# Open-loop serving bench: the E0d fixed-arrival-rate sweep over the
+# concurrent SolveServer (BENCH_6.json at the repo root is the committed
+# full-scale snapshot) plus the criterion companion bench.
+bench-server:
+    cargo run --release -p bench --bin experiments -- --json BENCH_6.json E0d
+    cargo bench -p bench --bench solve_throughput
+
 # Full-scale scenario sweep (S1–S6) → BENCH_3.json, the committed
 # snapshot EXPERIMENTS.md's full-scale section is rendered from. Slow;
 # rerun only when solver behaviour changes, then `just experiments-md`.

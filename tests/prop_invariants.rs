@@ -292,27 +292,34 @@ proptest! {
 proptest! {
     #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
 
-    /// PR-5 satellite: every `SolveService` response is byte-identical —
-    /// same coloring, same per-pass log — to a sequential one-shot
-    /// `Driver` solve of the same request, across batch orders, pool
-    /// sizes, engine thread counts {1, 2, 8}, session-reuse histories
+    /// PR-6 tentpole contract: every completed `SolveServer` response is
+    /// byte-identical — same coloring, same per-pass log — to a
+    /// sequential one-shot `Driver` solve of the same request, across
+    /// worker counts {1, 2, 8}, queue depths {1, 2, 8, 64}, pool sizes
+    /// {0, 1, 2}, engine thread counts {1, 2, 8}, and submission orders
     /// (the stream mixes two graphs, so pooled cores rebind across
-    /// topologies mid-stream), and duplicate requests (memo hits).
+    /// topologies mid-stream, and contains a duplicate request that
+    /// exercises the memo / single-flight paths).
     #[test]
-    fn solve_service_matches_one_shot_driver(
+    fn solve_server_matches_one_shot_driver(
         n in 8usize..300,
         p in 0.01f64..0.15,
         gseed in 0u64..500,
         lseed in 0u64..500,
-        pool_size in 1usize..3,
+        workers_idx in 0usize..3,
+        queue_idx in 0usize..4,
+        pool in 0usize..3,
         threads_idx in 0usize..3,
         rotation in 0usize..6,
     ) {
         use congest_coloring::congest::SimConfig;
-        use congest_coloring::d1lc::service::{ServiceConfig, SolveRequest, SolveService};
+        use congest_coloring::d1lc::server::SolveServer;
+        use congest_coloring::d1lc::service::{ServiceConfig, SolveRequest};
         use congest_coloring::d1lc::SolveOptions;
         use std::sync::Arc;
 
+        let workers = [1usize, 2, 8][workers_idx];
+        let queue = [1usize, 2, 8, 64][queue_idx];
         let threads = [1usize, 2, 8][threads_idx];
         let opts = |seed: u64| SolveOptions {
             sim: SimConfig { threads, ..SimConfig::default() },
@@ -322,34 +329,46 @@ proptest! {
         let l1 = Arc::new(random_lists(&g1, 32, 0, lseed));
         let g2 = Arc::new(gen::gnp(n / 2 + 8, p, gseed ^ 0x9e37));
         let l2 = Arc::new(random_lists(&g2, 32, 0, lseed ^ 0x79b9));
-        let mut requests = vec![
+        let mut requests = [
             SolveRequest::shared(&g1, &l1, opts(1)),
             SolveRequest::shared(&g2, &l2, opts(1)),
             SolveRequest::shared(&g1, &l1, opts(2)),
             SolveRequest::shared(&g2, &l2, opts(2)),
-            SolveRequest::shared(&g1, &l1, opts(1)), // duplicate: memo hit
+            SolveRequest::shared(&g1, &l1, opts(1)), // duplicate: memo / dedup
             SolveRequest::shared(&g1, &l1, opts(3)),
         ];
         let shift = rotation % requests.len();
         requests.rotate_left(shift);
-        let mut service = SolveService::new(ServiceConfig {
-            pool_size,
-            ..ServiceConfig::default()
-        });
-        let batch = service.solve_batch(&requests).expect("service batch");
-        for (req, served) in requests.iter().zip(&batch.results) {
+        let config = ServiceConfig::builder()
+            .workers(workers)
+            .queue(queue)
+            .pool(pool)
+            .build()
+            .expect("valid config");
+        let server = SolveServer::start(config);
+        let handle = server.handle();
+        // Submit everything up front so completions race across workers;
+        // default Block admission means shallow queues throttle, never
+        // reject.
+        let tickets: Vec<_> = requests.iter().map(|r| handle.submit(r.clone())).collect();
+        for (req, ticket) in requests.iter().zip(&tickets) {
+            let served = ticket.wait().expect("server response");
             let direct = solve(&req.graph, &req.lists, req.options).expect("one-shot");
             prop_assert_eq!(check_coloring(&req.graph, &req.lists, &served.coloring), Ok(()));
             prop_assert!(
                 served.coloring == direct.coloring,
-                "service coloring diverged (pool={}, threads={})",
-                pool_size,
+                "server coloring diverged (workers={}, queue={}, pool={}, threads={})",
+                workers,
+                queue,
+                pool,
                 threads
             );
             prop_assert!(
                 served.log.passes() == direct.log.passes(),
-                "service pass log diverged (pool={}, threads={})",
-                pool_size,
+                "server pass log diverged (workers={}, queue={}, pool={}, threads={})",
+                workers,
+                queue,
+                pool,
                 threads
             );
         }

@@ -1,0 +1,240 @@
+//! Interleaving tests for the concurrent serving stack: barrier-forced
+//! races over the single-flight memo and the per-worker session
+//! checkout/return paths, plus a duplicate-submission proptest.
+//!
+//! The repo has no loom dependency, so interleavings are *forced* the
+//! portable way: `std::sync::Barrier` lines submitter threads up on the
+//! exact race window (every thread submits the same key in the same
+//! instant), and repetition covers the schedule space. The invariants
+//! under test (see DESIGN.md §7):
+//!
+//! * **Single flight** — N concurrent submissions of one key cost at
+//!   most one engine solve while the flight is open, and every submitter
+//!   resolves to the *same* `Arc` (pointer identity, not just equality).
+//! * **Checkout/return** — worker-resident cores survive arbitrary
+//!   concurrent graph mixes: rebinds and same-graph rebinds interleave
+//!   freely, and every response stays byte-identical to a one-shot
+//!   solve.
+//! * **Admission under contention** — a full queue with Reject sheds
+//!   precisely; with Block it throttles and still serves everything.
+
+use congest_coloring::d1lc::server::SolveServer;
+use congest_coloring::d1lc::service::{Admission, ServeError, ServiceConfig, SolveRequest};
+use congest_coloring::d1lc::{solve, SolveOptions};
+use congest_coloring::graphs::palette::{random_lists, ListAssignment};
+use congest_coloring::graphs::{gen, Graph};
+use proptest::prelude::*;
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+fn instance(n: usize, seed: u64) -> (Arc<Graph>, Arc<ListAssignment>) {
+    let graph = gen::gnp(n, 0.08, seed);
+    let lists = random_lists(&graph, 32, 0, seed ^ 0x55);
+    (Arc::new(graph), Arc::new(lists))
+}
+
+/// Barrier-forced single-flight: 8 threads submit the identical request
+/// at the same instant; the server must run ONE engine solve and hand
+/// all 8 the same `Arc`.
+#[test]
+fn concurrent_duplicates_share_one_flight() {
+    let (g, lists) = instance(200, 1);
+    for round in 0..8u64 {
+        let config = ServiceConfig::builder().workers(2).build().unwrap();
+        let server = SolveServer::start(config);
+        let handle = server.handle();
+        let barrier = Arc::new(Barrier::new(8));
+        let results: Vec<_> = (0..8)
+            .map(|_| {
+                let handle = handle.clone();
+                let barrier = Arc::clone(&barrier);
+                let req = SolveRequest::shared(&g, &lists, SolveOptions::seeded(round));
+                thread::spawn(move || {
+                    barrier.wait();
+                    handle.solve(req).expect("duplicate serves")
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|t| t.join().expect("submitter thread"))
+            .collect();
+        for other in &results[1..] {
+            assert!(
+                Arc::ptr_eq(&results[0], other),
+                "round {round}: duplicates must share one response Arc"
+            );
+        }
+        let stats = server.stats();
+        let engine_solves = stats.fresh_sessions + stats.rebinds + stats.same_graph_rebinds;
+        assert_eq!(
+            engine_solves, 1,
+            "round {round}: concurrent duplicates must cost one engine solve \
+             (stats: {stats:?})"
+        );
+        assert_eq!(stats.memo_hits + stats.dedup_joins, 7, "round {round}");
+        assert_eq!(stats.completed, 8, "round {round}");
+    }
+}
+
+/// Barrier-forced checkout/return: submitter threads race two graphs
+/// through few workers (memo off, so every request runs the engine), so
+/// resident cores are constantly rebound across topologies. Every
+/// response must stay byte-identical to a one-shot solve.
+#[test]
+fn concurrent_checkout_return_stays_deterministic() {
+    let (g1, l1) = instance(150, 2);
+    let (g2, l2) = instance(90, 3);
+    let direct = |req: &SolveRequest| solve(&req.graph, &req.lists, req.options).unwrap();
+    let config = ServiceConfig::builder()
+        .workers(2)
+        .pool(2)
+        .memo(0)
+        .build()
+        .unwrap();
+    let server = SolveServer::start(config);
+    let handle = server.handle();
+    let barrier = Arc::new(Barrier::new(6));
+    let threads: Vec<_> = (0..6u64)
+        .map(|i| {
+            let handle = handle.clone();
+            let barrier = Arc::clone(&barrier);
+            // Alternate graphs so cores bounce between topologies.
+            let req = if i % 2 == 0 {
+                SolveRequest::shared(&g1, &l1, SolveOptions::seeded(i))
+            } else {
+                SolveRequest::shared(&g2, &l2, SolveOptions::seeded(i))
+            };
+            thread::spawn(move || {
+                barrier.wait();
+                let served = handle.solve(req.clone()).expect("serves");
+                (req, served)
+            })
+        })
+        .collect();
+    for t in threads {
+        let (req, served) = t.join().expect("submitter thread");
+        let reference = direct(&req);
+        assert_eq!(served.coloring, reference.coloring);
+        assert_eq!(served.log.passes(), reference.log.passes());
+    }
+    let stats = server.stats();
+    assert_eq!(
+        stats.fresh_sessions + stats.rebinds + stats.same_graph_rebinds,
+        6,
+        "memo off: every request runs the engine ({stats:?})"
+    );
+}
+
+/// Admission under barrier-forced contention: Reject sheds the overflow
+/// precisely (submitted = completed + rejected), Block serves everything.
+#[test]
+fn admission_contention_accounts_for_every_request() {
+    let (g, lists) = instance(220, 4);
+    for admission in [Admission::Reject, Admission::Block] {
+        let config = ServiceConfig::builder()
+            .workers(1)
+            .queue(1)
+            .memo(0)
+            .admission(admission)
+            .build()
+            .unwrap();
+        let server = SolveServer::start(config);
+        let handle = server.handle();
+        let barrier = Arc::new(Barrier::new(6));
+        let outcomes: Vec<_> = (0..6u64)
+            .map(|i| {
+                let handle = handle.clone();
+                let barrier = Arc::clone(&barrier);
+                let req = SolveRequest::shared(&g, &lists, SolveOptions::seeded(i));
+                thread::spawn(move || {
+                    barrier.wait();
+                    handle.solve(req)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|t| t.join().expect("submitter thread"))
+            .collect();
+        let ok = outcomes.iter().filter(|o| o.is_ok()).count();
+        let shed = outcomes
+            .iter()
+            .filter(|o| matches!(o, Err(ServeError::Overloaded { depth: 1 })))
+            .count();
+        assert_eq!(ok + shed, 6, "no request may vanish ({admission:?})");
+        match admission {
+            Admission::Block => assert_eq!(ok, 6, "Block admission serves everything"),
+            Admission::Reject => {
+                assert!(ok >= 1, "the queue always serves at least its depth")
+            }
+        }
+        let stats = server.stats();
+        assert_eq!(stats.submitted, 6);
+        assert_eq!(stats.rejected as usize, shed);
+        assert_eq!(stats.completed as usize, ok);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// PR-6 satellite: concurrent submission of N duplicates of a random
+    /// request yields ONE engine solve and N pointer-identical `Arc`
+    /// responses, for any worker count, submitter count, and queue depth.
+    #[test]
+    fn duplicate_submissions_cost_one_solve(
+        n in 16usize..160,
+        p in 0.02f64..0.15,
+        gseed in 0u64..500,
+        lseed in 0u64..500,
+        seed in 0u64..500,
+        workers_idx in 0usize..3,
+        submitters in 2usize..9,
+        queue_idx in 0usize..3,
+    ) {
+        let workers = [1usize, 2, 8][workers_idx];
+        let queue = [1usize, 4, 64][queue_idx];
+        let graph = Arc::new(gen::gnp(n, p, gseed));
+        let lists = Arc::new(random_lists(&graph, 32, 0, lseed));
+        let config = ServiceConfig::builder()
+            .workers(workers)
+            .queue(queue)
+            .build()
+            .expect("valid config");
+        let server = SolveServer::start(config);
+        let handle = server.handle();
+        let barrier = Arc::new(Barrier::new(submitters));
+        let results: Vec<_> = (0..submitters)
+            .map(|_| {
+                let handle = handle.clone();
+                let barrier = Arc::clone(&barrier);
+                let req = SolveRequest::shared(&graph, &lists, SolveOptions::seeded(seed));
+                thread::spawn(move || {
+                    barrier.wait();
+                    handle.solve(req).expect("duplicate serves")
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|t| t.join().expect("submitter thread"))
+            .collect();
+        for other in &results[1..] {
+            prop_assert!(
+                Arc::ptr_eq(&results[0], other),
+                "duplicates must share one response Arc (workers={}, queue={})",
+                workers,
+                queue
+            );
+        }
+        let stats = server.stats();
+        let engine_solves = stats.fresh_sessions + stats.rebinds + stats.same_graph_rebinds;
+        prop_assert!(
+            engine_solves == 1,
+            "expected one engine solve, stats: {:?}",
+            stats
+        );
+        // The response is the one-shot result, byte for byte.
+        let direct = solve(&graph, &lists, SolveOptions::seeded(seed)).expect("one-shot");
+        prop_assert!(results[0].coloring == direct.coloring);
+        prop_assert!(results[0].log.passes() == direct.log.passes());
+    }
+}
