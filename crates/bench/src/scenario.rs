@@ -14,7 +14,7 @@ use crate::sweep::{run_sweep, Algorithm, Metric, SweepOutcome, SweepSpec};
 use crate::table::{f2, mean, Table};
 use crate::workloads::{self, Instance, Scale};
 use crate::{
-    exp_ablation, exp_acd, exp_coloring, exp_estimate, exp_hash, exp_plane, exp_server,
+    exp_ablation, exp_acd, exp_chaos, exp_coloring, exp_estimate, exp_hash, exp_plane, exp_server,
     exp_service, exp_session, Experiment,
 };
 
@@ -382,6 +382,7 @@ pub fn registry() -> Vec<Box<dyn Scenario>> {
     all.extend(exp_session::scenarios());
     all.extend(exp_service::scenarios());
     all.extend(exp_server::scenarios());
+    all.extend(exp_chaos::scenarios());
     all.extend(exp_coloring::scenarios());
     all.extend(exp_estimate::scenarios());
     all.extend(exp_hash::scenarios());
@@ -403,7 +404,8 @@ mod tests {
         let set: HashSet<&str> = ids.iter().copied().collect();
         assert_eq!(set.len(), ids.len(), "duplicate scenario ids: {ids:?}");
         for wanted in [
-            "E0", "E0b", "E0c", "E0d", "E1", "E9", "E16c", "S1", "S2", "S3", "S4", "S5", "S6",
+            "E0", "E0b", "E0c", "E0d", "E0e", "E1", "E9", "E16c", "S1", "S2", "S3", "S4", "S5",
+            "S6",
         ] {
             assert!(set.contains(wanted), "{wanted} missing from registry");
         }

@@ -12,6 +12,7 @@
 //! benchmarks.
 
 use crate::error::SimError;
+use crate::fault::FaultPlan;
 use crate::message::bits_for_range;
 use crate::metrics::RunReport;
 use crate::program::Program;
@@ -43,6 +44,10 @@ pub struct SimConfig {
     /// Worker threads for the step and routing phases (1 = sequential).
     /// Results are identical regardless of thread count.
     pub threads: usize,
+    /// Deterministic fault injection between send and delivery (see
+    /// [`FaultPlan`]). The default, [`FaultPlan::none`], leaves every
+    /// engine on its unmodified fault-free path — bit for bit.
+    pub fault: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -52,6 +57,7 @@ impl Default for SimConfig {
             bandwidth: Bandwidth::Track,
             max_rounds: 100_000,
             threads: 1,
+            fault: FaultPlan::none(),
         }
     }
 }

@@ -36,6 +36,30 @@ pub enum SimError {
         /// Engine passes that had completed when the cancellation fired.
         after_passes: u64,
     },
+    /// An active [`FaultPlan`](crate::FaultPlan) fired its per-round
+    /// abort — the modeled crash/timeout of a faulty network. This is the
+    /// only **transient** simulation error (see
+    /// [`SimError::is_transient`]): a retry under a re-salted plan may
+    /// well succeed, which is exactly what the serving layer's retry
+    /// budget exists for.
+    FaultInjected {
+        /// Round (within the failing pass) at which the fault fired.
+        round: u64,
+    },
+}
+
+impl SimError {
+    /// Whether retrying the run could plausibly succeed.
+    ///
+    /// Only [`SimError::FaultInjected`] is transient: it is a roll of the
+    /// fault plan's dice, so a retry under a re-salted plan rolls again.
+    /// Everything else is deterministic — a protocol addressing a
+    /// non-neighbor, a strict bandwidth cap it genuinely exceeds, or a
+    /// cooperative cancellation — and would fail identically on every
+    /// retry; a serving layer must not burn its retry budget on those.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SimError::FaultInjected { .. })
+    }
 }
 
 impl std::fmt::Display for SimError {
@@ -59,6 +83,9 @@ impl std::fmt::Display for SimError {
                     f,
                     "run cancelled at a pass boundary after {after_passes} passes"
                 )
+            }
+            SimError::FaultInjected { round } => {
+                write!(f, "round {round}: injected fault aborted the run")
             }
         }
     }
@@ -87,5 +114,27 @@ mod tests {
             round: 1,
         };
         assert!(e2.to_string().contains("non-neighbor"));
+        let e3 = SimError::FaultInjected { round: 12 };
+        assert!(e3.to_string().contains("round 12") && e3.to_string().contains("fault"));
+    }
+
+    #[test]
+    fn only_injected_faults_are_transient() {
+        assert!(SimError::FaultInjected { round: 0 }.is_transient());
+        assert!(!SimError::NotANeighbor {
+            from: 0,
+            to: 1,
+            round: 0
+        }
+        .is_transient());
+        assert!(!SimError::BandwidthExceeded {
+            from: 0,
+            to: 1,
+            bits: 10,
+            limit: 5,
+            round: 0
+        }
+        .is_transient());
+        assert!(!SimError::Cancelled { after_passes: 3 }.is_transient());
     }
 }

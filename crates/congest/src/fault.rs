@@ -1,0 +1,747 @@
+//! Deterministic fault injection between send and delivery.
+//!
+//! A [`FaultPlan`] describes a lossy network: per-bundle drop, delay, and
+//! duplication probabilities, a per-round abort probability (a modeled
+//! crash/timeout surfaced as [`SimError::FaultInjected`]), and an optional
+//! truncate-to-cap mode that clips over-budget bundles instead of failing
+//! a strict run. The *bundle* — everything one sender puts on one directed
+//! edge in one round, in send order — is the unit every decision applies
+//! to, because it is also the unit the mailbox plane's delivery merge
+//! produces, so all three engine generations (session, per-pass sweep,
+//! legacy sort-and-scatter) can share one decision function and stay
+//! byte-identical.
+//!
+//! Decisions are **stateless counter hashes**, not sequential RNG draws:
+//! the fate of the bundle `(from, to, round)` is a pure function of
+//! `(pass seed, plan salt, from, to, round)`. No ordering between workers
+//! can change an outcome, which is what makes a faulty run reproducible
+//! across thread counts {1, 2, 8} and engine modes alike.
+//!
+//! Delayed bundles sit in a per-edge **holdback queue** owned by the
+//! *receiver-side* CSR edge id — the same receiver-range exclusivity the
+//! plane's slot arrays rely on — and are delivered at the start of their
+//! due round, before that round's fresh bundle from the same sender, so
+//! the inbox-order guarantee (sorted by sender, send order within a
+//! sender) survives injection. The queues live for exactly one engine
+//! run: a pass boundary is a synchronization point, so a delayed slot can
+//! never alias a later pass or a rebound graph.
+
+use crate::engine::Bandwidth;
+use crate::error::SimError;
+use crate::message::Message;
+use crate::plane::{MailboxPlane, PlaneCell};
+use graphs::{Graph, NodeId};
+use prand::mix::{bounded, mix2, mix3};
+
+/// Probability denominator of every `*_q` field: `q / 65536`, so `0` is
+/// never and [`FaultPlan::ALWAYS`] (= 65536) is certainty.
+const Q_ONE: u32 = 1 << 16;
+
+/// Domain-separation tags for the fault decision streams.
+const STREAM_FAULT: u64 = 0xFA17_0001;
+const STREAM_ABORT: u64 = 0xFA17_0002;
+const STREAM_DELAY: u64 = 0xFA17_0003;
+
+/// A deterministic, seeded fault-injection plan.
+///
+/// Probabilities are fixed-point with denominator 65536 (`q / 65536`), so
+/// the plan stays `Copy + Eq` and can ride inside
+/// [`SimConfig`](crate::SimConfig) — and therefore inside a solve's memo
+/// key — without floating-point equality headaches. The default plan is
+/// [`FaultPlan::none`]: with it, the engines take their fault-free paths
+/// untouched, bit for bit.
+///
+/// Any faulty run is exactly reproducible from `(pass seed, plan)`: the
+/// plan carries its own [`salt`](FaultPlan::salt) so a serving layer can
+/// re-roll the fault stream between retry attempts while leaving the
+/// protocol randomness (driven by the pass seed) untouched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FaultPlan {
+    /// Probability (`/65536`) that a bundle is dropped in flight.
+    pub drop_q: u32,
+    /// Probability (`/65536`) that a surviving bundle is delayed by
+    /// `1..=max_delay` rounds.
+    pub delay_q: u32,
+    /// Largest possible delay, in rounds (treated as 1 when 0 but
+    /// `delay_q > 0`). The delay amount is drawn uniformly from
+    /// `1..=max_delay`.
+    pub max_delay: u32,
+    /// Probability (`/65536`) that a delivered bundle arrives twice.
+    pub dup_q: u32,
+    /// Probability (`/65536`), per round, that the whole run aborts with
+    /// [`SimError::FaultInjected`] — the transient failure the serving
+    /// layer's retry loop exists for.
+    pub abort_q: u32,
+    /// Under [`Bandwidth::Strict`], clip an over-cap bundle to the prefix
+    /// that fits the limit (counting the clipped suffix in
+    /// [`FaultCounters::truncated`]) instead of failing the run.
+    pub truncate: bool,
+    /// Extra entropy mixed into every decision. Same `(seed, plan)` ⇒
+    /// same faults; bumping the salt re-rolls the fault stream without
+    /// touching protocol randomness (see [`FaultPlan::resalted`]).
+    pub salt: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The `q` value meaning "always" (probability 1).
+    pub const ALWAYS: u32 = Q_ONE;
+
+    /// The fault-free plan: every engine ignores the fault layer entirely
+    /// and runs its unmodified fast path.
+    pub fn none() -> Self {
+        FaultPlan {
+            drop_q: 0,
+            delay_q: 0,
+            max_delay: 0,
+            dup_q: 0,
+            abort_q: 0,
+            truncate: false,
+            salt: 0,
+        }
+    }
+
+    /// Quantize a probability in `[0, 1]` to the fixed-point `q` scale.
+    pub fn quantize(rate: f64) -> u32 {
+        let q = (rate.clamp(0.0, 1.0) * f64::from(Q_ONE)).round();
+        (q as u32).min(Q_ONE)
+    }
+
+    /// A plan that drops each bundle independently with probability
+    /// `rate` (and nothing else).
+    pub fn lossy(rate: f64) -> Self {
+        FaultPlan {
+            drop_q: Self::quantize(rate),
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Add delays: each surviving bundle is held back `1..=max_delay`
+    /// rounds with probability `rate`.
+    #[must_use]
+    pub fn with_delay(mut self, rate: f64, max_delay: u32) -> Self {
+        self.delay_q = Self::quantize(rate);
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// Add duplication: each delivered bundle arrives twice with
+    /// probability `rate`.
+    #[must_use]
+    pub fn with_dup(mut self, rate: f64) -> Self {
+        self.dup_q = Self::quantize(rate);
+        self
+    }
+
+    /// Add per-round aborts: each round the whole run dies with
+    /// probability `rate`, surfacing [`SimError::FaultInjected`].
+    #[must_use]
+    pub fn with_abort(mut self, rate: f64) -> Self {
+        self.abort_q = Self::quantize(rate);
+        self
+    }
+
+    /// Enable truncate-to-cap under [`Bandwidth::Strict`].
+    #[must_use]
+    pub fn with_truncate(mut self) -> Self {
+        self.truncate = true;
+        self
+    }
+
+    /// The same plan with `extra` folded into the salt — a different but
+    /// equally deterministic fault stream. Retry layers use
+    /// `plan.resalted(attempt)` so a transient abort is not replayed
+    /// verbatim on the next attempt.
+    #[must_use]
+    pub fn resalted(mut self, extra: u64) -> Self {
+        self.salt = self.salt.wrapping_add(extra);
+        self
+    }
+
+    /// Whether this plan can perturb a run at all. `false` means the
+    /// engines skip the fault layer completely (the zero-overhead
+    /// guarantee: a `FaultPlan::none()` run is bit-for-bit the fault-free
+    /// engine).
+    pub fn is_active(&self) -> bool {
+        (self.drop_q | self.delay_q | self.dup_q | self.abort_q) > 0 || self.truncate
+    }
+}
+
+/// Per-run fault-event counters, surfaced through
+/// [`RunReport`](crate::RunReport) (and aggregated per solve by
+/// [`PassLog::fault_totals`](crate::PassLog::fault_totals)). All zero for
+/// a fault-free run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Bundles dropped in flight.
+    pub dropped: u64,
+    /// Bundles held back for later rounds.
+    pub delayed: u64,
+    /// Bundles delivered twice.
+    pub duplicated: u64,
+    /// Messages clipped off over-cap bundles (truncate mode).
+    pub truncated: u64,
+    /// Messages sent to a non-neighbor and eaten by the faulty network
+    /// (fault-free runs fail loudly with
+    /// [`SimError::NotANeighbor`](crate::SimError) instead — see the
+    /// fault-model notes in DESIGN.md §8).
+    pub misrouted: u64,
+}
+
+impl FaultCounters {
+    /// Whether any fault event was counted.
+    pub fn any(&self) -> bool {
+        *self != FaultCounters::default()
+    }
+
+    /// Sum of all counted fault events.
+    pub fn total(&self) -> u64 {
+        self.dropped + self.delayed + self.duplicated + self.truncated + self.misrouted
+    }
+
+    /// Fold another counter set into this one.
+    pub fn merge(&mut self, other: &FaultCounters) {
+        self.dropped += other.dropped;
+        self.delayed += other.delayed;
+        self.duplicated += other.duplicated;
+        self.truncated += other.truncated;
+        self.misrouted += other.misrouted;
+    }
+}
+
+/// The fate of one bundle, decided by [`FaultState::decide`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Decision {
+    /// Deliver this round, `copies` times (1 or 2).
+    Deliver {
+        /// Delivery multiplicity (2 when duplicated).
+        copies: u32,
+    },
+    /// Lost in flight.
+    Drop,
+    /// Held back until `due`, then delivered `copies` times.
+    Delay {
+        /// Round the bundle becomes deliverable.
+        due: u64,
+        /// Delivery multiplicity (2 when duplicated).
+        copies: u32,
+    },
+}
+
+/// One held-back bundle: the merged messages of a directed edge's round,
+/// tagged with the round they were sent in.
+pub(crate) struct Held<M> {
+    /// Round at which the bundle becomes deliverable.
+    due: u64,
+    /// Round the bundle was originally sent (diagnostics / ordering).
+    pub(crate) sent: u64,
+    /// Delivery multiplicity.
+    copies: u32,
+    msgs: Vec<M>,
+}
+
+/// Per-run fault-injection state: the decision key plus the holdback
+/// queues. Built once per engine run when the plan
+/// [`is_active`](FaultPlan::is_active); its absence *is* the fault-free
+/// fast path.
+///
+/// Concurrency: `held` is keyed by receiver-side CSR edge id and
+/// `pending`/`perturbed` by receiver id, so routing workers touch only
+/// the cells of their own disjoint receiver ranges — exactly the
+/// [`PlaneCell`] protocol of the slot arrays (see `crate::plane`).
+pub(crate) struct FaultState<M> {
+    pub(crate) plan: FaultPlan,
+    /// Decision key: `mix3(pass seed, salt, STREAM_FAULT)`.
+    key: u64,
+    /// Holdback queue per receiver-side directed-edge id, due-round
+    /// ascending by construction (bundles are pushed in send-round order
+    /// with non-negative delays... not necessarily sorted, so delivery
+    /// scans the whole queue; queues are tiny in practice).
+    held: Vec<PlaneCell<Vec<Held<M>>>>,
+    /// Per receiver: number of bundles currently held back across its
+    /// in-edges (lets routing visit a receiver that is not dirty but has
+    /// deliveries pending).
+    pending: Vec<PlaneCell<u32>>,
+    /// Per receiver: whether any inbound bundle was dropped, delayed, or
+    /// truncated this run — the "starved inbox" sentinel collected into
+    /// [`RunReport::starved`](crate::RunReport::starved).
+    perturbed: Vec<PlaneCell<bool>>,
+}
+
+impl<M: Message> FaultState<M> {
+    /// Fault state for one run of `graph` under `plan`, keyed by the
+    /// run's pass seed.
+    pub(crate) fn new(plan: FaultPlan, seed: u64, graph: &Graph) -> Self {
+        let m = graph.adjacency().len();
+        let n = graph.n();
+        FaultState {
+            plan,
+            key: mix3(seed, plan.salt, STREAM_FAULT),
+            held: (0..m).map(|_| PlaneCell::new(Vec::new())).collect(),
+            pending: (0..n).map(|_| PlaneCell::new(0)).collect(),
+            perturbed: (0..n).map(|_| PlaneCell::new(false)).collect(),
+        }
+    }
+
+    /// Whether the modeled crash fires this round. Checked by every
+    /// engine at the top of its round loop (after the termination and
+    /// round-cap checks), on the coordinator only — thread-independent by
+    /// construction.
+    pub(crate) fn abort_round(&self, round: u64) -> bool {
+        self.plan.abort_q > 0
+            && (mix3(self.key, STREAM_ABORT, round) & 0xFFFF) < u64::from(self.plan.abort_q)
+    }
+
+    /// The fate of the bundle `(from → to, round)` — a pure function of
+    /// the key and those coordinates.
+    pub(crate) fn decide(&self, from: NodeId, to: NodeId, round: u64) -> Decision {
+        let edge = (u64::from(from) << 32) | u64::from(to);
+        let h = mix3(self.key, edge, round);
+        if (h & 0xFFFF) < u64::from(self.plan.drop_q) {
+            return Decision::Drop;
+        }
+        let copies = if ((h >> 32) & 0xFFFF) < u64::from(self.plan.dup_q) {
+            2
+        } else {
+            1
+        };
+        if ((h >> 16) & 0xFFFF) < u64::from(self.plan.delay_q) {
+            let span = u64::from(self.plan.max_delay.max(1));
+            let delay = 1 + bounded(mix2(h, STREAM_DELAY), span);
+            return Decision::Delay {
+                due: round + delay,
+                copies,
+            };
+        }
+        Decision::Deliver { copies }
+    }
+
+    /// Whether receiver `v` has bundles held back on any in-edge.
+    ///
+    /// SAFETY-wise this is a plain read of a receiver-owned cell: callers
+    /// must hold routing-phase exclusivity over `v` (the same contract as
+    /// the slot arrays).
+    pub(crate) fn has_pending(&self, v: usize) -> bool {
+        // SAFETY: receiver-owned cell, caller holds the routing-phase
+        // exclusivity over `v` (see above).
+        unsafe { *self.pending[v].get() > 0 }
+    }
+
+    /// Raise receiver `v`'s starved-inbox sentinel. Same exclusivity
+    /// contract as [`FaultState::has_pending`].
+    pub(crate) fn mark_perturbed(&self, v: usize) {
+        // SAFETY: receiver-owned cell (see has_pending).
+        unsafe { *self.perturbed[v].get() = true };
+    }
+
+    /// Queue a bundle on edge `e` (receiver `v`'s in-edge) for delivery
+    /// at `due`. Same exclusivity contract as [`FaultState::has_pending`].
+    pub(crate) fn hold(&self, e: usize, v: usize, round: u64, due: u64, copies: u32, msgs: Vec<M>) {
+        // SAFETY: edge e belongs to receiver v's contiguous in-slot
+        // range; the caller holds routing-phase exclusivity over v.
+        unsafe {
+            (*self.held[e].get()).push(Held {
+                due,
+                sent: round,
+                copies,
+                msgs,
+            });
+            *self.pending[v].get() += 1;
+        }
+    }
+
+    /// Deliver every due bundle of edge `e` (sender `u`, receiver `v`)
+    /// into `inbox`, preserving send-round order. Same exclusivity
+    /// contract as [`FaultState::has_pending`].
+    pub(crate) fn deliver_due(
+        &self,
+        e: usize,
+        u: NodeId,
+        v: usize,
+        round: u64,
+        inbox: &mut Vec<(NodeId, M)>,
+    ) {
+        // SAFETY: as in `hold`.
+        let held = unsafe { &mut *self.held[e].get() };
+        if held.is_empty() {
+            return;
+        }
+        let mut delivered = 0u32;
+        held.retain_mut(|h| {
+            if h.due > round {
+                return true;
+            }
+            // `sent == round` is the legacy engine's same-round delivery
+            // through the queue; anything else must be from the past.
+            debug_assert!(
+                h.sent <= round,
+                "a bundle cannot arrive before its send round"
+            );
+            for _ in 0..h.copies {
+                inbox.extend(h.msgs.iter().map(|m| (u, m.clone())));
+            }
+            delivered += 1;
+            false
+        });
+        if delivered > 0 {
+            // SAFETY: receiver-owned cell (see has_pending).
+            unsafe { *self.pending[v].get() -= delivered };
+        }
+    }
+
+    /// The sorted list of receivers whose inbound traffic was perturbed
+    /// (dropped/delayed/truncated) during the run — collected by the
+    /// coordinator after the last routing phase.
+    pub(crate) fn collect_starved(&self) -> Vec<NodeId> {
+        self.perturbed
+            .iter()
+            .enumerate()
+            // SAFETY: coordinator-only read after every routing worker
+            // has passed its phase barrier.
+            .filter(|(_, cell)| unsafe { *cell.get() })
+            .map(|(v, _)| v as NodeId)
+            .collect()
+    }
+}
+
+/// Per-receiver flow counters of one faulty delivery (merged into the
+/// engines' routing stats).
+#[derive(Default)]
+pub(crate) struct EdgeFlow {
+    pub(crate) max: u64,
+    pub(crate) bits: u64,
+    pub(crate) messages: u64,
+    pub(crate) faults: FaultCounters,
+}
+
+/// Enforce the strict cap on a gathered bundle: error out like the
+/// fault-free engines, or — in truncate mode — clip the bundle to the
+/// longest prefix that fits and count the clipped suffix. Shared by all
+/// three engines so the accounting stays identical.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn apply_cap<M: Message>(
+    plan: &FaultPlan,
+    bundle: &mut Vec<M>,
+    edge_bits: &mut u64,
+    bandwidth: Bandwidth,
+    from: NodeId,
+    to: NodeId,
+    round: u64,
+    faults: &mut FaultCounters,
+) -> Result<bool, SimError> {
+    let Bandwidth::Strict(limit) = bandwidth else {
+        return Ok(false);
+    };
+    if *edge_bits <= limit {
+        return Ok(false);
+    }
+    if !plan.truncate {
+        return Err(SimError::BandwidthExceeded {
+            from,
+            to,
+            bits: *edge_bits,
+            limit,
+            round,
+        });
+    }
+    let mut kept_bits = 0u64;
+    let mut keep = 0usize;
+    for m in bundle.iter() {
+        let c = m.bit_cost();
+        if kept_bits + c > limit {
+            break;
+        }
+        kept_bits += c;
+        keep += 1;
+    }
+    faults.truncated += (bundle.len() - keep) as u64;
+    bundle.truncate(keep);
+    *edge_bits = kept_bits;
+    Ok(true)
+}
+
+/// The faulty counterpart of the plane engines' per-receiver delivery
+/// sweep ([`crate::session`]'s `route_shard` / [`crate::reference`]'s
+/// `sweep_route_range`): per in-neighbor, deliver due held-back bundles
+/// first, then gather the fresh bundle from the slot arrays (draining
+/// them exactly like the fast path), apply the cap, and route it through
+/// [`FaultState::decide`]. `stamp` is the slot-liveness stamp of this
+/// round (the session's epoch, the sweep engine's round); fault decisions
+/// always key on the pass-local `round` so every engine draws the same
+/// fates.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn route_receiver_faulty<M: Message>(
+    graph: &Graph,
+    plane: &MailboxPlane<M>,
+    fault: &FaultState<M>,
+    inbox: &mut Vec<(NodeId, M)>,
+    v: usize,
+    round: u64,
+    stamp: u64,
+    bandwidth: Bandwidth,
+    targeted: bool,
+    bcast: bool,
+) -> Result<EdgeFlow, SimError> {
+    let offsets = graph.offsets();
+    let base = offsets[v];
+    let mut flow = EdgeFlow::default();
+    let mut bundle: Vec<M> = Vec::new();
+    for (j, &u) in graph.neighbors(v as NodeId).iter().enumerate() {
+        let e = base + j;
+        // Held-back bundles from earlier rounds arrive before anything
+        // sent this round — per sender, so inbox order stays sorted by
+        // sender with send order within one.
+        fault.deliver_due(e, u, v, round, inbox);
+        // Fresh bundle: the same slot gather (and drain) as the fast
+        // path, redirected into a scratch buffer.
+        // SAFETY: identical access protocol to the fault-free sweep —
+        // receiver-side keyed slots, disjoint receiver ranges, phase
+        // barrier between step writes and these reads (crate::plane).
+        let eslot = targeted
+            .then(|| unsafe { &mut *plane.slots[e].get() })
+            .filter(|s| s.stamp == stamp);
+        // SAFETY: broadcast slots are only read during routing.
+        let bslot = bcast
+            .then(|| unsafe { &*plane.bcast[u as usize].get() })
+            .filter(|b| b.stamp == stamp);
+        if eslot.is_none() && bslot.is_none() {
+            continue;
+        }
+        let mut edge_bits = eslot.as_ref().map_or(0u64, |s| u64::from(s.bits))
+            + bslot.map_or(0u64, |b| u64::from(b.bits));
+        bundle.clear();
+        match (eslot, bslot) {
+            (Some(s), None) => {
+                bundle.push(s.first.take().expect("live slot has a first message"));
+                if s.spilled > 0 {
+                    s.spilled = 0;
+                    // SAFETY: same receiver-range exclusivity.
+                    let sp = unsafe { &mut *plane.spill[e].get() };
+                    bundle.extend(sp.drain(..).map(|(m, _)| m));
+                }
+            }
+            (None, Some(b)) => {
+                bundle.push(b.first.clone().expect("live slot has a first message"));
+                if b.spilled > 0 {
+                    // SAFETY: read-only, like the hot broadcast slot.
+                    let sp = unsafe { &*plane.bcast_spill[u as usize].get() };
+                    bundle.extend(sp.iter().map(|(m, _)| m.clone()));
+                }
+            }
+            (Some(s), Some(b)) => {
+                // Both lanes in one round: merge back into exact send
+                // order by sequence tag, as the fast path does.
+                let first_t = s.first.take().expect("live slot has a first message");
+                s.spilled = 0;
+                // SAFETY: as in the single-lane branches above.
+                let sp_t = unsafe { &mut *plane.spill[e].get() };
+                let sp_b = unsafe { &*plane.bcast_spill[u as usize].get() };
+                let mut te = std::iter::once((s.seq, first_t))
+                    .chain(sp_t.drain(..).map(|(m, q)| (q, m)))
+                    .peekable();
+                let first_b = b.first.clone().expect("live slot has a first message");
+                let mut be = std::iter::once((b.seq, first_b))
+                    .chain(sp_b.iter().map(|(m, q)| (*q, m.clone())))
+                    .peekable();
+                loop {
+                    let take_targeted = match (te.peek(), be.peek()) {
+                        (Some((tq, _)), Some((bq, _))) => tq < bq,
+                        (Some(_), None) => true,
+                        (None, Some(_)) => false,
+                        (None, None) => break,
+                    };
+                    let (_, m) = if take_targeted {
+                        te.next().expect("peeked")
+                    } else {
+                        be.next().expect("peeked")
+                    };
+                    bundle.push(m);
+                }
+            }
+            (None, None) => unreachable!("filtered above"),
+        }
+        if apply_cap(
+            &fault.plan,
+            &mut bundle,
+            &mut edge_bits,
+            bandwidth,
+            u,
+            v as NodeId,
+            round,
+            &mut flow.faults,
+        )? {
+            fault.mark_perturbed(v);
+        }
+        // Transmission is accounted at the send round, post-truncation,
+        // whatever fate the bundle then meets: the bits occupied the
+        // channel even if the payload is lost or late.
+        flow.max = flow.max.max(edge_bits);
+        flow.bits += edge_bits;
+        flow.messages += bundle.len() as u64;
+        if bundle.is_empty() {
+            continue;
+        }
+        match fault.decide(u, v as NodeId, round) {
+            Decision::Drop => {
+                flow.faults.dropped += 1;
+                fault.mark_perturbed(v);
+            }
+            Decision::Delay { due, copies } => {
+                flow.faults.delayed += 1;
+                if copies > 1 {
+                    flow.faults.duplicated += 1;
+                }
+                fault.hold(e, v, round, due, copies, std::mem::take(&mut bundle));
+                fault.mark_perturbed(v);
+            }
+            Decision::Deliver { copies } => {
+                if copies > 1 {
+                    flow.faults.duplicated += 1;
+                }
+                for _ in 0..copies {
+                    inbox.extend(bundle.iter().map(|m| (u, m.clone())));
+                }
+            }
+        }
+    }
+    Ok(flow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::gen;
+
+    #[test]
+    fn none_is_inactive_and_constructors_activate() {
+        assert!(!FaultPlan::none().is_active());
+        assert!(!FaultPlan::default().is_active());
+        assert!(FaultPlan::lossy(0.1).is_active());
+        assert!(FaultPlan::none().with_delay(0.5, 3).is_active());
+        assert!(FaultPlan::none().with_dup(0.2).is_active());
+        assert!(FaultPlan::none().with_abort(0.01).is_active());
+        assert!(FaultPlan::none().with_truncate().is_active());
+        // Zero-rate constructors stay inactive.
+        assert!(!FaultPlan::lossy(0.0).is_active());
+    }
+
+    #[test]
+    fn quantize_clamps_and_scales() {
+        assert_eq!(FaultPlan::quantize(0.0), 0);
+        assert_eq!(FaultPlan::quantize(1.0), FaultPlan::ALWAYS);
+        assert_eq!(FaultPlan::quantize(2.0), FaultPlan::ALWAYS);
+        assert_eq!(FaultPlan::quantize(-1.0), 0);
+        assert_eq!(FaultPlan::quantize(0.5), FaultPlan::ALWAYS / 2);
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_extremes_are_certain() {
+        let g = gen::cycle(8);
+        let always_drop: FaultState<()> = FaultState::new(
+            FaultPlan {
+                drop_q: FaultPlan::ALWAYS,
+                ..FaultPlan::none()
+            },
+            7,
+            &g,
+        );
+        let never: FaultState<()> = FaultState::new(FaultPlan::lossy(0.0), 7, &g);
+        for round in 0..50 {
+            assert_eq!(always_drop.decide(0, 1, round), Decision::Drop);
+            assert_eq!(never.decide(0, 1, round), Decision::Deliver { copies: 1 });
+        }
+        // Same (seed, plan) ⇒ same stream; different salt ⇒ (statistically)
+        // a different one.
+        let a: FaultState<()> = FaultState::new(FaultPlan::lossy(0.5), 7, &g);
+        let b: FaultState<()> = FaultState::new(FaultPlan::lossy(0.5), 7, &g);
+        let c: FaultState<()> = FaultState::new(FaultPlan::lossy(0.5).resalted(1), 7, &g);
+        let stream = |s: &FaultState<()>| {
+            (0..200)
+                .map(|r| s.decide(1, 2, r) == Decision::Drop)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(stream(&a), stream(&b));
+        assert_ne!(stream(&a), stream(&c));
+    }
+
+    #[test]
+    fn delay_draws_stay_in_declared_span() {
+        let g = gen::complete(4);
+        let plan = FaultPlan::none().with_delay(1.0, 3);
+        let state: FaultState<()> = FaultState::new(plan, 11, &g);
+        for round in 0..200 {
+            match state.decide(2, 3, round) {
+                Decision::Delay { due, .. } => {
+                    assert!(due > round && due <= round + 3, "due {due} round {round}");
+                }
+                other => panic!("delay_q=ALWAYS must delay, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn abort_stream_matches_probability_extremes() {
+        let g = gen::cycle(4);
+        let always: FaultState<()> = FaultState::new(FaultPlan::none().with_abort(1.0), 3, &g);
+        let never: FaultState<()> = FaultState::new(FaultPlan::lossy(0.5), 3, &g);
+        for r in 0..100 {
+            assert!(always.abort_round(r));
+            assert!(!never.abort_round(r));
+        }
+    }
+
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    struct Byte(u8);
+    impl Message for Byte {
+        fn bit_cost(&self) -> u64 {
+            8
+        }
+    }
+
+    #[test]
+    fn holdback_queue_orders_and_counts() {
+        let g = gen::path(3); // 0-1-2; edge ids: offsets[1] is node 1's in-slots
+        let state: FaultState<Byte> = FaultState::new(FaultPlan::lossy(0.5), 1, &g);
+        let offsets = g.offsets();
+        // Node 1's in-edge from node 0 is position 0 of its neighbor list.
+        let e = offsets[1];
+        assert!(!state.has_pending(1));
+        state.hold(e, 1, 0, 2, 1, vec![Byte(10), Byte(11)]);
+        state.hold(e, 1, 1, 3, 2, vec![Byte(12)]);
+        assert!(state.has_pending(1));
+        let mut inbox = Vec::new();
+        state.deliver_due(e, 0, 1, 1, &mut inbox);
+        assert!(inbox.is_empty(), "nothing due before round 2");
+        state.deliver_due(e, 0, 1, 2, &mut inbox);
+        assert_eq!(inbox, vec![(0, Byte(10)), (0, Byte(11))]);
+        assert!(state.has_pending(1), "round-3 bundle still held");
+        state.deliver_due(e, 0, 1, 3, &mut inbox);
+        // The duplicated bundle arrives twice, after the earlier one.
+        assert_eq!(
+            inbox,
+            vec![(0, Byte(10)), (0, Byte(11)), (0, Byte(12)), (0, Byte(12))]
+        );
+        assert!(!state.has_pending(1));
+    }
+
+    #[test]
+    fn counters_merge_and_total() {
+        let mut a = FaultCounters {
+            dropped: 1,
+            delayed: 2,
+            duplicated: 3,
+            truncated: 4,
+            misrouted: 5,
+        };
+        assert!(a.any());
+        assert_eq!(a.total(), 15);
+        a.merge(&a.clone());
+        assert_eq!(a.total(), 30);
+        assert!(!FaultCounters::default().any());
+    }
+}

@@ -23,6 +23,10 @@
 //! * [`Bandwidth`] — strict enforcement (prove a protocol CONGEST-legal)
 //!   or tracking (expose the congestion cost of LOCAL-style protocols via
 //!   [`RunReport::normalized_rounds`]);
+//! * [`FaultPlan`] — deterministic, seeded fault injection between send
+//!   and delivery (drop / delay / duplicate / truncate / abort), exactly
+//!   reproducible from `(seed, plan)` at any thread count, with per-run
+//!   [`FaultCounters`] and starved-receiver sentinels in [`RunReport`];
 //! * [`RunReport`] / [`PassLog`] — metrics, composable across the passes
 //!   of multi-phase pipelines;
 //! * [`BitTally`] — two-party transcript accounting for the edge-local
@@ -67,6 +71,7 @@
 
 mod engine;
 mod error;
+mod fault;
 pub mod message;
 mod metrics;
 mod plane;
@@ -77,6 +82,7 @@ mod twoparty;
 
 pub use engine::{run, Bandwidth, SimConfig};
 pub use error::SimError;
+pub use fault::{FaultCounters, FaultPlan};
 pub use message::Message;
 pub use metrics::{LoadProfile, PassLog, PassRecord, RunReport, MAX_BUCKETS};
 pub use program::{Ctx, Program};

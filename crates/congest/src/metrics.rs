@@ -1,5 +1,7 @@
 //! Run statistics: rounds, messages, bits, and bandwidth-normalized rounds.
 
+use crate::fault::FaultCounters;
+use graphs::NodeId;
 use std::collections::BTreeMap;
 
 /// Distinct-bucket cap of a [`LoadProfile`]; beyond it the histogram
@@ -189,6 +191,14 @@ pub struct RunReport {
     pub edge_load: LoadProfile,
     /// Whether every node reported done before the round cap.
     pub completed: bool,
+    /// Fault-injection event counts (all zero without an active
+    /// [`FaultPlan`](crate::FaultPlan)).
+    pub faults: FaultCounters,
+    /// Receivers whose inbound traffic was perturbed — dropped, delayed,
+    /// or truncated — during the run, sorted ascending. These are the
+    /// starved-inbox sentinels a pipeline feeds into its repair sweep;
+    /// empty without an active fault plan.
+    pub starved: Vec<NodeId>,
 }
 
 impl RunReport {
@@ -218,7 +228,46 @@ impl RunReport {
         self.total_bits += other.total_bits;
         self.edge_load.merge(&other.edge_load);
         self.completed &= other.completed;
+        self.faults.merge(&other.faults);
+        self.starved = merge_sorted_ids(&self.starved, &other.starved);
     }
+}
+
+/// Union of two ascending id lists, deduplicated (both inputs are sorted
+/// by construction — the engines emit starved lists in receiver order).
+fn merge_sorted_ids(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    if b.is_empty() {
+        return a.to_vec();
+    }
+    if a.is_empty() {
+        return b.to_vec();
+    }
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        let next = match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) if x <= y => {
+                i += 1;
+                j += usize::from(x == y);
+                x
+            }
+            (Some(_), Some(&y)) => {
+                j += 1;
+                y
+            }
+            (Some(&x), None) => {
+                i += 1;
+                x
+            }
+            (None, Some(&y)) => {
+                j += 1;
+                y
+            }
+            (None, None) => unreachable!("loop condition"),
+        };
+        out.push(next);
+    }
+    out
 }
 
 /// One recorded engine pass: its name, the pipeline phase it ran under,
@@ -362,6 +411,28 @@ impl PassLog {
             .sum()
     }
 
+    /// Aggregate fault-injection counters across passes (all zero for a
+    /// fault-free solve).
+    pub fn fault_totals(&self) -> FaultCounters {
+        let mut total = FaultCounters::default();
+        for p in &self.passes {
+            total.merge(&p.report.faults);
+        }
+        total
+    }
+
+    /// Union of the starved-receiver sentinel lists across passes, sorted
+    /// ascending — the nodes whose inbound traffic any pass lost, late or
+    /// clipped. A pipeline's repair stage treats these as suspects even
+    /// when they ended the pass with a locally consistent state.
+    pub fn starved_union(&self) -> Vec<NodeId> {
+        let mut union: Vec<NodeId> = Vec::new();
+        for p in &self.passes {
+            union = merge_sorted_ids(&union, &p.report.starved);
+        }
+        union
+    }
+
     /// Merge another log's passes after this one's (their phase labels
     /// travel with them; this log's current phase is unchanged).
     pub fn extend(&mut self, other: PassLog) {
@@ -380,6 +451,7 @@ mod tests {
             total_bits: loads.iter().sum(),
             edge_load: LoadProfile::from_loads(loads),
             completed: true,
+            ..Default::default()
         }
     }
 
@@ -399,6 +471,30 @@ mod tests {
         assert_eq!(a.edge_load, LoadProfile::from_loads(&[5, 6, 7, 8, 9]));
         assert_eq!(a.edge_load.rounds(), 5);
         assert_eq!(a.max_edge_bits(), 9);
+    }
+
+    #[test]
+    fn absorb_merges_faults_and_starved_union() {
+        let mut a = report(1, &[1]);
+        a.faults.dropped = 2;
+        a.starved = vec![1, 3, 5];
+        let mut b = report(1, &[1]);
+        b.faults.dropped = 1;
+        b.faults.delayed = 4;
+        b.starved = vec![2, 3, 6];
+        a.absorb(&b);
+        assert_eq!((a.faults.dropped, a.faults.delayed), (3, 4));
+        assert_eq!(a.starved, vec![1, 2, 3, 5, 6]);
+
+        let mut log = PassLog::new();
+        let mut c = report(1, &[1]);
+        c.faults.truncated = 7;
+        c.starved = vec![0, 5];
+        log.record("x", a);
+        log.record("y", c);
+        assert_eq!(log.fault_totals().dropped, 3);
+        assert_eq!(log.fault_totals().truncated, 7);
+        assert_eq!(log.starved_union(), vec![0, 1, 2, 3, 5, 6]);
     }
 
     #[test]

@@ -90,7 +90,7 @@ pub(crate) struct PlaneCell<T>(UnsafeCell<T>);
 unsafe impl<T: Send> Sync for PlaneCell<T> {}
 
 impl<T> PlaneCell<T> {
-    fn new(value: T) -> Self {
+    pub(crate) fn new(value: T) -> Self {
         PlaneCell(UnsafeCell::new(value))
     }
 
@@ -251,6 +251,13 @@ pub(crate) struct SlotSink<'a, M> {
     pub(crate) lookup: &'a mut NeighborIndex,
     /// Whether `lookup` has been filled for this node yet.
     pub(crate) filled: bool,
+    /// Whether a fault plan is active: sends to non-neighbors are then
+    /// eaten by the faulty network (counted in `misrouted`) instead of
+    /// failing the run with [`SimError::NotANeighbor`].
+    pub(crate) forgiving: bool,
+    /// Sends eaten because the destination was not a neighbor (only under
+    /// an active fault plan; see `forgiving`).
+    pub(crate) misrouted: u64,
     /// First error any node of this worker's range raised (kept, not
     /// overwritten — nodes are stepped in ascending id order).
     pub(crate) err: &'a mut Option<SimError>,
@@ -525,6 +532,8 @@ mod tests {
             broadcasts: 0,
             lookup,
             filled: false,
+            forgiving: false,
+            misrouted: 0,
             err,
         }
     }

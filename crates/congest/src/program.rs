@@ -103,11 +103,15 @@ impl<'a, M: Message> Ctx<'a, M> {
     /// Send `msg` to neighbor `to` (delivered next round).
     ///
     /// Sending to a non-neighbor is reported by the engine as
-    /// [`crate::SimError::NotANeighbor`].
+    /// [`crate::SimError::NotANeighbor`] — except under an active
+    /// [`FaultPlan`](crate::FaultPlan), where the faulty network eats the
+    /// message and counts it as misrouted (a lossy network cannot tell a
+    /// bad address from a dropped packet).
     pub fn send(&mut self, to: NodeId, msg: M) {
         match &mut self.sink {
             Sink::Slots(s) => match s.resolve(self.neighbors, to) {
                 Some(k) => s.write(k, to, msg),
+                None if s.forgiving => s.misrouted += 1,
                 None => {
                     if s.err.is_none() {
                         *s.err = Some(SimError::NotANeighbor {

@@ -26,6 +26,7 @@
 //! [`crate::run`] / [`crate::Session`].
 
 use crate::error::SimError;
+use crate::fault::{apply_cap, route_receiver_faulty, Decision, FaultCounters, FaultState};
 use crate::message::Message;
 use crate::metrics::RunReport;
 use crate::plane::{prefetch_for_write, DirtyBoard, MailboxPlane, NeighborIndex, Sink, SlotSink};
@@ -72,6 +73,15 @@ pub fn run_reference<P: Program>(
         completed: true,
         ..Default::default()
     };
+    // Fault-injection state for this run (None = the unmodified
+    // fault-free path). The legacy plane reuses the same stateless
+    // decision stream and holdback queues as the mailbox engines, keyed
+    // on the identical (pass seed, edge, round) coordinates, so all
+    // engine generations inject byte-identically.
+    let fault = config
+        .fault
+        .is_active()
+        .then(|| FaultState::new(config.fault, config.seed, graph));
 
     let mut round = 0u64;
     loop {
@@ -81,6 +91,11 @@ pub fn run_reference<P: Program>(
         if round >= config.max_rounds {
             report.completed = false;
             break;
+        }
+        if let Some(f) = &fault {
+            if f.abort_round(round) {
+                return Err(SimError::FaultInjected { round });
+            }
         }
 
         // Step phase: every node reads its inbox and fills its outbox.
@@ -98,6 +113,19 @@ pub fn run_reference<P: Program>(
         // Routing phase: account bandwidth and deliver.
         for inbox in &mut inboxes {
             inbox.clear();
+        }
+        if let Some(f) = &fault {
+            route_outboxes_faulty(
+                graph,
+                f,
+                &mut outboxes,
+                &mut inboxes,
+                round,
+                config.bandwidth,
+                &mut report,
+            )?;
+            round += 1;
+            continue;
         }
         let mut round_max_edge_bits = 0u64;
         for (src, out) in outboxes.iter_mut().enumerate() {
@@ -146,7 +174,118 @@ pub fn run_reference<P: Program>(
         round += 1;
     }
     report.rounds = round;
+    if let Some(f) = &fault {
+        report.starved = f.collect_starved();
+    }
     Ok((programs, report))
+}
+
+/// The legacy plane's faulty routing phase. Every bundle — delayed or
+/// not — travels through the holdback queues (fresh deliveries are
+/// queued due *this* round), and one per-receiver sweep in CSR
+/// in-neighbor order drains everything due. That reproduces the mailbox
+/// engines' faulty delivery order exactly: inboxes sorted by sender,
+/// held-back (older) bundles before fresh ones per sender.
+fn route_outboxes_faulty<M: Message>(
+    graph: &Graph,
+    fault: &FaultState<M>,
+    outboxes: &mut [Vec<(NodeId, M)>],
+    inboxes: &mut [Vec<(NodeId, M)>],
+    round: u64,
+    bandwidth: Bandwidth,
+    report: &mut RunReport,
+) -> Result<(), SimError> {
+    let offsets = graph.offsets();
+    let mut faults = FaultCounters::default();
+    let mut round_max_edge_bits = 0u64;
+    let mut bundle: Vec<M> = Vec::new();
+    for (src, out) in outboxes.iter_mut().enumerate() {
+        if out.is_empty() {
+            continue;
+        }
+        out.sort_by_key(|&(dst, _)| dst);
+        let mut msgs = out.drain(..).peekable();
+        while let Some(&(dst, _)) = msgs.peek() {
+            bundle.clear();
+            while let Some(&(d, _)) = msgs.peek() {
+                if d != dst {
+                    break;
+                }
+                bundle.push(msgs.next().expect("peeked").1);
+            }
+            // A faulty network eats misaddressed bundles instead of
+            // failing the run (the forgiving counterpart of
+            // SimError::NotANeighbor).
+            let Ok(pos) = graph.neighbors(dst).binary_search(&(src as NodeId)) else {
+                faults.misrouted += bundle.len() as u64;
+                continue;
+            };
+            let e = offsets[dst as usize] + pos;
+            let mut edge_bits: u64 = bundle.iter().map(Message::bit_cost).sum();
+            if apply_cap(
+                &fault.plan,
+                &mut bundle,
+                &mut edge_bits,
+                bandwidth,
+                src as NodeId,
+                dst,
+                round,
+                &mut faults,
+            )? {
+                fault.mark_perturbed(dst as usize);
+            }
+            round_max_edge_bits = round_max_edge_bits.max(edge_bits);
+            report.total_bits += edge_bits;
+            report.messages += bundle.len() as u64;
+            if bundle.is_empty() {
+                continue;
+            }
+            match fault.decide(src as NodeId, dst, round) {
+                Decision::Drop => {
+                    faults.dropped += 1;
+                    fault.mark_perturbed(dst as usize);
+                }
+                Decision::Delay { due, copies } => {
+                    faults.delayed += 1;
+                    if copies > 1 {
+                        faults.duplicated += 1;
+                    }
+                    fault.hold(
+                        e,
+                        dst as usize,
+                        round,
+                        due,
+                        copies,
+                        std::mem::take(&mut bundle),
+                    );
+                    fault.mark_perturbed(dst as usize);
+                }
+                Decision::Deliver { copies } => {
+                    if copies > 1 {
+                        faults.duplicated += 1;
+                    }
+                    fault.hold(
+                        e,
+                        dst as usize,
+                        round,
+                        round,
+                        copies,
+                        std::mem::take(&mut bundle),
+                    );
+                }
+            }
+        }
+    }
+    // Delivery sweep: per receiver, per in-neighbor in CSR order, drain
+    // everything due this round.
+    for (v, inbox) in inboxes.iter_mut().enumerate() {
+        for (j, &u) in graph.neighbors(v as NodeId).iter().enumerate() {
+            fault.deliver_due(offsets[v] + j, u, v, round, inbox);
+        }
+    }
+    report.edge_load.record(round_max_edge_bits);
+    report.faults.merge(&faults);
+    Ok(())
 }
 
 /// Execute the step phase, optionally sharded over threads. Each node only
@@ -172,6 +311,8 @@ struct StepOut {
     err: Option<SimError>,
     /// Lanes this shard's nodes wrote.
     lanes: Lanes,
+    /// Sends to non-neighbors eaten by an active fault plan.
+    misrouted: u64,
 }
 
 /// Aggregated routing-phase counters (sweep-engine copy).
@@ -181,6 +322,8 @@ struct RouteStats {
     bits: u64,
     messages: u64,
     err: Option<SimError>,
+    /// Fault events injected while routing (zero without a fault plan).
+    faults: FaultCounters,
 }
 
 /// One worker's node range (sweep-engine copy).
@@ -211,6 +354,7 @@ impl<P: Program> StepShard<'_, P> {
 /// nodes are stepped too, their `on_round` being a contractual no-op).
 /// Explicitly halted nodes are skipped and counted as done, matching the
 /// session scheduler's `Ctx::halt` semantics.
+#[allow(clippy::too_many_arguments)]
 fn sweep_step_range<P: Program>(
     graph: &Graph,
     plane: &MailboxPlane<P::Msg>,
@@ -218,6 +362,7 @@ fn sweep_step_range<P: Program>(
     lookup: &mut NeighborIndex,
     round: u64,
     prefetch: bool,
+    forgiving: bool,
     shard: StepShard<'_, P>,
 ) -> StepOut {
     let offsets = graph.offsets();
@@ -264,6 +409,8 @@ fn sweep_step_range<P: Program>(
                 broadcasts: 0,
                 lookup: &mut *lookup,
                 filled: false,
+                forgiving,
+                misrouted: 0,
                 err: &mut out.err,
             }),
         };
@@ -271,6 +418,7 @@ fn sweep_step_range<P: Program>(
         if let Sink::Slots(s) = &ctx.sink {
             out.lanes.targeted |= s.targeted > 0;
             out.lanes.bcast |= s.broadcasts > 0;
+            out.misrouted += s.misrouted;
         }
         let now = shard.halted[i] || shard.programs[i].is_done();
         out.delta += i64::from(now) - i64::from(shard.done[i]);
@@ -281,9 +429,11 @@ fn sweep_step_range<P: Program>(
 
 /// Deliver to receivers `lo .. lo + inboxes.len()` by sweeping **every**
 /// receiver's contiguous in-slots (the pre-dirty-worklist behaviour).
+#[allow(clippy::too_many_arguments)]
 fn sweep_route_range<M: Message>(
     graph: &Graph,
     plane: &MailboxPlane<M>,
+    fault: Option<&FaultState<M>>,
     inboxes: &mut [Vec<(NodeId, M)>],
     lo: usize,
     round: u64,
@@ -292,7 +442,9 @@ fn sweep_route_range<M: Message>(
 ) -> RouteStats {
     let offsets = graph.offsets();
     let mut stats = RouteStats::default();
-    if !lanes.targeted && !lanes.bcast {
+    // With a fault plan, held-back bundles can come due in a round nobody
+    // sent in, so the dead-lane shortcut only applies fault-free.
+    if !lanes.targeted && !lanes.bcast && fault.is_none() {
         for inbox in inboxes.iter_mut() {
             inbox.clear();
         }
@@ -301,6 +453,35 @@ fn sweep_route_range<M: Message>(
     for (i, inbox) in inboxes.iter_mut().enumerate() {
         let v = lo + i;
         inbox.clear();
+        if let Some(f) = fault {
+            // The sweep engine visits every receiver anyway; hand the
+            // whole per-receiver sweep to the shared faulty router (the
+            // round doubles as this engine's slot stamp).
+            match route_receiver_faulty(
+                graph,
+                plane,
+                f,
+                inbox,
+                v,
+                round,
+                round,
+                bandwidth,
+                lanes.targeted,
+                lanes.bcast,
+            ) {
+                Ok(flow) => {
+                    stats.max = stats.max.max(flow.max);
+                    stats.bits += flow.bits;
+                    stats.messages += flow.messages;
+                    stats.faults.merge(&flow.faults);
+                }
+                Err(e) => {
+                    stats.err = Some(e);
+                    return stats;
+                }
+            }
+            continue;
+        }
         let base = offsets[v];
         for (j, &u) in graph.neighbors(v as NodeId).iter().enumerate() {
             // SAFETY: receiver-side keyed slots; routing workers own
@@ -439,8 +620,12 @@ pub fn run_mailbox_sweep<P: Program>(
     let mut done: Vec<bool> = programs.iter().map(P::is_done).collect();
     let mut halted: Vec<bool> = vec![false; n];
     let done_count = done.iter().filter(|&&d| d).count();
+    let fault = config
+        .fault
+        .is_active()
+        .then(|| FaultState::new(config.fault, config.seed, graph));
 
-    let report = if workers == 1 {
+    let mut report = if workers == 1 {
         sweep_sequential(
             graph,
             &mut programs,
@@ -449,6 +634,7 @@ pub fn run_mailbox_sweep<P: Program>(
             &mut halted,
             &plane,
             &dirty,
+            fault.as_ref(),
             &mut inboxes,
             config,
             done_count,
@@ -462,12 +648,16 @@ pub fn run_mailbox_sweep<P: Program>(
             &mut halted,
             &plane,
             &dirty,
+            fault.as_ref(),
             &mut inboxes,
             config,
             workers,
             done_count,
         )?
     };
+    if let Some(f) = &fault {
+        report.starved = f.collect_starved();
+    }
     Ok((programs, report))
 }
 
@@ -481,6 +671,7 @@ fn sweep_sequential<P: Program>(
     halted: &mut [bool],
     plane: &MailboxPlane<P::Msg>,
     dirty: &DirtyBoard,
+    fault: Option<&FaultState<P::Msg>>,
     inboxes: &mut [Vec<(NodeId, P::Msg)>],
     config: SimConfig,
     mut done_count: usize,
@@ -501,6 +692,11 @@ fn sweep_sequential<P: Program>(
             report.completed = false;
             break;
         }
+        if let Some(f) = fault {
+            if f.abort_round(round) {
+                return Err(SimError::FaultInjected { round });
+            }
+        }
         let shard = StepShard {
             lo: 0,
             programs,
@@ -509,18 +705,38 @@ fn sweep_sequential<P: Program>(
             halted,
             inboxes,
         };
-        let out = sweep_step_range(graph, plane, dirty, &mut lookup, round, prefetch, shard);
+        let out = sweep_step_range(
+            graph,
+            plane,
+            dirty,
+            &mut lookup,
+            round,
+            prefetch,
+            fault.is_some(),
+            shard,
+        );
         if let Some(e) = out.err {
             return Err(e);
         }
         done_count = (done_count as i64 + out.delta) as usize;
+        report.faults.misrouted += out.misrouted;
         prefetch = out.lanes.targeted;
-        let stats = sweep_route_range(graph, plane, inboxes, 0, round, config.bandwidth, out.lanes);
+        let stats = sweep_route_range(
+            graph,
+            plane,
+            fault,
+            inboxes,
+            0,
+            round,
+            config.bandwidth,
+            out.lanes,
+        );
         if let Some(e) = stats.err {
             return Err(e);
         }
         report.total_bits += stats.bits;
         report.messages += stats.messages;
+        report.faults.merge(&stats.faults);
         report.edge_load.record(stats.max);
         round += 1;
     }
@@ -539,6 +755,7 @@ fn sweep_pooled<P: Program>(
     halted: &mut [bool],
     plane: &MailboxPlane<P::Msg>,
     dirty: &DirtyBoard,
+    fault: Option<&FaultState<P::Msg>>,
     inboxes: &mut [Vec<(NodeId, P::Msg)>],
     config: SimConfig,
     workers: usize,
@@ -597,6 +814,7 @@ fn sweep_pooled<P: Program>(
                         &mut lookup,
                         round,
                         prefetch,
+                        fault.is_some(),
                         shard.reborrow(),
                     );
                     *step_out[w].lock().expect("step slot poisoned") = out;
@@ -612,6 +830,7 @@ fn sweep_pooled<P: Program>(
                     let stats = sweep_route_range(
                         graph,
                         plane,
+                        fault,
                         shard.inboxes,
                         lo_w,
                         round,
@@ -645,6 +864,11 @@ fn sweep_pooled<P: Program>(
                 report.rounds = round;
                 return shutdown(Ok(report));
             }
+            if let Some(f) = fault {
+                if f.abort_round(round) {
+                    return shutdown(Err(SimError::FaultInjected { round }));
+                }
+            }
             control.round.store(round, Ordering::Release);
             barrier.wait(); // release step
             barrier.wait(); // step done
@@ -659,6 +883,7 @@ fn sweep_pooled<P: Program>(
                 }
                 lanes.targeted |= out.lanes.targeted;
                 lanes.bcast |= out.lanes.bcast;
+                report.faults.misrouted += out.misrouted;
             }
             if let Some(e) = err {
                 return shutdown(Err(e));
@@ -675,6 +900,7 @@ fn sweep_pooled<P: Program>(
                 stats.max = stats.max.max(s.max);
                 stats.bits += s.bits;
                 stats.messages += s.messages;
+                stats.faults.merge(&s.faults);
                 if stats.err.is_none() {
                     stats.err = s.err;
                 }
@@ -684,6 +910,7 @@ fn sweep_pooled<P: Program>(
             }
             report.total_bits += stats.bits;
             report.messages += stats.messages;
+            report.faults.merge(&stats.faults);
             report.edge_load.record(stats.max);
             round += 1;
         }

@@ -87,6 +87,7 @@
 
 use crate::engine::{Bandwidth, SimConfig};
 use crate::error::SimError;
+use crate::fault::{route_receiver_faulty, FaultCounters, FaultState};
 use crate::message::Message;
 use crate::metrics::RunReport;
 use crate::plane::{prefetch_for_write, DirtyBoard, MailboxPlane, NeighborIndex, Sink, SlotSink};
@@ -121,6 +122,8 @@ struct StepOut {
     err: Option<SimError>,
     /// Lanes this shard's nodes wrote.
     lanes: Lanes,
+    /// Sends to non-neighbors eaten by an active fault plan.
+    misrouted: u64,
 }
 
 /// Aggregated routing-phase counters for one round (or one worker shard).
@@ -130,6 +133,8 @@ struct RouteStats {
     bits: u64,
     messages: u64,
     err: Option<SimError>,
+    /// Fault events injected while routing (zero without a fault plan).
+    faults: FaultCounters,
 }
 
 /// One worker's slice of the session: the node range it steps and routes.
@@ -153,6 +158,7 @@ struct WorkerSlot<'a, P: Program> {
 /// Step the shard's active frontier: run `on_round` with a slot sink
 /// over each active node's out-edges and compact the frontier in place
 /// (done/halted nodes drop out, order preserved).
+#[allow(clippy::too_many_arguments)]
 fn step_shard<P: Program>(
     graph: &Graph,
     plane: &MailboxPlane<P::Msg>,
@@ -161,6 +167,7 @@ fn step_shard<P: Program>(
     round: u64,
     epoch: u64,
     prefetch: bool,
+    forgiving: bool,
 ) -> StepOut {
     let offsets = graph.offsets();
     let mut out = StepOut::default();
@@ -208,6 +215,8 @@ fn step_shard<P: Program>(
                 broadcasts: 0,
                 lookup: &mut *slot.lookup,
                 filled: false,
+                forgiving,
+                misrouted: 0,
                 err: &mut out.err,
             }),
         };
@@ -215,6 +224,7 @@ fn step_shard<P: Program>(
         if let Sink::Slots(s) = &ctx.sink {
             out.lanes.targeted |= s.targeted > 0;
             out.lanes.bcast |= s.broadcasts > 0;
+            out.misrouted += s.misrouted;
         }
         if halt_now || slot.programs[v - lo].is_done() {
             out.retired += 1;
@@ -245,6 +255,7 @@ fn route_shard<M: Message>(
     graph: &Graph,
     plane: &MailboxPlane<M>,
     dirty: &DirtyBoard,
+    fault: Option<&FaultState<M>>,
     inboxes: &mut [Vec<(NodeId, M)>],
     filled: &mut Vec<u32>,
     lo: usize,
@@ -261,11 +272,48 @@ fn route_shard<M: Message>(
         inboxes[v as usize - lo].clear();
     }
     filled.clear();
-    if !lanes.targeted && !lanes.bcast {
+    // With a fault plan, a round nobody sent in can still deliver
+    // held-back bundles, so the dead-lane shortcut only applies
+    // fault-free.
+    if !lanes.targeted && !lanes.bcast && fault.is_none() {
         return stats;
     }
     for (i, inbox) in inboxes.iter_mut().enumerate() {
         let v = lo + i;
+        if let Some(f) = fault {
+            // Faulty path: visit receivers that are dirty *or* have
+            // held-back bundles coming due, and hand the whole
+            // per-receiver sweep to the shared faulty router so all
+            // engines inject identically.
+            if !dirty.is_dirty(v, epoch) && !f.has_pending(v) {
+                continue;
+            }
+            filled.push(v as u32);
+            match route_receiver_faulty(
+                graph,
+                plane,
+                f,
+                inbox,
+                v,
+                round,
+                epoch,
+                bandwidth,
+                lanes.targeted,
+                lanes.bcast,
+            ) {
+                Ok(flow) => {
+                    stats.max = stats.max.max(flow.max);
+                    stats.bits += flow.bits;
+                    stats.messages += flow.messages;
+                    stats.faults.merge(&flow.faults);
+                }
+                Err(e) => {
+                    stats.err = Some(e);
+                    return stats;
+                }
+            }
+            continue;
+        }
         if !dirty.is_dirty(v, epoch) {
             continue;
         }
@@ -482,6 +530,10 @@ struct PassTask<'a, P: Program> {
     plane: &'a MailboxPlane<P::Msg>,
     dirty: &'a DirtyBoard,
     bandwidth: Bandwidth,
+    /// The run's fault-injection state, if a plan is active. Shared by
+    /// the workers under the same receiver-range exclusivity as the
+    /// plane's slot arrays.
+    fault: Option<&'a FaultState<P::Msg>>,
     /// Taken by worker `w` at pass start, returned at pass end.
     slots: Vec<Mutex<Option<WorkerSlot<'a, P>>>>,
 }
@@ -502,7 +554,14 @@ impl<P: Program> WorkerTask for PassTask<'_, P> {
             let epoch = shared.epoch.load(Ordering::Acquire);
             let prefetch = shared.prefetch.load(Ordering::Acquire);
             let out = step_shard(
-                self.graph, self.plane, self.dirty, &mut slot, round, epoch, prefetch,
+                self.graph,
+                self.plane,
+                self.dirty,
+                &mut slot,
+                round,
+                epoch,
+                prefetch,
+                self.fault.is_some(),
             );
             *shared.step_out[w].lock().expect("step slot poisoned") = out;
             shared.barrier.wait(); // step results visible to coordinator
@@ -518,6 +577,7 @@ impl<P: Program> WorkerTask for PassTask<'_, P> {
                 self.graph,
                 self.plane,
                 self.dirty,
+                self.fault,
                 &mut *slot.inboxes,
                 &mut *slot.filled,
                 slot.lo,
@@ -866,7 +926,15 @@ impl<'g, M: Message> Session<'g, M> {
             &mut self.core.lookups,
             self.chunk,
         );
-        if self.shards > 1 {
+        // Fault-injection state lives for exactly this run: holdback
+        // queues die at the pass boundary (a synchronization point), so a
+        // delayed bundle can never leak into a later pass or rebinding.
+        let fault = self
+            .config
+            .fault
+            .is_active()
+            .then(|| FaultState::new(self.config.fault, seed, self.graph));
+        let mut result = if self.shards > 1 {
             let pool = self
                 .core
                 .pool
@@ -877,6 +945,7 @@ impl<'g, M: Message> Session<'g, M> {
                 &self.core.plane,
                 &self.core.dirty,
                 self.config,
+                fault.as_ref(),
                 &pool.shared,
                 slots,
                 &mut self.core.epoch,
@@ -888,11 +957,16 @@ impl<'g, M: Message> Session<'g, M> {
                 &self.core.plane,
                 &self.core.dirty,
                 self.config,
+                fault.as_ref(),
                 slots,
                 &mut self.core.epoch,
                 halted_count,
             )
+        };
+        if let (Ok(report), Some(f)) = (&mut result, &fault) {
+            report.starved = f.collect_starved();
         }
+        result
     }
 }
 
@@ -933,11 +1007,13 @@ fn make_slots<'a, P: Program>(
 }
 
 /// The single-threaded round loop: no barriers, one scratch.
+#[allow(clippy::too_many_arguments)]
 fn run_rounds_sequential<P: Program>(
     graph: &Graph,
     plane: &MailboxPlane<P::Msg>,
     dirty: &DirtyBoard,
     config: SimConfig,
+    fault: Option<&FaultState<P::Msg>>,
     mut slots: Vec<WorkerSlot<'_, P>>,
     epoch_counter: &mut u64,
     mut halted_count: usize,
@@ -957,6 +1033,13 @@ fn run_rounds_sequential<P: Program>(
             report.completed = false;
             break;
         }
+        // The modeled crash fires before the round's step phase, at the
+        // same pass-local round in every engine and thread count.
+        if let Some(f) = fault {
+            if f.abort_round(round) {
+                return Err(SimError::FaultInjected { round });
+            }
+        }
         // Reserve the epoch up front so an aborted round can never be
         // aliased by a later one.
         let epoch = *epoch_counter;
@@ -964,13 +1047,23 @@ fn run_rounds_sequential<P: Program>(
         let mut lanes = Lanes::default();
         let mut err = None;
         for slot in &mut slots {
-            let out = step_shard(graph, plane, dirty, slot, round, epoch, prefetch);
+            let out = step_shard(
+                graph,
+                plane,
+                dirty,
+                slot,
+                round,
+                epoch,
+                prefetch,
+                fault.is_some(),
+            );
             if err.is_none() {
                 err = out.err;
             }
             lanes.targeted |= out.lanes.targeted;
             lanes.bcast |= out.lanes.bcast;
             halted_count += out.retired;
+            report.faults.misrouted += out.misrouted;
         }
         if let Some(e) = err {
             return Err(e);
@@ -982,6 +1075,7 @@ fn run_rounds_sequential<P: Program>(
                 graph,
                 plane,
                 dirty,
+                fault,
                 &mut *slot.inboxes,
                 &mut *slot.filled,
                 slot.lo,
@@ -993,6 +1087,7 @@ fn run_rounds_sequential<P: Program>(
             stats.max = stats.max.max(s.max);
             stats.bits += s.bits;
             stats.messages += s.messages;
+            stats.faults.merge(&s.faults);
             if stats.err.is_none() {
                 stats.err = s.err;
             }
@@ -1002,6 +1097,7 @@ fn run_rounds_sequential<P: Program>(
         }
         report.total_bits += stats.bits;
         report.messages += stats.messages;
+        report.faults.merge(&stats.faults);
         report.edge_load.record(stats.max);
         round += 1;
     }
@@ -1020,6 +1116,7 @@ fn run_rounds_pooled<P: Program>(
     plane: &MailboxPlane<P::Msg>,
     dirty: &DirtyBoard,
     config: SimConfig,
+    fault: Option<&FaultState<P::Msg>>,
     shared: &PoolShared,
     slots: Vec<WorkerSlot<'_, P>>,
     epoch_counter: &mut u64,
@@ -1031,6 +1128,7 @@ fn run_rounds_pooled<P: Program>(
         plane,
         dirty,
         bandwidth: config.bandwidth,
+        fault,
         slots: slots.into_iter().map(|s| Mutex::new(Some(s))).collect(),
     };
     let raw: *const (dyn WorkerTask + '_) = &task;
@@ -1073,6 +1171,13 @@ fn run_rounds_pooled<P: Program>(
             report.rounds = round;
             return finish(Ok(report));
         }
+        // Same abort placement as the sequential loop: before the step
+        // phase, coordinator-side, thread-count independent.
+        if let Some(f) = fault {
+            if f.abort_round(round) {
+                return finish(Err(SimError::FaultInjected { round }));
+            }
+        }
         let epoch = *epoch_counter;
         *epoch_counter += 1;
         shared.round.store(round, Ordering::Release);
@@ -1089,6 +1194,7 @@ fn run_rounds_pooled<P: Program>(
             }
             lanes.targeted |= out.lanes.targeted;
             lanes.bcast |= out.lanes.bcast;
+            report.faults.misrouted += out.misrouted;
         }
         if let Some(e) = err {
             return finish(Err(e));
@@ -1104,6 +1210,7 @@ fn run_rounds_pooled<P: Program>(
             stats.max = stats.max.max(s.max);
             stats.bits += s.bits;
             stats.messages += s.messages;
+            stats.faults.merge(&s.faults);
             if stats.err.is_none() {
                 stats.err = s.err;
             }
@@ -1113,6 +1220,7 @@ fn run_rounds_pooled<P: Program>(
         }
         report.total_bits += stats.bits;
         report.messages += stats.messages;
+        report.faults.merge(&stats.faults);
         report.edge_load.record(stats.max);
         round += 1;
     }

@@ -6,7 +6,11 @@
 //! and scheduler scratch are built once and reused, and each pass only
 //! pays the O(n) frontier/RNG reset (see [`EngineMode`]). The per-pass
 //! seed derivation (`mix2(solve seed, pass counter)`) is unchanged, so
-//! every engine mode produces byte-identical transcripts.
+//! every engine mode produces byte-identical transcripts. The same seed
+//! also keys any active [`congest::FaultPlan`]: fault fates are a pure
+//! function of `(pass seed, plan, edge, round)`, so the byte-identity
+//! guarantee extends to faulty runs — same plan, same losses, same
+//! recovery, whatever the engine mode or thread count.
 
 use crate::passes::{ActivatePass, StatePass};
 use crate::state::NodeState;

@@ -89,6 +89,13 @@ pub struct Stats {
     pub repairs: usize,
     /// Degree-range phases that actually ran.
     pub phases: usize,
+    /// Fault-induced conflicts the pre-repair sweep had to break: edges
+    /// whose endpoints adopted equal colors because an active
+    /// [`congest::FaultPlan`] lost or delayed the messages the
+    /// conflict-freedom argument relies on. Always `0` under
+    /// `FaultPlan::none()` — the distributed adoptions are then
+    /// conflict-free by construction.
+    pub fault_conflicts: usize,
 }
 
 /// Result of [`solve`]: a proper coloring plus metrics.
@@ -168,6 +175,54 @@ pub(crate) fn first_free_color(
         .find(|c| taken.binary_search(c).is_err())
 }
 
+/// Break fault-induced conflicts before the central repair sweep: for
+/// every edge whose endpoints hold the same color, uncolor one endpoint
+/// so [`finish`]'s first-free repair can recolor it properly.
+///
+/// Under [`congest::FaultPlan::none()`] this never fires — the
+/// distributed adoptions are conflict-free by construction. Under an
+/// active plan a dropped or delayed decline can let both endpoints keep
+/// a contested color; detection here is what makes the pipeline degrade
+/// gracefully (wrong answers become repairs, never silent invalidity).
+///
+/// The victim is the *starved* endpoint when exactly one endpoint was
+/// perturbed by the faulty network (`starved` is the sorted
+/// [`congest::PassLog::starved_union`]) — it made its decision on
+/// incomplete information, so its neighbor's adoption is the trustworthy
+/// one. Ties break to the higher id. One sweep suffices: colors only
+/// ever *disappear* during the sweep, so no new conflict can appear
+/// behind it.
+pub(crate) fn resolve_fault_conflicts(
+    g: &Graph,
+    states: &mut [NodeState],
+    starved: &[NodeId],
+) -> usize {
+    let mut conflicts = 0usize;
+    for v in 0..g.n() {
+        let Some(cv) = states[v].color else { continue };
+        for &u in g.neighbors(v as NodeId) {
+            let u = u as usize;
+            // Visit each undirected edge once, from its lower endpoint.
+            if u <= v || states[u].color != Some(cv) {
+                continue;
+            }
+            let starved_v = starved.binary_search(&(v as NodeId)).is_ok();
+            let starved_u = starved.binary_search(&(u as NodeId)).is_ok();
+            let victim = match (starved_v, starved_u) {
+                (true, false) => v,
+                _ => u,
+            };
+            states[victim].color = None;
+            states[victim].colored_by = None;
+            conflicts += 1;
+            if victim == v {
+                break; // v is uncolored; its remaining edges can't conflict
+            }
+        }
+    }
+    conflicts
+}
+
 /// Finish a solve: repair stragglers centrally, assemble the coloring and
 /// stats, and verify validity.
 pub(crate) fn finish(
@@ -176,10 +231,12 @@ pub(crate) fn finish(
     states: Vec<NodeState>,
     log: PassLog,
     phases: usize,
+    fault_conflicts: usize,
 ) -> SolveResult {
     let mut coloring: Vec<Option<Color>> = states.iter().map(|s| s.color).collect();
     let mut stats = Stats {
         phases,
+        fault_conflicts,
         ..Default::default()
     };
     for st in &states {
@@ -215,8 +272,9 @@ pub(crate) fn finish(
 ///
 /// # Errors
 ///
-/// Propagates engine errors (only possible under a strict bandwidth
-/// policy).
+/// Propagates engine errors: strict-bandwidth violations, or a
+/// [`SimError::FaultInjected`] abort when `opts.sim.fault` carries an
+/// active [`congest::FaultPlan`] with a nonzero abort rate.
 ///
 /// # Panics
 ///
@@ -323,12 +381,22 @@ pub(crate) fn solve_on(
         states = cleanup(driver, states)?;
     }
 
+    // Under an active fault plan, lost/late messages can break the
+    // conflict-freedom of distributed adoptions; detect-and-repair turns
+    // those into honest repairs instead of an invalid coloring.
+    let fault_conflicts = if opts.sim.fault.is_active() {
+        resolve_fault_conflicts(g, &mut states, &driver.log.starved_union())
+    } else {
+        0
+    };
+
     Ok(finish(
         g,
         lists,
         states,
         std::mem::take(&mut driver.log),
         phases,
+        fault_conflicts,
     ))
 }
 

@@ -15,9 +15,12 @@
 //!   is checked when its job is dequeued and then cooperatively at every
 //!   engine pass boundary via [`crate::driver::CancelToken`]; expiry
 //!   surfaces as [`ServeError::DeadlineExceeded`].
-//! * **Retries** — failed solves re-run up to the request's
-//!   [`crate::service::RequestPolicy::retry_limit`]; exhaustion surfaces
-//!   as [`ServeError::RetriesExhausted`].
+//! * **Retries** — solves that fail *transiently* (an injected fault,
+//!   [`congest::SimError::is_transient`]) re-run up to the request's
+//!   [`crate::service::RequestPolicy::retry_limit`], each attempt under
+//!   a re-salted fault plan; exhaustion surfaces as
+//!   [`ServeError::RetriesExhausted`]. Deterministic failures are never
+//!   retried — they fail fast as [`ServeError::Engine`].
 //! * **Single-flight memoization** — completed responses are memoized
 //!   (FIFO, [`ServiceConfig::memo_capacity`]); a submit that duplicates
 //!   an *in-flight* request attaches to the existing flight instead of
@@ -569,7 +572,8 @@ fn run_job(shared: &ServerShared, job: &Job, resident: &mut Option<PooledCore>, 
         attempt += 1;
         let cancel = deadline_at.map(CancelToken::at);
         let mut core_use = CoreUse::default();
-        let (solved, recovered) = solve_with_core(resident.take(), &job.req, cancel, &mut core_use);
+        let (solved, recovered) =
+            solve_with_core(resident.take(), &job.req, cancel, attempt, &mut core_use);
         *resident = if retain { recovered } else { None };
         let s = &shared.stats;
         s.fresh_sessions
@@ -588,12 +592,16 @@ fn run_job(shared: &ServerShared, job: &Job, resident: &mut Option<PooledCore>, 
                     deadline: policy.deadline.expect("cancellation implies deadline"),
                 });
             }
-            Err(_) if attempt < attempts => {
+            // Only transient errors (injected faults) are worth a
+            // re-roll; a deterministic failure (e.g. a strict bandwidth
+            // cap the protocol genuinely exceeds) would fail identically
+            // every time, so retrying it only burns the budget.
+            Err(error) if error.is_transient() && attempt < attempts => {
                 s.retries.fetch_add(1, Ordering::Relaxed);
             }
             Err(error) => {
                 s.engine_errors.fetch_add(1, Ordering::Relaxed);
-                break Err(if policy.retry_limit > 0 {
+                break Err(if error.is_transient() && policy.retry_limit > 0 {
                     ServeError::RetriesExhausted {
                         attempts,
                         last: error,
@@ -719,26 +727,52 @@ mod tests {
     }
 
     #[test]
-    fn retries_exhausted_reports_attempts_and_source() {
+    fn deterministic_failures_are_never_retried() {
         let (g, lists) = instance(120, 11);
         // A strict bandwidth cap of a few bits per round fails every
-        // pass deterministically, so every retry fails identically.
+        // pass deterministically — every retry would fail identically,
+        // so the server must not spend a single one on it, retry limit
+        // or not.
         let mut options = SolveOptions::seeded(5);
         options.sim.bandwidth = congest::Bandwidth::Strict(4);
         let server = SolveServer::start(ServiceConfig::default());
         let handle = server.handle();
         let req = SolveRequest::shared(&g, &lists, options).with_retry_limit(2);
         match handle.solve(req) {
+            Err(ServeError::Engine(e)) => {
+                assert!(matches!(e, congest::SimError::BandwidthExceeded { .. }));
+                assert!(!e.is_transient());
+            }
+            other => panic!("expected Engine, got {other:?}"),
+        }
+        let stats = handle.stats();
+        assert_eq!(stats.retries, 0, "deterministic failure burned a retry");
+        assert_eq!(stats.engine_errors, 1);
+    }
+
+    #[test]
+    fn transient_faults_exhaust_retries_with_attempt_count() {
+        let (g, lists) = instance(60, 13);
+        // An always-abort fault plan fails every attempt transiently —
+        // re-salting cannot save a probability-1 abort — so the retry
+        // budget is spent in full and reported honestly.
+        let mut options = SolveOptions::seeded(7);
+        options.sim.fault = congest::FaultPlan::none().with_abort(1.0);
+        let server = SolveServer::start(ServiceConfig::default());
+        let handle = server.handle();
+        let req = SolveRequest::shared(&g, &lists, options).with_retry_limit(2);
+        match handle.solve(req) {
             Err(ServeError::RetriesExhausted { attempts, last }) => {
                 assert_eq!(attempts, 3);
-                assert!(matches!(last, congest::SimError::BandwidthExceeded { .. }));
+                assert!(matches!(last, congest::SimError::FaultInjected { .. }));
+                assert!(last.is_transient());
             }
             other => panic!("expected RetriesExhausted, got {other:?}"),
         }
         let stats = handle.stats();
         assert_eq!(stats.retries, 2);
         assert_eq!(stats.engine_errors, 1);
-        // Without a retry limit the same request fails as Engine(_).
+        // Without a retry limit the same transient failure is Engine(_).
         let req = SolveRequest::shared(&g, &lists, options);
         assert!(matches!(handle.solve(req), Err(ServeError::Engine(_))));
     }

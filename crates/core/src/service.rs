@@ -47,12 +47,13 @@ pub struct RequestPolicy {
     pub deadline: Option<Duration>,
     /// Additional attempts after a failed solve (engine error). `0`
     /// (default) fails fast with [`ServeError::Engine`]; `k > 0` re-runs
-    /// up to `k` more times and reports
-    /// [`ServeError::RetriesExhausted`] if none succeeds. Retries re-run
-    /// the *identical* request — the solver is deterministic, so this
-    /// only helps with transient conditions (e.g. deadline pressure from
-    /// a shared host, or future non-deterministic backends), never with
-    /// a structurally doomed request.
+    /// **transient** failures ([`SimError::is_transient`], i.e. injected
+    /// faults) up to `k` more times — each retry re-salts the request's
+    /// [`congest::FaultPlan`] so the dice actually re-roll — and reports
+    /// [`ServeError::RetriesExhausted`] if none succeeds. Deterministic
+    /// failures (a strict bandwidth cap the protocol genuinely exceeds)
+    /// are never retried: they would fail identically every time, so
+    /// they fail fast with [`ServeError::Engine`] whatever the limit.
     pub retry_limit: u32,
 }
 
@@ -373,17 +374,18 @@ pub enum ServeError {
         /// The deadline the request carried.
         deadline: Duration,
     },
-    /// Every allowed attempt failed. `attempts` counts all of them
-    /// (first try + retries); `last` is the final engine error.
+    /// Every allowed attempt failed transiently. `attempts` counts all
+    /// of them (first try + retries); `last` is the final engine error.
     RetriesExhausted {
         /// Total solve attempts made (`retry_limit + 1`).
         attempts: u32,
         /// The error of the last attempt.
         last: SimError,
     },
-    /// The solve failed and the request allowed no retries
-    /// ([`RequestPolicy::retry_limit`] = 0). Possible only under a
-    /// strict bandwidth policy (tracking mode never errors).
+    /// The solve failed with no retry spent on it: either the request
+    /// allowed none ([`RequestPolicy::retry_limit`] = 0), or the error
+    /// is deterministic (not [`SimError::is_transient`] — e.g. a strict
+    /// bandwidth violation) and a retry could never turn out different.
     Engine(SimError),
     /// The server shut down: submitted after close, or (for
     /// [`crate::server::Ticket::wait`]) abandoned by a dropped server.
@@ -518,23 +520,34 @@ pub(crate) struct PooledCore {
 /// ([`crate::EngineMode`] other than `Session`) run the engine they ask
 /// for and return no core.
 ///
+/// `attempt` is 1-based; retries (`attempt > 1`) re-salt any active
+/// [`congest::FaultPlan`] so a transient injected fault rolls fresh dice
+/// instead of deterministically re-firing. Attempt 1 runs the request's
+/// plan verbatim, so first-try results (the only ones a fault-free
+/// request produces) stay byte-identical to one-shot [`crate::solve`]
+/// and remain sound to memoize.
+///
 /// The caller must have validated `req.lists.is_degree_plus_one()`.
 pub(crate) fn solve_with_core(
     warm: Option<PooledCore>,
     req: &SolveRequest,
     cancel: Option<crate::driver::CancelToken>,
+    attempt: u32,
     stats: &mut CoreUse,
 ) -> (Result<SolveResult, SimError>, Option<PooledCore>) {
+    let mut sim = SimConfig {
+        seed: req.options.seed,
+        ..req.options.sim
+    };
+    if attempt > 1 {
+        sim.fault = sim.fault.resalted(u64::from(attempt - 1));
+    }
     if req.options.engine != crate::EngineMode::Session {
         // A legacy-engine request (benchmarking / differential use): run
         // exactly the engine asked for. Results are byte-identical to
         // the session path by the cross-engine invariant, but the
         // *execution* must be the one requested.
         stats.legacy += 1;
-        let sim = SimConfig {
-            seed: req.options.seed,
-            ..req.options.sim
-        };
         let mut driver = Driver::with_engine(&req.graph, sim, req.options.engine);
         if let Some(token) = cancel {
             driver.set_cancel(token);
@@ -542,10 +555,6 @@ pub(crate) fn solve_with_core(
         let outcome = solve_on(&mut driver, &req.graph, &req.lists, &req.options);
         return (outcome, warm);
     }
-    let sim = SimConfig {
-        seed: req.options.seed,
-        ..req.options.sim
-    };
     let session: Session<'_, Wire> = match warm {
         Some(pooled) if Arc::ptr_eq(&pooled.graph, &req.graph) => {
             stats.same_graph_rebinds += 1;
@@ -662,7 +671,7 @@ impl SolveService {
         );
         let warm = self.take_core(&req.graph);
         let mut use_stats = CoreUse::default();
-        let (outcome, recovered) = solve_with_core(warm, req, None, &mut use_stats);
+        let (outcome, recovered) = solve_with_core(warm, req, None, 1, &mut use_stats);
         self.stats.fresh_sessions += use_stats.fresh;
         self.stats.rebinds += use_stats.rebinds;
         self.stats.same_graph_rebinds += use_stats.same_graph_rebinds;

@@ -54,6 +54,13 @@ bench-server:
     cargo run --release -p bench --bin experiments -- --json BENCH_6.json E0d
     cargo bench -p bench --bench solve_throughput
 
+# Chaos bench: the E0e fault-injection sweep (drop × delay × dup plans
+# through the full pipeline; BENCH_7.json at the repo root is the
+# committed full-scale snapshot). Its run asserts proper colorings and
+# byte-identical transcripts across engine modes and threads {1, 2, 8}.
+bench-chaos:
+    cargo run --release -p bench --bin experiments -- --json BENCH_7.json E0e
+
 # Full-scale scenario sweep (S1–S6) → BENCH_3.json, the committed
 # snapshot EXPERIMENTS.md's full-scale section is rendered from. Slow;
 # rerun only when solver behaviour changes, then `just experiments-md`.
@@ -77,9 +84,11 @@ examples:
     cargo run -q --release --example uniform_pipeline
     cargo run -q --release -p bench --bin experiments -- --quick E1
 
-# Full generator × seed matrix (the nightly CI job).
+# Full generator × seed matrix (the nightly CI job), plus the
+# fault-injection differentials at nightly depth.
 test-slow:
     cargo test -q --workspace --features slow-tests
+    FAULT_PROPTEST_CASES=96 cargo test -q --test prop_invariants faulty_
 
 # Rustdoc exactly as CI enforces it (warnings are errors).
 doc:

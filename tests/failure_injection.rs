@@ -1,7 +1,8 @@
 //! Failure injection and adversarial edge cases: degenerate graphs,
-//! minimal lists, hostile list structure, bandwidth faults.
+//! minimal lists, hostile list structure, bandwidth faults, and lossy /
+//! delayed / duplicated messaging under a [`FaultPlan`].
 
-use congest_coloring::congest::{Bandwidth, SimConfig};
+use congest_coloring::congest::{Bandwidth, FaultPlan, SimConfig, SimError};
 use congest_coloring::d1lc::{solve, SolveOptions};
 use congest_coloring::graphs::palette::{check_coloring, degree_plus_one_lists, ListAssignment};
 use congest_coloring::graphs::{gen, Color, GraphBuilder};
@@ -91,7 +92,9 @@ fn colors_at_the_top_of_the_space() {
 #[test]
 fn tight_bandwidth_fails_loud_not_wrong() {
     // With an absurdly small strict cap the engine must return an error —
-    // never a silently truncated (and thus possibly improper) run.
+    // never a silently truncated (and thus possibly improper) run. The
+    // variant matters: this is a deterministic bandwidth violation, not a
+    // transient fault the serving layer would burn retries on.
     let g = gen::gnp(64, 0.2, 2);
     let lists = degree_plus_one_lists(&g);
     let opts = SolveOptions {
@@ -101,7 +104,15 @@ fn tight_bandwidth_fails_loud_not_wrong() {
         },
         ..SolveOptions::seeded(1)
     };
-    assert!(solve(&g, &lists, opts).is_err());
+    let err = solve(&g, &lists, opts).expect_err("a 4-bit cap must overflow");
+    assert!(
+        matches!(err, SimError::BandwidthExceeded { limit: 4, .. }),
+        "expected BandwidthExceeded, got {err:?}"
+    );
+    assert!(
+        !err.is_transient(),
+        "a strict cap violation is deterministic"
+    );
 }
 
 #[test]
@@ -129,6 +140,74 @@ fn undersized_lists_are_rejected_up_front() {
     let g = gen::complete(5);
     let lists = ListAssignment::new(vec![vec![1, 2]; 5], 8);
     let _ = solve(&g, &lists, SolveOptions::seeded(1));
+}
+
+/// Options with an active fault plan and a small per-pass round cap —
+/// heavily faulted passes stall waiting for lost replies, so the cap is
+/// what bounds them (recovery happens in the repair sweep either way).
+fn faulty_opts(seed: u64, plan: FaultPlan) -> SolveOptions {
+    SolveOptions {
+        sim: SimConfig {
+            fault: plan,
+            max_rounds: 200,
+            ..SimConfig::default()
+        },
+        ..SolveOptions::seeded(seed)
+    }
+}
+
+#[test]
+fn lossy_network_still_colors_properly_at_any_drop_rate() {
+    // Detect-and-repair must hold the proper-coloring guarantee at every
+    // drop rate — up to and including the network that delivers nothing.
+    let g = gen::gnp(64, 0.12, 21);
+    let lists = degree_plus_one_lists(&g);
+    for rate in [0.05, 0.3, 0.7, 0.95, 1.0] {
+        let r = solve(&g, &lists, faulty_opts(5, FaultPlan::lossy(rate))).expect("solve");
+        assert_eq!(
+            check_coloring(&g, &lists, &r.coloring),
+            Ok(()),
+            "improper coloring at drop rate {rate}"
+        );
+    }
+    // A heavy loss rate must actually have perturbed the run: the fault
+    // counters prove injection happened (no silent no-op plans).
+    let r = solve(&g, &lists, faulty_opts(5, FaultPlan::lossy(0.7))).expect("solve");
+    assert!(r.log.fault_totals().dropped > 0, "no drops recorded at 0.7");
+    assert!(!r.log.starved_union().is_empty(), "no starved nodes at 0.7");
+}
+
+#[test]
+fn delayed_and_duplicated_messages_are_absorbed() {
+    let g = gen::gnp(72, 0.1, 22);
+    let lists = degree_plus_one_lists(&g);
+    let plan = FaultPlan::none().with_delay(0.4, 3).with_dup(0.4);
+    let r = solve(&g, &lists, faulty_opts(6, plan)).expect("solve");
+    assert_eq!(check_coloring(&g, &lists, &r.coloring), Ok(()));
+    let totals = r.log.fault_totals();
+    assert!(totals.delayed > 0, "delay stream never fired");
+    assert!(totals.duplicated > 0, "dup stream never fired");
+}
+
+#[test]
+fn truncating_network_survives_a_strict_cap() {
+    // The same cap that fails loud above is survivable when the plan
+    // models truncation: payloads are clipped to the cap (and counted)
+    // instead of aborting, and repair covers the information loss.
+    let g = gen::gnp(64, 0.2, 2);
+    let lists = degree_plus_one_lists(&g);
+    let opts = SolveOptions {
+        sim: SimConfig {
+            bandwidth: Bandwidth::Strict(4),
+            fault: FaultPlan::none().with_truncate(),
+            max_rounds: 200,
+            ..SimConfig::default()
+        },
+        ..SolveOptions::seeded(1)
+    };
+    let r = solve(&g, &lists, opts).expect("truncation absorbs the cap");
+    assert_eq!(check_coloring(&g, &lists, &r.coloring), Ok(()));
+    assert!(r.log.fault_totals().truncated > 0, "nothing was clipped");
 }
 
 #[test]

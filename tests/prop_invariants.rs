@@ -240,15 +240,41 @@ mod plane_vs_reference {
     }
 
     pub fn assert_planes_agree(graph: &Graph, seed: u64) -> Result<(), String> {
+        assert_planes_agree_under(graph, seed, congest::FaultPlan::none())
+    }
+
+    /// The same three-way differential under an arbitrary fault plan:
+    /// the legacy reference plane, the per-pass mailbox sweep, and the
+    /// session engine at threads {1, 2, 8} must produce identical
+    /// transcripts and identical `RunReport`s — including the fault
+    /// counters and the starved-receiver list the plan generates.
+    pub fn assert_planes_agree_under(
+        graph: &Graph,
+        seed: u64,
+        plan: congest::FaultPlan,
+    ) -> Result<(), String> {
         let n = graph.n();
-        let cfg = SimConfig::seeded(seed);
+        let cfg = SimConfig {
+            fault: plan,
+            ..SimConfig::seeded(seed)
+        };
         let (ref_progs, ref_report) =
             run_reference(graph, chatter_programs(n), cfg).map_err(|e| format!("{e:?}"))?;
+        let (sweep_progs, sweep_report) =
+            congest::reference::run_mailbox_sweep(graph, chatter_programs(n), cfg)
+                .map_err(|e| format!("{e:?}"))?;
+        if sweep_report != ref_report {
+            return Err("RunReport diverged: sweep vs reference".into());
+        }
+        for (v, (a, b)) in sweep_progs.iter().zip(&ref_progs).enumerate() {
+            if a.transcript != b.transcript {
+                return Err(format!(
+                    "transcript diverged at node {v}: sweep vs reference"
+                ));
+            }
+        }
         for threads in [1usize, 2, 8] {
-            let cfg = SimConfig {
-                threads,
-                ..SimConfig::seeded(seed)
-            };
+            let cfg = SimConfig { threads, ..cfg };
             let (progs, report) =
                 congest::run(graph, chatter_programs(n), cfg).map_err(|e| format!("{e:?}"))?;
             if report != ref_report {
@@ -266,8 +292,18 @@ mod plane_vs_reference {
     }
 }
 
+/// Case count for the fault-differential blocks below: the per-push
+/// default, or `FAULT_PROPTEST_CASES` when set (the nightly slow-matrix
+/// job uses it to run the fault differentials at much greater depth).
+fn fault_cases(default_cases: u32) -> u32 {
+    std::env::var("FAULT_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default_cases)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: fault_cases(12), ..ProptestConfig::default() })]
 
     /// PR-2 satellite: the CSR mailbox plane is observably identical to
     /// the pre-PR sort-and-scatter plane — same `RunReport`, same final
@@ -287,10 +323,37 @@ proptest! {
             prop_assert!(false, "{}", msg);
         }
     }
+
+    /// PR-7 tentpole contract, engine level: a faulty run is a pure
+    /// function of `(seed, FaultPlan)` — the legacy plane, the mailbox
+    /// sweep, and the session engine at threads {1, 2, 8} draw the same
+    /// drop/delay/dup fates bundle for bundle, so transcripts, fault
+    /// counters, and starved lists agree byte for byte.
+    #[test]
+    fn faulty_planes_agree_byte_for_byte(
+        kind in 0usize..5,
+        n in 2usize..250,
+        p in 0.0f64..0.15,
+        gseed in 0u64..1000,
+        seed in 0u64..1000,
+        drop_pm in 0u32..800,
+        delay_pm in 0u32..500,
+        max_delay in 1u32..4,
+        dup_pm in 0u32..500,
+    ) {
+        use congest_coloring::congest::FaultPlan;
+        let graph = plane_vs_reference::graph_for(kind, n, p, gseed);
+        let plan = FaultPlan::lossy(f64::from(drop_pm) / 1000.0)
+            .with_delay(f64::from(delay_pm) / 1000.0, max_delay)
+            .with_dup(f64::from(dup_pm) / 1000.0);
+        if let Err(msg) = plane_vs_reference::assert_planes_agree_under(&graph, seed, plan) {
+            prop_assert!(false, "{}", msg);
+        }
+    }
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: fault_cases(6), ..ProptestConfig::default() })]
 
     /// PR-6 tentpole contract: every completed `SolveServer` response is
     /// byte-identical — same coloring, same per-pass log — to a
@@ -371,6 +434,73 @@ proptest! {
                 pool,
                 threads
             );
+        }
+    }
+
+    /// PR-7 tentpole contract, pipeline level: a faulty solve is exactly
+    /// reproducible from `(seed, FaultPlan)` — identical coloring, pass
+    /// log (fault counters and starved lists included), and stats across
+    /// every engine mode and thread count — and detect-and-repair keeps
+    /// the coloring proper whatever the loss pattern.
+    #[test]
+    fn faulty_solve_is_deterministic(
+        n in 8usize..160,
+        p in 0.01f64..0.15,
+        gseed in 0u64..500,
+        lseed in 0u64..500,
+        seed in 0u64..500,
+        drop_pm in 0u32..900,
+        delay_pm in 0u32..500,
+        dup_pm in 0u32..500,
+    ) {
+        use congest_coloring::congest::{FaultPlan, SimConfig};
+        use congest_coloring::d1lc::EngineMode;
+
+        let g = gen::gnp(n, p, gseed);
+        let lists = random_lists(&g, 32, 0, lseed);
+        let plan = FaultPlan::lossy(f64::from(drop_pm) / 1000.0)
+            .with_delay(f64::from(delay_pm) / 1000.0, 3)
+            .with_dup(f64::from(dup_pm) / 1000.0);
+        let run = |engine: EngineMode, threads: usize| {
+            let opts = SolveOptions {
+                engine,
+                sim: SimConfig {
+                    threads,
+                    fault: plan,
+                    max_rounds: 200,
+                    ..SimConfig::default()
+                },
+                ..SolveOptions::seeded(seed)
+            };
+            solve(&g, &lists, opts).expect("faulty solve still completes")
+        };
+        let base = run(EngineMode::Session, 1);
+        prop_assert_eq!(check_coloring(&g, &lists, &base.coloring), Ok(()));
+        for engine in [EngineMode::Session, EngineMode::PerPass, EngineMode::Reference] {
+            for threads in [1usize, 2, 8] {
+                if engine == EngineMode::Session && threads == 1 {
+                    continue;
+                }
+                let other = run(engine, threads);
+                prop_assert!(
+                    base.coloring == other.coloring,
+                    "faulty coloring diverged: {:?} t={}",
+                    engine,
+                    threads
+                );
+                prop_assert!(
+                    base.log.passes() == other.log.passes(),
+                    "faulty pass log diverged: {:?} t={}",
+                    engine,
+                    threads
+                );
+                prop_assert!(
+                    base.stats == other.stats,
+                    "faulty stats diverged: {:?} t={}",
+                    engine,
+                    threads
+                );
+            }
         }
     }
 

@@ -174,6 +174,47 @@ fn admission_contention_accounts_for_every_request() {
     }
 }
 
+/// PR-7 satellite: transient injected faults are absorbed by the retry
+/// budget — a request whose fault plan aborts some attempts still
+/// resolves its ticket with a proper coloring, the retries are counted,
+/// and concurrent tickets under the same chaos all resolve.
+#[test]
+fn injected_faults_are_absorbed_by_retries() {
+    let (g, lists) = instance(80, 5);
+    // A per-round abort rate low enough that a re-rolled (re-salted)
+    // attempt succeeds quickly, high enough that attempts do abort. All
+    // of it is deterministic — for this seed, attempts 1-3 abort and
+    // attempt 4 completes, every run of this test.
+    let mut options = SolveOptions::seeded(4);
+    options.sim.fault = congest_coloring::congest::FaultPlan::none().with_abort(0.02);
+    let config = ServiceConfig::builder().workers(2).memo(0).build().unwrap();
+    let server = SolveServer::start(config);
+    let handle = server.handle();
+    let tickets: Vec<_> = (0..4)
+        .map(|_| handle.submit(SolveRequest::shared(&g, &lists, options).with_retry_limit(10)))
+        .collect();
+    for ticket in &tickets {
+        let served = ticket.wait().expect("retries absorb the injected aborts");
+        assert_eq!(
+            congest_coloring::graphs::palette::check_coloring(&g, &lists, &served.coloring),
+            Ok(()),
+            "a retried solve must still be proper"
+        );
+    }
+    let stats = server.stats();
+    // Memo is off, so each of the 4 identical requests independently
+    // burns the same deterministic 3 aborted attempts before recovering.
+    assert_eq!(
+        stats.retries, 12,
+        "expected 3 deterministic retries per request ({stats:?})"
+    );
+    assert_eq!(
+        stats.engine_errors, 0,
+        "every request recovered ({stats:?})"
+    );
+    assert_eq!(stats.completed, 4);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
 
