@@ -42,6 +42,7 @@ pub mod exp_plane;
 pub mod exp_server;
 pub mod exp_service;
 pub mod exp_session;
+pub mod exp_sharding;
 pub mod json;
 pub mod report;
 pub mod scenario;

@@ -15,7 +15,7 @@ use crate::table::{f2, mean, Table};
 use crate::workloads::{self, Instance, Scale};
 use crate::{
     exp_ablation, exp_acd, exp_chaos, exp_coloring, exp_estimate, exp_hash, exp_plane, exp_server,
-    exp_service, exp_session, Experiment,
+    exp_service, exp_session, exp_sharding, Experiment,
 };
 
 /// What running a scenario produces: always a printable table; for sweep
@@ -383,6 +383,7 @@ pub fn registry() -> Vec<Box<dyn Scenario>> {
     all.extend(exp_service::scenarios());
     all.extend(exp_server::scenarios());
     all.extend(exp_chaos::scenarios());
+    all.extend(exp_sharding::scenarios());
     all.extend(exp_coloring::scenarios());
     all.extend(exp_estimate::scenarios());
     all.extend(exp_hash::scenarios());

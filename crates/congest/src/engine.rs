@@ -44,6 +44,15 @@ pub struct SimConfig {
     /// Worker threads for the step and routing phases (1 = sequential).
     /// Results are identical regardless of thread count.
     pub threads: usize,
+    /// Ownership shards for the session engine's owner/ghost protocol
+    /// (see [`Session`](crate::Session)): the node range is split into this many
+    /// contiguous owned ranges, each with its own frontier, lookup
+    /// scratch, and exchange lanes. `0` (the default) derives the count
+    /// from `threads` exactly as before this knob existed; an explicit
+    /// count is honored even on small graphs (useful for differential
+    /// tests). Results are identical regardless of shard count; the
+    /// preserved engine generations ([`crate::reference`]) ignore it.
+    pub shards: usize,
     /// Deterministic fault injection between send and delivery (see
     /// [`FaultPlan`]). The default, [`FaultPlan::none`], leaves every
     /// engine on its unmodified fault-free path — bit for bit.
@@ -57,6 +66,7 @@ impl Default for SimConfig {
             bandwidth: Bandwidth::Track,
             max_rounds: 100_000,
             threads: 1,
+            shards: 0,
             fault: FaultPlan::none(),
         }
     }

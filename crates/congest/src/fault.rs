@@ -298,7 +298,11 @@ impl<M: Message> FaultState<M> {
     }
 
     /// The fate of the bundle `(from → to, round)` — a pure function of
-    /// the key and those coordinates.
+    /// the key and those coordinates. Because the key is the directed
+    /// edge itself (never a worker, shard, or chunk index), fates are
+    /// invariant under the session engine's ownership sharding: the same
+    /// bundle meets the same fate whether its sender wrote the slot
+    /// locally or staged it through the exchange lanes.
     pub(crate) fn decide(&self, from: NodeId, to: NodeId, round: u64) -> Decision {
         let edge = (u64::from(from) << 32) | u64::from(to);
         let h = mix3(self.key, edge, round);
@@ -727,6 +731,40 @@ mod tests {
             vec![(0, Byte(10)), (0, Byte(11)), (0, Byte(12)), (0, Byte(12))]
         );
         assert!(!state.has_pending(1));
+    }
+
+    /// Fault fates key on the directed edge, so every shard × worker
+    /// geometry sees the identical fault stream: counters, starved
+    /// sentinels, and program state all match the unsharded run.
+    #[test]
+    fn fault_fates_are_shard_invariant() {
+        use crate::engine::tests::min_flood_programs;
+        use crate::{Session, SimConfig};
+        let g = gen::gnp(300, 0.03, 19);
+        let plan = FaultPlan::lossy(0.10).with_delay(0.15, 3).with_dup(0.10);
+        let mut anchor = None;
+        for shards in [0usize, 1, 4, 8] {
+            for threads in [1usize, 8] {
+                let cfg = SimConfig {
+                    threads,
+                    shards,
+                    fault: plan,
+                    ..SimConfig::default()
+                };
+                let mut session: Session<'_, crate::engine::tests::IdMsg> = Session::new(&g, cfg);
+                let mut programs = min_flood_programs(300);
+                let report = session.run(&mut programs, 29).expect("faulty run");
+                assert!(report.faults.any(), "the plan must actually perturb");
+                let mins: Vec<_> = programs.iter().map(|p| p.min).collect();
+                match &anchor {
+                    None => anchor = Some((report, mins)),
+                    Some((r, m)) => {
+                        assert_eq!(r, &report, "shards {shards} threads {threads}");
+                        assert_eq!(m, &mins, "shards {shards} threads {threads}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

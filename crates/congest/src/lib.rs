@@ -86,5 +86,5 @@ pub use fault::{FaultCounters, FaultPlan};
 pub use message::Message;
 pub use metrics::{LoadProfile, PassLog, PassRecord, RunReport, MAX_BUCKETS};
 pub use program::{Ctx, Program};
-pub use session::{Session, SessionCore};
+pub use session::{BarrierAudit, Session, SessionCore};
 pub use twoparty::BitTally;

@@ -591,4 +591,109 @@ mod tests {
         assert!(fine.granularity() >= g);
         assert_eq!(fine.max(), 1999);
     }
+
+    /// Satellite: merge-order symmetry, asserted directly. The sharded
+    /// engine folds per-worker accumulators in worker order while the
+    /// legacy engines folded per-round — identical totals requires these
+    /// merges to be commutative.
+    #[test]
+    fn load_profile_merge_is_commutative() {
+        let samples: [&[u64]; 4] = [
+            &[1, 2, 3],
+            &[0, 0, 7, 1 << 40],
+            &[],
+            // A coarsened profile (past MAX_BUCKETS distinct values).
+            &[9; 1],
+        ];
+        let coarse = LoadProfile::from_loads(&(0..2000).collect::<Vec<u64>>());
+        let mut profiles: Vec<LoadProfile> = samples
+            .iter()
+            .map(|loads| LoadProfile::from_loads(loads))
+            .collect();
+        profiles.push(coarse);
+        for a in &profiles {
+            for b in &profiles {
+                let mut ab = a.clone();
+                ab.merge(b);
+                let mut ba = b.clone();
+                ba.merge(a);
+                assert_eq!(ab, ba, "merge({a:?}, {b:?})");
+            }
+        }
+    }
+
+    /// Associativity of the histogram fold (below the coarsening cap,
+    /// where the engines always operate): worker grouping cannot change
+    /// the aggregate.
+    #[test]
+    fn load_profile_merge_is_associative() {
+        let a = LoadProfile::from_loads(&[1, 5, 5]);
+        let b = LoadProfile::from_loads(&[2, 64]);
+        let c = LoadProfile::from_loads(&[0, 3, 1000]);
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+    }
+
+    /// FaultCounters merge in any order and grouping (plain sums).
+    #[test]
+    fn fault_counters_merge_is_commutative_and_associative() {
+        let mk = |d, l, u, t, m| FaultCounters {
+            dropped: d,
+            delayed: l,
+            duplicated: u,
+            truncated: t,
+            misrouted: m,
+        };
+        let a = mk(1, 2, 3, 4, 5);
+        let b = mk(10, 0, 7, 0, 2);
+        let c = mk(0, 100, 0, 1, 0);
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        let mut left = ab;
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        assert_eq!(left, right);
+    }
+
+    /// `absorb` composes sequentially, but every commutative field must
+    /// come out order-independent; only `rounds`-style concatenation may
+    /// depend on order (and then only through the edge-load histogram's
+    /// round ordering, which the histogram erases).
+    #[test]
+    fn absorb_is_order_independent() {
+        let mut a = report(2, &[5, 6]);
+        a.faults.dropped = 3;
+        a.starved = vec![1, 4];
+        let mut b = report(3, &[7, 8, 9]);
+        b.faults.delayed = 2;
+        b.starved = vec![2, 4, 9];
+        let mut ab = a.clone();
+        ab.absorb(&b);
+        let mut ba = b.clone();
+        ba.absorb(&a);
+        assert_eq!(ab, ba, "absorb must be symmetric field by field");
+    }
+
+    /// The starved-union merge handles duplicates, subsets, and empties.
+    #[test]
+    fn merge_sorted_ids_unions_and_dedups() {
+        assert_eq!(merge_sorted_ids(&[], &[]), Vec::<NodeId>::new());
+        assert_eq!(merge_sorted_ids(&[1, 2], &[]), vec![1, 2]);
+        assert_eq!(merge_sorted_ids(&[], &[3]), vec![3]);
+        assert_eq!(merge_sorted_ids(&[1, 3, 5], &[1, 3, 5]), vec![1, 3, 5]);
+        assert_eq!(merge_sorted_ids(&[1, 5], &[2, 3, 4]), vec![1, 2, 3, 4, 5]);
+        assert_eq!(merge_sorted_ids(&[0, 2, 2], &[2, 7]), vec![0, 2, 2, 7]);
+    }
 }

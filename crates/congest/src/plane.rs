@@ -34,22 +34,47 @@
 //! its per-copy bits in the sender's broadcast slot, and delivery sums
 //! the two for the per-directed-edge round load.
 //!
+//! # Ownership sharding and the exchange lanes
+//!
+//! The session engine partitions the node range into contiguous
+//! **ownership shards** (see [`crate::session`]). Each shard owns its
+//! receivers' targeted-slot range (a per-shard CSR sub-plane: the
+//! contiguous `offsets[lo]..offsets[hi]` block of `slots`/`spill`), its
+//! senders' broadcast slots, and its receivers' dirty stamps. During the
+//! step phase a sender writes **only** slots its own shard owns; a send
+//! whose receiver lives in another shard is *staged* into an
+//! [`ExchangeLanes`] outbox cell keyed `(sender shard, receiver shard)`
+//! instead of touching the foreign sub-plane. At the exchange point
+//! (one barrier later) each shard drains its inbound column and replays
+//! the staged writes into its own sub-plane — reconstructing the exact
+//! inline-first/spill/sequence slot state a direct write would have
+//! produced, because every directed edge still has exactly one sender
+//! and the staged records carry the sender's send-sequence tags.
+//!
+//! Broadcast slots are the **ghost state**: during routing a shard
+//! *reads* any sender's broadcast slot (cross-shard included) without
+//! mutation — a read-only ghost copy frozen at the exchange barrier.
+//!
 //! Lane storage is `UnsafeCell`-based because the phases access slots at
 //! value-dependent disjoint indices the borrow checker cannot see:
 //!
 //! * **step phase** — worker `w` owns senders `[lo_w, hi_w)`: it writes
-//!   their broadcast slots (disjoint, contiguous) and their out-edges'
-//!   targeted slots (disjoint because every directed edge has exactly
-//!   one sender).
-//! * **routing phase** — worker `w` mutates only the contiguous targeted
-//!   slots of its own receivers (disjoint ranges) and performs **reads**
-//!   of broadcast slots (no mutation; broadcast payloads are cloned per
-//!   receiving edge, exactly the copies the legacy plane made at send
-//!   time).
+//!   their broadcast slots (disjoint, contiguous) and, of their
+//!   out-edges' targeted slots, exactly those owned by its own shards
+//!   (disjoint because every directed edge has exactly one sender *and*
+//!   cross-shard writes are staged, never direct).
+//! * **exchange + routing phase** — worker `w` drains the exchange
+//!   cells addressed to its shards (each cell has exactly one writer
+//!   shard and one reader shard) into its own receivers' contiguous
+//!   targeted slots, then mutates only those slots, and performs
+//!   **reads** of broadcast slots (no mutation; broadcast payloads are
+//!   cloned per receiving edge, exactly the copies the legacy plane
+//!   made at send time).
 //!
 //! The phases are separated by a barrier (or by program order in the
 //! sequential engine), so no slot is ever written by one thread while
-//! another touches it.
+//! another touches it, and no exchange cell is drained before its
+//! writer is done staging.
 
 use crate::error::SimError;
 use crate::message::Message;
@@ -261,11 +286,240 @@ pub(crate) struct SlotSink<'a, M> {
     /// First error any node of this worker's range raised (kept, not
     /// overwritten — nodes are stepped in ascending id order).
     pub(crate) err: &'a mut Option<SimError>,
+    /// The sender's ownership shard: which receivers are local (written
+    /// directly) and where cross-shard writes are staged.
+    pub(crate) shard: ShardRoute<'a, M>,
+}
+
+/// A sender shard's view of the exchange topology for one step call:
+/// the owned (local) node range and the sender's row of outbox cells,
+/// one per receiver shard.
+pub(crate) struct ShardRoute<'a, M> {
+    /// First node id this shard owns.
+    pub(crate) lo: NodeId,
+    /// One past the last node id this shard owns.
+    pub(crate) hi: NodeId,
+    /// Shard width in nodes (receiver shard of node `v` is `v / chunk`).
+    pub(crate) chunk: NodeId,
+    /// The sender shard's outbox row, indexed by receiver shard. Empty
+    /// in single-shard runs (where `is_local` is always true).
+    pub(crate) row: &'a [PlaneCell<Outbox<M>>],
+}
+
+impl<M> ShardRoute<'_, M> {
+    /// A route that owns every node — the unsharded legacy layout, where
+    /// no write ever stages through the exchange lanes.
+    pub(crate) fn all_local() -> Self {
+        ShardRoute {
+            lo: 0,
+            hi: NodeId::MAX,
+            chunk: 1,
+            row: &[],
+        }
+    }
+
+    /// Whether this shard owns receiver `to`.
+    #[inline]
+    pub(crate) fn is_local(&self, to: NodeId) -> bool {
+        self.lo <= to && to < self.hi
+    }
+
+    /// Stage a targeted send toward the shard owning `to`.
+    ///
+    /// SAFETY-relevant invariant: cell `row[to / chunk]` is written only
+    /// by this sender shard's worker during the step phase and drained
+    /// only by the receiver shard's worker after the exchange barrier.
+    fn outbox(&self, to: NodeId) -> *mut Outbox<M> {
+        self.row[(to / self.chunk) as usize].get()
+    }
+
+    /// Stage the exact slot write `(edge, seq, msg)` for the owner of
+    /// `to` to replay at the exchange point.
+    pub(crate) fn stage(&self, to: NodeId, edge: u32, epoch: u64, seq: u32, msg: M) {
+        // SAFETY: single-writer-per-phase exclusivity, see above.
+        let ob = unsafe { &mut *self.outbox(to) };
+        ob.reset_for(epoch);
+        ob.sends.push(Staged { to, edge, seq, msg });
+    }
+
+    /// Stage a dirty-receiver stamp for the owner of `to`.
+    pub(crate) fn stage_dirt(&self, to: NodeId, epoch: u64) {
+        // SAFETY: single-writer-per-phase exclusivity, see above.
+        let ob = unsafe { &mut *self.outbox(to) };
+        ob.reset_for(epoch);
+        ob.dirt.push(to);
+    }
+}
+
+/// One staged cross-shard targeted send: enough to replay the exact
+/// slot write on the owning shard.
+pub(crate) struct Staged<M> {
+    /// Receiver node id.
+    pub(crate) to: NodeId,
+    /// Receiver-side slot id of the directed edge (the sender's
+    /// `rev_out[k]`).
+    pub(crate) edge: u32,
+    /// The sender's per-round send-sequence tag.
+    pub(crate) seq: u32,
+    pub(crate) msg: M,
+}
+
+/// One (sender shard → receiver shard) exchange buffer. Epoch-stamped
+/// with the same lazy-reset protocol as the slots: content staged in an
+/// aborted round (a step error exits before the exchange point) keeps
+/// its stale stamp, is never applied, and is cleared in place by the
+/// next round's first staging push.
+pub(crate) struct Outbox<M> {
+    /// Epoch of the last staging push; `u64::MAX` = never written.
+    stamp: u64,
+    /// Staged targeted sends, in the sender shard's step order.
+    sends: Vec<Staged<M>>,
+    /// Staged dirty-receiver stamps (broadcast out-neighborhood marks).
+    dirt: Vec<NodeId>,
+}
+
+impl<M> Outbox<M> {
+    fn fresh() -> Self {
+        Outbox {
+            stamp: u64::MAX,
+            sends: Vec::new(),
+            dirt: Vec::new(),
+        }
+    }
+
+    /// Lazy epoch reset: drop content from any earlier (possibly
+    /// aborted) round before the first push of this one.
+    fn reset_for(&mut self, epoch: u64) {
+        if self.stamp != epoch {
+            self.stamp = epoch;
+            self.sends.clear();
+            self.dirt.clear();
+        }
+    }
+}
+
+/// The shards × shards grid of exchange outboxes, row-major by sender
+/// shard: cell `(from, to)` carries `from`'s cross-shard writes into
+/// `to`'s sub-plane. Owned by the session core so the (cold) buffers
+/// are reused across rounds, passes, and rebinds — stale content is
+/// fenced off by the epoch stamps exactly like slot state.
+pub(crate) struct ExchangeLanes<M> {
+    shards: usize,
+    boxes: Vec<PlaneCell<Outbox<M>>>,
+}
+
+impl<M: Message> ExchangeLanes<M> {
+    /// Lanes bound to no shard layout.
+    pub(crate) fn empty() -> Self {
+        ExchangeLanes {
+            shards: 0,
+            boxes: Vec::new(),
+        }
+    }
+
+    /// Rebuild the grid for `shards` ownership shards (no-op when the
+    /// count is unchanged; retained cells keep stale stamps, which the
+    /// lazy reset fences off).
+    pub(crate) fn ensure(&mut self, shards: usize) {
+        if self.shards != shards {
+            self.shards = shards;
+            self.boxes = (0..shards * shards)
+                .map(|_| PlaneCell::new(Outbox::fresh()))
+                .collect();
+        }
+    }
+
+    /// Sender shard `from`'s outbox row (indexed by receiver shard).
+    pub(crate) fn row(&self, from: usize) -> &[PlaneCell<Outbox<M>>] {
+        &self.boxes[from * self.shards..(from + 1) * self.shards]
+    }
+
+    /// Drain every outbox addressed to `shard`, replaying the staged
+    /// writes into `shard`'s own sub-plane — the exchange phase. Sender
+    /// shards are drained in ascending order and each shard stages in
+    /// its own step order, so per-slot replay preserves the per-sender
+    /// sequence tags exactly.
+    ///
+    /// SAFETY (caller): must run after the exchange barrier (or after
+    /// the full step phase in the sequential engine) and only on the
+    /// worker owning `shard`; column cells then have no concurrent
+    /// writer, and the slots written are `shard`'s own.
+    pub(crate) fn apply_into(
+        &self,
+        shard: usize,
+        plane: &MailboxPlane<M>,
+        dirty: &DirtyBoard,
+        epoch: u64,
+    ) {
+        if self.shards <= 1 {
+            return;
+        }
+        for from in 0..self.shards {
+            // SAFETY: post-barrier single-reader exclusivity, see above.
+            let ob = unsafe { &mut *self.boxes[from * self.shards + shard].get() };
+            if ob.stamp != epoch {
+                continue; // idle this round, or stale from an aborted one
+            }
+            for staged in ob.sends.drain(..) {
+                let e = staged.edge as usize;
+                // SAFETY: slot `e` belongs to a receiver `shard` owns.
+                push_slot(
+                    &plane.slots[e],
+                    &plane.spill[e],
+                    epoch,
+                    staged.seq,
+                    staged.msg,
+                );
+                dirty.mark(staged.to, epoch);
+            }
+            for v in ob.dirt.drain(..) {
+                dirty.mark(v, epoch);
+            }
+        }
+    }
 }
 
 /// Clamp a `bit_cost` to the slot counters' width.
 fn cost32(msg_bits: u64) -> u32 {
     u32::try_from(msg_bits).unwrap_or(u32::MAX)
+}
+
+/// The shared write protocol of both lanes (and of exchange replay):
+/// lazy epoch reset, bit accumulation, inline-first-or-spill, sequence
+/// tagging.
+///
+/// SAFETY (caller): the cells must be ones the calling phase holds
+/// exclusivity over — a step-phase sender's own-shard out-edge slots or
+/// broadcast slot, or a routing-phase owner replaying staged sends into
+/// its own receivers' slots (module docs).
+pub(crate) fn push_slot<M: Message>(
+    slot: &PlaneCell<Slot<M>>,
+    spill: &PlaneCell<Vec<(M, u32)>>,
+    epoch: u64,
+    seq: u32,
+    msg: M,
+) {
+    // SAFETY: exclusivity guaranteed by the caller (see above).
+    let slot = unsafe { &mut *slot.get() };
+    if slot.stamp != epoch {
+        slot.stamp = epoch;
+        slot.bits = 0;
+        slot.first = None;
+        if slot.spilled > 0 {
+            slot.spilled = 0;
+            // SAFETY: same exclusivity as the hot slot.
+            unsafe { &mut *spill.get() }.clear();
+        }
+    }
+    slot.bits = slot.bits.saturating_add(cost32(msg.bit_cost()));
+    if slot.first.is_none() {
+        slot.first = Some(msg);
+        slot.seq = seq;
+    } else {
+        slot.spilled += 1;
+        // SAFETY: same exclusivity as the hot slot.
+        unsafe { &mut *spill.get() }.push((msg, seq));
+    }
 }
 
 impl<M: Message> SlotSink<'_, M> {
@@ -283,51 +537,23 @@ impl<M: Message> SlotSink<'_, M> {
         self.lookup.get(to)
     }
 
-    /// The shared write protocol of both lanes: lazy epoch reset, bit
-    /// accumulation, inline-first-or-spill, sequence tagging.
-    ///
-    /// SAFETY (caller): the cells must be ones this sink's node is the
-    /// unique step-phase writer of — its out-edges' targeted slots or
-    /// its own broadcast slot (module docs).
-    fn push(
-        slot: &PlaneCell<Slot<M>>,
-        spill: &PlaneCell<Vec<(M, u32)>>,
-        epoch: u64,
-        seq: u32,
-        msg: M,
-    ) {
-        // SAFETY: exclusivity guaranteed by the caller (see above).
-        let slot = unsafe { &mut *slot.get() };
-        if slot.stamp != epoch {
-            slot.stamp = epoch;
-            slot.bits = 0;
-            slot.first = None;
-            if slot.spilled > 0 {
-                slot.spilled = 0;
-                // SAFETY: same exclusivity as the hot slot.
-                unsafe { &mut *spill.get() }.clear();
-            }
-        }
-        slot.bits = slot.bits.saturating_add(cost32(msg.bit_cost()));
-        if slot.first.is_none() {
-            slot.first = Some(msg);
-            slot.seq = seq;
-        } else {
-            slot.spilled += 1;
-            // SAFETY: same exclusivity as the hot slot.
-            unsafe { &mut *spill.get() }.push((msg, seq));
-        }
-    }
-
     /// Targeted send: append `msg` to the slot of the edge to neighbor
     /// `k` (node id `to`), folding its bit cost into the slot counter and
-    /// stamping the receiver dirty.
+    /// stamping the receiver dirty. A receiver outside the sender's own
+    /// shard is not touched directly: the write is staged into the
+    /// exchange lane toward its owner and replayed there at the exchange
+    /// point (same slot, same bits, same sequence tag).
     pub(crate) fn write(&mut self, k: usize, to: NodeId, msg: M) {
-        let e = self.rev_out[k] as usize;
-        // SAFETY: this sink's node is the unique step-phase sender over
-        // its out-edges' slots (module docs).
-        Self::push(&self.slots[e], &self.spill[e], self.epoch, self.seq, msg);
-        self.dirty.mark(to, self.epoch);
+        if self.shard.is_local(to) {
+            let e = self.rev_out[k] as usize;
+            // SAFETY: this sink's node is the unique step-phase sender
+            // over its own shard's out-edge slots (module docs).
+            push_slot(&self.slots[e], &self.spill[e], self.epoch, self.seq, msg);
+            self.dirty.mark(to, self.epoch);
+        } else {
+            self.shard
+                .stage(to, self.rev_out[k], self.epoch, self.seq, msg);
+        }
         self.seq += 1;
         self.targeted += 1;
     }
@@ -340,15 +566,21 @@ impl<M: Message> SlotSink<'_, M> {
     pub(crate) fn write_bcast(&mut self, msg: M) {
         // SAFETY: a node's broadcast slot is written only while its own
         // worker steps it (module docs).
-        Self::push(self.bcast, self.bcast_spill, self.epoch, self.seq, msg);
+        push_slot(self.bcast, self.bcast_spill, self.epoch, self.seq, msg);
         self.seq += 1;
         self.broadcasts += 1;
     }
 
-    /// Stamp `v` as a dirty receiver of the current epoch.
+    /// Stamp `v` as a dirty receiver of the current epoch — directly
+    /// when this shard owns `v`, via the exchange lane otherwise (the
+    /// dirty board is shard-exclusive during the step phase).
     #[inline]
     pub(crate) fn mark(&self, v: NodeId) {
-        self.dirty.mark(v, self.epoch);
+        if self.shard.is_local(v) {
+            self.dirty.mark(v, self.epoch);
+        } else {
+            self.shard.stage_dirt(v, self.epoch);
+        }
     }
 }
 
@@ -535,6 +767,12 @@ mod tests {
             forgiving: false,
             misrouted: 0,
             err,
+            shard: ShardRoute {
+                lo: 0,
+                hi: NodeId::MAX,
+                chunk: 1,
+                row: &[],
+            },
         }
     }
 
@@ -599,5 +837,57 @@ mod tests {
         let slot = unsafe { &mut *cells[0].get() };
         assert_eq!((slot.stamp, slot.bits, slot.spilled), (5, 8, 0));
         assert!(unsafe { &*spill[0].get() }.is_empty());
+    }
+
+    /// Cross-shard staging + exchange replay reconstructs the exact slot
+    /// state a direct write would have produced, and stale staging from
+    /// an aborted round is fenced off by the epoch stamp.
+    #[test]
+    fn exchange_replay_matches_direct_writes_and_fences_stale_rounds() {
+        // Two shards of one node each (chunk 1); one directed edge slot
+        // owned by shard 1 (receiver node 1).
+        let mut lanes: ExchangeLanes<Bit8> = ExchangeLanes::empty();
+        lanes.ensure(2);
+        let cells = [fresh_slot::<Bit8>(), fresh_slot::<Bit8>()];
+        let spill = [PlaneCell::new(Vec::new()), PlaneCell::new(Vec::new())];
+        let plane = MailboxPlane {
+            rev: vec![1, 0],
+            slots: cells.into(),
+            spill: spill.into(),
+            bcast: vec![fresh_slot(), fresh_slot()],
+            bcast_spill: vec![PlaneCell::new(Vec::new()), PlaneCell::new(Vec::new())],
+        };
+        let dirty = DirtyBoard::new(2);
+        // Shard 0 (owning node 0) stages two sends and a dirt mark for
+        // node 1 in epoch 7, as SlotSink::write/mark would.
+        let route = ShardRoute {
+            lo: 0,
+            hi: 1,
+            chunk: 1,
+            row: lanes.row(0),
+        };
+        assert!(route.is_local(0) && !route.is_local(1));
+        route.stage(1, 1, 7, 0, Bit8);
+        route.stage(1, 1, 7, 2, Bit8);
+        route.stage_dirt(1, 7);
+        // Applying a *different* epoch must deliver nothing (the aborted
+        // -round fence)...
+        lanes.apply_into(1, &plane, &dirty, 8);
+        assert!(!dirty.is_dirty(1, 8));
+        assert_eq!(unsafe { &*plane.slots[1].get() }.stamp, u64::MAX);
+        // ...and restaging in epoch 9 clears the stale content in place.
+        route.stage(1, 1, 9, 5, Bit8);
+        lanes.apply_into(1, &plane, &dirty, 9);
+        assert!(dirty.is_dirty(1, 9));
+        let slot = unsafe { &*plane.slots[1].get() };
+        assert_eq!(
+            (slot.stamp, slot.bits, slot.seq, slot.spilled),
+            (9, 8, 5, 0)
+        );
+        assert!(unsafe { &*plane.spill[1].get() }.is_empty());
+        // A second apply of the same epoch is a no-op (cells drained).
+        lanes.apply_into(1, &plane, &dirty, 9);
+        let slot = unsafe { &*plane.slots[1].get() };
+        assert_eq!((slot.bits, slot.spilled), (8, 0));
     }
 }

@@ -29,7 +29,9 @@ use crate::error::SimError;
 use crate::fault::{apply_cap, route_receiver_faulty, Decision, FaultCounters, FaultState};
 use crate::message::Message;
 use crate::metrics::RunReport;
-use crate::plane::{prefetch_for_write, DirtyBoard, MailboxPlane, NeighborIndex, Sink, SlotSink};
+use crate::plane::{
+    prefetch_for_write, DirtyBoard, MailboxPlane, NeighborIndex, ShardRoute, Sink, SlotSink,
+};
 use crate::program::{Ctx, Program};
 use crate::{Bandwidth, SimConfig};
 use graphs::{Graph, NodeId};
@@ -412,6 +414,8 @@ fn sweep_step_range<P: Program>(
                 forgiving,
                 misrouted: 0,
                 err: &mut out.err,
+                // Legacy generations are unsharded: every write is local.
+                shard: ShardRoute::all_local(),
             }),
         };
         shard.programs[i].on_round(&mut ctx);

@@ -8,7 +8,9 @@
 //! reuse one session for every pass instead of paying a fresh `O(n + m)`
 //! plane build, scratch allocation, and thread spawn per pass;
 //! [`crate::run`] remains as a one-shot wrapper that builds a throwaway
-//! session.
+//! session. Shard geometry and the 2-barrier owner/ghost worker
+//! protocol are described below; results are byte-identical across
+//! shard counts, thread counts, and the preserved engine generations.
 //!
 //! # The active frontier
 //!
@@ -40,13 +42,42 @@
 //! stamps from earlier passes (or an aborted round) can never alias a
 //! later round's stamp.
 //!
-//! # The worker pool
+//! # Ownership shards and the owner/ghost round protocol
 //!
-//! With `threads > 1` (and ≥ [`PAR_MIN_NODES`] nodes) the session spawns
-//! its workers **once, at construction**, and parks them on a barrier
-//! between passes. Each pass posts a type-erased job — a [`WorkerTask`]
-//! trait object over that pass's program type — and runs the same
-//! 4-barrier-per-round protocol as before.
+//! The node range is split into contiguous **ownership shards** (chunk
+//! geometry from [`SimConfig::shards`], or derived from `threads` when
+//! unset). A shard owns its nodes' programs, RNGs, inboxes, frontier
+//! list, dirty stamps, and its receivers' targeted-slot range of the
+//! mailbox plane — a per-shard CSR sub-plane. During the step phase a
+//! shard writes **only** its own state: sends to receivers in other
+//! shards are staged into per-(sender, receiver) shard
+//! [`ExchangeLanes`] outboxes instead of the foreign sub-plane, and
+//! broadcast slots are written sender-side as always. Other shards'
+//! broadcast slots are the read-only **ghost state**: routing reads
+//! them (frozen at the exchange barrier) without mutation.
+//!
+//! With `workers > 1` the session spawns its workers **once, at
+//! construction**, and parks them on a pass barrier between passes.
+//! Each pass posts a type-erased job — a [`WorkerTask`] trait object
+//! over that pass's program type — and the workers run the whole pass
+//! coordinator-free with **two barriers per round** (down from the
+//! legacy engine's four, see [`crate::reference`]):
+//!
+//! * **Barrier A (exchange)** — after stepping its shards, a worker
+//!   publishes its lane flags and waits. Crossing A freezes every
+//!   shard's staged outboxes and broadcast slots.
+//! * **Barrier B (round end)** — each worker drains the exchange
+//!   outboxes addressed to its shards into its own sub-plane, routes
+//!   its receivers, publishes its retired/load counters, and waits.
+//!   Crossing B makes every counter of the round visible to every
+//!   worker, which then all compute the same continue/stop decision
+//!   locally — no coordinator aggregation step in between.
+//!
+//! Pass-level outcomes (round count, error selection, fault aborts) are
+//! derived from epoch-stamped shared flags and per-worker cells; the
+//! coordinator only assembles the final [`RunReport`] after the
+//! pass-end barrier. See [`Session::barrier_audit`] for the test-only
+//! waits-per-round accounting that pins the ≤2 budget.
 //!
 //! # Rebinding
 //!
@@ -56,24 +87,40 @@
 //! parked pool, and the epoch counter. [`Session::unbind`] recovers the
 //! core; [`SessionCore::bind`] retargets it at any other graph, reusing
 //! the allocations (growing only when the new graph is larger) and
-//! keeping the parked pool whenever the shard count still matches.
+//! keeping the parked pool whenever the worker count still matches.
 //! Because the epoch counter carries over and strictly increases, slot
 //! and dirty stamps written under one binding can never alias a round
 //! run under a later one — a rebound session is byte-identical in
 //! behaviour to a fresh one.
 //!
-//! ## SAFETY (sharded frontier and the job cell)
+//! ## SAFETY (shard-exclusive state and the job cell)
 //!
-//! * Worker `w` owns the node range `[w·chunk, (w+1)·chunk)`: its
+//! * Shard `s` owns the node range `[s·chunk, (s+1)·chunk)`: its
 //!   programs, RNGs, inboxes, active list, and filled list. These are
 //!   handed over as plain `&mut` shards inside a
-//!   per-worker `Mutex<Option<WorkerSlot>>` — locked exactly twice per
-//!   pass (take at pass start, put back at pass end), so there is no
-//!   unsafe aliasing of scheduler state at all.
-//! * The dirty board is shared: several step workers may stamp the same
-//!   receiver in one round. Stamps are relaxed atomic stores of the
-//!   *same* epoch value, and the phase barrier orders every stamp before
-//!   the routing loads.
+//!   per-shard `Mutex<Option<WorkerSlot>>` — locked exactly twice per
+//!   pass (taken by the worker running the shard at pass start, put
+//!   back at pass end), so there is no unsafe aliasing of scheduler
+//!   state at all. Worker `w` runs shards `w, w + workers, …` for the
+//!   whole pass; the assignment never changes mid-pass.
+//! * The dirty board and each shard's targeted-slot range are **fully
+//!   shard-exclusive per phase**: during the step phase only the
+//!   owning shard's worker writes them (cross-shard sends and marks go
+//!   through the exchange outboxes), and during routing only the owner
+//!   drains, reads, and resets them. Dirty stamps stay atomic because
+//!   a store and a later same-epoch load may still cross threads; the
+//!   barriers order every stamp before the routing loads.
+//! * Each exchange outbox cell `(from, to)` has exactly one writer (the
+//!   worker stepping shard `from`, before barrier A) and one reader
+//!   (the worker routing shard `to`, after barrier A); the barrier
+//!   orders the hand-off.
+//! * Per-worker `retired`/`round_max` counters are written between
+//!   barrier A and barrier B of a round and read between barrier B and
+//!   the next round's barrier A — globally ordered by the barriers, so
+//!   every worker reads every round-`r` value exactly as published.
+//!   The epoch-stamped lane/error flags are monotone `fetch_max`
+//!   stamps, so late readers can never mistake a stale round's flag
+//!   for the current one.
 //! * The job cell holds a raw `*const dyn WorkerTask` with its lifetime
 //!   erased. The coordinator writes it while all workers are parked at
 //!   the pass-release barrier and clears it after the pass-end barrier;
@@ -89,8 +136,11 @@ use crate::engine::{Bandwidth, SimConfig};
 use crate::error::SimError;
 use crate::fault::{route_receiver_faulty, FaultCounters, FaultState};
 use crate::message::Message;
-use crate::metrics::RunReport;
-use crate::plane::{prefetch_for_write, DirtyBoard, MailboxPlane, NeighborIndex, Sink, SlotSink};
+use crate::metrics::{LoadProfile, RunReport};
+use crate::plane::{
+    prefetch_for_write, DirtyBoard, ExchangeLanes, MailboxPlane, NeighborIndex, Outbox, PlaneCell,
+    ShardRoute, Sink, SlotSink,
+};
 use crate::program::{Ctx, Program};
 use graphs::{Graph, NodeId};
 use prand::mix::mix2;
@@ -157,12 +207,16 @@ struct WorkerSlot<'a, P: Program> {
 
 /// Step the shard's active frontier: run `on_round` with a slot sink
 /// over each active node's out-edges and compact the frontier in place
-/// (done/halted nodes drop out, order preserved).
+/// (done/halted nodes drop out, order preserved). Sends to receivers
+/// outside `[lo, lo + len)` are staged into `exchange_row` for their
+/// owners to replay at the exchange point.
 #[allow(clippy::too_many_arguments)]
 fn step_shard<P: Program>(
     graph: &Graph,
     plane: &MailboxPlane<P::Msg>,
     dirty: &DirtyBoard,
+    exchange_row: &[PlaneCell<Outbox<P::Msg>>],
+    chunk: u32,
     slot: &mut WorkerSlot<'_, P>,
     round: u64,
     epoch: u64,
@@ -170,17 +224,24 @@ fn step_shard<P: Program>(
     forgiving: bool,
 ) -> StepOut {
     let offsets = graph.offsets();
+    let adj = graph.adjacency();
     let mut out = StepOut::default();
     let lo = slot.lo;
+    let lo32 = lo as u32;
+    let hi32 = (lo + slot.programs.len()) as u32;
     let len = slot.active.len();
     // When the previous round used the targeted lane, overlap its
     // scatter misses with program compute: a node's write targets are
     // statically its rev_out entries, issued PREFETCH_AHEAD frontier
-    // positions early.
+    // positions early. Only slots this shard owns are prefetched —
+    // cross-shard sends never touch foreign slots (they are staged).
     const PREFETCH_AHEAD: usize = 2;
     let prefetch_node = |v: usize| {
-        for &e in &plane.rev[offsets[v]..offsets[v + 1]] {
-            prefetch_for_write(plane.slots[e as usize].get());
+        let win = offsets[v]..offsets[v + 1];
+        for (&to, &e) in adj[win.clone()].iter().zip(&plane.rev[win]) {
+            if lo32 <= to && to < hi32 {
+                prefetch_for_write(plane.slots[e as usize].get());
+            }
         }
     };
     if prefetch {
@@ -218,6 +279,12 @@ fn step_shard<P: Program>(
                 forgiving,
                 misrouted: 0,
                 err: &mut out.err,
+                shard: ShardRoute {
+                    lo: lo32,
+                    hi: hi32,
+                    chunk,
+                    row: exchange_row,
+                },
             }),
         };
         slot.programs[v - lo].on_round(&mut ctx);
@@ -418,9 +485,9 @@ fn route_shard<M: Message>(
 /// A type-erased pass the pool workers execute. `Sync` is load-bearing:
 /// workers share one `&dyn WorkerTask` across threads.
 trait WorkerTask: Sync {
-    /// Run worker `w`'s side of the whole pass (every round, with the
-    /// standard phase barriers), returning when the coordinator raises
-    /// `pass_exit`.
+    /// Run worker `w`'s side of the whole pass — every round of the
+    /// 2-barrier owner/ghost protocol — returning when the pass exits
+    /// (all workers compute the same exit locally).
     fn run_worker(&self, w: usize, shared: &PoolShared);
 }
 
@@ -439,28 +506,43 @@ unsafe impl Sync for JobCell {}
 unsafe impl Send for JobCell {}
 
 /// Coordinator ⇄ worker shared state, fixed for the session's lifetime.
+///
+/// The lane and error flags are **epoch-stamped** monotone counters
+/// rather than per-round booleans: "the targeted lane was used in the
+/// round of epoch `e`" is encoded as `targeted == e + 1` (stamps only
+/// grow via `fetch_max`, `0` = never). Because the session epoch
+/// counter never reuses a value, a stale stamp can never be mistaken
+/// for the current round's, so the flags never need resetting between
+/// rounds, passes, or rebinds — which is what lets the round protocol
+/// run with two barriers and no coordinator turn-around.
 struct PoolShared {
-    /// Phase barrier over `shards + 1` parties (workers + coordinator).
-    barrier: Barrier,
-    /// Pass-local round number of the current round.
-    round: AtomicU64,
-    /// Session-global epoch of the current round.
-    epoch: AtomicU64,
-    /// Whether step workers should prefetch targeted out-slots (the
-    /// previous round used the targeted lane).
-    prefetch: AtomicBool,
-    /// Lanes the just-finished step phase wrote (drives routing).
-    targeted: AtomicBool,
-    bcast: AtomicBool,
-    /// Raised by the coordinator to end the current pass.
-    pass_exit: AtomicBool,
+    /// Pass barrier over `workers + 1` parties (workers + coordinator):
+    /// crossed twice per pass (release, end) and once at pool exit.
+    pass_barrier: Barrier,
+    /// Round barrier over the workers only — the exchange barrier (A)
+    /// and the round-end barrier (B). The only per-round waits.
+    round_barrier: Barrier,
     /// Raised on drop to terminate the worker threads.
     pool_exit: AtomicBool,
     /// The current pass's type-erased job.
     job: JobCell,
-    /// Per-worker phase results.
-    step_out: Vec<Mutex<StepOut>>,
-    route_out: Vec<Mutex<RouteStats>>,
+    /// Epochs the current pass consumed (worker 0 publishes per round;
+    /// the coordinator folds it into the session counter at pass end).
+    epochs_used: AtomicU64,
+    /// Epoch-stamped lane flags (see struct docs).
+    targeted: AtomicU64,
+    bcast: AtomicU64,
+    /// Epoch-stamped error flags: a step (route) error occurred in the
+    /// round of epoch `e` iff the stamp equals `e + 1`.
+    step_err: AtomicU64,
+    route_err: AtomicU64,
+    /// Per-worker cumulative retired counts for the current pass,
+    /// written in the route window of each round (between barriers A
+    /// and B) and read by every worker after barrier B.
+    retired: Vec<AtomicU64>,
+    /// Per-worker max edge load of the current round (same windows;
+    /// read by worker 0 only, for the load profile).
+    round_max: Vec<AtomicU64>,
 }
 
 /// The persistent worker pool: threads parked between passes.
@@ -470,21 +552,21 @@ struct Pool {
 }
 
 impl Pool {
-    fn spawn(shards: usize) -> Self {
+    fn spawn(workers: usize) -> Self {
         let shared = Arc::new(PoolShared {
-            barrier: Barrier::new(shards + 1),
-            round: AtomicU64::new(0),
-            epoch: AtomicU64::new(0),
-            prefetch: AtomicBool::new(false),
-            targeted: AtomicBool::new(false),
-            bcast: AtomicBool::new(false),
-            pass_exit: AtomicBool::new(false),
+            pass_barrier: Barrier::new(workers + 1),
+            round_barrier: Barrier::new(workers),
             pool_exit: AtomicBool::new(false),
             job: JobCell(UnsafeCell::new(None)),
-            step_out: (0..shards).map(|_| Mutex::default()).collect(),
-            route_out: (0..shards).map(|_| Mutex::default()).collect(),
+            epochs_used: AtomicU64::new(0),
+            targeted: AtomicU64::new(0),
+            bcast: AtomicU64::new(0),
+            step_err: AtomicU64::new(0),
+            route_err: AtomicU64::new(0),
+            retired: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            round_max: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         });
-        let handles = (0..shards)
+        let handles = (0..workers)
             .map(|w| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
@@ -500,7 +582,7 @@ impl Pool {
 impl Drop for Pool {
     fn drop(&mut self) {
         self.shared.pool_exit.store(true, Ordering::Release);
-        self.shared.barrier.wait();
+        self.shared.pass_barrier.wait();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
@@ -511,7 +593,7 @@ impl Drop for Pool {
 /// posted, run it, sync the pass-end barrier, repeat.
 fn worker_main(w: usize, shared: &PoolShared) {
     loop {
-        shared.barrier.wait(); // pass posted (or pool exit)
+        shared.pass_barrier.wait(); // pass posted (or pool exit)
         if shared.pool_exit.load(Ordering::Acquire) {
             break;
         }
@@ -520,76 +602,246 @@ fn worker_main(w: usize, shared: &PoolShared) {
         // below; between the two the pointee is valid and Sync.
         let task = unsafe { &*(*shared.job.0.get()).expect("job posted before release") };
         task.run_worker(w, shared);
-        shared.barrier.wait(); // pass-end: coordinator reclaims the task
+        shared.pass_barrier.wait(); // pass-end: coordinator reclaims the task
     }
 }
 
-/// One pass's job: the borrowed engine state plus per-worker slots.
+/// How a pass exited. Every worker computes the same exit from shared
+/// per-round state; the coordinator reassembles the result from it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+enum ExitKind {
+    /// Frontier empty — the pass completed.
+    #[default]
+    Done,
+    /// Round cap hit (`completed = false`).
+    Cap,
+    /// Modeled crash before the round's step phase.
+    Fault(u64),
+    /// A step-phase error (selection: minimum erroring shard).
+    StepErr,
+    /// A routing-phase error (same selection).
+    RouteErr,
+}
+
+/// What worker 0 publishes about the pass at exit.
+#[derive(Default)]
+struct PassOutcome {
+    kind: ExitKind,
+    /// Rounds fully or partially executed (the exit round for errors).
+    rounds: u64,
+    /// Round-barrier waits worker 0 performed — 2 per clean round.
+    waits: u64,
+    /// Per-round max edge loads (recorded by worker 0 only).
+    profile: LoadProfile,
+}
+
+/// One worker's pass-lifetime accumulators, published at pass end.
+/// Sums and fault counters are commutative, so per-worker grouping
+/// merges to the same totals as the legacy per-round aggregation.
+#[derive(Default)]
+struct PassAccum {
+    bits: u64,
+    messages: u64,
+    faults: FaultCounters,
+}
+
+/// One pass's job: the borrowed engine state plus per-shard slots.
 struct PassTask<'a, P: Program> {
     graph: &'a Graph,
     plane: &'a MailboxPlane<P::Msg>,
     dirty: &'a DirtyBoard,
+    exchange: &'a ExchangeLanes<P::Msg>,
     bandwidth: Bandwidth,
     /// The run's fault-injection state, if a plan is active. Shared by
     /// the workers under the same receiver-range exclusivity as the
     /// plane's slot arrays.
     fault: Option<&'a FaultState<P::Msg>>,
-    /// Taken by worker `w` at pass start, returned at pass end.
+    /// Shard geometry of this binding.
+    chunk: usize,
+    workers: usize,
+    n: usize,
+    max_rounds: u64,
+    /// First epoch of the pass: round `r` runs at `epoch0 + r`.
+    epoch0: u64,
+    /// Nodes outside the frontier at pass start.
+    init_halted: usize,
+    /// Taken (strided) by the workers at pass start, returned at end.
     slots: Vec<Mutex<Option<WorkerSlot<'a, P>>>>,
+    /// Per-worker: first error found, with its shard id (ascending
+    /// strided iteration makes it the worker's minimum).
+    err_out: Vec<Mutex<Option<(u32, SimError)>>>,
+    /// Per-worker pass accumulators.
+    acc_out: Vec<Mutex<PassAccum>>,
+    /// Written once, by worker 0, at pass exit.
+    outcome: Mutex<PassOutcome>,
 }
 
 impl<P: Program> WorkerTask for PassTask<'_, P> {
     fn run_worker(&self, w: usize, shared: &PoolShared) {
-        let mut slot = self.slots[w]
-            .lock()
-            .expect("worker slot poisoned")
-            .take()
-            .expect("worker slot present");
-        loop {
-            shared.barrier.wait(); // coordinator released the step phase
-            if shared.pass_exit.load(Ordering::Acquire) {
-                break;
+        // Worker w owns shards w, w + workers, … for the whole pass.
+        let mut my: Vec<(usize, WorkerSlot<'_, P>)> = (w..self.slots.len())
+            .step_by(self.workers)
+            .map(|s| {
+                let slot = self.slots[s]
+                    .lock()
+                    .expect("worker slot poisoned")
+                    .take()
+                    .expect("worker slot present");
+                (s, slot)
+            })
+            .collect();
+        let mut acc = PassAccum::default();
+        let mut err: Option<(u32, SimError)> = None;
+        let mut profile = LoadProfile::default();
+        let mut waits = 0u64;
+        let mut my_retired = 0u64;
+        let mut halted = self.init_halted;
+        let mut round = 0u64;
+        let kind = loop {
+            // Exit checks from state every worker computes identically.
+            if halted == self.n {
+                break ExitKind::Done;
             }
-            let round = shared.round.load(Ordering::Acquire);
-            let epoch = shared.epoch.load(Ordering::Acquire);
-            let prefetch = shared.prefetch.load(Ordering::Acquire);
-            let out = step_shard(
-                self.graph,
-                self.plane,
-                self.dirty,
-                &mut slot,
-                round,
-                epoch,
-                prefetch,
-                self.fault.is_some(),
-            );
-            *shared.step_out[w].lock().expect("step slot poisoned") = out;
-            shared.barrier.wait(); // step results visible to coordinator
-            shared.barrier.wait(); // coordinator released the routing phase
-            if shared.pass_exit.load(Ordering::Acquire) {
-                break;
+            if round >= self.max_rounds {
+                break ExitKind::Cap;
+            }
+            if let Some(f) = self.fault {
+                // Same abort placement as the sequential loop: before
+                // the step phase; the aborted round consumes no epoch.
+                if f.abort_round(round) {
+                    break ExitKind::Fault(round);
+                }
+            }
+            let epoch = self.epoch0 + round;
+            if w == 0 {
+                shared.epochs_used.store(round + 1, Ordering::Release);
+            }
+            // Prefetch iff the previous round used the targeted lane:
+            // the stamp of that round is exactly `epoch`. (At a pass's
+            // round 0 a retained stamp from the previous pass's last
+            // round reads the same way — prefetch is a pure hint, so
+            // this cross-pass carry-over cannot affect transcripts.)
+            let prefetch = shared.targeted.load(Ordering::Acquire) == epoch;
+            let mut lanes = Lanes::default();
+            for (s, slot) in &mut my {
+                let out = step_shard(
+                    self.graph,
+                    self.plane,
+                    self.dirty,
+                    self.exchange.row(*s),
+                    self.chunk as u32,
+                    slot,
+                    round,
+                    epoch,
+                    prefetch,
+                    self.fault.is_some(),
+                );
+                my_retired += out.retired as u64;
+                acc.faults.misrouted += out.misrouted;
+                lanes.targeted |= out.lanes.targeted;
+                lanes.bcast |= out.lanes.bcast;
+                if let Some(e) = out.err {
+                    if err.is_none() {
+                        err = Some((*s as u32, e));
+                    }
+                }
+            }
+            if lanes.targeted {
+                shared.targeted.fetch_max(epoch + 1, Ordering::AcqRel);
+            }
+            if lanes.bcast {
+                shared.bcast.fetch_max(epoch + 1, Ordering::AcqRel);
+            }
+            if err.is_some() {
+                shared.step_err.fetch_max(epoch + 1, Ordering::AcqRel);
+            }
+            waits += 1;
+            shared.round_barrier.wait(); // barrier A: exchange
+            if shared.step_err.load(Ordering::Acquire) == epoch + 1 {
+                // Abort before routing, like the legacy engines; the
+                // staged outboxes stay fenced off by their stamps.
+                break ExitKind::StepErr;
             }
             let lanes = Lanes {
-                targeted: shared.targeted.load(Ordering::Acquire),
-                bcast: shared.bcast.load(Ordering::Acquire),
+                targeted: shared.targeted.load(Ordering::Acquire) == epoch + 1,
+                bcast: shared.bcast.load(Ordering::Acquire) == epoch + 1,
             };
-            let stats = route_shard(
-                self.graph,
-                self.plane,
-                self.dirty,
-                self.fault,
-                &mut *slot.inboxes,
-                &mut *slot.filled,
-                slot.lo,
-                round,
-                epoch,
-                self.bandwidth,
-                lanes,
-            );
-            *shared.route_out[w].lock().expect("route slot poisoned") = stats;
-            shared.barrier.wait(); // route results visible to coordinator
+            let mut round_max = 0u64;
+            let mut route_errored = false;
+            for (s, slot) in &mut my {
+                self.exchange.apply_into(*s, self.plane, self.dirty, epoch);
+                let stats = route_shard(
+                    self.graph,
+                    self.plane,
+                    self.dirty,
+                    self.fault,
+                    &mut *slot.inboxes,
+                    &mut *slot.filled,
+                    slot.lo,
+                    round,
+                    epoch,
+                    self.bandwidth,
+                    lanes,
+                );
+                round_max = round_max.max(stats.max);
+                acc.bits += stats.bits;
+                acc.messages += stats.messages;
+                acc.faults.merge(&stats.faults);
+                if let Some(e) = stats.err {
+                    if err.is_none() {
+                        err = Some((*s as u32, e));
+                    }
+                    route_errored = true;
+                }
+            }
+            if route_errored {
+                shared.route_err.fetch_max(epoch + 1, Ordering::AcqRel);
+            }
+            shared.retired[w].store(my_retired, Ordering::Release);
+            shared.round_max[w].store(round_max, Ordering::Release);
+            waits += 1;
+            shared.round_barrier.wait(); // barrier B: round end
+            if shared.route_err.load(Ordering::Acquire) == epoch + 1 {
+                break ExitKind::RouteErr;
+            }
+            // Read window (B, next A): every worker derives the same
+            // halted count; worker 0 also folds the round's edge load.
+            halted = self.init_halted
+                + shared
+                    .retired
+                    .iter()
+                    .map(|a| a.load(Ordering::Acquire) as usize)
+                    .sum::<usize>();
+            if w == 0 {
+                let gmax = shared
+                    .round_max
+                    .iter()
+                    .map(|a| a.load(Ordering::Acquire))
+                    .max()
+                    .unwrap_or(0);
+                profile.record(gmax);
+            }
+            round += 1;
+        };
+        *self.err_out[w].lock().expect("error slot poisoned") = err;
+        *self.acc_out[w].lock().expect("accum slot poisoned") = acc;
+        if w == 0 {
+            // A step/route error exits from inside its round: count it,
+            // matching the sequential loop's accounting.
+            let rounds = match kind {
+                ExitKind::StepErr | ExitKind::RouteErr => round + 1,
+                _ => round,
+            };
+            *self.outcome.lock().expect("outcome poisoned") = PassOutcome {
+                kind,
+                rounds,
+                waits,
+                profile,
+            };
         }
-        *self.slots[w].lock().expect("worker slot poisoned") = Some(slot);
+        for (s, slot) in my {
+            *self.slots[s].lock().expect("worker slot poisoned") = Some(slot);
+        }
     }
 }
 
@@ -611,8 +863,8 @@ impl<P: Program> WorkerTask for PassTask<'_, P> {
 /// lane arrays are resized (capacity reused, growing only when the new
 /// graph is larger), the reverse-CSR permutation is rebuilt, and the
 /// worker pool is kept parked whenever the new binding needs the same
-/// shard count (it is respawned only when the shard count changes, and
-/// retained across single-shard bindings). The **epoch counter carries
+/// worker count (it is respawned only when the worker count changes, and
+/// retained across sequential bindings). The **epoch counter carries
 /// over**: it never resets, so slot stamps and dirty-board stamps written
 /// under a previous binding can never alias a round of a later one —
 /// stale payloads from the old graph are unreachable by construction.
@@ -622,6 +874,7 @@ impl<P: Program> WorkerTask for PassTask<'_, P> {
 pub struct SessionCore<M: Message> {
     plane: MailboxPlane<M>,
     dirty: DirtyBoard,
+    exchange: ExchangeLanes<M>,
     rngs: Vec<StdRng>,
     inboxes: Vec<Vec<(NodeId, M)>>,
     active: Vec<Vec<u32>>,
@@ -651,6 +904,7 @@ impl<M: Message> SessionCore<M> {
         SessionCore {
             plane: MailboxPlane::empty(),
             dirty: DirtyBoard::new(0),
+            exchange: ExchangeLanes::empty(),
             rngs: Vec::new(),
             inboxes: Vec::new(),
             active: Vec::new(),
@@ -708,19 +962,35 @@ impl<M: Message> SessionCore<M> {
         self.finish_bind(graph, config)
     }
 
-    /// The binding steps shared by both entry points: resize the
-    /// graph-sized and shard-sized storage, and reconcile the worker
-    /// pool with the new shard count.
+    /// The binding steps shared by both entry points: derive the shard
+    /// and worker geometry, resize the graph-sized and shard-sized
+    /// storage, and reconcile the worker pool with the worker count.
     fn finish_bind(mut self, graph: &Graph, config: SimConfig) -> Session<'_, M> {
         let n = graph.n();
-        let workers = if config.threads <= 1 || n < PAR_MIN_NODES {
+        // Ownership-shard count: an explicit `config.shards` is honored
+        // as requested (clamped to n); `0` derives it from `threads`
+        // with the pre-sharding auto heuristic, so default configs keep
+        // the seed geometry exactly.
+        let auto_parallel = config.threads > 1 && n >= PAR_MIN_NODES;
+        let shard_request = if config.shards > 0 {
+            config.shards
+        } else if auto_parallel {
+            config.threads
+        } else {
+            1
+        };
+        let chunk = n.div_ceil(shard_request).max(1);
+        let shards = n.div_ceil(chunk).max(1);
+        // Worker threads: never more than the shards they execute
+        // (strided); `threads == 1` always stays on the sequential
+        // path, whatever the shard count.
+        let workers = if config.threads <= 1 {
             1
         } else {
-            config.threads
+            config.threads.min(shards)
         };
-        let chunk = n.div_ceil(workers).max(1);
-        let shards = n.div_ceil(chunk).max(1);
         self.dirty.grow(n);
+        self.exchange.ensure(shards);
         self.inboxes.resize_with(n, Vec::new);
         self.rngs.truncate(n); // grown lazily by the per-pass reseed
         self.active.resize_with(shards, Vec::new);
@@ -729,12 +999,12 @@ impl<M: Message> SessionCore<M> {
         for lookup in &mut self.lookups {
             lookup.grow(n);
         }
-        // Keep a parked pool whenever its shard count still fits (in
-        // particular across single-shard bindings, where the sequential
+        // Keep a parked pool whenever its worker count still fits (in
+        // particular across sequential bindings, where the sequential
         // path simply ignores it); respawn only on a genuine mismatch.
-        let pool_shards = self.pool.as_ref().map_or(0, |p| p.handles.len());
-        if shards > 1 && pool_shards != shards {
-            self.pool = Some(Pool::spawn(shards));
+        let pool_workers = self.pool.as_ref().map_or(0, |p| p.handles.len());
+        if workers > 1 && pool_workers != workers {
+            self.pool = Some(Pool::spawn(workers));
         }
         self.bound_n = n;
         self.bound_m = graph.adjacency().len();
@@ -743,9 +1013,28 @@ impl<M: Message> SessionCore<M> {
             config,
             chunk,
             shards,
+            workers,
+            audit: BarrierAudit::default(),
             core: self,
         }
     }
+}
+
+/// Synchronization diagnostics of a session's most recent pass — the
+/// regression hook behind the barrier-budget guarantee.
+///
+/// The owner/ghost worker protocol spends exactly **2 round-barrier
+/// waits per full round** (the exchange barrier and the round-end
+/// barrier); the legacy pooled generations spend 4 per round (see the
+/// scoped pool in [`crate::reference`]). The sequential path spends 0.
+/// Waits are counted by worker 0; an error round can end after a single
+/// wait (a step error aborts before routing).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BarrierAudit {
+    /// Rounds the pass executed (error rounds included).
+    pub rounds: u64,
+    /// Round-barrier waits performed by worker 0 during the pass.
+    pub round_waits: u64,
 }
 
 /// A persistent engine session: plane, RNGs, inboxes, scratch, worker
@@ -797,9 +1086,14 @@ pub struct Session<'g, M: Message> {
     graph: &'g Graph,
     config: SimConfig,
     chunk: usize,
-    /// Shard count of *this binding* (the parked pool may be larger when
-    /// it was retained across a smaller, single-shard binding).
+    /// Ownership-shard count of *this binding*.
     shards: usize,
+    /// Worker threads of *this binding* (≤ `shards`; 1 = sequential —
+    /// the parked pool, if any, may differ when it was retained across
+    /// a sequential binding).
+    workers: usize,
+    /// Synchronization diagnostics of the most recent pass.
+    audit: BarrierAudit,
     core: SessionCore<M>,
 }
 
@@ -819,6 +1113,24 @@ impl<'g, M: Message> Session<'g, M> {
     /// The engine configuration the session was built with.
     pub fn config(&self) -> SimConfig {
         self.config
+    }
+
+    /// Synchronization diagnostics of the most recent pass (all zeros
+    /// before the first run). See [`BarrierAudit`]: the owner/ghost
+    /// protocol pins `round_waits` to `2 × rounds` on a clean pooled
+    /// pass and `0` on the sequential path.
+    pub fn barrier_audit(&self) -> BarrierAudit {
+        self.audit
+    }
+
+    /// Ownership-shard count of this binding (see [`SimConfig::shards`]).
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// Worker threads executing this binding's shards (1 = sequential).
+    pub fn worker_count(&self) -> usize {
+        self.workers
     }
 
     /// Release the graph binding, recovering the reusable
@@ -934,33 +1246,40 @@ impl<'g, M: Message> Session<'g, M> {
             .fault
             .is_active()
             .then(|| FaultState::new(self.config.fault, seed, self.graph));
-        let mut result = if self.shards > 1 {
+        let mut result = if self.workers > 1 {
             let pool = self
                 .core
                 .pool
                 .as_ref()
-                .expect("multi-shard binding has a pool");
+                .expect("multi-worker binding has a pool");
             run_rounds_pooled(
                 self.graph,
                 &self.core.plane,
                 &self.core.dirty,
+                &self.core.exchange,
                 self.config,
                 fault.as_ref(),
                 &pool.shared,
                 slots,
+                self.chunk,
+                self.workers,
                 &mut self.core.epoch,
                 halted_count,
+                &mut self.audit,
             )
         } else {
             run_rounds_sequential(
                 self.graph,
                 &self.core.plane,
                 &self.core.dirty,
+                &self.core.exchange,
                 self.config,
                 fault.as_ref(),
                 slots,
+                self.chunk,
                 &mut self.core.epoch,
                 halted_count,
+                &mut self.audit,
             )
         };
         if let (Ok(report), Some(f)) = (&mut result, &fault) {
@@ -1006,17 +1325,23 @@ fn make_slots<'a, P: Program>(
     slots
 }
 
-/// The single-threaded round loop: no barriers, one scratch.
+/// The single-threaded round loop: no barriers, one scratch. Multi-shard
+/// bindings run here too when `workers == 1` — step every shard (staging
+/// cross-shard sends), then per shard replay the inbound exchange cells
+/// and route; byte-identical to the pooled protocol by construction.
 #[allow(clippy::too_many_arguments)]
 fn run_rounds_sequential<P: Program>(
     graph: &Graph,
     plane: &MailboxPlane<P::Msg>,
     dirty: &DirtyBoard,
+    exchange: &ExchangeLanes<P::Msg>,
     config: SimConfig,
     fault: Option<&FaultState<P::Msg>>,
     mut slots: Vec<WorkerSlot<'_, P>>,
+    chunk: usize,
     epoch_counter: &mut u64,
     mut halted_count: usize,
+    audit: &mut BarrierAudit,
 ) -> Result<RunReport, SimError> {
     let n = graph.n();
     let mut report = RunReport {
@@ -1025,7 +1350,9 @@ fn run_rounds_sequential<P: Program>(
     };
     let mut round = 0u64;
     let mut prefetch = false;
+    *audit = BarrierAudit::default();
     loop {
+        audit.rounds = round;
         if halted_count == n {
             break;
         }
@@ -1044,13 +1371,16 @@ fn run_rounds_sequential<P: Program>(
         // aliased by a later one.
         let epoch = *epoch_counter;
         *epoch_counter += 1;
+        audit.rounds = round + 1;
         let mut lanes = Lanes::default();
         let mut err = None;
-        for slot in &mut slots {
+        for (s, slot) in slots.iter_mut().enumerate() {
             let out = step_shard(
                 graph,
                 plane,
                 dirty,
+                exchange.row(s),
+                chunk as u32,
                 slot,
                 round,
                 epoch,
@@ -1070,8 +1400,9 @@ fn run_rounds_sequential<P: Program>(
         }
         prefetch = lanes.targeted;
         let mut stats = RouteStats::default();
-        for slot in &mut slots {
-            let s = route_shard(
+        for (s, slot) in slots.iter_mut().enumerate() {
+            exchange.apply_into(s, plane, dirty, epoch);
+            let st = route_shard(
                 graph,
                 plane,
                 dirty,
@@ -1084,12 +1415,12 @@ fn run_rounds_sequential<P: Program>(
                 config.bandwidth,
                 lanes,
             );
-            stats.max = stats.max.max(s.max);
-            stats.bits += s.bits;
-            stats.messages += s.messages;
-            stats.faults.merge(&s.faults);
+            stats.max = stats.max.max(st.max);
+            stats.bits += st.bits;
+            stats.messages += st.messages;
+            stats.faults.merge(&st.faults);
             if stats.err.is_none() {
-                stats.err = s.err;
+                stats.err = st.err;
             }
         }
         if let Some(e) = stats.err {
@@ -1106,123 +1437,103 @@ fn run_rounds_sequential<P: Program>(
 }
 
 /// The pooled round loop: post the pass to the parked workers, then
-/// coordinate the 4-barrier-per-round protocol exactly as the scoped
-/// engine did. Determinism: per-node work is independent of sharding,
-/// counters merge with commutative ops, and first-error selection scans
-/// workers in ascending chunk order.
+/// park until they finish. The workers run the whole 2-barrier
+/// owner/ghost protocol among themselves ([`PassTask::run_worker`]);
+/// the coordinator only reassembles the result afterwards. Determinism:
+/// per-node work is independent of sharding, counters merge with
+/// commutative ops, and first-error selection takes the minimum
+/// erroring shard id — ascending node order, like every legacy engine.
 #[allow(clippy::too_many_arguments)]
 fn run_rounds_pooled<P: Program>(
     graph: &Graph,
     plane: &MailboxPlane<P::Msg>,
     dirty: &DirtyBoard,
+    exchange: &ExchangeLanes<P::Msg>,
     config: SimConfig,
     fault: Option<&FaultState<P::Msg>>,
     shared: &PoolShared,
     slots: Vec<WorkerSlot<'_, P>>,
+    chunk: usize,
+    workers: usize,
     epoch_counter: &mut u64,
-    mut halted_count: usize,
+    halted_count: usize,
+    audit: &mut BarrierAudit,
 ) -> Result<RunReport, SimError> {
-    let n = graph.n();
     let task = PassTask {
         graph,
         plane,
         dirty,
+        exchange,
         bandwidth: config.bandwidth,
         fault,
+        chunk,
+        workers,
+        n: graph.n(),
+        max_rounds: config.max_rounds,
+        epoch0: *epoch_counter,
+        init_halted: halted_count,
         slots: slots.into_iter().map(|s| Mutex::new(Some(s))).collect(),
+        err_out: (0..workers).map(|_| Mutex::new(None)).collect(),
+        acc_out: (0..workers)
+            .map(|_| Mutex::new(PassAccum::default()))
+            .collect(),
+        outcome: Mutex::new(PassOutcome::default()),
     };
     let raw: *const (dyn WorkerTask + '_) = &task;
     // SAFETY: lifetime erasure only — the pointer is dereferenced solely
     // between the pass-release and pass-end barriers, both inside this
     // call, while `task` is alive on this stack frame (module docs).
     let raw: *const (dyn WorkerTask + 'static) = unsafe { std::mem::transmute(raw) };
-    shared.prefetch.store(false, Ordering::Release);
-    shared.pass_exit.store(false, Ordering::Release);
+    // A pass that exits before its first round (empty frontier, zero
+    // round cap, round-0 abort) consumes no epochs.
+    shared.epochs_used.store(0, Ordering::Release);
     // SAFETY: all workers are parked at the pass-release barrier; no one
     // reads the cell until the wait below.
     unsafe {
         *shared.job.0.get() = Some(raw);
     }
-    shared.barrier.wait(); // pass release — workers enter their round loop
-
-    let finish = |result: Result<RunReport, SimError>| {
-        shared.pass_exit.store(true, Ordering::Release);
-        shared.barrier.wait(); // wakes workers at whichever phase-release barrier
-        shared.barrier.wait(); // pass-end: workers returned their slots
-                               // SAFETY: every worker is parked again; the task borrow is dead.
-        unsafe {
-            *shared.job.0.get() = None;
-        }
-        result
+    shared.pass_barrier.wait(); // pass release — workers run the whole pass
+    shared.pass_barrier.wait(); // pass end — workers returned their slots
+                                // SAFETY: every worker is parked again; the task borrow is dead.
+    unsafe {
+        *shared.job.0.get() = None;
+    }
+    *epoch_counter += shared.epochs_used.load(Ordering::Acquire);
+    let outcome = std::mem::take(&mut *task.outcome.lock().expect("outcome poisoned"));
+    *audit = BarrierAudit {
+        rounds: outcome.rounds,
+        round_waits: outcome.waits,
     };
-
-    let mut report = RunReport {
-        completed: true,
-        ..Default::default()
-    };
-    let mut round = 0u64;
-    loop {
-        if halted_count == n {
-            report.rounds = round;
-            return finish(Ok(report));
-        }
-        if round >= config.max_rounds {
-            report.completed = false;
-            report.rounds = round;
-            return finish(Ok(report));
-        }
-        // Same abort placement as the sequential loop: before the step
-        // phase, coordinator-side, thread-count independent.
-        if let Some(f) = fault {
-            if f.abort_round(round) {
-                return finish(Err(SimError::FaultInjected { round }));
+    match outcome.kind {
+        ExitKind::Done | ExitKind::Cap => {
+            let mut report = RunReport {
+                completed: outcome.kind == ExitKind::Done,
+                rounds: outcome.rounds,
+                edge_load: outcome.profile,
+                ..Default::default()
+            };
+            for cell in &task.acc_out {
+                let acc = std::mem::take(&mut *cell.lock().expect("accum slot poisoned"));
+                report.total_bits += acc.bits;
+                report.messages += acc.messages;
+                report.faults.merge(&acc.faults);
             }
+            Ok(report)
         }
-        let epoch = *epoch_counter;
-        *epoch_counter += 1;
-        shared.round.store(round, Ordering::Release);
-        shared.epoch.store(epoch, Ordering::Release);
-        shared.barrier.wait(); // release step
-        shared.barrier.wait(); // step done
-        let mut err = None;
-        let mut lanes = Lanes::default();
-        for slot in &shared.step_out {
-            let out = std::mem::take(&mut *slot.lock().expect("step slot poisoned"));
-            halted_count += out.retired;
-            if err.is_none() {
-                err = out.err;
+        ExitKind::Fault(round) => Err(SimError::FaultInjected { round }),
+        ExitKind::StepErr | ExitKind::RouteErr => {
+            let mut first: Option<(u32, SimError)> = None;
+            for cell in &task.err_out {
+                let found = std::mem::take(&mut *cell.lock().expect("error slot poisoned"));
+                if let Some((shard, e)) = found {
+                    if first.as_ref().is_none_or(|(s, _)| shard < *s) {
+                        first = Some((shard, e));
+                    }
+                }
             }
-            lanes.targeted |= out.lanes.targeted;
-            lanes.bcast |= out.lanes.bcast;
-            report.faults.misrouted += out.misrouted;
+            let (_, e) = first.expect("an erroring pass records at least one error");
+            Err(e)
         }
-        if let Some(e) = err {
-            return finish(Err(e));
-        }
-        shared.targeted.store(lanes.targeted, Ordering::Release);
-        shared.bcast.store(lanes.bcast, Ordering::Release);
-        shared.prefetch.store(lanes.targeted, Ordering::Release);
-        shared.barrier.wait(); // release route
-        shared.barrier.wait(); // route done
-        let mut stats = RouteStats::default();
-        for slot in &shared.route_out {
-            let s = std::mem::take(&mut *slot.lock().expect("route slot poisoned"));
-            stats.max = stats.max.max(s.max);
-            stats.bits += s.bits;
-            stats.messages += s.messages;
-            stats.faults.merge(&s.faults);
-            if stats.err.is_none() {
-                stats.err = s.err;
-            }
-        }
-        if let Some(e) = stats.err {
-            return finish(Err(e));
-        }
-        report.total_bits += stats.bits;
-        report.messages += stats.messages;
-        report.faults.merge(&stats.faults);
-        report.edge_load.record(stats.max);
-        round += 1;
     }
 }
 
@@ -1572,5 +1883,185 @@ mod tests {
         let report = session.run(&mut quiet, 2).expect("clean run");
         assert!(report.completed);
         assert_eq!(report.messages, 0);
+    }
+
+    /// Satellite: the barrier-budget regression guard. The owner/ghost
+    /// worker protocol spends exactly 2 round-barrier waits per round on
+    /// a clean pooled pass — strictly under the legacy engines' 4 — and
+    /// the sequential path spends none.
+    #[test]
+    fn barrier_budget_is_at_most_two_waits_per_round() {
+        let g = gen::gnp(400, 0.02, 31);
+        for (threads, shards) in [(4usize, 0usize), (2, 8), (8, 4)] {
+            let cfg = SimConfig {
+                threads,
+                shards,
+                ..SimConfig::default()
+            };
+            let mut session: Session<'_, crate::engine::tests::IdMsg> = Session::new(&g, cfg);
+            assert!(session.worker_count() > 1, "pooled geometry expected");
+            let mut programs = min_flood_programs(400);
+            let report = session.run(&mut programs, 41).expect("pooled pass");
+            let audit = session.barrier_audit();
+            assert_eq!(audit.rounds, report.rounds, "audit round count");
+            assert!(audit.rounds > 0, "the pass must do work");
+            assert_eq!(
+                audit.round_waits,
+                2 * audit.rounds,
+                "threads {threads} shards {shards}: 2 waits per round"
+            );
+            assert!(
+                audit.round_waits <= 2 * audit.rounds && audit.round_waits < 4 * audit.rounds,
+                "budget regression: {} waits over {} rounds",
+                audit.round_waits,
+                audit.rounds
+            );
+        }
+        // The sequential path never touches a barrier, whatever the
+        // shard count.
+        let cfg = SimConfig {
+            threads: 1,
+            shards: 8,
+            ..SimConfig::default()
+        };
+        let mut session: Session<'_, crate::engine::tests::IdMsg> = Session::new(&g, cfg);
+        assert_eq!(session.worker_count(), 1);
+        assert_eq!(session.shard_count(), 8);
+        let mut programs = min_flood_programs(400);
+        let report = session.run(&mut programs, 41).expect("sequential pass");
+        let audit = session.barrier_audit();
+        assert_eq!(audit.rounds, report.rounds);
+        assert_eq!(audit.round_waits, 0, "sequential pass uses no barriers");
+    }
+
+    /// Shard geometry: explicit `config.shards` is honored (even on
+    /// graphs below the auto-parallel threshold), `0` reproduces the
+    /// pre-sharding seed geometry, and workers never exceed shards.
+    #[test]
+    fn shard_geometry_honors_explicit_requests_and_keeps_seed_default() {
+        let small = gen::cycle(10);
+        let big = gen::gnp(400, 0.02, 5);
+        // Explicit shards on a small graph: honored, clamped to n.
+        let cfg = SimConfig {
+            threads: 1,
+            shards: 4,
+            ..SimConfig::default()
+        };
+        let s: Session<'_, ()> = Session::new(&small, cfg);
+        assert_eq!(s.shard_count(), 4);
+        assert_eq!(s.worker_count(), 1);
+        // More shards than nodes: one node per shard, no more.
+        let cfg = SimConfig {
+            threads: 2,
+            shards: 64,
+            ..SimConfig::default()
+        };
+        let s: Session<'_, ()> = Session::new(&small, cfg);
+        assert_eq!(s.shard_count(), 10);
+        assert_eq!(s.worker_count(), 2);
+        // Default (shards == 0): small graphs stay single-shard even
+        // with threads > 1 — the seed's auto heuristic.
+        let cfg = SimConfig {
+            threads: 8,
+            ..SimConfig::default()
+        };
+        let s: Session<'_, ()> = Session::new(&small, cfg);
+        assert_eq!(s.shard_count(), 1);
+        assert_eq!(s.worker_count(), 1);
+        // Default on a large graph: shards == threads, as before.
+        let s: Session<'_, ()> = Session::new(&big, cfg);
+        assert_eq!(s.shard_count(), 8);
+        assert_eq!(s.worker_count(), 8);
+        // Workers are capped by the shard count.
+        let cfg = SimConfig {
+            threads: 8,
+            shards: 3,
+            ..SimConfig::default()
+        };
+        let s: Session<'_, ()> = Session::new(&big, cfg);
+        assert_eq!(s.shard_count(), 3);
+        assert_eq!(s.worker_count(), 3);
+    }
+
+    /// Smoke differential over the shard axis: every shard count ×
+    /// thread count reproduces the single-shard sequential transcript
+    /// byte for byte (the full battery lives in `tests/prop_invariants`).
+    #[test]
+    fn sharded_sessions_match_for_every_shard_count() {
+        let g = gen::gnp(300, 0.03, 23);
+        let mut anchor_session: Session<'_, crate::engine::tests::IdMsg> =
+            Session::new(&g, SimConfig::default());
+        let mut anchor = min_flood_programs(300);
+        let anchor_report = anchor_session.run(&mut anchor, 77).expect("anchor");
+        for shards in [1usize, 2, 4, 8] {
+            for threads in [1usize, 2, 8] {
+                let cfg = SimConfig {
+                    threads,
+                    shards,
+                    ..SimConfig::default()
+                };
+                let mut session: Session<'_, crate::engine::tests::IdMsg> = Session::new(&g, cfg);
+                let mut programs = min_flood_programs(300);
+                let report = session.run(&mut programs, 77).expect("sharded run");
+                assert_eq!(report, anchor_report, "shards {shards} threads {threads}");
+                assert!(
+                    programs.iter().zip(&anchor).all(|(a, b)| a.min == b.min),
+                    "shards {shards} threads {threads}: program state"
+                );
+            }
+        }
+    }
+
+    /// First-offender selection stays deterministic across shard and
+    /// worker counts: a strict-bandwidth overflow reports the same
+    /// offending node whatever the geometry.
+    #[test]
+    fn errors_are_deterministic_across_shard_counts() {
+        #[derive(Clone)]
+        struct Wide;
+        impl Message for Wide {
+            fn bit_cost(&self) -> u64 {
+                64
+            }
+        }
+        #[derive(Clone)]
+        struct Shout {
+            done: bool,
+        }
+        impl Program for Shout {
+            type Msg = Wide;
+            fn on_round(&mut self, ctx: &mut Ctx<'_, Wide>) {
+                if ctx.id() >= 150 {
+                    ctx.broadcast(Wide);
+                    ctx.broadcast(Wide);
+                }
+                self.done = true;
+            }
+            fn is_done(&self) -> bool {
+                self.done
+            }
+        }
+        let g = gen::cycle(300);
+        let mut witness = None;
+        for shards in [0usize, 1, 2, 4, 8] {
+            for threads in [1usize, 2, 8] {
+                let cfg = SimConfig {
+                    threads,
+                    shards,
+                    bandwidth: Bandwidth::Strict(100),
+                    ..SimConfig::default()
+                };
+                let mut session: Session<'_, Wide> = Session::new(&g, cfg);
+                let mut programs = vec![Shout { done: false }; 300];
+                let err = session.run(&mut programs, 9).expect_err("must overflow");
+                match &witness {
+                    None => witness = Some(err),
+                    Some(w) => {
+                        assert_eq!(*w, err, "shards {shards} threads {threads}")
+                    }
+                }
+            }
+        }
+        assert!(matches!(witness, Some(SimError::BandwidthExceeded { .. })));
     }
 }

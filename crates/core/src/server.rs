@@ -642,6 +642,54 @@ mod tests {
         assert_eq!(served.stats, direct.stats);
     }
 
+    /// Worker cores rebind shard layouts: one pooled core serving a
+    /// stream that alternates shard counts (and thread counts) must
+    /// produce byte-identical responses to one-shot solves — the shard
+    /// geometry travels with the request's `SimConfig`, and a retained
+    /// core re-derives it at every bind.
+    #[test]
+    fn worker_cores_rebind_across_shard_layouts() {
+        let (g, lists) = instance(120, 12);
+        let (g2, lists2) = instance(70, 13);
+        let config = ServiceConfig::builder()
+            .workers(1)
+            .pool(1)
+            .memo(0)
+            .build()
+            .unwrap();
+        let server = SolveServer::start(config);
+        let handle = server.handle();
+        let layouts: [(usize, usize); 6] = [(0, 1), (4, 2), (1, 1), (8, 8), (2, 1), (0, 2)];
+        let mut requests = Vec::new();
+        for (i, &(shards, threads)) in layouts.iter().enumerate() {
+            let mut options = SolveOptions::seeded(20 + i as u64);
+            options.sim.shards = shards;
+            options.sim.threads = threads;
+            // Alternate graphs so the core also retargets topology
+            // between shard layouts.
+            let (graph, ls) = if i % 2 == 0 {
+                (&g, &lists)
+            } else {
+                (&g2, &lists2)
+            };
+            requests.push(SolveRequest::shared(graph, ls, options));
+        }
+        let tickets: Vec<Ticket> = requests.iter().map(|r| handle.submit(r.clone())).collect();
+        for (req, ticket) in requests.iter().zip(&tickets) {
+            let served = ticket.wait().expect("serves");
+            let direct = crate::solve(&req.graph, &req.lists, req.options).expect("one-shot");
+            assert_eq!(
+                served.coloring, direct.coloring,
+                "opts {:?}",
+                req.options.sim
+            );
+            assert_eq!(served.log.passes(), direct.log.passes());
+            assert_eq!(served.stats, direct.stats);
+        }
+        // Every request reused the single pooled core after the first.
+        assert_eq!(handle.stats().fresh_sessions, 1);
+    }
+
     #[test]
     fn memo_hit_shares_the_response_arc() {
         let (g, lists) = instance(40, 6);

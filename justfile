@@ -61,6 +61,14 @@ bench-server:
 bench-chaos:
     cargo run --release -p bench --bin experiments -- --json BENCH_7.json E0e
 
+# Sharding bench: the E0f ownership-sharding sweep (shards {1, 2, 4, 8}
+# × threads {1, 2, 8} through the full pipeline; BENCH_8.json at the
+# repo root is the committed full-scale snapshot). Its run asserts
+# byte-identical transcripts across every cell and the owner/ghost
+# engine's ≤2 barrier-waits/round budget (legacy engines: 4).
+bench-sharding:
+    cargo run --release -p bench --bin experiments -- --json BENCH_8.json E0f
+
 # Full-scale scenario sweep (S1–S6) → BENCH_3.json, the committed
 # snapshot EXPERIMENTS.md's full-scale section is rendered from. Slow;
 # rerun only when solver behaviour changes, then `just experiments-md`.
@@ -85,10 +93,13 @@ examples:
     cargo run -q --release -p bench --bin experiments -- --quick E1
 
 # Full generator × seed matrix (the nightly CI job), plus the
-# fault-injection differentials at nightly depth.
+# fault-injection differentials and the shard-differential battery at
+# nightly depth (PROPTEST_CASES is the repo-wide case-count knob; see
+# tests/common/mod.rs).
 test-slow:
     cargo test -q --workspace --features slow-tests
-    FAULT_PROPTEST_CASES=96 cargo test -q --test prop_invariants faulty_
+    PROPTEST_CASES=96 cargo test -q --test prop_invariants faulty_
+    PROPTEST_CASES=96 cargo test -q --test prop_invariants sharded_
 
 # Rustdoc exactly as CI enforces it (warnings are errors).
 doc:

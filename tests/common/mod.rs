@@ -1,0 +1,17 @@
+//! Helpers shared by the integration-test binaries (`mod common;`).
+
+/// Case count for a property block: the per-push default, or the
+/// `PROPTEST_CASES` environment override when set.
+///
+/// `PROPTEST_CASES` is the repo's single documented knob for scaling
+/// every property battery at once — the nightly slow-matrix CI job sets
+/// it to run the differential suites at much greater depth, and local
+/// soak runs can do the same (`PROPTEST_CASES=200 cargo test -q`).
+/// The pre-consolidation spelling `FAULT_PROPTEST_CASES` is honored as
+/// a fallback so existing scripts keep working.
+pub fn proptest_cases(default_cases: u32) -> u32 {
+    ["PROPTEST_CASES", "FAULT_PROPTEST_CASES"]
+        .iter()
+        .find_map(|var| std::env::var(var).ok()?.trim().parse().ok())
+        .unwrap_or(default_cases)
+}

@@ -1,5 +1,8 @@
 //! Property-based invariants across the whole stack.
 
+mod common;
+use common::proptest_cases;
+
 use congest_coloring::d1lc::{greedy_oracle, solve, SolveOptions};
 use congest_coloring::graphs::palette::{check_coloring, random_lists, ListAssignment};
 use congest_coloring::graphs::{gen, GraphBuilder};
@@ -290,20 +293,67 @@ mod plane_vs_reference {
         }
         Ok(())
     }
-}
 
-/// Case count for the fault-differential blocks below: the per-push
-/// default, or `FAULT_PROPTEST_CASES` when set (the nightly slow-matrix
-/// job uses it to run the fault differentials at much greater depth).
-fn fault_cases(default_cases: u32) -> u32 {
-    std::env::var("FAULT_PROPTEST_CASES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default_cases)
+    /// PR-8 tentpole contract, engine level: the owner/ghost sharded
+    /// session engine reproduces the legacy reference plane and the
+    /// per-pass mailbox sweep byte for byte — same `RunReport` (fault
+    /// counters and starved lists included), same per-node transcripts —
+    /// for every shard count in {1, 2, 4, 8} × thread count in {1, 2, 8},
+    /// under an arbitrary fault plan.
+    pub fn assert_sharded_generations_agree(
+        graph: &Graph,
+        seed: u64,
+        plan: congest::FaultPlan,
+    ) -> Result<(), String> {
+        let n = graph.n();
+        let cfg = SimConfig {
+            fault: plan,
+            ..SimConfig::seeded(seed)
+        };
+        let (ref_progs, ref_report) =
+            run_reference(graph, chatter_programs(n), cfg).map_err(|e| format!("{e:?}"))?;
+        let (sweep_progs, sweep_report) =
+            congest::reference::run_mailbox_sweep(graph, chatter_programs(n), cfg)
+                .map_err(|e| format!("{e:?}"))?;
+        if sweep_report != ref_report {
+            return Err("RunReport diverged: sweep vs reference".into());
+        }
+        for (v, (a, b)) in sweep_progs.iter().zip(&ref_progs).enumerate() {
+            if a.transcript != b.transcript {
+                return Err(format!(
+                    "transcript diverged at node {v}: sweep vs reference"
+                ));
+            }
+        }
+        for shards in [1usize, 2, 4, 8] {
+            for threads in [1usize, 2, 8] {
+                let cfg = SimConfig {
+                    threads,
+                    shards,
+                    ..cfg
+                };
+                let (progs, report) =
+                    congest::run(graph, chatter_programs(n), cfg).map_err(|e| format!("{e:?}"))?;
+                if report != ref_report {
+                    return Err(format!(
+                        "RunReport diverged at shards={shards} threads={threads}"
+                    ));
+                }
+                for (v, (a, b)) in progs.iter().zip(&ref_progs).enumerate() {
+                    if a.transcript != b.transcript {
+                        return Err(format!(
+                            "transcript diverged at node {v}, shards={shards} threads={threads}"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: fault_cases(12), ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: proptest_cases(12), ..ProptestConfig::default() })]
 
     /// PR-2 satellite: the CSR mailbox plane is observably identical to
     /// the pre-PR sort-and-scatter plane — same `RunReport`, same final
@@ -353,7 +403,88 @@ proptest! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: fault_cases(6), ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: proptest_cases(6), ..ProptestConfig::default() })]
+
+    /// PR-8 tentpole contract: the shard-differential battery. Every
+    /// shard count {1, 2, 4, 8} × thread count {1, 2, 8} × fault plan
+    /// {none, drop/delay/dup} × graph generator reproduces the preserved
+    /// engine generations byte for byte (per-node transcripts and full
+    /// `RunReport`s), and a full pipeline solve over the shard axis
+    /// yields the identical proper coloring and pass log.
+    #[test]
+    fn sharded_engine_matches_all_generations(
+        kind in 0usize..5,
+        n in 2usize..200,
+        p in 0.0f64..0.15,
+        gseed in 0u64..1000,
+        lseed in 0u64..500,
+        seed in 0u64..1000,
+        faulty in 0usize..2,
+        drop_pm in 0u32..600,
+        delay_pm in 0u32..400,
+        max_delay in 1u32..4,
+        dup_pm in 0u32..400,
+    ) {
+        use congest_coloring::congest::{FaultPlan, SimConfig};
+        use congest_coloring::d1lc::EngineMode;
+
+        let plan = if faulty == 1 {
+            FaultPlan::lossy(f64::from(drop_pm) / 1000.0)
+                .with_delay(f64::from(delay_pm) / 1000.0, max_delay)
+                .with_dup(f64::from(dup_pm) / 1000.0)
+        } else {
+            FaultPlan::none()
+        };
+        let graph = plane_vs_reference::graph_for(kind, n, p, gseed);
+        // Engine level: transcripts across the full shard × thread grid.
+        if let Err(msg) =
+            plane_vs_reference::assert_sharded_generations_agree(&graph, seed, plan)
+        {
+            prop_assert!(false, "{}", msg);
+        }
+        // Pipeline level: the solve stays proper and byte-identical to
+        // the unsharded anchor for every shard count.
+        let lists = random_lists(&graph, 32, 0, lseed);
+        let run = |shards: usize, threads: usize| {
+            let opts = SolveOptions {
+                engine: EngineMode::Session,
+                sim: SimConfig {
+                    threads,
+                    shards,
+                    fault: plan,
+                    max_rounds: 200,
+                    ..SimConfig::default()
+                },
+                ..SolveOptions::seeded(seed)
+            };
+            solve(&graph, &lists, opts).expect("sharded solve completes")
+        };
+        let base = run(0, 1);
+        prop_assert_eq!(check_coloring(&graph, &lists, &base.coloring), Ok(()));
+        for shards in [1usize, 2, 4, 8] {
+            for threads in [1usize, 8] {
+                let other = run(shards, threads);
+                prop_assert!(
+                    base.coloring == other.coloring,
+                    "coloring diverged: shards={} t={}",
+                    shards,
+                    threads
+                );
+                prop_assert!(
+                    base.log.passes() == other.log.passes(),
+                    "pass log diverged: shards={} t={}",
+                    shards,
+                    threads
+                );
+                prop_assert!(
+                    base.stats == other.stats,
+                    "stats diverged: shards={} t={}",
+                    shards,
+                    threads
+                );
+            }
+        }
+    }
 
     /// PR-6 tentpole contract: every completed `SolveServer` response is
     /// byte-identical — same coloring, same per-pass log — to a
