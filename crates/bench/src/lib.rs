@@ -36,6 +36,7 @@ pub mod exp_ablation;
 pub mod exp_acd;
 pub mod exp_chaos;
 pub mod exp_coloring;
+pub mod exp_crash;
 pub mod exp_estimate;
 pub mod exp_hash;
 pub mod exp_plane;

@@ -37,13 +37,33 @@ pub enum SimError {
         after_passes: u64,
     },
     /// An active [`FaultPlan`](crate::FaultPlan) fired its per-round
-    /// abort — the modeled crash/timeout of a faulty network. This is the
-    /// only **transient** simulation error (see
-    /// [`SimError::is_transient`]): a retry under a re-salted plan may
-    /// well succeed, which is exactly what the serving layer's retry
+    /// abort — the modeled crash/timeout of a faulty network. Transient
+    /// (see [`SimError::is_transient`]): a retry under a re-salted plan
+    /// may well succeed, which is exactly what the serving layer's retry
     /// budget exists for.
     FaultInjected {
         /// Round (within the failing pass) at which the fault fired.
+        round: u64,
+    },
+    /// A crash plan with [`crash_fatal`](crate::FaultPlan::crash_fatal)
+    /// saw a node crash; the earliest crash event of the run is reported.
+    /// Transient like [`SimError::FaultInjected`] — a re-salted retry
+    /// re-rolls the crash dice.
+    NodeCrashed {
+        /// The node that crashed first (ties broken by lowest id).
+        node: NodeId,
+        /// Round (within the failing pass) at which it crashed.
+        round: u64,
+    },
+    /// A crash plan with [`min_live`](crate::FaultPlan::min_live) ended a
+    /// run with fewer live nodes than its quorum floor. Transient: a
+    /// re-salted retry draws different crash fates.
+    QuorumLost {
+        /// Nodes still up when the round loop ended.
+        live: u64,
+        /// The configured quorum floor.
+        quorum: u64,
+        /// Round at which the census was taken (the run's last round).
         round: u64,
     },
 }
@@ -51,14 +71,21 @@ pub enum SimError {
 impl SimError {
     /// Whether retrying the run could plausibly succeed.
     ///
-    /// Only [`SimError::FaultInjected`] is transient: it is a roll of the
-    /// fault plan's dice, so a retry under a re-salted plan rolls again.
-    /// Everything else is deterministic — a protocol addressing a
-    /// non-neighbor, a strict bandwidth cap it genuinely exceeds, or a
-    /// cooperative cancellation — and would fail identically on every
-    /// retry; a serving layer must not burn its retry budget on those.
+    /// The fault-plan family — [`SimError::FaultInjected`],
+    /// [`SimError::NodeCrashed`], [`SimError::QuorumLost`] — is
+    /// transient: each is a roll of the plan's dice, so a retry under a
+    /// re-salted plan rolls again. Everything else is deterministic — a
+    /// protocol addressing a non-neighbor, a strict bandwidth cap it
+    /// genuinely exceeds, or a cooperative cancellation — and would fail
+    /// identically on every retry; a serving layer must not burn its
+    /// retry budget on those.
     pub fn is_transient(&self) -> bool {
-        matches!(self, SimError::FaultInjected { .. })
+        matches!(
+            self,
+            SimError::FaultInjected { .. }
+                | SimError::NodeCrashed { .. }
+                | SimError::QuorumLost { .. }
+        )
     }
 }
 
@@ -87,6 +114,17 @@ impl std::fmt::Display for SimError {
             SimError::FaultInjected { round } => {
                 write!(f, "round {round}: injected fault aborted the run")
             }
+            SimError::NodeCrashed { node, round } => {
+                write!(f, "round {round}: node {node} crashed (fatal-crash plan)")
+            }
+            SimError::QuorumLost {
+                live,
+                quorum,
+                round,
+            } => write!(
+                f,
+                "round {round}: quorum lost, {live} nodes live of {quorum} required"
+            ),
         }
     }
 }
@@ -116,25 +154,53 @@ mod tests {
         assert!(e2.to_string().contains("non-neighbor"));
         let e3 = SimError::FaultInjected { round: 12 };
         assert!(e3.to_string().contains("round 12") && e3.to_string().contains("fault"));
+        let e4 = SimError::NodeCrashed { node: 5, round: 3 };
+        assert!(e4.to_string().contains("node 5") && e4.to_string().contains("round 3"));
+        let e5 = SimError::QuorumLost {
+            live: 2,
+            quorum: 8,
+            round: 40,
+        };
+        assert!(e5.to_string().contains("2 nodes live") && e5.to_string().contains('8'));
     }
 
+    /// The full classification table: the fault-plan family is transient
+    /// (worth a re-salted retry), everything deterministic is not.
     #[test]
-    fn only_injected_faults_are_transient() {
-        assert!(SimError::FaultInjected { round: 0 }.is_transient());
-        assert!(!SimError::NotANeighbor {
-            from: 0,
-            to: 1,
-            round: 0
+    fn transient_classification_table() {
+        let table: [(SimError, bool); 6] = [
+            (SimError::FaultInjected { round: 0 }, true),
+            (SimError::NodeCrashed { node: 1, round: 2 }, true),
+            (
+                SimError::QuorumLost {
+                    live: 0,
+                    quorum: 4,
+                    round: 9,
+                },
+                true,
+            ),
+            (
+                SimError::NotANeighbor {
+                    from: 0,
+                    to: 1,
+                    round: 0,
+                },
+                false,
+            ),
+            (
+                SimError::BandwidthExceeded {
+                    from: 0,
+                    to: 1,
+                    bits: 10,
+                    limit: 5,
+                    round: 0,
+                },
+                false,
+            ),
+            (SimError::Cancelled { after_passes: 3 }, false),
+        ];
+        for (err, transient) in table {
+            assert_eq!(err.is_transient(), transient, "misclassified: {err}");
         }
-        .is_transient());
-        assert!(!SimError::BandwidthExceeded {
-            from: 0,
-            to: 1,
-            bits: 10,
-            limit: 5,
-            round: 0
-        }
-        .is_transient());
-        assert!(!SimError::Cancelled { after_passes: 3 }.is_transient());
     }
 }

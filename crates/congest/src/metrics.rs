@@ -199,6 +199,11 @@ pub struct RunReport {
     /// starved-inbox sentinels a pipeline feeds into its repair sweep;
     /// empty without an active fault plan.
     pub starved: Vec<NodeId>,
+    /// Nodes that crashed at least once during the run, sorted ascending
+    /// — crash-stop and recovered nodes alike. A pipeline quarantines
+    /// these (strips their colors) before its repair sweep; empty without
+    /// crash fates in the plan.
+    pub crashed: Vec<NodeId>,
 }
 
 impl RunReport {
@@ -230,6 +235,7 @@ impl RunReport {
         self.completed &= other.completed;
         self.faults.merge(&other.faults);
         self.starved = merge_sorted_ids(&self.starved, &other.starved);
+        self.crashed = merge_sorted_ids(&self.crashed, &other.crashed);
     }
 }
 
@@ -433,6 +439,19 @@ impl PassLog {
         union
     }
 
+    /// Union of the crashed-node lists across passes, sorted ascending —
+    /// every node that was down at any point of any pass. A pipeline's
+    /// repair stage quarantines these (strips their colors) before the
+    /// conflict sweep, so a node that crashed mid-decision can never keep
+    /// a color it did not defend.
+    pub fn crashed_union(&self) -> Vec<NodeId> {
+        let mut union: Vec<NodeId> = Vec::new();
+        for p in &self.passes {
+            union = merge_sorted_ids(&union, &p.report.crashed);
+        }
+        union
+    }
+
     /// Merge another log's passes after this one's (their phase labels
     /// travel with them; this log's current phase is unchanged).
     pub fn extend(&mut self, other: PassLog) {
@@ -478,23 +497,31 @@ mod tests {
         let mut a = report(1, &[1]);
         a.faults.dropped = 2;
         a.starved = vec![1, 3, 5];
+        a.crashed = vec![4];
         let mut b = report(1, &[1]);
         b.faults.dropped = 1;
         b.faults.delayed = 4;
+        b.faults.crashes = 2;
         b.starved = vec![2, 3, 6];
+        b.crashed = vec![2, 4];
         a.absorb(&b);
         assert_eq!((a.faults.dropped, a.faults.delayed), (3, 4));
+        assert_eq!(a.faults.crashes, 2);
         assert_eq!(a.starved, vec![1, 2, 3, 5, 6]);
+        assert_eq!(a.crashed, vec![2, 4]);
 
         let mut log = PassLog::new();
         let mut c = report(1, &[1]);
         c.faults.truncated = 7;
         c.starved = vec![0, 5];
+        c.crashed = vec![0];
         log.record("x", a);
         log.record("y", c);
         assert_eq!(log.fault_totals().dropped, 3);
         assert_eq!(log.fault_totals().truncated, 7);
+        assert_eq!(log.fault_totals().crashes, 2);
         assert_eq!(log.starved_union(), vec![0, 1, 2, 3, 5, 6]);
+        assert_eq!(log.crashed_union(), vec![0, 2, 4]);
     }
 
     #[test]
@@ -643,16 +670,17 @@ mod tests {
     /// FaultCounters merge in any order and grouping (plain sums).
     #[test]
     fn fault_counters_merge_is_commutative_and_associative() {
-        let mk = |d, l, u, t, m| FaultCounters {
+        let mk = |d, l, u, t, m, c| FaultCounters {
             dropped: d,
             delayed: l,
             duplicated: u,
             truncated: t,
             misrouted: m,
+            crashes: c,
         };
-        let a = mk(1, 2, 3, 4, 5);
-        let b = mk(10, 0, 7, 0, 2);
-        let c = mk(0, 100, 0, 1, 0);
+        let a = mk(1, 2, 3, 4, 5, 6);
+        let b = mk(10, 0, 7, 0, 2, 1);
+        let c = mk(0, 100, 0, 1, 0, 0);
         let mut ab = a;
         ab.merge(&b);
         let mut ba = b;

@@ -98,6 +98,11 @@ pub fn run_reference<P: Program>(
             if f.abort_round(round) {
                 return Err(SimError::FaultInjected { round });
             }
+            // Crash fates advance once per node per round, before the
+            // step phase reads them (all engines share this ordering).
+            if f.has_crashes() {
+                f.advance_crashes(0, n, round);
+            }
         }
 
         // Step phase: every node reads its inbox and fills its outbox.
@@ -110,6 +115,7 @@ pub fn run_reference<P: Program>(
             &mut outboxes,
             round,
             config.threads,
+            fault.as_ref(),
         );
 
         // Routing phase: account bandwidth and deliver.
@@ -178,6 +184,9 @@ pub fn run_reference<P: Program>(
     report.rounds = round;
     if let Some(f) = &fault {
         report.starved = f.collect_starved();
+        report.crashed = f.collect_crashed();
+        report.faults.crashes = f.crash_event_total();
+        f.crash_outcome(round)?;
     }
     Ok((programs, report))
 }
@@ -242,6 +251,14 @@ fn route_outboxes_faulty<M: Message>(
             if bundle.is_empty() {
                 continue;
             }
+            // A down receiver loses the fresh bundle after billing, dice
+            // unrolled and sentinel unraised — exactly like
+            // `route_receiver_faulty` (a down *sender* cannot reach here:
+            // it was skipped in the step phase and sent nothing).
+            if fault.has_crashes() && fault.is_down(dst as usize, round) {
+                faults.dropped += 1;
+                continue;
+            }
             match fault.decide(src as NodeId, dst, round) {
                 Decision::Drop => {
                     faults.dropped += 1;
@@ -282,7 +299,7 @@ fn route_outboxes_faulty<M: Message>(
     // everything due this round.
     for (v, inbox) in inboxes.iter_mut().enumerate() {
         for (j, &u) in graph.neighbors(v as NodeId).iter().enumerate() {
-            fault.deliver_due(offsets[v] + j, u, v, round, inbox);
+            fault.deliver_due(offsets[v] + j, u, v, round, inbox, &mut faults);
         }
     }
     report.edge_load.record(round_max_edge_bits);
@@ -364,10 +381,12 @@ fn sweep_step_range<P: Program>(
     lookup: &mut NeighborIndex,
     round: u64,
     prefetch: bool,
-    forgiving: bool,
+    fault: Option<&FaultState<P::Msg>>,
     shard: StepShard<'_, P>,
 ) -> StepOut {
     let offsets = graph.offsets();
+    let forgiving = fault.is_some();
+    let skip_down = fault.filter(|f| f.has_crashes());
     let mut out = StepOut::default();
     let len = shard.programs.len();
     const PREFETCH_AHEAD: usize = 2;
@@ -388,7 +407,18 @@ fn sweep_step_range<P: Program>(
         if prefetch && i + PREFETCH_AHEAD < len && !shard.done[i + PREFETCH_AHEAD] {
             prefetch_node(i + PREFETCH_AHEAD);
         }
-        if shard.halted[i] {
+        // Done programs are never re-stepped, matching the session
+        // engine's frontier (which retires a node the round it reports
+        // done). The distinction is invisible while a pass ends the
+        // moment everyone is done, but a crashed node can hold a pass
+        // open past that point — and an extra `on_round` on a done
+        // program may overwrite state it computed on its final round.
+        if shard.halted[i] || shard.done[i] {
+            continue;
+        }
+        // Down nodes are skipped entirely (no `on_round`, no RNG draw) —
+        // a crashed node's program must not run at all.
+        if skip_down.is_some_and(|f| f.is_down(v, round)) {
             continue;
         }
         let mut ctx = Ctx {
@@ -661,6 +691,9 @@ pub fn run_mailbox_sweep<P: Program>(
     };
     if let Some(f) = &fault {
         report.starved = f.collect_starved();
+        report.crashed = f.collect_crashed();
+        report.faults.crashes = f.crash_event_total();
+        f.crash_outcome(report.rounds)?;
     }
     Ok((programs, report))
 }
@@ -700,6 +733,9 @@ fn sweep_sequential<P: Program>(
             if f.abort_round(round) {
                 return Err(SimError::FaultInjected { round });
             }
+            if f.has_crashes() {
+                f.advance_crashes(0, n, round);
+            }
         }
         let shard = StepShard {
             lo: 0,
@@ -716,7 +752,7 @@ fn sweep_sequential<P: Program>(
             &mut lookup,
             round,
             prefetch,
-            fault.is_some(),
+            fault,
             shard,
         );
         if let Some(e) = out.err {
@@ -818,7 +854,7 @@ fn sweep_pooled<P: Program>(
                         &mut lookup,
                         round,
                         prefetch,
-                        fault.is_some(),
+                        fault,
                         shard.reborrow(),
                     );
                     *step_out[w].lock().expect("step slot poisoned") = out;
@@ -871,6 +907,11 @@ fn sweep_pooled<P: Program>(
             if let Some(f) = fault {
                 if f.abort_round(round) {
                     return shutdown(Err(SimError::FaultInjected { round }));
+                }
+                // The coordinator advances every node's crash fate before
+                // releasing the step phase: workers only read `is_down`.
+                if f.has_crashes() {
+                    f.advance_crashes(0, n, round);
                 }
             }
             control.round.store(round, Ordering::Release);
@@ -931,6 +972,7 @@ fn step_all<P: Program>(
     outboxes: &mut [Vec<(NodeId, P::Msg)>],
     round: u64,
     threads: usize,
+    fault: Option<&FaultState<P::Msg>>,
 ) {
     let n = programs.len();
     if threads <= 1 || n < 256 {
@@ -944,6 +986,7 @@ fn step_all<P: Program>(
                 &mut outboxes[v],
                 v,
                 round,
+                fault,
             );
         }
         return;
@@ -976,7 +1019,7 @@ fn step_all<P: Program>(
                     .enumerate()
                 {
                     let v = start + i;
-                    step_one(graph, p, r, h, &inboxes[v], o, v, round);
+                    step_one(graph, p, r, h, &inboxes[v], o, v, round, fault);
                 }
             });
         }
@@ -993,9 +1036,21 @@ fn step_one<P: Program>(
     outbox: &mut Vec<(NodeId, P::Msg)>,
     v: usize,
     round: u64,
+    fault: Option<&FaultState<P::Msg>>,
 ) {
-    if *halted {
+    // Done programs are never re-stepped (the session engine retires a
+    // node the round it reports done; a crashed neighbor can hold the
+    // pass open past that round, and a done program's `on_round` may
+    // overwrite its final-round state).
+    if *halted || program.is_done() {
         return;
+    }
+    // A down node is skipped entirely: no `on_round` call, no RNG draw,
+    // no sends — every engine skips identically, so RNG streams agree.
+    if let Some(f) = fault {
+        if f.has_crashes() && f.is_down(v, round) {
+            return;
+        }
     }
     let mut ctx = Ctx {
         node: v as NodeId,

@@ -221,10 +221,12 @@ fn step_shard<P: Program>(
     round: u64,
     epoch: u64,
     prefetch: bool,
-    forgiving: bool,
+    fault: Option<&FaultState<P::Msg>>,
 ) -> StepOut {
     let offsets = graph.offsets();
     let adj = graph.adjacency();
+    let forgiving = fault.is_some();
+    let skip_down = fault.filter(|f| f.has_crashes());
     let mut out = StepOut::default();
     let lo = slot.lo;
     let lo32 = lo as u32;
@@ -254,6 +256,14 @@ fn step_shard<P: Program>(
         let v = slot.active[i] as usize;
         if prefetch && i + PREFETCH_AHEAD < len {
             prefetch_node(slot.active[i + PREFETCH_AHEAD] as usize);
+        }
+        // A down node skips its `on_round` entirely (no RNG draw, no
+        // sends) but stays on the frontier — it is down, not retired,
+        // and resumes stepping if its fate recovers it.
+        if skip_down.is_some_and(|f| f.is_down(v, round)) {
+            slot.active[keep] = v as u32;
+            keep += 1;
+            continue;
         }
         let mut halt_now = false;
         let mut ctx = Ctx {
@@ -711,6 +721,15 @@ impl<P: Program> WorkerTask for PassTask<'_, P> {
                 if f.abort_round(round) {
                     break ExitKind::Fault(round);
                 }
+                // Each worker advances crash fates over its own shards
+                // before stepping them; foreign ranges are only *read*
+                // (sender-down checks) in the routing phase, on the far
+                // side of barrier A.
+                if f.has_crashes() {
+                    for (_, slot) in &my {
+                        f.advance_crashes(slot.lo, slot.lo + slot.programs.len(), round);
+                    }
+                }
             }
             let epoch = self.epoch0 + round;
             if w == 0 {
@@ -734,7 +753,7 @@ impl<P: Program> WorkerTask for PassTask<'_, P> {
                     round,
                     epoch,
                     prefetch,
-                    self.fault.is_some(),
+                    self.fault,
                 );
                 my_retired += out.retired as u64;
                 acc.faults.misrouted += out.misrouted;
@@ -1282,8 +1301,18 @@ impl<'g, M: Message> Session<'g, M> {
                 &mut self.audit,
             )
         };
-        if let (Ok(report), Some(f)) = (&mut result, &fault) {
+        let crash_err = if let (Ok(report), Some(f)) = (&mut result, &fault) {
             report.starved = f.collect_starved();
+            report.crashed = f.collect_crashed();
+            report.faults.crashes = f.crash_event_total();
+            // The opt-in fail-fast verdicts fire last, after the report
+            // is fully assembled — same placement in every engine.
+            f.crash_outcome(report.rounds).err()
+        } else {
+            None
+        };
+        if let Some(e) = crash_err {
+            return Err(e);
         }
         result
     }
@@ -1366,6 +1395,9 @@ fn run_rounds_sequential<P: Program>(
             if f.abort_round(round) {
                 return Err(SimError::FaultInjected { round });
             }
+            if f.has_crashes() {
+                f.advance_crashes(0, n, round);
+            }
         }
         // Reserve the epoch up front so an aborted round can never be
         // aliased by a later one.
@@ -1385,7 +1417,7 @@ fn run_rounds_sequential<P: Program>(
                 round,
                 epoch,
                 prefetch,
-                fault.is_some(),
+                fault,
             );
             if err.is_none() {
                 err = out.err;

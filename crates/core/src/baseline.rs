@@ -62,7 +62,7 @@ pub fn solve_random_trial(
         driver.begin_phase("cleanup");
         states = cleanup(&mut driver, states)?;
     }
-    Ok(finish(g, lists, states, driver.log, 0, 0))
+    Ok(finish(g, lists, states, driver.log, 0, 0, 0))
 }
 
 /// One LOCAL-style multi-trial round: `x` raw colors per edge.
@@ -208,7 +208,7 @@ pub fn solve_naive_multitrial(
     if Driver::uncolored_count(&states) > 0 {
         states = cleanup(&mut driver, states)?;
     }
-    Ok(finish(g, lists, states, driver.log, 0, 0))
+    Ok(finish(g, lists, states, driver.log, 0, 0, 0))
 }
 
 /// Sequential greedy list coloring (oracle reference, not distributed).

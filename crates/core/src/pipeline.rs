@@ -96,6 +96,12 @@ pub struct Stats {
     /// `FaultPlan::none()` — the distributed adoptions are then
     /// conflict-free by construction.
     pub fault_conflicts: usize,
+    /// Colored nodes the quarantine sweep stripped because they crashed
+    /// at some point of the solve (crash-stop or recovered alike): a node
+    /// that was down mid-decision may hold a color it never defended, so
+    /// its adoption is forfeited and the `finish` central repair recolors
+    /// it against the final neighborhood. Always `0` without crash fates.
+    pub quarantined: usize,
 }
 
 /// Result of [`solve`]: a proper coloring plus metrics.
@@ -192,11 +198,32 @@ pub(crate) fn first_free_color(
 /// one. Ties break to the higher id. One sweep suffices: colors only
 /// ever *disappear* during the sweep, so no new conflict can appear
 /// behind it.
+///
+/// **Quarantine** runs first: every node in `crashed` (the sorted
+/// [`congest::PassLog::crashed_union`]) forfeits its color outright — a
+/// node that was down at any point may hold a color it adopted before
+/// crashing and never defended against later contenders, and a recovered
+/// node may have re-entered mid-protocol with stale state. Stripping them
+/// *before* the conflict sweep keeps the sweep's one-pass argument intact
+/// (colors still only disappear), and [`finish`]'s first-free repair —
+/// always possible on (deg+1)-lists — recolors them against the final
+/// neighborhood, so `check_coloring` holds at any crash rate ≤ 1.0.
+/// Returns `(fault_conflicts, quarantined)`.
 pub(crate) fn resolve_fault_conflicts(
     g: &Graph,
     states: &mut [NodeState],
     starved: &[NodeId],
-) -> usize {
+    crashed: &[NodeId],
+) -> (usize, usize) {
+    let mut quarantined = 0usize;
+    for &v in crashed {
+        let st = &mut states[v as usize];
+        if st.color.is_some() {
+            st.color = None;
+            st.colored_by = None;
+            quarantined += 1;
+        }
+    }
     let mut conflicts = 0usize;
     for v in 0..g.n() {
         let Some(cv) = states[v].color else { continue };
@@ -220,7 +247,7 @@ pub(crate) fn resolve_fault_conflicts(
             }
         }
     }
-    conflicts
+    (conflicts, quarantined)
 }
 
 /// Finish a solve: repair stragglers centrally, assemble the coloring and
@@ -232,11 +259,13 @@ pub(crate) fn finish(
     log: PassLog,
     phases: usize,
     fault_conflicts: usize,
+    quarantined: usize,
 ) -> SolveResult {
     let mut coloring: Vec<Option<Color>> = states.iter().map(|s| s.color).collect();
     let mut stats = Stats {
         phases,
         fault_conflicts,
+        quarantined,
         ..Default::default()
     };
     for st in &states {
@@ -382,12 +411,18 @@ pub(crate) fn solve_on(
     }
 
     // Under an active fault plan, lost/late messages can break the
-    // conflict-freedom of distributed adoptions; detect-and-repair turns
-    // those into honest repairs instead of an invalid coloring.
-    let fault_conflicts = if opts.sim.fault.is_active() {
-        resolve_fault_conflicts(g, &mut states, &driver.log.starved_union())
+    // conflict-freedom of distributed adoptions, and a crashed node may
+    // hold a color it never defended; quarantine-and-detect-and-repair
+    // turns both into honest repairs instead of an invalid coloring.
+    let (fault_conflicts, quarantined) = if opts.sim.fault.is_active() {
+        resolve_fault_conflicts(
+            g,
+            &mut states,
+            &driver.log.starved_union(),
+            &driver.log.crashed_union(),
+        )
     } else {
-        0
+        (0, 0)
     };
 
     Ok(finish(
@@ -397,6 +432,7 @@ pub(crate) fn solve_on(
         std::mem::take(&mut driver.log),
         phases,
         fault_conflicts,
+        quarantined,
     ))
 }
 

@@ -26,17 +26,34 @@
 //!   an *in-flight* request attaches to the existing flight instead of
 //!   enqueuing, so N concurrent identical submissions cost one engine
 //!   solve and resolve to N clones of the same `Arc`.
+//! * **Supervision** — each job runs under `catch_unwind`; a panicking
+//!   worker resolves its ticket with [`ServeError::WorkerPanicked`],
+//!   quarantines its resident engine core (a panicked core is never
+//!   returned to rotation), spawns its own replacement, and exits. A
+//!   wedged-solve watchdog ([`ServiceConfig::watchdog`]) escalates
+//!   solves that outlive their budget; blocking admission sheds load
+//!   after sustained overload ([`ServiceConfig::shed_after`]).
+//!   [`HealthSnapshot`] reports the lifecycle counters.
+//!
+//! **Ticket-resolution guarantee**: every submitted ticket resolves — to
+//! a response or a typed [`ServeError`] — even if its worker panics or
+//! the server is dropped mid-flight. Rejections resolve at submit;
+//! panics resolve through the supervisor; dropping the [`SolveServer`]
+//! fails still-queued jobs with [`ServeError::Closed`] and cancels
+//! in-flight solves at their next pass boundary (see
+//! [`SolveServer::abort`]). No parked waiter ever hangs.
 //!
 //! Determinism is untouched: every completed response is byte-identical
 //! to a one-shot [`crate::solve`] of the same request, whatever the
 //! worker count, queue depth, or submission order (enforced by the E0c
 //! differential suite and `tests/prop_invariants.rs`).
 //!
-//! Concurrency invariant (see DESIGN.md §7): the memo's lookup and
-//! flight-insertion happen under one lock acquisition, so for any
+//! Concurrency invariant (see DESIGN.md §7 and §10): the memo's lookup
+//! and flight-insertion happen under one lock acquisition, so for any
 //! request key at most one flight exists at a time, and every duplicate
-//! submitted during that flight joins it. The memo lock and the queue
-//! lock are never held together; ticket cells are leaf locks.
+//! submitted during that flight joins it. Lock order is
+//! `queue → threads`; the memo lock and the queue lock are never held
+//! together; the inflight table and ticket cells are leaf locks.
 //!
 //! ```
 //! use d1lc::server::SolveServer;
@@ -61,10 +78,11 @@ use crate::service::{
 use graphs::palette::ListAssignment;
 use graphs::Graph;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The resolved value a ticket carries: the response (or serving error)
 /// plus the instant it resolved, so latency can be measured without a
@@ -207,11 +225,21 @@ struct Memo {
 }
 
 /// The bounded MPMC work queue: jobs plus the closed flag, guarded by
-/// one mutex with separate not-empty / not-full condvars.
+/// one mutex with separate not-empty / not-full condvars. `full_since`
+/// tracks how long the queue has been continuously at capacity, which is
+/// what [`ServiceConfig::shed_after`] measures sustained overload by.
 #[derive(Default)]
 struct WorkQueue {
     jobs: VecDeque<Job>,
     closed: bool,
+    full_since: Option<Instant>,
+}
+
+/// One worker's currently-running solve, visible to the watchdog: when
+/// it started and the cancel flag that asks it to stop.
+struct Inflight {
+    started: Instant,
+    flag: Arc<AtomicBool>,
 }
 
 /// Atomic serving counters (see [`ServerStats`] for field meaning).
@@ -264,6 +292,39 @@ pub struct ServerStats {
     pub legacy_engine_solves: u64,
 }
 
+/// Atomic supervision/lifecycle counters (see [`HealthSnapshot`]).
+#[derive(Default)]
+struct AtomicHealth {
+    live_workers: AtomicU64,
+    respawns: AtomicU64,
+    quarantined_cores: AtomicU64,
+    shed: AtomicU64,
+}
+
+/// A point-in-time health report of the serving layer's supervision
+/// machinery — the liveness counters, as opposed to the request-path
+/// counters in [`ServerStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// Worker threads currently draining the queue. Steady-state this is
+    /// [`ServiceConfig::workers`]; it dips only transiently while a
+    /// panicked worker is being replaced, and falls to zero after
+    /// shutdown.
+    pub live_workers: u64,
+    /// Workers respawned by the supervisor after a panic.
+    pub respawns: u64,
+    /// Engine cores discarded because their worker panicked. A poisoned
+    /// core is never returned to rotation — the replacement worker
+    /// starts cold.
+    pub quarantined_cores: u64,
+    /// Jobs currently queued (admitted, not yet picked up).
+    pub queue_depth: usize,
+    /// Blocking submissions shed after sustained overload
+    /// ([`ServiceConfig::shed_after`]). [`crate::service::Admission::Reject`]
+    /// refusals are counted in [`ServerStats::rejected`] instead.
+    pub shed: u64,
+}
+
 /// State shared by the server, its handles, and its workers.
 struct ServerShared {
     config: ServiceConfig,
@@ -272,6 +333,18 @@ struct ServerShared {
     not_full: Condvar,
     memo: Mutex<Memo>,
     stats: AtomicStats,
+    health: AtomicHealth,
+    /// Per-worker-index join handles. A panicked worker registers its
+    /// replacement here (under the queue lock, so registration races
+    /// neither shutdown nor a concurrent close — lock order
+    /// `queue → threads`); shutdown drains every slot.
+    threads: Mutex<Vec<Option<thread::JoinHandle<()>>>>,
+    /// Per-worker-index inflight slots the watchdog scans.
+    inflight: Mutex<Vec<Option<Inflight>>>,
+    /// Raised by [`SolveServer::abort`] before cancelling in-flight
+    /// solves, so their `Cancelled` maps to [`ServeError::Closed`]
+    /// rather than a deadline miss.
+    aborting: AtomicBool,
 }
 
 impl ServerShared {
@@ -291,6 +364,28 @@ impl ServerShared {
             rebinds: get(&s.rebinds),
             same_graph_rebinds: get(&s.same_graph_rebinds),
             legacy_engine_solves: get(&s.legacy_engine_solves),
+        }
+    }
+
+    fn health(&self) -> HealthSnapshot {
+        let h = &self.health;
+        HealthSnapshot {
+            live_workers: h.live_workers.load(Ordering::Relaxed),
+            respawns: h.respawns.load(Ordering::Relaxed),
+            quarantined_cores: h.quarantined_cores.load(Ordering::Relaxed),
+            queue_depth: self.queue.lock().unwrap().jobs.len(),
+            shed: h.shed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fail a job's ticket and every duplicate parked on its flight —
+    /// the resolution path for jobs that never complete (admission
+    /// refusals, worker panics, teardown).
+    fn fail(&self, job: &Job, error: ServeError) {
+        let waiters = self.take_flight(&job.req);
+        job.cell.resolve(Err(error.clone()));
+        for cell in waiters {
+            cell.resolve(Err(error.clone()));
         }
     }
 
@@ -401,13 +496,44 @@ impl ServerHandle {
             }
             if queue.jobs.len() < shared.config.queue_depth() {
                 queue.jobs.push_back(job);
+                if queue.jobs.len() >= shared.config.queue_depth() && queue.full_since.is_none() {
+                    queue.full_since = Some(Instant::now());
+                }
                 shared.not_empty.notify_one();
                 return Ticket { cell };
             }
             match shared.config.admission() {
-                Admission::Block => {
-                    queue = shared.not_full.wait(queue).unwrap();
-                }
+                Admission::Block => match shared.config.shed_after() {
+                    // Graceful degradation: a queue that has been full
+                    // for the configured span means the server is not
+                    // keeping up — stop parking submitters on it and
+                    // shed instead of building an unbounded convoy.
+                    Some(limit) => {
+                        let full_for = queue
+                            .full_since
+                            .map(|t| t.elapsed())
+                            .unwrap_or(Duration::ZERO);
+                        if full_for >= limit {
+                            drop(queue);
+                            shared.health.shed.fetch_add(1, Ordering::Relaxed);
+                            self.refuse(
+                                &job,
+                                ServeError::Overloaded {
+                                    depth: shared.config.queue_depth(),
+                                },
+                            );
+                            return Ticket { cell };
+                        }
+                        let (q, _) = shared
+                            .not_full
+                            .wait_timeout(queue, limit - full_for)
+                            .unwrap();
+                        queue = q;
+                    }
+                    None => {
+                        queue = shared.not_full.wait(queue).unwrap();
+                    }
+                },
                 Admission::Reject => {
                     drop(queue);
                     shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
@@ -426,11 +552,7 @@ impl ServerHandle {
     /// Fail a job that never made it into the queue, dissolving its
     /// flight so parked duplicates fail with it rather than hang.
     fn refuse(&self, job: &Job, error: ServeError) {
-        let waiters = self.shared.take_flight(&job.req);
-        job.cell.resolve(Err(error.clone()));
-        for cell in waiters {
-            cell.resolve(Err(error.clone()));
-        }
+        self.shared.fail(job, error);
     }
 
     /// Submit and wait: the drop-in replacement for the deprecated
@@ -448,22 +570,30 @@ impl ServerHandle {
         self.shared.snapshot()
     }
 
+    /// A point-in-time snapshot of the supervision health counters.
+    pub fn health(&self) -> HealthSnapshot {
+        self.shared.health()
+    }
+
     /// The configuration the server was started with.
     pub fn config(&self) -> ServiceConfig {
         self.shared.config
     }
 }
 
-/// The always-on server: owns the worker threads. Dropping it closes
-/// the queue, drains every already-admitted job, and joins the workers
-/// — no admitted ticket is ever abandoned.
+/// The always-on server: owns the worker threads. Dropping it **aborts**:
+/// still-queued jobs fail with [`ServeError::Closed`], in-flight solves
+/// are cancelled at their next pass boundary, and every outstanding
+/// ticket resolves promptly — no parked waiter ever hangs on a dropped
+/// server. Call [`SolveServer::shutdown`] first for a graceful drain.
 pub struct SolveServer {
     shared: Arc<ServerShared>,
-    workers: Vec<thread::JoinHandle<()>>,
+    watchdog: Option<thread::JoinHandle<()>>,
 }
 
 impl SolveServer {
-    /// Start `config.workers()` worker threads over an empty queue.
+    /// Start `config.workers()` worker threads over an empty queue (plus
+    /// a watchdog thread iff [`ServiceConfig::watchdog`] is set).
     ///
     /// Worker `w` keeps its engine core warm between solves iff
     /// `w < config.pool_size()` — so `pool(0)` reproduces the
@@ -477,17 +607,23 @@ impl SolveServer {
             not_full: Condvar::new(),
             memo: Mutex::new(Memo::default()),
             stats: AtomicStats::default(),
+            health: AtomicHealth::default(),
+            threads: Mutex::new((0..config.workers()).map(|_| None).collect()),
+            inflight: Mutex::new((0..config.workers()).map(|_| None).collect()),
+            aborting: AtomicBool::new(false),
         });
-        let workers = (0..config.workers())
-            .map(|index| {
-                let shared = Arc::clone(&shared);
-                thread::Builder::new()
-                    .name(format!("d1lc-worker-{index}"))
-                    .spawn(move || worker_loop(index, &shared))
-                    .expect("spawn worker thread")
-            })
-            .collect();
-        SolveServer { shared, workers }
+        for index in 0..config.workers() {
+            let handle = spawn_worker(index, &shared);
+            shared.threads.lock().unwrap()[index] = Some(handle);
+        }
+        let watchdog = config.watchdog().map(|budget| {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("d1lc-watchdog".into())
+                .spawn(move || watchdog_loop(&shared, budget))
+                .expect("spawn watchdog thread")
+        });
+        SolveServer { shared, watchdog }
     }
 
     /// A new submission handle (cloneable; all handles are equivalent).
@@ -502,9 +638,15 @@ impl SolveServer {
         self.shared.snapshot()
     }
 
-    /// Close the queue and wait for the workers to drain it. Called by
-    /// `Drop`; exposed for callers that want shutdown at a chosen point
-    /// and a final stats read afterwards.
+    /// A point-in-time snapshot of the supervision health counters.
+    pub fn health(&self) -> HealthSnapshot {
+        self.shared.health()
+    }
+
+    /// Graceful shutdown: close the queue, let the workers drain every
+    /// already-admitted job to completion, and join them. Use this when
+    /// admitted work should still be answered; `Drop` instead aborts
+    /// (admitted-but-unstarted jobs fail with [`ServeError::Closed`]).
     pub fn shutdown(&mut self) {
         {
             let mut queue = self.shared.queue.lock().unwrap();
@@ -512,21 +654,101 @@ impl SolveServer {
             self.shared.not_empty.notify_all();
             self.shared.not_full.notify_all();
         }
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
+        self.join_all();
+    }
+
+    /// Fail-fast teardown: close the queue, fail every still-queued job
+    /// with [`ServeError::Closed`], cancel in-flight solves at their
+    /// next pass boundary (they also resolve [`ServeError::Closed`]),
+    /// and join the workers. Every outstanding ticket is resolved by the
+    /// time this returns. Called by `Drop`.
+    pub fn abort(&mut self) {
+        self.shared.aborting.store(true, Ordering::Relaxed);
+        let orphans: Vec<Job> = {
+            let mut queue = self.shared.queue.lock().unwrap();
+            queue.closed = true;
+            queue.full_since = None;
+            self.shared.not_empty.notify_all();
+            self.shared.not_full.notify_all();
+            queue.jobs.drain(..).collect()
+        };
+        for job in &orphans {
+            self.shared.fail(job, ServeError::Closed);
+        }
+        // Ask every in-flight solve to stop at its next pass boundary.
+        for slot in self.shared.inflight.lock().unwrap().iter().flatten() {
+            slot.flag.store(true, Ordering::Relaxed);
+        }
+        self.join_all();
+    }
+
+    /// Join every worker (and the watchdog). Handles are taken one at a
+    /// time so no registry lock is held across a `join` — a panicked
+    /// worker's replacement registers itself concurrently and is picked
+    /// up by a later iteration.
+    fn join_all(&mut self) {
+        loop {
+            let handle = {
+                let mut threads = self.shared.threads.lock().unwrap();
+                threads.iter_mut().find_map(Option::take)
+            };
+            match handle {
+                Some(h) => drop(h.join()),
+                None => break,
+            }
+        }
+        if let Some(h) = self.watchdog.take() {
+            let _ = h.join();
         }
     }
 }
 
 impl Drop for SolveServer {
     fn drop(&mut self) {
-        self.shutdown();
+        self.abort();
     }
 }
 
-/// Worker thread body: pop, enforce policy, solve, publish. Exits when
-/// the queue is closed *and* empty (graceful drain).
-fn worker_loop(index: usize, shared: &ServerShared) {
+/// Spawn (or respawn) the worker for `index`, bumping the live gauge
+/// before the thread exists so the count never under-reports.
+fn spawn_worker(index: usize, shared: &Arc<ServerShared>) -> thread::JoinHandle<()> {
+    shared.health.live_workers.fetch_add(1, Ordering::Relaxed);
+    let shared = Arc::clone(shared);
+    thread::Builder::new()
+        .name(format!("d1lc-worker-{index}"))
+        .spawn(move || worker_loop(index, &shared))
+        .expect("spawn worker thread")
+}
+
+/// Watchdog thread body: periodically scan the inflight table and raise
+/// the cancel flag of any solve that has outlived the budget. The flag
+/// is observed cooperatively at the solve's next pass boundary, where it
+/// surfaces as [`ServeError::DeadlineExceeded`] with the watchdog budget
+/// (see `run_job`). Exits when the queue closes.
+fn watchdog_loop(shared: &ServerShared, budget: Duration) {
+    // Tick well inside the budget so escalation lags it by at most a
+    // fraction; the floor keeps a tiny budget from busy-spinning.
+    let tick = (budget / 4).clamp(Duration::from_millis(1), Duration::from_millis(50));
+    loop {
+        if shared.queue.lock().unwrap().closed {
+            return;
+        }
+        thread::sleep(tick);
+        let now = Instant::now();
+        for slot in shared.inflight.lock().unwrap().iter().flatten() {
+            if now.duration_since(slot.started) >= budget {
+                slot.flag.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Worker thread body: pop, enforce policy, solve (under `catch_unwind`
+/// supervision), publish. Exits when the queue is closed *and* empty
+/// (graceful drain), or — after resolving the victim ticket,
+/// quarantining its core, and spawning its own replacement — when a job
+/// panics.
+fn worker_loop(index: usize, shared: &Arc<ServerShared>) {
     // The worker's resident warm core. Workers beyond the pool size run
     // fresh-session-per-solve.
     let mut resident: Option<PooledCore> = None;
@@ -536,23 +758,91 @@ fn worker_loop(index: usize, shared: &ServerShared) {
             let mut queue = shared.queue.lock().unwrap();
             loop {
                 if let Some(job) = queue.jobs.pop_front() {
+                    queue.full_since = None;
                     shared.not_full.notify_one();
                     break job;
                 }
                 if queue.closed {
+                    shared.health.live_workers.fetch_sub(1, Ordering::Relaxed);
                     return;
                 }
                 queue = shared.not_empty.wait(queue).unwrap();
             }
         };
-        run_job(shared, &job, &mut resident, retain);
+        // Publish the solve to the watchdog, run it panic-isolated,
+        // retract it. The per-job cancel flag serves both the watchdog
+        // (wedged-solve escalation) and `abort` (teardown).
+        let flag = Arc::new(AtomicBool::new(false));
+        shared.inflight.lock().unwrap()[index] = Some(Inflight {
+            started: Instant::now(),
+            flag: Arc::clone(&flag),
+        });
+        let had_core = resident.is_some();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            run_job(shared, &job, &mut resident, retain, &flag)
+        }));
+        shared.inflight.lock().unwrap()[index] = None;
+        if outcome.is_err() {
+            supervise_panic(index, shared, &job, &mut resident, had_core);
+            shared.health.live_workers.fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
     }
 }
 
+/// The supervisor path, run *on the dying worker itself* after its
+/// `catch_unwind` caught a job panic: resolve the victim ticket (and any
+/// parked duplicates) with [`ServeError::WorkerPanicked`], quarantine
+/// whatever is left of the resident core — a panicked solve may have
+/// left it mid-pass, so it is discarded, never returned to rotation —
+/// and spawn a cold replacement worker under the same index (unless the
+/// server is already closing, in which case the remaining workers and
+/// teardown own the queue). The caller exits right after.
+fn supervise_panic(
+    index: usize,
+    shared: &Arc<ServerShared>,
+    job: &Job,
+    resident: &mut Option<PooledCore>,
+    had_core: bool,
+) {
+    shared.fail(job, ServeError::WorkerPanicked { worker: index });
+    // If the panic struck mid-solve the core was consumed and dropped by
+    // the unwind; either way nothing resident survives the worker.
+    *resident = None;
+    if had_core {
+        shared
+            .health
+            .quarantined_cores
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    // Registration happens under the queue lock so the closed check and
+    // the new handle's visibility to `join_all` are atomic (lock order
+    // queue → threads).
+    let queue = shared.queue.lock().unwrap();
+    if queue.closed {
+        return;
+    }
+    shared.health.respawns.fetch_add(1, Ordering::Relaxed);
+    let replacement = spawn_worker(index, shared);
+    // Dropping the old handle detaches this (exiting) thread.
+    shared.threads.lock().unwrap()[index] = Some(replacement);
+    drop(queue);
+}
+
 /// Enforce the job's policy around [`solve_with_core`] and publish the
-/// outcome.
-fn run_job(shared: &ServerShared, job: &Job, resident: &mut Option<PooledCore>, retain: bool) {
+/// outcome. `flag` is the job's cooperative cancel line (watchdog +
+/// teardown); the caller owns panic isolation.
+fn run_job(
+    shared: &ServerShared,
+    job: &Job,
+    resident: &mut Option<PooledCore>,
+    retain: bool,
+    flag: &Arc<AtomicBool>,
+) {
     let policy = job.req.policy();
+    if policy.chaos_panic {
+        panic!("injected chaos panic (RequestPolicy::chaos_panic)");
+    }
     let deadline_at = policy.deadline.map(|d| job.submitted_at + d);
     // A request that expired while queued fails without touching the
     // engine — under overload this sheds work instead of compounding it.
@@ -570,7 +860,11 @@ fn run_job(shared: &ServerShared, job: &Job, resident: &mut Option<PooledCore>, 
     let mut attempt = 0;
     let outcome = loop {
         attempt += 1;
-        let cancel = deadline_at.map(CancelToken::at);
+        let mut token = CancelToken::flagged(Arc::clone(flag));
+        if let Some(at) = deadline_at {
+            token = token.with_deadline(at);
+        }
+        let cancel = Some(token);
         let mut core_use = CoreUse::default();
         let (solved, recovered) =
             solve_with_core(resident.take(), &job.req, cancel, attempt, &mut core_use);
@@ -586,10 +880,28 @@ fn run_job(shared: &ServerShared, job: &Job, resident: &mut Option<PooledCore>, 
         match solved {
             Ok(result) => break Ok(Arc::new(result)),
             Err(congest::SimError::Cancelled { .. }) => {
-                // The deadline fired mid-solve; retrying cannot help.
-                s.deadline_misses.fetch_add(1, Ordering::Relaxed);
-                break Err(ServeError::DeadlineExceeded {
-                    deadline: policy.deadline.expect("cancellation implies deadline"),
+                // The cancel line fired mid-solve; retrying cannot help.
+                // Attribute it: teardown beats deadline beats watchdog
+                // (an aborting server is Closed even if the deadline
+                // also lapsed meanwhile).
+                break Err(if shared.aborting.load(Ordering::Relaxed) {
+                    ServeError::Closed
+                } else if deadline_at.is_some_and(|at| Instant::now() >= at) {
+                    s.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                    ServeError::DeadlineExceeded {
+                        deadline: policy.deadline.expect("deadline_at implies deadline"),
+                    }
+                } else {
+                    // Only the watchdog is left as a cause: the wedged
+                    // solve is escalated with the watchdog budget as
+                    // its effective deadline.
+                    s.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                    ServeError::DeadlineExceeded {
+                        deadline: shared
+                            .config
+                            .watchdog()
+                            .expect("flag cancel without abort implies watchdog"),
+                    }
                 });
             }
             // Only transient errors (injected faults) are worth a
@@ -760,18 +1072,45 @@ mod tests {
     }
 
     #[test]
-    fn drop_drains_admitted_jobs() {
+    fn explicit_shutdown_drains_admitted_jobs() {
         let (g, lists) = instance(80, 10);
+        let mut server = SolveServer::start(ServiceConfig::builder().workers(1).build().unwrap());
+        let handle = server.handle();
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|i| handle.submit(SolveRequest::shared(&g, &lists, SolveOptions::seeded(i))))
+            .collect();
+        server.shutdown();
+        for ticket in &tickets {
+            assert!(ticket.wait().is_ok(), "admitted jobs drain on shutdown");
+            assert!(ticket.completed_at().is_some());
+        }
+        assert_eq!(server.health().live_workers, 0, "workers joined");
+    }
+
+    /// Dropping the server (no explicit shutdown) must not leave any
+    /// outstanding ticket unresolved: queued jobs fail `Closed`, solves
+    /// already running either complete or are cancelled to `Closed` at
+    /// the next pass boundary. See `tests/server_concurrency.rs` for the
+    /// cross-thread regression version.
+    #[test]
+    fn drop_resolves_outstanding_tickets_promptly() {
+        let (g, lists) = instance(80, 14);
         let server = SolveServer::start(ServiceConfig::builder().workers(1).build().unwrap());
         let handle = server.handle();
         let tickets: Vec<Ticket> = (0..8)
             .map(|i| handle.submit(SolveRequest::shared(&g, &lists, SolveOptions::seeded(i))))
             .collect();
         drop(server);
+        let mut closed = 0;
         for ticket in &tickets {
-            assert!(ticket.wait().is_ok(), "admitted jobs drain on shutdown");
-            assert!(ticket.completed_at().is_some());
+            match ticket.wait() {
+                Ok(_) => {}
+                Err(ServeError::Closed) => closed += 1,
+                other => panic!("expected Ok or Closed, got {other:?}"),
+            }
+            assert!(ticket.completed_at().is_some(), "every ticket resolved");
         }
+        assert!(closed > 0, "8 queued jobs cannot all finish before drop");
     }
 
     #[test]

@@ -55,6 +55,15 @@ pub struct RequestPolicy {
     /// are never retried: they would fail identically every time, so
     /// they fail fast with [`ServeError::Engine`] whatever the limit.
     pub retry_limit: u32,
+    /// Chaos instrumentation: make the worker that dequeues this request
+    /// **panic** before touching the engine. Exists to test the server's
+    /// supervision path (ticket resolved with
+    /// [`ServeError::WorkerPanicked`], resident core quarantined, worker
+    /// respawned) without a special test build. Like the rest of the
+    /// policy it is not part of the memo key — but a chaos request that
+    /// joins an in-flight duplicate simply shares that flight's outcome
+    /// and never reaches a worker.
+    pub chaos_panic: bool,
 }
 
 /// One solve request: an instance plus the full option set and the
@@ -123,6 +132,15 @@ impl SolveRequest {
     #[must_use]
     pub fn with_retry_limit(mut self, retries: u32) -> Self {
         self.policy.retry_limit = retries;
+        self
+    }
+
+    /// Make the worker that picks this request up panic (see
+    /// [`RequestPolicy::chaos_panic`]) — supervision-test
+    /// instrumentation, not a serving feature.
+    #[must_use]
+    pub fn with_chaos_panic(mut self) -> Self {
+        self.policy.chaos_panic = true;
         self
     }
 
@@ -206,6 +224,8 @@ pub struct ServiceConfig {
     pool_size: usize,
     memo_capacity: usize,
     admission: Admission,
+    watchdog: Option<Duration>,
+    shed_after: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -272,6 +292,25 @@ impl ServiceConfig {
     pub fn admission(&self) -> Admission {
         self.admission
     }
+
+    /// Wedged-solve watchdog budget: the longest a single solve may run
+    /// after dequeue before the server escalates it (cooperative cancel
+    /// at the next pass boundary, surfaced as
+    /// [`ServeError::DeadlineExceeded`] with this budget). `None`
+    /// (default) = no watchdog thread at all.
+    pub fn watchdog(&self) -> Option<Duration> {
+        self.watchdog
+    }
+
+    /// Graceful-degradation load shedding for [`Admission::Block`]: once
+    /// the queue has been continuously full for this long, blocked
+    /// submitters stop waiting and fail with [`ServeError::Overloaded`]
+    /// (counted in [`crate::server::HealthSnapshot::shed`]). `None`
+    /// (default) = block indefinitely. Irrelevant under
+    /// [`Admission::Reject`], which sheds instantly.
+    pub fn shed_after(&self) -> Option<Duration> {
+        self.shed_after
+    }
 }
 
 /// Builder for [`ServiceConfig`]; `build()` validates every knob.
@@ -285,6 +324,8 @@ pub struct ServiceConfigBuilder {
     pool: Option<usize>,
     memo: Option<usize>,
     admission: Option<Admission>,
+    watchdog: Option<Duration>,
+    shed_after: Option<Duration>,
 }
 
 impl ServiceConfigBuilder {
@@ -324,6 +365,21 @@ impl ServiceConfigBuilder {
         self
     }
 
+    /// Wedged-solve watchdog budget (see [`ServiceConfig::watchdog`]).
+    #[must_use]
+    pub fn watchdog(mut self, budget: Duration) -> Self {
+        self.watchdog = Some(budget);
+        self
+    }
+
+    /// Sustained-overload shedding threshold for blocking admission (see
+    /// [`ServiceConfig::shed_after`]).
+    #[must_use]
+    pub fn shed_after(mut self, after: Duration) -> Self {
+        self.shed_after = Some(after);
+        self
+    }
+
     /// Validate and assemble the configuration.
     ///
     /// # Errors
@@ -349,6 +405,8 @@ impl ServiceConfigBuilder {
             pool_size: self.pool.unwrap_or(workers),
             memo_capacity: self.memo.unwrap_or(128),
             admission: self.admission.unwrap_or_default(),
+            watchdog: self.watchdog,
+            shed_after: self.shed_after,
         })
     }
 }
@@ -387,8 +445,19 @@ pub enum ServeError {
     /// is deterministic (not [`SimError::is_transient`] — e.g. a strict
     /// bandwidth violation) and a retry could never turn out different.
     Engine(SimError),
-    /// The server shut down: submitted after close, or (for
-    /// [`crate::server::Ticket::wait`]) abandoned by a dropped server.
+    /// The worker thread solving this request **panicked**. The
+    /// supervisor resolved the ticket (so no waiter hangs), quarantined
+    /// the worker's resident engine core, and respawned the worker;
+    /// the request itself was not completed. A panic is a bug (or
+    /// injected chaos, [`RequestPolicy::chaos_panic`]), not a transient
+    /// fault — it is never retried by the server.
+    WorkerPanicked {
+        /// The index of the worker that died.
+        worker: usize,
+    },
+    /// The server shut down: submitted after close, still queued when
+    /// the server was dropped, or cancelled mid-solve by a dropping
+    /// server (see `SolveServer::abort`).
     Closed,
 }
 
@@ -405,6 +474,9 @@ impl std::fmt::Display for ServeError {
                 write!(f, "all {attempts} attempts failed; last: {last}")
             }
             ServeError::Engine(e) => write!(f, "engine error: {e}"),
+            ServeError::WorkerPanicked { worker } => {
+                write!(f, "worker {worker} panicked while solving this request")
+            }
             ServeError::Closed => write!(f, "server closed"),
         }
     }

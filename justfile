@@ -69,6 +69,15 @@ bench-chaos:
 bench-sharding:
     cargo run --release -p bench --bin experiments -- --json BENCH_8.json E0f
 
+# Crash bench: the E0g crash-chaos sweep (crash-rate × recovery-delay
+# plans over the shards {1, 2, 4, 8} × threads {1, 2, 8} grid;
+# BENCH_9.json at the repo root is the committed full-scale snapshot).
+# Its run asserts proper colorings on the live graph and byte-identical
+# transcripts across every geometry and all three engine generations
+# before any timing is reported.
+bench-crash:
+    cargo run --release -p bench --bin experiments -- --json BENCH_9.json E0g
+
 # Full-scale scenario sweep (S1–S6) → BENCH_3.json, the committed
 # snapshot EXPERIMENTS.md's full-scale section is rendered from. Slow;
 # rerun only when solver behaviour changes, then `just experiments-md`.
@@ -100,6 +109,7 @@ test-slow:
     cargo test -q --workspace --features slow-tests
     PROPTEST_CASES=96 cargo test -q --test prop_invariants faulty_
     PROPTEST_CASES=96 cargo test -q --test prop_invariants sharded_
+    PROPTEST_CASES=96 cargo test -q --test prop_invariants crashed_
 
 # Rustdoc exactly as CI enforces it (warnings are errors).
 doc:

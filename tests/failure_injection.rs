@@ -178,6 +178,79 @@ fn lossy_network_still_colors_properly_at_any_drop_rate() {
 }
 
 #[test]
+fn crashed_nodes_still_color_properly_at_any_crash_rate() {
+    // Quarantine-and-recolor must hold the proper-coloring guarantee at
+    // every crash rate — up to and including every node crash-stopping
+    // at round 0 (the fully-silent network: nothing colors in-protocol,
+    // the repair sweep colors everything centrally).
+    let g = gen::gnp(64, 0.12, 23);
+    let lists = degree_plus_one_lists(&g);
+    for (rate, recovery) in [(0.01, 0), (0.05, 3), (0.3, 2), (1.0, 1), (1.0, 0)] {
+        let plan = FaultPlan::none().with_crashes(rate, recovery);
+        let r = solve(&g, &lists, faulty_opts(7, plan)).expect("solve");
+        assert_eq!(
+            check_coloring(&g, &lists, &r.coloring),
+            Ok(()),
+            "improper coloring at crash rate {rate} recovery {recovery}"
+        );
+    }
+    // A moderate recovery plan must actually have crashed nodes — the
+    // counters and the quarantine stat prove the path was exercised.
+    let plan = FaultPlan::none().with_crashes(0.05, 3);
+    let r = solve(&g, &lists, faulty_opts(7, plan)).expect("solve");
+    assert!(r.log.fault_totals().crashes > 0, "no crash events recorded");
+    assert!(!r.log.crashed_union().is_empty(), "no crashed nodes listed");
+    assert!(
+        r.stats.quarantined > 0,
+        "recovered nodes re-colored in-protocol should still be quarantined"
+    );
+}
+
+#[test]
+fn crashes_compose_with_message_faults() {
+    // Crash fates stack on top of drop/delay/dup: all streams fire, the
+    // coloring stays proper, and the run is reproducible.
+    let g = gen::gnp(72, 0.1, 24);
+    let lists = degree_plus_one_lists(&g);
+    let plan = FaultPlan::lossy(0.2)
+        .with_delay(0.2, 3)
+        .with_dup(0.2)
+        .with_crashes(0.02, 2);
+    let r = solve(&g, &lists, faulty_opts(8, plan)).expect("solve");
+    assert_eq!(check_coloring(&g, &lists, &r.coloring), Ok(()));
+    let totals = r.log.fault_totals();
+    assert!(totals.dropped > 0 && totals.delayed > 0 && totals.duplicated > 0);
+    assert!(totals.crashes > 0, "crash stream never fired");
+    let again = solve(&g, &lists, faulty_opts(8, plan)).expect("solve");
+    assert_eq!(r.coloring, again.coloring, "crashed solve not reproducible");
+    assert_eq!(r.log.passes(), again.log.passes());
+}
+
+#[test]
+fn fatal_crash_plans_fail_loud_with_transient_errors() {
+    // `with_fatal_crashes` turns the first crash into `NodeCrashed`;
+    // `with_quorum` turns losing too many nodes into `QuorumLost`. Both
+    // are transient (a re-salted retry rolls new fates), unlike a strict
+    // bandwidth violation.
+    let g = gen::gnp(48, 0.15, 25);
+    let lists = degree_plus_one_lists(&g);
+    let fatal = FaultPlan::none().with_crashes(0.3, 0).with_fatal_crashes();
+    let err = solve(&g, &lists, faulty_opts(9, fatal)).expect_err("a 0.3 rate must crash someone");
+    assert!(
+        matches!(err, SimError::NodeCrashed { .. }),
+        "expected NodeCrashed, got {err:?}"
+    );
+    assert!(err.is_transient(), "crash faults are transient");
+    let quorum = FaultPlan::none().with_crashes(1.0, 0).with_quorum(40);
+    let err = solve(&g, &lists, faulty_opts(9, quorum)).expect_err("all nodes down loses quorum");
+    assert!(
+        matches!(err, SimError::QuorumLost { quorum: 40, .. }),
+        "expected QuorumLost, got {err:?}"
+    );
+    assert!(err.is_transient());
+}
+
+#[test]
 fn delayed_and_duplicated_messages_are_absorbed() {
     let g = gen::gnp(72, 0.1, 22);
     let lists = degree_plus_one_lists(&g);

@@ -305,9 +305,24 @@ mod plane_vs_reference {
         seed: u64,
         plan: congest::FaultPlan,
     ) -> Result<(), String> {
+        let cap = SimConfig::seeded(seed).max_rounds;
+        assert_sharded_generations_agree_capped(graph, seed, plan, cap)
+    }
+
+    /// [`assert_sharded_generations_agree`] with an explicit per-run
+    /// round cap. Crash plans need one: a crash-stopped chatter node
+    /// never reports done, so an uncapped faulty run would spin to the
+    /// default 100k-round ceiling (forgiving mode never errors out).
+    pub fn assert_sharded_generations_agree_capped(
+        graph: &Graph,
+        seed: u64,
+        plan: congest::FaultPlan,
+        max_rounds: u64,
+    ) -> Result<(), String> {
         let n = graph.n();
         let cfg = SimConfig {
             fault: plan,
+            max_rounds,
             ..SimConfig::seeded(seed)
         };
         let (ref_progs, ref_report) =
@@ -629,6 +644,83 @@ proptest! {
                     base.stats == other.stats,
                     "faulty stats diverged: {:?} t={}",
                     engine,
+                    threads
+                );
+            }
+        }
+    }
+
+    /// PR-9 tentpole contract: crash fates are a pure function of
+    /// `(pass seed, plan, node, round)`. Runs under crash-stop and
+    /// crash-recovery plans (optionally composed with message loss)
+    /// reproduce the preserved engine generations byte for byte — same
+    /// per-node transcripts, same `RunReport` (crash counters and
+    /// crashed lists included) — across shards {1, 2, 4, 8} × threads
+    /// {1, 2, 8}, and a full pipeline solve over the shard axis yields
+    /// the identical proper coloring via quarantine-and-recolor.
+    #[test]
+    fn crashed_runs_agree_byte_for_byte(
+        kind in 0usize..5,
+        n in 2usize..200,
+        p in 0.0f64..0.15,
+        gseed in 0u64..1000,
+        lseed in 0u64..500,
+        seed in 0u64..1000,
+        crash_pm in 1u32..60,
+        recovery in 0u32..5,
+        drop_pm in 0u32..400,
+    ) {
+        use congest_coloring::congest::{FaultPlan, SimConfig};
+        use congest_coloring::d1lc::EngineMode;
+
+        let plan = FaultPlan::lossy(f64::from(drop_pm) / 1000.0)
+            .with_crashes(f64::from(crash_pm) / 1000.0, recovery);
+        let graph = plane_vs_reference::graph_for(kind, n, p, gseed);
+        // Engine level: a crash-stopped node never finishes, so the run
+        // is bounded by the cap, not by termination.
+        if let Err(msg) =
+            plane_vs_reference::assert_sharded_generations_agree_capped(&graph, seed, plan, 64)
+        {
+            prop_assert!(false, "{}", msg);
+        }
+        // Pipeline level: quarantine-and-recolor keeps the solve proper
+        // and byte-identical to the unsharded anchor.
+        let lists = random_lists(&graph, 32, 0, lseed);
+        let run = |shards: usize, threads: usize| {
+            let opts = SolveOptions {
+                engine: EngineMode::Session,
+                sim: SimConfig {
+                    threads,
+                    shards,
+                    fault: plan,
+                    max_rounds: 100,
+                    ..SimConfig::default()
+                },
+                ..SolveOptions::seeded(seed)
+            };
+            solve(&graph, &lists, opts).expect("crashed solve completes")
+        };
+        let base = run(0, 1);
+        prop_assert_eq!(check_coloring(&graph, &lists, &base.coloring), Ok(()));
+        for shards in [1usize, 4, 8] {
+            for threads in [1usize, 8] {
+                let other = run(shards, threads);
+                prop_assert!(
+                    base.coloring == other.coloring,
+                    "crashed coloring diverged: shards={} t={}",
+                    shards,
+                    threads
+                );
+                prop_assert!(
+                    base.log.passes() == other.log.passes(),
+                    "crashed pass log diverged: shards={} t={}",
+                    shards,
+                    threads
+                );
+                prop_assert!(
+                    base.stats == other.stats,
+                    "crashed stats diverged: shards={} t={}",
+                    shards,
                     threads
                 );
             }

@@ -215,6 +215,210 @@ fn injected_faults_are_absorbed_by_retries() {
     assert_eq!(stats.completed, 4);
 }
 
+/// PR-9 tentpole: a panicking worker is supervised. The victim ticket
+/// resolves with `WorkerPanicked` (no hang), the worker's resident core
+/// is quarantined (never returned to rotation), the supervisor respawns
+/// the worker, and subsequent submissions serve byte-identical responses
+/// — all visible through `HealthSnapshot`.
+#[test]
+fn worker_panic_is_supervised_and_resolves_every_ticket() {
+    let (g, lists) = instance(90, 6);
+    let config = ServiceConfig::builder()
+        .workers(1)
+        .pool(1)
+        .memo(0)
+        .build()
+        .unwrap();
+    let server = SolveServer::start(config);
+    let handle = server.handle();
+    assert_eq!(handle.health().live_workers, 1);
+
+    // Warm the (single) worker's resident core with a normal solve.
+    let req = SolveRequest::shared(&g, &lists, SolveOptions::seeded(11));
+    let first = handle.solve(req.clone()).expect("serves before the panic");
+
+    // Chaos: the next job panics the worker mid-service.
+    let chaos = SolveRequest::shared(&g, &lists, SolveOptions::seeded(12)).with_chaos_panic();
+    match handle.solve(chaos) {
+        Err(ServeError::WorkerPanicked { worker: 0 }) => {}
+        other => panic!("expected WorkerPanicked from worker 0, got {other:?}"),
+    }
+
+    // The respawned worker serves the identical request byte-for-byte
+    // (from a cold core — the warm one was poisoned and discarded).
+    let second = handle.solve(req).expect("serves after the respawn");
+    assert_eq!(first.coloring, second.coloring);
+    assert_eq!(first.log.passes(), second.log.passes());
+    assert_eq!(first.stats, second.stats);
+
+    let health = handle.health();
+    assert_eq!(health.respawns, 1, "supervisor must respawn the worker");
+    assert_eq!(
+        health.quarantined_cores, 1,
+        "the panicked worker's resident core must be quarantined"
+    );
+    assert_eq!(health.live_workers, 1, "the pool is back to strength");
+    let stats = handle.stats();
+    assert_eq!(
+        stats.fresh_sessions, 2,
+        "the replacement starts cold: both real solves build fresh ({stats:?})"
+    );
+}
+
+/// Repeated panics: every chaos ticket resolves, every respawn counts,
+/// and the server keeps serving between failures.
+#[test]
+fn repeated_panics_never_hang_tickets() {
+    let (g, lists) = instance(60, 7);
+    let config = ServiceConfig::builder().workers(2).memo(0).build().unwrap();
+    let server = SolveServer::start(config);
+    let handle = server.handle();
+    for round in 0..3u64 {
+        let chaos =
+            SolveRequest::shared(&g, &lists, SolveOptions::seeded(round)).with_chaos_panic();
+        assert!(
+            matches!(handle.solve(chaos), Err(ServeError::WorkerPanicked { .. })),
+            "round {round}"
+        );
+        let ok = handle
+            .solve(SolveRequest::shared(
+                &g,
+                &lists,
+                SolveOptions::seeded(100 + round),
+            ))
+            .expect("server keeps serving between panics");
+        assert_eq!(
+            congest_coloring::graphs::palette::check_coloring(&g, &lists, &ok.coloring),
+            Ok(())
+        );
+    }
+    let health = handle.health();
+    assert_eq!(health.respawns, 3);
+    assert_eq!(health.live_workers, 2);
+}
+
+/// PR-9 satellite (teardown regression): dropping the `SolveServer`
+/// while tickets are outstanding must resolve every one of them promptly
+/// — queued jobs fail `Closed`, nothing hangs — even with waiter threads
+/// parked on the tickets from elsewhere.
+#[test]
+fn drop_with_outstanding_tickets_fails_closed_promptly() {
+    let (g, lists) = instance(220, 8);
+    let config = ServiceConfig::builder()
+        .workers(1)
+        .queue(16)
+        .memo(0)
+        .build()
+        .unwrap();
+    let server = SolveServer::start(config);
+    let handle = server.handle();
+    let tickets: Vec<_> = (0..8)
+        .map(|i| handle.submit(SolveRequest::shared(&g, &lists, SolveOptions::seeded(i))))
+        .collect();
+    // Park waiter threads on the tail tickets BEFORE the drop: the old
+    // drain-on-drop semantics would leave them blocked behind 8 solves;
+    // the fix resolves them with `Closed` instead.
+    let waiters: Vec<_> = tickets
+        .iter()
+        .skip(4)
+        .map(|t| {
+            let t = t.clone();
+            thread::spawn(move || t.wait())
+        })
+        .collect();
+    drop(server);
+    let mut closed = 0;
+    for ticket in &tickets {
+        match ticket.try_result() {
+            Some(Ok(_)) => {}
+            Some(Err(ServeError::Closed)) => closed += 1,
+            other => panic!("unresolved or unexpected ticket after drop: {other:?}"),
+        }
+    }
+    assert!(closed > 0, "8 queued jobs cannot all finish before drop");
+    for w in waiters {
+        match w.join().expect("waiter thread") {
+            Ok(_) | Err(ServeError::Closed) => {}
+            other => panic!("parked waiter got {other:?}"),
+        }
+    }
+    // Submissions through a surviving handle fail Closed immediately.
+    let late = handle.solve(SolveRequest::shared(&g, &lists, SolveOptions::seeded(99)));
+    assert_eq!(late.unwrap_err(), ServeError::Closed);
+}
+
+/// The wedged-solve watchdog escalates a solve that outlives its budget:
+/// the ticket resolves with `DeadlineExceeded` carrying the watchdog
+/// budget, and the worker survives to serve the next request.
+#[test]
+fn watchdog_escalates_wedged_solves() {
+    use std::time::Duration;
+    // Large instance + tiny budget: the solve cannot finish in 2ms, so
+    // the watchdog cancels it at a pass boundary.
+    let (g, lists) = instance(600, 9);
+    let budget = Duration::from_millis(2);
+    let config = ServiceConfig::builder()
+        .workers(1)
+        .memo(0)
+        .watchdog(budget)
+        .build()
+        .unwrap();
+    let server = SolveServer::start(config);
+    let handle = server.handle();
+    match handle.solve(SolveRequest::shared(&g, &lists, SolveOptions::seeded(1))) {
+        Err(ServeError::DeadlineExceeded { deadline }) => assert_eq!(deadline, budget),
+        other => panic!("expected watchdog escalation, got {other:?}"),
+    }
+    assert!(handle.stats().deadline_misses >= 1);
+    // The worker is not wedged: a small request still serves.
+    let (g2, l2) = instance(20, 10);
+    handle
+        .solve(SolveRequest::shared(&g2, &l2, SolveOptions::seeded(2)))
+        .expect("small solve beats the watchdog");
+}
+
+/// Graceful degradation: with Block admission and `shed_after`, a queue
+/// that stays full sheds blocked submitters instead of parking them
+/// forever, and the shed count lands in `HealthSnapshot`.
+#[test]
+fn sustained_overload_sheds_blocked_submitters() {
+    use std::time::Duration;
+    let (g, lists) = instance(300, 11);
+    let config = ServiceConfig::builder()
+        .workers(1)
+        .queue(1)
+        .memo(0)
+        .shed_after(Duration::from_millis(5))
+        .build()
+        .unwrap();
+    let server = SolveServer::start(config);
+    let handle = server.handle();
+    // Flood from threads: 1 worker + depth-1 queue stay saturated far
+    // longer than the 5ms shed threshold, so some blocked submitters
+    // must shed.
+    let outcomes: Vec<_> = (0..6u64)
+        .map(|i| {
+            let handle = handle.clone();
+            let (g, lists) = (Arc::clone(&g), Arc::clone(&lists));
+            thread::spawn(move || {
+                handle.solve(SolveRequest::shared(&g, &lists, SolveOptions::seeded(i)))
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|t| t.join().expect("submitter thread"))
+        .collect();
+    let ok = outcomes.iter().filter(|o| o.is_ok()).count();
+    let shed = outcomes
+        .iter()
+        .filter(|o| matches!(o, Err(ServeError::Overloaded { depth: 1 })))
+        .count();
+    assert_eq!(ok + shed, 6, "no request may vanish");
+    assert!(ok >= 1, "the queue still serves");
+    assert!(shed >= 1, "sustained overload must shed someone");
+    assert_eq!(handle.health().shed as usize, shed);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
 
