@@ -34,6 +34,7 @@
 pub mod claims;
 pub mod exp_ablation;
 pub mod exp_acd;
+pub mod exp_async;
 pub mod exp_chaos;
 pub mod exp_coloring;
 pub mod exp_crash;

@@ -52,8 +52,9 @@ pub fn render_experiments_md(full: &Value, quick: &Value) -> Result<String, Stri
          file tracks the sweepable claims.\n\
          \n\
          The robustness experiments assert their claims inline rather than\n\
-         fitting curves: E0e (fault chaos, `BENCH_7.json`) and E0g (crash\n\
-         chaos, `BENCH_9.json`) hard-fail unless every swept cell produces a\n\
+         fitting curves: E0e (fault chaos, `BENCH_7.json`), E0g (crash\n\
+         chaos, `BENCH_9.json`), and E0h (async schedules, `BENCH_10.json`)\n\
+         hard-fail unless every swept cell produces a\n\
          proper coloring with byte-identical transcripts across engine\n\
          generations, threads {1, 2, 8}, and shards {1, 2, 4, 8}. Degradation\n\
          under those plans is recorded as data, not treated as failure: crash\n\
@@ -61,7 +62,12 @@ pub fn render_experiments_md(full: &Value, quick: &Value) -> Result<String, Stri
          full propriety, while crash-stop plans eventually silence every node,\n\
          run passes to the round cap, and complete the coloring through the\n\
          quarantine-and-recolor repair path — the `quarantined` and\n\
-         `repairs` columns in those snapshots say exactly when that happened.\n",
+         `repairs` columns in those snapshots say exactly when that happened.\n\
+         E0h prices the \u{3b1}-synchronizer honestly: its pulses-per-round,\n\
+         max-wait, and sync-bit columns are simulated synchronizer overhead\n\
+         (the transcript itself never changes), and a schedule that out-waits\n\
+         the watchdog must fail loud with `ScheduleStalled`, never silently\n\
+         wrong.\n",
     );
     out.push_str("\n## Quick-scale sweep (CI drift gate)\n");
     render_sweep_sections(quick, false, &mut out)?;

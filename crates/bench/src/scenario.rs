@@ -14,8 +14,8 @@ use crate::sweep::{run_sweep, Algorithm, Metric, SweepOutcome, SweepSpec};
 use crate::table::{f2, mean, Table};
 use crate::workloads::{self, Instance, Scale};
 use crate::{
-    exp_ablation, exp_acd, exp_chaos, exp_coloring, exp_crash, exp_estimate, exp_hash, exp_plane,
-    exp_server, exp_service, exp_session, exp_sharding, Experiment,
+    exp_ablation, exp_acd, exp_async, exp_chaos, exp_coloring, exp_crash, exp_estimate, exp_hash,
+    exp_plane, exp_server, exp_service, exp_session, exp_sharding, Experiment,
 };
 
 /// What running a scenario produces: always a printable table; for sweep
@@ -384,6 +384,7 @@ pub fn registry() -> Vec<Box<dyn Scenario>> {
     all.extend(exp_server::scenarios());
     all.extend(exp_chaos::scenarios());
     all.extend(exp_crash::scenarios());
+    all.extend(exp_async::scenarios());
     all.extend(exp_sharding::scenarios());
     all.extend(exp_coloring::scenarios());
     all.extend(exp_estimate::scenarios());
@@ -406,8 +407,8 @@ mod tests {
         let set: HashSet<&str> = ids.iter().copied().collect();
         assert_eq!(set.len(), ids.len(), "duplicate scenario ids: {ids:?}");
         for wanted in [
-            "E0", "E0b", "E0c", "E0d", "E0e", "E0g", "E1", "E9", "E16c", "S1", "S2", "S3", "S4",
-            "S5", "S6",
+            "E0", "E0b", "E0c", "E0d", "E0e", "E0g", "E0h", "E1", "E9", "E16c", "S1", "S2", "S3",
+            "S4", "S5", "S6",
         ] {
             assert!(set.contains(wanted), "{wanted} missing from registry");
         }

@@ -16,6 +16,7 @@ use crate::fault::FaultPlan;
 use crate::message::bits_for_range;
 use crate::metrics::RunReport;
 use crate::program::Program;
+use crate::sched::SchedulePlan;
 use crate::session::Session;
 use graphs::Graph;
 
@@ -57,6 +58,15 @@ pub struct SimConfig {
     /// [`FaultPlan`]). The default, [`FaultPlan::none`], leaves every
     /// engine on its unmodified fault-free path — bit for bit.
     pub fault: FaultPlan,
+    /// Asynchronous execution under a deterministic schedule adversary,
+    /// run through the α-synchronizer (see [`SchedulePlan`]): the
+    /// transcript stays byte-identical to the synchronous engine while
+    /// [`RunReport::sched`] records the synchronizer's overhead, and a
+    /// wedged schedule fails loud with
+    /// [`SimError::ScheduleStalled`]. The default,
+    /// [`SchedulePlan::none`], leaves every engine on its unmodified
+    /// lock-step path — bit for bit.
+    pub sched: SchedulePlan,
 }
 
 impl Default for SimConfig {
@@ -68,6 +78,7 @@ impl Default for SimConfig {
             threads: 1,
             shards: 0,
             fault: FaultPlan::none(),
+            sched: SchedulePlan::none(),
         }
     }
 }

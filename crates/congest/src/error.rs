@@ -66,6 +66,23 @@ pub enum SimError {
         /// Round at which the census was taken (the run's last round).
         round: u64,
     },
+    /// The α-synchronizer's progress watchdog fired: under the active
+    /// [`SchedulePlan`](crate::SchedulePlan), a node waited more pulses
+    /// between consecutive rounds than the plan's
+    /// [`patience`](crate::SchedulePlan::patience) allows — the schedule
+    /// adversary wedged the run. **Not** transient: the schedule is a
+    /// pure function of `(seed, plan)`, so an unmodified retry stalls
+    /// identically; a serving layer must fail fast instead of burning
+    /// its retry budget (re-plan or re-salt to make progress).
+    ScheduleStalled {
+        /// The first stalled node (lowest id among that round's stalls).
+        node: NodeId,
+        /// Round (within the failing pass) the node could not reach in
+        /// time.
+        round: u64,
+        /// Pulses the node waited (strictly above the plan's patience).
+        waited: u64,
+    },
 }
 
 impl SimError {
@@ -76,7 +93,10 @@ impl SimError {
     /// transient: each is a roll of the plan's dice, so a retry under a
     /// re-salted plan rolls again. Everything else is deterministic — a
     /// protocol addressing a non-neighbor, a strict bandwidth cap it
-    /// genuinely exceeds, or a cooperative cancellation — and would fail
+    /// genuinely exceeds, a cooperative cancellation, or a schedule
+    /// adversary that wedged the synchronizer past its patience
+    /// ([`SimError::ScheduleStalled`] replays identically because the
+    /// schedule is a pure function of `(seed, plan)`) — and would fail
     /// identically on every retry; a serving layer must not burn its
     /// retry budget on those.
     pub fn is_transient(&self) -> bool {
@@ -125,6 +145,14 @@ impl std::fmt::Display for SimError {
                 f,
                 "round {round}: quorum lost, {live} nodes live of {quorum} required"
             ),
+            SimError::ScheduleStalled {
+                node,
+                round,
+                waited,
+            } => write!(
+                f,
+                "round {round}: schedule stalled, node {node} waited {waited} pulses"
+            ),
         }
     }
 }
@@ -162,13 +190,20 @@ mod tests {
             round: 40,
         };
         assert!(e5.to_string().contains("2 nodes live") && e5.to_string().contains('8'));
+        let e6 = SimError::ScheduleStalled {
+            node: 6,
+            round: 11,
+            waited: 9,
+        };
+        let s6 = e6.to_string();
+        assert!(s6.contains("node 6") && s6.contains("round 11") && s6.contains("9 pulses"));
     }
 
     /// The full classification table: the fault-plan family is transient
     /// (worth a re-salted retry), everything deterministic is not.
     #[test]
     fn transient_classification_table() {
-        let table: [(SimError, bool); 6] = [
+        let table: [(SimError, bool); 7] = [
             (SimError::FaultInjected { round: 0 }, true),
             (SimError::NodeCrashed { node: 1, round: 2 }, true),
             (
@@ -198,6 +233,16 @@ mod tests {
                 false,
             ),
             (SimError::Cancelled { after_passes: 3 }, false),
+            // A stalled schedule replays identically — retrying it
+            // verbatim can never succeed.
+            (
+                SimError::ScheduleStalled {
+                    node: 2,
+                    round: 5,
+                    waited: 17,
+                },
+                false,
+            ),
         ];
         for (err, transient) in table {
             assert_eq!(err.is_transient(), transient, "misclassified: {err}");

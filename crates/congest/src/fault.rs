@@ -503,11 +503,27 @@ impl<M: Message> FaultState<M> {
     }
 
     /// Deliver every due bundle of edge `e` (sender `u`, receiver `v`)
-    /// into `inbox`, preserving send-round order. Under crash fates, a
-    /// due bundle whose sender or receiver is down at its due round is
-    /// **dropped** instead (counted in `faults.dropped`; a live receiver
-    /// additionally gets its starvation sentinel raised). Same
-    /// exclusivity contract as [`FaultState::has_pending`].
+    /// into `inbox`.
+    ///
+    /// **Ordering contract.** Bundles are delivered in queue *insertion*
+    /// order, which is ascending send-round order by construction (each
+    /// send round pushes at most one bundle per edge, and a bundle is
+    /// only ever pushed in its own send round). This pin holds however
+    /// delay, duplication, and schedule adversaries compose on the edge:
+    /// when several bundles with interleaved due rounds fall due
+    /// together, the *earlier send* is delivered first, a duplicated
+    /// bundle's copies are adjacent, and — because the queue cell is
+    /// owned by the receiver's routing shard and touched by exactly one
+    /// worker per phase — the order can never depend on worker or shard
+    /// count. The regression test
+    /// `delivery_order_is_pinned_under_composition` fails if any of this
+    /// drifts.
+    ///
+    /// Under crash fates, a due bundle whose sender or receiver is down
+    /// at its due round is **dropped** instead (counted in
+    /// `faults.dropped`; a live receiver additionally gets its
+    /// starvation sentinel raised). Same exclusivity contract as
+    /// [`FaultState::has_pending`].
     pub(crate) fn deliver_due(
         &self,
         e: usize,
@@ -966,6 +982,100 @@ mod tests {
         );
         assert!(!state.has_pending(1));
         assert_eq!(faults, FaultCounters::default(), "no crash, no drops");
+    }
+
+    /// Records its whole inbox, in delivery order, every round — the
+    /// transcript that pins holdback-queue ordering.
+    struct Recorder {
+        rounds: u64,
+        log: Vec<(u64, NodeId, u8)>,
+        done: bool,
+    }
+
+    impl crate::Program for Recorder {
+        type Msg = Byte;
+        fn on_round(&mut self, ctx: &mut crate::Ctx<'_, Byte>) {
+            let round = ctx.round();
+            for (from, m) in ctx.inbox() {
+                self.log.push((round, *from, m.0));
+            }
+            if round < self.rounds {
+                ctx.broadcast(Byte((u64::from(ctx.id()) + round) as u8));
+            } else {
+                self.done = true;
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.done
+        }
+    }
+
+    /// Satellite regression (PR 10): the [`FaultState::deliver_due`]
+    /// ordering contract under composed delay + dup + schedule
+    /// adversaries. Two pins: (a) bundles with interleaved due rounds on
+    /// one edge deliver in send order, duplicates adjacent; (b) whole
+    /// inbox transcripts are byte-identical across worker and shard
+    /// counts — delivery order may never depend on the geometry.
+    #[test]
+    fn delivery_order_is_pinned_under_composition() {
+        // (a) Direct pin, interleaved dues on one edge: sent 0 due 4,
+        // sent 1 due 3, sent 2 due 4 duplicated.
+        let g = gen::path(3);
+        let state: FaultState<Byte> = FaultState::new(FaultPlan::lossy(0.0), 1, &g);
+        let e = g.offsets()[1];
+        state.hold(e, 1, 0, 4, 1, vec![Byte(0)]);
+        state.hold(e, 1, 1, 3, 1, vec![Byte(1)]);
+        state.hold(e, 1, 2, 4, 2, vec![Byte(2)]);
+        let mut inbox = Vec::new();
+        let mut faults = FaultCounters::default();
+        state.deliver_due(e, 0, 1, 3, &mut inbox, &mut faults);
+        assert_eq!(inbox, vec![(0, Byte(1))], "only the round-1 send is due");
+        state.deliver_due(e, 0, 1, 4, &mut inbox, &mut faults);
+        assert_eq!(
+            inbox,
+            vec![(0, Byte(1)), (0, Byte(0)), (0, Byte(2)), (0, Byte(2))],
+            "due round 4 delivers in send order (0 then 2), copies adjacent"
+        );
+        assert!(!state.has_pending(1));
+
+        // (b) Geometry pin: delay × dup × an active schedule plan, full
+        // inbox transcripts identical for every worker and shard count.
+        use crate::{SchedulePlan, Session, SimConfig};
+        let g = gen::gnp(300, 0.03, 19);
+        let n = g.n();
+        let plan = FaultPlan::lossy(0.05).with_delay(0.25, 4).with_dup(0.15);
+        let sched = SchedulePlan::jittery(0.3, 3).with_antififo(0.3, 4);
+        let mut anchor: Option<Vec<Vec<(u64, NodeId, u8)>>> = None;
+        for shards in [0usize, 1, 4, 8] {
+            for threads in [1usize, 8] {
+                let cfg = SimConfig {
+                    threads,
+                    shards,
+                    fault: plan,
+                    sched,
+                    ..SimConfig::default()
+                };
+                let mut session: Session<'_, Byte> = Session::new(&g, cfg);
+                let mut programs: Vec<Recorder> = (0..n)
+                    .map(|_| Recorder {
+                        rounds: 12,
+                        log: Vec::new(),
+                        done: false,
+                    })
+                    .collect();
+                let report = session.run(&mut programs, 29).expect("faulty run");
+                assert!(report.faults.delayed > 0, "the plan must actually delay");
+                assert!(report.faults.duplicated > 0, "the plan must duplicate");
+                let logs: Vec<_> = programs.into_iter().map(|p| p.log).collect();
+                match &anchor {
+                    None => anchor = Some(logs),
+                    Some(a) => assert_eq!(
+                        *a, logs,
+                        "delivery order depends on shards={shards} threads={threads}"
+                    ),
+                }
+            }
+        }
     }
 
     /// Crash fates: the per-node state machine is deterministic, extreme

@@ -27,6 +27,13 @@
 //!   and delivery (drop / delay / duplicate / truncate / abort), exactly
 //!   reproducible from `(seed, plan)` at any thread count, with per-run
 //!   [`FaultCounters`] and starved-receiver sentinels in [`RunReport`];
+//! * [`SchedulePlan`] — asynchronous execution under deterministic,
+//!   seeded schedule adversaries (jitter / stragglers / anti-FIFO edges
+//!   / burst stalls), run through a correctness-preserving
+//!   α-synchronizer: transcripts stay byte-identical to the synchronous
+//!   engine, [`ScheduleCounters`] record the synchronizer's overhead,
+//!   and a wedged schedule fails loud with
+//!   [`SimError::ScheduleStalled`];
 //! * [`RunReport`] / [`PassLog`] — metrics, composable across the passes
 //!   of multi-phase pipelines;
 //! * [`BitTally`] — two-party transcript accounting for the edge-local
@@ -77,6 +84,7 @@ mod metrics;
 mod plane;
 mod program;
 pub mod reference;
+mod sched;
 mod session;
 mod twoparty;
 
@@ -86,5 +94,6 @@ pub use fault::{FaultCounters, FaultPlan};
 pub use message::Message;
 pub use metrics::{LoadProfile, PassLog, PassRecord, RunReport, MAX_BUCKETS};
 pub use program::{Ctx, Program};
+pub use sched::{ScheduleCounters, SchedulePlan, PULSE_TAG_BITS};
 pub use session::{BarrierAudit, Session, SessionCore};
 pub use twoparty::BitTally;

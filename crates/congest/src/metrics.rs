@@ -1,6 +1,7 @@
 //! Run statistics: rounds, messages, bits, and bandwidth-normalized rounds.
 
 use crate::fault::FaultCounters;
+use crate::sched::ScheduleCounters;
 use graphs::NodeId;
 use std::collections::BTreeMap;
 
@@ -204,6 +205,11 @@ pub struct RunReport {
     /// these (strips their colors) before its repair sweep; empty without
     /// crash fates in the plan.
     pub crashed: Vec<NodeId>,
+    /// α-synchronizer overhead of the run — virtual makespan in pulses,
+    /// worst per-round wait, arrival inversions, and round-tag traffic
+    /// (all zero without an active
+    /// [`SchedulePlan`](crate::SchedulePlan)).
+    pub sched: ScheduleCounters,
 }
 
 impl RunReport {
@@ -236,6 +242,7 @@ impl RunReport {
         self.faults.merge(&other.faults);
         self.starved = merge_sorted_ids(&self.starved, &other.starved);
         self.crashed = merge_sorted_ids(&self.crashed, &other.crashed);
+        self.sched.merge(&other.sched);
     }
 }
 
@@ -423,6 +430,17 @@ impl PassLog {
         let mut total = FaultCounters::default();
         for p in &self.passes {
             total.merge(&p.report.faults);
+        }
+        total
+    }
+
+    /// Aggregate α-synchronizer overhead across passes — pulses,
+    /// inversions, and tag bits add, the worst wait is the max (all zero
+    /// for a synchronous solve).
+    pub fn sched_totals(&self) -> ScheduleCounters {
+        let mut total = ScheduleCounters::default();
+        for p in &self.passes {
+            total.merge(&p.report.sched);
         }
         total
     }

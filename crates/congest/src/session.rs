@@ -142,6 +142,7 @@ use crate::plane::{
     ShardRoute, Sink, SlotSink,
 };
 use crate::program::{Ctx, Program};
+use crate::sched::ScheduleState;
 use graphs::{Graph, NodeId};
 use prand::mix::mix2;
 use rand::rngs::StdRng;
@@ -666,6 +667,10 @@ struct PassTask<'a, P: Program> {
     /// the workers under the same receiver-range exclusivity as the
     /// plane's slot arrays.
     fault: Option<&'a FaultState<P::Msg>>,
+    /// The run's α-synchronizer state, if a schedule plan is active.
+    /// Its clocks advance under the same receiver-range exclusivity,
+    /// double-buffered by round parity (see `crate::sched`).
+    sched: Option<&'a ScheduleState>,
     /// Shard geometry of this binding.
     chunk: usize,
     workers: usize,
@@ -789,6 +794,20 @@ impl<P: Program> WorkerTask for PassTask<'_, P> {
             let mut route_errored = false;
             for (s, slot) in &mut my {
                 self.exchange.apply_into(*s, self.plane, self.dirty, epoch);
+                // Clock advancement before the shard's deliveries, on
+                // the far side of barrier A: crash cells are read-only
+                // in this phase and the previous round's clock parity
+                // was written two barriers ago. A stall feeds the same
+                // min-shard error selection as a routing error.
+                if let Some(sc) = self.sched {
+                    let hi = slot.lo + slot.programs.len();
+                    if let Some(e) = sc.advance_clocks(self.graph, self.fault, slot.lo, hi, round) {
+                        if err.is_none() {
+                            err = Some((*s as u32, e));
+                        }
+                        route_errored = true;
+                    }
+                }
                 let stats = route_shard(
                     self.graph,
                     self.plane,
@@ -1265,6 +1284,13 @@ impl<'g, M: Message> Session<'g, M> {
             .fault
             .is_active()
             .then(|| FaultState::new(self.config.fault, seed, self.graph));
+        // Synchronizer state likewise: the virtual pulse clocks are
+        // keyed by this run's pass seed and die at the pass boundary.
+        let sched = self
+            .config
+            .sched
+            .is_active()
+            .then(|| ScheduleState::new(self.config.sched, seed, self.graph));
         let mut result = if self.workers > 1 {
             let pool = self
                 .core
@@ -1278,6 +1304,7 @@ impl<'g, M: Message> Session<'g, M> {
                 &self.core.exchange,
                 self.config,
                 fault.as_ref(),
+                sched.as_ref(),
                 &pool.shared,
                 slots,
                 self.chunk,
@@ -1294,6 +1321,7 @@ impl<'g, M: Message> Session<'g, M> {
                 &self.core.exchange,
                 self.config,
                 fault.as_ref(),
+                sched.as_ref(),
                 slots,
                 self.chunk,
                 &mut self.core.epoch,
@@ -1301,6 +1329,12 @@ impl<'g, M: Message> Session<'g, M> {
                 &mut self.audit,
             )
         };
+        // The synchronizer's overhead counters fold in first — they are
+        // pure timing diagnostics, read by the coordinator after the
+        // last phase barrier, and never gate the run's outcome.
+        if let (Ok(report), Some(s)) = (&mut result, &sched) {
+            report.sched = s.collect(report.rounds, self.graph);
+        }
         let crash_err = if let (Ok(report), Some(f)) = (&mut result, &fault) {
             report.starved = f.collect_starved();
             report.crashed = f.collect_crashed();
@@ -1366,6 +1400,7 @@ fn run_rounds_sequential<P: Program>(
     exchange: &ExchangeLanes<P::Msg>,
     config: SimConfig,
     fault: Option<&FaultState<P::Msg>>,
+    sched: Option<&ScheduleState>,
     mut slots: Vec<WorkerSlot<'_, P>>,
     chunk: usize,
     epoch_counter: &mut u64,
@@ -1434,6 +1469,19 @@ fn run_rounds_sequential<P: Program>(
         let mut stats = RouteStats::default();
         for (s, slot) in slots.iter_mut().enumerate() {
             exchange.apply_into(s, plane, dirty, epoch);
+            // The synchronizer's clocks advance in the routing phase —
+            // crash cells are read-only here and the previous round's
+            // clock parity is settled — before the shard's deliveries,
+            // so a stall outranks this shard's routing errors exactly as
+            // in the pooled protocol.
+            if let Some(sc) = sched {
+                let hi = slot.lo + slot.programs.len();
+                if let Some(e) = sc.advance_clocks(graph, fault, slot.lo, hi, round) {
+                    if stats.err.is_none() {
+                        stats.err = Some(e);
+                    }
+                }
+            }
             let st = route_shard(
                 graph,
                 plane,
@@ -1483,6 +1531,7 @@ fn run_rounds_pooled<P: Program>(
     exchange: &ExchangeLanes<P::Msg>,
     config: SimConfig,
     fault: Option<&FaultState<P::Msg>>,
+    sched: Option<&ScheduleState>,
     shared: &PoolShared,
     slots: Vec<WorkerSlot<'_, P>>,
     chunk: usize,
@@ -1498,6 +1547,7 @@ fn run_rounds_pooled<P: Program>(
         exchange,
         bandwidth: config.bandwidth,
         fault,
+        sched,
         chunk,
         workers,
         n: graph.n(),

@@ -10,7 +10,13 @@
 //! also keys any active [`congest::FaultPlan`]: fault fates are a pure
 //! function of `(pass seed, plan, edge, round)`, so the byte-identity
 //! guarantee extends to faulty runs — same plan, same losses, same
-//! recovery, whatever the engine mode or thread count.
+//! recovery, whatever the engine mode or thread count. An active
+//! [`congest::SchedulePlan`] is keyed the same way: each pass draws its
+//! schedule from its own pass seed, the α-synchronizer keeps the pass
+//! transcript byte-identical to the synchronous run, and only the
+//! synchronizer overhead counters in the [`PassLog`] record that the
+//! adversary was there. A wedged schedule fails the pass with the
+//! non-transient [`SimError::ScheduleStalled`].
 
 use crate::passes::{ActivatePass, StatePass};
 use crate::state::NodeState;

@@ -38,14 +38,21 @@ use std::collections::BTreeMap;
 ///
 /// `PartialEq` compares every field — two equal options (plus equal
 /// graph and lists) fully determine the [`SolveResult`], which is what
-/// lets the serving layer ([`crate::server`]) memoize responses.
+/// lets the serving layer ([`crate::server`]) memoize responses. That
+/// includes asynchronous execution: [`SimConfig::sched`] is part of
+/// `sim` and thus of the memo key, and since the α-synchronizer keeps
+/// transcripts byte-identical to the synchronous engine, a memo hit
+/// across schedule plans would *also* be sound for the coloring — but
+/// plans still key separately because the response carries the plan's
+/// own synchronizer overhead counters.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SolveOptions {
     /// Constant profile (laptop by default).
     pub profile: ParamProfile,
     /// Master seed (drives all node randomness and shared hash families).
     pub seed: u64,
-    /// Engine configuration (bandwidth policy, thread count, round cap).
+    /// Engine configuration (bandwidth policy, thread count, round cap,
+    /// fault plan, schedule adversary).
     pub sim: SimConfig,
     /// Use the §5 *uniform* ACD (explicit pairwise hashing + samplers +
     /// ECC, `acd_uniform`) instead of the representative-hash ACD. The

@@ -1138,6 +1138,40 @@ mod tests {
     }
 
     #[test]
+    fn stalled_schedules_are_never_retried() {
+        let (g, lists) = instance(96, 14);
+        // A schedule is a pure function of `(seed, SchedulePlan)`: a
+        // plan that wedges the synchronizer wedges every verbatim
+        // retry identically, so `ScheduleStalled` must surface as a
+        // non-transient `Engine` error without burning the retry
+        // budget. Progress needs a re-planned request (here: more
+        // watchdog patience), not a re-run.
+        let mut options = SolveOptions::seeded(9);
+        options.sim.sched = congest::SchedulePlan::none()
+            .with_bursts(1.0, 6)
+            .with_patience(2);
+        let server = SolveServer::start(ServiceConfig::default());
+        let handle = server.handle();
+        let req = SolveRequest::shared(&g, &lists, options).with_retry_limit(2);
+        match handle.solve(req) {
+            Err(ServeError::Engine(e)) => {
+                assert!(matches!(e, congest::SimError::ScheduleStalled { .. }));
+                assert!(!e.is_transient());
+            }
+            other => panic!("expected Engine, got {other:?}"),
+        }
+        let stats = handle.stats();
+        assert_eq!(stats.retries, 0, "stalled schedule burned a retry");
+        assert_eq!(stats.engine_errors, 1);
+        options.sim.sched = options.sim.sched.with_patience(16);
+        let served = handle
+            .solve(SolveRequest::shared(&g, &lists, options))
+            .expect("a re-planned schedule completes");
+        let direct = crate::solve(&g, &lists, options).expect("one-shot");
+        assert_eq!(served.coloring, direct.coloring);
+    }
+
+    #[test]
     fn transient_faults_exhaust_retries_with_attempt_count() {
         let (g, lists) = instance(60, 13);
         // An always-abort fault plan fails every attempt transiently —

@@ -78,6 +78,16 @@ bench-sharding:
 bench-crash:
     cargo run --release -p bench --bin experiments -- --json BENCH_9.json E0g
 
+# Async bench: the E0h async-schedule sweep (jitter / straggler /
+# anti-FIFO / burst schedule adversaries through the α-synchronizer,
+# over the shards {1, 2, 4, 8} × threads {1, 2, 8} grid; BENCH_10.json
+# at the repo root is the committed full-scale snapshot). Its run
+# asserts byte-identical transcripts vs the synchronous engine,
+# geometry-invariant overhead counters, and a loud ScheduleStalled on
+# the wedged arm before any timing is reported.
+bench-async:
+    cargo run --release -p bench --bin experiments -- --json BENCH_10.json E0h
+
 # Full-scale scenario sweep (S1–S6) → BENCH_3.json, the committed
 # snapshot EXPERIMENTS.md's full-scale section is rendered from. Slow;
 # rerun only when solver behaviour changes, then `just experiments-md`.
@@ -110,6 +120,7 @@ test-slow:
     PROPTEST_CASES=96 cargo test -q --test prop_invariants faulty_
     PROPTEST_CASES=96 cargo test -q --test prop_invariants sharded_
     PROPTEST_CASES=96 cargo test -q --test prop_invariants crashed_
+    PROPTEST_CASES=96 cargo test -q --test prop_invariants async_
 
 # Rustdoc exactly as CI enforces it (warnings are errors).
 doc:

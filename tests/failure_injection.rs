@@ -1,8 +1,9 @@
 //! Failure injection and adversarial edge cases: degenerate graphs,
-//! minimal lists, hostile list structure, bandwidth faults, and lossy /
-//! delayed / duplicated messaging under a [`FaultPlan`].
+//! minimal lists, hostile list structure, bandwidth faults, lossy /
+//! delayed / duplicated messaging under a [`FaultPlan`], and hostile
+//! asynchronous schedules under a [`SchedulePlan`].
 
-use congest_coloring::congest::{Bandwidth, FaultPlan, SimConfig, SimError};
+use congest_coloring::congest::{Bandwidth, FaultPlan, SchedulePlan, SimConfig, SimError};
 use congest_coloring::d1lc::{solve, SolveOptions};
 use congest_coloring::graphs::palette::{check_coloring, degree_plus_one_lists, ListAssignment};
 use congest_coloring::graphs::{gen, Color, GraphBuilder};
@@ -248,6 +249,83 @@ fn fatal_crash_plans_fail_loud_with_transient_errors() {
         "expected QuorumLost, got {err:?}"
     );
     assert!(err.is_transient());
+}
+
+/// Options with an active schedule adversary (optionally composed with a
+/// fault plan): the α-synchronizer absorbs the asynchrony, so the solve
+/// must behave exactly like its synchronous twin.
+fn async_opts(seed: u64, sched: SchedulePlan, plan: FaultPlan) -> SolveOptions {
+    SolveOptions {
+        sim: SimConfig {
+            fault: plan,
+            sched,
+            max_rounds: 200,
+            ..SimConfig::default()
+        },
+        ..SolveOptions::seeded(seed)
+    }
+}
+
+#[test]
+fn schedule_adversaries_never_change_the_coloring() {
+    // Jitter, stragglers, anti-FIFO edges, and skewed starts all at
+    // once, on top of a lossy network: the synchronizer pays pulses and
+    // sync traffic (visible in the pass log) but the coloring, stats,
+    // and fault counters are byte-identical to the synchronous run.
+    let g = gen::gnp(72, 0.1, 26);
+    let lists = degree_plus_one_lists(&g);
+    let sched = SchedulePlan::jittery(0.3, 3)
+        .with_stragglers(0.1, 4)
+        .with_antififo(0.2, 4)
+        .with_start_spread(2)
+        .with_patience(64);
+    let plan = FaultPlan::lossy(0.1).with_delay(0.2, 3);
+    let sync = solve(&g, &lists, async_opts(10, SchedulePlan::none(), plan)).expect("solve");
+    let async_run = solve(&g, &lists, async_opts(10, sched, plan)).expect("solve");
+    assert_eq!(check_coloring(&g, &lists, &async_run.coloring), Ok(()));
+    assert_eq!(
+        sync.coloring, async_run.coloring,
+        "adversary changed the coloring"
+    );
+    assert_eq!(sync.stats, async_run.stats, "adversary changed the stats");
+    let overhead = async_run.log.sched_totals();
+    assert!(overhead.pulses > 0, "active adversary recorded no pulses");
+    assert!(overhead.sync_bits > 0, "synchronizer traffic never counted");
+    assert!(
+        !sync.log.sched_totals().any(),
+        "synchronous run counted overhead"
+    );
+}
+
+#[test]
+fn wedged_schedules_fail_loud_not_wrong() {
+    // A certain burst longer than the watchdog's patience wedges every
+    // run of the plan. The engine must surface `ScheduleStalled` — never
+    // a silently wrong or spinning run — and the error is deterministic,
+    // so the serving layer must not classify it as transient (a verbatim
+    // retry stalls identically). Raising the patience, not retrying, is
+    // what makes progress.
+    let g = gen::gnp(48, 0.15, 27);
+    let lists = degree_plus_one_lists(&g);
+    let wedged = SchedulePlan::none().with_bursts(1.0, 6).with_patience(2);
+    let err = solve(&g, &lists, async_opts(11, wedged, FaultPlan::none()))
+        .expect_err("a 6-pulse burst must trip a 2-pulse watchdog");
+    assert!(
+        matches!(err, SimError::ScheduleStalled { .. }),
+        "expected ScheduleStalled, got {err:?}"
+    );
+    assert!(
+        !err.is_transient(),
+        "schedules are pure functions of (seed, plan): retries cannot help"
+    );
+    let patient = wedged.with_patience(16);
+    let r = solve(&g, &lists, async_opts(11, patient, FaultPlan::none()))
+        .expect("patience above the burst length completes");
+    assert_eq!(check_coloring(&g, &lists, &r.coloring), Ok(()));
+    assert!(
+        r.log.sched_totals().max_wait >= 3,
+        "burst waits not recorded"
+    );
 }
 
 #[test]

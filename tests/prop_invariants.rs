@@ -365,6 +365,73 @@ mod plane_vs_reference {
         }
         Ok(())
     }
+
+    /// PR-10 tentpole contract, engine level: the α-synchronizer is
+    /// correctness-preserving. Under any [`congest::SchedulePlan`] the
+    /// session engine's transcripts and `RunReport` (minus the
+    /// synchronizer's own overhead counters) are byte-identical to the
+    /// schedule-free synchronous run, for every shard count in
+    /// {1, 2, 4, 8} × thread count {1, 2, 8}, composed with an
+    /// arbitrary fault plan. The overhead counters themselves must be
+    /// geometry-invariant, and an inactive plan must record none.
+    pub fn assert_async_schedules_agree(
+        graph: &Graph,
+        seed: u64,
+        sched: congest::SchedulePlan,
+        fault: congest::FaultPlan,
+        max_rounds: u64,
+    ) -> Result<(), String> {
+        let n = graph.n();
+        let sync_cfg = SimConfig {
+            fault,
+            max_rounds,
+            ..SimConfig::seeded(seed)
+        };
+        let (sync_progs, sync_report) =
+            congest::run(graph, chatter_programs(n), sync_cfg).map_err(|e| format!("{e:?}"))?;
+        if sync_report.sched.any() {
+            return Err("synchronous anchor recorded synchronizer overhead".into());
+        }
+        let mut overhead = None;
+        for shards in [1usize, 2, 4, 8] {
+            for threads in [1usize, 2, 8] {
+                let cfg = SimConfig {
+                    threads,
+                    shards,
+                    sched,
+                    ..sync_cfg
+                };
+                let (progs, mut report) =
+                    congest::run(graph, chatter_programs(n), cfg).map_err(|e| format!("{e:?}"))?;
+                match overhead {
+                    None => overhead = Some(report.sched),
+                    Some(c) if c != report.sched => {
+                        return Err(format!(
+                            "sched counters diverged at shards={shards} threads={threads}"
+                        ));
+                    }
+                    Some(_) => {}
+                }
+                if !sched.is_active() && report.sched.any() {
+                    return Err("inactive SchedulePlan recorded synchronizer overhead".into());
+                }
+                report.sched = congest::ScheduleCounters::default();
+                if report != sync_report {
+                    return Err(format!(
+                        "RunReport diverged at shards={shards} threads={threads}"
+                    ));
+                }
+                for (v, (a, b)) in progs.iter().zip(&sync_progs).enumerate() {
+                    if a.transcript != b.transcript {
+                        return Err(format!(
+                            "transcript diverged at node {v}, shards={shards} threads={threads}"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 proptest! {
@@ -720,6 +787,108 @@ proptest! {
                 prop_assert!(
                     base.stats == other.stats,
                     "crashed stats diverged: shards={} t={}",
+                    shards,
+                    threads
+                );
+            }
+        }
+    }
+
+    /// PR-10 tentpole contract: under any schedule adversary the
+    /// α-synchronized transcript is byte-identical to the synchronous
+    /// engine across schedule plans {none, jitter, straggler,
+    /// anti-FIFO} × shards {1, 2, 4, 8} × threads {1, 2, 8} × fault
+    /// plans {none, drop/delay}, and a full pipeline solve with the
+    /// adversary in the loop yields the identical proper coloring,
+    /// stats, and pass log (only the synchronizer's own overhead
+    /// counters may differ from the synchronous anchor).
+    #[test]
+    fn async_schedules_agree_byte_for_byte(
+        kind in 0usize..5,
+        n in 2usize..200,
+        p in 0.0f64..0.15,
+        gseed in 0u64..1000,
+        lseed in 0u64..500,
+        seed in 0u64..1000,
+        plan_kind in 0usize..4,
+        rate_pm in 1u32..400,
+        span in 1u32..5,
+        faulty in 0usize..2,
+        drop_pm in 0u32..300,
+    ) {
+        use congest_coloring::congest::{FaultPlan, ScheduleCounters, SchedulePlan, SimConfig};
+        use congest_coloring::d1lc::{EngineMode, SolveResult};
+
+        let rate = f64::from(rate_pm) / 1000.0;
+        let sched = match plan_kind {
+            0 => SchedulePlan::none(),
+            1 => SchedulePlan::jittery(rate, span).with_start_spread(span),
+            2 => SchedulePlan::none().with_stragglers(rate, span),
+            _ => SchedulePlan::none().with_antififo(rate, span + 2),
+        };
+        let fault = if faulty == 1 {
+            FaultPlan::lossy(f64::from(drop_pm) / 1000.0).with_delay(0.2, 3)
+        } else {
+            FaultPlan::none()
+        };
+        let graph = plane_vs_reference::graph_for(kind, n, p, gseed);
+        // Engine level: the full schedule × shard × thread × fault grid
+        // against the schedule-free synchronous anchor.
+        if let Err(msg) =
+            plane_vs_reference::assert_async_schedules_agree(&graph, seed, sched, fault, 64)
+        {
+            prop_assert!(false, "{}", msg);
+        }
+        // Pipeline level: the adversarial solve stays proper and
+        // byte-identical to the synchronous unsharded anchor.
+        let lists = random_lists(&graph, 32, 0, lseed);
+        let run = |sched: SchedulePlan, shards: usize, threads: usize| {
+            let opts = SolveOptions {
+                engine: EngineMode::Session,
+                sim: SimConfig {
+                    threads,
+                    shards,
+                    fault,
+                    sched,
+                    max_rounds: 200,
+                    ..SimConfig::default()
+                },
+                ..SolveOptions::seeded(seed)
+            };
+            solve(&graph, &lists, opts).expect("async solve completes")
+        };
+        let masked = |r: &SolveResult| {
+            r.log
+                .passes()
+                .iter()
+                .cloned()
+                .map(|mut p| {
+                    p.report.sched = ScheduleCounters::default();
+                    p
+                })
+                .collect::<Vec<_>>()
+        };
+        let base = run(SchedulePlan::none(), 0, 1);
+        prop_assert_eq!(check_coloring(&graph, &lists, &base.coloring), Ok(()));
+        let base_log = masked(&base);
+        for shards in [1usize, 4, 8] {
+            for threads in [1usize, 8] {
+                let other = run(sched, shards, threads);
+                prop_assert!(
+                    base.coloring == other.coloring,
+                    "async coloring diverged: shards={} t={}",
+                    shards,
+                    threads
+                );
+                prop_assert!(
+                    base_log == masked(&other),
+                    "async pass log diverged: shards={} t={}",
+                    shards,
+                    threads
+                );
+                prop_assert!(
+                    base.stats == other.stats,
+                    "async stats diverged: shards={} t={}",
                     shards,
                     threads
                 );
